@@ -1,0 +1,609 @@
+// Benchmark harness: one benchmark per experiment in DESIGN.md's
+// per-experiment index, regenerating the series/tables behind every panel
+// of the paper's Figure 1 and exercising each theorem's machinery at
+// scale. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The measured quantity of interest is usually reported via b.ReportMetric
+// (rounds, probes, radius) — wall-clock time is secondary for a
+// complexity-landscape reproduction.
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/classify"
+	"repro/internal/enumerate"
+	"repro/internal/graph"
+	"repro/internal/grid"
+	"repro/internal/landscape"
+	"repro/internal/lcl"
+	"repro/internal/lll"
+	"repro/internal/local"
+	"repro/internal/orderinv"
+	"repro/internal/problems"
+	"repro/internal/re"
+	"repro/internal/rooted"
+	"repro/internal/shortcut"
+	"repro/internal/volume"
+)
+
+// E1: Figure 1 top-left — LOCAL on trees.
+func BenchmarkFig1TreesLocal(b *testing.B) {
+	for _, n := range []int{256, 1024, 4096, 16384} {
+		for _, wit := range []string{"constant", "coloring", "leader"} {
+			b.Run(fmt.Sprintf("%s/n=%d", wit, n), func(b *testing.B) {
+				rng := rand.New(rand.NewSource(1))
+				rounds := 0
+				for i := 0; i < b.N; i++ {
+					var res *local.Result
+					var err error
+					switch wit {
+					case "constant":
+						g := graph.RandomTree(n, 3, rng)
+						res, err = local.Run(g, local.ConstantMachine{}, local.RunOpts{})
+					case "coloring":
+						g := graph.RandomTree(n, 3, rng)
+						res, err = local.Run(g, local.NewColoring(3), local.RunOpts{IDs: local.RandomIDs(n, rng)})
+					case "leader":
+						g := graph.Path(n)
+						res, err = local.Run(g, local.LeaderColoringMachine{}, local.RunOpts{})
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+					rounds = res.Rounds
+				}
+				b.ReportMetric(float64(rounds), "rounds")
+			})
+		}
+	}
+}
+
+// E2: Figure 1 top-right — LOCAL on oriented grids.
+func BenchmarkFig1Grids(b *testing.B) {
+	for _, side := range []int{8, 16, 32, 64} {
+		sides := []int{side, side}
+		for _, wit := range []string{"direction", "coloring", "dim0global"} {
+			b.Run(fmt.Sprintf("%s/side=%d", wit, side), func(b *testing.B) {
+				rng := rand.New(rand.NewSource(2))
+				g := graph.Torus(sides...)
+				ids := grid.RandomDimIDs(sides, rng)
+				rounds := 0
+				for i := 0; i < b.N; i++ {
+					var m grid.Machine
+					switch wit {
+					case "direction":
+						m = grid.DirectionMachine{}
+					case "coloring":
+						m = grid.GridColoring{D: 2}
+					case "dim0global":
+						m = grid.Dim0TwoColoring{}
+					}
+					res, err := grid.Run(g, sides, ids, m, 0)
+					if err != nil {
+						b.Fatal(err)
+					}
+					rounds = res.Rounds
+				}
+				b.ReportMetric(float64(rounds), "rounds")
+			})
+		}
+	}
+}
+
+// E3: Figure 1 bottom-left — the general-graph intermediate region via
+// the shortcut construction: radius vs window.
+func BenchmarkFig1GeneralLocal(b *testing.B) {
+	for _, m := range []int{256, 1024, 4096} {
+		b.Run(fmt.Sprintf("pathlen=%d", m), func(b *testing.B) {
+			var stats shortcut.Stats
+			for i := 0; i < b.N; i++ {
+				inst := shortcut.Build(m)
+				var err error
+				_, stats, err = shortcut.Solve(inst)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(stats.MaxRadius), "radius")
+			b.ReportMetric(float64(stats.MaxWindow), "window")
+		})
+	}
+}
+
+// E4: Figure 1 bottom-right — VOLUME probes.
+func BenchmarkFig1Volume(b *testing.B) {
+	for _, n := range []int{256, 1024, 4096, 16384} {
+		for _, wit := range []string{"constant", "coloring", "parity"} {
+			if wit == "parity" && n > 1024 {
+				continue // stateless replay makes the Θ(n) witness O(n²)/node
+			}
+			b.Run(fmt.Sprintf("%s/n=%d", wit, n), func(b *testing.B) {
+				rng := rand.New(rand.NewSource(3))
+				g := graph.Path(n)
+				ids := volume.RandomIDs(n, rng)
+				probes := 0
+				for i := 0; i < b.N; i++ {
+					var a volume.Algorithm
+					switch wit {
+					case "constant":
+						a = volume.Constant{}
+					case "coloring":
+						a = volume.PathColoring{}
+					case "parity":
+						a = volume.GlobalParity{}
+					}
+					res, err := volume.Run(g, a, volume.RunOpts{IDs: ids})
+					if err != nil {
+						b.Fatal(err)
+					}
+					probes = res.MaxProbes
+				}
+				b.ReportMetric(float64(probes), "probes")
+			})
+		}
+	}
+}
+
+// E5: the Theorem 1.1 gap pipeline across the battery.
+func BenchmarkGapPipelineTrees(b *testing.B) {
+	for _, p := range problems.All(2) {
+		b.Run(p.Name, func(b *testing.B) {
+			degrees := degreesOf(p)
+			lim := re.Limits{MaxLabels: 40, MaxConfigs: 200_000, MaxExpandIter: 50_000}
+			var verdict re.Verdict
+			for i := 0; i < b.N; i++ {
+				res, err := re.RunGapPipeline(p, degrees, re.Pruned, lim, 2)
+				if err != nil {
+					b.Fatal(err)
+				}
+				verdict = res.Verdict
+			}
+			b.ReportMetric(float64(verdict), "verdict")
+		})
+	}
+}
+
+// E6: Theorem 3.4 failure-probability bookkeeping.
+func BenchmarkFailureEvolution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bounds := re.IterateBound34(1<<30, 3, 1, 31, 4)
+		_ = bounds
+		_ = re.MinTowerHeightForGap(2, 3, 1)
+	}
+}
+
+// E7: the Lemma 3.9 lift on brute-force R̄R solutions.
+func BenchmarkLift(b *testing.B) {
+	p := problems.Coloring(3, 2)
+	rStep, err := re.Apply(p, re.OpR, re.Pruned, re.Limits{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rrStep, err := re.Apply(rStep.Prob, re.OpRBar, re.Pruned, re.Limits{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := graph.Path(4)
+	foutRR, ok := rrStep.Prob.BruteForceSolve(g, nil)
+	if !ok {
+		b.Fatal("unsolvable")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := re.LiftOnce(p, rStep, rrStep, g, nil, nil, foutRR); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E8: the VOLUME gap machinery — Lemma 4.2 Ramsey transform + speed-up.
+func BenchmarkVolumeGap(b *testing.B) {
+	profiles := []orderinv.TupleProfile{{Deg: 1, In: []int{0}}, {Deg: 2, In: []int{0, 0}}}
+	for i := 0; i < b.N; i++ {
+		w, err := orderinv.MakeOrderInvariant(benchVolumeAlg{}, 8, 10, 4, profiles)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fast := orderinv.SpeedupVolume{Inner: w, N0: 8}
+		g := graph.Path(64)
+		if _, err := volume.Run(g, fast, volume.RunOpts{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type benchVolumeAlg struct{}
+
+func (benchVolumeAlg) Name() string      { return "bench-compare" }
+func (benchVolumeAlg) MaxProbes(int) int { return 1 }
+func (benchVolumeAlg) Step(n, i int, seq []volume.Tuple) (volume.Probe, bool) {
+	if i > 1 {
+		return volume.Probe{}, false
+	}
+	return volume.Probe{J: 0, P: 0}, true
+}
+func (benchVolumeAlg) Output(n int, seq []volume.Tuple) []int {
+	out := make([]int, seq[0].Deg)
+	if len(seq) > 1 && seq[1].ID > seq[0].ID {
+		for p := range out {
+			out[p] = 1
+		}
+	}
+	return out
+}
+
+// E9: the grid gap — Propositions 5.3–5.5 pipeline pieces.
+func BenchmarkGridGap(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	sides := []int{16, 16}
+	g := graph.Torus(sides...)
+	for i := 0; i < b.N; i++ {
+		ids := grid.RandomDimIDs(sides, rng)
+		combined := grid.CombinedIDs(g, sides, ids)
+		if _, err := local.Run(g, local.ConstantMachine{}, local.RunOpts{IDs: combined}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := grid.Run(g, sides, grid.SequentialDimIDs(sides), grid.GridColoring{D: 2}, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E10: the classification table.
+func BenchmarkClassify(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := landscape.ClassificationTable(2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E11: LCA far probes vs VOLUME probes.
+func BenchmarkLCAFarProbes(b *testing.B) {
+	g := graph.Path(4096)
+	for i := 0; i < b.N; i++ {
+		res, err := volume.RunLCA(g, volume.AsLCA{Inner: volume.PathColoring{}}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.FarProbes != 0 {
+			b.Fatal("unexpected far probes")
+		}
+	}
+}
+
+// E12: the Lemma 2.6 general-LCL → node-edge-checkable encoding.
+func BenchmarkNECEncoding(b *testing.B) {
+	gl := &lcl.General{
+		Name:     "parity-check",
+		InNames:  []string{"·"},
+		OutNames: []string{"0", "1"},
+		Radius:   1,
+		Check: func(ball *graph.Ball, out [][]int) bool {
+			// Root's labels must differ from each visible neighbor's.
+			for p, j := range ball.Port[0] {
+				if j < 0 {
+					continue
+				}
+				for q := range out[j] {
+					if ball.Port[j][q] == 0 && out[j][q] == out[0][p] {
+						return false
+					}
+				}
+			}
+			return true
+		},
+	}
+	universe := []lcl.UniverseEntry{
+		{G: graph.Path(2)}, {G: graph.Path(3)}, {G: graph.Path(4)},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gl.ToNodeEdgeCheckable(universe, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation 1 (DESIGN.md decision 2): pruned vs faithful round elimination.
+func BenchmarkREPruning(b *testing.B) {
+	p := problems.ConsistentOrientation()
+	for _, mode := range []re.Mode{re.Pruned, re.Faithful} {
+		name := "pruned"
+		if mode == re.Faithful {
+			name = "faithful"
+		}
+		b.Run(name, func(b *testing.B) {
+			labels := 0
+			for i := 0; i < b.N; i++ {
+				r, err := re.Apply(p, re.OpR, mode, re.Limits{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rr, err := re.Apply(r.Prob, re.OpRBar, mode, re.Limits{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				labels = rr.Prob.NumOut()
+			}
+			b.ReportMetric(float64(labels), "labels")
+		})
+	}
+}
+
+// Ablation 2 (DESIGN.md decision 3): canonical ball encoding cost.
+func BenchmarkCanonicalEncoding(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	g := graph.RandomTree(4096, 3, rng)
+	ids := local.RandomIDs(4096, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ball := graph.ExtractBall(g, i%4096, 3, graph.BallOpts{IDs: ids})
+		_ = ball.Encode()
+		_ = ball.EncodeOrderInvariant()
+	}
+}
+
+func degreesOf(p *lcl.Problem) []int {
+	var ds []int
+	for d := range p.Node {
+		ds = append(ds, d)
+	}
+	for i := 1; i < len(ds); i++ {
+		for j := i; j > 0 && ds[j] < ds[j-1]; j-- {
+			ds[j], ds[j-1] = ds[j-1], ds[j]
+		}
+	}
+	return ds
+}
+
+// E13: the exhaustive cycle census — regenerates the cycle row of the
+// landscape (which classes are populated, which are empty) for k = 2 and
+// k = 3 output labels.
+func BenchmarkCensusCycles(b *testing.B) {
+	for _, k := range []int{2, 3} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			var c *enumerate.Census
+			for i := 0; i < b.N; i++ {
+				var err error
+				c, err = enumerate.Run(k, k == 3) // dedup the big space
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(c.RawByClass[classify.Constant]), "constant")
+			b.ReportMetric(float64(c.RawByClass[classify.LogStar]), "logstar")
+			b.ReportMetric(float64(c.RawByClass[classify.Global]), "global")
+			b.ReportMetric(float64(c.RawByClass[classify.Unsolvable]), "unsolvable")
+		})
+	}
+}
+
+// E14: constant-round algorithm synthesis on cycles — the constructive
+// side of the census cross-validation (O(1) ⟺ synthesizable).
+func BenchmarkSynthesis(b *testing.B) {
+	full := uint(1)<<uint(enumerate.PairCount(2)) - 1
+	trivial := enumerate.FromMasks(2, full, full)
+	b.Run("succeed/trivial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, ok, err := enumerate.Synthesize(trivial, 1); err != nil || !ok {
+				b.Fatalf("ok=%v err=%v", ok, err)
+			}
+		}
+	})
+	b.Run("refute/2coloring", func(b *testing.B) {
+		n2 := uint(1)<<0 | uint(1)<<2 // {A,A}, {B,B} node configs
+		e := uint(1) << 1             // {A,B} edges
+		p := enumerate.FromMasks(2, n2, e)
+		for i := 0; i < b.N; i++ {
+			if _, ok, err := enumerate.Synthesize(p, 2); err != nil || ok {
+				b.Fatalf("ok=%v err=%v", ok, err)
+			}
+		}
+	})
+}
+
+// E15: class (C) — distributed Moser–Tardos on sinkless orientation.
+// Rounds grow like O(log n) (the resampling core; the poly log log n
+// algorithms of class (C) add a shattering phase on top).
+func BenchmarkLLLSinklessOrientation(b *testing.B) {
+	for _, n := range []int{256, 1024, 4096, 16384} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(7))
+			g := graph.RandomRegular(n, 5, rng)
+			sys, dec := lll.Sinkless(g, 5)
+			rounds := 0
+			for i := 0; i < b.N; i++ {
+				res, err := lll.RunParallel(sys, lll.Opts{Seed: int64(i)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if v := dec.CheckSinkless(res.Assignment, 5); v != -1 {
+					b.Fatalf("sink at %d", v)
+				}
+				rounds = res.Rounds
+			}
+			b.ReportMetric(float64(rounds), "rounds")
+		})
+	}
+}
+
+// E16: rooted-tree machinery — trimming, DP, and the Question 1.7
+// semidecision search.
+func BenchmarkRootedSemidecision(b *testing.B) {
+	hc := rooted.HeightCap(2, 2)
+	b.Run("synthesize/height-cap-2", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, ok := rooted.Synthesize(hc, 2); !ok {
+				b.Fatal("height-cap-2 should synthesize at radius 2")
+			}
+		}
+	})
+	pcd := rooted.ParentChildDistinct(2, 3)
+	b.Run("refute/parent-child-distinct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, ok := rooted.Synthesize(pcd, 2); ok {
+				b.Fatal("refutation expected")
+			}
+		}
+	})
+	b.Run("trim+dp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = rooted.Trim(pcd)
+			_ = rooted.SolvableOnAllDepths(pcd, 12)
+		}
+	})
+}
+
+// E17: paths-with-inputs solvability (Section 1.4: decidable but
+// PSPACE-hard — the subset construction's exponential state space is the
+// expected cost).
+func BenchmarkPathsWithInputs(b *testing.B) {
+	for _, k := range []int{3, 4} {
+		b.Run(fmt.Sprintf("list-coloring-%d", k), func(b *testing.B) {
+			p := benchListColoring(k)
+			for i := 0; i < b.N; i++ {
+				if _, err := classify.PathsWithInputs(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// benchListColoring mirrors the classify test fixture: k-coloring where
+// input label i forbids color i on its half-edge.
+func benchListColoring(k int) *lcl.Problem {
+	colors := make([]string, k)
+	for i := range colors {
+		colors[i] = string(rune('A' + i))
+	}
+	ins := append(append([]string(nil), colors...), "·")
+	for i := range colors {
+		ins[i] = "¬" + colors[i]
+	}
+	bd := lcl.NewBuilder("list-coloring", ins, colors)
+	for _, c := range colors {
+		bd.Node(c)
+		bd.Node(c, c)
+		for _, d := range colors {
+			if c != d {
+				bd.Edge(c, d)
+			}
+		}
+	}
+	for i, in := range ins {
+		for j, c := range colors {
+			if i != j {
+				bd.Allow(in, c)
+			}
+		}
+	}
+	return bd.MustBuild()
+}
+
+// Ablation 3: parallel vs sequential Moser–Tardos — the distributed
+// variant pays per-round coordination but needs exponentially fewer
+// passes over the event set.
+func BenchmarkLLLParallelVsSequential(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	g := graph.RandomRegular(2048, 5, rng)
+	sys, _ := lll.Sinkless(g, 5)
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := lll.RunParallel(sys, lll.Opts{Seed: int64(i)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := lll.RunSequential(sys, lll.Opts{Seed: int64(i)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// E18: the path census — solvability over the whole path-LCL space
+// (endpoint × interior × edge constraint masks).
+func BenchmarkPathCensus(b *testing.B) {
+	for _, k := range []int{1, 2} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			var c *enumerate.PathCensus
+			for i := 0; i < b.N; i++ {
+				var err error
+				c, err = enumerate.RunPaths(k)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(c.SolvableAll), "solvable")
+			b.ReportMetric(float64(c.UnsolvableSome), "unsolvable")
+		})
+	}
+}
+
+// Ablation 4: derandomization (method of conditional expectations) vs
+// randomized resampling on the same LLL instance.
+func BenchmarkLLLDerandomizeVsResample(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	g := graph.RandomRegular(512, 5, rng)
+	sys, _ := lll.Sinkless(g, 5)
+	b.Run("derandomize", func(b *testing.B) {
+		violated := 0
+		for i := 0; i < b.N; i++ {
+			res, err := lll.Derandomize(sys)
+			if err != nil {
+				b.Fatal(err)
+			}
+			violated = len(res.Violated)
+		}
+		b.ReportMetric(float64(violated), "violations")
+	})
+	b.Run("resample", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := lll.RunParallel(sys, lll.Opts{Seed: int64(i)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// E1 addendum: the deterministic/randomized contrast on the MIS row —
+// Linial-based deterministic MIS vs Luby's randomized MIS on the same
+// trees.
+func BenchmarkMISDetVsLuby(b *testing.B) {
+	for _, n := range []int{1024, 8192} {
+		rng := rand.New(rand.NewSource(10))
+		g := graph.RandomTree(n, 4, rng)
+		ids := local.RandomIDs(n, rng)
+		b.Run(fmt.Sprintf("deterministic/n=%d", n), func(b *testing.B) {
+			rounds := 0
+			for i := 0; i < b.N; i++ {
+				res, err := local.Run(g, local.NewMIS(4), local.RunOpts{IDs: ids})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds = res.Rounds
+			}
+			b.ReportMetric(float64(rounds), "rounds")
+		})
+		b.Run(fmt.Sprintf("luby/n=%d", n), func(b *testing.B) {
+			rounds := 0
+			for i := 0; i < b.N; i++ {
+				res, err := local.Run(g, local.LubyMIS{}, local.RunOpts{Random: true, Seed: int64(i)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds = res.Rounds
+			}
+			b.ReportMetric(float64(rounds), "rounds")
+		})
+	}
+}

@@ -1,0 +1,114 @@
+// Command landscape regenerates the paper's Figure 1: all four complexity
+// landscape panels (LOCAL on trees, LOCAL on oriented grids, the general-
+// graph intermediate region via the shortcut construction, and the VOLUME
+// model) plus the Corollary 1.2 / Section 1.4 classification table.
+//
+// Usage:
+//
+//	landscape                  # all panels at default sizes
+//	landscape -panel trees -max 65536
+//	landscape -panel table -levels 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/landscape"
+)
+
+func main() {
+	panel := flag.String("panel", "all", "trees|grids|general|volume|table|census|classc|all")
+	maxN := flag.Int("max", 4096, "largest instance size")
+	levels := flag.Int("levels", 3, "round elimination levels for the table")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	sizes := geometric(64, *maxN)
+	run := func(name string, fn func() error) {
+		if *panel != "all" && *panel != name {
+			return
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "landscape: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+	run("trees", func() error {
+		p, err := landscape.TreesLocal(sizes, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(p.Render())
+		fmt.Print(landscape.LogStarReference(sizes))
+		fmt.Println()
+		return nil
+	})
+	run("grids", func() error {
+		var sidesList []int
+		for s := 4; s*s <= *maxN; s *= 2 {
+			sidesList = append(sidesList, s)
+		}
+		p, err := landscape.GridsLocal(sidesList, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(p.Render())
+		fmt.Println()
+		return nil
+	})
+	run("general", func() error {
+		p, err := landscape.GeneralLocal(sizes)
+		if err != nil {
+			return err
+		}
+		fmt.Print(p.Render())
+		fmt.Println()
+		return nil
+	})
+	run("volume", func() error {
+		p, err := landscape.VolumeModel(sizes, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(p.Render())
+		fmt.Println()
+		return nil
+	})
+	run("table", func() error {
+		rows, err := landscape.ClassificationTable(*levels)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Corollary 1.2 / Section 1.4: classification table ==")
+		fmt.Print(landscape.RenderTable(rows))
+		return nil
+	})
+	run("census", func() error {
+		s, err := landscape.CensusSummary()
+		if err != nil {
+			return err
+		}
+		fmt.Print(s)
+		fmt.Println()
+		return nil
+	})
+	run("classc", func() error {
+		p, err := landscape.ClassC(sizes, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(p.Render())
+		fmt.Println()
+		return nil
+	})
+}
+
+func geometric(lo, hi int) []int {
+	var out []int
+	for n := lo; n <= hi; n *= 4 {
+		out = append(out, n)
+	}
+	return out
+}

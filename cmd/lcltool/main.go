@@ -1,0 +1,224 @@
+// Command lcltool inspects and transforms LCL problems: print a problem,
+// apply round elimination steps (Definitions 3.1/3.2), decide 0-round
+// solvability (Theorem 3.10's A_det), classify on cycles (Section 1.4),
+// and run the tree gap pipeline (Theorem 1.1).
+//
+// Usage:
+//
+//	lcltool -problem 3-coloring -show
+//	lcltool -problem sinkless-orientation -gap -levels 6
+//	lcltool -file prob.json -re RR -mode pruned
+//	lcltool -problem mis -classify
+//	lcltool -problem trivial -zeroround
+//	lcltool -problem forbid-list-3-coloring -inputs   # all-inputs solvability
+//	lcltool -problem 3-coloring -delta 2 -synth 2     # O(1) synthesis/refutation
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/classify"
+	"repro/internal/enumerate"
+	"repro/internal/lcl"
+	"repro/internal/problems"
+	"repro/internal/re"
+)
+
+func main() {
+	problem := flag.String("problem", "", "named problem from the battery (see -list)")
+	file := flag.String("file", "", "JSON problem definition to load")
+	list := flag.Bool("list", false, "list named problems")
+	show := flag.Bool("show", false, "print the problem definition")
+	reOps := flag.String("re", "", "round elimination ops to apply, e.g. R, RR, RRRR (R̄ follows each R in pairs when using 'f' = one R̄∘R step)")
+	mode := flag.String("mode", "pruned", "round elimination mode: pruned|faithful")
+	zeroround := flag.Bool("zeroround", false, "decide deterministic 0-round solvability")
+	doClassify := flag.Bool("classify", false, "decide the complexity class on cycles")
+	inputs := flag.Bool("inputs", false, "decide all-inputs solvability on paths and cycles (Section 1.4, PSPACE-hard)")
+	synth := flag.Int("synth", -1, "synthesize an order-invariant cycle algorithm up to this radius (input-free, Δ=2)")
+	gap := flag.Bool("gap", false, "run the Theorem 1.1 gap pipeline on trees")
+	levels := flag.Int("levels", 5, "max round elimination levels for -gap")
+	deltaFlag := flag.Int("delta", 3, "max degree for named problems")
+	out := flag.String("o", "", "write the (transformed) problem as JSON to this file")
+	flag.Parse()
+
+	if *list {
+		for _, p := range problems.All(*deltaFlag) {
+			fmt.Println(p.Name)
+		}
+		return
+	}
+	p, err := loadProblem(*problem, *file, *deltaFlag)
+	if err != nil {
+		fatal(err)
+	}
+	if *show {
+		fmt.Print(p.String())
+	}
+	m := re.Pruned
+	if *mode == "faithful" {
+		m = re.Faithful
+	}
+	for i, op := range strings.ToUpper(*reOps) {
+		var step *re.Step
+		var err error
+		switch op {
+		case 'R':
+			o := re.OpR
+			if i%2 == 1 {
+				o = re.OpRBar
+			}
+			step, err = re.Apply(p, o, m, re.Limits{})
+		case 'F':
+			r, err2 := re.Apply(p, re.OpR, m, re.Limits{})
+			if err2 != nil {
+				fatal(err2)
+			}
+			step, err = re.Apply(r.Prob, re.OpRBar, m, re.Limits{})
+		default:
+			fatal(fmt.Errorf("unknown op %q", op))
+		}
+		if err != nil {
+			fatal(err)
+		}
+		p = step.Prob
+		fmt.Printf("# after %s: %d output labels\n", step.Op, p.NumOut())
+	}
+	if *reOps != "" {
+		fmt.Print(p.String())
+	}
+	if *zeroround {
+		w, ok := re.ZeroRoundSolvable(p, degreesOf(p))
+		if ok {
+			fmt.Printf("0-round solvable; witness clique: %v\n", labelNames(p, w.Clique))
+		} else {
+			fmt.Println("not 0-round solvable")
+		}
+	}
+	if *doClassify {
+		res, err := classify.Cycles(p)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("cycles: %s", res.Class)
+		if res.Period > 1 {
+			fmt.Printf(" (solvable lengths ≡ 0 mod %d)", res.Period)
+		}
+		if res.Witness != "" {
+			fmt.Printf(" — witness: %s", res.Witness)
+		}
+		fmt.Println()
+	}
+	if *inputs {
+		pres, err := classify.PathsWithInputs(p)
+		if err != nil {
+			fatal(err)
+		}
+		if pres.SolvableAllInputs {
+			fmt.Println("paths:  solvable for every input labeling")
+		} else {
+			fmt.Printf("paths:  bad input found (path on %d nodes): %v\n", len(pres.BadInput)/2+1, inputNames(p, pres.BadInput))
+		}
+		cres, err := classify.CyclesWithInputs(p, 0)
+		if err != nil {
+			fatal(err)
+		}
+		if cres.SolvableAllInputs {
+			fmt.Printf("cycles: solvable for every input labeling (%d monoid elements explored)\n", cres.Explored)
+		} else {
+			fmt.Printf("cycles: bad input found (C_%d): %v\n", len(cres.BadInput)/2, inputNames(p, cres.BadInput))
+		}
+	}
+	if *synth >= 0 {
+		alg, radius, found, err := enumerate.Decide(p, *synth)
+		if err != nil {
+			fatal(err)
+		}
+		if found {
+			fmt.Printf("cycles: order-invariant O(1) algorithm at radius %d (%d view patterns)\n", radius, len(alg.Out))
+		} else {
+			fmt.Printf("cycles: no order-invariant algorithm up to radius %d (exhaustive refutation)\n", *synth)
+		}
+	}
+	if *gap {
+		res, err := re.RunGapPipeline(p, degreesOf(p), m, re.Limits{}, *levels)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trees: %s", res.Verdict)
+		switch res.Verdict {
+		case re.VerdictConstant:
+			fmt.Printf(" (0-round at level %d)", res.Level)
+		case re.VerdictCycle:
+			fmt.Printf(" (level %d ≅ level %d)", res.Level, res.CycleWith)
+		default:
+			if res.Reason != "" {
+				fmt.Printf(" (%s)", res.Reason)
+			}
+		}
+		fmt.Println()
+	}
+	if *out != "" {
+		data, err := json.Marshal(p)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func loadProblem(name, file string, delta int) (*lcl.Problem, error) {
+	if file != "" {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		var p lcl.Problem
+		if err := json.Unmarshal(data, &p); err != nil {
+			return nil, err
+		}
+		return &p, nil
+	}
+	for _, p := range problems.All(delta) {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown problem %q (try -list)", name)
+}
+
+func degreesOf(p *lcl.Problem) []int {
+	var ds []int
+	for d := range p.Node {
+		ds = append(ds, d)
+	}
+	sort.Ints(ds)
+	return ds
+}
+
+func labelNames(p *lcl.Problem, ids []int) []string {
+	names := make([]string, len(ids))
+	for i, id := range ids {
+		names[i] = p.OutNames[id]
+	}
+	return names
+}
+
+func inputNames(p *lcl.Problem, ids []int) []string {
+	names := make([]string, len(ids))
+	for i, id := range ids {
+		names[i] = p.InNames[id]
+	}
+	return names
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lcltool:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,127 @@
+// Command simulate runs one algorithm on one generated graph, verifies the
+// output against its LCL, and reports the measured cost.
+//
+// Usage:
+//
+//	simulate -graph cycle -n 1024 -alg coloring
+//	simulate -graph tree  -n 500  -alg mis -delta 3
+//	simulate -graph path  -n 2048 -alg volume-coloring
+//	simulate -graph torus -n 256  -alg grid-coloring
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/graph"
+	"repro/internal/grid"
+	"repro/internal/lcl"
+	"repro/internal/local"
+	"repro/internal/problems"
+	"repro/internal/volume"
+)
+
+func main() {
+	graphKind := flag.String("graph", "cycle", "cycle|path|tree|torus")
+	n := flag.Int("n", 1024, "number of nodes (torus: side²)")
+	alg := flag.String("alg", "coloring", "coloring|mis|matching|leader|volume-coloring|volume-parity|grid-coloring|grid-global")
+	delta := flag.Int("delta", 3, "max degree for random trees")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+	rng := rand.New(rand.NewSource(*seed))
+
+	var g *graph.Graph
+	var sides []int
+	switch *graphKind {
+	case "cycle":
+		g = graph.Cycle(*n)
+	case "path":
+		g = graph.Path(*n)
+	case "tree":
+		g = graph.RandomTree(*n, *delta, rng)
+	case "torus":
+		side := 2
+		for side*side < *n {
+			side++
+		}
+		sides = []int{side, side}
+		g = graph.Torus(sides...)
+	default:
+		fatal(fmt.Errorf("unknown graph %q", *graphKind))
+	}
+	fmt.Printf("graph: %s, n=%d, Δ=%d\n", *graphKind, g.N(), g.MaxDeg())
+
+	switch *alg {
+	case "coloring":
+		res, err := local.Run(g, local.NewColoring(g.MaxDeg()), local.RunOpts{IDs: local.RandomIDs(g.N(), rng)})
+		check(err)
+		verify(problems.Coloring(g.MaxDeg()+1, g.MaxDeg()).Verify(g, nil, res.Output))
+		fmt.Printf("(Δ+1)-coloring: %d rounds\n", res.Rounds)
+	case "mis":
+		res, err := local.Run(g, local.NewMIS(g.MaxDeg()), local.RunOpts{IDs: local.RandomIDs(g.N(), rng)})
+		check(err)
+		verify(problems.MIS(g.MaxDeg()).Verify(g, nil, res.Output))
+		fmt.Printf("MIS: %d rounds\n", res.Rounds)
+	case "matching":
+		res, err := local.Run(g, local.NewMatching(g.MaxDeg()), local.RunOpts{IDs: local.RandomIDs(g.N(), rng)})
+		check(err)
+		verify(problems.MaximalMatching(g.MaxDeg()).Verify(g, nil, res.Output))
+		fmt.Printf("maximal matching: %d rounds\n", res.Rounds)
+	case "leader":
+		res, err := local.Run(g, local.LeaderColoringMachine{}, local.RunOpts{IDs: local.RandomIDs(g.N(), rng)})
+		check(err)
+		verify(problems.Coloring(2, 2).Verify(g, nil, res.Output))
+		fmt.Printf("leader 2-coloring: %d rounds\n", res.Rounds)
+	case "volume-coloring":
+		res, err := volume.Run(g, volume.PathColoring{}, volume.RunOpts{IDs: volume.RandomIDs(g.N(), rng)})
+		check(err)
+		verify(problems.Coloring(volume.PathColoringPalette, 2).Verify(g, nil, res.Output))
+		fmt.Printf("volume coloring: max %d probes, %.1f avg\n", res.MaxProbes, float64(res.SumProbes)/float64(g.N()))
+	case "volume-parity":
+		res, err := volume.Run(g, volume.GlobalParity{}, volume.RunOpts{IDs: volume.RandomIDs(g.N(), rng)})
+		check(err)
+		verify(problems.Coloring(2, 2).Verify(g, nil, res.Output))
+		fmt.Printf("volume parity: max %d probes\n", res.MaxProbes)
+	case "grid-coloring":
+		requireTorus(sides)
+		res, err := grid.Run(g, sides, grid.RandomDimIDs(sides, rng), grid.GridColoring{D: 2}, 0)
+		check(err)
+		verify(grid.GridColoringProblem(2).Verify(g, nil, res.Output))
+		fmt.Printf("grid coloring: %d rounds\n", res.Rounds)
+	case "grid-global":
+		requireTorus(sides)
+		res, err := grid.Run(g, sides, grid.RandomDimIDs(sides, rng), grid.Dim0TwoColoring{}, 0)
+		check(err)
+		in := grid.DirectionInputs(g.Deg, g.DimLabel, g.HalfEdge, g.N(), g.NumHalfEdges())
+		verify(grid.Dim0Problem(2).Verify(g, in, res.Output))
+		fmt.Printf("grid dim0 2-coloring: %d rounds\n", res.Rounds)
+	default:
+		fatal(fmt.Errorf("unknown algorithm %q", *alg))
+	}
+}
+
+func requireTorus(sides []int) {
+	if sides == nil {
+		fatal(fmt.Errorf("grid algorithms need -graph torus"))
+	}
+}
+
+func verify(violations []lcl.Violation) {
+	if len(violations) > 0 {
+		fatal(fmt.Errorf("output invalid: %v", violations[0]))
+	}
+	fmt.Println("output verified against the LCL")
+}
+
+func check(err error) {
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "simulate:", err)
+	os.Exit(1)
+}

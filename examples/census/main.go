@@ -1,0 +1,82 @@
+// Census: exhaustively enumerate every cycle LCL over 2- and 3-letter
+// output alphabets, classify each into the four-class landscape, and
+// cross-validate the O(1) class constructively by synthesizing actual
+// order-invariant constant-round algorithms — the executable form of
+// "there is nothing between ω(1) and Θ(log* n)".
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/classify"
+	"repro/internal/enumerate"
+	"repro/internal/graph"
+)
+
+func main() {
+	// 1. The k=2 census: all 64 problems, classified and verified against
+	//    exact cycle solvability.
+	c2, err := enumerate.Run(2, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(c2)
+	if err := c2.Verify(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("exact-solvability cross-check: ok")
+	fmt.Println()
+
+	// 2. The k=3 census up to label renaming. Θ(log* n) first appears
+	//    here: 44 of 4096 problems, 3-coloring among them.
+	c3, err := enumerate.Run(3, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(c3)
+	for _, ex := range c3.Examples(classify.LogStar, 2) {
+		fmt.Printf("  Θ(log* n) example: %s\n", ex.Name)
+	}
+	fmt.Println()
+
+	// 3. Constructive cross-validation on the k=2 space: for every
+	//    problem classified O(1), synthesize a constant-radius
+	//    order-invariant algorithm and run it on a 1000-cycle with random
+	//    IDs and shuffled ports; for every other class, the exhaustive
+	//    search proves no radius-<=2 algorithm exists.
+	rng := rand.New(rand.NewSource(1))
+	synthesized, refuted := 0, 0
+	for _, en := range enumerate.CycleLCLs(2, true) {
+		res, err := classify.Cycles(en.Problem)
+		if err != nil {
+			log.Fatal(err)
+		}
+		alg, radius, found, err := enumerate.Decide(en.Problem, 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if found != (res.Class == classify.Constant) {
+			log.Fatalf("%s: classifier says %v but synthesis found=%v", en.Problem.Name, res.Class, found)
+		}
+		if !found {
+			refuted++
+			continue
+		}
+		synthesized++
+		n := 1000
+		g := graph.ShufflePorts(graph.Cycle(n), rng)
+		ids := rng.Perm(8 * n)[:n]
+		fout, err := alg.Run(g, ids)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fin := make([]int, g.NumHalfEdges())
+		if viol := en.Problem.Verify(g, fin, fout); len(viol) > 0 {
+			log.Fatalf("%s: synthesized radius-%d algorithm failed: %v", en.Problem.Name, radius, viol[0])
+		}
+	}
+	fmt.Printf("k=2 cross-validation: %d problems synthesized and verified on C_1000, %d refuted exhaustively\n", synthesized, refuted)
+	fmt.Println("classifier ⟺ synthesis agree on the whole k=2 space — the gap is executable")
+}

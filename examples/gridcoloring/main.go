@@ -1,0 +1,63 @@
+// Oriented grid demo (Section 5): the PROD-LOCAL model, per-dimension
+// Cole–Vishkin coloring in Θ(log* n) rounds, the O(1) direction labeling,
+// the Θ(√n) line-global problem, and the Proposition 5.3 LOCAL simulation.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/grid"
+	"repro/internal/local"
+	"repro/internal/ramsey"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(11))
+	fmt.Println("rounds on s×s oriented tori:")
+	fmt.Printf("%-8s %-12s %-12s %-12s\n", "side", "direction", "coloring", "dim0-global")
+	for _, side := range []int{8, 16, 32} {
+		sides := []int{side, side}
+		g := graph.Torus(sides...)
+		ids := grid.RandomDimIDs(sides, rng)
+		dir, err := grid.Run(g, sides, ids, grid.DirectionMachine{}, 0)
+		check(err)
+		col, err := grid.Run(g, sides, ids, grid.GridColoring{D: 2}, 0)
+		check(err)
+		if !grid.GridColoringProblem(2).Solves(g, nil, col.Output) {
+			log.Fatal("grid coloring invalid")
+		}
+		glob, err := grid.Run(g, sides, ids, grid.Dim0TwoColoring{}, 0)
+		check(err)
+		fmt.Printf("%-8d %-12d %-12d %-12d   (log* side = %d)\n",
+			side, dir.Rounds, col.Rounds, glob.Rounds, ramsey.LogStarInt(side))
+	}
+
+	// Proposition 5.3: any LOCAL algorithm runs in PROD-LOCAL by combining
+	// the d per-dimension identifiers into one unique identifier.
+	sides := []int{10, 10}
+	g := graph.Torus(sides...)
+	combined := grid.CombinedIDs(g, sides, grid.RandomDimIDs(sides, rng))
+	res, err := local.Run(g, local.NewColoring(4), local.RunOpts{IDs: combined})
+	check(err)
+	fmt.Printf("\nProposition 5.3: LOCAL (Δ+1)-coloring on the torus via combined IDs: %d rounds\n", res.Rounds)
+
+	// Proposition 5.5 flavor: with identifiers derived from the orientation
+	// (coordinates), the grid coloring is a deterministic function of the
+	// grid structure alone — the "free local order" that lets
+	// order-invariant PROD-LOCAL algorithms drop to O(1).
+	res2, err := grid.Run(g, sides, grid.SequentialDimIDs(sides), grid.GridColoring{D: 2}, 0)
+	check(err)
+	if !grid.GridColoringProblem(2).Solves(g, nil, res2.Output) {
+		log.Fatal("orientation-order coloring invalid")
+	}
+	fmt.Println("Proposition 5.5: coloring from orientation-derived order verified")
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,131 @@
+package repro
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The facade must be sufficient for the headline workflow end to end.
+func TestFacadeWorkflow(t *testing.T) {
+	// Build a custom problem through the façade builder.
+	p, err := NewProblem("my-orientation", nil, []string{"O", "I"}).
+		Node("O").Node("I").Node("O", "I").Node("O", "O").Node("I", "I").
+		Edge("O", "I").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Classify on cycles: free orientation is O(1) (orient toward larger ID).
+	cls, err := ClassifyOnCycles(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cls.Class != Constant {
+		t.Errorf("free orientation on cycles classified %v, want O(1)", cls.Class)
+	}
+	// Classify on trees via the gap pipeline and solve.
+	verdict, err := ClassifyOnTrees(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !verdict.Constant {
+		t.Fatalf("free orientation on trees: %v", verdict)
+	}
+	rng := rand.New(rand.NewSource(9))
+	g := RandomTree(40, 2, rng)
+	fout, err := verdict.Solve(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Solves(g, nil, fout) {
+		t.Error("facade Solve produced invalid labeling")
+	}
+}
+
+func TestFacadeRoundElimination(t *testing.T) {
+	so := SinklessOrientation(3)
+	step, err := RoundElimination(so, OpR, Pruned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if step.Prob.NumOut() != 2 {
+		t.Errorf("R(SO) labels = %d, want 2", step.Prob.NumOut())
+	}
+}
+
+func TestFacadeProblemConstructors(t *testing.T) {
+	for _, p := range []*Problem{
+		Coloring(3, 2), MIS(3), MaximalMatching(3),
+		SinklessOrientation(3), ConsistentOrientation(), TrivialProblem(3),
+	} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestFacadeGraphs(t *testing.T) {
+	if !Path(5).IsTree() || Cycle(5).IsForest() {
+		t.Error("facade graph constructors broken")
+	}
+	if Torus(3, 3).N() != 9 {
+		t.Error("facade torus broken")
+	}
+	g := NewGraph(2)
+	g.AddEdge(0, 1)
+	if g.NumEdges() != 1 {
+		t.Error("facade NewGraph broken")
+	}
+}
+
+func TestFacadeCensusAndSynthesis(t *testing.T) {
+	c, err := RunCensus(2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.GapHolds() {
+		t.Fatal("census gap violated")
+	}
+	found := false
+	for _, e := range c.Entries {
+		if e.Class == Constant {
+			if _, _, ok, err := SynthesizeCycleAlgorithm(e.Problem, 2); err != nil || !ok {
+				t.Fatalf("%s: O(1) problem did not synthesize: %v", e.Problem.Name, err)
+			}
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no constant problem in census")
+	}
+}
+
+func TestFacadeLLL(t *testing.T) {
+	p := SinklessOrientation(5)
+	g := RandomTree(100, 5, rand.New(rand.NewSource(1)))
+	fin := make([]int, g.NumHalfEdges())
+	sys, err := ToLLL(p, g, fin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SolveByResampling(sys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assignment == nil {
+		t.Fatal("no assignment")
+	}
+}
+
+func TestFacadePathsWithInputs(t *testing.T) {
+	p := Coloring(3, 2)
+	res, err := PathsWithInputs(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Input-free 3-coloring is solvable on every path.
+	if !res.SolvableAllInputs {
+		t.Fatalf("3-coloring on paths should be solvable; witness %v", res.BadInput)
+	}
+}

@@ -1,0 +1,72 @@
+package classify
+
+import "repro/internal/lcl"
+
+// NumStates returns the number of states of the configuration digraph of
+// p: the ordered degree-2 node configurations. Quantitative consequences
+// of the classification (e.g. from which length on solvability becomes
+// periodic) are functions of this count.
+func NumStates(p *lcl.Problem) int {
+	states, _ := configDigraph(p)
+	return len(states)
+}
+
+// CycleSolvableUpTo computes, in one sweep, whether a valid labeling
+// exists on the n-cycle for every n in [0, maxN]; entry n of the result
+// holds the answer (entries 0..2 are always false: cycles need length at
+// least 3). It is equivalent to calling CycleSolvable for each n but costs
+// a single matrix-power iteration, which the exhaustive census depends on.
+func CycleSolvableUpTo(p *lcl.Problem, maxN int) []bool {
+	out := make([]bool, maxN+1)
+	if p.NumIn() != 1 || maxN < 3 {
+		return out
+	}
+	states, arcs := configDigraph(p)
+	k := len(states)
+	if k == 0 {
+		return out
+	}
+	// cur[i][j] = "j reachable from i in exactly `step` arcs".
+	cur := make([][]bool, k)
+	for i := range cur {
+		cur[i] = make([]bool, k)
+		cur[i][i] = true
+	}
+	for step := 1; step <= maxN; step++ {
+		next := make([][]bool, k)
+		for i := range next {
+			next[i] = make([]bool, k)
+		}
+		for i := 0; i < k; i++ {
+			for j := 0; j < k; j++ {
+				if !cur[i][j] {
+					continue
+				}
+				for _, l := range arcs[j] {
+					next[i][l] = true
+				}
+			}
+		}
+		cur = next
+		if step >= 3 {
+			for i := 0; i < k && !out[step]; i++ {
+				out[step] = cur[i][i]
+			}
+		}
+	}
+	return out
+}
+
+// SolvabilityBound returns a length N0 from which on cycle solvability is
+// guaranteed for every multiple of the decided period: by Wielandt's
+// bound, a strongly connected component with s states and period p has
+// closed walks of every length n divisible by p once n >= p*((s-1)^2+1).
+// Below the bound solvability of individual lengths is transient and must
+// be checked directly.
+func SolvabilityBound(p *lcl.Problem, period int) int {
+	s := NumStates(p)
+	if s == 0 || period <= 0 {
+		return 3
+	}
+	return period * ((s-1)*(s-1) + 1)
+}

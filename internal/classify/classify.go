@@ -1,0 +1,466 @@
+// Package classify decides the LOCAL complexity class of LCL problems
+// without inputs on cycles (and solvability on paths), through the
+// automata-theoretic lens the paper's Section 1.4 surveys (Naor–
+// Stockmeyer; Chang–Pettie; Chang–Studený–Suomela): on cycles the only
+// complexities are O(1), Θ(log* n), Θ(n), or unsolvability, and the class
+// is decidable from the configuration digraph of the problem.
+//
+// The configuration digraph has one state per ordered degree-2 node
+// configuration (x, y) (the multiset {x, y} must be in N²) and an arc
+// (x, y) → (x', y') whenever {y, x'} is an allowed edge configuration;
+// labelings of an n-cycle scanned in one direction are exactly the closed
+// walks of length n.
+//
+// Decision criteria (each annotated with its justification):
+//
+//   - SOLVABILITY: closed walks live inside strongly connected components;
+//     all lengths in an SCC are divisible by its period (gcd of cycle
+//     lengths), and all large multiples occur. Solvable for all large n
+//     iff some SCC has period 1; otherwise only lengths divisible by some
+//     SCC's period are solvable (e.g. 2-coloring: period 2 = even cycles).
+//
+//   - O(1): there is a self-loop state s = (x, y) (i.e. {y,x} ∈ E, so the
+//     pattern repeats along a directed run) with walks s →* mirror(s) and
+//     mirror(s) →* s, where mirror(s) = (y, x). Sufficiency: orient every
+//     edge toward its larger-ID endpoint (one round); ascending runs carry
+//     the periodic pattern s, and the fixed-length patch walks absorb the
+//     direction reversals at local ID maxima/minima, all within constant
+//     radius. Necessity: an O(1) algorithm is order-invariant
+//     (Naor–Stockmeyer); on a long ID-ascending run all windows are
+//     order-isomorphic, forcing one repeated state s with a self-loop, and
+//     sawtooth ID sequences force the two mirror patches. (This matches
+//     the automata-theoretic characterization of Chang–Studený–Suomela.)
+//
+//   - Θ(log* n): some state s reaches a *flexible* state t (period-1 SCC)
+//     that reaches mirror(s) = the reverse of s. Sufficiency: compute a
+//     ruling set in O(log* n), anchor each ruling node with configuration
+//     s in its own scan direction, and fill the gap between two anchors —
+//     whose directions may disagree — with an s →* t →* mirror(s) walk,
+//     using t's flexibility to hit the exact gap length. Necessity: a
+//     o(n)-round algorithm yields such walks by a pumping argument (two
+//     far-apart nodes with identical views anchor the walk; the
+//     direction mismatch case forces the mirror reachability).
+//
+//   - Θ(n): solvable but neither of the above (global coordination).
+package classify
+
+import (
+	"repro/internal/lcl"
+)
+
+// Class is the decided complexity class on cycles.
+type Class int
+
+// The four outcomes of Corollary-style classification on cycles.
+const (
+	Unsolvable Class = iota // no valid labeling for any sufficiently large cycle
+	Constant                // O(1)
+	LogStar                 // Θ(log* n)
+	Global                  // Θ(n)
+)
+
+func (c Class) String() string {
+	switch c {
+	case Unsolvable:
+		return "unsolvable"
+	case Constant:
+		return "O(1)"
+	case LogStar:
+		return "Θ(log* n)"
+	default:
+		return "Θ(n)"
+	}
+}
+
+// Result carries the decision and diagnostics.
+type Result struct {
+	Class Class
+	// Period is the minimum SCC period: cycles of length not divisible by
+	// it may be unsolvable even when Class != Unsolvable (Period == 1
+	// means all sufficiently long cycles are solvable).
+	Period int
+	// Witness holds the homogeneous pair for Constant, or the anchor and
+	// flexible states for LogStar.
+	Witness string
+}
+
+// state is an ordered degree-2 configuration.
+type state struct{ x, y int }
+
+// Cycles classifies an input-free LCL on cycles. Problems with inputs are
+// rejected (the decidability landscape with inputs is PSPACE-hard already
+// on paths, per Section 1.4).
+func Cycles(p *lcl.Problem) (*Result, error) {
+	if p.NumIn() != 1 {
+		return nil, errInputs
+	}
+	states, arcs := configDigraph(p)
+	if len(states) == 0 {
+		return &Result{Class: Unsolvable}, nil
+	}
+
+	comp, periods := sccPeriods(len(states), arcs)
+	idx0 := map[state]int{}
+	for i, s := range states {
+		idx0[s] = i
+	}
+	reach0 := closure(len(states), arcs)
+
+	// O(1): a self-loop state s with s →* mirror(s) →* s.
+	for si, s := range states {
+		if !p.EdgeAllowed(s.y, s.x) {
+			continue // no self-loop
+		}
+		mi, ok := idx0[state{s.y, s.x}]
+		if !ok {
+			continue
+		}
+		if si == mi || (reachOK(reach0, si, mi) && reachOK(reach0, mi, si)) {
+			return &Result{Class: Constant, Period: 1,
+				Witness: "self-loop (" + p.OutNames[s.x] + "," + p.OutNames[s.y] + ") with mirror patches"}, nil
+		}
+	}
+	minPeriod := 0
+	for _, g := range periods {
+		if g > 0 && (minPeriod == 0 || g < minPeriod) {
+			minPeriod = g
+		}
+	}
+	if minPeriod == 0 {
+		// No SCC contains a cycle: no closed walks at all.
+		return &Result{Class: Unsolvable}, nil
+	}
+
+	// Θ(log* n): a flexible state t (period-1 SCC) with walks
+	// t →* mirror(t) AND mirror(t) →* t. Sufficiency: anchor a ruling set
+	// (O(log* n)); each anchor tiles outward with t in its own scan
+	// direction; where two anchors' directions collide head-on the
+	// t →* mirror(t) patch absorbs the flip, and tail-to-tail collisions
+	// (which occur equally often around the cycle) use the reverse patch;
+	// t's flexibility absorbs arbitrary gap lengths. Necessity: pumping a
+	// o(n)-round algorithm on long runs with both sawtooth orientations
+	// forces both patches. Requiring only one patch direction is wrong:
+	// at-most-one-incoming has t →* mirror(t) through a zero-in-degree
+	// "source" state but no reverse patch (a two-in-degree "sink" label
+	// does not exist), and it is genuinely Θ(n).
+	for ti, t2 := range states {
+		if periods[comp[ti]] != 1 {
+			continue
+		}
+		mi, ok := idx0[state{t2.y, t2.x}]
+		if !ok {
+			continue
+		}
+		if ti == mi || (reachOK(reach0, ti, mi) && reachOK(reach0, mi, ti)) {
+			return &Result{Class: LogStar, Period: minPeriod,
+				Witness: "flexible (" + p.OutNames[t2.x] + "," + p.OutNames[t2.y] + ") with two-way mirror patches"}, nil
+		}
+	}
+	return &Result{Class: Global, Period: minPeriod}, nil
+}
+
+var errInputs = errorString("classify: only LCLs without inputs are decidable here (with inputs the question is PSPACE-hard on paths)")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+// configDigraph builds the ordered-configuration automaton.
+func configDigraph(p *lcl.Problem) ([]state, [][]int) {
+	var states []state
+	idx := map[state]int{}
+	for x := 0; x < p.NumOut(); x++ {
+		for y := 0; y < p.NumOut(); y++ {
+			if p.NodeAllowed(lcl.NewMultiset(x, y)) {
+				idx[state{x, y}] = len(states)
+				states = append(states, state{x, y})
+			}
+		}
+	}
+	arcs := make([][]int, len(states))
+	for i, s := range states {
+		for j, t := range states {
+			if p.EdgeAllowed(s.y, t.x) {
+				arcs[i] = append(arcs[i], j)
+			}
+		}
+	}
+	return states, arcs
+}
+
+// sccPeriods returns each vertex's component id and each component's
+// period: the gcd of all cycle lengths inside the component (0 for
+// acyclic singleton components). The period is computed by the standard
+// BFS-level trick: for a root r with levels ℓ, the gcd of
+// ℓ(u) + 1 − ℓ(v) over all intra-SCC arcs u→v equals the component's
+// period.
+func sccPeriods(n int, arcs [][]int) (comp []int, periods []int) {
+	comp = tarjanSCC(n, arcs)
+	numComp := 0
+	for _, c := range comp {
+		if c+1 > numComp {
+			numComp = c + 1
+		}
+	}
+	periods = make([]int, numComp)
+	level := make([]int, n)
+	for i := range level {
+		level[i] = -1
+	}
+	for c := 0; c < numComp; c++ {
+		root := -1
+		for v := 0; v < n; v++ {
+			if comp[v] == c {
+				root = v
+				break
+			}
+		}
+		// BFS within the component.
+		queue := []int{root}
+		level[root] = 0
+		order := []int{root}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range arcs[u] {
+				if comp[v] == c && level[v] == -1 {
+					level[v] = level[u] + 1
+					queue = append(queue, v)
+					order = append(order, v)
+				}
+			}
+		}
+		g := 0
+		for _, u := range order {
+			for _, v := range arcs[u] {
+				if comp[v] == c {
+					g = gcd(g, abs(level[u]+1-level[v]))
+				}
+			}
+		}
+		periods[c] = g
+	}
+	return comp, periods
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// tarjanSCC returns component ids (iterative Tarjan).
+func tarjanSCC(n int, arcs [][]int) []int {
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	counter, numComp := 0, 0
+
+	type frame struct{ v, ai int }
+	for s := 0; s < n; s++ {
+		if index[s] != -1 {
+			continue
+		}
+		call := []frame{{s, 0}}
+		index[s], low[s] = counter, counter
+		counter++
+		stack = append(stack, s)
+		onStack[s] = true
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			if f.ai < len(arcs[f.v]) {
+				w := arcs[f.v][f.ai]
+				f.ai++
+				if index[w] == -1 {
+					index[w], low[w] = counter, counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					call = append(call, frame{w, 0})
+				} else if onStack[w] {
+					if index[w] < low[f.v] {
+						low[f.v] = index[w]
+					}
+				}
+				continue
+			}
+			// Post-visit.
+			v := f.v
+			call = call[:len(call)-1]
+			if len(call) > 0 {
+				parent := call[len(call)-1].v
+				if low[v] < low[parent] {
+					low[parent] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = numComp
+					if w == v {
+						break
+					}
+				}
+				numComp++
+			}
+		}
+	}
+	return comp
+}
+
+// closure computes all-pairs reachability (including via nonempty walks)
+// as bitsets over words.
+func closure(n int, arcs [][]int) [][]uint64 {
+	words := (n + 63) / 64
+	reach := make([][]uint64, n)
+	for i := range reach {
+		reach[i] = make([]uint64, words)
+		for _, j := range arcs[i] {
+			reach[i][j/64] |= 1 << uint(j%64)
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if reachOK(reach, i, j) {
+					for w := 0; w < words; w++ {
+						old := reach[i][w]
+						reach[i][w] |= reach[j][w]
+						if reach[i][w] != old {
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return reach
+}
+
+func reachOK(reach [][]uint64, i, j int) bool {
+	return reach[i][j/64]&(1<<uint(j%64)) != 0
+}
+
+// CycleSolvable reports whether a valid labeling exists on the n-cycle, by
+// dynamic programming over walks (exact, used to cross-check Class and
+// Period on small instances).
+func CycleSolvable(p *lcl.Problem, n int) bool {
+	if p.NumIn() != 1 || n < 3 {
+		return false
+	}
+	states, arcs := configDigraph(p)
+	k := len(states)
+	if k == 0 {
+		return false
+	}
+	// reachable-in-exactly-n steps from i back to i, for some i.
+	cur := make([][]bool, k)
+	for i := range cur {
+		cur[i] = make([]bool, k)
+		cur[i][i] = true
+	}
+	for step := 0; step < n; step++ {
+		next := make([][]bool, k)
+		for i := range next {
+			next[i] = make([]bool, k)
+		}
+		for i := 0; i < k; i++ {
+			for j := 0; j < k; j++ {
+				if !cur[i][j] {
+					continue
+				}
+				for _, l := range arcs[j] {
+					next[i][l] = true
+				}
+			}
+		}
+		cur = next
+	}
+	for i := 0; i < k; i++ {
+		if cur[i][i] {
+			return true
+		}
+	}
+	return false
+}
+
+// PathSolvable reports whether a valid labeling exists on the n-path
+// (n >= 2), using degree-1 configurations as endpoints.
+func PathSolvable(p *lcl.Problem, n int) bool {
+	if p.NumIn() != 1 || n < 2 {
+		return false
+	}
+	// End states: single labels with {x} ∈ N¹.
+	var ends []int
+	for x := 0; x < p.NumOut(); x++ {
+		if p.NodeAllowed(lcl.NewMultiset(x)) {
+			ends = append(ends, x)
+		}
+	}
+	if len(ends) == 0 {
+		return false
+	}
+	if n == 2 {
+		for _, a := range ends {
+			for _, b := range ends {
+				if p.EdgeAllowed(a, b) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	states, arcs := configDigraph(p)
+	k := len(states)
+	// frontier: reachable interior states after the left endpoint.
+	frontier := make([]bool, k)
+	for _, a := range ends {
+		for i, s := range states {
+			if p.EdgeAllowed(a, s.x) {
+				frontier[i] = true
+			}
+		}
+	}
+	for step := 0; step < n-3; step++ {
+		next := make([]bool, k)
+		for i, ok := range frontier {
+			if !ok {
+				continue
+			}
+			for _, j := range arcs[i] {
+				next[j] = true
+			}
+		}
+		frontier = next
+	}
+	for i, ok := range frontier {
+		if !ok {
+			continue
+		}
+		for _, b := range ends {
+			if p.EdgeAllowed(states[i].y, b) {
+				return true
+			}
+		}
+	}
+	return false
+}

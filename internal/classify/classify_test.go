@@ -1,0 +1,168 @@
+package classify
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+
+	"repro/internal/lcl"
+	"repro/internal/problems"
+)
+
+func TestClassifyBattery(t *testing.T) {
+	cases := []struct {
+		prob *lcl.Problem
+		want Class
+	}{
+		{problems.Trivial(2), Constant},
+		{problems.Coloring(3, 2), LogStar},
+		{problems.Coloring(4, 2), LogStar},
+		{problems.MIS(2), LogStar},
+		{problems.MaximalMatching(2), LogStar},
+		{problems.Coloring(2, 2), Global}, // even cycles only, Θ(n) there
+		{problems.ConsistentOrientation(), Global},
+		// At Δ=2 sinkless orientation degenerates to "orient every edge,
+		// nodes unconstrained", which is O(1) by orienting toward the
+		// larger ID — the self-loop + mirror-patch criterion must see it.
+		{problems.SinklessOrientation(2), Constant},
+	}
+	for _, tc := range cases {
+		res, err := Cycles(tc.prob)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.prob.Name, err)
+		}
+		if res.Class != tc.want {
+			t.Errorf("%s: classified %v, want %v (witness %q)", tc.prob.Name, res.Class, tc.want, res.Witness)
+		}
+	}
+}
+
+func TestClassifyPeriods(t *testing.T) {
+	res, err := Cycles(problems.Coloring(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Period != 2 {
+		t.Errorf("2-coloring period = %d, want 2 (even cycles)", res.Period)
+	}
+	res3, err := Cycles(problems.Coloring(3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.Period != 1 {
+		t.Errorf("3-coloring period = %d, want 1", res3.Period)
+	}
+}
+
+func TestClassifyUnsolvable(t *testing.T) {
+	// A problem with no valid degree-2 configuration at all.
+	b := lcl.NewBuilder("no-deg2", nil, []string{"A"})
+	b.Node("A") // only degree 1 allowed
+	b.Edge("A", "A")
+	p := b.MustBuild()
+	res, err := Cycles(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Class != Unsolvable {
+		t.Errorf("classified %v, want unsolvable", res.Class)
+	}
+	// A problem whose config digraph has no cycle: two labels, node configs
+	// only {A,B}, edges only {B,B}: states (A,B),(B,A); arcs (A,B)->(B,A)
+	// only; no closed walk.
+	b2 := lcl.NewBuilder("acyclic", nil, []string{"A", "B"})
+	b2.Node("A", "B")
+	b2.Edge("B", "B")
+	p2 := b2.MustBuild()
+	res2, err := Cycles(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Class != Unsolvable {
+		t.Errorf("acyclic config digraph classified %v, want unsolvable", res2.Class)
+	}
+}
+
+func TestClassifyRejectsInputs(t *testing.T) {
+	if _, err := Cycles(problems.EdgeGrouping()); err == nil {
+		t.Error("problem with inputs accepted")
+	}
+}
+
+func TestCycleSolvableCrossCheck(t *testing.T) {
+	// 2-coloring solvable exactly on even cycles.
+	p2 := problems.Coloring(2, 2)
+	for n := 3; n <= 10; n++ {
+		want := n%2 == 0
+		if got := CycleSolvable(p2, n); got != want {
+			t.Errorf("2-coloring on C%d: solvable=%v, want %v", n, got, want)
+		}
+	}
+	// 3-coloring solvable on all cycles >= 3.
+	p3 := problems.Coloring(3, 2)
+	for n := 3; n <= 10; n++ {
+		if !CycleSolvable(p3, n) {
+			t.Errorf("3-coloring unsolvable on C%d", n)
+		}
+	}
+	// Consistent orientation solvable on all cycles.
+	co := problems.ConsistentOrientation()
+	for n := 3; n <= 8; n++ {
+		if !CycleSolvable(co, n) {
+			t.Errorf("consistent orientation unsolvable on C%d", n)
+		}
+	}
+}
+
+func TestCycleSolvableMatchesBruteForce(t *testing.T) {
+	// The automaton DP must agree with exhaustive search on tiny cycles.
+	probs := []*lcl.Problem{
+		problems.Coloring(2, 2), problems.Coloring(3, 2),
+		problems.MIS(2), problems.MaximalMatching(2),
+		problems.ConsistentOrientation(), problems.Trivial(2),
+	}
+	for _, p := range probs {
+		for n := 3; n <= 7; n++ {
+			g := graph.Cycle(n)
+			_, bf := p.BruteForceSolve(g, nil)
+			if dp := CycleSolvable(p, n); dp != bf {
+				t.Errorf("%s on C%d: DP=%v brute=%v", p.Name, n, dp, bf)
+			}
+		}
+	}
+}
+
+func TestPathSolvable(t *testing.T) {
+	// 2-coloring solvable on every path.
+	p2 := problems.Coloring(2, 2)
+	for n := 2; n <= 9; n++ {
+		if !PathSolvable(p2, n) {
+			t.Errorf("2-coloring unsolvable on P%d", n)
+		}
+	}
+	// Perfect matching solvable exactly on even paths.
+	pm := problems.PerfectMatching(2)
+	for n := 2; n <= 9; n++ {
+		want := n%2 == 0
+		if got := PathSolvable(pm, n); got != want {
+			t.Errorf("perfect matching on P%d: %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestPathSolvableMatchesBruteForce(t *testing.T) {
+	probs := []*lcl.Problem{
+		problems.Coloring(2, 2), problems.MIS(2),
+		problems.MaximalMatching(2), problems.PerfectMatching(2),
+		problems.ConsistentOrientation(),
+	}
+	for _, p := range probs {
+		for n := 2; n <= 7; n++ {
+			g := graph.Path(n)
+			_, bf := p.BruteForceSolve(g, nil)
+			if dp := PathSolvable(p, n); dp != bf {
+				t.Errorf("%s on P%d: DP=%v brute=%v", p.Name, n, dp, bf)
+			}
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package classify
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/lcl"
+)
+
+func TestCyclesWithInputsTwoColoringFindsOddWitness(t *testing.T) {
+	// Input-free 2-coloring: odd cycles are unsolvable, so the monoid
+	// must contain a zero-diagonal element, and the shortest witness is
+	// the 3-cycle.
+	two := lcl.NewBuilder("2col", nil, []string{"A", "B"}).
+		Node("A", "A").Node("B", "B").Edge("A", "B").MustBuild()
+	res, err := CyclesWithInputs(two, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SolvableAllInputs {
+		t.Fatal("2-coloring should have a bad (odd) cycle")
+	}
+	if n := len(res.BadInput) / 2; n%2 == 0 {
+		t.Fatalf("witness cycle length %d is even; 2-coloring is solvable there", n)
+	}
+}
+
+func TestCyclesWithInputsThreeColoringSolvable(t *testing.T) {
+	three := lcl.NewBuilder("3col", nil, []string{"A", "B", "C"}).
+		Node("A", "A").Node("B", "B").Node("C", "C").
+		Edge("A", "B").Edge("A", "C").Edge("B", "C").MustBuild()
+	res, err := CyclesWithInputs(three, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.SolvableAllInputs {
+		t.Fatalf("3-coloring solves every cycle; witness %v", res.BadInput)
+	}
+}
+
+func TestCyclesWithInputsListColoringThreshold(t *testing.T) {
+	// The threshold moves up by one from paths to cycles: list-4-coloring
+	// is solvable on all paths (inputs_test.go) but NOT on all cycles —
+	// the adversary forbids the same two colors everywhere on an odd
+	// cycle, leaving a 2-coloring demand that odd cycles cannot meet.
+	// With 5 colors every node keeps 3 choices and all cycles solve.
+	res3, err := CyclesWithInputs(listColoring(3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.SolvableAllInputs {
+		t.Fatal("list-3-coloring should have a bad cyclic input")
+	}
+	res4, err := CyclesWithInputs(listColoring(4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res4.SolvableAllInputs {
+		t.Fatal("list-4-coloring should have a bad cyclic input (odd cycle, two colors forbidden everywhere)")
+	}
+	if n := len(res4.BadInput) / 2; n%2 == 0 {
+		t.Fatalf("list-4-coloring witness has even length %d; even cycles are 2-colorable", n)
+	}
+	res5, err := CyclesWithInputs(listColoring(5), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res5.SolvableAllInputs {
+		t.Fatalf("list-5-coloring should be solvable on all cycles; witness %v", res5.BadInput)
+	}
+}
+
+// TestCycleBadInputWitnessVerified replays monoid witnesses on concrete
+// cycles and confirms unsolvability by brute force — the soundness
+// direction of the trace criterion.
+func TestCycleBadInputWitnessVerified(t *testing.T) {
+	for _, p := range []*lcl.Problem{
+		listColoring(3),
+		listColoring(4),
+		lcl.NewBuilder("2col", nil, []string{"A", "B"}).
+			Node("A", "A").Node("B", "B").Edge("A", "B").MustBuild(),
+	} {
+		res, err := CyclesWithInputs(p, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if res.SolvableAllInputs {
+			t.Fatalf("%s: expected a witness", p.Name)
+		}
+		n := len(res.BadInput) / 2
+		g := graph.Cycle(n)
+		fin := ApplyBadInputCycle(res.BadInput)
+		if len(fin) != g.NumHalfEdges() {
+			t.Fatalf("%s: witness covers %d half-edges, C_%d has %d", p.Name, len(fin), n, g.NumHalfEdges())
+		}
+		if _, ok := p.BruteForceSolve(g, fin); ok {
+			t.Fatalf("%s: witness %v is solvable after all", p.Name, res.BadInput)
+		}
+	}
+}
+
+// TestCyclesWithInputsFuzzSolvable samples random cyclic inputs for a
+// problem decided solvable-for-all and confirms each instance solves —
+// the completeness direction, sampled.
+func TestCyclesWithInputsFuzzSolvable(t *testing.T) {
+	p := listColoring(5)
+	res, err := CyclesWithInputs(p, 0)
+	if err != nil || !res.SolvableAllInputs {
+		t.Fatalf("setup: %+v %v", res, err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + rng.Intn(6)
+		g := graph.Cycle(n)
+		fin := make([]int, g.NumHalfEdges())
+		for h := range fin {
+			fin[h] = rng.Intn(p.NumIn())
+		}
+		if _, ok := p.BruteForceSolve(g, fin); !ok {
+			t.Fatalf("C_%d inputs %v: unsolvable despite all-inputs verdict", n, fin)
+		}
+	}
+}
+
+func TestCyclesWithInputsAgreesWithClassifierOnInputFree(t *testing.T) {
+	// For input-free problems: solvable-on-all-cycles ⟺ the four-class
+	// classifier says non-unsolvable AND period 1 (period > 1 means some
+	// lengths fail). Checked over random two-label problems.
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 60; trial++ {
+		p := randomTwoLabelCycleProblem(rng)
+		res, err := CyclesWithInputs(p, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		cls, err := Cycles(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// With period q > 1 some cycle length is unsolvable, but only
+		// beyond the solvability transient; conversely period 1 problems
+		// are solvable for all large n yet may fail at small n, which
+		// CyclesWithInputs (all n >= 3) detects. So only the forward
+		// implication is exact: solvable-for-all ⇒ classifier solvable
+		// with period 1.
+		if res.SolvableAllInputs {
+			if cls.Class == Unsolvable {
+				t.Fatalf("%s: all-cycles solvable but classifier says unsolvable", p.Name)
+			}
+			if cls.Period != 1 {
+				t.Fatalf("%s: all-cycles solvable but period %d > 1", p.Name, cls.Period)
+			}
+		}
+		if cls.Class == Unsolvable && res.SolvableAllInputs {
+			t.Fatalf("%s: contradiction", p.Name)
+		}
+	}
+}
+
+func randomTwoLabelCycleProblem(rng *rand.Rand) *lcl.Problem {
+	p := &lcl.Problem{
+		Name:     "rand2",
+		InNames:  []string{"·"},
+		OutNames: []string{"A", "B"},
+		Node:     map[int][]lcl.Multiset{},
+		G:        [][]int{{0, 1}},
+	}
+	for a := 0; a < 2; a++ {
+		for b := a; b < 2; b++ {
+			if rng.Intn(2) == 0 {
+				p.Node[2] = append(p.Node[2], lcl.NewMultiset(a, b))
+			}
+			if rng.Intn(2) == 0 {
+				p.Edge = append(p.Edge, lcl.NewMultiset(a, b))
+			}
+		}
+	}
+	return p
+}
+
+func TestApplyBadInputCycleLayout(t *testing.T) {
+	// Pair k must land on node k's (toward-previous, toward-next) ports
+	// of graph.Cycle.
+	bad := []int{1, 2, 3, 4, 5, 6} // 3 nodes
+	fin := ApplyBadInputCycle(bad)
+	g := graph.Cycle(3)
+	// Node 0: port 0 -> node 1 (right), port 1 -> node 2 (left).
+	if fin[g.HalfEdge(0, 1)] != 1 || fin[g.HalfEdge(0, 0)] != 2 {
+		t.Fatalf("node 0 inputs wrong: %v", fin)
+	}
+	// Node 1: port 0 -> node 0 (left), port 1 -> node 2 (right).
+	if fin[g.HalfEdge(1, 0)] != 3 || fin[g.HalfEdge(1, 1)] != 4 {
+		t.Fatalf("node 1 inputs wrong: %v", fin)
+	}
+}

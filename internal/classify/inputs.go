@@ -1,0 +1,204 @@
+package classify
+
+import (
+	"fmt"
+
+	"repro/internal/lcl"
+)
+
+// This file decides solvability of LCLs *with inputs* on paths: whether
+// for every input labeling of every path a valid output exists. Per the
+// paper's Section 1.4 the complexity classification with inputs remains
+// decidable on paths but is PSPACE-hard [3]; the decision procedure here
+// is the expected exponential one — a subset construction over the
+// configuration digraph, where the adversary advances the input string
+// and the construction tracks the set of output states that remain
+// feasible. PSPACE-hardness manifests as the 2^{|Σout|²} subset space.
+
+// InputsResult reports the paths-with-inputs solvability decision.
+type InputsResult struct {
+	// SolvableAllInputs is true when every input labeling of every path
+	// with at least 2 nodes admits a valid output labeling.
+	SolvableAllInputs bool
+	// BadInput, when not solvable, is a witness input labeling in scan
+	// order: BadInput[0] is the input on the left endpoint's half-edge,
+	// then (left, right) pairs for each interior node, then the right
+	// endpoint's half-edge. Its length is even: 2(n-1) values for the
+	// witness path on n nodes.
+	BadInput []int
+}
+
+// pathEndStates returns the labels allowed on a degree-1 endpoint with
+// the given input label.
+func pathEndStates(p *lcl.Problem, in int) []int {
+	var out []int
+	for x := 0; x < p.NumOut(); x++ {
+		if p.NodeAllowed(lcl.NewMultiset(x)) && p.GAllowed(in, x) {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// PathsWithInputs decides whether p is solvable on all input-labeled
+// paths (n >= 2 nodes). The input alphabet is adversarial: every
+// half-edge may carry any input label.
+func PathsWithInputs(p *lcl.Problem) (*InputsResult, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	states, _ := configDigraph(p)
+	kIn := p.NumIn()
+
+	// Interior states permitted under an input pair (l, r).
+	permitted := make([][][]int, kIn)
+	for l := 0; l < kIn; l++ {
+		permitted[l] = make([][]int, kIn)
+		for r := 0; r < kIn; r++ {
+			for si, s := range states {
+				if p.GAllowed(l, s.x) && p.GAllowed(r, s.y) {
+					permitted[l][r] = append(permitted[l][r], si)
+				}
+			}
+		}
+	}
+
+	type subset uint64
+	if len(states) > 64 {
+		return nil, fmt.Errorf("classify: %d states exceed the subset-construction width", len(states))
+	}
+
+	// closingInput returns an endpoint input c that kills the frontier —
+	// no z in N¹ ∩ g(c) with {exposed out, z} in E — or -1 when the path
+	// can always be closed after this frontier.
+	closingInput := func(exposed []int) int {
+		for c := 0; c < kIn; c++ {
+			ok := false
+			for _, z := range pathEndStates(p, c) {
+				for _, o := range exposed {
+					if p.EdgeAllowed(o, z) {
+						ok = true
+						break
+					}
+				}
+				if ok {
+					break
+				}
+			}
+			if !ok {
+				return c
+			}
+		}
+		return -1
+	}
+
+	exposedOf := func(S subset, interior bool) []int {
+		var outs []int
+		seen := map[int]bool{}
+		if interior {
+			for si, s := range states {
+				if S&(1<<uint(si)) != 0 && !seen[s.y] {
+					seen[s.y] = true
+					outs = append(outs, s.y)
+				}
+			}
+			return outs
+		}
+		for x := 0; x < p.NumOut(); x++ {
+			if S&(1<<uint(x)) != 0 {
+				outs = append(outs, x)
+			}
+		}
+		return outs
+	}
+
+	// BFS over (subset, interior?) configurations. Endpoint subsets are
+	// label sets; interior subsets are state sets.
+	type node struct {
+		S        subset
+		interior bool
+	}
+	type pred struct {
+		from node
+		in   [2]int // the interior input pair that led here
+	}
+	parent := map[node]pred{}
+	var queue []node
+
+	push := func(n node, pr pred) {
+		if _, ok := parent[n]; ok {
+			return
+		}
+		parent[n] = pr
+		queue = append(queue, n)
+	}
+	for a := 0; a < kIn; a++ {
+		var S subset
+		for _, x := range pathEndStates(p, a) {
+			S |= 1 << uint(x)
+		}
+		push(node{S, false}, pred{in: [2]int{a, -1}})
+	}
+
+	reconstruct := func(n node, closing int) []int {
+		var rev [][2]int
+		cur := n
+		for {
+			pr := parent[cur]
+			if pr.in[1] == -1 {
+				// Initial endpoint: pr.in[0] is the left endpoint input.
+				var input []int
+				input = append(input, pr.in[0])
+				for i := len(rev) - 1; i >= 0; i-- {
+					input = append(input, rev[i][0], rev[i][1])
+				}
+				input = append(input, closing)
+				return input
+			}
+			rev = append(rev, pr.in)
+			cur = pr.from
+		}
+	}
+
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		exposed := exposedOf(cur.S, cur.interior)
+		// An empty frontier is killed by any closing input (closingInput
+		// then returns input 0).
+		if c := closingInput(exposed); c != -1 {
+			return &InputsResult{BadInput: reconstruct(cur, c)}, nil
+		}
+		// Advance by one interior node with every input pair.
+		for l := 0; l < kIn; l++ {
+			for r := 0; r < kIn; r++ {
+				var next subset
+				for _, si := range permitted[l][r] {
+					s := states[si]
+					for _, o := range exposed {
+						if p.EdgeAllowed(o, s.x) {
+							next |= 1 << uint(si)
+							break
+						}
+					}
+				}
+				push(node{next, true}, pred{from: cur, in: [2]int{l, r}})
+			}
+		}
+	}
+	return &InputsResult{SolvableAllInputs: true}, nil
+}
+
+// ApplyBadInput lays the witness input labeling onto the half-edges of
+// the n-node path (n = len(bad)/2 + 1) in the dense half-edge indexing of
+// graph.Path: node 0 has one half-edge, interior nodes have (left,
+// right) = (port of edge to previous, port of edge to next), the last
+// node one. It returns the per-half-edge input slice, assuming the
+// conventional graph.Path port layout where edges are added in order
+// 0-1, 1-2, ....
+func ApplyBadInput(bad []int) []int {
+	// graph.Path(n) adds edges in order, so half-edges per node are:
+	// node 0: [toward 1]; node i: [toward i-1, toward i+1]; node n-1:
+	// [toward n-2]. The scan order of bad matches exactly.
+	return append([]int(nil), bad...)
+}

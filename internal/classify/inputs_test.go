@@ -1,0 +1,183 @@
+package classify
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/lcl"
+)
+
+// listColoring builds k-coloring with per-half-edge forbidden colors as
+// inputs: input label i forbids color i on that half-edge (input label k
+// forbids nothing). Nodes are monochromatic, adjacent nodes differ.
+func listColoring(k int) *lcl.Problem {
+	colors := make([]string, k)
+	for i := range colors {
+		colors[i] = string(rune('A' + i))
+	}
+	ins := make([]string, k+1)
+	for i := range colors {
+		ins[i] = "¬" + colors[i]
+	}
+	ins[k] = "·"
+	b := lcl.NewBuilder("list-coloring", ins, colors)
+	for _, c := range colors {
+		b.Node(c)    // endpoints
+		b.Node(c, c) // interior nodes are monochromatic
+		for _, d := range colors {
+			if c != d {
+				b.Edge(c, d)
+			}
+		}
+	}
+	for i, in := range ins {
+		for j, c := range colors {
+			if i != j { // forbidden color removed from the list
+				b.Allow(in, c)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+func TestListColoring3UnsolvableForAdversarialInputs(t *testing.T) {
+	// With 3 colors and one forbidden color per half-edge, the adversary
+	// can pin a node to a single color and then kill its neighbor.
+	res, err := PathsWithInputs(listColoring(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SolvableAllInputs {
+		t.Fatal("list-3-coloring on paths should have a bad input")
+	}
+	if len(res.BadInput)%2 != 0 || len(res.BadInput) < 2 {
+		t.Fatalf("malformed witness %v", res.BadInput)
+	}
+}
+
+func TestListColoring4SolvableForAllInputs(t *testing.T) {
+	// With 4 colors and at most one forbidden color per half-edge the
+	// feasible set can never empty out.
+	res, err := PathsWithInputs(listColoring(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.SolvableAllInputs {
+		t.Fatalf("list-4-coloring should be solvable for all inputs; witness %v", res.BadInput)
+	}
+}
+
+// TestBadInputWitnessIsReallyUnsolvable replays the decider's witness on
+// a concrete path and confirms by exhaustive search that no valid output
+// exists — the soundness direction of the subset construction.
+func TestBadInputWitnessIsReallyUnsolvable(t *testing.T) {
+	p := listColoring(3)
+	res, err := PathsWithInputs(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SolvableAllInputs {
+		t.Fatal("expected a witness")
+	}
+	n := len(res.BadInput)/2 + 1
+	g := graph.Path(n)
+	fin := ApplyBadInput(res.BadInput)
+	if len(fin) != g.NumHalfEdges() {
+		t.Fatalf("witness covers %d half-edges, path has %d", len(fin), g.NumHalfEdges())
+	}
+	if _, ok := p.BruteForceSolve(g, fin); ok {
+		t.Fatalf("witness input %v is solvable after all", res.BadInput)
+	}
+}
+
+// TestSolvableAllInputsSurvivesFuzzing draws random input labelings for a
+// problem decided solvable-for-all-inputs and confirms each concrete
+// instance is solvable — the completeness direction, sampled.
+func TestSolvableAllInputsSurvivesFuzzing(t *testing.T) {
+	p := listColoring(4)
+	res, err := PathsWithInputs(p)
+	if err != nil || !res.SolvableAllInputs {
+		t.Fatalf("setup: %v %v", res, err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(8)
+		g := graph.Path(n)
+		fin := make([]int, g.NumHalfEdges())
+		for h := range fin {
+			fin[h] = rng.Intn(p.NumIn())
+		}
+		if _, ok := p.BruteForceSolve(g, fin); !ok {
+			t.Fatalf("n=%d inputs %v: unsolvable despite all-inputs verdict", n, fin)
+		}
+	}
+}
+
+func TestPathsWithInputsInputFreeMatchesPathSolvable(t *testing.T) {
+	// For input-free problems the decision degenerates to ordinary path
+	// solvability for every length; cross-check on standard problems.
+	mono := lcl.NewBuilder("mono", nil, []string{"A", "B"}).
+		Node("A").Node("B").Node("A", "A").Node("B", "B").
+		Edge("A", "A").Edge("B", "B").MustBuild()
+	res, err := PathsWithInputs(mono)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.SolvableAllInputs {
+		t.Fatalf("constant labeling should be solvable; witness %v", res.BadInput)
+	}
+
+	// Two-coloring of paths is solvable on every path (no parity issue
+	// on paths, unlike cycles).
+	two := lcl.NewBuilder("2col", nil, []string{"A", "B"}).
+		Node("A").Node("B").Node("A", "A").Node("B", "B").
+		Edge("A", "B").MustBuild()
+	res, err = PathsWithInputs(two)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.SolvableAllInputs {
+		t.Fatalf("2-coloring of paths should be solvable; witness %v", res.BadInput)
+	}
+	for n := 2; n <= 8; n++ {
+		if !PathSolvable(two, n) {
+			t.Fatalf("PathSolvable(2col, %d) = false", n)
+		}
+	}
+}
+
+func TestPathsWithInputsDetectsMissingEndpointLabels(t *testing.T) {
+	// A problem with no degree-1 configuration cannot label any path.
+	p := lcl.NewBuilder("no-ends", nil, []string{"A"}).
+		Node("A", "A").Edge("A", "A").MustBuild()
+	res, err := PathsWithInputs(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SolvableAllInputs {
+		t.Fatal("problem without endpoint configs should be unsolvable on paths")
+	}
+	if len(res.BadInput) != 2 {
+		t.Fatalf("witness should be the 2-node path, got %v", res.BadInput)
+	}
+}
+
+// TestForcedChainWithInputs exercises a problem where inputs force long-
+// range agreement: input "=" copies the previous label, so any single
+// path is solvable, and the decider must agree (no adversarial kill
+// exists).
+func TestForcedChainWithInputs(t *testing.T) {
+	b := lcl.NewBuilder("forced-chain", []string{"="}, []string{"A", "B"})
+	b.Node("A").Node("B").Node("A", "A").Node("B", "B").
+		Edge("A", "A").Edge("B", "B").
+		Allow("=", "A", "B")
+	p := b.MustBuild()
+	res, err := PathsWithInputs(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.SolvableAllInputs {
+		t.Fatalf("forced chain should be solvable; witness %v", res.BadInput)
+	}
+}

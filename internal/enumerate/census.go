@@ -1,0 +1,142 @@
+package enumerate
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/classify"
+	"repro/internal/lcl"
+)
+
+// Entry is one classified census row.
+type Entry struct {
+	Enumerated
+	Class  classify.Class
+	Period int
+}
+
+// Census is the full classified enumeration for one alphabet size.
+type Census struct {
+	K     int
+	Dedup bool
+	// Entries holds every classified problem (representatives if Dedup).
+	Entries []Entry
+	// ByClass counts problems per class. With Dedup the counts are of
+	// representatives; RawByClass weights each representative by its orbit
+	// size and therefore always sums to 4^PairCount(K).
+	ByClass    map[classify.Class]int
+	RawByClass map[classify.Class]int
+}
+
+// Run enumerates and classifies every input-free cycle LCL over a
+// k-letter output alphabet. This regenerates, for cycles, the populated
+// rows of Figure 1: the only classes that appear are O(1), Θ(log* n),
+// Θ(n), and unsolvable — nothing between ω(1) and Θ(log* n).
+func Run(k int, dedup bool) (*Census, error) {
+	c := &Census{
+		K:          k,
+		Dedup:      dedup,
+		ByClass:    map[classify.Class]int{},
+		RawByClass: map[classify.Class]int{},
+	}
+	for _, en := range CycleLCLs(k, dedup) {
+		res, err := classify.Cycles(en.Problem)
+		if err != nil {
+			return nil, fmt.Errorf("enumerate: classify %s: %w", en.Problem.Name, err)
+		}
+		c.Entries = append(c.Entries, Entry{Enumerated: en, Class: res.Class, Period: res.Period})
+		c.ByClass[res.Class]++
+		c.RawByClass[res.Class] += en.Orbit
+	}
+	return c, nil
+}
+
+// Examples returns up to max representative problems of the given class.
+func (c *Census) Examples(class classify.Class, max int) []*lcl.Problem {
+	var out []*lcl.Problem
+	for _, e := range c.Entries {
+		if e.Class == class {
+			out = append(out, e.Problem)
+			if len(out) == max {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// String renders the census as a small table (the cycle row of the
+// landscape figure).
+func (c *Census) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "census k=%d (%d problems", c.K, len(c.Entries))
+	if c.Dedup {
+		fmt.Fprintf(&b, " up to relabeling")
+	}
+	fmt.Fprintf(&b, ")\n")
+	classes := make([]classify.Class, 0, len(c.RawByClass))
+	for cl := range c.RawByClass {
+		classes = append(classes, cl)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+	for _, cl := range classes {
+		fmt.Fprintf(&b, "  %-12s %6d raw", cl, c.RawByClass[cl])
+		if c.Dedup {
+			fmt.Fprintf(&b, "  (%d canonical)", c.ByClass[cl])
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	return b.String()
+}
+
+// Verify cross-checks every census entry against exact cycle solvability
+// (one matrix-power sweep over the configuration digraph per problem):
+//
+//   - unsolvable entries must have no valid labeling for any checked n;
+//   - solvable entries must have some solvable length, and must be
+//     solvable for *every* multiple of the decided period beyond the
+//     Wielandt bound classify.SolvabilityBound (below the bound individual
+//     lengths are transient and no claim is made).
+//
+// It returns the first inconsistency found, or nil.
+func (c *Census) Verify() error {
+	for _, e := range c.Entries {
+		bound := classify.SolvabilityBound(e.Problem, e.Period)
+		maxN := bound + 2*e.Period + 4
+		solv := classify.CycleSolvableUpTo(e.Problem, maxN)
+		any := false
+		for n := 3; n <= maxN; n++ {
+			if solv[n] {
+				any = true
+			}
+			switch {
+			case e.Class == classify.Unsolvable && solv[n]:
+				return fmt.Errorf("enumerate: %s classified unsolvable but the %d-cycle has a valid labeling", e.Problem.Name, n)
+			case e.Class != classify.Unsolvable && e.Period > 0 && n%e.Period == 0 && n >= bound && !solv[n]:
+				return fmt.Errorf("enumerate: %s classified %v with period %d but the %d-cycle has no valid labeling (bound %d)", e.Problem.Name, e.Class, e.Period, n, bound)
+			}
+		}
+		if e.Class != classify.Unsolvable && !any {
+			return fmt.Errorf("enumerate: %s classified %v but no cycle length up to %d is solvable", e.Problem.Name, e.Class, maxN)
+		}
+	}
+	return nil
+}
+
+// GapHolds reports the census-level statement of the paper's gap: no
+// enumerated problem was assigned a complexity strictly between O(1) and
+// Θ(log* n). Because the classifier's codomain is the four-class landscape
+// this is true by construction — the substance is in Verify and in the
+// synthesizer cross-validation (synth_test.go), which confirm the decided
+// classes against exact computations and against actual algorithms.
+func (c *Census) GapHolds() bool {
+	for _, e := range c.Entries {
+		switch e.Class {
+		case classify.Unsolvable, classify.Constant, classify.LogStar, classify.Global:
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,306 @@
+package enumerate
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/classify"
+	"repro/internal/lcl"
+)
+
+func TestPairIndexMatchesPairsOrder(t *testing.T) {
+	for k := 1; k <= 5; k++ {
+		ps := pairs(k)
+		if len(ps) != PairCount(k) {
+			t.Fatalf("k=%d: %d pairs, want %d", k, len(ps), PairCount(k))
+		}
+		for i, pr := range ps {
+			if got := pairIndex(k, pr[0], pr[1]); got != i {
+				t.Errorf("k=%d: pairIndex(%d,%d) = %d, want %d", k, pr[0], pr[1], got, i)
+			}
+			if got := pairIndex(k, pr[1], pr[0]); got != i {
+				t.Errorf("k=%d: pairIndex(%d,%d) (swapped) = %d, want %d", k, pr[1], pr[0], got, i)
+			}
+		}
+	}
+}
+
+func TestFromMasksRoundTrip(t *testing.T) {
+	f := func(n2, e uint8) bool {
+		k := 3
+		mask := uint(1)<<uint(PairCount(k)) - 1
+		wantN, wantE := uint(n2)&mask, uint(e)&mask
+		gotN, gotE := Masks(FromMasks(k, wantN, wantE))
+		return gotN == wantN && gotE == wantE
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCanonicalKeyInvariantUnderRelabeling(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	k := 3
+	mask := uint(1)<<uint(PairCount(k)) - 1
+	for trial := 0; trial < 200; trial++ {
+		n2, e := uint(rng.Intn(1<<PairCount(k)))&mask, uint(rng.Intn(1<<PairCount(k)))&mask
+		cn, ce := CanonicalKey(k, n2, e)
+		forEachPermutation(k, func(perm []int) {
+			pn, pe := permuteMask(k, n2, perm), permuteMask(k, e, perm)
+			qn, qe := CanonicalKey(k, pn, pe)
+			if qn != cn || qe != ce {
+				t.Fatalf("canonical key not invariant: masks (%d,%d) perm %v: (%d,%d) vs (%d,%d)", n2, e, perm, qn, qe, cn, ce)
+			}
+		})
+	}
+}
+
+func TestCanonicalKeyIsMinimalOverOrbit(t *testing.T) {
+	k := 2
+	for n2 := uint(0); n2 < 8; n2++ {
+		for e := uint(0); e < 8; e++ {
+			cn, ce := CanonicalKey(k, n2, e)
+			better := false
+			forEachPermutation(k, func(perm []int) {
+				pn, pe := permuteMask(k, n2, perm), permuteMask(k, e, perm)
+				if pn < cn || (pn == cn && pe < ce) {
+					better = true
+				}
+			})
+			if better {
+				t.Fatalf("canonical key (%d,%d) of (%d,%d) is not orbit-minimal", cn, ce, n2, e)
+			}
+		}
+	}
+}
+
+func TestCycleLCLsRawCount(t *testing.T) {
+	for k := 1; k <= 2; k++ {
+		want := 1 << uint(2*PairCount(k))
+		if got := len(CycleLCLs(k, false)); got != want {
+			t.Fatalf("k=%d: %d raw problems, want %d", k, got, want)
+		}
+	}
+}
+
+func TestCycleLCLsOrbitsPartitionRawSpace(t *testing.T) {
+	for k := 1; k <= 3; k++ {
+		total := 0
+		for _, e := range CycleLCLs(k, true) {
+			total += e.Orbit
+		}
+		if want := 1 << uint(2*PairCount(k)); total != want {
+			t.Fatalf("k=%d: orbit sizes sum to %d, want %d", k, total, want)
+		}
+	}
+}
+
+func TestCensusK1(t *testing.T) {
+	c, err := Run(1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Four problems over one label: only the one allowing both the node
+	// configuration {A,A} and the edge configuration {A,A} is solvable,
+	// and it is trivially O(1) (in fact 0 rounds).
+	if got := c.RawByClass[classify.Constant]; got != 1 {
+		t.Errorf("k=1: %d constant problems, want 1", got)
+	}
+	if got := c.RawByClass[classify.Unsolvable]; got != 3 {
+		t.Errorf("k=1: %d unsolvable problems, want 3", got)
+	}
+}
+
+func TestCensusK2CountsAndGap(t *testing.T) {
+	c, err := Run(2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Entries) != 64 {
+		t.Fatalf("k=2 raw census has %d entries, want 64", len(c.Entries))
+	}
+	if !c.GapHolds() {
+		t.Fatal("k=2 census violates the ω(1)–o(log* n) gap")
+	}
+	// The census must populate O(1) and Θ(n); Θ(log* n) is absent at
+	// k=2 (see TestCensusK2LogStarEmpty).
+	if c.RawByClass[classify.Constant] == 0 {
+		t.Error("k=2 census has no O(1) problems")
+	}
+	if c.RawByClass[classify.Global] == 0 {
+		t.Error("k=2 census has no Θ(n) problems")
+	}
+	total := 0
+	for _, n := range c.RawByClass {
+		total += n
+	}
+	if total != 64 {
+		t.Fatalf("class counts sum to %d, want 64", total)
+	}
+	t.Logf("\n%s", c)
+}
+
+func TestCensusK2TwoColoringIsGlobalPeriodTwo(t *testing.T) {
+	// Proper 2-coloring in half-edge form: nodes output their color on
+	// both half-edges, edges see both colors.
+	n2 := uint(1)<<uint(pairIndex(2, 0, 0)) | uint(1)<<uint(pairIndex(2, 1, 1))
+	e := uint(1) << uint(pairIndex(2, 0, 1))
+	p := FromMasks(2, n2, e)
+	res, err := classify.Cycles(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Class != classify.Global {
+		t.Fatalf("2-coloring classified %v, want Θ(n)", res.Class)
+	}
+	if res.Period != 2 {
+		t.Fatalf("2-coloring has period %d, want 2 (even cycles only)", res.Period)
+	}
+}
+
+func TestCensusVerifyK2(t *testing.T) {
+	c, err := Run(2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCensusVerifyK3Canonical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("k=3 census cross-check is not short")
+	}
+	c, err := Run(3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.GapHolds() {
+		t.Fatal("k=3 census violates the ω(1)–o(log* n) gap")
+	}
+	if err := c.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if c.RawByClass[classify.LogStar] == 0 {
+		t.Error("k=3 census has no Θ(log* n) problems; expected e.g. 3-coloring-like constraints")
+	}
+	t.Logf("\n%s", c)
+}
+
+func TestCensusExamples(t *testing.T) {
+	c, err := Run(2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := c.Examples(classify.Constant, 3)
+	if len(ex) == 0 {
+		t.Fatal("no constant examples")
+	}
+	for _, p := range ex {
+		if err := p.Validate(); err != nil {
+			t.Errorf("example %s invalid: %v", p.Name, err)
+		}
+	}
+}
+
+func TestSolvabilityUpToMatchesPointwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		k := 2 + rng.Intn(2)
+		space := uint(1) << uint(PairCount(k))
+		p := FromMasks(k, uint(rng.Intn(int(space))), uint(rng.Intn(int(space))))
+		sweep := classify.CycleSolvableUpTo(p, 12)
+		for n := 3; n <= 12; n++ {
+			if got, want := sweep[n], classify.CycleSolvable(p, n); got != want {
+				t.Fatalf("%s: sweep[%d] = %v, pointwise = %v", p.Name, n, got, want)
+			}
+		}
+	}
+}
+
+// TestThreeColoringCensusMember pins the flagship Θ(log* n) witness: the
+// half-edge form of proper 3-coloring on cycles must be classified
+// Θ(log* n), confirming the census's LogStar row is the real class of
+// Linial's problem.
+func TestThreeColoringCensusMember(t *testing.T) {
+	var n2, e uint
+	for c := 0; c < 3; c++ {
+		n2 |= 1 << uint(pairIndex(3, c, c))
+	}
+	for a := 0; a < 3; a++ {
+		for b := a + 1; b < 3; b++ {
+			e |= 1 << uint(pairIndex(3, a, b))
+		}
+	}
+	p := FromMasks(3, n2, e)
+	res, err := classify.Cycles(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Class != classify.LogStar {
+		t.Fatalf("3-coloring classified %v, want Θ(log* n)", res.Class)
+	}
+}
+
+func TestCensusRejectsOutOfRangeK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CycleLCLs(4, ...) should panic")
+		}
+	}()
+	CycleLCLs(4, false)
+}
+
+func TestMasksOnHandBuiltProblem(t *testing.T) {
+	p := lcl.NewBuilder("hand", nil, []string{"A", "B"}).
+		Node("A", "B").Edge("A", "A").Edge("B", "B").MustBuild()
+	n2, e := Masks(p)
+	if n2 != 1<<uint(pairIndex(2, 0, 1)) {
+		t.Errorf("node mask %b", n2)
+	}
+	want := uint(1)<<uint(pairIndex(2, 0, 0)) | uint(1)<<uint(pairIndex(2, 1, 1))
+	if e != want {
+		t.Errorf("edge mask %b, want %b", e, want)
+	}
+}
+
+// TestCensusK2LogStarEmpty pins a census discovery: over a two-letter
+// output alphabet no cycle LCL has complexity Θ(log* n) — the symmetry-
+// breaking class first appears at three labels (Linial's 3-coloring). At
+// k=2 every problem with a flexible state that reaches its mirror also
+// has a self-loop pattern realizing O(1).
+func TestCensusK2LogStarEmpty(t *testing.T) {
+	c, err := Run(2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.RawByClass[classify.LogStar]; got != 0 {
+		t.Fatalf("k=2 census has %d Θ(log* n) problems, expected none", got)
+	}
+}
+
+// TestCensusK3ClassCounts pins the full k=3 raw census so regressions in
+// the classifier surface as count drift: 2839 constant, 44 log*, 654
+// global, 559 unsolvable (of 4096).
+func TestCensusK3ClassCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full k=3 census is not short")
+	}
+	c, err := Run(3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[classify.Class]int{
+		classify.Constant:   2839,
+		classify.LogStar:    44,
+		classify.Global:     654,
+		classify.Unsolvable: 559,
+	}
+	for cl, n := range want {
+		if got := c.RawByClass[cl]; got != n {
+			t.Errorf("%v: %d problems, want %d", cl, got, n)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package enumerate
+
+import (
+	"testing"
+
+	"repro/internal/classify"
+	"repro/internal/graph"
+)
+
+// Differential fuzz oracles: the classifier, the exact DP, and the
+// synthesizer are three independent implementations of the same
+// landscape; any disagreement is a bug in one of them. Run with
+// `go test -fuzz FuzzClassifierAgreesWithDP ./internal/enumerate` for a
+// real campaign; under plain `go test` the seed corpus keeps the oracles
+// wired into CI.
+
+func FuzzClassifierAgreesWithDP(f *testing.F) {
+	f.Add(uint8(0b101), uint8(0b010))
+	f.Add(uint8(0b111), uint8(0b111))
+	f.Add(uint8(0), uint8(0))
+	f.Add(uint8(0b011), uint8(0b101))
+	f.Fuzz(func(t *testing.T, n2raw, eraw uint8) {
+		k := 3
+		mask := uint(1)<<uint(PairCount(k)) - 1
+		p := FromMasks(k, uint(n2raw)&mask, uint(eraw)&mask)
+		res, err := classify.Cycles(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := classify.SolvabilityBound(p, res.Period)
+		solv := classify.CycleSolvableUpTo(p, bound+2*res.Period+4)
+		for n := 3; n < len(solv); n++ {
+			if res.Class == classify.Unsolvable && solv[n] {
+				t.Fatalf("%s: unsolvable verdict but C_%d solvable", p.Name, n)
+			}
+			if res.Class != classify.Unsolvable && res.Period > 0 && n >= bound && n%res.Period == 0 && !solv[n] {
+				t.Fatalf("%s: %v verdict (period %d) but C_%d unsolvable past bound %d", p.Name, res.Class, res.Period, n, bound)
+			}
+		}
+	})
+}
+
+func FuzzSynthesisSoundness(f *testing.F) {
+	f.Add(uint8(0b111), uint8(0b111))
+	f.Add(uint8(0b101), uint8(0b010))
+	f.Add(uint8(0b001), uint8(0b001))
+	f.Fuzz(func(t *testing.T, n2raw, eraw uint8) {
+		k := 2
+		mask := uint(1)<<uint(PairCount(k)) - 1
+		p := FromMasks(k, uint(n2raw)&mask, uint(eraw)&mask)
+		alg, ok, err := Synthesize(p, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := classify.Cycles(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok && res.Class != classify.Constant {
+			t.Fatalf("%s: synthesized at r=1 but classified %v", p.Name, res.Class)
+		}
+		if !ok {
+			return
+		}
+		// The synthesized algorithm must cover and solve a concrete cycle.
+		g := cycleForFuzz(9)
+		ids := []int{4, 9, 1, 7, 3, 8, 2, 6, 5}
+		fout, err := alg.Run(g, ids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if viol := p.Verify(g, make([]int, g.NumHalfEdges()), fout); len(viol) > 0 {
+			t.Fatalf("%s: synthesized algorithm violated: %v", p.Name, viol[0])
+		}
+	})
+}
+
+func FuzzCanonicalKeyStable(f *testing.F) {
+	f.Add(uint8(3), uint8(9))
+	f.Fuzz(func(t *testing.T, n2raw, eraw uint8) {
+		k := 3
+		mask := uint(1)<<uint(PairCount(k)) - 1
+		n2, e := uint(n2raw)&mask, uint(eraw)&mask
+		cn, ce := CanonicalKey(k, n2, e)
+		// Idempotence and orbit membership.
+		cn2, ce2 := CanonicalKey(k, cn, ce)
+		if cn2 != cn || ce2 != ce {
+			t.Fatalf("canonical key not idempotent: (%d,%d) -> (%d,%d)", cn, ce, cn2, ce2)
+		}
+		inOrbit := false
+		forEachPermutation(k, func(perm []int) {
+			if permuteMask(k, n2, perm) == cn && permuteMask(k, e, perm) == ce {
+				inOrbit = true
+			}
+		})
+		if !inOrbit {
+			t.Fatalf("canonical key (%d,%d) not in the orbit of (%d,%d)", cn, ce, n2, e)
+		}
+	})
+}
+
+// cycleForFuzz builds C_n without importing graph into every fuzz body.
+func cycleForFuzz(n int) *graph.Graph {
+	return graph.Cycle(n)
+}

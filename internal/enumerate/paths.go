@@ -1,0 +1,96 @@
+package enumerate
+
+import (
+	"fmt"
+
+	"repro/internal/classify"
+	"repro/internal/lcl"
+)
+
+// Path census: paths add a third constraint dimension — the degree-1
+// endpoint configurations N¹ — so the space over k labels is
+// 2^k · 4^{k(k+1)/2} problems. The census decides, for each problem,
+// whether every path length is solvable (the precondition for having any
+// complexity at all on the path class), using the same subset
+// construction as the inputs decider; answers are cross-checked against
+// the exact per-length DP.
+
+// PathEnumerated is one path-census entry.
+type PathEnumerated struct {
+	Problem *lcl.Problem
+	N1Mask  uint // endpoint labels allowed (bit a = label a in N¹)
+	N2Mask  uint
+	EMask   uint
+}
+
+// FromPathMasks materializes a path LCL: endpoint mask over single
+// labels, plus the cycle-style degree-2 and edge masks.
+func FromPathMasks(k int, n1, n2, e uint) *lcl.Problem {
+	ps := pairs(k)
+	names := labelNames(k)
+	b := lcl.NewBuilder(fmt.Sprintf("enum-path-k%d-N1%d-N%d-E%d", k, n1, n2, e), nil, names)
+	for a := 0; a < k; a++ {
+		if n1&(1<<uint(a)) != 0 {
+			b.Node(names[a])
+		}
+	}
+	for i, pr := range ps {
+		if n2&(1<<uint(i)) != 0 {
+			b.Node(names[pr[0]], names[pr[1]])
+		}
+		if e&(1<<uint(i)) != 0 {
+			b.Edge(names[pr[0]], names[pr[1]])
+		}
+	}
+	return b.MustBuild()
+}
+
+// PathCensus summarizes solvability over the whole path-LCL space at one
+// alphabet size.
+type PathCensus struct {
+	K int
+	// SolvableAll counts problems solvable on every path length >= 2;
+	// UnsolvableSome counts the rest, with ShortestBad recording the
+	// distribution of shortest unsolvable lengths (path node count ->
+	// problem count).
+	SolvableAll    int
+	UnsolvableSome int
+	ShortestBad    map[int]int
+	Total          int
+}
+
+// RunPaths enumerates and decides the full path census at alphabet size
+// k (k <= 2 keeps the 2^k·4^{k(k+1)/2} space comfortably testable; k = 3
+// has 32768 problems and is still fine for a bench).
+func RunPaths(k int) (*PathCensus, error) {
+	if k < 1 || k > 3 {
+		return nil, fmt.Errorf("enumerate: path census supports k in [1, 3], got %d", k)
+	}
+	c := &PathCensus{K: k, ShortestBad: map[int]int{}}
+	pairSpace := uint(1) << uint(PairCount(k))
+	endSpace := uint(1) << uint(k)
+	for n1 := uint(0); n1 < endSpace; n1++ {
+		for n2 := uint(0); n2 < pairSpace; n2++ {
+			for e := uint(0); e < pairSpace; e++ {
+				p := FromPathMasks(k, n1, n2, e)
+				c.Total++
+				res, err := classify.PathsWithInputs(p)
+				if err != nil {
+					return nil, fmt.Errorf("enumerate: %s: %w", p.Name, err)
+				}
+				if res.SolvableAllInputs {
+					c.SolvableAll++
+					continue
+				}
+				c.UnsolvableSome++
+				c.ShortestBad[len(res.BadInput)/2+1]++
+			}
+		}
+	}
+	return c, nil
+}
+
+func (c *PathCensus) String() string {
+	return fmt.Sprintf("path census k=%d: %d problems, %d solvable on all paths, %d with an unsolvable length",
+		c.K, c.Total, c.SolvableAll, c.UnsolvableSome)
+}

@@ -1,0 +1,356 @@
+package enumerate
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/lcl"
+)
+
+// This file synthesizes order-invariant constant-round LOCAL algorithms
+// for cycle LCLs by exhaustive constraint search, giving the census a
+// *constructive* cross-validation: a problem is O(1) on cycles if and only
+// if some radius-r synthesis succeeds (for the r implied by its witness),
+// and the synthesized algorithm is then executable on arbitrary cycles.
+//
+// Model. A radius-r order-invariant algorithm on cycles maps the ID order
+// pattern of the window (w(-r), ..., w(0) = v, ..., w(+r)) — read in the
+// direction of v's port 0 — to a pair of output labels (fwd on port 0,
+// bwd on port 1). This is the full power of order-invariant algorithms
+// that ignore other nodes' port numbers (ports of other nodes carry no
+// information on a cycle that the ID order does not already provide).
+//
+// Soundness of the finite check. If such an algorithm f violates the
+// problem on ANY cycle with distinct IDs, the violation is a node or edge
+// violation (Definition 2.4) whose windows span at most 2r+2 consecutive
+// nodes; arranging those nodes in the same cyclic ID order on a cycle of
+// length exactly 2r+2 (or the original length, if shorter) reproduces both
+// windows verbatim, hence the violation. Consequently an f that passes
+// every ID ordering of every cycle length n in [3, 2r+2] is correct on all
+// cycles, and a failed exhaustive search proves that no such algorithm
+// exists. We check up to 2r+4 as margin.
+
+// Synthesized is a concrete order-invariant radius-R cycle algorithm: a
+// finite map from window order patterns to output-label pairs.
+type Synthesized struct {
+	R   int
+	Out map[string][2]int // pattern -> (label on port-0 half-edge, label on port-1 half-edge)
+}
+
+// pattern canonicalizes an ID sequence to its dense order pattern, e.g.
+// (5, 2, 7) -> "1,0,2" and (3, 9, 3) -> "0,1,0" (ties arise only on tiny
+// cycles whose windows wrap).
+func pattern(ids []int) string {
+	uniq := append([]int(nil), ids...)
+	sort.Ints(uniq)
+	j := 0
+	for i, x := range uniq {
+		if i == 0 || x != uniq[j-1] {
+			uniq[j] = x
+			j++
+		}
+	}
+	uniq = uniq[:j]
+	var b strings.Builder
+	for i, x := range ids {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", sort.SearchInts(uniq, x))
+	}
+	return b.String()
+}
+
+func reversed(ids []int) []int {
+	out := make([]int, len(ids))
+	for i, x := range ids {
+		out[len(ids)-1-i] = x
+	}
+	return out
+}
+
+// fieldFwd and fieldBwd address the two components of an output pair in
+// binary constraints.
+const (
+	fieldFwd = 0
+	fieldBwd = 1
+)
+
+// binaryConstraint requires E to contain the pair
+// (f(va)[fa], f(vb)[fb]).
+type binaryConstraint struct {
+	va string
+	fa int
+	vb string
+	fb int
+}
+
+// csp is the constraint system extracted from the finite instance set.
+type csp struct {
+	vars    []string                    // all window patterns that occur
+	index   map[string]int              // pattern -> variable id
+	domains [][][2]int                  // allowed pairs per variable (node constraint applied)
+	cons    map[binaryConstraint]string // dedup set; value is a diagnostic
+}
+
+// window reads the 2r+1 IDs centered at position v of the cyclic sequence
+// ids, in +direction (increasing index).
+func window(ids []int, v, r int) []int {
+	n := len(ids)
+	out := make([]int, 0, 2*r+1)
+	for d := -r; d <= r; d++ {
+		out = append(out, ids[((v+d)%n+n)%n])
+	}
+	return out
+}
+
+// buildCSP enumerates every ID ordering of every cycle length in
+// [3, 2r+4] and collects the unary and binary constraints a correct
+// radius-r algorithm must satisfy. Rotationally equivalent orderings yield
+// identical constraints, so IDs are enumerated with id 0 pinned to
+// position 0.
+func buildCSP(p *lcl.Problem, r int) *csp {
+	c := &csp{index: map[string]int{}, cons: map[binaryConstraint]string{}}
+	// Domain template: all pairs whose multiset is an allowed degree-2
+	// node configuration.
+	var pairsOK [][2]int
+	for a := 0; a < p.NumOut(); a++ {
+		for b := 0; b < p.NumOut(); b++ {
+			if p.NodeAllowed(lcl.NewMultiset(a, b)) {
+				pairsOK = append(pairsOK, [2]int{a, b})
+			}
+		}
+	}
+	addVar := func(pat string) {
+		if _, ok := c.index[pat]; !ok {
+			c.index[pat] = len(c.vars)
+			c.vars = append(c.vars, pat)
+			c.domains = append(c.domains, pairsOK)
+		}
+	}
+	maxN := 2*r + 4
+	if maxN < 4 {
+		maxN = 4
+	}
+	for n := 3; n <= maxN; n++ {
+		ids := make([]int, n)
+		forEachPermutation(n-1, func(perm []int) {
+			ids[0] = 0
+			for i, x := range perm {
+				ids[i+1] = x + 1
+			}
+			// Per-node patterns in both read directions.
+			fw := make([]string, n)
+			bw := make([]string, n)
+			for v := 0; v < n; v++ {
+				w := window(ids, v, r)
+				fw[v] = pattern(w)
+				bw[v] = pattern(reversed(w))
+				addVar(fw[v])
+				addVar(bw[v])
+			}
+			// Edge constraints between consecutive nodes: the +side label
+			// of v meets the -side label of v+1, for each of the two port
+			// orientations of each endpoint.
+			for v := 0; v < n; v++ {
+				u := (v + 1) % n
+				// +side label of v is f(fw[v])[fwd] (port 0 points +) or
+				// f(bw[v])[bwd] (port 0 points -); -side label of u is
+				// f(fw[u])[bwd] or f(bw[u])[fwd].
+				for _, a := range [2]struct {
+					pat string
+					f   int
+				}{{fw[v], fieldFwd}, {bw[v], fieldBwd}} {
+					for _, b := range [2]struct {
+						pat string
+						f   int
+					}{{fw[u], fieldBwd}, {bw[u], fieldFwd}} {
+						c.cons[binaryConstraint{a.pat, a.f, b.pat, b.f}] = ""
+					}
+				}
+			}
+		})
+	}
+	return c
+}
+
+// Synthesize searches for a radius-r order-invariant cycle algorithm for
+// the input-free LCL p. It returns (alg, true, nil) with a verified
+// algorithm, (nil, false, nil) when provably none exists, and an error
+// only when the search budget is exhausted or p has inputs.
+func Synthesize(p *lcl.Problem, r int) (*Synthesized, bool, error) {
+	if p.NumIn() != 1 {
+		return nil, false, fmt.Errorf("enumerate: synthesis supports input-free problems only")
+	}
+	if r < 0 || r > 2 {
+		return nil, false, fmt.Errorf("enumerate: synthesis radius %d out of supported range [0, 2]", r)
+	}
+	c := buildCSP(p, r)
+	if len(c.vars) == 0 {
+		return nil, false, nil
+	}
+	// Group binary constraints by variable pair for the DFS.
+	type varCon struct {
+		other int
+		fa    int
+		fb    int
+		aIsVa bool
+	}
+	perVar := make([][]varCon, len(c.vars))
+	type selfCon struct{ fa, fb int }
+	perSelf := make([][]selfCon, len(c.vars))
+	for bc := range c.cons {
+		ia, ib := c.index[bc.va], c.index[bc.vb]
+		if ia == ib {
+			perSelf[ia] = append(perSelf[ia], selfCon{bc.fa, bc.fb})
+			continue
+		}
+		perVar[ia] = append(perVar[ia], varCon{other: ib, fa: bc.fa, fb: bc.fb, aIsVa: true})
+		perVar[ib] = append(perVar[ib], varCon{other: ia, fa: bc.fa, fb: bc.fb, aIsVa: false})
+	}
+	// Apply self-constraints to domains up front.
+	for i := range c.domains {
+		var filtered [][2]int
+	next:
+		for _, pair := range c.domains[i] {
+			for _, sc := range perSelf[i] {
+				if !p.EdgeAllowed(pair[sc.fa], pair[sc.fb]) {
+					continue next
+				}
+			}
+			filtered = append(filtered, pair)
+		}
+		c.domains[i] = filtered
+		if len(filtered) == 0 {
+			return nil, false, nil
+		}
+	}
+
+	assigned := make([][2]int, len(c.vars))
+	done := make([]bool, len(c.vars))
+	const budget = 20_000_000
+	steps := 0
+	var dfs func(int) (bool, error)
+	dfs = func(depth int) (bool, error) {
+		if depth == len(c.vars) {
+			return true, nil
+		}
+		// Most-constrained unassigned variable.
+		best, bestDeg := -1, -1
+		for i := range c.vars {
+			if !done[i] && len(perVar[i]) > bestDeg {
+				best, bestDeg = i, len(perVar[i])
+			}
+		}
+		i := best
+	candidates:
+		for _, pair := range c.domains[i] {
+			steps++
+			if steps > budget {
+				return false, fmt.Errorf("enumerate: synthesis budget exhausted for %s at r=%d", p.Name, r)
+			}
+			for _, vc := range perVar[i] {
+				if !done[vc.other] {
+					continue
+				}
+				o := assigned[vc.other]
+				if vc.aIsVa {
+					if !p.EdgeAllowed(pair[vc.fa], o[vc.fb]) {
+						continue candidates
+					}
+				} else if !p.EdgeAllowed(o[vc.fa], pair[vc.fb]) {
+					continue candidates
+				}
+			}
+			assigned[i] = pair
+			done[i] = true
+			ok, err := dfs(depth + 1)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+			done[i] = false
+		}
+		return false, nil
+	}
+	ok, err := dfs(0)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	alg := &Synthesized{R: r, Out: make(map[string][2]int, len(c.vars))}
+	for i, pat := range c.vars {
+		alg.Out[pat] = assigned[i]
+	}
+	return alg, true, nil
+}
+
+// Decide tries radii 0..rMax and returns the smallest radius at which a
+// synthesis succeeds, with the algorithm; found is false when every radius
+// provably fails.
+func Decide(p *lcl.Problem, rMax int) (alg *Synthesized, radius int, found bool, err error) {
+	for r := 0; r <= rMax; r++ {
+		alg, ok, err := Synthesize(p, r)
+		if err != nil {
+			return nil, 0, false, err
+		}
+		if ok {
+			return alg, r, true, nil
+		}
+	}
+	return nil, 0, false, nil
+}
+
+// Run executes the synthesized algorithm on an actual cycle graph with
+// the given distinct IDs and returns the half-edge output labeling. The
+// graph may have arbitrary port numberings; each node reads its window in
+// its own port-0 direction, exactly as a LOCAL node would.
+func (s *Synthesized) Run(g *graph.Graph, ids []int) ([]int, error) {
+	n := g.N()
+	if len(ids) != n {
+		return nil, fmt.Errorf("enumerate: %d IDs for %d nodes", len(ids), n)
+	}
+	for v := 0; v < n; v++ {
+		if g.Deg(v) != 2 {
+			return nil, fmt.Errorf("enumerate: node %d has degree %d; synthesized algorithms run on cycles", v, g.Deg(v))
+		}
+	}
+	out := make([]int, g.NumHalfEdges())
+	for v := 0; v < n; v++ {
+		// Walk r steps out of port 0 (+side) and port 1 (-side),
+		// continuing "straight" through each degree-2 node.
+		back := walk(g, v, 1, s.R)
+		fwd := walk(g, v, 0, s.R)
+		w := make([]int, 0, 2*s.R+1)
+		for d := len(back) - 1; d >= 0; d-- {
+			w = append(w, ids[back[d]])
+		}
+		w = append(w, ids[v])
+		for _, u := range fwd {
+			w = append(w, ids[u])
+		}
+		pair, ok := s.Out[pattern(w)]
+		if !ok {
+			return nil, fmt.Errorf("enumerate: window pattern %q at node %d not in synthesized table", pattern(w), v)
+		}
+		out[g.HalfEdge(v, 0)] = pair[fieldFwd]
+		out[g.HalfEdge(v, 1)] = pair[fieldBwd]
+	}
+	return out, nil
+}
+
+// walk returns the r nodes reached by leaving v through port p and
+// continuing straight.
+func walk(g *graph.Graph, v, p, r int) []int {
+	out := make([]int, 0, r)
+	cur, port := v, p
+	for i := 0; i < r; i++ {
+		ep := g.Neighbor(cur, port)
+		out = append(out, ep.To)
+		cur, port = ep.To, 1-ep.ToPort
+	}
+	return out
+}

@@ -1,0 +1,237 @@
+package enumerate
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/classify"
+	"repro/internal/graph"
+	"repro/internal/lcl"
+)
+
+func trivialAllAllowed(k int) *lcl.Problem {
+	full := uint(1)<<uint(PairCount(k)) - 1
+	return FromMasks(k, full, full)
+}
+
+func twoColoring() *lcl.Problem {
+	n2 := uint(1)<<uint(pairIndex(2, 0, 0)) | uint(1)<<uint(pairIndex(2, 1, 1))
+	e := uint(1) << uint(pairIndex(2, 0, 1))
+	return FromMasks(2, n2, e)
+}
+
+func threeColoring() *lcl.Problem {
+	var n2, e uint
+	for c := 0; c < 3; c++ {
+		n2 |= 1 << uint(pairIndex(3, c, c))
+	}
+	for a := 0; a < 3; a++ {
+		for b := a + 1; b < 3; b++ {
+			e |= 1 << uint(pairIndex(3, a, b))
+		}
+	}
+	return FromMasks(3, n2, e)
+}
+
+func TestPatternNormalization(t *testing.T) {
+	cases := []struct {
+		ids  []int
+		want string
+	}{
+		{[]int{5, 2, 7}, "1,0,2"},
+		{[]int{3, 9, 3}, "0,1,0"},
+		{[]int{1, 2, 3}, "0,1,2"},
+		{[]int{30, 20, 10}, "2,1,0"},
+		{[]int{4}, "0"},
+	}
+	for _, c := range cases {
+		if got := pattern(c.ids); got != c.want {
+			t.Errorf("pattern(%v) = %q, want %q", c.ids, got, c.want)
+		}
+	}
+}
+
+func TestSynthesizeTrivialAtRadiusZero(t *testing.T) {
+	alg, ok, err := Synthesize(trivialAllAllowed(2), 0)
+	if err != nil || !ok {
+		t.Fatalf("trivial problem not synthesized at r=0: ok=%v err=%v", ok, err)
+	}
+	if alg.R != 0 || len(alg.Out) == 0 {
+		t.Fatalf("bad algorithm: %+v", alg)
+	}
+}
+
+func TestSynthesizeRefutesTwoColoring(t *testing.T) {
+	// 2-coloring is Θ(n) on cycles (and unsolvable on odd ones); no
+	// constant-radius order-invariant algorithm can exist, and the
+	// exhaustive search proves it for each radius.
+	for r := 0; r <= 2; r++ {
+		if _, ok, err := Synthesize(twoColoring(), r); err != nil {
+			t.Fatalf("r=%d: %v", r, err)
+		} else if ok {
+			t.Fatalf("synthesized a radius-%d algorithm for 2-coloring; this contradicts its Θ(n) bound", r)
+		}
+	}
+}
+
+func TestSynthesizeRefutesThreeColoring(t *testing.T) {
+	// 3-coloring is Linial's Θ(log* n) problem; refutation at small radii
+	// is the executable shadow of the lower bound.
+	for r := 0; r <= 1; r++ {
+		if _, ok, err := Synthesize(threeColoring(), r); err != nil {
+			t.Fatalf("r=%d: %v", r, err)
+		} else if ok {
+			t.Fatalf("synthesized a radius-%d algorithm for 3-coloring; this contradicts its Θ(log* n) bound", r)
+		}
+	}
+}
+
+// TestSynthesisMatchesClassifierK2 is the census-level cross-validation:
+// over the full k=2 space, a problem admits a constant-radius
+// order-invariant algorithm (radius <= 2 suffices at k=2) exactly when the
+// automata-theoretic classifier decides O(1). Both directions are sound:
+// a synthesized algorithm is verified on an instance set that covers all
+// cycle lengths (see synth.go), and a failed search is exhaustive.
+func TestSynthesisMatchesClassifierK2(t *testing.T) {
+	for _, en := range CycleLCLs(2, true) {
+		res, err := classify.Cycles(en.Problem)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _, found, err := Decide(en.Problem, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", en.Problem.Name, err)
+		}
+		if found && res.Class != classify.Constant {
+			t.Errorf("%s: synthesized a constant-round algorithm but classifier says %v", en.Problem.Name, res.Class)
+		}
+		if !found && res.Class == classify.Constant {
+			t.Errorf("%s: classifier says O(1) but no radius-<=2 algorithm exists", en.Problem.Name)
+		}
+	}
+}
+
+func TestSynthesizedAlgorithmSolvesRealCycles(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, en := range CycleLCLs(2, true) {
+		alg, _, found, err := Decide(en.Problem, 2)
+		if err != nil || !found {
+			continue
+		}
+		for _, n := range []int{3, 4, 5, 8, 13, 40} {
+			g := graph.ShufflePorts(graph.Cycle(n), rng)
+			ids := rng.Perm(10 * n)[:n]
+			fout, err := alg.Run(g, ids)
+			if err != nil {
+				t.Fatalf("%s on C_%d: %v", en.Problem.Name, n, err)
+			}
+			fin := make([]int, g.NumHalfEdges())
+			if viol := en.Problem.Verify(g, fin, fout); len(viol) > 0 {
+				t.Fatalf("%s on C_%d: synthesized algorithm violated: %v", en.Problem.Name, n, viol[0])
+			}
+		}
+	}
+}
+
+func TestSynthesizedAlgorithmConstantK3Sample(t *testing.T) {
+	if testing.Short() {
+		t.Skip("k=3 synthesis sample is not short")
+	}
+	c, err := Run(3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	checked := 0
+	for _, e := range c.Entries {
+		if e.Class != classify.Constant || checked >= 25 {
+			continue
+		}
+		alg, _, found, err := Decide(e.Problem, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Problem.Name, err)
+		}
+		if !found {
+			// Some constant problems need radius 2 or more; the k=2 test
+			// covers the exact equivalence, here we validate the ones in
+			// reach.
+			continue
+		}
+		checked++
+		n := 5 + rng.Intn(30)
+		g := graph.ShufflePorts(graph.Cycle(n), rng)
+		ids := rng.Perm(10 * n)[:n]
+		fout, err := alg.Run(g, ids)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Problem.Name, err)
+		}
+		fin := make([]int, g.NumHalfEdges())
+		if viol := e.Problem.Verify(g, fin, fout); len(viol) > 0 {
+			t.Fatalf("%s on C_%d: %v", e.Problem.Name, n, viol[0])
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no k=3 constant problem synthesized at radius <= 1")
+	}
+}
+
+// TestSynthesisSoundOnK3Sample checks the soundness direction on a random
+// k=3 sample: whenever synthesis succeeds, the classifier must agree with
+// O(1) (a verified constant-round algorithm for a Θ(log* n) problem would
+// break the landscape).
+func TestSynthesisSoundOnK3Sample(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	space := 1 << PairCount(3)
+	for trial := 0; trial < 40; trial++ {
+		p := FromMasks(3, uint(rng.Intn(space)), uint(rng.Intn(space)))
+		_, ok, err := Synthesize(p, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if !ok {
+			continue
+		}
+		res, err := classify.Cycles(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Class != classify.Constant {
+			t.Fatalf("%s: synthesized at r=1 but classified %v", p.Name, res.Class)
+		}
+	}
+}
+
+func TestSynthesizeRejectsInputs(t *testing.T) {
+	p := lcl.NewBuilder("with-inputs", []string{"x", "y"}, []string{"A"}).
+		Node("A", "A").Edge("A", "A").Allow("x", "A").Allow("y", "A").MustBuild()
+	if _, _, err := Synthesize(p, 1); err == nil {
+		t.Fatal("expected an error for problems with inputs")
+	}
+}
+
+func TestRunRejectsNonCycles(t *testing.T) {
+	alg, ok, err := Synthesize(trivialAllAllowed(2), 0)
+	if err != nil || !ok {
+		t.Fatal("setup failed")
+	}
+	if _, err := alg.Run(graph.Path(5), []int{1, 2, 3, 4, 5}); err == nil {
+		t.Fatal("expected degree error on a path")
+	}
+	if _, err := alg.Run(graph.Cycle(5), []int{1, 2, 3}); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+}
+
+func TestWalkFollowsShuffledPorts(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := graph.ShufflePorts(graph.Cycle(9), rng)
+	// Walking 9 steps in either direction returns to the start.
+	for v := 0; v < 9; v++ {
+		for p := 0; p < 2; p++ {
+			w := walk(g, v, p, 9)
+			if w[len(w)-1] != v {
+				t.Fatalf("walk from %d port %d does not close: %v", v, p, w)
+			}
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Ball is the radius-r view B_G(u, r) of a node u, as in Definition 2.1:
+// all nodes at distance <= r, all edges with an endpoint at distance
+// <= r-1, and all half-edges whose endpoint is within distance r. Vertices
+// are re-indexed locally (root = 0) in deterministic BFS-port order, which
+// makes the encoding canonical for a fixed port numbering.
+type Ball struct {
+	Radius int
+	// Orig maps local vertex index -> original vertex index.
+	Orig []int
+	// Dist[i] is the hop distance of local vertex i from the root.
+	Dist []int
+	// Deg[i] is the TRUE degree of local vertex i in G (visible in the
+	// model even when some incident edges are not).
+	Deg []int
+	// Port[i][p] is the local index reached via port p of local vertex i,
+	// or -1 if that edge leaves the ball (not visible).
+	Port [][]int
+	// In[i][p] is the input label on half-edge (i, p), or -1 if no input
+	// labeling was supplied. Half-edges of all ball vertices are visible.
+	In [][]int
+	// ID[i] is the identifier of local vertex i (or 0 if not supplied).
+	ID []int
+	// Rand[i] is the random bit string of local vertex i (nil if none).
+	Rand [][]byte
+	// Dim[i][p] mirrors Graph.DimLabel for oriented grids, or -1.
+	Dim [][]int
+}
+
+// BallOpts selects the decorations included in an extracted ball.
+type BallOpts struct {
+	In   []int    // input labeling by dense half-edge index (optional)
+	IDs  []int    // identifier per vertex (optional)
+	Rand [][]byte // random bits per vertex (optional)
+}
+
+// ExtractBall returns B_G(u, r) with the requested decorations.
+func ExtractBall(g *Graph, u, r int, opts BallOpts) *Ball {
+	local := map[int]int{u: 0}
+	b := &Ball{
+		Radius: r,
+		Orig:   []int{u},
+		Dist:   []int{0},
+	}
+	queue := []int{u}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		lv := local[v]
+		if b.Dist[lv] >= r {
+			continue
+		}
+		for _, ep := range g.Ports(v) {
+			if _, ok := local[ep.To]; !ok {
+				local[ep.To] = len(b.Orig)
+				b.Orig = append(b.Orig, ep.To)
+				b.Dist = append(b.Dist, b.Dist[lv]+1)
+				queue = append(queue, ep.To)
+			}
+		}
+	}
+	n := len(b.Orig)
+	b.Deg = make([]int, n)
+	b.Port = make([][]int, n)
+	b.In = make([][]int, n)
+	b.Dim = make([][]int, n)
+	b.ID = make([]int, n)
+	if opts.Rand != nil {
+		b.Rand = make([][]byte, n)
+	}
+	for i, v := range b.Orig {
+		d := g.Deg(v)
+		b.Deg[i] = d
+		b.Port[i] = make([]int, d)
+		b.In[i] = make([]int, d)
+		b.Dim[i] = make([]int, d)
+		for p, ep := range g.Ports(v) {
+			// Edge visible iff one endpoint at distance <= r-1. Vertex i is
+			// at Dist[i]; the edge (v, ep.To) is visible iff min dist <= r-1.
+			lj, seen := local[ep.To]
+			visible := b.Dist[i] <= r-1 || (seen && b.Dist[lj] <= r-1)
+			if seen && visible {
+				b.Port[i][p] = lj
+			} else {
+				b.Port[i][p] = -1
+			}
+			if opts.In != nil {
+				b.In[i][p] = opts.In[g.HalfEdge(v, p)]
+			} else {
+				b.In[i][p] = -1
+			}
+			b.Dim[i][p] = g.DimLabel(v, p)
+		}
+		if opts.IDs != nil {
+			b.ID[i] = opts.IDs[v]
+		}
+		if opts.Rand != nil {
+			b.Rand[i] = opts.Rand[v]
+		}
+	}
+	return b
+}
+
+// NumVertices returns the number of vertices in the ball.
+func (b *Ball) NumVertices() int { return len(b.Orig) }
+
+// Encode returns a canonical string encoding of the ball: topology (local
+// adjacency by port), degrees, distances, input labels, dimension labels,
+// and identifiers. Two balls around different nodes receive equal encodings
+// iff they are isomorphic as port-numbered ID-and-input-labeled views —
+// the object a LOCAL algorithm (Definition 2.1) is a function of.
+func (b *Ball) Encode() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "r%d;", b.Radius)
+	for i := range b.Orig {
+		fmt.Fprintf(&sb, "v%d d%d t%d id%d[", i, b.Deg[i], b.Dist[i], b.ID[i])
+		for p := range b.Port[i] {
+			fmt.Fprintf(&sb, "%d:%d:%d,", b.Port[i][p], b.In[i][p], b.Dim[i][p])
+		}
+		sb.WriteString("]")
+		if b.Rand != nil && b.Rand[i] != nil {
+			fmt.Fprintf(&sb, "R%x", b.Rand[i])
+		}
+		sb.WriteString(";")
+	}
+	return sb.String()
+}
+
+// EncodeOrderInvariant returns the canonical encoding with identifiers
+// replaced by their ranks within the ball (ties impossible for valid ID
+// assignments). Two ID assignments that are order-indistinguishable on the
+// ball produce equal encodings; this realizes Definition 2.7's notion of
+// order-invariance: an order-invariant algorithm is precisely a function of
+// this encoding.
+func (b *Ball) EncodeOrderInvariant() string {
+	rank := idRanks(b.ID)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "r%d;", b.Radius)
+	for i := range b.Orig {
+		fmt.Fprintf(&sb, "v%d d%d t%d o%d[", i, b.Deg[i], b.Dist[i], rank[i])
+		for p := range b.Port[i] {
+			fmt.Fprintf(&sb, "%d:%d:%d,", b.Port[i][p], b.In[i][p], b.Dim[i][p])
+		}
+		sb.WriteString("];")
+	}
+	return sb.String()
+}
+
+// idRanks returns the rank (0-based, by increasing ID) of each entry.
+func idRanks(ids []int) []int {
+	rank := make([]int, len(ids))
+	for i, x := range ids {
+		r := 0
+		for j, y := range ids {
+			if y < x || (y == x && j < i) {
+				r++
+			}
+		}
+		rank[i] = r
+	}
+	return rank
+}
+
+// InducedSubgraph materializes the visible part of the ball as a standalone
+// Graph (invisible leaving edges are dropped, so boundary degrees may be
+// smaller than Deg). Returns the graph and the local-index mapping
+// (identity on indices). Used to re-run algorithms on extracted views.
+func (b *Ball) InducedSubgraph() *Graph {
+	g := New(len(b.Orig))
+	for i := range b.Orig {
+		for p, j := range b.Port[i] {
+			if j > i { // add each visible edge once
+				g.AddEdge(i, j)
+				_ = p
+			}
+		}
+	}
+	return g
+}

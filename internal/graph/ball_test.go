@@ -1,0 +1,194 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBallPathRadii(t *testing.T) {
+	g := Path(9)
+	for r := 0; r <= 4; r++ {
+		b := ExtractBall(g, 4, r, BallOpts{})
+		want := 2*r + 1
+		if b.NumVertices() != want {
+			t.Errorf("ball(4, r=%d) has %d vertices, want %d", r, b.NumVertices(), want)
+		}
+	}
+	// Radius 0: the root sees its own half-edges (Definition 2.1:
+	// B_G(u, 0) contains all half-edges incident to u) but no edges.
+	b := ExtractBall(g, 4, 0, BallOpts{})
+	if b.Deg[0] != 2 {
+		t.Errorf("radius-0 ball must expose true degree, got %d", b.Deg[0])
+	}
+	for p, j := range b.Port[0] {
+		if j != -1 {
+			t.Errorf("radius-0 ball port %d should be invisible, got %d", p, j)
+		}
+	}
+}
+
+func TestBallBoundaryEdges(t *testing.T) {
+	g := Path(9)
+	b := ExtractBall(g, 4, 2, BallOpts{})
+	// Vertices at distance exactly 2 must show true degree but hide the
+	// outgoing edge to distance 3.
+	for i := range b.Orig {
+		if b.Dist[i] != 2 {
+			continue
+		}
+		if b.Deg[i] != 2 {
+			t.Errorf("boundary vertex %d degree %d, want 2", b.Orig[i], b.Deg[i])
+		}
+		visible := 0
+		for _, j := range b.Port[i] {
+			if j != -1 {
+				visible++
+			}
+		}
+		if visible != 1 {
+			t.Errorf("boundary vertex %d sees %d edges, want 1", b.Orig[i], visible)
+		}
+	}
+}
+
+func TestBallCycleWrap(t *testing.T) {
+	// Radius n on C5 sees the whole cycle including the closing edge.
+	g := Cycle(5)
+	b := ExtractBall(g, 0, 5, BallOpts{})
+	if b.NumVertices() != 5 {
+		t.Fatalf("full-radius ball has %d vertices", b.NumVertices())
+	}
+	edges := 0
+	for i := range b.Orig {
+		for _, j := range b.Port[i] {
+			if j != -1 {
+				edges++
+			}
+		}
+	}
+	if edges != 10 { // 5 edges, counted from both sides
+		t.Errorf("full-radius ball sees %d half-edges, want 10", edges)
+	}
+}
+
+func TestBallEncodingCanonical(t *testing.T) {
+	// Two centers of the same caterpillar must encode equally when inputs
+	// and IDs agree structurally.
+	g := Caterpillar(6, 1)
+	b1 := ExtractBall(g, 2, 1, BallOpts{})
+	b2 := ExtractBall(g, 3, 1, BallOpts{})
+	if b1.Encode() != b2.Encode() {
+		t.Errorf("isomorphic views encode differently:\n%s\n%s", b1.Encode(), b2.Encode())
+	}
+	// A spine endpoint has a different view.
+	b3 := ExtractBall(g, 0, 1, BallOpts{})
+	if b3.Encode() == b1.Encode() {
+		t.Error("non-isomorphic views encode equally")
+	}
+}
+
+func TestBallEncodingDependsOnInputs(t *testing.T) {
+	g := Path(5)
+	in1 := make([]int, g.NumHalfEdges())
+	in2 := make([]int, g.NumHalfEdges())
+	in2[g.HalfEdge(2, 0)] = 1
+	b1 := ExtractBall(g, 2, 1, BallOpts{In: in1})
+	b2 := ExtractBall(g, 2, 1, BallOpts{In: in2})
+	if b1.Encode() == b2.Encode() {
+		t.Error("input labels must affect the encoding")
+	}
+}
+
+func TestOrderInvariantEncoding(t *testing.T) {
+	g := Path(7)
+	ids1 := []int{10, 20, 30, 40, 50, 60, 70}
+	ids2 := []int{1, 5, 8, 11, 300, 301, 999} // same relative order
+	ids3 := []int{10, 20, 30, 40, 35, 60, 70} // order of 4 and 5 swapped
+	b1 := ExtractBall(g, 3, 2, BallOpts{IDs: ids1})
+	b2 := ExtractBall(g, 3, 2, BallOpts{IDs: ids2})
+	b3 := ExtractBall(g, 3, 2, BallOpts{IDs: ids3})
+	if b1.EncodeOrderInvariant() != b2.EncodeOrderInvariant() {
+		t.Error("order-isomorphic ID assignments must encode equally")
+	}
+	if b1.EncodeOrderInvariant() == b3.EncodeOrderInvariant() {
+		t.Error("different orders must encode differently")
+	}
+	if b1.Encode() == b2.Encode() {
+		t.Error("plain encoding must distinguish different raw IDs")
+	}
+}
+
+func TestBallRandBits(t *testing.T) {
+	g := Path(3)
+	rnd := [][]byte{{1}, {2}, {3}}
+	b := ExtractBall(g, 1, 1, BallOpts{Rand: rnd})
+	if b.Rand == nil || len(b.Rand[0]) == 0 {
+		t.Fatal("random bits missing from ball")
+	}
+	e1 := b.Encode()
+	rnd[0][0] = 9
+	b2 := ExtractBall(g, 1, 1, BallOpts{Rand: rnd})
+	if e1 == b2.Encode() {
+		t.Error("random bits must affect encoding")
+	}
+}
+
+func TestBallTreeSizes(t *testing.T) {
+	g := CompleteTree(3, 4)
+	b := ExtractBall(g, 0, 2, BallOpts{})
+	// Root with 3 children, each with 2 children: 1 + 3 + 6 = 10.
+	if b.NumVertices() != 10 {
+		t.Errorf("tree ball size = %d, want 10", b.NumVertices())
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := Cycle(8)
+	b := ExtractBall(g, 0, 2, BallOpts{})
+	sub := b.InducedSubgraph()
+	if sub.N() != 5 {
+		t.Fatalf("induced subgraph n = %d, want 5", sub.N())
+	}
+	if sub.NumEdges() != 4 {
+		t.Errorf("induced subgraph edges = %d, want 4", sub.NumEdges())
+	}
+	if !sub.IsTree() {
+		t.Error("radius-2 ball of a long cycle should be a path")
+	}
+}
+
+func TestBallOnTorusIncludesDims(t *testing.T) {
+	g := Torus(4, 4)
+	b := ExtractBall(g, 5, 1, BallOpts{})
+	labels := map[int]bool{}
+	for p := range b.Port[0] {
+		labels[b.Dim[0][p]] = true
+	}
+	for lab := 0; lab < 4; lab++ {
+		if !labels[lab] {
+			t.Errorf("torus ball missing direction label %d", lab)
+		}
+	}
+}
+
+func TestBallRandomizedAgainstDist(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := RandomTree(80, 3, rng)
+	for trial := 0; trial < 20; trial++ {
+		u := rng.Intn(g.N())
+		r := rng.Intn(4)
+		b := ExtractBall(g, u, r, BallOpts{})
+		inBall := map[int]bool{}
+		for i, v := range b.Orig {
+			inBall[v] = true
+			if d := g.Dist(u, v); d != b.Dist[i] {
+				t.Fatalf("dist mismatch at %d: ball %d, graph %d", v, b.Dist[i], d)
+			}
+		}
+		for v := 0; v < g.N(); v++ {
+			if (g.Dist(u, v) <= r) != inBall[v] {
+				t.Fatalf("membership mismatch at %d (r=%d)", v, r)
+			}
+		}
+	}
+}

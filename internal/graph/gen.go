@@ -1,0 +1,291 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Path returns the path graph on n vertices, 0-1-2-...-(n-1).
+func Path(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+// Cycle returns the cycle graph on n >= 3 vertices.
+func Cycle(n int) *Graph {
+	if n < 3 {
+		panic(fmt.Sprintf("graph: cycle needs n >= 3, got %d", n))
+	}
+	g := Path(n)
+	g.AddEdge(n-1, 0)
+	return g
+}
+
+// Star returns the star K_{1,k}: vertex 0 is the center.
+func Star(k int) *Graph {
+	g := New(k + 1)
+	for i := 1; i <= k; i++ {
+		g.AddEdge(0, i)
+	}
+	return g
+}
+
+// CompleteTree returns the complete rooted tree where the root (vertex 0)
+// has branch children, every internal vertex has branch-1 children (so all
+// internal vertices have degree branch+... the maximum degree is branch+1
+// except the root with degree branch), of the given depth. depth=0 yields a
+// single vertex.
+func CompleteTree(branch, depth int) *Graph {
+	if branch < 1 {
+		panic("graph: branch must be >= 1")
+	}
+	g := New(1)
+	level := []int{0}
+	for d := 0; d < depth; d++ {
+		var next []int
+		for _, v := range level {
+			kids := branch
+			if v != 0 {
+				kids = branch - 1
+			}
+			for i := 0; i < kids; i++ {
+				u := g.addVertex()
+				g.AddEdge(v, u)
+				next = append(next, u)
+			}
+		}
+		level = next
+	}
+	return g
+}
+
+func (g *Graph) addVertex() int {
+	g.hoff = nil
+	g.adj = append(g.adj, nil)
+	return len(g.adj) - 1
+}
+
+// RandomTree returns a uniformly random-ish tree on n vertices with maximum
+// degree at most maxDeg >= 2, built by attaching each new vertex to a
+// uniformly random earlier vertex with remaining degree budget.
+func RandomTree(n, maxDeg int, rng *rand.Rand) *Graph {
+	if n < 1 {
+		panic("graph: RandomTree needs n >= 1")
+	}
+	if maxDeg < 2 && n > 2 {
+		panic("graph: RandomTree needs maxDeg >= 2 for n > 2")
+	}
+	g := New(n)
+	// candidates: vertices with degree budget remaining.
+	cand := []int{0}
+	for v := 1; v < n; v++ {
+		i := rng.Intn(len(cand))
+		u := cand[i]
+		g.AddEdge(u, v)
+		if g.Deg(u) >= maxDeg {
+			cand[i] = cand[len(cand)-1]
+			cand = cand[:len(cand)-1]
+		}
+		if g.Deg(v) < maxDeg {
+			cand = append(cand, v)
+		}
+		if len(cand) == 0 && v+1 < n {
+			panic("graph: degree budget exhausted (maxDeg too small)")
+		}
+	}
+	return g
+}
+
+// RandomForest returns a forest of the given number of components with n
+// total vertices and maximum degree maxDeg. Component sizes are balanced
+// within +-1.
+func RandomForest(n, components, maxDeg int, rng *rand.Rand) *Graph {
+	if components < 1 || components > n {
+		panic("graph: invalid component count")
+	}
+	g := New(n)
+	base := n / components
+	extra := n % components
+	start := 0
+	for c := 0; c < components; c++ {
+		size := base
+		if c < extra {
+			size++
+		}
+		// Build a random tree over [start, start+size).
+		cand := []int{start}
+		for v := start + 1; v < start+size; v++ {
+			i := rng.Intn(len(cand))
+			u := cand[i]
+			g.AddEdge(u, v)
+			if g.Deg(u) >= maxDeg {
+				cand[i] = cand[len(cand)-1]
+				cand = cand[:len(cand)-1]
+			}
+			if g.Deg(v) < maxDeg {
+				cand = append(cand, v)
+			}
+		}
+		start += size
+	}
+	return g
+}
+
+// Caterpillar returns a caterpillar tree: a spine path of the given length
+// with legs leaves attached to each spine vertex.
+func Caterpillar(spine, legs int) *Graph {
+	g := Path(spine)
+	for s := 0; s < spine; s++ {
+		for l := 0; l < legs; l++ {
+			v := g.addVertex()
+			g.AddEdge(s, v)
+		}
+	}
+	return g
+}
+
+// Torus returns the oriented d-dimensional toroidal grid with the given
+// side lengths (n = prod sides). Edges carry dimension/direction labels via
+// DimLabel: half-edge leaving v in the +direction of dimension k is
+// labeled 2k, the -direction 2k+1 — the consistent orientation plus
+// dimension labeling of Section 5. Vertex index encodes coordinates in
+// mixed radix: index = sum_k coord[k] * stride[k].
+func Torus(sides ...int) *Graph {
+	if len(sides) == 0 {
+		panic("graph: torus needs at least one dimension")
+	}
+	n := 1
+	for _, s := range sides {
+		if s < 3 {
+			panic("graph: torus sides must be >= 3 (avoid parallel edges)")
+		}
+		n *= s
+	}
+	g := New(n)
+	stride := make([]int, len(sides))
+	stride[0] = 1
+	for k := 1; k < len(sides); k++ {
+		stride[k] = stride[k-1] * sides[k-1]
+	}
+	coord := make([]int, len(sides))
+	for v := 0; v < n; v++ {
+		// decode coordinates
+		rem := v
+		for k := range sides {
+			coord[k] = rem % sides[k]
+			rem /= sides[k]
+		}
+		for k := range sides {
+			// +direction neighbor; every edge is added exactly once, from
+			// the endpoint whose +k direction it is.
+			u := v - coord[k]*stride[k] + ((coord[k]+1)%sides[k])*stride[k]
+			pv, pu := g.AddEdge(v, u)
+			g.SetDimLabel(v, pv, 2*k)   // v --(+k)--> u
+			g.SetDimLabel(u, pu, 2*k+1) // u sees the -k direction
+		}
+	}
+	return g
+}
+
+// TorusCoord decodes the coordinates of vertex v in a torus with the given
+// sides.
+func TorusCoord(v int, sides []int) []int {
+	coord := make([]int, len(sides))
+	for k := range sides {
+		coord[k] = v % sides[k]
+		v /= sides[k]
+	}
+	return coord
+}
+
+// TorusIndex encodes coordinates back to a vertex index.
+func TorusIndex(coord, sides []int) int {
+	idx, stride := 0, 1
+	for k := range sides {
+		c := ((coord[k] % sides[k]) + sides[k]) % sides[k]
+		idx += c * stride
+		stride *= sides[k]
+	}
+	return idx
+}
+
+// DoubleStar returns two adjacent centers each with k leaves; a minimal
+// tree exercising distinct degrees (used in round-elimination tests for
+// irregular trees).
+func DoubleStar(k int) *Graph {
+	g := New(2)
+	g.AddEdge(0, 1)
+	for c := 0; c < 2; c++ {
+		for i := 0; i < k; i++ {
+			v := g.addVertex()
+			g.AddEdge(c, v)
+		}
+	}
+	return g
+}
+
+// ShufflePorts returns a copy of g with each vertex's port order permuted
+// by rng; used to exercise port-numbering adversity.
+func ShufflePorts(g *Graph, rng *rand.Rand) *Graph {
+	h := New(g.N())
+	type he struct{ u, pu, v, pv int }
+	var edges []he
+	g.Edges(func(u, pu, v, pv int) { edges = append(edges, he{u, pu, v, pv}) })
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	// Re-adding in shuffled order permutes ports; also carry dim labels.
+	for _, e := range edges {
+		qu, qv := h.AddEdge(e.u, e.v)
+		if l := g.DimLabel(e.u, e.pu); l >= 0 {
+			h.SetDimLabel(e.u, qu, l)
+		}
+		if l := g.DimLabel(e.v, e.pv); l >= 0 {
+			h.SetDimLabel(e.v, qv, l)
+		}
+	}
+	return h
+}
+
+// RandomRegular returns a random d-regular (multi)graph on n vertices via
+// the configuration model: nd half-edge stubs are paired uniformly at
+// random, rejecting self-loops. Parallel edges are kept (they occupy
+// distinct ports, which the LCL machinery handles); for n >> d they are
+// rare and the graph is locally tree-like — the regime in which class-(C)
+// LLL instances live. Requires n*d even and d >= 1.
+func RandomRegular(n, d int, rng *rand.Rand) *Graph {
+	if n*d%2 != 0 {
+		panic("graph: RandomRegular needs n*d even")
+	}
+	if d < 1 || n < d+1 {
+		panic("graph: RandomRegular needs 1 <= d < n")
+	}
+	for attempt := 0; ; attempt++ {
+		stubs := make([]int, 0, n*d)
+		for v := 0; v < n; v++ {
+			for i := 0; i < d; i++ {
+				stubs = append(stubs, v)
+			}
+		}
+		rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+		ok := true
+		for i := 0; i < len(stubs); i += 2 {
+			if stubs[i] == stubs[i+1] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			if attempt > 200 {
+				panic("graph: RandomRegular failed to avoid self-loops; d too close to n")
+			}
+			continue
+		}
+		g := New(n)
+		for i := 0; i < len(stubs); i += 2 {
+			g.AddEdge(stubs[i], stubs[i+1])
+		}
+		return g
+	}
+}

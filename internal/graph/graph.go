@@ -1,0 +1,356 @@
+// Package graph provides the bounded-degree graph substrate of the paper:
+// graphs with port numberings and half-edge indexing (Section 2), radius-r
+// balls B_G(u, r) with canonical encodings, and generators for the graph
+// classes the theorems quantify over — paths, cycles, trees T, forests F,
+// and oriented toroidal grids.
+//
+// A half-edge is a pair (v, e) with v incident to e (paper notation H(G));
+// we index half-edges densely so labelings are flat int slices.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Endpoint records where a port leads: the neighbor and the reverse port.
+type Endpoint struct {
+	To     int // neighbor vertex
+	ToPort int // the port at To that leads back
+}
+
+// Graph is an undirected graph of bounded degree with a port numbering:
+// at each vertex v the incident edges occupy ports 0..deg(v)-1. Half-edge
+// (v, p) is the p-th port of v. The port numbering makes node views
+// canonical, matching the model of Definition 2.1 (ports are part of the
+// LOCAL model there; Section 2.1 notes they do not change its power).
+type Graph struct {
+	adj    [][]Endpoint
+	hoff   []int // half-edge index offset per vertex
+	nhalf  int
+	dimLab [][]int // optional per-half-edge dimension labels (oriented grids)
+}
+
+// New builds a graph on n isolated vertices.
+func New(n int) *Graph {
+	return &Graph{adj: make([][]Endpoint, n)}
+}
+
+// AddEdge connects u and v, appending a new port at each endpoint, and
+// returns the two new port numbers. Self-loops are rejected; parallel edges
+// are permitted (they occupy distinct ports).
+func (g *Graph) AddEdge(u, v int) (pu, pv int) {
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop at %d", u))
+	}
+	g.hoff = nil // invalidate half-edge index
+	pu, pv = len(g.adj[u]), len(g.adj[v])
+	g.adj[u] = append(g.adj[u], Endpoint{To: v, ToPort: pv})
+	g.adj[v] = append(g.adj[v], Endpoint{To: u, ToPort: pu})
+	return pu, pv
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.adj) }
+
+// Deg returns the degree of v.
+func (g *Graph) Deg(v int) int { return len(g.adj[v]) }
+
+// MaxDeg returns the maximum degree Δ of the graph (0 for empty graphs).
+func (g *Graph) MaxDeg() int {
+	d := 0
+	for v := range g.adj {
+		if len(g.adj[v]) > d {
+			d = len(g.adj[v])
+		}
+	}
+	return d
+}
+
+// Neighbor returns the endpoint reached via port p of v.
+func (g *Graph) Neighbor(v, p int) Endpoint { return g.adj[v][p] }
+
+// Ports returns the endpoint slice of v. Callers must not mutate it.
+func (g *Graph) Ports(v int) []Endpoint { return g.adj[v] }
+
+// ensureIndex (re)builds the dense half-edge index.
+func (g *Graph) ensureIndex() {
+	if g.hoff != nil {
+		return
+	}
+	g.hoff = make([]int, len(g.adj)+1)
+	for v := range g.adj {
+		g.hoff[v+1] = g.hoff[v] + len(g.adj[v])
+	}
+	g.nhalf = g.hoff[len(g.adj)]
+}
+
+// NumHalfEdges returns |H(G)| = 2|E(G)|.
+func (g *Graph) NumHalfEdges() int {
+	g.ensureIndex()
+	return g.nhalf
+}
+
+// HalfEdge returns the dense index of half-edge (v, p).
+func (g *Graph) HalfEdge(v, p int) int {
+	g.ensureIndex()
+	if p < 0 || p >= len(g.adj[v]) {
+		panic(fmt.Sprintf("graph: port %d out of range at vertex %d (deg %d)", p, v, len(g.adj[v])))
+	}
+	return g.hoff[v] + p
+}
+
+// HalfEdgeRev returns the index of the opposite half-edge of (v, p), i.e.
+// the half-edge (u, q) with e = {v, u} entered at u.
+func (g *Graph) HalfEdgeRev(v, p int) int {
+	ep := g.adj[v][p]
+	return g.HalfEdge(ep.To, ep.ToPort)
+}
+
+// VertexOf returns the (vertex, port) pair of a dense half-edge index.
+func (g *Graph) VertexOf(h int) (v, p int) {
+	g.ensureIndex()
+	v = sort.Search(len(g.adj), func(i int) bool { return g.hoff[i+1] > h })
+	return v, h - g.hoff[v]
+}
+
+// Edges invokes fn once per undirected edge with both half-edge endpoints,
+// ordered so that (u, pu) has u <= v (ties on parallel edges broken by the
+// first-seen direction).
+func (g *Graph) Edges(fn func(u, pu, v, pv int)) {
+	for u := range g.adj {
+		for pu, ep := range g.adj[u] {
+			if ep.To > u {
+				fn(u, pu, ep.To, ep.ToPort)
+			}
+		}
+	}
+}
+
+// NumEdges returns |E(G)|.
+func (g *Graph) NumEdges() int { return g.NumHalfEdges() / 2 }
+
+// SetDimLabel records the grid-dimension/direction label of half-edge
+// (v, p); used by oriented grids (Section 5), where each edge carries a
+// dimension in [d] and a consistent orientation. Label convention:
+// 2*k for "+direction of dimension k", 2*k+1 for "-direction".
+func (g *Graph) SetDimLabel(v, p, label int) {
+	if g.dimLab == nil {
+		g.dimLab = make([][]int, len(g.adj))
+	}
+	for len(g.dimLab[v]) < len(g.adj[v]) {
+		g.dimLab[v] = append(g.dimLab[v], -1)
+	}
+	g.dimLab[v][p] = label
+}
+
+// DimLabel returns the dimension/direction label of half-edge (v, p), or
+// -1 if the graph carries no orientation labels.
+func (g *Graph) DimLabel(v, p int) int {
+	if g.dimLab == nil || p >= len(g.dimLab[v]) {
+		return -1
+	}
+	return g.dimLab[v][p]
+}
+
+// IsConnected reports whether g is connected (true for the empty graph).
+func (g *Graph) IsConnected() bool {
+	n := g.N()
+	if n == 0 {
+		return true
+	}
+	seen := make([]bool, n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, ep := range g.adj[v] {
+			if !seen[ep.To] {
+				seen[ep.To] = true
+				count++
+				stack = append(stack, ep.To)
+			}
+		}
+	}
+	return count == n
+}
+
+// IsForest reports whether g is acyclic.
+func (g *Graph) IsForest() bool {
+	n := g.N()
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = -2 // unvisited
+	}
+	for root := 0; root < n; root++ {
+		if parent[root] != -2 {
+			continue
+		}
+		parent[root] = -1
+		type frame struct{ v, fromPort int }
+		stack := []frame{{root, -1}}
+		for len(stack) > 0 {
+			f := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for p, ep := range g.adj[f.v] {
+				if p == f.fromPort {
+					continue
+				}
+				if parent[ep.To] != -2 {
+					return false
+				}
+				parent[ep.To] = f.v
+				stack = append(stack, frame{ep.To, ep.ToPort})
+			}
+		}
+	}
+	return true
+}
+
+// IsTree reports whether g is a tree: connected and acyclic (and nonempty).
+func (g *Graph) IsTree() bool {
+	return g.N() > 0 && g.IsConnected() && g.IsForest()
+}
+
+// CheckPorts validates port-numbering reciprocity; it returns an error
+// describing the first inconsistency, or nil.
+func (g *Graph) CheckPorts() error {
+	for v := range g.adj {
+		for p, ep := range g.adj[v] {
+			if ep.To < 0 || ep.To >= len(g.adj) {
+				return fmt.Errorf("graph: vertex %d port %d points outside graph", v, p)
+			}
+			back := g.adj[ep.To]
+			if ep.ToPort < 0 || ep.ToPort >= len(back) {
+				return fmt.Errorf("graph: vertex %d port %d reverse port out of range", v, p)
+			}
+			r := back[ep.ToPort]
+			if r.To != v || r.ToPort != p {
+				return fmt.Errorf("graph: port reciprocity broken at (%d,%d)", v, p)
+			}
+		}
+	}
+	return nil
+}
+
+// Dist returns the hop distance from u to v, or -1 if disconnected.
+func (g *Graph) Dist(u, v int) int {
+	if u == v {
+		return 0
+	}
+	dist := make([]int, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[u] = 0
+	queue := []int{u}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		for _, ep := range g.adj[x] {
+			if dist[ep.To] == -1 {
+				dist[ep.To] = dist[x] + 1
+				if ep.To == v {
+					return dist[ep.To]
+				}
+				queue = append(queue, ep.To)
+			}
+		}
+	}
+	return -1
+}
+
+// Diameter returns the maximum eccentricity over all vertices (0 for
+// graphs with fewer than 2 vertices, -1 if disconnected). Quadratic; for
+// test-scale graphs only.
+func (g *Graph) Diameter() int {
+	n := g.N()
+	if n < 2 {
+		return 0
+	}
+	diam := 0
+	dist := make([]int, n)
+	for s := 0; s < n; s++ {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[s] = 0
+		queue := []int{s}
+		reached := 1
+		for len(queue) > 0 {
+			x := queue[0]
+			queue = queue[1:]
+			for _, ep := range g.adj[x] {
+				if dist[ep.To] == -1 {
+					dist[ep.To] = dist[x] + 1
+					reached++
+					if dist[ep.To] > diam {
+						diam = dist[ep.To]
+					}
+					queue = append(queue, ep.To)
+				}
+			}
+		}
+		if reached != n {
+			return -1
+		}
+	}
+	return diam
+}
+
+// Girth returns the length of a shortest cycle, or -1 if g is acyclic.
+// O(n·m); for test-scale graphs.
+func (g *Graph) Girth() int {
+	best := -1
+	n := g.N()
+	dist := make([]int, n)
+	parPort := make([]int, n) // port at x leading back to its BFS parent
+	for s := 0; s < n; s++ {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[s] = 0
+		parPort[s] = -1
+		queue := []int{s}
+		for len(queue) > 0 {
+			x := queue[0]
+			queue = queue[1:]
+			for p, ep := range g.adj[x] {
+				if p == parPort[x] {
+					continue
+				}
+				if dist[ep.To] == -1 {
+					dist[ep.To] = dist[x] + 1
+					parPort[ep.To] = ep.ToPort
+					queue = append(queue, ep.To)
+				} else if dist[ep.To] >= dist[x] {
+					// Non-tree edge within the BFS; closes a cycle of length
+					// at most dist[x] + dist[ep.To] + 1.
+					c := dist[x] + dist[ep.To] + 1
+					if best == -1 || c < best {
+						best = c
+					}
+				}
+			}
+		}
+	}
+	return best
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	h := New(g.N())
+	h.adj = make([][]Endpoint, len(g.adj))
+	for v := range g.adj {
+		h.adj[v] = append([]Endpoint(nil), g.adj[v]...)
+	}
+	if g.dimLab != nil {
+		h.dimLab = make([][]int, len(g.dimLab))
+		for v := range g.dimLab {
+			h.dimLab[v] = append([]int(nil), g.dimLab[v]...)
+		}
+	}
+	return h
+}

@@ -1,0 +1,337 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPathBasics(t *testing.T) {
+	g := Path(5)
+	if g.N() != 5 || g.NumEdges() != 4 || g.NumHalfEdges() != 8 {
+		t.Fatalf("path(5): n=%d e=%d h=%d", g.N(), g.NumEdges(), g.NumHalfEdges())
+	}
+	if !g.IsTree() || !g.IsForest() || !g.IsConnected() {
+		t.Error("path(5) should be a connected tree")
+	}
+	if g.MaxDeg() != 2 {
+		t.Errorf("path(5) maxdeg = %d", g.MaxDeg())
+	}
+	if d := g.Dist(0, 4); d != 4 {
+		t.Errorf("dist(0,4) = %d", d)
+	}
+	if d := g.Diameter(); d != 4 {
+		t.Errorf("diameter = %d", d)
+	}
+	if g.Girth() != -1 {
+		t.Errorf("path girth = %d, want -1", g.Girth())
+	}
+	if err := g.CheckPorts(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCycleBasics(t *testing.T) {
+	g := Cycle(7)
+	if g.NumEdges() != 7 {
+		t.Fatalf("cycle(7) edges = %d", g.NumEdges())
+	}
+	if g.IsTree() || g.IsForest() {
+		t.Error("cycle should not be a tree/forest")
+	}
+	if g.Girth() != 7 {
+		t.Errorf("cycle(7) girth = %d", g.Girth())
+	}
+	for v := 0; v < 7; v++ {
+		if g.Deg(v) != 2 {
+			t.Errorf("deg(%d) = %d", v, g.Deg(v))
+		}
+	}
+	if d := g.Dist(0, 4); d != 3 {
+		t.Errorf("cycle dist(0,4) = %d, want 3", d)
+	}
+}
+
+func TestSelfLoopPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on self-loop")
+		}
+	}()
+	g := New(2)
+	g.AddEdge(1, 1)
+}
+
+func TestStarAndDoubleStar(t *testing.T) {
+	g := Star(5)
+	if g.MaxDeg() != 5 || !g.IsTree() {
+		t.Errorf("star(5): maxdeg=%d tree=%v", g.MaxDeg(), g.IsTree())
+	}
+	ds := DoubleStar(3)
+	if !ds.IsTree() || ds.N() != 8 || ds.Deg(0) != 4 || ds.Deg(1) != 4 {
+		t.Errorf("doublestar(3): n=%d deg0=%d", ds.N(), ds.Deg(0))
+	}
+}
+
+func TestCompleteTree(t *testing.T) {
+	g := CompleteTree(3, 3)
+	if !g.IsTree() {
+		t.Fatal("complete tree is not a tree")
+	}
+	if g.MaxDeg() != 3 {
+		t.Errorf("maxdeg = %d, want 3", g.MaxDeg())
+	}
+	// Sizes: 1 + 3 + 6 + 12 = 22 for branch=3, depth=3.
+	if g.N() != 22 {
+		t.Errorf("n = %d, want 22", g.N())
+	}
+	if g.Diameter() != 6 {
+		t.Errorf("diameter = %d, want 6", g.Diameter())
+	}
+}
+
+func TestRandomTreeProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 10, 100, 500} {
+		for _, d := range []int{2, 3, 5} {
+			if n > 2 && d < 2 {
+				continue
+			}
+			g := RandomTree(n, d, rng)
+			if !g.IsTree() {
+				t.Errorf("RandomTree(%d,%d) not a tree", n, d)
+			}
+			if g.MaxDeg() > d {
+				t.Errorf("RandomTree(%d,%d) maxdeg %d", n, d, g.MaxDeg())
+			}
+			if err := g.CheckPorts(); err != nil {
+				t.Errorf("RandomTree(%d,%d): %v", n, d, err)
+			}
+		}
+	}
+}
+
+func TestRandomForest(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := RandomForest(50, 5, 3, rng)
+	if !g.IsForest() || g.IsConnected() {
+		t.Error("RandomForest should be a disconnected forest")
+	}
+	if g.N() != 50 || g.NumEdges() != 45 {
+		t.Errorf("forest n=%d e=%d, want 50, 45", g.N(), g.NumEdges())
+	}
+}
+
+func TestCaterpillar(t *testing.T) {
+	g := Caterpillar(4, 2)
+	if !g.IsTree() || g.N() != 12 {
+		t.Errorf("caterpillar: tree=%v n=%d", g.IsTree(), g.N())
+	}
+	if g.MaxDeg() != 4 {
+		t.Errorf("caterpillar maxdeg = %d, want 4", g.MaxDeg())
+	}
+}
+
+func TestTorus2D(t *testing.T) {
+	g := Torus(4, 5)
+	if g.N() != 20 {
+		t.Fatalf("torus n = %d", g.N())
+	}
+	for v := 0; v < g.N(); v++ {
+		if g.Deg(v) != 4 {
+			t.Errorf("torus deg(%d) = %d, want 4", v, g.Deg(v))
+		}
+	}
+	if g.NumEdges() != 40 {
+		t.Errorf("torus edges = %d, want 40", g.NumEdges())
+	}
+	if err := g.CheckPorts(); err != nil {
+		t.Error(err)
+	}
+	// Orientation consistency: following +dim0 for 4 steps returns home.
+	v := 7
+	for i := 0; i < 4; i++ {
+		found := false
+		for p := range g.Ports(v) {
+			if g.DimLabel(v, p) == 0 {
+				v = g.Neighbor(v, p).To
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatal("missing +dim0 port")
+		}
+	}
+	if v != 7 {
+		t.Errorf("walking +dim0 four times on side-4 torus: ended at %d, want 7", v)
+	}
+}
+
+func TestTorusCoordRoundTrip(t *testing.T) {
+	sides := []int{3, 4, 5}
+	g := Torus(sides...)
+	for v := 0; v < g.N(); v++ {
+		c := TorusCoord(v, sides)
+		if got := TorusIndex(c, sides); got != v {
+			t.Fatalf("coord round-trip failed at %d: %v -> %d", v, c, got)
+		}
+	}
+	// Neighbors differ in exactly one coordinate by +-1 mod side.
+	g.Edges(func(u, pu, v, pv int) {
+		cu, cv := TorusCoord(u, sides), TorusCoord(v, sides)
+		diff := 0
+		for k := range sides {
+			if cu[k] != cv[k] {
+				diff++
+				d := (cv[k] - cu[k] + sides[k]) % sides[k]
+				if d != 1 && d != sides[k]-1 {
+					t.Errorf("edge (%d,%d) jumps %d in dim %d", u, v, d, k)
+				}
+			}
+		}
+		if diff != 1 {
+			t.Errorf("edge (%d,%d) differs in %d coords", u, v, diff)
+		}
+	})
+}
+
+func TestTorusDimLabels(t *testing.T) {
+	sides := []int{3, 3}
+	g := Torus(sides...)
+	// Every vertex must have exactly one half-edge per direction label.
+	for v := 0; v < g.N(); v++ {
+		seen := map[int]int{}
+		for p := range g.Ports(v) {
+			seen[g.DimLabel(v, p)]++
+		}
+		for lab := 0; lab < 4; lab++ {
+			if seen[lab] != 1 {
+				t.Fatalf("vertex %d has %d half-edges with label %d", v, seen[lab], lab)
+			}
+		}
+	}
+	// Edge labels pair up: 2k on one side, 2k+1 on the other.
+	g.Edges(func(u, pu, v, pv int) {
+		lu, lv := g.DimLabel(u, pu), g.DimLabel(v, pv)
+		if lu/2 != lv/2 || lu == lv {
+			t.Errorf("edge (%d,%d) labels %d,%d inconsistent", u, v, lu, lv)
+		}
+	})
+}
+
+func TestHalfEdgeIndexing(t *testing.T) {
+	g := Star(4)
+	seen := map[int]bool{}
+	for v := 0; v < g.N(); v++ {
+		for p := 0; p < g.Deg(v); p++ {
+			h := g.HalfEdge(v, p)
+			if seen[h] {
+				t.Fatalf("duplicate half-edge index %d", h)
+			}
+			seen[h] = true
+			vv, pp := g.VertexOf(h)
+			if vv != v || pp != p {
+				t.Fatalf("VertexOf(%d) = (%d,%d), want (%d,%d)", h, vv, pp, v, p)
+			}
+		}
+	}
+	if len(seen) != g.NumHalfEdges() {
+		t.Errorf("indexed %d half-edges, want %d", len(seen), g.NumHalfEdges())
+	}
+	// Rev is an involution pairing the two half-edges of each edge.
+	g.Edges(func(u, pu, v, pv int) {
+		if g.HalfEdgeRev(u, pu) != g.HalfEdge(v, pv) {
+			t.Errorf("rev mismatch on edge (%d,%d)", u, v)
+		}
+		if g.HalfEdgeRev(v, pv) != g.HalfEdge(u, pu) {
+			t.Errorf("rev involution broken on edge (%d,%d)", u, v)
+		}
+	})
+}
+
+func TestHalfEdgeIndexAfterMutation(t *testing.T) {
+	g := Path(3)
+	_ = g.HalfEdge(1, 0) // force index build
+	g.AddEdge(0, 2)      // mutate: index must be invalidated
+	if g.NumHalfEdges() != 6 {
+		t.Errorf("half-edges after mutation = %d, want 6", g.NumHalfEdges())
+	}
+}
+
+func TestShufflePortsPreservesStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := Torus(3, 4)
+	h := ShufflePorts(g, rng)
+	if h.N() != g.N() || h.NumEdges() != g.NumEdges() {
+		t.Fatal("shuffle changed size")
+	}
+	if err := h.CheckPorts(); err != nil {
+		t.Fatal(err)
+	}
+	// Same adjacency as sets.
+	for v := 0; v < g.N(); v++ {
+		a := map[int]int{}
+		b := map[int]int{}
+		for _, ep := range g.Ports(v) {
+			a[ep.To]++
+		}
+		for _, ep := range h.Ports(v) {
+			b[ep.To]++
+		}
+		for k, c := range a {
+			if b[k] != c {
+				t.Fatalf("adjacency of %d changed", v)
+			}
+		}
+	}
+	// Dim labels still pair up after shuffling.
+	h.Edges(func(u, pu, v, pv int) {
+		lu, lv := h.DimLabel(u, pu), h.DimLabel(v, pv)
+		if lu/2 != lv/2 || lu == lv {
+			t.Errorf("shuffled edge (%d,%d) labels %d,%d inconsistent", u, v, lu, lv)
+		}
+	})
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := Path(4)
+	h := g.Clone()
+	h.AddEdge(0, 3)
+	if g.NumEdges() != 3 || h.NumEdges() != 4 {
+		t.Error("clone not independent")
+	}
+}
+
+func TestRandomTreeQuick(t *testing.T) {
+	f := func(seed int64, nRaw uint8, dRaw uint8) bool {
+		n := int(nRaw)%200 + 3
+		d := int(dRaw)%4 + 2
+		g := RandomTree(n, d, rand.New(rand.NewSource(seed)))
+		return g.IsTree() && g.MaxDeg() <= d && g.CheckPorts() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGirthTorus(t *testing.T) {
+	if g := Torus(4, 4).Girth(); g != 4 {
+		t.Errorf("4x4 torus girth = %d, want 4", g)
+	}
+	if g := Cycle(5).Girth(); g != 5 {
+		t.Errorf("C5 girth = %d, want 5", g)
+	}
+}
+
+func TestDisconnectedDiameter(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	if g.Diameter() != -1 {
+		t.Error("disconnected diameter should be -1")
+	}
+	if g.Dist(0, 2) != -1 {
+		t.Error("cross-component dist should be -1")
+	}
+}

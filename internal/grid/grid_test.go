@@ -1,0 +1,190 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/local"
+	"repro/internal/ramsey"
+)
+
+func nodeColors(g *graph.Graph, out []int) []int {
+	colors := make([]int, g.N())
+	for v := 0; v < g.N(); v++ {
+		colors[v] = out[g.HalfEdge(v, 0)]
+	}
+	return colors
+}
+
+func TestGridColoring2D(t *testing.T) {
+	rng := rand.New(rand.NewSource(89))
+	for _, side := range []int{3, 5, 8, 16} {
+		sides := []int{side, side}
+		g := graph.Torus(sides...)
+		ids := RandomDimIDs(sides, rng)
+		res, err := Run(g, sides, ids, GridColoring{D: 2}, 0)
+		if err != nil {
+			t.Fatalf("side=%d: %v", side, err)
+		}
+		p := GridColoringProblem(2)
+		if vs := p.Verify(g, nil, res.Output); len(vs) != 0 {
+			t.Errorf("side=%d: %v", side, vs[0])
+		}
+		bound := 4*(ramsey.LogStarInt(side)+4) + 8
+		if res.Rounds > bound {
+			t.Errorf("side=%d: %d rounds exceeds O(log* s) bound %d", side, res.Rounds, bound)
+		}
+	}
+}
+
+func TestGridColoring1DAnd3D(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	// d=1: oriented cycle.
+	sides1 := []int{24}
+	g1 := graph.Torus(sides1...)
+	res, err := Run(g1, sides1, RandomDimIDs(sides1, rng), GridColoring{D: 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs := GridColoringProblem(1).Verify(g1, nil, res.Output); len(vs) != 0 {
+		t.Errorf("1d: %v", vs[0])
+	}
+	// d=3.
+	sides3 := []int{3, 4, 5}
+	g3 := graph.Torus(sides3...)
+	res3, err := Run(g3, sides3, RandomDimIDs(sides3, rng), GridColoring{D: 3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs := GridColoringProblem(3).Verify(g3, nil, res3.Output); len(vs) != 0 {
+		t.Errorf("3d: %v", vs[0])
+	}
+}
+
+func TestDirectionMachineZeroRounds(t *testing.T) {
+	sides := []int{4, 4}
+	g := graph.Torus(sides...)
+	res, err := Run(g, sides, SequentialDimIDs(sides), DirectionMachine{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds > 1 {
+		t.Errorf("direction labeling used %d rounds", res.Rounds)
+	}
+	if vs := DirectionProblem(2).Verify(g, nil, res.Output); len(vs) != 0 {
+		t.Errorf("direction labeling invalid: %v", vs[0])
+	}
+}
+
+func TestDim0TwoColoringGlobal(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for _, sides := range [][]int{{4, 3}, {8, 5}, {16, 4}} {
+		g := graph.Torus(sides...)
+		res, err := Run(g, sides, RandomDimIDs(sides, rng), Dim0TwoColoring{}, 0)
+		if err != nil {
+			t.Fatalf("%v: %v", sides, err)
+		}
+		p := Dim0Problem(2)
+		in := DirectionInputs(g.Deg, g.DimLabel, g.HalfEdge, g.N(), g.NumHalfEdges())
+		if vs := p.Verify(g, in, res.Output); len(vs) != 0 {
+			t.Errorf("%v: %v", sides, vs[0])
+		}
+		// Global: rounds = s0 exactly (the flood runs the full side).
+		if res.Rounds != sides[0] {
+			t.Errorf("%v: rounds = %d, want %d", sides, res.Rounds, sides[0])
+		}
+	}
+}
+
+func TestGridLandscapeSeparation(t *testing.T) {
+	// On one 16x16 torus: O(1) << Θ(log* s) << Θ(s).
+	rng := rand.New(rand.NewSource(103))
+	sides := []int{16, 16}
+	g := graph.Torus(sides...)
+	ids := RandomDimIDs(sides, rng)
+	dir, err := Run(g, sides, ids, DirectionMachine{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := Run(g, sides, ids, GridColoring{D: 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	glob, err := Run(g, sides, ids, Dim0TwoColoring{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(dir.Rounds <= 1 && dir.Rounds < col.Rounds && col.Rounds < glob.Rounds) {
+		t.Errorf("separation violated: %d, %d, %d", dir.Rounds, col.Rounds, glob.Rounds)
+	}
+}
+
+func TestCombinedIDsUnique(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	sides := []int{5, 7}
+	g := graph.Torus(sides...)
+	ids := CombinedIDs(g, sides, RandomDimIDs(sides, rng))
+	seen := map[int]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatal("combined IDs collide")
+		}
+		seen[id] = true
+	}
+}
+
+// TestProposition53 runs a LOCAL algorithm (Linial coloring) on the torus
+// using combined PROD-LOCAL identifiers — the simulation direction of
+// Proposition 5.3.
+func TestProposition53(t *testing.T) {
+	rng := rand.New(rand.NewSource(109))
+	sides := []int{6, 6}
+	g := graph.Torus(sides...)
+	ids := CombinedIDs(g, sides, RandomDimIDs(sides, rng))
+	res, err := local.Run(g, local.NewColoring(4), local.RunOpts{IDs: ids})
+	if err != nil {
+		t.Fatal(err)
+	}
+	colors := nodeColors(g, res.Output)
+	g.Edges(func(u, pu, v, pv int) {
+		if colors[u] == colors[v] {
+			t.Fatalf("LOCAL-on-PROD-LOCAL coloring improper on edge {%d,%d}", u, v)
+		}
+	})
+}
+
+// TestProposition55OrderFromOrientation exercises the "free local order"
+// observation: with SequentialDimIDs (identifiers = coordinates, which the
+// orientation provides implicitly), GridColoring is deterministic in the
+// grid structure alone and stays correct on any torus size — the
+// order-invariant O(1)-ability Proposition 5.5 exploits.
+func TestProposition55OrderFromOrientation(t *testing.T) {
+	for _, side := range []int{4, 9, 12} {
+		sides := []int{side, side}
+		g := graph.Torus(sides...)
+		res, err := Run(g, sides, SequentialDimIDs(sides), GridColoring{D: 2}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vs := GridColoringProblem(2).Verify(g, nil, res.Output); len(vs) != 0 {
+			t.Errorf("side=%d: %v", side, vs[0])
+		}
+	}
+}
+
+func TestRunRejectsNonTermination(t *testing.T) {
+	sides := []int{3, 3}
+	g := graph.Torus(sides...)
+	_, err := Run(g, sides, SequentialDimIDs(sides), forever{}, 5)
+	if err == nil {
+		t.Error("non-terminating machine not caught")
+	}
+}
+
+type forever struct{}
+
+func (forever) Name() string                           { return "forever" }
+func (forever) Init(*NodeInfo) any                     { return nil }
+func (forever) Step(*NodeInfo, any, []any) (any, bool) { return nil, false }
+func (forever) Output(info *NodeInfo, _ any) []int     { return make([]int, info.Deg) }

@@ -1,0 +1,175 @@
+// Package grid implements Section 5: oriented d-dimensional toroidal
+// grids, the PROD-LOCAL model (Definition 5.2) in which every node holds
+// one identifier per dimension (equal iff the nodes share that
+// coordinate), the LOCAL→PROD-LOCAL simulation of Proposition 5.3, and the
+// complexity-class witnesses for the Figure 1 (top right) landscape:
+// O(1) (direction labeling), Θ(log* n) (per-dimension Cole–Vishkin
+// coloring), and Θ(d√n) (line-global 2-coloring).
+package grid
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// NodeInfo is what a PROD-LOCAL node knows at round 0: the total node
+// count, the side lengths, its per-dimension identifiers (Definition 5.2),
+// its degree, and the dimension/direction label of each port (2k = +k,
+// 2k+1 = -k; the consistent orientation of Section 5).
+type NodeInfo struct {
+	N      int
+	Sides  []int
+	DimIDs []int
+	Deg    int
+	Dim    []int
+}
+
+// Machine is a synchronous PROD-LOCAL algorithm (state exchange each
+// round, as in package local).
+type Machine interface {
+	Name() string
+	Init(info *NodeInfo) any
+	Step(info *NodeInfo, state any, inbox []any) (any, bool)
+	Output(info *NodeInfo, state any) []int
+}
+
+// Result of a PROD-LOCAL run.
+type Result struct {
+	Output []int
+	Rounds int
+}
+
+// IDAssignment holds per-dimension coordinate identifiers: IDs[k][c] is
+// the identifier shared by all nodes whose k-th coordinate is c.
+type IDAssignment [][]int
+
+// RandomDimIDs draws strictly distinct per-coordinate identifiers from a
+// polynomial range, independently per dimension.
+func RandomDimIDs(sides []int, rng *rand.Rand) IDAssignment {
+	out := make(IDAssignment, len(sides))
+	for k, s := range sides {
+		seen := map[int]bool{}
+		out[k] = make([]int, s)
+		for c := 0; c < s; c++ {
+			for {
+				x := 1 + rng.Intn(s*s*s+7)
+				if !seen[x] {
+					seen[x] = true
+					out[k][c] = x
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// SequentialDimIDs assigns identifier c+1 to coordinate c — the "order
+// from orientation" the end of Section 5 exploits (Proposition 5.5: the
+// oriented grid induces a local order for free).
+func SequentialDimIDs(sides []int) IDAssignment {
+	out := make(IDAssignment, len(sides))
+	for k, s := range sides {
+		out[k] = make([]int, s)
+		for c := 0; c < s; c++ {
+			out[k][c] = c + 1
+		}
+	}
+	return out
+}
+
+// Run executes the machine on an oriented torus (from graph.Torus with the
+// same sides).
+func Run(g *graph.Graph, sides []int, ids IDAssignment, m Machine, maxRounds int) (*Result, error) {
+	n := g.N()
+	if maxRounds == 0 {
+		maxRounds = 8*n + 1024
+	}
+	infos := make([]*NodeInfo, n)
+	states := make([]any, n)
+	done := make([]bool, n)
+	for v := 0; v < n; v++ {
+		coord := graph.TorusCoord(v, sides)
+		dimIDs := make([]int, len(sides))
+		for k := range sides {
+			dimIDs[k] = ids[k][coord[k]]
+		}
+		info := &NodeInfo{N: n, Sides: sides, DimIDs: dimIDs, Deg: g.Deg(v)}
+		info.Dim = make([]int, g.Deg(v))
+		for p := 0; p < g.Deg(v); p++ {
+			info.Dim[p] = g.DimLabel(v, p)
+		}
+		infos[v] = info
+		states[v] = m.Init(info)
+	}
+	rounds := 0
+	for r := 0; r < maxRounds; r++ {
+		allDone := true
+		for v := 0; v < n && allDone; v++ {
+			allDone = done[v]
+		}
+		if allDone {
+			break
+		}
+		rounds++
+		next := make([]any, n)
+		for v := 0; v < n; v++ {
+			if done[v] {
+				next[v] = states[v]
+				continue
+			}
+			inbox := make([]any, g.Deg(v))
+			for p, ep := range g.Ports(v) {
+				inbox[p] = states[ep.To]
+			}
+			st, fin := m.Step(infos[v], states[v], inbox)
+			next[v] = st
+			done[v] = fin
+		}
+		states = next
+	}
+	for v := 0; v < n; v++ {
+		if !done[v] {
+			return nil, fmt.Errorf("grid: %s did not terminate within %d rounds", m.Name(), maxRounds)
+		}
+	}
+	out := make([]int, g.NumHalfEdges())
+	for v := 0; v < n; v++ {
+		lab := m.Output(infos[v], states[v])
+		if len(lab) != g.Deg(v) {
+			return nil, fmt.Errorf("grid: %s output arity mismatch at node %d", m.Name(), v)
+		}
+		for p, o := range lab {
+			out[g.HalfEdge(v, p)] = o
+		}
+	}
+	return &Result{Output: out, Rounds: rounds}, nil
+}
+
+// CombinedIDs realizes Proposition 5.3: globally unique single identifiers
+// I(u) = Σ_k id_k(u) · M^k from the per-dimension identifiers (M bounds
+// the per-dimension ID range), enabling any LOCAL algorithm to run in the
+// PROD-LOCAL model with the same round complexity.
+func CombinedIDs(g *graph.Graph, sides []int, ids IDAssignment) []int {
+	m := 2
+	for _, dim := range ids {
+		for _, x := range dim {
+			if x+1 > m {
+				m = x + 1
+			}
+		}
+	}
+	out := make([]int, g.N())
+	for v := 0; v < g.N(); v++ {
+		coord := graph.TorusCoord(v, sides)
+		id, stride := 0, 1
+		for k := range sides {
+			id += ids[k][coord[k]] * stride
+			stride *= m
+		}
+		out[v] = id
+	}
+	return out
+}

@@ -1,0 +1,52 @@
+package grid
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Conjecture 1.6 support: the paper's grid speed-up (Theorem 1.4) uses
+// the orientation essentially — Proposition 5.5 extracts a local order
+// from the consistent edge directions — and the paper conjectures, but
+// does not prove, that the ω(1)–o(log* n) gap also holds on *unoriented*
+// grids ("those graphs do not locally induce an implicit order on
+// vertices"). StripOrientation produces exactly the unoriented object:
+// the underlying torus graph with dimension labels removed and port
+// numberings re-randomized, so nothing about the embedding survives at a
+// node except its degree. Algorithms that need the orientation
+// (DirectionMachine, per-dimension coloring, the PROD-LOCAL transforms)
+// cannot run on the result even in principle — their inputs are gone —
+// while ID-based LOCAL algorithms (Linial coloring and everything in
+// class B) are unaffected; the tests pin both facts.
+func StripOrientation(g *graph.Graph, rng *rand.Rand) *graph.Graph {
+	h := graph.New(g.N())
+	type edge struct{ u, v int }
+	var edges []edge
+	g.Edges(func(u, _, v, _ int) { edges = append(edges, edge{u, v}) })
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	for _, e := range edges {
+		// Randomize endpoint order too: a consistent "first endpoint"
+		// convention would itself leak an orientation bit.
+		if rng.Intn(2) == 0 {
+			h.AddEdge(e.u, e.v)
+		} else {
+			h.AddEdge(e.v, e.u)
+		}
+	}
+	return h
+}
+
+// HasOrientation reports whether any half-edge of g carries a dimension
+// label — the machine-checkable difference between the oriented grids of
+// Section 5 and the unoriented grids of Conjecture 1.6.
+func HasOrientation(g *graph.Graph) bool {
+	for v := 0; v < g.N(); v++ {
+		for p := 0; p < g.Deg(v); p++ {
+			if g.DimLabel(v, p) >= 0 {
+				return true
+			}
+		}
+	}
+	return false
+}

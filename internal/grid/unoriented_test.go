@@ -1,0 +1,97 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/local"
+)
+
+func TestStripOrientationRemovesDimLabels(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.Torus(8, 8)
+	if !HasOrientation(g) {
+		t.Fatal("oriented torus should carry dimension labels")
+	}
+	u := StripOrientation(g, rng)
+	if HasOrientation(u) {
+		t.Fatal("stripped torus still carries dimension labels")
+	}
+	if u.N() != g.N() {
+		t.Fatalf("node count changed: %d vs %d", u.N(), g.N())
+	}
+	for v := 0; v < u.N(); v++ {
+		if u.Deg(v) != g.Deg(v) {
+			t.Fatalf("degree of %d changed: %d vs %d", v, u.Deg(v), g.Deg(v))
+		}
+	}
+}
+
+func TestStripOrientationPreservesAdjacency(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := graph.Torus(4, 4)
+	u := StripOrientation(g, rng)
+	adj := func(h *graph.Graph) map[[2]int]int {
+		m := map[[2]int]int{}
+		h.Edges(func(a, _, b, _ int) {
+			if a > b {
+				a, b = b, a
+			}
+			m[[2]int{a, b}]++
+		})
+		return m
+	}
+	ga, ua := adj(g), adj(u)
+	if len(ga) != len(ua) {
+		t.Fatalf("edge multiset size changed: %d vs %d", len(ga), len(ua))
+	}
+	for e, c := range ga {
+		if ua[e] != c {
+			t.Fatalf("edge %v multiplicity changed: %d vs %d", e, c, ua[e])
+		}
+	}
+}
+
+// TestUnorientedTorusStillColorsWithIDs is the class-B side of
+// Conjecture 1.6: ID-driven Linial coloring never needed the orientation,
+// so it keeps working (and keeps its Θ(log* n) locality) on the stripped
+// torus — only the O(1) *orientation-consuming* algorithms lose their
+// inputs.
+func TestUnorientedTorusStillColorsWithIDs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := StripOrientation(graph.Torus(8, 8), rng)
+	m := local.NewColoring(4)
+	res, err := local.Run(g, m, local.RunOpts{IDs: local.RandomIDs(g.N(), rng)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	color := make([]int, g.N())
+	for v := 0; v < g.N(); v++ {
+		color[v] = res.Output[g.HalfEdge(v, 0)]
+	}
+	bad := false
+	g.Edges(func(a, _, b, _ int) {
+		if color[a] == color[b] {
+			bad = true
+		}
+	})
+	if bad {
+		t.Fatal("coloring on the unoriented torus is improper")
+	}
+}
+
+func TestOrientedMachineInputsGoneAfterStrip(t *testing.T) {
+	// DirectionMachine's entire output is the dimension label of each
+	// half-edge; on a stripped torus those labels read -1 — there is
+	// nothing for Proposition 5.5's implicit order to latch onto.
+	rng := rand.New(rand.NewSource(4))
+	u := StripOrientation(graph.Torus(4, 4), rng)
+	for v := 0; v < u.N(); v++ {
+		for p := 0; p < u.Deg(v); p++ {
+			if u.DimLabel(v, p) != -1 {
+				t.Fatalf("half-edge (%d,%d) still labeled %d", v, p, u.DimLabel(v, p))
+			}
+		}
+	}
+}

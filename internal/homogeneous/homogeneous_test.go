@@ -1,0 +1,146 @@
+package homogeneous
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/lcl"
+	"repro/internal/problems"
+)
+
+func TestNumMultisets(t *testing.T) {
+	cases := []struct{ k, d, want int }{
+		{1, 1, 1}, {2, 1, 2}, {2, 2, 3}, {3, 2, 6}, {3, 3, 10}, {4, 2, 10},
+	}
+	for _, c := range cases {
+		if got := numMultisets(c.k, c.d); got != c.want {
+			t.Errorf("numMultisets(%d,%d) = %d, want %d", c.k, c.d, got, c.want)
+		}
+	}
+}
+
+func TestForEachMultisetCountsAndSorted(t *testing.T) {
+	count := 0
+	forEachMultiset(3, 3, func(m lcl.Multiset) {
+		count++
+		for i := 1; i < len(m); i++ {
+			if m[i-1] > m[i] {
+				t.Fatalf("unsorted multiset %v", m)
+			}
+		}
+	})
+	if count != 10 {
+		t.Fatalf("%d multisets, want 10", count)
+	}
+}
+
+func TestSinklessOrientationIsHomogeneous(t *testing.T) {
+	// The canonical homogeneous problem: only degree-Δ nodes are
+	// constrained (low-degree nodes accept any orientation mix), and
+	// there are no inputs.
+	if !IsHomogeneous(problems.SinklessOrientation(3), 3) {
+		t.Fatal("sinkless orientation should be homogeneous at Δ=3")
+	}
+}
+
+func TestRelaxMakesHomogeneous(t *testing.T) {
+	// Coloring constrains every degree (all half-edges monochromatic), so
+	// it is not homogeneous; the relaxation is.
+	p := problems.Coloring(4, 3)
+	if IsHomogeneous(p, 3) {
+		t.Fatal("coloring constrains low degrees; it is not homogeneous as-is")
+	}
+	h, err := Relax(p, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsHomogeneous(h, 3) {
+		t.Fatal("relaxation is not homogeneous")
+	}
+	// Degree-3 constraint must be preserved verbatim.
+	if got, want := len(h.Node[3]), len(p.Node[3]); got != want {
+		t.Fatalf("degree-3 constraint changed: %d configs, want %d", got, want)
+	}
+}
+
+func TestRelaxPreservesSolutions(t *testing.T) {
+	// Any valid solution of the original is valid for the relaxation,
+	// on random trees.
+	rng := rand.New(rand.NewSource(1))
+	p := problems.Coloring(4, 3)
+	h, err := Relax(p, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 20; trial++ {
+		g := graph.RandomTree(40, 3, rng)
+		fin := make([]int, g.NumHalfEdges())
+		fout, ok := p.BruteForceSolve(g, fin)
+		if !ok {
+			t.Fatal("4-coloring should be solvable on a tree")
+		}
+		if viol := h.Verify(g, fin, fout); len(viol) > 0 {
+			t.Fatalf("original solution rejected by relaxation: %v", viol[0])
+		}
+	}
+}
+
+func TestRelaxationNeverHarderOnTrees(t *testing.T) {
+	// If the general pipeline certifies O(1) for the original problem,
+	// it must also certify O(1) for the homogeneous relaxation (the
+	// relaxation only removes constraints). This is the executable form
+	// of "the paper's result subsumes the homogeneous gap [12]".
+	for _, p := range []*lcl.Problem{
+		problems.Trivial(3),
+		problems.FreeOrientation(3),
+	} {
+		orig, err := core.ClassifyOnTrees(p, 6)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if !orig.Constant {
+			continue
+		}
+		h, err := Relax(p, 3, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		relaxed, err := core.ClassifyOnTrees(h, 6)
+		if err != nil {
+			t.Fatalf("%s relaxed: %v", p.Name, err)
+		}
+		if !relaxed.Constant {
+			t.Errorf("%s: original O(1) but relaxation not certified O(1): %v", p.Name, relaxed)
+		}
+	}
+}
+
+func TestRelaxRejectsBadDelta(t *testing.T) {
+	p := problems.Trivial(3)
+	if _, err := Relax(p, 0, 3); err == nil {
+		t.Error("delta 0 accepted")
+	}
+	if _, err := Relax(p, 4, 3); err == nil {
+		t.Error("delta > maxDeg accepted")
+	}
+}
+
+func TestIsHomogeneousRejectsInputBite(t *testing.T) {
+	// A problem whose g pins outputs is not homogeneous.
+	b := lcl.NewBuilder("g-bite", []string{"x", "y"}, []string{"A", "B"})
+	b.Node("A", "A").Node("B", "B").Edge("A", "A").Edge("B", "B").
+		Allow("x", "A").Allow("y", "A", "B")
+	p := b.MustBuild()
+	if IsHomogeneous(p, 2) {
+		t.Fatal("input-restricted problem reported homogeneous")
+	}
+	h, err := Relax(p, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsHomogeneous(h, 2) {
+		t.Fatal("relaxation should erase input bite")
+	}
+}

@@ -1,0 +1,283 @@
+// Package landscape is the experiment harness that regenerates the four
+// panels of Figure 1 and the classification tables of Corollary 1.2: it
+// runs one witness per populated complexity class on growing instances,
+// records the measured locality (rounds or probes), and renders the
+// series and tables the paper's landscape figures report.
+package landscape
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/classify"
+	"repro/internal/graph"
+	"repro/internal/grid"
+	"repro/internal/lcl"
+	"repro/internal/local"
+	"repro/internal/problems"
+	"repro/internal/ramsey"
+	"repro/internal/re"
+	"repro/internal/shortcut"
+	"repro/internal/volume"
+)
+
+// Point is one measured (n, cost) pair.
+type Point struct {
+	N    int
+	Cost int
+}
+
+// Series is the measured trajectory of one witness algorithm.
+type Series struct {
+	Name   string
+	Class  string // the complexity class the witness populates
+	Points []Point
+}
+
+// Panel is one Figure-1 quadrant.
+type Panel struct {
+	Title  string
+	Series []Series
+}
+
+// Render prints the panel as aligned columns of measured costs, one row
+// per instance size.
+func (p *Panel) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s ==\n", p.Title)
+	fmt.Fprintf(&sb, "%-10s", "n")
+	for _, s := range p.Series {
+		fmt.Fprintf(&sb, "%-28s", fmt.Sprintf("%s [%s]", s.Name, s.Class))
+	}
+	sb.WriteString("\n")
+	if len(p.Series) == 0 {
+		return sb.String()
+	}
+	for i := range p.Series[0].Points {
+		fmt.Fprintf(&sb, "%-10d", p.Series[0].Points[i].N)
+		for _, s := range p.Series {
+			if i < len(s.Points) {
+				fmt.Fprintf(&sb, "%-28d", s.Points[i].Cost)
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// TreesLocal regenerates Figure 1 top-left (LOCAL on trees): rounds vs n
+// for one witness per class — O(1), Θ(log* n), Θ(n)-global.
+func TreesLocal(sizes []int, seed int64) (*Panel, error) {
+	rng := rand.New(rand.NewSource(seed))
+	panel := &Panel{Title: "Fig 1 (top left): LOCAL on trees — rounds vs n"}
+	constant := Series{Name: "trivial-labeling", Class: "O(1)"}
+	logstar := Series{Name: "(Δ+1)-coloring", Class: "Θ(log* n)"}
+	global := Series{Name: "leader-2-coloring", Class: "Θ(n)"}
+	for _, n := range sizes {
+		g := graph.RandomTree(n, 3, rng)
+		ids := local.RandomIDs(n, rng)
+		rc, err := local.Run(g, local.ConstantMachine{}, local.RunOpts{IDs: ids})
+		if err != nil {
+			return nil, err
+		}
+		constant.Points = append(constant.Points, Point{n, rc.Rounds})
+		col, err := local.Run(g, local.NewColoring(3), local.RunOpts{IDs: ids})
+		if err != nil {
+			return nil, err
+		}
+		if !problems.Coloring(4, 3).Solves(g, nil, col.Output) {
+			return nil, fmt.Errorf("landscape: coloring witness failed at n=%d", n)
+		}
+		logstar.Points = append(logstar.Points, Point{n, col.Rounds})
+		// Global witness on the spine path of the same size class.
+		pg := graph.Path(n)
+		lead, err := local.Run(pg, local.LeaderColoringMachine{}, local.RunOpts{IDs: ids})
+		if err != nil {
+			return nil, err
+		}
+		if !problems.Coloring(2, 2).Solves(pg, nil, lead.Output) {
+			return nil, fmt.Errorf("landscape: leader witness failed at n=%d", n)
+		}
+		global.Points = append(global.Points, Point{n, lead.Rounds})
+	}
+	panel.Series = []Series{constant, logstar, global}
+	return panel, nil
+}
+
+// GridsLocal regenerates Figure 1 top-right (LOCAL on oriented grids):
+// rounds vs n = side² for O(1), Θ(log* n), Θ(d√n) witnesses on 2D tori.
+func GridsLocal(sidesList []int, seed int64) (*Panel, error) {
+	rng := rand.New(rand.NewSource(seed))
+	panel := &Panel{Title: "Fig 1 (top right): LOCAL on oriented grids — rounds vs n"}
+	constant := Series{Name: "direction-labeling", Class: "O(1)"}
+	logstar := Series{Name: "grid-coloring", Class: "Θ(log* n)"}
+	global := Series{Name: "dim0-2-coloring", Class: "Θ(√n)"}
+	for _, side := range sidesList {
+		sides := []int{side, side}
+		n := side * side
+		g := graph.Torus(sides...)
+		ids := grid.RandomDimIDs(sides, rng)
+		dir, err := grid.Run(g, sides, ids, grid.DirectionMachine{}, 0)
+		if err != nil {
+			return nil, err
+		}
+		constant.Points = append(constant.Points, Point{n, dir.Rounds})
+		col, err := grid.Run(g, sides, ids, grid.GridColoring{D: 2}, 0)
+		if err != nil {
+			return nil, err
+		}
+		if !grid.GridColoringProblem(2).Solves(g, nil, col.Output) {
+			return nil, fmt.Errorf("landscape: grid coloring failed at side=%d", side)
+		}
+		logstar.Points = append(logstar.Points, Point{n, col.Rounds})
+		glob, err := grid.Run(g, sides, ids, grid.Dim0TwoColoring{}, 0)
+		if err != nil {
+			return nil, err
+		}
+		global.Points = append(global.Points, Point{n, glob.Rounds})
+	}
+	panel.Series = []Series{constant, logstar, global}
+	return panel, nil
+}
+
+// GeneralLocal regenerates Figure 1 bottom-left's distinguishing feature:
+// the dense intermediate region on general graphs, via the shortcut
+// construction — measured radius (between Θ(log log* n) and Θ(log* n))
+// versus the plain-path radius (Θ(log* n)) for the same base problem.
+func GeneralLocal(sizes []int) (*Panel, error) {
+	panel := &Panel{Title: "Fig 1 (bottom left): LOCAL on general graphs — path-coloring radius"}
+	shortcutSeries := Series{Name: "with-shortcuts", Class: "Θ(log log* n)"}
+	plain := Series{Name: "plain-path", Class: "Θ(log* n)"}
+	volumeSeries := Series{Name: "window (volume)", Class: "Θ(log* n)"}
+	p := shortcut.Problem25(4)
+	for _, m := range sizes {
+		inst := shortcut.Build(m)
+		out, stats, err := shortcut.Solve(inst)
+		if err != nil {
+			return nil, err
+		}
+		if vs := p.Verify(inst.G, inst.In, out); len(vs) != 0 {
+			return nil, fmt.Errorf("landscape: shortcut solve invalid at m=%d: %v", m, vs[0])
+		}
+		shortcutSeries.Points = append(shortcutSeries.Points, Point{m, stats.MaxRadius})
+		plain.Points = append(plain.Points, Point{m, stats.Rounds}) // path metric radius = k
+		volumeSeries.Points = append(volumeSeries.Points, Point{m, stats.MaxWindow})
+	}
+	panel.Series = []Series{shortcutSeries, plain, volumeSeries}
+	return panel, nil
+}
+
+// VolumeModel regenerates Figure 1 bottom-right (VOLUME on general
+// graphs): probes vs n for O(1), Θ(log* n), Θ(n).
+func VolumeModel(sizes []int, seed int64) (*Panel, error) {
+	rng := rand.New(rand.NewSource(seed))
+	panel := &Panel{Title: "Fig 1 (bottom right): VOLUME — probes vs n"}
+	constant := Series{Name: "constant", Class: "O(1)"}
+	logstar := Series{Name: "path-coloring", Class: "Θ(log* n)"}
+	global := Series{Name: "global-parity", Class: "Θ(n)"}
+	pal := problems.Coloring(volume.PathColoringPalette, 2)
+	for _, n := range sizes {
+		if n > 2048 {
+			// The Θ(n) parity witness replays its probe plan statelessly
+			// (the Definition 2.9 functional form), costing O(n²) per node;
+			// the landscape shape is fully visible well below this cap.
+			break
+		}
+		g := graph.Path(n)
+		ids := volume.RandomIDs(n, rng)
+		c, err := volume.Run(g, volume.Constant{}, volume.RunOpts{IDs: ids})
+		if err != nil {
+			return nil, err
+		}
+		constant.Points = append(constant.Points, Point{n, c.MaxProbes})
+		col, err := volume.Run(g, volume.PathColoring{}, volume.RunOpts{IDs: ids})
+		if err != nil {
+			return nil, err
+		}
+		if !pal.Solves(g, nil, col.Output) {
+			return nil, fmt.Errorf("landscape: volume coloring failed at n=%d", n)
+		}
+		logstar.Points = append(logstar.Points, Point{n, col.MaxProbes})
+		par, err := volume.Run(g, volume.GlobalParity{}, volume.RunOpts{IDs: ids})
+		if err != nil {
+			return nil, err
+		}
+		global.Points = append(global.Points, Point{n, par.MaxProbes})
+	}
+	panel.Series = []Series{constant, logstar, global}
+	return panel, nil
+}
+
+// ClassificationRow is one line of the Corollary 1.2 / Section 1.4 table.
+type ClassificationRow struct {
+	Problem  string
+	Decided  string // automata-theoretic decision on cycles
+	Pipeline string // gap-pipeline verdict on trees/forests
+}
+
+// ClassificationTable decides the battery with both engines: the
+// cycle/path classifier (Section 1.4 decidability) and the round
+// elimination gap pipeline (Theorem 1.1 machinery).
+func ClassificationTable(maxLevels int) ([]ClassificationRow, error) {
+	var rows []ClassificationRow
+	for _, p := range problems.All(2) {
+		row := ClassificationRow{Problem: p.Name}
+		if p.NumIn() == 1 {
+			res, err := classify.Cycles(p)
+			if err != nil {
+				return nil, err
+			}
+			row.Decided = res.Class.String()
+			if res.Period > 1 {
+				row.Decided += fmt.Sprintf(" (cycles ≡ 0 mod %d)", res.Period)
+			}
+		} else {
+			row.Decided = "n/a (inputs)"
+		}
+		gap, err := re.RunGapPipeline(p, degreesOf(p), re.Pruned, re.Limits{}, maxLevels)
+		if err != nil {
+			return nil, err
+		}
+		row.Pipeline = gap.Verdict.String()
+		if gap.Verdict == re.VerdictConstant {
+			row.Pipeline += fmt.Sprintf(" at level %d", gap.Level)
+		}
+		if gap.Verdict == re.VerdictCycle {
+			row.Pipeline += fmt.Sprintf(" (period %d)", gap.Level-gap.CycleWith)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func degreesOf(p *lcl.Problem) []int {
+	var ds []int
+	for d := range p.Node {
+		ds = append(ds, d)
+	}
+	sort.Ints(ds)
+	return ds
+}
+
+// RenderTable prints classification rows.
+func RenderTable(rows []ClassificationRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-28s %-28s %-28s\n", "problem", "cycle classifier", "tree gap pipeline")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-28s %-28s %-28s\n", r.Problem, r.Decided, r.Pipeline)
+	}
+	return sb.String()
+}
+
+// LogStarReference annotates sizes with log* for reading the series.
+func LogStarReference(sizes []int) string {
+	var sb strings.Builder
+	sb.WriteString("log* reference: ")
+	for _, n := range sizes {
+		fmt.Fprintf(&sb, "log*(%d)=%d  ", n, ramsey.LogStarInt(n))
+	}
+	sb.WriteString("\n")
+	return sb.String()
+}

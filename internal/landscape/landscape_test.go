@@ -1,0 +1,180 @@
+package landscape
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ramsey"
+)
+
+func TestTreesLocalShapes(t *testing.T) {
+	sizes := []int{64, 256, 1024}
+	panel, err := TreesLocal(sizes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(panel.Series) != 3 {
+		t.Fatalf("series count %d", len(panel.Series))
+	}
+	constant, logstar, global := panel.Series[0], panel.Series[1], panel.Series[2]
+	// O(1): flat.
+	for _, pt := range constant.Points {
+		if pt.Cost > 1 {
+			t.Errorf("constant witness used %d rounds at n=%d", pt.Cost, pt.N)
+		}
+	}
+	// log*: bounded by c·log* + C and far below n.
+	for _, pt := range logstar.Points {
+		if pt.Cost > 8*(ramsey.LogStarInt(pt.N)+1)+64 {
+			t.Errorf("log* witness %d rounds at n=%d", pt.Cost, pt.N)
+		}
+		// The constant greedy sweep (~49 rounds) dominates small n; assert
+		// sublinearity only once n clears it decisively.
+		if pt.N >= 256 && pt.Cost >= pt.N/4 {
+			t.Errorf("log* witness not sublinear at n=%d: %d", pt.N, pt.Cost)
+		}
+	}
+	// global: exactly n.
+	for _, pt := range global.Points {
+		if pt.Cost != pt.N {
+			t.Errorf("global witness %d rounds at n=%d", pt.Cost, pt.N)
+		}
+	}
+	if !strings.Contains(panel.Render(), "Fig 1") {
+		t.Error("render missing title")
+	}
+}
+
+func TestGridsLocalShapes(t *testing.T) {
+	panel, err := GridsLocal([]int{4, 8, 16}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	constant, logstar, global := panel.Series[0], panel.Series[1], panel.Series[2]
+	for i := range constant.Points {
+		if constant.Points[i].Cost > 1 {
+			t.Error("grid O(1) witness not constant")
+		}
+		side := global.Points[i].Cost // rounds = side for the flood
+		if side*side != global.Points[i].N {
+			t.Errorf("global grid witness rounds %d != side for n=%d", side, global.Points[i].N)
+		}
+		if logstar.Points[i].Cost >= side && side > 8 {
+			t.Errorf("grid log* witness (%d rounds) not below side %d", logstar.Points[i].Cost, side)
+		}
+	}
+}
+
+func TestGeneralLocalDivergence(t *testing.T) {
+	panel, err := GeneralLocal([]int{128, 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shortcutS, plain, window := panel.Series[0], panel.Series[1], panel.Series[2]
+	for i := range shortcutS.Points {
+		// Radius with shortcuts is below the plain-path radius... plain
+		// radius is k (small); with shortcuts radius is O(log k) + O(1) but
+		// for small k the constants dominate; assert radius <= window and
+		// the window matches 2k+1.
+		if shortcutS.Points[i].Cost > window.Points[i].Cost {
+			t.Errorf("shortcut radius %d exceeds window %d", shortcutS.Points[i].Cost, window.Points[i].Cost)
+		}
+		if window.Points[i].Cost != 2*plain.Points[i].Cost+1 {
+			t.Errorf("window %d != 2k+1 for k=%d", window.Points[i].Cost, plain.Points[i].Cost)
+		}
+	}
+}
+
+func TestVolumeModelShapes(t *testing.T) {
+	panel, err := VolumeModel([]int{64, 256, 1024}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	constant, logstar, global := panel.Series[0], panel.Series[1], panel.Series[2]
+	for i := range constant.Points {
+		n := constant.Points[i].N
+		if constant.Points[i].Cost != 0 {
+			t.Error("volume O(1) witness probed")
+		}
+		if logstar.Points[i].Cost > 4*(ramsey.LogStarInt(n)+10) {
+			t.Errorf("volume log* witness %d probes at n=%d", logstar.Points[i].Cost, n)
+		}
+		if global.Points[i].Cost < n-1 {
+			t.Errorf("volume global witness only %d probes at n=%d", global.Points[i].Cost, n)
+		}
+	}
+}
+
+func TestClassificationTable(t *testing.T) {
+	rows, err := ClassificationTable(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]ClassificationRow{}
+	for _, r := range rows {
+		byName[r.Problem] = r
+	}
+	// Spot checks: decided classes for the classics.
+	checks := map[string]string{
+		"trivial":                "O(1)",
+		"3-coloring":             "Θ(log* n)",
+		"mis":                    "Θ(log* n)",
+		"consistent-orientation": "Θ(n)",
+	}
+	for name, want := range checks {
+		row, ok := byName[name]
+		if !ok {
+			t.Fatalf("row %s missing", name)
+		}
+		if !strings.HasPrefix(row.Decided, want) {
+			t.Errorf("%s decided %q, want prefix %q", name, row.Decided, want)
+		}
+	}
+	// Pipeline verdicts: trivial O(1); nothing in the battery may be
+	// classified O(1) unless the classifier agrees it is constant.
+	for _, r := range rows {
+		if strings.HasPrefix(r.Pipeline, "O(1)") &&
+			r.Decided != "n/a (inputs)" && !strings.HasPrefix(r.Decided, "O(1)") {
+			t.Errorf("%s: pipeline says O(1) but classifier says %s", r.Problem, r.Decided)
+		}
+	}
+	out := RenderTable(rows)
+	if !strings.Contains(out, "trivial") {
+		t.Error("rendered table missing rows")
+	}
+}
+
+func TestLogStarReference(t *testing.T) {
+	s := LogStarReference([]int{16, 65536})
+	if !strings.Contains(s, "log*(16)=3") || !strings.Contains(s, "log*(65536)=4") {
+		t.Errorf("bad reference line: %s", s)
+	}
+}
+
+func TestCensusSummaryRendersAllClasses(t *testing.T) {
+	s, err := CensusSummary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"O(1)", "Θ(log* n)", "Θ(n)", "unsolvable", "gap row is empty"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("census summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestClassCPanelGrowsSlowly(t *testing.T) {
+	p, err := ClassC([]int{64, 512, 4096}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := p.Series[0].Points
+	if len(pts) != 3 {
+		t.Fatalf("%d points, want 3", len(pts))
+	}
+	// O(log n) envelope: rounds at 64x the size should stay within a
+	// small additive band of the smallest instance.
+	if pts[2].Cost > pts[0].Cost+12 {
+		t.Errorf("rounds grew from %d to %d over a 64x size range; expected O(log n)", pts[0].Cost, pts[2].Cost)
+	}
+}

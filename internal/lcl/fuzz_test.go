@@ -1,0 +1,62 @@
+package lcl
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzJSONRoundTrip checks that the symbolic JSON codec is stable:
+// marshal → unmarshal → marshal reproduces the same bytes (the codec
+// sorts all configuration lists, so serialization is canonical), and the
+// decoded problem validates. Problems are generated from two mask bytes
+// over a three-letter alphabet.
+func FuzzJSONRoundTrip(f *testing.F) {
+	f.Add(uint8(0b10101), uint8(0b01010), uint8(3))
+	f.Add(uint8(0), uint8(0), uint8(1))
+	f.Add(uint8(0xFF), uint8(0xFF), uint8(2))
+	f.Fuzz(func(t *testing.T, nodeMask, edgeMask, kRaw uint8) {
+		k := int(kRaw)%3 + 1
+		names := []string{"A", "B", "C"}[:k]
+		b := NewBuilder("fuzz", nil, names)
+		// Pairs over k labels in a fixed order; bits of the masks toggle
+		// node and edge configurations.
+		bit := 0
+		for x := 0; x < k; x++ {
+			if nodeMask&(1<<uint(x)) != 0 {
+				b.Node(names[x])
+			}
+			for y := x; y < k; y++ {
+				if nodeMask&(1<<uint(bit+3)) != 0 {
+					b.Node(names[x], names[y])
+				}
+				if edgeMask&(1<<uint(bit)) != 0 {
+					b.Edge(names[x], names[y])
+				}
+				bit++
+			}
+		}
+		p, err := b.Build()
+		if err != nil {
+			t.Fatalf("builder: %v", err)
+		}
+		data1, err := json.Marshal(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var q Problem
+		if err := json.Unmarshal(data1, &q); err != nil {
+			t.Fatalf("unmarshal: %v\n%s", err, data1)
+		}
+		if err := q.Validate(); err != nil {
+			t.Fatalf("decoded problem invalid: %v", err)
+		}
+		data2, err := json.Marshal(&q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(data1, data2) {
+			t.Fatalf("codec not canonical:\n%s\nvs\n%s", data1, data2)
+		}
+	})
+}

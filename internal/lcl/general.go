@@ -1,0 +1,254 @@
+package lcl
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// General is an LCL problem in the sense of Definition 2.2: a quadruple
+// (Σin, Σout, r, P) where P — the finite collection of allowed labeled
+// r-hop neighborhoods — is represented intensionally by the Check
+// predicate (every finite collection of balls is expressible this way, and
+// every such predicate over canonically-encoded radius-r balls determines
+// a finite collection on bounded-degree graphs).
+type General struct {
+	Name     string
+	InNames  []string
+	OutNames []string
+	Radius   int
+	// Check reports whether the r-hop view around ball's root, carrying
+	// input labels In and output labels Out (indexed like Ball.In — local
+	// vertex, port), is an allowed neighborhood.
+	Check func(b *graph.Ball, out [][]int) bool
+}
+
+// VerifyGeneral checks fout against the general LCL on (g, fin) and
+// returns the set of nodes whose r-hop neighborhood is not allowed.
+func (gl *General) VerifyGeneral(g *graph.Graph, fin, fout []int) []int {
+	var bad []int
+	for v := 0; v < g.N(); v++ {
+		b := graph.ExtractBall(g, v, gl.Radius, graph.BallOpts{In: fin})
+		out := make([][]int, b.NumVertices())
+		for i, orig := range b.Orig {
+			out[i] = make([]int, b.Deg[i])
+			for p := 0; p < b.Deg[i]; p++ {
+				out[i][p] = fout[g.HalfEdge(orig, p)]
+			}
+		}
+		if !gl.Check(b, out) {
+			bad = append(bad, v)
+		}
+	}
+	return bad
+}
+
+// ToNodeEdgeCheckable performs the Lemma 2.6 construction: it returns a
+// node-edge-checkable problem Π′ whose complexity differs from Π by at most
+// an additive constant (r rounds to encode, 0 rounds to decode).
+//
+// The output alphabet of Π′ consists of canonical encodings of labeled
+// r-hop neighborhoods with a marked special half-edge, enumerated over the
+// supplied universe of graphs (the finite set of ball shapes that can occur
+// in the target graph class up to radius r — callers pass representative
+// graphs whose balls cover the class, e.g. all trees of maximum degree Δ
+// and depth <= r+1 for tree LCLs). Constraints N, E, g are derived per the
+// lemma: node/edge configurations are those realizable by an actual
+// neighborhood, and g maps each input label to the encodings whose special
+// half-edge carries it.
+//
+// The construction is exponential (it is in the paper, too); keep the
+// universe small.
+type NECEncoding struct {
+	Problem *Problem
+	// Encode maps (solution on g with fin) -> Π′ output labeling; this is
+	// the r-round direction of the lemma.
+	Encode func(g *graph.Graph, fin, fout []int) []int
+	// DecodeLabel maps a Π′ output label to the Π output label on its
+	// special half-edge; this is the 0-round direction.
+	DecodeLabel func(label int) int
+}
+
+// ballSignature canonically encodes the r-hop neighborhood of half-edge
+// (v, port): the ball around v with output labels attached and the special
+// half-edge marked.
+func ballSignature(g *graph.Graph, fin, fout []int, v, port, r int) string {
+	b := graph.ExtractBall(g, v, r, graph.BallOpts{In: fin})
+	var sb []byte
+	sb = append(sb, fmt.Sprintf("p%d|%s|", port, b.Encode())...)
+	for i, orig := range b.Orig {
+		for p := 0; p < b.Deg[i]; p++ {
+			sb = append(sb, fmt.Sprintf("%d,", fout[g.HalfEdge(orig, p)])...)
+		}
+	}
+	return string(sb)
+}
+
+// ToNodeEdgeCheckable builds the Lemma 2.6 NEC problem for gl over a
+// universe of (graph, input-labeling) pairs. Each universe entry
+// contributes every valid (by gl.Check everywhere) output labeling found by
+// brute force, and the neighborhoods realized in them become Π′ labels.
+// maxSolutionsPerGraph caps enumeration.
+func (gl *General) ToNodeEdgeCheckable(universe []UniverseEntry, maxSolutionsPerGraph int) (*NECEncoding, error) {
+	type labelInfo struct {
+		id      int
+		special int // Π output label on the special half-edge
+		in      int // Π input label on the special half-edge
+	}
+	labels := map[string]*labelInfo{}
+	var labelList []string
+	nodeCfg := map[int]map[string]Multiset{}
+	edgeCfg := map[string]Multiset{}
+
+	intern := func(sig string, special, in int) *labelInfo {
+		if li, ok := labels[sig]; ok {
+			return li
+		}
+		li := &labelInfo{id: len(labelList), special: special, in: in}
+		labels[sig] = li
+		labelList = append(labelList, sig)
+		return li
+	}
+
+	for _, ue := range universe {
+		g, fin := ue.G, ue.In
+		sols := gl.enumerateSolutions(g, fin, maxSolutionsPerGraph)
+		if len(sols) == 0 {
+			continue
+		}
+		for _, fout := range sols {
+			// Compute Π′ labels per half-edge.
+			prime := make([]int, g.NumHalfEdges())
+			for v := 0; v < g.N(); v++ {
+				for p := 0; p < g.Deg(v); p++ {
+					sig := ballSignature(g, fin, fout, v, p, gl.Radius)
+					in := NoInput
+					if fin != nil {
+						in = fin[g.HalfEdge(v, p)]
+					}
+					li := intern(sig, fout[g.HalfEdge(v, p)], in)
+					prime[g.HalfEdge(v, p)] = li.id
+				}
+			}
+			// Record realized node and edge configurations.
+			for v := 0; v < g.N(); v++ {
+				lab := make([]int, g.Deg(v))
+				for p := range lab {
+					lab[p] = prime[g.HalfEdge(v, p)]
+				}
+				m := NewMultiset(lab...)
+				if nodeCfg[len(m)] == nil {
+					nodeCfg[len(m)] = map[string]Multiset{}
+				}
+				nodeCfg[len(m)][m.Key()] = m
+			}
+			g.Edges(func(u, pu, v2, pv int) {
+				m := NewMultiset(prime[g.HalfEdge(u, pu)], prime[g.HalfEdge(v2, pv)])
+				edgeCfg[m.Key()] = m
+			})
+		}
+	}
+	if len(labelList) == 0 {
+		return nil, fmt.Errorf("lcl: universe admits no solutions for %s", gl.Name)
+	}
+
+	p := &Problem{
+		Name:    gl.Name + "-nec",
+		InNames: append([]string(nil), gl.InNames...),
+		Node:    map[int][]Multiset{},
+	}
+	decode := make([]int, len(labelList))
+	gmap := make([][]int, len(gl.InNames))
+	p.OutNames = make([]string, len(labelList))
+	for sig, li := range labels {
+		p.OutNames[li.id] = fmt.Sprintf("B%d", li.id)
+		decode[li.id] = li.special
+		gmap[li.in] = append(gmap[li.in], li.id)
+		_ = sig
+	}
+	for i := range gmap {
+		sort.Ints(gmap[i])
+	}
+	p.G = gmap
+	for d, set := range nodeCfg {
+		for _, m := range set {
+			p.Node[d] = append(p.Node[d], m)
+		}
+		sortMultisets(p.Node[d])
+	}
+	for _, m := range edgeCfg {
+		p.Edge = append(p.Edge, m)
+	}
+	sortMultisets(p.Edge)
+
+	enc := &NECEncoding{
+		Problem: p,
+		Encode: func(g *graph.Graph, fin, fout []int) []int {
+			prime := make([]int, g.NumHalfEdges())
+			for v := 0; v < g.N(); v++ {
+				for q := 0; q < g.Deg(v); q++ {
+					sig := ballSignature(g, fin, fout, v, q, gl.Radius)
+					li, ok := labels[sig]
+					if !ok {
+						prime[g.HalfEdge(v, q)] = -1
+						continue
+					}
+					prime[g.HalfEdge(v, q)] = li.id
+				}
+			}
+			return prime
+		},
+		DecodeLabel: func(label int) int {
+			if label < 0 || label >= len(decode) {
+				return -1
+			}
+			return decode[label]
+		},
+	}
+	return enc, nil
+}
+
+// UniverseEntry pairs a graph with an input labeling for the Lemma 2.6
+// universe.
+type UniverseEntry struct {
+	G  *graph.Graph
+	In []int
+}
+
+// enumerateSolutions lists up to max output labelings valid everywhere.
+func (gl *General) enumerateSolutions(g *graph.Graph, fin []int, max int) [][]int {
+	h := g.NumHalfEdges()
+	fout := make([]int, h)
+	var sols [][]int
+	var rec func(k int)
+	rec = func(k int) {
+		if len(sols) >= max {
+			return
+		}
+		if k == h {
+			if len(gl.VerifyGeneral(g, fin, fout)) == 0 {
+				sols = append(sols, append([]int(nil), fout...))
+			}
+			return
+		}
+		for o := 0; o < len(gl.OutNames); o++ {
+			fout[k] = o
+			rec(k + 1)
+		}
+	}
+	rec(0)
+	return sols
+}
+
+func sortMultisets(list []Multiset) {
+	sort.Slice(list, func(i, j int) bool {
+		a, b := list[i], list[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+}

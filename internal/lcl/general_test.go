@@ -1,0 +1,131 @@
+package lcl
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// properColoringGeneral is proper 2-coloring as a general LCL
+// (Definition 2.2) with radius 1: the root's output must differ from each
+// visible neighbor's output, and each node must be self-consistent.
+func properColoringGeneral() *General {
+	return &General{
+		Name:     "2col-general",
+		InNames:  []string{"·"},
+		OutNames: []string{"0", "1"},
+		Radius:   1,
+		Check: func(b *graph.Ball, out [][]int) bool {
+			// Self-consistency: a node's half-edges carry one value.
+			for i := range out {
+				for _, o := range out[i] {
+					if o != out[i][0] {
+						return false
+					}
+				}
+			}
+			if len(out[0]) == 0 {
+				return true
+			}
+			root := out[0][0]
+			for _, j := range b.Port[0] {
+				if j < 0 {
+					continue
+				}
+				if len(out[j]) > 0 && out[j][0] == root {
+					return false
+				}
+			}
+			return true
+		},
+	}
+}
+
+func TestVerifyGeneral(t *testing.T) {
+	gl := properColoringGeneral()
+	g := graph.Path(4)
+	fout := make([]int, g.NumHalfEdges())
+	// Alternating 0,1,0,1.
+	for v := 0; v < 4; v++ {
+		for p := 0; p < g.Deg(v); p++ {
+			fout[g.HalfEdge(v, p)] = v % 2
+		}
+	}
+	if bad := gl.VerifyGeneral(g, nil, fout); len(bad) != 0 {
+		t.Fatalf("valid 2-coloring rejected at %v", bad)
+	}
+	// Break node 2.
+	for p := 0; p < g.Deg(2); p++ {
+		fout[g.HalfEdge(2, p)] = 1
+	}
+	bad := gl.VerifyGeneral(g, nil, fout)
+	if len(bad) == 0 {
+		t.Fatal("improper coloring accepted")
+	}
+}
+
+// TestLemma26RoundTrip builds the node-edge-checkable problem Π' from a
+// general LCL Π over a small universe, then checks both directions of the
+// lemma: encoding a Π-solution yields a Π'-solution, and decoding a
+// Π'-solution (label-wise, the 0-round direction) yields a Π-solution.
+func TestLemma26RoundTrip(t *testing.T) {
+	gl := properColoringGeneral()
+	universe := []UniverseEntry{
+		{G: graph.Path(2)}, {G: graph.Path(3)}, {G: graph.Path(4)}, {G: graph.Path(5)},
+	}
+	enc, err := gl.ToNodeEdgeCheckable(universe, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Problem.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Direction 1: encode a fresh valid solution on a universe-shaped
+	// graph and verify it against Π'.
+	g := graph.Path(4)
+	fout := make([]int, g.NumHalfEdges())
+	for v := 0; v < 4; v++ {
+		for p := 0; p < g.Deg(v); p++ {
+			fout[g.HalfEdge(v, p)] = v % 2
+		}
+	}
+	prime := enc.Encode(g, nil, fout)
+	for _, l := range prime {
+		if l < 0 {
+			t.Fatal("encoding produced an unknown neighborhood label")
+		}
+	}
+	if vs := enc.Problem.Verify(g, nil, prime); len(vs) != 0 {
+		t.Fatalf("encoded solution rejected by Π': %v", vs[0])
+	}
+	// Direction 2: decode back and verify against Π.
+	decoded := make([]int, len(prime))
+	for h, l := range prime {
+		decoded[h] = enc.DecodeLabel(l)
+	}
+	if bad := gl.VerifyGeneral(g, nil, decoded); len(bad) != 0 {
+		t.Fatalf("decoded solution rejected by Π at %v", bad)
+	}
+	// Any brute-force Π'-solution decodes to a valid Π-solution — the
+	// 0-round direction of the lemma on a graph from the class.
+	prime2, ok := enc.Problem.BruteForceSolve(graph.Path(3), nil)
+	if !ok {
+		t.Fatal("Π' unsolvable on P3")
+	}
+	g3 := graph.Path(3)
+	dec2 := make([]int, len(prime2))
+	for h, l := range prime2 {
+		dec2[h] = enc.DecodeLabel(l)
+	}
+	if bad := gl.VerifyGeneral(g3, nil, dec2); len(bad) != 0 {
+		t.Fatalf("brute Π' solution decodes invalid at %v", bad)
+	}
+}
+
+func TestLemma26EmptyUniverse(t *testing.T) {
+	gl := properColoringGeneral()
+	// A universe with no valid solutions (odd cycle for 2-coloring).
+	if _, err := gl.ToNodeEdgeCheckable([]UniverseEntry{{G: graph.Cycle(3)}}, 16); err == nil {
+		t.Error("expected error for a universe admitting no solutions")
+	}
+}

@@ -1,0 +1,353 @@
+// Package lcl implements the locally checkable labeling formalism of the
+// paper: general LCL problems (Definition 2.2), node-edge-checkable LCL
+// problems (Definition 2.3), solution verification with local-failure
+// localization (Definition 2.4), and the Lemma 2.6 construction converting
+// any LCL into an equivalent node-edge-checkable one.
+//
+// Labels are dense ints indexing the alphabets; labelings are flat slices
+// indexed by dense half-edge index (see package graph).
+package lcl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// NoInput is the single input label of problems "without inputs".
+const NoInput = 0
+
+// Multiset is a sorted slice of labels representing a label multiset
+// (a node or edge configuration in the sense of Definition 2.3).
+type Multiset []int
+
+// NewMultiset returns the sorted multiset of the given labels.
+func NewMultiset(labels ...int) Multiset {
+	m := append(Multiset(nil), labels...)
+	sort.Ints(m)
+	return m
+}
+
+// Key returns a canonical map key for the multiset.
+func (m Multiset) Key() string {
+	var sb strings.Builder
+	for i, x := range m {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%d", x)
+	}
+	return sb.String()
+}
+
+// Problem is a node-edge-checkable LCL problem
+// Π = (Σin, Σout, N, E, g) as in Definition 2.3.
+type Problem struct {
+	Name string
+
+	// InNames / OutNames give the alphabets; labels are indices into them.
+	InNames  []string
+	OutNames []string
+
+	// Node[d] lists the allowed degree-d node configurations N^d_Π
+	// (cardinality-d multisets over Σout). Degrees with no entry are
+	// disallowed entirely (no valid output exists at such a node).
+	Node map[int][]Multiset
+
+	// Edge lists the allowed edge configurations E_Π (cardinality-2
+	// multisets over Σout).
+	Edge []Multiset
+
+	// G[in] is the set of output labels allowed on a half-edge whose input
+	// label is `in` (the function gΠ). Must have len == len(InNames).
+	G [][]int
+
+	// caches
+	nodeSet map[int]map[string]bool
+	edgeSet map[string]bool
+	gSet    []map[int]bool
+}
+
+// NumIn returns |Σin|.
+func (p *Problem) NumIn() int { return len(p.InNames) }
+
+// NumOut returns |Σout|.
+func (p *Problem) NumOut() int { return len(p.OutNames) }
+
+// buildCaches materializes membership sets.
+func (p *Problem) buildCaches() {
+	if p.nodeSet != nil {
+		return
+	}
+	p.nodeSet = make(map[int]map[string]bool, len(p.Node))
+	for d, list := range p.Node {
+		s := make(map[string]bool, len(list))
+		for _, m := range list {
+			s[m.Key()] = true
+		}
+		p.nodeSet[d] = s
+	}
+	p.edgeSet = make(map[string]bool, len(p.Edge))
+	for _, m := range p.Edge {
+		p.edgeSet[m.Key()] = true
+	}
+	p.gSet = make([]map[int]bool, len(p.G))
+	for i, outs := range p.G {
+		p.gSet[i] = make(map[int]bool, len(outs))
+		for _, o := range outs {
+			p.gSet[i][o] = true
+		}
+	}
+}
+
+// invalidateCaches must be called after mutating constraint sets.
+func (p *Problem) invalidateCaches() {
+	p.nodeSet, p.edgeSet, p.gSet = nil, nil, nil
+}
+
+// NodeAllowed reports whether the multiset is an allowed node
+// configuration for its cardinality.
+func (p *Problem) NodeAllowed(m Multiset) bool {
+	p.buildCaches()
+	return p.nodeSet[len(m)][m.Key()]
+}
+
+// EdgeAllowed reports whether {a, b} is an allowed edge configuration.
+func (p *Problem) EdgeAllowed(a, b int) bool {
+	p.buildCaches()
+	return p.edgeSet[NewMultiset(a, b).Key()]
+}
+
+// GAllowed reports whether output label `out` is permitted on a half-edge
+// with input label `in`.
+func (p *Problem) GAllowed(in, out int) bool {
+	p.buildCaches()
+	if in < 0 || in >= len(p.gSet) {
+		return false
+	}
+	return p.gSet[in][out]
+}
+
+// Validate checks internal consistency of the problem definition.
+func (p *Problem) Validate() error {
+	if len(p.InNames) == 0 || len(p.OutNames) == 0 {
+		return fmt.Errorf("lcl: %s: empty alphabet", p.Name)
+	}
+	if len(p.G) != len(p.InNames) {
+		return fmt.Errorf("lcl: %s: g has %d entries for %d input labels", p.Name, len(p.G), len(p.InNames))
+	}
+	for in, outs := range p.G {
+		for _, o := range outs {
+			if o < 0 || o >= len(p.OutNames) {
+				return fmt.Errorf("lcl: %s: g(%d) contains invalid label %d", p.Name, in, o)
+			}
+		}
+	}
+	for d, list := range p.Node {
+		for _, m := range list {
+			if len(m) != d {
+				return fmt.Errorf("lcl: %s: node config %v under degree %d", p.Name, m, d)
+			}
+			if !sort.IntsAreSorted(m) {
+				return fmt.Errorf("lcl: %s: unsorted node config %v", p.Name, m)
+			}
+			for _, x := range m {
+				if x < 0 || x >= len(p.OutNames) {
+					return fmt.Errorf("lcl: %s: node config label %d out of range", p.Name, x)
+				}
+			}
+		}
+	}
+	for _, m := range p.Edge {
+		if len(m) != 2 {
+			return fmt.Errorf("lcl: %s: edge config %v has size %d", p.Name, m, len(m))
+		}
+		for _, x := range m {
+			if x < 0 || x >= len(p.OutNames) {
+				return fmt.Errorf("lcl: %s: edge config label %d out of range", p.Name, x)
+			}
+		}
+	}
+	return nil
+}
+
+// Violation localizes one constraint failure (Definition 2.4: an output
+// labeling can be incorrect *on an edge* or *at a node*).
+type Violation struct {
+	Kind string // "node", "edge", or "g"
+	V    int    // node (for node/g violations)
+	U    int    // second endpoint (for edge violations)
+	Port int    // port (for g violations)
+	Msg  string
+}
+
+func (v Violation) String() string { return v.Msg }
+
+// Verify checks fout against the problem on (G, fin); it returns all
+// violations (empty means the labeling is a correct solution). fin may be
+// nil when |Σin| == 1 (the no-input case). Labelings are indexed by dense
+// half-edge index.
+func (p *Problem) Verify(g *graph.Graph, fin, fout []int) []Violation {
+	p.buildCaches()
+	var out []Violation
+	inLabel := func(v, port int) int {
+		if fin == nil {
+			return NoInput
+		}
+		return fin[g.HalfEdge(v, port)]
+	}
+	for v := 0; v < g.N(); v++ {
+		d := g.Deg(v)
+		labels := make([]int, d)
+		for port := 0; port < d; port++ {
+			o := fout[g.HalfEdge(v, port)]
+			labels[port] = o
+			if in := inLabel(v, port); !p.GAllowed(in, o) {
+				out = append(out, Violation{
+					Kind: "g", V: v, Port: port,
+					Msg: fmt.Sprintf("node %d port %d: output %s not in g(%s)",
+						v, port, p.outName(o), p.inName(in)),
+				})
+			}
+		}
+		m := NewMultiset(labels...)
+		if !p.NodeAllowed(m) {
+			out = append(out, Violation{
+				Kind: "node", V: v,
+				Msg: fmt.Sprintf("node %d (deg %d): configuration %s not allowed",
+					v, d, p.multisetName(m)),
+			})
+		}
+	}
+	g.Edges(func(u, pu, v, pv int) {
+		a := fout[g.HalfEdge(u, pu)]
+		b := fout[g.HalfEdge(v, pv)]
+		if !p.EdgeAllowed(a, b) {
+			out = append(out, Violation{
+				Kind: "edge", V: u, U: v,
+				Msg: fmt.Sprintf("edge {%d,%d}: configuration {%s,%s} not allowed",
+					u, v, p.outName(a), p.outName(b)),
+			})
+		}
+	})
+	return out
+}
+
+// Solves reports whether fout is a correct solution.
+func (p *Problem) Solves(g *graph.Graph, fin, fout []int) bool {
+	return len(p.Verify(g, fin, fout)) == 0
+}
+
+func (p *Problem) outName(o int) string {
+	if o >= 0 && o < len(p.OutNames) {
+		return p.OutNames[o]
+	}
+	return fmt.Sprintf("<%d>", o)
+}
+
+func (p *Problem) inName(i int) string {
+	if i >= 0 && i < len(p.InNames) {
+		return p.InNames[i]
+	}
+	return fmt.Sprintf("<%d>", i)
+}
+
+func (p *Problem) multisetName(m Multiset) string {
+	parts := make([]string, len(m))
+	for i, x := range m {
+		parts[i] = p.outName(x)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// String renders the problem compactly (round-eliminator-flavored).
+func (p *Problem) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "problem %s\n in: %v\n out: %v\n", p.Name, p.InNames, p.OutNames)
+	degrees := make([]int, 0, len(p.Node))
+	for d := range p.Node {
+		degrees = append(degrees, d)
+	}
+	sort.Ints(degrees)
+	for _, d := range degrees {
+		fmt.Fprintf(&sb, " node[%d]:", d)
+		for _, m := range p.Node[d] {
+			fmt.Fprintf(&sb, " %s", p.multisetName(m))
+		}
+		sb.WriteByte('\n')
+	}
+	sb.WriteString(" edge:")
+	for _, m := range p.Edge {
+		fmt.Fprintf(&sb, " {%s,%s}", p.outName(m[0]), p.outName(m[1]))
+	}
+	sb.WriteByte('\n')
+	for in, outs := range p.G {
+		names := make([]string, len(outs))
+		for i, o := range outs {
+			names[i] = p.outName(o)
+		}
+		fmt.Fprintf(&sb, " g(%s) = {%s}\n", p.inName(in), strings.Join(names, ","))
+	}
+	return sb.String()
+}
+
+// BruteForceSolve searches exhaustively for a correct solution on (g, fin),
+// returning one if it exists. Exponential in |H(G)|; for test-scale graphs
+// (used to validate the Lemma 3.9 lift and the 0-round decider).
+func (p *Problem) BruteForceSolve(g *graph.Graph, fin []int) ([]int, bool) {
+	p.buildCaches()
+	h := g.NumHalfEdges()
+	fout := make([]int, h)
+	// Order half-edges vertex-major so node constraints can prune early.
+	type he struct{ v, port, idx int }
+	var order []he
+	for v := 0; v < g.N(); v++ {
+		for port := 0; port < g.Deg(v); port++ {
+			order = append(order, he{v, port, g.HalfEdge(v, port)})
+		}
+	}
+	inLabel := func(v, port int) int {
+		if fin == nil {
+			return NoInput
+		}
+		return fin[g.HalfEdge(v, port)]
+	}
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if k == len(order) {
+			return p.Solves(g, fin, fout)
+		}
+		cur := order[k]
+		for o := 0; o < p.NumOut(); o++ {
+			if !p.GAllowed(inLabel(cur.v, cur.port), o) {
+				continue
+			}
+			fout[cur.idx] = o
+			// Prune: edge constraint if the opposite half-edge is already set.
+			rev := g.HalfEdgeRev(cur.v, cur.port)
+			if rev < cur.idx && !p.EdgeAllowed(fout[rev], o) {
+				continue
+			}
+			// Prune: node constraint when this completes a node.
+			if cur.port == g.Deg(cur.v)-1 {
+				labels := make([]int, g.Deg(cur.v))
+				for q := range labels {
+					labels[q] = fout[g.HalfEdge(cur.v, q)]
+				}
+				if !p.NodeAllowed(NewMultiset(labels...)) {
+					continue
+				}
+			}
+			if rec(k + 1) {
+				return true
+			}
+		}
+		return false
+	}
+	if rec(0) {
+		return fout, true
+	}
+	return nil, false
+}

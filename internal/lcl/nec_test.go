@@ -1,0 +1,335 @@
+package lcl
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+// threeColoring builds proper 3-coloring on degree-<=2 graphs for tests.
+func threeColoring(t testing.TB) *Problem {
+	t.Helper()
+	b := NewBuilder("3col", nil, []string{"1", "2", "3"})
+	for d := 1; d <= 2; d++ {
+		for _, c := range []string{"1", "2", "3"} {
+			if d == 1 {
+				b.Node(c)
+			} else {
+				b.Node(c, c)
+			}
+		}
+	}
+	b.Edge("1", "2").Edge("1", "3").Edge("2", "3")
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestMultisetKey(t *testing.T) {
+	a := NewMultiset(3, 1, 2)
+	b := NewMultiset(2, 3, 1)
+	if a.Key() != b.Key() {
+		t.Errorf("keys differ: %q vs %q", a.Key(), b.Key())
+	}
+	if a.Key() == NewMultiset(1, 2).Key() {
+		t.Error("different multisets share a key")
+	}
+	// No separator ambiguity: {1,23} vs {12,3}.
+	if NewMultiset(1, 23).Key() == NewMultiset(12, 3).Key() {
+		t.Error("key ambiguity between {1,23} and {12,3}")
+	}
+}
+
+func TestVerifyColoringOnPath(t *testing.T) {
+	p := threeColoring(t)
+	g := graph.Path(4)
+	// Proper coloring 1,2,1,3 (labels 0,1,0,2); nodes output their color on
+	// every half-edge.
+	colors := []int{0, 1, 0, 2}
+	fout := make([]int, g.NumHalfEdges())
+	for v := 0; v < g.N(); v++ {
+		for q := 0; q < g.Deg(v); q++ {
+			fout[g.HalfEdge(v, q)] = colors[v]
+		}
+	}
+	if vs := p.Verify(g, nil, fout); len(vs) != 0 {
+		t.Fatalf("valid coloring rejected: %v", vs)
+	}
+	// Break it: make nodes 1 and 2 share a color.
+	colors2 := []int{0, 1, 1, 2}
+	for v := 0; v < g.N(); v++ {
+		for q := 0; q < g.Deg(v); q++ {
+			fout[g.HalfEdge(v, q)] = colors2[v]
+		}
+	}
+	vs := p.Verify(g, nil, fout)
+	if len(vs) == 0 {
+		t.Fatal("improper coloring accepted")
+	}
+	foundEdge := false
+	for _, v := range vs {
+		if v.Kind == "edge" && ((v.V == 1 && v.U == 2) || (v.V == 2 && v.U == 1)) {
+			foundEdge = true
+		}
+	}
+	if !foundEdge {
+		t.Errorf("violation not localized to edge {1,2}: %v", vs)
+	}
+}
+
+func TestVerifyNodeConstraint(t *testing.T) {
+	p := threeColoring(t)
+	g := graph.Path(3)
+	fout := make([]int, g.NumHalfEdges())
+	// Node 1 outputs different colors on its two half-edges: node violation.
+	fout[g.HalfEdge(0, 0)] = 0
+	fout[g.HalfEdge(1, 0)] = 1
+	fout[g.HalfEdge(1, 1)] = 2
+	fout[g.HalfEdge(2, 0)] = 0
+	vs := p.Verify(g, nil, fout)
+	foundNode := false
+	for _, v := range vs {
+		if v.Kind == "node" && v.V == 1 {
+			foundNode = true
+		}
+	}
+	if !foundNode {
+		t.Errorf("mixed-color node not flagged: %v", vs)
+	}
+}
+
+func TestGConstraint(t *testing.T) {
+	b := NewBuilder("io", []string{"a", "b"}, []string{"A", "B"})
+	b.Node("A").Node("B").Node("A", "A").Node("B", "B").Node("A", "B")
+	b.Edge("A", "A").Edge("A", "B").Edge("B", "B")
+	b.Allow("a", "A").Allow("b", "B")
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.Path(2)
+	fin := []int{0, 1} // half-edge (0,0) input a; (1,0) input b
+	fout := []int{0, 0}
+	vs := p.Verify(g, fin, fout)
+	// (1,0) has input b but output A: g violation.
+	foundG := false
+	for _, v := range vs {
+		if v.Kind == "g" && v.V == 1 {
+			foundG = true
+		}
+	}
+	if !foundG {
+		t.Errorf("g violation not detected: %v", vs)
+	}
+	fout = []int{0, 1}
+	if vs := p.Verify(g, fin, fout); len(vs) != 0 {
+		t.Errorf("valid io labeling rejected: %v", vs)
+	}
+}
+
+func TestDisallowedDegree(t *testing.T) {
+	// A problem defined only for degree 2 must reject degree-1 nodes.
+	b := NewBuilder("deg2only", nil, []string{"x"})
+	b.Node("x", "x")
+	b.Edge("x", "x")
+	p := b.MustBuild()
+	g := graph.Path(3)
+	fout := make([]int, g.NumHalfEdges())
+	vs := p.Verify(g, nil, fout)
+	count := 0
+	for _, v := range vs {
+		if v.Kind == "node" {
+			count++
+		}
+	}
+	if count != 2 { // the two endpoints
+		t.Errorf("expected 2 node violations at endpoints, got %d (%v)", count, vs)
+	}
+}
+
+func TestBruteForceSolveColoring(t *testing.T) {
+	p := threeColoring(t)
+	for _, n := range []int{2, 3, 4, 5} {
+		g := graph.Path(n)
+		fout, ok := p.BruteForceSolve(g, nil)
+		if !ok {
+			t.Fatalf("3-coloring unsolvable on path(%d)?", n)
+		}
+		if vs := p.Verify(g, nil, fout); len(vs) != 0 {
+			t.Fatalf("brute-force solution invalid on path(%d): %v", n, vs)
+		}
+	}
+	// Odd cycle is 3-colorable, even cycle too.
+	for _, n := range []int{3, 4, 5, 6} {
+		g := graph.Cycle(n)
+		if _, ok := p.BruteForceSolve(g, nil); !ok {
+			t.Errorf("3-coloring unsolvable on cycle(%d)?", n)
+		}
+	}
+}
+
+func TestBruteForceUnsolvable(t *testing.T) {
+	// 2-coloring on an odd cycle is unsolvable.
+	b := NewBuilder("2col", nil, []string{"1", "2"})
+	b.Node("1", "1").Node("2", "2")
+	b.Edge("1", "2")
+	p := b.MustBuild()
+	g := graph.Cycle(5)
+	if _, ok := p.BruteForceSolve(g, nil); ok {
+		t.Error("2-coloring solved an odd cycle")
+	}
+	if _, ok := p.BruteForceSolve(graph.Cycle(6), nil); !ok {
+		t.Error("2-coloring failed on an even cycle")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	p := threeColoring(t)
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q Problem
+	if err := json.Unmarshal(data, &q); err != nil {
+		t.Fatal(err)
+	}
+	if q.Name != p.Name || q.NumOut() != p.NumOut() || q.NumIn() != p.NumIn() {
+		t.Fatal("round trip changed problem shape")
+	}
+	// Same constraint semantics.
+	for a := 0; a < 3; a++ {
+		for b2 := 0; b2 < 3; b2++ {
+			if p.EdgeAllowed(a, b2) != q.EdgeAllowed(a, b2) {
+				t.Errorf("edge(%d,%d) mismatch after round trip", a, b2)
+			}
+		}
+	}
+	for d := 1; d <= 2; d++ {
+		for _, m := range p.Node[d] {
+			if !q.NodeAllowed(m) {
+				t.Errorf("node config %v lost in round trip", m)
+			}
+		}
+	}
+}
+
+func TestJSONRejectsBadLabels(t *testing.T) {
+	bad := `{"name":"x","in_alphabet":["·"],"out_alphabet":["A"],
+		"node_constraints":{"1":["Z"]},"edge_constraints":[],"g":{}}`
+	var p Problem
+	if err := json.Unmarshal([]byte(bad), &p); err == nil {
+		t.Error("unknown label accepted")
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	p := &Problem{Name: "bad", InNames: []string{"·"}, OutNames: []string{"A"},
+		Node: map[int][]Multiset{2: {NewMultiset(0)}},
+		G:    [][]int{{0}}}
+	if err := p.Validate(); err == nil {
+		t.Error("size-1 config under degree 2 accepted")
+	}
+	p2 := &Problem{Name: "bad2", InNames: []string{"·"}, OutNames: []string{"A"},
+		Node: map[int][]Multiset{}, G: [][]int{{3}}}
+	if err := p2.Validate(); err == nil {
+		t.Error("out-of-range g label accepted")
+	}
+}
+
+func TestVerifyQuickColoringInvariant(t *testing.T) {
+	// Property: Verify flags exactly the monochromatic edges for coloring
+	// labelings where every node is self-consistent.
+	p := threeColoring(t)
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%6 + 2
+		g := graph.Path(n)
+		colors := make([]int, n)
+		s := seed
+		for i := range colors {
+			s = s*6364136223846793005 + 1442695040888963407
+			colors[i] = int((s>>33)%3+3) % 3
+		}
+		fout := make([]int, g.NumHalfEdges())
+		for v := 0; v < n; v++ {
+			for q := 0; q < g.Deg(v); q++ {
+				fout[g.HalfEdge(v, q)] = colors[v]
+			}
+		}
+		bad := 0
+		for i := 0; i+1 < n; i++ {
+			if colors[i] == colors[i+1] {
+				bad++
+			}
+		}
+		return (len(p.Verify(g, nil, fout)) == 0) == (bad == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProblemStringRendersEverything(t *testing.T) {
+	p := NewBuilder("render", []string{"x", "y"}, []string{"A", "B"}).
+		Node("A").Node("A", "B").Edge("A", "B").
+		Allow("x", "A").Allow("y", "A", "B").MustBuild()
+	s := p.String()
+	for _, want := range []string{"render", "A", "B", "x", "y"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestViolationStringAndNames(t *testing.T) {
+	p := NewBuilder("viol", nil, []string{"A", "B"}).
+		Node("A", "A").Edge("A", "A").MustBuild()
+	g := graph.Cycle(3)
+	fin := make([]int, g.NumHalfEdges())
+	bad := make([]int, g.NumHalfEdges())
+	for h := range bad {
+		bad[h] = 1 // all B: node configs {B,B} not allowed
+	}
+	viols := p.Verify(g, fin, bad)
+	if len(viols) == 0 {
+		t.Fatal("expected violations")
+	}
+	for _, v := range viols {
+		if v.String() == "" {
+			t.Error("violation renders empty")
+		}
+		if !strings.Contains(v.Msg, "B") {
+			t.Errorf("violation message should name the label: %q", v.Msg)
+		}
+	}
+}
+
+func TestInvalidateCachesAfterMutation(t *testing.T) {
+	p := NewBuilder("mut", nil, []string{"A", "B"}).
+		Node("A", "A").Edge("A", "A").MustBuild()
+	if p.EdgeAllowed(1, 1) {
+		t.Fatal("setup: {B,B} should not be allowed")
+	}
+	// Mutate the constraint sets directly and invalidate.
+	p.Edge = append(p.Edge, NewMultiset(1, 1))
+	p.invalidateCaches()
+	if !p.EdgeAllowed(1, 1) {
+		t.Fatal("cache not invalidated after mutation")
+	}
+}
+
+func TestOutOfRangeLabelNamesRenderDefensively(t *testing.T) {
+	p := NewBuilder("names", nil, []string{"A"}).
+		Node("A").Node("A", "A").Edge("A", "A").MustBuild()
+	g := graph.Path(2)
+	fin := make([]int, g.NumHalfEdges())
+	bad := []int{7, 0} // label 7 does not exist
+	viols := p.Verify(g, fin, bad)
+	if len(viols) == 0 {
+		t.Fatal("expected a violation for an out-of-range label")
+	}
+}

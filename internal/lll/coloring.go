@@ -1,0 +1,47 @@
+package lll
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// VertexColoring builds the LLL system of proper k-coloring with one
+// variable per vertex and one bad event per edge ("both endpoints equal").
+// The event probability is exactly 1/k and the dependency degree is at
+// most 2(Δ-1), so the symmetric criterion holds once k >= e·(2Δ-1) — a
+// palette well above Δ+1, which is the usual shape of LLL reformulations:
+// they trade palette (or slack in the problem) for local resampling,
+// putting the problem in class (C) rather than class (B).
+//
+// The assignment IS the coloring (assignment[v] is v's color), so no
+// decoder is needed; ProperColoring checks validity.
+func VertexColoring(g *graph.Graph, k int) *System {
+	if k < 1 {
+		panic("lll: VertexColoring needs k >= 1")
+	}
+	sys := &System{Domain: make([]int, g.N())}
+	for v := range sys.Domain {
+		sys.Domain[v] = k
+	}
+	g.Edges(func(u, _, v, _ int) {
+		sys.Events = append(sys.Events, Event{
+			Vars: []int{u, v},
+			Tag:  fmt.Sprintf("edge {%d,%d} monochromatic", u, v),
+			Bad:  func(vals []int) bool { return vals[0] == vals[1] },
+		})
+	})
+	return sys
+}
+
+// ProperColoring reports the first monochromatic edge of the coloring, or
+// (-1, -1) when the coloring is proper.
+func ProperColoring(g *graph.Graph, colors []int) (int, int) {
+	bad := [2]int{-1, -1}
+	g.Edges(func(u, _, v, _ int) {
+		if bad[0] == -1 && colors[u] == colors[v] {
+			bad = [2]int{u, v}
+		}
+	})
+	return bad[0], bad[1]
+}

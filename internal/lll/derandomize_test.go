@@ -1,0 +1,147 @@
+package lll
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestConditionalProbabilityExact(t *testing.T) {
+	s := xorSystem(2)
+	ev := s.Events[0]
+	p, err := s.conditionalProbability(ev, map[int]int{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.25) > 1e-12 {
+		t.Errorf("unconditioned p = %v, want 0.25", p)
+	}
+	p, _ = s.conditionalProbability(ev, map[int]int{0: 1})
+	if math.Abs(p-0.5) > 1e-12 {
+		t.Errorf("p | x0=1 = %v, want 0.5", p)
+	}
+	p, _ = s.conditionalProbability(ev, map[int]int{0: 0})
+	if p != 0 {
+		t.Errorf("p | x0=0 = %v, want 0", p)
+	}
+	p, _ = s.conditionalProbability(ev, map[int]int{0: 1, 1: 1})
+	if p != 1 {
+		t.Errorf("p | both=1 = %v, want 1", p)
+	}
+}
+
+func TestDerandomizeSolvesXorExactly(t *testing.T) {
+	s := xorSystem(60)
+	res, err := Derandomize(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violated) != 0 {
+		t.Fatalf("%d events violated; the all-different greedy should clear XOR chains", len(res.Violated))
+	}
+	// E[violations] = 59/4 — far above 1, showing the greedy routinely
+	// beats its union-bound guarantee.
+	if math.Abs(res.ExpectedViolations-59.0/4) > 1e-9 {
+		t.Errorf("expected violations %v, want 14.75", res.ExpectedViolations)
+	}
+}
+
+func TestDerandomizeGuaranteeBelowOne(t *testing.T) {
+	// Sinkless orientation on a small Δ=5 instance: Σ Pr = 16/32 = 0.5
+	// < 1, so the deterministic assignment must be perfect.
+	rng := rand.New(rand.NewSource(21))
+	g := graph.RandomRegular(16, 5, rng)
+	sys, dec := Sinkless(g, 5)
+	res, err := Derandomize(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExpectedViolations >= 1 {
+		t.Fatalf("setup: expected violations %v should be < 1", res.ExpectedViolations)
+	}
+	if len(res.Violated) != 0 {
+		t.Fatalf("union-bound guarantee broken: %d events violated with E = %v", len(res.Violated), res.ExpectedViolations)
+	}
+	if v := dec.CheckSinkless(res.Assignment, 5); v != -1 {
+		t.Fatalf("node %d is a sink", v)
+	}
+}
+
+// TestDerandomizeNeverExceedsExpectation is the method's invariant: the
+// final violation count is at most the initial expected count. Property-
+// checked over random systems.
+func TestDerandomizeNeverExceedsExpectation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nVars := 3 + rng.Intn(8)
+		s := &System{Domain: make([]int, nVars)}
+		for v := range s.Domain {
+			s.Domain[v] = 2 + rng.Intn(2)
+		}
+		nEvents := 1 + rng.Intn(6)
+		for i := 0; i < nEvents; i++ {
+			a, b := rng.Intn(nVars), rng.Intn(nVars)
+			if a == b {
+				b = (b + 1) % nVars
+			}
+			want := rng.Intn(2)
+			s.Events = append(s.Events, Event{
+				Vars: []int{a, b},
+				Tag:  "rand",
+				Bad:  func(v []int) bool { return v[0] == v[1] && v[0] == want },
+			})
+		}
+		res, err := Derandomize(s)
+		if err != nil {
+			return false
+		}
+		return float64(len(res.Violated)) <= res.ExpectedViolations+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDerandomizeIsDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	g := graph.RandomRegular(30, 5, rng)
+	sys, _ := Sinkless(g, 5)
+	a, err := Derandomize(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Derandomize(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Assignment {
+		if a.Assignment[i] != b.Assignment[i] {
+			t.Fatalf("assignment differs at variable %d across runs", i)
+		}
+	}
+}
+
+func TestDerandomizeVsResamplingOnColoring(t *testing.T) {
+	// Both engines must produce proper colorings on the same instance;
+	// the deterministic one needs no seed.
+	rng := rand.New(rand.NewSource(23))
+	g := graph.RandomTree(150, 3, rng)
+	sys := VertexColoring(g, 8)
+	det, err := Derandomize(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u, v := ProperColoring(g, det.Assignment); u != -1 {
+		t.Fatalf("derandomized coloring: edge {%d,%d} monochromatic", u, v)
+	}
+	randres, err := RunParallel(sys, Opts{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u, v := ProperColoring(g, randres.Assignment); u != -1 {
+		t.Fatalf("resampled coloring: edge {%d,%d} monochromatic", u, v)
+	}
+}

@@ -1,0 +1,103 @@
+package lll
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/lcl"
+)
+
+// FromLCL reformulates an LCL problem on a concrete graph as an LLL
+// system, the reduction behind class (C) of the landscape: one variable
+// per half-edge ranging over the outputs permitted by g_Π on its input
+// label, one bad event per node ("my node configuration is not in N^deg")
+// and one per edge ("our edge configuration is not in E"). A good
+// assignment of the system is exactly a correct solution of the LCL
+// (Definition 2.4's two failure kinds are the two event kinds; the g
+// constraint holds by construction of the domains).
+func FromLCL(p *lcl.Problem, g *graph.Graph, fin []int) (*System, error) {
+	if len(fin) != g.NumHalfEdges() {
+		return nil, fmt.Errorf("lll: %d input labels for %d half-edges", len(fin), g.NumHalfEdges())
+	}
+	// Variable domains: the permitted output labels per half-edge. The
+	// domain stores positions into perm[h] so sampling stays uniform over
+	// the permitted set.
+	perm := make([][]int, g.NumHalfEdges())
+	dom := make([]int, g.NumHalfEdges())
+	for h := range perm {
+		in := fin[h]
+		if in < 0 || in >= p.NumIn() {
+			return nil, fmt.Errorf("lll: input label %d out of range on half-edge %d", in, h)
+		}
+		for o := 0; o < p.NumOut(); o++ {
+			if p.GAllowed(in, o) {
+				perm[h] = append(perm[h], o)
+			}
+		}
+		if len(perm[h]) == 0 {
+			return nil, fmt.Errorf("lll: no permitted output on half-edge %d (input %q)", h, p.InNames[in])
+		}
+		dom[h] = len(perm[h])
+	}
+	sys := &System{Domain: dom}
+
+	for v := 0; v < g.N(); v++ {
+		d := g.Deg(v)
+		if d == 0 {
+			continue
+		}
+		vars := make([]int, d)
+		for pt := 0; pt < d; pt++ {
+			vars[pt] = g.HalfEdge(v, pt)
+		}
+		sys.Events = append(sys.Events, Event{
+			Vars: vars,
+			Tag:  fmt.Sprintf("node %d", v),
+			Bad: func(values []int) bool {
+				labels := make([]int, len(values))
+				for i, val := range values {
+					labels[i] = perm[vars[i]][val]
+				}
+				return !p.NodeAllowed(lcl.NewMultiset(labels...))
+			},
+		})
+	}
+	g.Edges(func(u, pu, v, pv int) {
+		hu, hv := g.HalfEdge(u, pu), g.HalfEdge(v, pv)
+		sys.Events = append(sys.Events, Event{
+			Vars: []int{hu, hv},
+			Tag:  fmt.Sprintf("edge {%d,%d}", u, v),
+			Bad: func(values []int) bool {
+				return !p.EdgeAllowed(perm[hu][values[0]], perm[hv][values[1]])
+			},
+		})
+	})
+	return sys, nil
+}
+
+// DecodeLCL converts a system assignment produced by FromLCL back to the
+// half-edge output labeling of the problem. It must be given the same
+// problem, graph and inputs.
+func DecodeLCL(p *lcl.Problem, g *graph.Graph, fin, assignment []int) ([]int, error) {
+	if len(assignment) != g.NumHalfEdges() {
+		return nil, fmt.Errorf("lll: assignment length %d for %d half-edges", len(assignment), g.NumHalfEdges())
+	}
+	out := make([]int, len(assignment))
+	for h, val := range assignment {
+		in := fin[h]
+		idx, found := 0, false
+		for o := 0; o < p.NumOut() && !found; o++ {
+			if p.GAllowed(in, o) {
+				if idx == val {
+					out[h] = o
+					found = true
+				}
+				idx++
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("lll: assignment value %d out of range on half-edge %d", val, h)
+		}
+	}
+	return out, nil
+}

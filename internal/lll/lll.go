@@ -1,0 +1,186 @@
+// Package lll implements the distributed Lovász Local Lemma machinery
+// behind complexity class (C) of the paper's Section 1 landscape: LCL
+// problems with randomized complexity poly log log n and deterministic
+// complexity poly log n "can be solved by reformulating them as an
+// instance of the Lovász local lemma (LLL)".
+//
+// The package provides
+//
+//   - constraint systems over independently sampled variables with local
+//     bad events (System), including the generic reformulation of an LCL
+//     on a graph as such a system (FromLCL);
+//   - the exact symmetric LLL criterion e·p·(d+1) <= 1 for a system
+//     (Criterion), with the event probabilities computed exactly by
+//     enumeration over each event's variable scope;
+//   - Moser–Tardos resampling, both the sequential algorithm and the
+//     parallel/distributed variant in which every violated event that is a
+//     local priority minimum among conflicting violated events resamples
+//     its variables simultaneously — one round of the latter is O(1)
+//     LOCAL rounds, and under the criterion the number of rounds is
+//     O(log n) w.h.p. (Moser–Tardos 2010, Theorem 1.4).
+//
+// The flagship instance is sinkless orientation (Sinkless), the problem
+// whose Ω(log log n) randomized lower bound [14] anchors class (C). The
+// state-of-the-art poly log log n algorithms add a shattering phase on
+// top of the resampling core; the bench harness measures the O(log n)
+// resampling core and records the gap to the paper's class boundary in
+// EXPERIMENTS.md.
+package lll
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Event is a local bad event: a predicate over the values of a fixed set
+// of variables. An assignment is good when no event holds.
+type Event struct {
+	// Vars lists the variable indices the event depends on.
+	Vars []int
+	// Bad reports whether the event occurs under the given values of Vars
+	// (values[i] is the value of Vars[i]).
+	Bad func(values []int) bool
+	// Tag is a diagnostic name ("node 3", "edge {1,2}").
+	Tag string
+}
+
+// System is a variable/event constraint system with a product sampling
+// measure: variable v takes values in [0, Domain[v]) uniformly and
+// independently.
+type System struct {
+	// Domain[v] is the number of values of variable v (>= 1).
+	Domain []int
+	Events []Event
+}
+
+// Validate checks index bounds and domain sizes.
+func (s *System) Validate() error {
+	for v, d := range s.Domain {
+		if d < 1 {
+			return fmt.Errorf("lll: variable %d has empty domain", v)
+		}
+	}
+	for i, ev := range s.Events {
+		if len(ev.Vars) == 0 {
+			return fmt.Errorf("lll: event %d (%s) has no variables", i, ev.Tag)
+		}
+		for _, v := range ev.Vars {
+			if v < 0 || v >= len(s.Domain) {
+				return fmt.Errorf("lll: event %d (%s) references variable %d of %d", i, ev.Tag, v, len(s.Domain))
+			}
+		}
+	}
+	return nil
+}
+
+// Sample draws a fresh uniform assignment.
+func (s *System) Sample(rng *rand.Rand) []int {
+	x := make([]int, len(s.Domain))
+	for v, d := range s.Domain {
+		x[v] = rng.Intn(d)
+	}
+	return x
+}
+
+// Violated returns the indices of the events that hold under x.
+func (s *System) Violated(x []int) []int {
+	var out []int
+	buf := make([]int, 0, 8)
+	for i, ev := range s.Events {
+		buf = buf[:0]
+		for _, v := range ev.Vars {
+			buf = append(buf, x[v])
+		}
+		if ev.Bad(buf) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Criterion is the symmetric LLL condition for a system.
+type Criterion struct {
+	// P is the maximum probability of any single event under the product
+	// measure, computed exactly by enumerating the event's scope.
+	P float64
+	// D is the maximum dependency degree: the number of *other* events
+	// sharing a variable with some event.
+	D int
+	// EPD1 is e·P·(D+1); the symmetric LLL applies when EPD1 <= 1.
+	EPD1 float64
+}
+
+// Satisfied reports whether the symmetric criterion holds.
+func (c Criterion) Satisfied() bool { return c.EPD1 <= 1 }
+
+func (c Criterion) String() string {
+	return fmt.Sprintf("p=%.4g d=%d e·p·(d+1)=%.4g", c.P, c.D, c.EPD1)
+}
+
+// Analyze computes the exact symmetric criterion of the system. Event
+// probabilities are exact: each event's scope is enumerated (product of
+// its variables' domain sizes, so scopes must stay small — they are at
+// most Δ+1 half-edges for LCL-derived systems).
+func (s *System) Analyze() (Criterion, error) {
+	if err := s.Validate(); err != nil {
+		return Criterion{}, err
+	}
+	var c Criterion
+	// Dependency degree via shared variables.
+	byVar := make(map[int][]int)
+	for i, ev := range s.Events {
+		for _, v := range ev.Vars {
+			byVar[v] = append(byVar[v], i)
+		}
+	}
+	for i, ev := range s.Events {
+		neighbors := map[int]bool{}
+		for _, v := range ev.Vars {
+			for _, j := range byVar[v] {
+				if j != i {
+					neighbors[j] = true
+				}
+			}
+		}
+		if len(neighbors) > c.D {
+			c.D = len(neighbors)
+		}
+		p, err := s.eventProbability(ev)
+		if err != nil {
+			return Criterion{}, err
+		}
+		if p > c.P {
+			c.P = p
+		}
+	}
+	c.EPD1 = math.E * c.P * float64(c.D+1)
+	return c, nil
+}
+
+// maxScopeStates bounds the per-event enumeration in Analyze.
+const maxScopeStates = 1 << 22
+
+// eventProbability enumerates the event's scope exactly.
+func (s *System) eventProbability(ev Event) (float64, error) {
+	states := 1
+	for _, v := range ev.Vars {
+		states *= s.Domain[v]
+		if states > maxScopeStates {
+			return 0, fmt.Errorf("lll: event %s scope too large to enumerate", ev.Tag)
+		}
+	}
+	vals := make([]int, len(ev.Vars))
+	bad := 0
+	for code := 0; code < states; code++ {
+		c := code
+		for i, v := range ev.Vars {
+			vals[i] = c % s.Domain[v]
+			c /= s.Domain[v]
+		}
+		if ev.Bad(vals) {
+			bad++
+		}
+	}
+	return float64(bad) / float64(states), nil
+}

@@ -1,0 +1,137 @@
+package lll
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Result reports a resampling run.
+type Result struct {
+	// Assignment is the final good assignment (nil when the run aborted).
+	Assignment []int
+	// Rounds is the number of parallel rounds (1 for the sequential
+	// algorithm's single logical pass accounting, see RunSequential).
+	Rounds int
+	// Resamplings counts variable-set resamplings (one per selected
+	// event occurrence).
+	Resamplings int
+}
+
+// Opts bounds a run.
+type Opts struct {
+	// MaxRounds aborts parallel runs that exceed this many rounds
+	// (default 10_000); sequential runs use it as a resampling budget
+	// multiplier per event.
+	MaxRounds int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (o Opts) maxRounds() int {
+	if o.MaxRounds <= 0 {
+		return 10_000
+	}
+	return o.MaxRounds
+}
+
+// RunSequential is the original Moser–Tardos algorithm: sample all
+// variables, then repeatedly resample the variables of an arbitrary
+// violated event (lowest index here, which is deterministic given the
+// seed) until no event is violated. Under the symmetric criterion the
+// expected total number of resamplings is at most |Events|/d (Moser–
+// Tardos 2010); the run aborts after MaxRounds*|Events| resamplings.
+func RunSequential(s *System, opts Opts) (*Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	x := s.Sample(rng)
+	res := &Result{Rounds: 1}
+	budget := opts.maxRounds() * max(1, len(s.Events))
+	for {
+		viol := s.Violated(x)
+		if len(viol) == 0 {
+			res.Assignment = x
+			return res, nil
+		}
+		ev := s.Events[viol[0]]
+		for _, v := range ev.Vars {
+			x[v] = rng.Intn(s.Domain[v])
+		}
+		res.Resamplings++
+		if res.Resamplings > budget {
+			return nil, fmt.Errorf("lll: sequential Moser–Tardos exceeded %d resamplings", budget)
+		}
+	}
+}
+
+// RunParallel is the distributed Moser–Tardos variant: in every round all
+// events are evaluated; each violated event that holds a local priority
+// minimum among the violated events it shares a variable with resamples
+// its variables. The selected events are independent (no shared
+// variables), so one round is implementable in O(1) LOCAL rounds on the
+// event/variable incidence graph; priorities are fresh uniform draws each
+// round, which breaks ties symmetrically exactly as random IDs would.
+// Under the symmetric criterion the number of rounds is O(log n) w.h.p.
+func RunParallel(s *System, opts Opts) (*Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	x := s.Sample(rng)
+	res := &Result{}
+
+	// Precompute event adjacency (shared-variable conflicts).
+	byVar := make([][]int, len(s.Domain))
+	for i, ev := range s.Events {
+		for _, v := range ev.Vars {
+			byVar[v] = append(byVar[v], i)
+		}
+	}
+
+	prio := make([]float64, len(s.Events))
+	isViol := make([]bool, len(s.Events))
+	for ; res.Rounds < opts.maxRounds(); res.Rounds++ {
+		viol := s.Violated(x)
+		if len(viol) == 0 {
+			res.Assignment = x
+			return res, nil
+		}
+		for i := range isViol {
+			isViol[i] = false
+		}
+		for _, i := range viol {
+			isViol[i] = true
+			prio[i] = rng.Float64()
+		}
+		// Local minima among conflicting violated events resample.
+		var selected []int
+		for _, i := range viol {
+			minimal := true
+			for _, v := range s.Events[i].Vars {
+				for _, j := range byVar[v] {
+					if j != i && isViol[j] && (prio[j] < prio[i] || (prio[j] == prio[i] && j < i)) {
+						minimal = false
+					}
+				}
+			}
+			if minimal {
+				selected = append(selected, i)
+			}
+		}
+		for _, i := range selected {
+			for _, v := range s.Events[i].Vars {
+				x[v] = rng.Intn(s.Domain[v])
+			}
+			res.Resamplings++
+		}
+	}
+	return nil, fmt.Errorf("lll: parallel Moser–Tardos exceeded %d rounds", opts.maxRounds())
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

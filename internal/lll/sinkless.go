@@ -1,0 +1,98 @@
+package lll
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Sinkless builds the LLL system of sinkless orientation on g: one binary
+// variable per edge (its orientation) and one bad event per vertex of
+// degree >= minDeg ("all my incident edges point at me"). This is the
+// canonical class-(C) instance: its bad-event probability is 2^-deg and
+// its dependency degree is the vertex degree, so the symmetric criterion
+// e·2^-Δ·(Δ+1) <= 1 holds from Δ = 5 on — while the problem itself is
+// Θ(log log n) randomized / Θ(log n) deterministic on trees (landscape
+// class 3), with the Ω(log log n) lower bound of [14] proven exactly
+// through sinkless orientation.
+//
+// Orientation convention: edge variable 0 orients the edge u -> v in the
+// order the edge was added (u is the endpoint reported first by
+// graph.Edges), 1 orients v -> u.
+func Sinkless(g *graph.Graph, minDeg int) (*System, *SinklessDecoder) {
+	var dec SinklessDecoder
+	dec.g = g
+	g.Edges(func(u, pu, v, pv int) {
+		dec.edges = append(dec.edges, [4]int{u, pu, v, pv})
+	})
+	sys := &System{Domain: make([]int, len(dec.edges))}
+	for i := range sys.Domain {
+		sys.Domain[i] = 2
+	}
+	// incident[v] lists (edge index, whether v is the second endpoint).
+	incident := make([][][2]int, g.N())
+	for i, e := range dec.edges {
+		incident[e[0]] = append(incident[e[0]], [2]int{i, 0})
+		incident[e[2]] = append(incident[e[2]], [2]int{i, 1})
+	}
+	for v := 0; v < g.N(); v++ {
+		if g.Deg(v) < minDeg {
+			continue
+		}
+		inc := incident[v]
+		vars := make([]int, len(inc))
+		second := make([]bool, len(inc))
+		for i, pair := range inc {
+			vars[i] = pair[0]
+			second[i] = pair[1] == 1
+		}
+		sys.Events = append(sys.Events, Event{
+			Vars: vars,
+			Tag:  fmt.Sprintf("sink at %d", v),
+			Bad: func(values []int) bool {
+				for i, val := range values {
+					// Edge points away from v when (val == 0 and v is the
+					// first endpoint is false) ... spelled out: val == 0
+					// orients first -> second.
+					pointsAway := (val == 0 && !second[i]) || (val == 1 && second[i])
+					if pointsAway {
+						return false
+					}
+				}
+				return true
+			},
+		})
+	}
+	return sys, &dec
+}
+
+// SinklessDecoder converts system assignments into per-edge orientations.
+type SinklessDecoder struct {
+	g     *graph.Graph
+	edges [][4]int // u, pu, v, pv per edge index
+}
+
+// OutDegrees returns each vertex's out-degree under the assignment.
+func (d *SinklessDecoder) OutDegrees(assignment []int) []int {
+	out := make([]int, d.g.N())
+	for i, e := range d.edges {
+		if assignment[i] == 0 {
+			out[e[0]]++
+		} else {
+			out[e[2]]++
+		}
+	}
+	return out
+}
+
+// CheckSinkless verifies that every vertex with degree >= minDeg has an
+// outgoing edge, returning the first sink found (or -1).
+func (d *SinklessDecoder) CheckSinkless(assignment []int, minDeg int) int {
+	out := d.OutDegrees(assignment)
+	for v := 0; v < d.g.N(); v++ {
+		if d.g.Deg(v) >= minDeg && out[v] == 0 {
+			return v
+		}
+	}
+	return -1
+}

@@ -1,0 +1,383 @@
+package local
+
+// This file provides the remaining class witnesses: MIS and maximal
+// matching built on top of the Θ(log* n) coloring (still Θ(log* n) in
+// total — class B/2 of the landscape), a leader-based global 2-coloring
+// (Θ(n) — class 5 with k=1), and constant-round algorithms (class A).
+
+// misState drives MIS-from-coloring: after the coloring stabilizes, color
+// classes are swept; a node joins the set if no neighbor joined before it.
+type misState struct {
+	coloring  linialState
+	colorDone bool
+	sweep     int
+	decided   int8 // 0 undecided, 1 in set, 2 out of set
+	witness   int  // port of an in-set neighbor (for the P pointer)
+}
+
+// MISMachine computes a maximal independent set, outputting the
+// problems.MIS encoding: label 0 = I on all half-edges of set members;
+// label 2 = P on the witness port and 1 = O elsewhere for non-members.
+type MISMachine struct {
+	Delta int
+	inner *ColoringMachine
+}
+
+// NewMIS returns an MIS machine for maximum degree delta.
+func NewMIS(delta int) *MISMachine {
+	return &MISMachine{Delta: delta, inner: NewColoring(delta)}
+}
+
+// Name implements Machine.
+func (m *MISMachine) Name() string { return "mis-from-coloring" }
+
+// Init implements Machine.
+func (m *MISMachine) Init(info *NodeInfo) any {
+	return misState{coloring: m.inner.Init(info).(linialState), witness: -1}
+}
+
+// Step implements Machine.
+func (m *MISMachine) Step(info *NodeInfo, state any, inbox []any) (any, bool) {
+	st := state.(misState)
+	if !st.colorDone {
+		innerInbox := make([]any, len(inbox))
+		for i, s := range inbox {
+			innerInbox[i] = s.(misState).coloring
+		}
+		next, fin := m.inner.Step(info, st.coloring, innerInbox)
+		st.coloring = next.(linialState)
+		if fin {
+			st.colorDone = true
+			st.sweep = 0
+		}
+		return st, false
+	}
+	// Sweep color classes 0..Target-1; in the round for color c, undecided
+	// nodes of color c join unless a neighbor already joined. Properness of
+	// the coloring means no two adjacent nodes share a sweep round, so
+	// independence is maintained.
+	if st.decided == 0 && st.coloring.color == st.sweep {
+		taken := false
+		for _, s := range inbox {
+			if s.(misState).decided == 1 {
+				taken = true
+				break
+			}
+		}
+		if taken {
+			st.decided = 2
+		} else {
+			st.decided = 1
+		}
+	}
+	// Track a witness pointer once some neighbor is in the set.
+	if st.decided != 1 && st.witness < 0 {
+		for p, s := range inbox {
+			if s.(misState).decided == 1 {
+				st.witness = p
+				break
+			}
+		}
+	}
+	st.sweep++
+	// One extra round beyond the last color class lets witnesses propagate.
+	return st, st.sweep > m.inner.Target
+}
+
+// Output implements Machine.
+func (m *MISMachine) Output(info *NodeInfo, state any) []int {
+	st := state.(misState)
+	out := make([]int, info.Deg)
+	if st.decided == 1 {
+		return out // all zeros = I
+	}
+	for i := range out {
+		out[i] = 1 // O
+	}
+	w := st.witness
+	if w < 0 {
+		w = 0 // cannot happen after a correct run; the verifier would flag it
+	}
+	out[w] = 2 // P
+	return out
+}
+
+// matchState drives maximal matching via a three-phase handshake per
+// (proposer color, accepter color, port) schedule slot.
+type matchState struct {
+	coloring      linialState
+	colorDone     bool
+	id            int
+	step          int
+	matchPort     int // -1 if unmatched
+	proposeTarget int // ID of the node proposed to this slot, -1 if none
+	acceptedID    int // ID of the proposer just accepted, -1 if none
+}
+
+// MatchingMachine computes a maximal matching, outputting the
+// problems.MaximalMatching encoding: 0 = M on the matched port, 1 = A on a
+// matched node's other ports, 2 = U on every port of unmatched nodes.
+type MatchingMachine struct {
+	Delta int
+	inner *ColoringMachine
+}
+
+// NewMatching returns a maximal matching machine for max degree delta.
+func NewMatching(delta int) *MatchingMachine {
+	return &MatchingMachine{Delta: delta, inner: NewColoring(delta)}
+}
+
+// Name implements Machine.
+func (m *MatchingMachine) Name() string { return "matching-from-coloring" }
+
+// Init implements Machine.
+func (m *MatchingMachine) Init(info *NodeInfo) any {
+	return matchState{
+		coloring: m.inner.Init(info).(linialState), id: info.ID,
+		matchPort: -1, proposeTarget: -1, acceptedID: -1,
+	}
+}
+
+// schedule decodes a post-coloring step into (proposer color a, accepter
+// color b, proposer port p, phase). Each (a, b, p) slot spans three phases:
+// 0 propose, 1 accept, 2 confirm.
+func (m *MatchingMachine) schedule(step int) (a, b, p, phase int, done bool) {
+	k := m.inner.Target
+	total := k * k * m.Delta * 3
+	if step >= total {
+		return 0, 0, 0, 0, true
+	}
+	phase = step % 3
+	idx := step / 3
+	p = idx % m.Delta
+	idx /= m.Delta
+	b = idx % k
+	a = idx / k
+	return a, b, p, phase, false
+}
+
+// Step implements Machine.
+func (m *MatchingMachine) Step(info *NodeInfo, state any, inbox []any) (any, bool) {
+	st := state.(matchState)
+	if !st.colorDone {
+		innerInbox := make([]any, len(inbox))
+		for i, s := range inbox {
+			innerInbox[i] = s.(matchState).coloring
+		}
+		next, fin := m.inner.Step(info, st.coloring, innerInbox)
+		st.coloring = next.(linialState)
+		if fin {
+			st.colorDone = true
+			st.step = 0
+		}
+		return st, false
+	}
+	a, b, p, phase, done := m.schedule(st.step)
+	if done {
+		return st, true
+	}
+	switch phase {
+	case 0:
+		// Propose: an unmatched color-a node whose port-p neighbor is an
+		// unmatched color-b node proposes to it (by ID).
+		st.proposeTarget = -1
+		st.acceptedID = -1
+		if a != b && st.matchPort < 0 && st.coloring.color == a && p < info.Deg {
+			ns := inbox[p].(matchState)
+			if ns.matchPort < 0 && ns.coloring.color == b {
+				st.proposeTarget = ns.id
+			}
+		}
+	case 1:
+		// Accept: an unmatched color-b node picks the smallest-ID proposer
+		// among neighbors whose proposeTarget names it.
+		if a != b && st.matchPort < 0 && st.coloring.color == b {
+			bestPort, bestID := -1, -1
+			for q, s := range inbox {
+				ns := s.(matchState)
+				if ns.proposeTarget == st.id && (bestID == -1 || ns.id < bestID) {
+					bestPort, bestID = q, ns.id
+				}
+			}
+			if bestPort >= 0 {
+				st.matchPort = bestPort
+				st.acceptedID = bestID
+			}
+		}
+	case 2:
+		// Confirm: a proposer matches iff its target accepted it.
+		if st.proposeTarget >= 0 && st.matchPort < 0 && p < info.Deg {
+			ns := inbox[p].(matchState)
+			if ns.acceptedID == st.id {
+				st.matchPort = p
+			}
+		}
+		st.proposeTarget = -1
+	}
+	st.step++
+	_, _, _, _, doneNext := m.schedule(st.step)
+	return st, doneNext
+}
+
+// Output implements Machine.
+func (m *MatchingMachine) Output(info *NodeInfo, state any) []int {
+	st := state.(matchState)
+	out := make([]int, info.Deg)
+	if st.matchPort < 0 {
+		for i := range out {
+			out[i] = 2 // U
+		}
+		return out
+	}
+	for i := range out {
+		out[i] = 1 // A
+	}
+	out[st.matchPort] = 0 // M
+	return out
+}
+
+// leaderState floods the minimum identifier with its distance parity.
+type leaderState struct {
+	minID  int
+	parity int
+	round  int
+}
+
+// LeaderColoringMachine 2-colors a path or even cycle by electing the
+// minimum-ID node as leader and coloring by distance parity from it: the
+// canonical Θ(n) global algorithm (class 5 of Corollary 1.2 with k = 1).
+// It runs for exactly n rounds (each node knows n, Definition 2.1).
+type LeaderColoringMachine struct{}
+
+// Name implements Machine.
+func (LeaderColoringMachine) Name() string { return "leader-2-coloring" }
+
+// Init implements Machine.
+func (LeaderColoringMachine) Init(info *NodeInfo) any {
+	return leaderState{minID: info.ID, parity: 0}
+}
+
+// Step implements Machine.
+func (LeaderColoringMachine) Step(info *NodeInfo, state any, inbox []any) (any, bool) {
+	st := state.(leaderState)
+	for _, s := range inbox {
+		ns := s.(leaderState)
+		cand := leaderState{minID: ns.minID, parity: 1 - ns.parity}
+		if cand.minID < st.minID {
+			st.minID, st.parity = cand.minID, cand.parity
+		}
+	}
+	st.round++
+	// n rounds always suffice for the min ID to flood any connected graph
+	// (diameter <= n-1) and every node must wait that long to be sure.
+	return st, st.round >= info.N
+}
+
+// Output implements Machine: the parity color on every half-edge.
+func (LeaderColoringMachine) Output(info *NodeInfo, state any) []int {
+	st := state.(leaderState)
+	out := make([]int, info.Deg)
+	for i := range out {
+		out[i] = st.parity
+	}
+	return out
+}
+
+// ConstantMachine outputs a fixed label on every half-edge after zero
+// rounds — the canonical class-A member (solves problems.Trivial).
+type ConstantMachine struct{ Label int }
+
+// Name implements Machine.
+func (c ConstantMachine) Name() string { return "constant" }
+
+// Init implements Machine.
+func (c ConstantMachine) Init(info *NodeInfo) any { return nil }
+
+// Step implements Machine.
+func (c ConstantMachine) Step(info *NodeInfo, state any, inbox []any) (any, bool) {
+	return nil, true
+}
+
+// Output implements Machine.
+func (c ConstantMachine) Output(info *NodeInfo, state any) []int {
+	out := make([]int, info.Deg)
+	for i := range out {
+		out[i] = c.Label
+	}
+	return out
+}
+
+// CopyInputMachine outputs each half-edge's input label as its output
+// label in zero rounds (solves problems.EdgeGrouping).
+type CopyInputMachine struct{}
+
+// Name implements Machine.
+func (CopyInputMachine) Name() string { return "copy-input" }
+
+// Init implements Machine.
+func (CopyInputMachine) Init(info *NodeInfo) any { return nil }
+
+// Step implements Machine.
+func (CopyInputMachine) Step(info *NodeInfo, state any, inbox []any) (any, bool) {
+	return nil, true
+}
+
+// Output implements Machine.
+func (CopyInputMachine) Output(info *NodeInfo, state any) []int {
+	return append([]int(nil), info.In...)
+}
+
+// SinklessOrientMachine orients each edge toward the higher-ID endpoint
+// within a leader-style flood... for trees we use the simple global rule:
+// orient every edge toward the neighbor on the path to the maximum-ID
+// node. This is a Θ(n)-round brute global algorithm used only as an
+// upper-bound witness; the interesting (lower-bound) behaviour of sinkless
+// orientation is exercised by round elimination, not by this machine.
+type SinklessOrientMachine struct{}
+
+// Name implements Machine.
+func (SinklessOrientMachine) Name() string { return "sinkless-orient-global" }
+
+type sinklessState struct {
+	maxID   int
+	viaPort int
+	round   int
+}
+
+// Init implements Machine.
+func (SinklessOrientMachine) Init(info *NodeInfo) any {
+	return sinklessState{maxID: info.ID, viaPort: -1}
+}
+
+// Step implements Machine.
+func (SinklessOrientMachine) Step(info *NodeInfo, state any, inbox []any) (any, bool) {
+	st := state.(sinklessState)
+	for p, s := range inbox {
+		ns := s.(sinklessState)
+		if ns.maxID > st.maxID {
+			st.maxID = ns.maxID
+			st.viaPort = p
+		}
+	}
+	st.round++
+	return st, st.round >= info.N
+}
+
+// Output implements Machine: label 0 = O (outgoing) on the port toward the
+// max-ID node, label 1 = I elsewhere. On a tree every edge gets exactly
+// one O (from its endpoint farther from the max-ID root), so edges are
+// consistent, and every node except the root has an outgoing edge. The
+// root has none, which violates the sink constraint only if its degree is
+// >= 3 — callers arrange the max ID on a node of degree <= 2 (e.g. a
+// leaf), which is always possible and costs nothing in the LOCAL model.
+func (SinklessOrientMachine) Output(info *NodeInfo, state any) []int {
+	st := state.(sinklessState)
+	out := make([]int, info.Deg)
+	for i := range out {
+		out[i] = 1 // I
+	}
+	if st.viaPort >= 0 {
+		out[st.viaPort] = 0 // O toward the max-ID node
+	}
+	return out
+}

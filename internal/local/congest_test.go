@@ -1,0 +1,96 @@
+package local
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/problems"
+)
+
+func TestCongestColoringMatchesLocal(t *testing.T) {
+	// The [10] transfer, witnessed: the CONGEST coloring produces the same
+	// coloring in the same number of rounds as the LOCAL machine, with
+	// messages within the O(log n) budget.
+	rng := rand.New(rand.NewSource(151))
+	for _, n := range []int{16, 128, 1024} {
+		g := graph.Cycle(n)
+		ids := RandomIDs(n, rng)
+		localRes, err := Run(g, NewColoring(2), RunOpts{IDs: ids})
+		if err != nil {
+			t.Fatal(err)
+		}
+		congestRes, err := RunCongest(g, NewCongestColoring(2), RunOpts{IDs: ids}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if congestRes.Rounds != localRes.Rounds {
+			t.Errorf("n=%d: CONGEST %d rounds vs LOCAL %d", n, congestRes.Rounds, localRes.Rounds)
+		}
+		for h := range localRes.Output {
+			if congestRes.Output[h] != localRes.Output[h] {
+				t.Fatalf("n=%d: outputs differ at half-edge %d", n, h)
+			}
+		}
+		if !problems.Coloring(3, 2).Solves(g, nil, congestRes.Output) {
+			t.Errorf("n=%d: CONGEST coloring invalid", n)
+		}
+		if congestRes.MaxMessageBits == 0 {
+			t.Error("no message sizes recorded")
+		}
+	}
+}
+
+func TestCongestBudgetEnforced(t *testing.T) {
+	// A machine that ships a huge message must be rejected.
+	g := graph.Path(4)
+	_, err := RunCongest(g, bigTalker{}, RunOpts{}, 16)
+	if err == nil {
+		t.Error("oversized message accepted")
+	}
+}
+
+type bigTalker struct{}
+
+func (bigTalker) Name() string       { return "big-talker" }
+func (bigTalker) Init(*NodeInfo) any { return nil }
+func (bigTalker) Send(info *NodeInfo, _ any) [][]int {
+	msgs := make([][]int, info.Deg)
+	for p := range msgs {
+		msgs[p] = []int{1 << 40} // 41 bits > 16-bit budget
+	}
+	return msgs
+}
+func (bigTalker) Receive(info *NodeInfo, st any, _ [][]int) (any, bool) { return st, true }
+func (bigTalker) Output(info *NodeInfo, _ any) []int                    { return make([]int, info.Deg) }
+
+func TestCongestOnTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(157))
+	g := graph.RandomTree(300, 3, rng)
+	res, err := RunCongest(g, NewCongestColoring(3), RunOpts{IDs: RandomIDs(300, rng)}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !problems.Coloring(4, 3).Solves(g, nil, res.Output) {
+		t.Error("CONGEST tree coloring invalid")
+	}
+	// Message budget: colors start at n³+2 < 2^25; budget 8·log2(n) ≈ 72.
+	if res.MaxMessageBits > 8*9 {
+		t.Errorf("max message %d bits exceeds expectation", res.MaxMessageBits)
+	}
+}
+
+func TestMessageBits(t *testing.T) {
+	if messageBits([]int{0}) != 1 {
+		t.Error("zero should cost 1 bit")
+	}
+	if messageBits([]int{7}) != 3 {
+		t.Errorf("7 costs %d bits, want 3", messageBits([]int{7}))
+	}
+	if messageBits([]int{1, 1, 1}) != 3 {
+		t.Error("three unit entries should cost 3 bits")
+	}
+	if messageBits([]int{-8}) != 4 {
+		t.Error("negatives charged by magnitude")
+	}
+}

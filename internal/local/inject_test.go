@@ -1,0 +1,168 @@
+package local
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+// Failure-injection tests: the LOCAL machines must stay correct under
+// adversarial identifier assignments and adversarial port numberings —
+// the two degrees of freedom Definition 2.1 grants the adversary.
+
+// sawtoothIDs produces the ID pattern that forces the worst case for
+// order-invariant arguments: alternating local maxima and minima.
+func sawtoothIDs(n int) []int {
+	ids := make([]int, n)
+	lo, hi := 1, n*7+1
+	for i := range ids {
+		if i%2 == 0 {
+			ids[i] = lo
+			lo += 7
+		} else {
+			ids[i] = hi
+			hi += 7
+		}
+	}
+	return ids
+}
+
+func TestColoringUnderSawtoothIDs(t *testing.T) {
+	for _, n := range []int{8, 64, 257} {
+		g := graph.Cycle(n)
+		m := NewColoring(2)
+		res, err := Run(g, m, RunOpts{IDs: sawtoothIDs(n)})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		assertProperVertexColoring(t, g, res)
+	}
+}
+
+// assertProperVertexColoring checks the machine's per-node color output
+// (identical labels on all of a node's half-edges, differing across
+// edges).
+func assertProperVertexColoring(t *testing.T, g *graph.Graph, res *Result) {
+	t.Helper()
+	color := make([]int, g.N())
+	for v := 0; v < g.N(); v++ {
+		c := res.Output[g.HalfEdge(v, 0)]
+		for p := 1; p < g.Deg(v); p++ {
+			if res.Output[g.HalfEdge(v, p)] != c {
+				t.Fatalf("node %d has mixed half-edge colors", v)
+			}
+		}
+		color[v] = c
+	}
+	g.Edges(func(u, _, v, _ int) {
+		if color[u] == color[v] {
+			t.Fatalf("edge {%d,%d} monochromatic (color %d)", u, v, color[u])
+		}
+	})
+}
+
+func TestColoringUnderShuffledPorts(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(50)
+		g := graph.ShufflePorts(graph.RandomTree(n, 3, rng), rng)
+		m := NewColoring(3)
+		res, err := Run(g, m, RunOpts{IDs: RandomIDs(n, rng)})
+		if err != nil {
+			return false
+		}
+		color := make([]int, g.N())
+		for v := 0; v < g.N(); v++ {
+			color[v] = res.Output[g.HalfEdge(v, 0)]
+		}
+		proper := true
+		g.Edges(func(u, _, v, _ int) {
+			if color[u] == color[v] {
+				proper = false
+			}
+		})
+		return proper
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMISUnderAdversarialInputsQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(40)
+		var g *graph.Graph
+		if seed%2 == 0 {
+			g = graph.Cycle(n)
+		} else {
+			g = graph.ShufflePorts(graph.RandomTree(n, 4, rng), rng)
+		}
+		m := NewMIS(4)
+		ids := RandomIDs(n, rng)
+		if seed%3 == 0 {
+			ids = sawtoothIDs(n)
+		}
+		res, err := Run(g, m, RunOpts{IDs: ids})
+		if err != nil {
+			return false
+		}
+		// Decode membership: set members output I (= 0) on every
+		// half-edge; non-members output O/P (1/2).
+		in := make([]bool, g.N())
+		for v := 0; v < g.N(); v++ {
+			in[v] = res.Output[g.HalfEdge(v, 0)] == 0
+		}
+		ok := true
+		g.Edges(func(u, _, v, _ int) {
+			if in[u] && in[v] {
+				ok = false // not independent
+			}
+		})
+		for v := 0; v < g.N() && ok; v++ {
+			if in[v] {
+				continue
+			}
+			dominated := false
+			for p := 0; p < g.Deg(v); p++ {
+				if in[g.Neighbor(v, p).To] {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				ok = false // not maximal
+			}
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundsUnaffectedByIDScale(t *testing.T) {
+	// Multiplying all IDs by a constant (preserving order) must not
+	// change the coloring machine's round count on the same graph — the
+	// executable shadow of order-invariance for Linial-style reduction.
+	g := graph.Cycle(128)
+	ids := SequentialIDs(128)
+	big := make([]int, len(ids))
+	for i, id := range ids {
+		big[i] = id*1000 + 3
+	}
+	m1, m2 := NewColoring(2), NewColoring(2)
+	r1, err := Run(g, m1, RunOpts{IDs: ids})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(g, m2, RunOpts{IDs: big})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Rounds != r2.Rounds {
+		t.Fatalf("rounds changed under monotone ID rescaling: %d vs %d", r1.Rounds, r2.Rounds)
+	}
+}

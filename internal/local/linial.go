@@ -1,0 +1,120 @@
+package local
+
+import (
+	"fmt"
+
+	"repro/internal/reduction"
+)
+
+// Linial's color reduction (Linial 1987/1992, [36, 37] in the paper): one
+// round reduces a proper m-coloring to a proper q²-coloring where q is the
+// smallest prime with q > d·Δ and q^(d+1) >= m for some degree bound d.
+// Iterating from the identifier space reaches a palette of size O(Δ² log²Δ)
+// in O(log* n) rounds; a final greedy phase (one round per surplus color)
+// reduces to Δ+1. The total is Θ(log* n) rounds for constant Δ — the
+// witness for class B (Θ(log log* n)–Θ(log* n)) of Figure 1, which on
+// trees collapses to exactly Θ(log* n) by Theorem 1.1.
+
+// linialParams, isPrime, and linialStep delegate to the shared
+// color-reduction arithmetic in internal/reduction.
+func linialParams(m, delta int) (q, d int) { return reduction.LinialParams(m, delta) }
+
+func isPrime(x int) bool { return reduction.IsPrime(x) }
+
+func linialStep(c int, neighbors []int, m, delta int) (int, int) {
+	return reduction.LinialStep(c, neighbors, m, delta)
+}
+
+// linialState is the state of the coloring machine.
+type linialState struct {
+	color   int
+	palette int
+	phase   int // 0 = reduction, 1 = greedy sweep
+	sweep   int // current color class being recolored in greedy phase
+}
+
+// ColoringMachine computes a proper (target+1)-coloring with target >= Δ
+// via Linial reduction + greedy sweep. Nodes output their color on every
+// half-edge, matching problems.Coloring's encoding.
+type ColoringMachine struct {
+	Delta  int
+	Target int // palette size to reach (>= Delta+1)
+}
+
+// NewColoring returns a machine computing a proper (Δ+1)-coloring.
+func NewColoring(delta int) *ColoringMachine {
+	return &ColoringMachine{Delta: delta, Target: delta + 1}
+}
+
+// Name implements Machine.
+func (cm *ColoringMachine) Name() string {
+	return fmt.Sprintf("linial-%d-coloring", cm.Target)
+}
+
+// Init starts from the identifier coloring over the poly-range palette.
+func (cm *ColoringMachine) Init(info *NodeInfo) any {
+	pal := info.N*info.N*info.N + 2
+	return linialState{color: info.ID, palette: pal}
+}
+
+// Step implements Machine.
+func (cm *ColoringMachine) Step(info *NodeInfo, state any, inbox []any) (any, bool) {
+	st := state.(linialState)
+	neigh := make([]int, len(inbox))
+	for i, s := range inbox {
+		neigh[i] = s.(linialState).color
+	}
+	if st.phase == 0 {
+		q, _ := linialParams(st.palette, cm.Delta)
+		if q*q < st.palette {
+			// Reduction still shrinks the palette: apply one Linial round.
+			nc, np := linialStep(st.color, neigh, st.palette, cm.Delta)
+			st.color, st.palette = nc, np
+			return st, false
+		}
+		// Palette is O(Δ²)-ish and stable: switch to the greedy sweep.
+		st.phase = 1
+		st.sweep = st.palette - 1
+		return st, st.palette <= cm.Target
+	}
+	// Greedy phase: one color class per round, from the top. A node whose
+	// color equals the sweep value recolors to the smallest color in
+	// [0, Target) unused by its neighbors (exists since Target > Δ).
+	if st.color == st.sweep && st.color >= cm.Target {
+		used := map[int]bool{}
+		for _, nc := range neigh {
+			used[nc] = true
+		}
+		for c := 0; c < cm.Target; c++ {
+			if !used[c] {
+				st.color = c
+				break
+			}
+		}
+	}
+	st.sweep--
+	return st, st.sweep < cm.Target
+}
+
+// Output implements Machine: the node's color on every half-edge.
+func (cm *ColoringMachine) Output(info *NodeInfo, state any) []int {
+	st := state.(linialState)
+	out := make([]int, info.Deg)
+	for i := range out {
+		out[i] = st.color
+	}
+	return out
+}
+
+// Colors extracts per-node colors from a coloring run's output labeling.
+func Colors(numNodes int, deg func(int) int, halfEdge func(v, p int) int, out []int) []int {
+	colors := make([]int, numNodes)
+	for v := 0; v < numNodes; v++ {
+		if deg(v) == 0 {
+			colors[v] = 0
+			continue
+		}
+		colors[v] = out[halfEdge(v, 0)]
+	}
+	return colors
+}

@@ -1,0 +1,296 @@
+package local
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/problems"
+	"repro/internal/ramsey"
+)
+
+func nodeColors(g *graph.Graph, out []int) []int {
+	colors := make([]int, g.N())
+	for v := 0; v < g.N(); v++ {
+		colors[v] = out[g.HalfEdge(v, 0)]
+	}
+	return colors
+}
+
+func checkProper(t *testing.T, g *graph.Graph, colors []int, k int) {
+	t.Helper()
+	for v := 0; v < g.N(); v++ {
+		if colors[v] < 0 || colors[v] >= k {
+			t.Fatalf("node %d color %d outside palette [%d]", v, colors[v], k)
+		}
+	}
+	g.Edges(func(u, pu, v, pv int) {
+		if colors[u] == colors[v] {
+			t.Fatalf("edge {%d,%d} monochromatic (color %d)", u, v, colors[u])
+		}
+	})
+}
+
+func TestLinialParamsSane(t *testing.T) {
+	for _, m := range []int{4, 10, 100, 1 << 20} {
+		for _, delta := range []int{2, 3, 5} {
+			q, d := linialParams(m, delta)
+			if !isPrime(q) || q <= d*delta {
+				t.Errorf("linialParams(%d,%d) = (%d,%d) invalid", m, delta, q, d)
+			}
+			pow := 1
+			for i := 0; i <= d; i++ {
+				pow *= q
+			}
+			if pow < m {
+				t.Errorf("linialParams(%d,%d): q^(d+1)=%d < m", m, delta, pow)
+			}
+		}
+	}
+}
+
+func TestColoringOnCycles(t *testing.T) {
+	for _, n := range []int{3, 8, 33, 128, 500} {
+		g := graph.Cycle(n)
+		res, err := Run(g, NewColoring(2), RunOpts{})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		checkProper(t, g, nodeColors(g, res.Output), 3)
+		p := problems.Coloring(3, 2)
+		if !p.Solves(g, nil, res.Output) {
+			t.Errorf("n=%d: output rejected by LCL verifier", n)
+		}
+	}
+}
+
+func TestColoringOnTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{5, 40, 300} {
+		for _, delta := range []int{3, 5} {
+			g := graph.RandomTree(n, delta, rng)
+			res, err := Run(g, NewColoring(delta), RunOpts{IDs: RandomIDs(n, rng)})
+			if err != nil {
+				t.Fatalf("n=%d Δ=%d: %v", n, delta, err)
+			}
+			checkProper(t, g, nodeColors(g, res.Output), delta+1)
+		}
+	}
+}
+
+func TestColoringRoundsScaleLikeLogStar(t *testing.T) {
+	// Rounds must track log* n: a constant-size greedy sweep (~palette
+	// rounds, palette = O(Δ² log² Δ)) dominates small n, so the bound is
+	// c1·log* n + c2 with generous constants — and for large n the count
+	// must be decisively sublinear.
+	for _, n := range []int{16, 256, 4096} {
+		g := graph.Cycle(n)
+		res, err := Run(g, NewColoring(2), RunOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := 8*(ramsey.LogStarInt(n)+1) + 64
+		if res.Rounds > bound {
+			t.Errorf("n=%d: %d rounds exceeds O(log* n) bound %d", n, res.Rounds, bound)
+		}
+		if n >= 256 && res.Rounds >= n/4 {
+			t.Errorf("n=%d: %d rounds is not sublinear", n, res.Rounds)
+		}
+	}
+}
+
+func TestMISOnVariousGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	p := problems.MIS(4)
+	graphs := []*graph.Graph{
+		graph.Cycle(10), graph.Path(17), graph.Star(4),
+		graph.RandomTree(60, 4, rng), graph.CompleteTree(3, 3),
+	}
+	for _, g := range graphs {
+		res, err := Run(g, NewMIS(4), RunOpts{IDs: RandomIDs(g.N(), rng)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vs := p.Verify(g, nil, res.Output); len(vs) != 0 {
+			t.Errorf("MIS invalid on %d-node graph: %v", g.N(), vs[0])
+		}
+	}
+}
+
+func TestMatchingOnVariousGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	p := problems.MaximalMatching(4)
+	graphs := []*graph.Graph{
+		graph.Cycle(10), graph.Cycle(11), graph.Path(8), graph.Star(4),
+		graph.RandomTree(50, 4, rng),
+	}
+	for _, g := range graphs {
+		res, err := Run(g, NewMatching(4), RunOpts{IDs: RandomIDs(g.N(), rng)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vs := p.Verify(g, nil, res.Output); len(vs) != 0 {
+			t.Errorf("matching invalid on %d-node graph: %v", g.N(), vs[0])
+		}
+	}
+}
+
+func TestLeaderColoringOnEvenCyclesAndPaths(t *testing.T) {
+	p := problems.Coloring(2, 2)
+	for _, n := range []int{4, 10, 64} {
+		g := graph.Cycle(n)
+		res, err := Run(g, LeaderColoringMachine{}, RunOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !p.Solves(g, nil, res.Output) {
+			t.Errorf("leader 2-coloring failed on C%d", n)
+		}
+		if res.Rounds != n {
+			t.Errorf("leader coloring used %d rounds on C%d, want %d", res.Rounds, n, n)
+		}
+	}
+	g := graph.Path(9)
+	res, err := Run(g, LeaderColoringMachine{}, RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Solves(g, nil, res.Output) {
+		t.Error("leader 2-coloring failed on P9")
+	}
+}
+
+func TestConstantMachine(t *testing.T) {
+	g := graph.Star(3)
+	res, err := Run(g, ConstantMachine{Label: 0}, RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds > 1 {
+		t.Errorf("constant machine used %d rounds", res.Rounds)
+	}
+	if !problems.Trivial(3).Solves(g, nil, res.Output) {
+		t.Error("constant output rejected")
+	}
+}
+
+func TestCopyInputMachine(t *testing.T) {
+	g := graph.Path(4)
+	fin := make([]int, g.NumHalfEdges())
+	for h := range fin {
+		fin[h] = h % 2
+	}
+	res, err := Run(g, CopyInputMachine{}, RunOpts{In: fin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !problems.EdgeGrouping().Solves(g, fin, res.Output) {
+		t.Error("copy-input output rejected")
+	}
+}
+
+func TestSinklessOrientOnTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	g := graph.CompleteTree(3, 3)
+	// Put the max ID on a leaf so the root of the orientation has degree 1.
+	ids := SequentialIDs(g.N())
+	leaf := -1
+	for v := 0; v < g.N(); v++ {
+		if g.Deg(v) == 1 {
+			leaf = v
+			break
+		}
+	}
+	ids[leaf] = g.N() * 10
+	res, err := Run(g, SinklessOrientMachine{}, RunOpts{IDs: ids})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := problems.SinklessOrientation(3)
+	if vs := p.Verify(g, nil, res.Output); len(vs) != 0 {
+		t.Errorf("sinkless orientation invalid: %v", vs[0])
+	}
+	_ = rng
+}
+
+func TestRunBallConstantRadius(t *testing.T) {
+	// A radius-1 ball algorithm: output the max degree seen (clamped to the
+	// trivial problem's single label 0) — exercises RunBall plumbing.
+	g := graph.Star(3)
+	alg := &funcBallAlg{
+		name: "deg-probe", radius: func(int) int { return 1 },
+		output: func(b *graph.Ball, n int) []int {
+			out := make([]int, b.Deg[0])
+			return out
+		},
+	}
+	res, err := RunBall(g, alg, RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 1 {
+		t.Errorf("rounds = %d, want 1", res.Rounds)
+	}
+	if !problems.Trivial(3).Solves(g, nil, res.Output) {
+		t.Error("ball algorithm output rejected")
+	}
+}
+
+type funcBallAlg struct {
+	name   string
+	radius func(n int) int
+	output func(b *graph.Ball, n int) []int
+}
+
+func (f *funcBallAlg) Name() string                      { return f.name }
+func (f *funcBallAlg) Radius(n int) int                  { return f.radius(n) }
+func (f *funcBallAlg) Output(b *graph.Ball, n int) []int { return f.output(b, n) }
+
+func TestRandomIDsDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	ids := RandomIDs(500, rng)
+	seen := map[int]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatal("duplicate identifier")
+		}
+		if id < 1 || id > 500*500*500+1 {
+			t.Fatalf("identifier %d outside polynomial range", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestColoringUnderAdversarialIDs(t *testing.T) {
+	// Sorted, reverse-sorted, and random ID orders must all produce proper
+	// colorings (order-sensitivity check for the Linial machine).
+	g := graph.Cycle(32)
+	perms := [][]int{make([]int, 32), make([]int, 32)}
+	for i := 0; i < 32; i++ {
+		perms[0][i] = i
+		perms[1][i] = 31 - i
+	}
+	for _, perm := range perms {
+		res, err := Run(g, NewColoring(2), RunOpts{IDs: PermutedIDs(perm)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkProper(t, g, nodeColors(g, res.Output), 3)
+	}
+}
+
+func TestMachineTermination(t *testing.T) {
+	// A machine that never finishes must be caught by MaxRounds.
+	g := graph.Path(3)
+	_, err := Run(g, infiniteMachine{}, RunOpts{MaxRounds: 10})
+	if err == nil {
+		t.Error("non-terminating machine not detected")
+	}
+}
+
+type infiniteMachine struct{}
+
+func (infiniteMachine) Name() string                           { return "inf" }
+func (infiniteMachine) Init(*NodeInfo) any                     { return nil }
+func (infiniteMachine) Step(*NodeInfo, any, []any) (any, bool) { return nil, false }
+func (infiniteMachine) Output(info *NodeInfo, _ any) []int     { return make([]int, info.Deg) }

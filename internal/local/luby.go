@@ -1,0 +1,105 @@
+package local
+
+// Luby's randomized MIS algorithm (the classic O(log n)-round w.h.p.
+// symmetry breaker): in each phase every undecided node draws a random
+// priority; a node joins the set if its priority strictly beats all
+// undecided neighbors' (ties broken by ID), and neighbors of joiners
+// drop out. On trees and bounded-degree graphs it sits in the paper's
+// randomized landscape strictly above the Θ(log* n) deterministic class
+// witnesses — the round counts measured next to MISMachine (Linial-based,
+// deterministic Θ(log* n)) exhibit the deterministic/randomized contrast
+// the landscape's class-3 row is about.
+
+// lubyState is the per-node phase state.
+type lubyState struct {
+	decided  int8 // 0 undecided, 1 in set, 2 out
+	priority int64
+	id       int
+	witness  int // port of an in-set neighbor (for the P output)
+	subRound int // 0 = exchange priorities, 1 = exchange decisions
+}
+
+// LubyMIS computes a maximal independent set with Luby's algorithm,
+// emitting the problems.MIS half-edge encoding (I on members' half-edges;
+// O everywhere on non-members except P on one witness port).
+type LubyMIS struct{}
+
+// Name implements Machine.
+func (LubyMIS) Name() string { return "luby-mis" }
+
+// Init implements Machine.
+func (LubyMIS) Init(info *NodeInfo) any {
+	if info.Rand == nil {
+		panic("local: LubyMIS needs RunOpts.Random")
+	}
+	return lubyState{priority: info.Rand.Int63(), id: info.ID, witness: -1}
+}
+
+// Step implements Machine. Each phase takes two rounds: one to exchange
+// (decided, priority) snapshots and decide, one to propagate decisions so
+// losers retire and witnesses attach.
+func (LubyMIS) Step(info *NodeInfo, state any, inbox []any) (any, bool) {
+	st := state.(lubyState)
+	if st.subRound == 0 {
+		if st.decided == 0 {
+			best := true
+			for _, raw := range inbox {
+				n := raw.(lubyState)
+				if n.decided != 0 {
+					continue
+				}
+				if n.priority > st.priority || (n.priority == st.priority && n.id > st.id) {
+					best = false
+					break
+				}
+			}
+			if best {
+				st.decided = 1
+			}
+		}
+		st.subRound = 1
+		return st, false
+	}
+	// Decision-propagation round.
+	if st.decided != 1 {
+		for p, raw := range inbox {
+			if raw.(lubyState).decided == 1 {
+				st.decided = 2
+				if st.witness < 0 {
+					st.witness = p
+				}
+			}
+		}
+	}
+	st.subRound = 0
+	if st.decided == 0 {
+		st.priority = info.Rand.Int63()
+		return st, false
+	}
+	// Decided nodes idle until undecided neighbors finish; a node may
+	// stop once it and all neighbors are decided.
+	for _, raw := range inbox {
+		if raw.(lubyState).decided == 0 {
+			return st, false
+		}
+	}
+	return st, true
+}
+
+// Output implements Machine.
+func (LubyMIS) Output(info *NodeInfo, state any) []int {
+	st := state.(lubyState)
+	out := make([]int, info.Deg)
+	if st.decided == 1 {
+		return out // all I (0)
+	}
+	for i := range out {
+		out[i] = 1 // O
+	}
+	w := st.witness
+	if w < 0 {
+		w = 0
+	}
+	out[w] = 2 // P
+	return out
+}

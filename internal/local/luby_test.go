@@ -1,0 +1,132 @@
+package local
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// decodeMIS reads membership from the problems.MIS half-edge encoding.
+func decodeMIS(g *graph.Graph, out []int) []bool {
+	in := make([]bool, g.N())
+	for v := 0; v < g.N(); v++ {
+		in[v] = out[g.HalfEdge(v, 0)] == 0
+	}
+	return in
+}
+
+func assertMIS(t *testing.T, g *graph.Graph, in []bool) {
+	t.Helper()
+	g.Edges(func(u, _, v, _ int) {
+		if in[u] && in[v] {
+			t.Fatalf("edge {%d,%d}: both in set", u, v)
+		}
+	})
+	for v := 0; v < g.N(); v++ {
+		if in[v] {
+			continue
+		}
+		dominated := false
+		for p := 0; p < g.Deg(v); p++ {
+			if in[g.Neighbor(v, p).To] {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			t.Fatalf("node %d neither in set nor dominated", v)
+		}
+	}
+}
+
+func TestLubyMISOnVariousGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := []*graph.Graph{
+		graph.Cycle(50),
+		graph.Path(33),
+		graph.RandomTree(200, 4, rng),
+		graph.RandomRegular(120, 5, rng),
+		graph.Star(7),
+	}
+	for i, g := range cases {
+		res, err := Run(g, LubyMIS{}, RunOpts{Random: true, Seed: int64(i + 1)})
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		assertMIS(t, g, decodeMIS(g, res.Output))
+	}
+}
+
+func TestLubyMISAcrossSeeds(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := graph.RandomTree(100, 3, rng)
+	for seed := int64(0); seed < 20; seed++ {
+		res, err := Run(g, LubyMIS{}, RunOpts{Random: true, Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		assertMIS(t, g, decodeMIS(g, res.Output))
+	}
+}
+
+func TestLubyMISRoundsLogarithmic(t *testing.T) {
+	// Luby terminates in O(log n) rounds w.h.p.; check a generous
+	// logarithmic envelope across a 64x range (3 seeds each).
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{64, 512, 4096} {
+		g := graph.RandomTree(n, 4, rng)
+		worst := 0
+		for seed := int64(0); seed < 3; seed++ {
+			res, err := Run(g, LubyMIS{}, RunOpts{Random: true, Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Rounds > worst {
+				worst = res.Rounds
+			}
+		}
+		// Two rounds per phase; intLog2-style envelope.
+		limit := 10 * (2 + intLog2(n))
+		if worst > limit {
+			t.Errorf("n=%d: %d rounds exceeds envelope %d", n, worst, limit)
+		}
+	}
+}
+
+func intLog2(n int) int {
+	l := 0
+	for ; n > 1; n >>= 1 {
+		l++
+	}
+	return l
+}
+
+func TestLubyVersusDeterministicMIS(t *testing.T) {
+	// Same graph, both engines: the deterministic Linial-based machine
+	// and Luby must both produce valid MIS (their round profiles differ —
+	// Θ(log* n) + palette sweep vs O(log n) phases — which is exactly the
+	// deterministic/randomized contrast of the landscape's class rows).
+	rng := rand.New(rand.NewSource(4))
+	g := graph.RandomTree(300, 4, rng)
+	det, err := Run(g, NewMIS(4), RunOpts{IDs: RandomIDs(300, rng)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertMIS(t, g, decodeMIS(g, det.Output))
+	luby, err := Run(g, LubyMIS{}, RunOpts{Random: true, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertMIS(t, g, decodeMIS(g, luby.Output))
+}
+
+func TestLubyRequiresRandomness(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("LubyMIS without RunOpts.Random should panic")
+		}
+	}()
+	g := graph.Cycle(5)
+	_, _ = Run(g, LubyMIS{}, RunOpts{})
+}

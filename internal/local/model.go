@@ -1,0 +1,228 @@
+// Package local implements the LOCAL model of Definition 2.1 and the
+// classic algorithms used as complexity-class witnesses: Linial's
+// iterated color reduction (Θ(log* n)), MIS and maximal matching via color
+// classes, leader-based global algorithms (Θ(n)), and O(1) algorithms.
+//
+// Two algorithm representations are provided:
+//
+//   - Machine: a synchronous message-passing state machine (round-based,
+//     unbounded messages — the textbook LOCAL view). Round complexity is
+//     measured as the number of communication rounds actually executed.
+//   - BallAlgorithm: a pure function from the radius-T view B_G(u, T) to
+//     the output on u's half-edges — the formulation of Definition 2.1
+//     ("a T-round algorithm is simply a function from the space of all
+//     possible labeled T-hop neighborhoods to the space of outputs"),
+//     used by the order-invariance and speed-up machinery.
+package local
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// NodeInfo carries what a node knows at round 0 (Definition 2.1): the
+// number of nodes n, its identifier, degree, per-port input labels, and —
+// for oriented grids — per-port dimension labels. Rand is the node's
+// private random bit source (nil for deterministic runs).
+type NodeInfo struct {
+	N    int
+	ID   int
+	Deg  int
+	In   []int
+	Dim  []int
+	Rand *rand.Rand
+}
+
+// Machine is a synchronous LOCAL algorithm. Each round, every node's state
+// is delivered to all neighbors (LOCAL allows unbounded messages, so
+// exchanging full states is WLOG). Done nodes stop participating in the
+// round count but their state remains visible.
+type Machine interface {
+	Name() string
+	// Init returns the initial state of a node.
+	Init(info *NodeInfo) any
+	// Step consumes the neighbors' previous-round states (indexed by port)
+	// and returns the new state, plus whether this node has decided.
+	Step(info *NodeInfo, state any, inbox []any) (any, bool)
+	// Output extracts the final per-port output labels.
+	Output(info *NodeInfo, state any) []int
+}
+
+// Result reports a run: the produced half-edge labeling and the number of
+// rounds executed (max over nodes of rounds until decided).
+type Result struct {
+	Output []int
+	Rounds int
+}
+
+// RunOpts configures a simulation run.
+type RunOpts struct {
+	In        []int // input labeling (dense half-edge index); nil = no inputs
+	IDs       []int // identifiers; nil = sequential 1..n
+	Seed      int64 // base seed for randomized algorithms
+	Random    bool  // give each node a private rand source
+	MaxRounds int   // safety bound; 0 = 8n + 1024
+}
+
+// Run executes the machine on g and returns the labeling and round count.
+func Run(g *graph.Graph, m Machine, opts RunOpts) (*Result, error) {
+	n := g.N()
+	ids := opts.IDs
+	if ids == nil {
+		ids = SequentialIDs(n)
+	}
+	maxRounds := opts.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = 8*n + 1024
+	}
+	infos := make([]*NodeInfo, n)
+	states := make([]any, n)
+	done := make([]bool, n)
+	for v := 0; v < n; v++ {
+		info := &NodeInfo{N: n, ID: ids[v], Deg: g.Deg(v)}
+		info.In = make([]int, g.Deg(v))
+		info.Dim = make([]int, g.Deg(v))
+		for p := 0; p < g.Deg(v); p++ {
+			if opts.In != nil {
+				info.In[p] = opts.In[g.HalfEdge(v, p)]
+			}
+			info.Dim[p] = g.DimLabel(v, p)
+		}
+		if opts.Random {
+			info.Rand = rand.New(rand.NewSource(opts.Seed ^ (int64(ids[v]) * 0x5851f42d4c957f2d)))
+		}
+		infos[v] = info
+		states[v] = m.Init(info)
+	}
+	rounds := 0
+	for r := 0; r < maxRounds; r++ {
+		allDone := true
+		for v := 0; v < n; v++ {
+			if !done[v] {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			break
+		}
+		next := make([]any, n)
+		rounds++
+		for v := 0; v < n; v++ {
+			if done[v] {
+				next[v] = states[v]
+				continue
+			}
+			inbox := make([]any, g.Deg(v))
+			for p, ep := range g.Ports(v) {
+				inbox[p] = states[ep.To]
+			}
+			st, fin := m.Step(infos[v], states[v], inbox)
+			next[v] = st
+			done[v] = fin
+		}
+		states = next
+	}
+	for v := 0; v < n; v++ {
+		if !done[v] {
+			return nil, fmt.Errorf("local: %s did not terminate within %d rounds", m.Name(), maxRounds)
+		}
+	}
+	out := make([]int, g.NumHalfEdges())
+	for v := 0; v < n; v++ {
+		lab := m.Output(infos[v], states[v])
+		if len(lab) != g.Deg(v) {
+			return nil, fmt.Errorf("local: %s output %d labels at degree-%d node", m.Name(), len(lab), g.Deg(v))
+		}
+		for p, o := range lab {
+			out[g.HalfEdge(v, p)] = o
+		}
+	}
+	return &Result{Output: out, Rounds: rounds}, nil
+}
+
+// BallAlgorithm is the Definition 2.1 formulation: a function
+// (parameterized by n) from labeled T(n)-hop views to outputs.
+type BallAlgorithm interface {
+	Name() string
+	Radius(n int) int
+	// Output returns the labels of the root's half-edges (indexed by port).
+	Output(b *graph.Ball, n int) []int
+}
+
+// RunBall executes a ball algorithm: each node independently evaluates the
+// function on its extracted view.
+func RunBall(g *graph.Graph, a BallAlgorithm, opts RunOpts) (*Result, error) {
+	n := g.N()
+	ids := opts.IDs
+	if ids == nil {
+		ids = SequentialIDs(n)
+	}
+	var rnd [][]byte
+	if opts.Random {
+		rnd = RandomBits(n, 16, opts.Seed)
+	}
+	r := a.Radius(n)
+	out := make([]int, g.NumHalfEdges())
+	for v := 0; v < n; v++ {
+		b := graph.ExtractBall(g, v, r, graph.BallOpts{In: opts.In, IDs: ids, Rand: rnd})
+		lab := a.Output(b, n)
+		if len(lab) != g.Deg(v) {
+			return nil, fmt.Errorf("local: %s output %d labels at degree-%d node", a.Name(), len(lab), g.Deg(v))
+		}
+		for p, o := range lab {
+			out[g.HalfEdge(v, p)] = o
+		}
+	}
+	return &Result{Output: out, Rounds: r}, nil
+}
+
+// SequentialIDs returns IDs 1..n.
+func SequentialIDs(n int) []int {
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i + 1
+	}
+	return ids
+}
+
+// RandomIDs returns n distinct identifiers drawn from [1, n^3] — the
+// polynomial range of Definition 2.1.
+func RandomIDs(n int, rng *rand.Rand) []int {
+	seen := map[int]bool{}
+	ids := make([]int, n)
+	bound := n*n*n + 1
+	for i := range ids {
+		for {
+			x := 1 + rng.Intn(bound)
+			if !seen[x] {
+				seen[x] = true
+				ids[i] = x
+				break
+			}
+		}
+	}
+	return ids
+}
+
+// PermutedIDs applies a permutation to sequential IDs: ids[v] = perm[v]+1.
+func PermutedIDs(perm []int) []int {
+	ids := make([]int, len(perm))
+	for v, p := range perm {
+		ids[v] = p + 1
+	}
+	return ids
+}
+
+// RandomBits gives each node `bytes` random bytes derived from seed.
+func RandomBits(n, bytes int, seed int64) [][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = make([]byte, bytes)
+		rng.Read(out[i])
+	}
+	return out
+}

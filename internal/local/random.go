@@ -1,0 +1,141 @@
+package local
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/lcl"
+)
+
+// Randomized LOCAL algorithms and the local failure probability of
+// Definition 2.4, operationalized: an algorithm's local failure
+// probability on a graph is the maximum over edges and nodes of the
+// probability that the output is incorrect there; we estimate it by
+// repeated simulation. This is the quantity Theorem 3.4 tracks across the
+// round elimination sequence.
+
+// RandomColoringMachine outputs a uniformly random color from a k-palette
+// in zero rounds. Its local failure probability on any graph is exactly
+// 1/k per edge (the probability both endpoints draw the same color) —
+// a convenient calibration point for the estimator.
+type RandomColoringMachine struct{ K int }
+
+// Name implements Machine.
+func (r RandomColoringMachine) Name() string { return fmt.Sprintf("random-%d-coloring", r.K) }
+
+// Init implements Machine.
+func (r RandomColoringMachine) Init(info *NodeInfo) any {
+	if info.Rand == nil {
+		panic("local: RandomColoringMachine needs RunOpts.Random")
+	}
+	return info.Rand.Intn(r.K)
+}
+
+// Step implements Machine.
+func (r RandomColoringMachine) Step(info *NodeInfo, state any, inbox []any) (any, bool) {
+	return state, true
+}
+
+// Output implements Machine.
+func (r RandomColoringMachine) Output(info *NodeInfo, state any) []int {
+	out := make([]int, info.Deg)
+	for i := range out {
+		out[i] = state.(int)
+	}
+	return out
+}
+
+// RandomizedFixMachine draws a random color and then runs `fixRounds`
+// correction rounds: a node in conflict with a neighbor (same color, lower
+// ID) redraws. Local failure probability decays with fixRounds — the
+// knob used to generate algorithms of varying quality for the Theorem 3.4
+// experiments.
+type RandomizedFixMachine struct {
+	K         int
+	FixRounds int
+}
+
+// Name implements Machine.
+func (r RandomizedFixMachine) Name() string {
+	return fmt.Sprintf("random-%d-coloring-fix%d", r.K, r.FixRounds)
+}
+
+type fixState struct {
+	color int
+	round int
+}
+
+// Init implements Machine.
+func (r RandomizedFixMachine) Init(info *NodeInfo) any {
+	return fixState{color: info.Rand.Intn(r.K)}
+}
+
+// Step implements Machine.
+func (r RandomizedFixMachine) Step(info *NodeInfo, state any, inbox []any) (any, bool) {
+	st := state.(fixState)
+	if st.round >= r.FixRounds {
+		return st, true
+	}
+	conflict := false
+	for _, s := range inbox {
+		if s.(fixState).color == st.color {
+			conflict = true
+			break
+		}
+	}
+	if conflict {
+		st.color = info.Rand.Intn(r.K)
+	}
+	st.round++
+	return st, st.round >= r.FixRounds
+}
+
+// Output implements Machine.
+func (r RandomizedFixMachine) Output(info *NodeInfo, state any) []int {
+	out := make([]int, info.Deg)
+	for i := range out {
+		out[i] = state.(fixState).color
+	}
+	return out
+}
+
+// FailureEstimate reports empirical per-site failure frequencies.
+type FailureEstimate struct {
+	Local  float64 // max over edges/nodes of empirical failure frequency
+	Global float64 // frequency of at least one violation anywhere
+	Trials int
+}
+
+// EstimateLocalFailure runs the randomized machine `trials` times and
+// measures, per edge and per node, how often the output is incorrect
+// there (Definition 2.4), returning the maximum — the empirical local
+// failure probability — together with the global failure frequency.
+func EstimateLocalFailure(g *graph.Graph, m Machine, p *lcl.Problem, fin []int, trials int, seed int64) (*FailureEstimate, error) {
+	siteFail := map[string]int{}
+	globalFail := 0
+	for t := 0; t < trials; t++ {
+		res, err := Run(g, m, RunOpts{In: fin, Random: true, Seed: seed + int64(t)*7919})
+		if err != nil {
+			return nil, err
+		}
+		vs := p.Verify(g, fin, res.Output)
+		if len(vs) > 0 {
+			globalFail++
+		}
+		seen := map[string]bool{}
+		for _, v := range vs {
+			key := fmt.Sprintf("%s/%d/%d", v.Kind, v.V, v.U)
+			if !seen[key] {
+				seen[key] = true
+				siteFail[key]++
+			}
+		}
+	}
+	est := &FailureEstimate{Trials: trials, Global: float64(globalFail) / float64(trials)}
+	for _, c := range siteFail {
+		if f := float64(c) / float64(trials); f > est.Local {
+			est.Local = f
+		}
+	}
+	return est, nil
+}

@@ -1,0 +1,77 @@
+package local
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/problems"
+	"repro/internal/re"
+)
+
+func TestEstimateLocalFailureCalibration(t *testing.T) {
+	// Random k-coloring: per-edge failure probability is exactly 1/k.
+	g := graph.Cycle(24)
+	for _, k := range []int{2, 4, 8} {
+		p := problems.Coloring(k, 2)
+		est, err := EstimateLocalFailure(g, RandomColoringMachine{K: k}, p, nil, 3000, 17)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1.0 / float64(k)
+		if math.Abs(est.Local-want) > 0.35*want+0.02 {
+			t.Errorf("k=%d: empirical local failure %.4f, want ~%.4f", k, est.Local, want)
+		}
+	}
+}
+
+func TestRandomizedFixReducesFailure(t *testing.T) {
+	// More fix rounds => lower local failure probability; with a generous
+	// palette the failure should drop fast.
+	g := graph.Cycle(32)
+	p := problems.Coloring(6, 2)
+	prev := 1.0
+	for _, rounds := range []int{0, 1, 3} {
+		est, err := EstimateLocalFailure(g, RandomizedFixMachine{K: 6, FixRounds: rounds}, p, nil, 1500, 23)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est.Local > prev+0.02 {
+			t.Errorf("fixRounds=%d: failure %.4f did not improve on %.4f", rounds, est.Local, prev)
+		}
+		prev = est.Local
+	}
+	if prev > 0.05 {
+		t.Errorf("after 3 fix rounds failure still %.4f", prev)
+	}
+}
+
+// TestTheorem34BoundDominatesEmpirical connects the Theorem 3.4 formula to
+// measurement: the iterated bound on the derived algorithms' local failure
+// (starting from the empirical p of a randomized algorithm) is, by
+// construction, at least the empirical failure itself at step 0 and grows
+// monotonically in clamped value — the bound is a valid (if enormous)
+// over-approximation.
+func TestTheorem34BoundDominatesEmpirical(t *testing.T) {
+	g := graph.Cycle(24)
+	p := problems.Coloring(8, 2)
+	est, err := EstimateLocalFailure(g, RandomColoringMachine{K: 8}, p, nil, 2000, 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := re.FailureBound{Log2P: math.Log2(est.Local + 1e-9)}
+	next := re.Step34(start, re.Theorem34Params{Delta: 2, SigmaIn: 1, SigmaOut: 8, SigmaROut: 255, T: 1})
+	if next.Value() < est.Local {
+		t.Errorf("Theorem 3.4 step produced a bound %.4g below the measured p %.4g", next.Value(), est.Local)
+	}
+}
+
+func TestRandomColoringNeedsRandom(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic without RunOpts.Random")
+		}
+	}()
+	g := graph.Path(2)
+	_, _ = Run(g, RandomColoringMachine{K: 3}, RunOpts{})
+}

@@ -1,0 +1,133 @@
+package problems
+
+import (
+	"fmt"
+
+	"repro/internal/lcl"
+)
+
+// Additional battery members exercising more corners of the landscape.
+
+// FreeOrientation requires every edge to be oriented (one O, one I
+// half-edge) with no node constraint at all. Solvable in one round by
+// orienting toward the larger identifier — an O(1) problem that is NOT
+// 0-round solvable (adversarial ports), so the gap pipeline must find it
+// at level >= 1: the minimal witness that the Lemma 3.9 lift is really
+// exercised.
+func FreeOrientation(maxDeg int) *lcl.Problem {
+	b := lcl.NewBuilder("free-orientation", nil, []string{"O", "I"})
+	for d := 1; d <= maxDeg; d++ {
+		for numOut := 0; numOut <= d; numOut++ {
+			cfg := make([]string, d)
+			for i := range cfg {
+				if i < numOut {
+					cfg[i] = "O"
+				} else {
+					cfg[i] = "I"
+				}
+			}
+			b.Node(cfg...)
+		}
+	}
+	b.Edge("O", "I")
+	return b.MustBuild()
+}
+
+// EdgeColoring returns proper k-edge-coloring: both half-edges of an edge
+// carry the edge's color, and the edges around a node have pairwise
+// distinct colors. For k >= 2Δ-1 it is Θ(log* n) on bounded-degree
+// graphs; k < Δ is unsolvable on a Δ-star.
+func EdgeColoring(k, maxDeg int) *lcl.Problem {
+	names := make([]string, k)
+	for i := range names {
+		names[i] = fmt.Sprintf("e%d", i+1)
+	}
+	b := lcl.NewBuilder(fmt.Sprintf("%d-edge-coloring", k), nil, names)
+	// Node configurations: any set (no repeats) of d distinct colors.
+	var rec func(cfg []string, next int)
+	rec = func(cfg []string, next int) {
+		if len(cfg) > 0 && len(cfg) <= maxDeg {
+			b.Node(cfg...)
+		}
+		if len(cfg) == maxDeg {
+			return
+		}
+		for c := next; c < k; c++ {
+			rec(append(cfg, names[c]), c+1)
+		}
+	}
+	rec(nil, 0)
+	// Edge configurations: the two half-edges agree.
+	for c := 0; c < k; c++ {
+		b.Edge(names[c], names[c])
+	}
+	return b.MustBuild()
+}
+
+// AtMostOneIncoming orients every edge such that each node has at most
+// one incoming half-edge. On trees it is solvable globally (orient away
+// from a root); on cycles it forces a consistent orientation, hence Θ(n)
+// — a second Global-class witness with a different constraint shape.
+func AtMostOneIncoming(maxDeg int) *lcl.Problem {
+	b := lcl.NewBuilder("at-most-one-incoming", nil, []string{"O", "I"})
+	for d := 1; d <= maxDeg; d++ {
+		for numIn := 0; numIn <= 1 && numIn <= d; numIn++ {
+			cfg := make([]string, d)
+			for i := range cfg {
+				if i < numIn {
+					cfg[i] = "I"
+				} else {
+					cfg[i] = "O"
+				}
+			}
+			b.Node(cfg...)
+		}
+	}
+	b.Edge("O", "I")
+	return b.MustBuild()
+}
+
+// MarkedLeaderPath is an input-labeled global problem: exactly the nodes
+// whose input says "anchor" must output A, all others output a parity
+// chain label relative to... kept simple: outputs must alternate along
+// the path except at anchor nodes, where the chain may restart. With no
+// anchors it degenerates to 2-coloring (Θ(n) on even cycles); a dense
+// anchor input makes it O(1). Exercises how inputs shift complexity —
+// the reason the paper's RE extension to inputs matters.
+func MarkedLeaderPath() *lcl.Problem {
+	b := lcl.NewBuilder("anchored-2-coloring",
+		[]string{"anchor", "-"}, []string{"A", "c0", "c1"})
+	// Degree 1/2 nodes; anchors output A on all ports, others a color.
+	b.Node("A").Node("c0").Node("c1")
+	b.Node("A", "A").Node("c0", "c0").Node("c1", "c1")
+	b.Edge("c0", "c1") // proper alternation
+	b.Edge("A", "c0").Edge("A", "c1").Edge("A", "A")
+	b.Allow("anchor", "A")
+	b.Allow("-", "c0", "c1")
+	return b.MustBuild()
+}
+
+// BoundedIndependence is a relaxed independent set: label I or O, with
+// {I,I} edges forbidden but no maximality requirement — trivially O(1)
+// (all-O). A degenerate-by-design control problem for the classifiers.
+func BoundedIndependence(maxDeg int) *lcl.Problem {
+	b := lcl.NewBuilder("independence-no-maximality", nil, []string{"I", "O"})
+	for d := 1; d <= maxDeg; d++ {
+		for numI := 0; numI <= d; numI++ {
+			cfg := make([]string, d)
+			for i := range cfg {
+				if i < numI {
+					cfg[i] = "I"
+				} else {
+					cfg[i] = "O"
+				}
+			}
+			// A node is either fully in the set or fully out.
+			if numI == 0 || numI == d {
+				b.Node(cfg...)
+			}
+		}
+	}
+	b.Edge("I", "O").Edge("O", "O")
+	return b.MustBuild()
+}

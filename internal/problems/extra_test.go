@@ -1,0 +1,126 @@
+package problems
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestFreeOrientationSolvable(t *testing.T) {
+	p := FreeOrientation(3)
+	for _, g := range []*graph.Graph{graph.Path(4), graph.Cycle(5), graph.Star(3)} {
+		fout, ok := p.BruteForceSolve(g, nil)
+		if !ok {
+			t.Fatalf("free orientation unsolvable on %d nodes", g.N())
+		}
+		g.Edges(func(u, pu, v, pv int) {
+			if fout[g.HalfEdge(u, pu)] == fout[g.HalfEdge(v, pv)] {
+				t.Errorf("edge {%d,%d} unoriented", u, v)
+			}
+		})
+	}
+}
+
+func TestEdgeColoringSolvability(t *testing.T) {
+	// 3-edge-coloring solves paths and even cycles; a Δ-star needs Δ colors.
+	p3 := EdgeColoring(3, 3)
+	if _, ok := p3.BruteForceSolve(graph.Path(5), nil); !ok {
+		t.Error("3-edge-coloring failed on P5")
+	}
+	if _, ok := p3.BruteForceSolve(graph.Star(3), nil); !ok {
+		t.Error("3-edge-coloring failed on a 3-star")
+	}
+	p2 := EdgeColoring(2, 3)
+	if _, ok := p2.BruteForceSolve(graph.Star(3), nil); ok {
+		t.Error("2-edge-coloring solved a 3-star")
+	}
+	// Odd cycle needs 3 edge colors.
+	if _, ok := p2.BruteForceSolve(graph.Cycle(5), nil); ok {
+		t.Error("2-edge-coloring solved C5")
+	}
+	if _, ok := p3.BruteForceSolve(graph.Cycle(5), nil); !ok {
+		t.Error("3-edge-coloring failed on C5")
+	}
+	// Verify well-formedness of a solution: edge halves agree, node sides
+	// distinct.
+	g := graph.Cycle(6)
+	fout, ok := p3.BruteForceSolve(g, nil)
+	if !ok {
+		t.Fatal("unsolvable on C6")
+	}
+	g.Edges(func(u, pu, v, pv int) {
+		if fout[g.HalfEdge(u, pu)] != fout[g.HalfEdge(v, pv)] {
+			t.Error("edge halves disagree")
+		}
+	})
+	for v := 0; v < g.N(); v++ {
+		if fout[g.HalfEdge(v, 0)] == fout[g.HalfEdge(v, 1)] {
+			t.Errorf("node %d has two same-colored edges", v)
+		}
+	}
+}
+
+func TestAtMostOneIncoming(t *testing.T) {
+	p := AtMostOneIncoming(3)
+	// Solvable on trees (orient away from a root).
+	if _, ok := p.BruteForceSolve(graph.CompleteTree(3, 2), nil); !ok {
+		t.Error("at-most-one-incoming failed on a tree")
+	}
+	// On a cycle it forces consistent orientation: still solvable.
+	fout, ok := p.BruteForceSolve(graph.Cycle(5), nil)
+	if !ok {
+		t.Fatal("at-most-one-incoming failed on C5")
+	}
+	g := graph.Cycle(5)
+	for v := 0; v < 5; v++ {
+		in := 0
+		for q := 0; q < 2; q++ {
+			if fout[g.HalfEdge(v, q)] == 1 {
+				in++
+			}
+		}
+		if in != 1 {
+			t.Errorf("node %d has in-degree %d on the cycle", v, in)
+		}
+	}
+}
+
+func TestMarkedLeaderPath(t *testing.T) {
+	p := MarkedLeaderPath()
+	g := graph.Cycle(5)
+	// Without anchors, C5 is 2-coloring: unsolvable.
+	fin := make([]int, g.NumHalfEdges())
+	for h := range fin {
+		fin[h] = 1 // "-"
+	}
+	if _, ok := p.BruteForceSolve(g, fin); ok {
+		t.Error("anchored coloring solved an anchor-free odd cycle")
+	}
+	// One anchor node fixes it.
+	for q := 0; q < g.Deg(0); q++ {
+		fin[g.HalfEdge(0, q)] = 0 // anchor
+	}
+	if _, ok := p.BruteForceSolve(g, fin); !ok {
+		t.Error("anchored coloring failed with an anchor on C5")
+	}
+}
+
+func TestBoundedIndependenceTrivial(t *testing.T) {
+	p := BoundedIndependence(3)
+	g := graph.Star(3)
+	// All-O is a solution.
+	fout := make([]int, g.NumHalfEdges())
+	for h := range fout {
+		fout[h] = 1
+	}
+	if !p.Solves(g, nil, fout) {
+		t.Error("all-O rejected")
+	}
+	// All-I is not (star edges connect I to I).
+	for h := range fout {
+		fout[h] = 0
+	}
+	if p.Solves(g, nil, fout) {
+		t.Error("all-I accepted despite {I,I} edges")
+	}
+}

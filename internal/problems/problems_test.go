@@ -1,0 +1,258 @@
+package problems
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/lcl"
+)
+
+func TestAllValidate(t *testing.T) {
+	for _, p := range All(3) {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestColoringSolvability(t *testing.T) {
+	p3 := Coloring(3, 2)
+	if _, ok := p3.BruteForceSolve(graph.Cycle(5), nil); !ok {
+		t.Error("3-coloring should solve C5")
+	}
+	p2 := Coloring(2, 2)
+	if _, ok := p2.BruteForceSolve(graph.Cycle(5), nil); ok {
+		t.Error("2-coloring should not solve C5")
+	}
+	if _, ok := p2.BruteForceSolve(graph.Cycle(6), nil); !ok {
+		t.Error("2-coloring should solve C6")
+	}
+}
+
+func TestMISOnSmallGraphs(t *testing.T) {
+	p := MIS(3)
+	for _, g := range []*graph.Graph{graph.Path(4), graph.Cycle(5), graph.Star(3), graph.Cycle(6)} {
+		fout, ok := p.BruteForceSolve(g, nil)
+		if !ok {
+			t.Fatalf("MIS unsolvable on graph with %d nodes", g.N())
+		}
+		// Decode membership: a node is in the set iff all its half-edges are I.
+		inSet := make([]bool, g.N())
+		for v := 0; v < g.N(); v++ {
+			inSet[v] = fout[g.HalfEdge(v, 0)] == 0 // label 0 = "I"
+		}
+		// Independence + domination.
+		g.Edges(func(u, pu, v, pv int) {
+			if inSet[u] && inSet[v] {
+				t.Errorf("adjacent nodes %d,%d both in MIS", u, v)
+			}
+		})
+		for v := 0; v < g.N(); v++ {
+			if inSet[v] {
+				continue
+			}
+			dominated := false
+			for _, ep := range g.Ports(v) {
+				if inSet[ep.To] {
+					dominated = true
+				}
+			}
+			if !dominated {
+				t.Errorf("node %d not dominated", v)
+			}
+		}
+	}
+}
+
+func TestMaximalMatchingOnSmallGraphs(t *testing.T) {
+	p := MaximalMatching(3)
+	for _, g := range []*graph.Graph{graph.Path(4), graph.Path(5), graph.Cycle(6), graph.Star(3)} {
+		fout, ok := p.BruteForceSolve(g, nil)
+		if !ok {
+			t.Fatalf("maximal matching unsolvable on %d-node graph", g.N())
+		}
+		// Matched edges: both half-edges labeled M (label 0).
+		matchedCount := make([]int, g.N())
+		g.Edges(func(u, pu, v, pv int) {
+			mu := fout[g.HalfEdge(u, pu)] == 0
+			mv := fout[g.HalfEdge(v, pv)] == 0
+			if mu != mv {
+				t.Errorf("edge {%d,%d} half-matched", u, v)
+			}
+			if mu && mv {
+				matchedCount[u]++
+				matchedCount[v]++
+			}
+		})
+		for v, c := range matchedCount {
+			if c > 1 {
+				t.Errorf("node %d matched %d times", v, c)
+			}
+		}
+		// Maximality: no edge with both endpoints unmatched.
+		g.Edges(func(u, pu, v, pv int) {
+			if matchedCount[u] == 0 && matchedCount[v] == 0 {
+				t.Errorf("edge {%d,%d} violates maximality", u, v)
+			}
+		})
+	}
+}
+
+func TestSinklessOrientationOnTrees(t *testing.T) {
+	p := SinklessOrientation(3)
+	// On a complete binary-ish tree, sinkless orientation is solvable
+	// (orient everything toward the leaves... leaves have degree 1,
+	// unconstrained). Brute force on a small tree.
+	g := graph.CompleteTree(3, 2)
+	fout, ok := p.BruteForceSolve(g, nil)
+	if !ok {
+		t.Fatal("sinkless orientation unsolvable on small tree")
+	}
+	// Every edge oriented: one O one I.
+	g.Edges(func(u, pu, v, pv int) {
+		a, b := fout[g.HalfEdge(u, pu)], fout[g.HalfEdge(v, pv)]
+		if a == b {
+			t.Errorf("edge {%d,%d} not oriented", u, v)
+		}
+	})
+	// No degree->=3 sink.
+	for v := 0; v < g.N(); v++ {
+		if g.Deg(v) < 3 {
+			continue
+		}
+		hasOut := false
+		for q := 0; q < g.Deg(v); q++ {
+			if fout[g.HalfEdge(v, q)] == 0 {
+				hasOut = true
+			}
+		}
+		if !hasOut {
+			t.Errorf("node %d is a sink", v)
+		}
+	}
+}
+
+func TestConsistentOrientationGlobal(t *testing.T) {
+	p := ConsistentOrientation()
+	fout, ok := p.BruteForceSolve(graph.Cycle(5), nil)
+	if !ok {
+		t.Fatal("consistent orientation unsolvable on C5")
+	}
+	g := graph.Cycle(5)
+	// Each node has exactly one O and one I.
+	for v := 0; v < 5; v++ {
+		a, b := fout[g.HalfEdge(v, 0)], fout[g.HalfEdge(v, 1)]
+		if a == b {
+			t.Errorf("node %d not flow-through", v)
+		}
+	}
+}
+
+func TestTrivialAlwaysSolvable(t *testing.T) {
+	p := Trivial(3)
+	rng := rand.New(rand.NewSource(5))
+	g := graph.RandomTree(30, 3, rng)
+	fout := make([]int, g.NumHalfEdges())
+	if !p.Solves(g, nil, fout) {
+		t.Error("trivial labeling rejected")
+	}
+}
+
+func TestEdgeGroupingIdentity(t *testing.T) {
+	p := EdgeGrouping()
+	g := graph.Path(4)
+	fin := make([]int, g.NumHalfEdges())
+	for h := range fin {
+		fin[h] = h % 2
+	}
+	// Copying input to output solves it.
+	fout := append([]int(nil), fin...)
+	if vs := p.Verify(g, fin, fout); len(vs) != 0 {
+		t.Errorf("identity relabeling rejected: %v", vs)
+	}
+	// Flipping one label breaks g.
+	fout[0] = 1 - fout[0]
+	if p.Solves(g, fin, fout) {
+		t.Error("flipped label accepted")
+	}
+}
+
+func TestListColoringishRespectsForbidden(t *testing.T) {
+	p := ListColoringish()
+	g := graph.Path(3)
+	fin := make([]int, g.NumHalfEdges())
+	for h := range fin {
+		fin[h] = 3 // "-" no restriction
+	}
+	fin[g.HalfEdge(1, 0)] = 0 // forbid c1 at node 1 (half-edge 0)
+	fout, ok := p.BruteForceSolve(g, fin)
+	if !ok {
+		t.Fatal("list coloring unsolvable on P3")
+	}
+	if fout[g.HalfEdge(1, 0)] == 0 {
+		t.Error("forbidden color used")
+	}
+	if vs := p.Verify(g, fin, fout); len(vs) != 0 {
+		t.Errorf("solver output invalid: %v", vs)
+	}
+}
+
+func TestPerfectMatchingParity(t *testing.T) {
+	p := PerfectMatching(3)
+	if _, ok := p.BruteForceSolve(graph.Path(4), nil); !ok {
+		t.Error("perfect matching should solve P4")
+	}
+	if _, ok := p.BruteForceSolve(graph.Path(3), nil); ok {
+		t.Error("perfect matching solved odd path")
+	}
+}
+
+func TestWeakColoringSolvable(t *testing.T) {
+	p := WeakColoring(2, 3)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g := graph.Star(3)
+	fout, ok := p.BruteForceSolve(g, nil)
+	if !ok {
+		t.Fatal("weak 2-coloring unsolvable on star")
+	}
+	if !p.Solves(g, nil, fout) {
+		t.Error("brute-force weak coloring invalid")
+	}
+}
+
+func TestBatteryBruteForceOnTinyTree(t *testing.T) {
+	// Every battery problem either solves the 4-path or is expectedly
+	// unsolvable there; this guards encodings against vacuous constraints.
+	g := graph.Path(4)
+	expectSolvable := map[string]bool{
+		"trivial": true, "3-coloring": true, "4-coloring": true,
+		"2-coloring": true, "mis": true, "maximal-matching": true,
+		"sinkless-orientation": true, "consistent-orientation": true,
+		"edge-grouping": true, "forbid-list-3-coloring": true,
+		"free-orientation": true, "5-edge-coloring": true,
+		"at-most-one-incoming": true, "independence-no-maximality": true,
+	}
+	for _, p := range All(3) {
+		var fin []int
+		if p.NumIn() > 1 {
+			fin = make([]int, g.NumHalfEdges())
+			for h := range fin {
+				fin[h] = p.NumIn() - 1 // last input label is the "free" one in our battery
+			}
+		}
+		_, ok := p.BruteForceSolve(g, fin)
+		want, known := expectSolvable[p.Name]
+		if !known {
+			t.Errorf("battery problem %s missing from expectation table", p.Name)
+			continue
+		}
+		if ok != want {
+			t.Errorf("%s: solvable=%v, want %v", p.Name, ok, want)
+		}
+	}
+}
+
+var _ = lcl.NoInput

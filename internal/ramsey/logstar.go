@@ -1,0 +1,96 @@
+// Package ramsey provides the Ramsey-theoretic and iterated-logarithm
+// arithmetic used by the order-invariance arguments in Sections 4 and 5 of
+// Grunau, Rozhoň, Brandt (PODC 2022): the log* function, power towers, and
+// upper bounds on hypergraph Ramsey numbers R(p, m, c) together with an
+// explicit monochromatic-subset finder for small universes.
+package ramsey
+
+import (
+	"math"
+	"math/big"
+)
+
+// LogStar returns log*(n): the minimum number of times log2 must be applied
+// to n until the result is at most 1. LogStar(n) = 0 for n <= 1.
+//
+// This is the function the paper's complexity classes are phrased in:
+// Theorem 1.1 separates o(log* n) from O(1).
+func LogStar(n float64) int {
+	if n <= 1 {
+		return 0
+	}
+	count := 0
+	for n > 1 {
+		n = math.Log2(n)
+		count++
+	}
+	return count
+}
+
+// LogStarInt is LogStar for integer arguments.
+func LogStarInt(n int) int {
+	return LogStar(float64(n))
+}
+
+// LogStarBig returns log*(n) for arbitrarily large n given as a big.Int.
+// The first reduction uses BitLen (an upper bound on log2 within +1, which
+// cannot change the value of log* for n >= 2); subsequent reductions run in
+// float arithmetic.
+func LogStarBig(n *big.Int) int {
+	one := big.NewInt(1)
+	if n.Cmp(one) <= 0 {
+		return 0
+	}
+	if n.IsInt64() {
+		return LogStar(float64(n.Int64()))
+	}
+	// BitLen(n)-1 <= log2(n) < BitLen(n); using BitLen-1 is exact for
+	// powers of two and the fractional slack cannot change log* after one
+	// further application at this magnitude.
+	return 1 + LogStar(float64(n.BitLen()-1))
+}
+
+// Tower returns the power tower 2^2^...^2 of the given height as a big.Int.
+// Tower(0) = 1, Tower(1) = 2, Tower(2) = 4, Tower(3) = 16, Tower(4) = 65536.
+// Heights above 5 are astronomically large; Tower panics for height > 5 to
+// avoid unbounded allocation. The paper uses towers of height 2T(n0)+3 to
+// bound the label-set growth of iterated round elimination (Section 3.4).
+func Tower(height int) *big.Int {
+	if height < 0 {
+		panic("ramsey: negative tower height")
+	}
+	if height > 5 {
+		panic("ramsey: tower height > 5 does not fit in memory")
+	}
+	result := big.NewInt(1)
+	for i := 0; i < height; i++ {
+		e := int(result.Int64())
+		result = new(big.Int).Lsh(big.NewInt(1), uint(e))
+	}
+	return result
+}
+
+// TowerLogStar returns log* of Tower(height), which equals height for
+// height >= 1 (and 0 for height 0). Provided as the sanity identity used in
+// the Section 3.4 bookkeeping.
+func TowerLogStar(height int) int {
+	if height <= 0 {
+		return 0
+	}
+	return height
+}
+
+// IteratedLog returns log2 applied k times to n (flooring at each step),
+// with results below 1 clamped to 0.
+func IteratedLog(n float64, k int) float64 {
+	for i := 0; i < k; i++ {
+		if n <= 1 {
+			return 0
+		}
+		n = math.Log2(n)
+	}
+	if n < 0 {
+		return 0
+	}
+	return n
+}

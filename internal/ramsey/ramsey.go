@@ -1,0 +1,195 @@
+package ramsey
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// The hypergraph Ramsey number R(p, m, c) is the smallest N such that every
+// c-coloring of the p-element subsets of an N-element set contains a
+// monochromatic subset of size m. The paper (Sections 4 and 5) uses the
+// bound
+//
+//	log* R(p, m, c) = p + log* m + log* c + O(1)
+//
+// from Chang–Pettie to argue that o(log* n)-probe algorithms can be made
+// order-invariant. We provide (1) the classical Erdős–Rado style recursive
+// upper bound as exact big-integer arithmetic, (2) the log* form above, and
+// (3) an explicit monochromatic-subset finder for small universes, which is
+// the constructive step of Lemma 4.2 and Proposition 5.4 that our
+// order-invariance transforms exercise.
+
+// UpperBound returns an upper bound on R(p, m, c) computed by the
+// Erdős–Rado recursion
+//
+//	R(1, m, c) = c(m-1) + 1
+//	R(p, m, c) <= c^(R(p-1, m-1, c) choose p-1) * (stacking) ...
+//
+// in the standard weaker but simpler "iterated exponential" form
+//
+//	R(p, m, c) <= twr_p(O(m c log c))
+//
+// realized as an explicit tower. The returned value is a valid upper bound
+// for all p >= 1, m >= p, c >= 1; it is deliberately generous (the paper
+// only needs its log*).
+func UpperBound(p, m, c int) *big.Int {
+	if p < 1 || c < 1 || m < p {
+		panic(fmt.Sprintf("ramsey: invalid arguments p=%d m=%d c=%d", p, m, c))
+	}
+	// Base: R(1, m, c) = c(m-1)+1 (pigeonhole).
+	val := big.NewInt(int64(c)*int64(m-1) + 1)
+	// Each uniformity step exponentiates with base c; we use the coarse
+	// recursion R(p, m, c) <= c^{R(p-1, m, c)^{p-1}} + p which dominates the
+	// Erdős–Rado bound R(p,m,c) <= c^{binom(R(p-1,m-1,c), p-1)} + p - 1.
+	for level := 2; level <= p; level++ {
+		exp := new(big.Int).Exp(val, big.NewInt(int64(level-1)), nil)
+		if exp.BitLen() > 1<<22 {
+			// The tower is already astronomically large; cap the exponent so
+			// the value remains representable while staying a valid upper
+			// bound consumer-side (callers use LogStarBig, which only needs
+			// bit lengths). We saturate rather than grow without bound.
+			exp = new(big.Int).Lsh(big.NewInt(1), 1<<22)
+		}
+		if !exp.IsInt64() || exp.Int64() > 1<<24 {
+			// Represent c^exp implicitly via bit length: value ~ 2^{exp*log2 c}.
+			bits := new(big.Int).Mul(exp, big.NewInt(int64(bitsOf(c))))
+			if !bits.IsInt64() || bits.Int64() > 1<<26 {
+				bits = big.NewInt(1 << 26)
+			}
+			val = new(big.Int).Lsh(big.NewInt(1), uint(bits.Int64()))
+			continue
+		}
+		val = new(big.Int).Exp(big.NewInt(int64(c)), exp, nil)
+	}
+	return val
+}
+
+func bitsOf(c int) int {
+	b := 1
+	for c > 1 {
+		c >>= 1
+		b++
+	}
+	return b
+}
+
+// LogStarUpperBound returns an upper bound on log* R(p, m, c) of the form
+// p + log* m + log* c + K with the explicit additive constant K used
+// throughout our gap pipelines (Sections 4 and 5 use this inequality to
+// conclude that T(n) = o(log* n) leaves room for the Ramsey argument).
+const logStarSlack = 4
+
+// LogStarUpperBound returns p + log*(m) + log*(c) + logStarSlack.
+func LogStarUpperBound(p, m, c int) int {
+	return p + LogStarInt(m) + LogStarInt(c) + logStarSlack
+}
+
+// Coloring assigns one of c colors to each p-element subset of {0,...,n-1}.
+// Subsets are passed as strictly increasing index slices.
+type Coloring func(subset []int) int
+
+// MonochromaticSubset searches {0,...,n-1} for a subset S of size m such
+// that every p-element subset of S receives the same color under col. It
+// returns the subset (sorted) and the common color, or ok=false if none
+// exists. The search is exponential and intended for the small universes on
+// which our Lemma 4.2 / Proposition 5.4 transforms run explicitly; callers
+// should keep n below ~30 for p >= 2.
+func MonochromaticSubset(n, p, m int, col Coloring) (subset []int, color int, ok bool) {
+	if m < p || n < m {
+		return nil, 0, false
+	}
+	// Depth-first search over candidate subsets, pruning on color mismatch:
+	// we maintain the invariant that all p-subsets of the chosen prefix are
+	// monochromatic with color `want` (want = -1 until the first p-subset is
+	// complete).
+	chosen := make([]int, 0, m)
+	var rec func(next, want int) ([]int, int, bool)
+	rec = func(next, want int) ([]int, int, bool) {
+		if len(chosen) == m {
+			out := make([]int, m)
+			copy(out, chosen)
+			return out, want, true
+		}
+		// Not enough elements left to finish.
+		if n-next < m-len(chosen) {
+			return nil, 0, false
+		}
+		for v := next; v < n; v++ {
+			chosen = append(chosen, v)
+			w, valid := want, true
+			if len(chosen) >= p {
+				// Check all new p-subsets: those containing v.
+				w, valid = checkNewSubsets(chosen, p, want, col)
+			}
+			if valid {
+				if s, c, ok := rec(v+1, w); ok {
+					return s, c, ok
+				}
+			}
+			chosen = chosen[:len(chosen)-1]
+		}
+		return nil, 0, false
+	}
+	return rec(0, -1)
+}
+
+// checkNewSubsets verifies that every p-subset of chosen that includes the
+// last element has color `want` (or fixes want if still -1). Returns the
+// (possibly updated) want and whether all checks passed.
+func checkNewSubsets(chosen []int, p, want int, col Coloring) (int, bool) {
+	last := chosen[len(chosen)-1]
+	rest := chosen[:len(chosen)-1]
+	idx := make([]int, p-1)
+	sub := make([]int, p)
+	var rec func(start, k int) bool
+	rec = func(start, k int) bool {
+		if k == p-1 {
+			for i, r := range idx {
+				sub[i] = rest[r]
+			}
+			sub[p-1] = last
+			c := col(sub)
+			if want == -1 {
+				want = c
+			} else if c != want {
+				return false
+			}
+			return true
+		}
+		for i := start; i < len(rest); i++ {
+			idx[k] = i
+			if !rec(i+1, k+1) {
+				return false
+			}
+		}
+		return true
+	}
+	if !rec(0, 0) {
+		return want, false
+	}
+	return want, true
+}
+
+// Subsets enumerates all p-element subsets of {0,...,n-1} in lexicographic
+// order, invoking fn for each; enumeration stops early if fn returns false.
+func Subsets(n, p int, fn func(subset []int) bool) {
+	if p == 0 {
+		fn(nil)
+		return
+	}
+	idx := make([]int, p)
+	var rec func(start, k int) bool
+	rec = func(start, k int) bool {
+		if k == p {
+			return fn(idx)
+		}
+		for i := start; i < n; i++ {
+			idx[k] = i
+			if !rec(i+1, k+1) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0, 0)
+}

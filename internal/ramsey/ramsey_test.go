@@ -1,0 +1,267 @@
+package ramsey
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestLogStarSmall(t *testing.T) {
+	cases := []struct {
+		n    float64
+		want int
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {16, 3}, {17, 4},
+		{65536, 4}, {65537, 5}, {1 << 20, 5}, {1e18, 5},
+	}
+	for _, c := range cases {
+		if got := LogStar(c.n); got != c.want {
+			t.Errorf("LogStar(%v) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestLogStarMonotone(t *testing.T) {
+	f := func(a, b uint32) bool {
+		x, y := int(a%1000000), int(b%1000000)
+		if x > y {
+			x, y = y, x
+		}
+		return LogStarInt(x) <= LogStarInt(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogStarBigAgreesWithFloat(t *testing.T) {
+	for _, n := range []int64{0, 1, 2, 5, 16, 17, 65536, 65537, 1 << 40} {
+		if got, want := LogStarBig(big.NewInt(n)), LogStar(float64(n)); got != want {
+			t.Errorf("LogStarBig(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestLogStarBigTower(t *testing.T) {
+	// log* Tower(h) == h for h in 1..5.
+	for h := 1; h <= 5; h++ {
+		tw := Tower(h)
+		if got := LogStarBig(tw); got != h {
+			t.Errorf("LogStarBig(Tower(%d)) = %d, want %d", h, got, h)
+		}
+		if got := TowerLogStar(h); got != h {
+			t.Errorf("TowerLogStar(%d) = %d, want %d", h, got, h)
+		}
+	}
+}
+
+func TestTowerValues(t *testing.T) {
+	want := []int64{1, 2, 4, 16, 65536}
+	for h, w := range want {
+		if got := Tower(h); got.Cmp(big.NewInt(w)) != 0 {
+			t.Errorf("Tower(%d) = %v, want %d", h, got, w)
+		}
+	}
+	if Tower(5).BitLen() != 65537 {
+		t.Errorf("Tower(5) bit length = %d, want 65537", Tower(5).BitLen())
+	}
+}
+
+func TestTowerPanics(t *testing.T) {
+	for _, h := range []int{-1, 6} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Tower(%d) did not panic", h)
+				}
+			}()
+			Tower(h)
+		}()
+	}
+}
+
+func TestIteratedLog(t *testing.T) {
+	if got := IteratedLog(65536, 2); got != 4 {
+		t.Errorf("IteratedLog(65536, 2) = %v, want 4", got)
+	}
+	if got := IteratedLog(2, 5); got != 0 {
+		t.Errorf("IteratedLog(2, 5) = %v, want 0", got)
+	}
+}
+
+func TestUpperBoundPigeonhole(t *testing.T) {
+	// R(1, m, c) = c(m-1)+1 exactly.
+	for _, c := range []int{1, 2, 3, 7} {
+		for _, m := range []int{1, 2, 5} {
+			want := big.NewInt(int64(c)*int64(m-1) + 1)
+			if got := UpperBound(1, m, c); got.Cmp(want) != 0 {
+				t.Errorf("UpperBound(1,%d,%d) = %v, want %v", m, c, got, want)
+			}
+		}
+	}
+}
+
+func TestUpperBoundKnownRamsey(t *testing.T) {
+	// R(2, 3, 2) = 6 (the classical party problem): our bound must be >= 6.
+	if got := UpperBound(2, 3, 2); got.Cmp(big.NewInt(6)) < 0 {
+		t.Errorf("UpperBound(2,3,2) = %v, below true Ramsey number 6", got)
+	}
+	// R(2, 4, 2) = 18.
+	if got := UpperBound(2, 4, 2); got.Cmp(big.NewInt(18)) < 0 {
+		t.Errorf("UpperBound(2,4,2) = %v, below true Ramsey number 18", got)
+	}
+}
+
+func TestUpperBoundMonotoneInM(t *testing.T) {
+	prev := big.NewInt(0)
+	for m := 2; m <= 6; m++ {
+		cur := UpperBound(2, m, 2)
+		if cur.Cmp(prev) < 0 {
+			t.Errorf("UpperBound(2,%d,2) = %v decreased below %v", m, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestLogStarUpperBoundForm(t *testing.T) {
+	// The paper's inequality: log* R(p,m,c) <= p + log* m + log* c + O(1).
+	// Check our explicit bound's log* is dominated by the closed form for
+	// small p (where UpperBound is exactly representable).
+	for _, tc := range []struct{ p, m, c int }{
+		{1, 4, 3}, {2, 3, 2}, {2, 4, 4}, {3, 3, 2},
+	} {
+		bound := UpperBound(tc.p, tc.m, tc.c)
+		lhs := LogStarBig(bound)
+		rhs := LogStarUpperBound(tc.p, tc.m, tc.c)
+		if lhs > rhs {
+			t.Errorf("log* UpperBound(%d,%d,%d) = %d exceeds closed form %d",
+				tc.p, tc.m, tc.c, lhs, rhs)
+		}
+	}
+}
+
+func TestMonochromaticSubsetConstantColoring(t *testing.T) {
+	col := func([]int) int { return 7 }
+	s, c, ok := MonochromaticSubset(10, 2, 5, col)
+	if !ok || c != 7 || len(s) != 5 {
+		t.Fatalf("constant coloring: got %v color %d ok=%v", s, c, ok)
+	}
+}
+
+func TestMonochromaticSubsetParity(t *testing.T) {
+	// Color pairs by parity of sum: the evens {0,2,4,6} are monochromatic.
+	col := func(s []int) int { return (s[0] + s[1]) % 2 }
+	s, c, ok := MonochromaticSubset(8, 2, 4, col)
+	if !ok {
+		t.Fatal("expected a monochromatic 4-subset")
+	}
+	// Verify the witness.
+	for i := 0; i < len(s); i++ {
+		for j := i + 1; j < len(s); j++ {
+			if col([]int{s[i], s[j]}) != c {
+				t.Fatalf("witness %v not monochromatic: pair (%d,%d)", s, s[i], s[j])
+			}
+		}
+	}
+}
+
+func TestMonochromaticSubsetRamseyR332(t *testing.T) {
+	// On 5 vertices there is a 2-coloring of pairs with no monochromatic
+	// triangle (C5 and its complement). Verify the finder reports failure.
+	inC5 := func(a, b int) bool {
+		d := (b - a + 5) % 5
+		return d == 1 || d == 4
+	}
+	col := func(s []int) int {
+		if inC5(s[0], s[1]) {
+			return 0
+		}
+		return 1
+	}
+	if _, _, ok := MonochromaticSubset(5, 2, 3, col); ok {
+		t.Error("C5 coloring should have no monochromatic triangle")
+	}
+	// On 6 vertices every 2-coloring has one (R(3,3)=6): extend the C5
+	// coloring arbitrarily and check the finder succeeds.
+	col6 := func(s []int) int {
+		if s[1] == 5 {
+			return s[0] % 2
+		}
+		return col(s)
+	}
+	if _, _, ok := MonochromaticSubset(6, 2, 3, col6); !ok {
+		t.Error("6 vertices must contain a monochromatic triangle")
+	}
+}
+
+func TestMonochromaticSubsetUniform3(t *testing.T) {
+	// 3-uniform: color by (a+b+c) mod 2 over 8 elements; evens {0,2,4,6}
+	// give all-even sums => monochromatic.
+	col := func(s []int) int { return (s[0] + s[1] + s[2]) % 2 }
+	s, c, ok := MonochromaticSubset(8, 3, 4, col)
+	if !ok {
+		t.Fatal("expected a monochromatic 4-subset in 3-uniform coloring")
+	}
+	Subsets(len(s), 3, func(idx []int) bool {
+		tri := []int{s[idx[0]], s[idx[1]], s[idx[2]]}
+		if col(tri) != c {
+			t.Errorf("witness %v not monochromatic on %v", s, tri)
+		}
+		return true
+	})
+}
+
+func TestSubsetsCount(t *testing.T) {
+	count := 0
+	Subsets(6, 3, func([]int) bool { count++; return true })
+	if count != 20 {
+		t.Errorf("Subsets(6,3) enumerated %d, want 20", count)
+	}
+	count = 0
+	Subsets(5, 0, func([]int) bool { count++; return true })
+	if count != 1 {
+		t.Errorf("Subsets(5,0) enumerated %d, want 1", count)
+	}
+}
+
+func TestSubsetsEarlyStop(t *testing.T) {
+	count := 0
+	Subsets(6, 2, func([]int) bool { count++; return count < 3 })
+	if count != 3 {
+		t.Errorf("early stop enumerated %d, want 3", count)
+	}
+}
+
+func TestTowerLogStarIdentity(t *testing.T) {
+	// TowerLogStar(h) = log*(Tower(h)) = h for h >= 1, 0 at h <= 0; and
+	// it must agree with LogStar applied to the actual tower value while
+	// the tower still fits a float.
+	for h := -1; h <= 5; h++ {
+		want := h
+		if h <= 0 {
+			want = 0
+		}
+		if got := TowerLogStar(h); got != want {
+			t.Errorf("TowerLogStar(%d) = %d, want %d", h, got, want)
+		}
+	}
+	for h := 1; h <= 4; h++ {
+		tw := Tower(h)
+		if got := LogStarInt(int(tw.Int64())); got != h {
+			t.Errorf("LogStarInt(Tower(%d)) = %d", h, got)
+		}
+	}
+}
+
+func TestUpperBoundMonotoneInEachArgument(t *testing.T) {
+	base := UpperBound(2, 3, 2)
+	if ub := UpperBound(2, 4, 2); ub.Cmp(base) < 0 {
+		t.Error("bound not monotone in m")
+	}
+	if ub := UpperBound(2, 3, 3); ub.Cmp(base) < 0 {
+		t.Error("bound not monotone in c")
+	}
+	if ub := UpperBound(3, 3, 2); ub.Cmp(base) < 0 {
+		t.Error("bound not monotone in p")
+	}
+}

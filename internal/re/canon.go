@@ -1,0 +1,262 @@
+package re
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/lcl"
+)
+
+// Problem isomorphism up to renaming of *output* labels (input labels are
+// fixed — they are shared across the whole round elimination sequence).
+// Used for fixed-point/cycle detection in iterated R̄∘R: reaching a problem
+// isomorphic to an earlier one proves the sequence never becomes 0-round
+// solvable, which (by Theorem 3.10's contrapositive) certifies an
+// Ω(log* n) lower bound for the original problem.
+
+// labelSignature computes a renaming-invariant signature per output label,
+// refined iteratively (1-dimensional Weisfeiler–Leman over the constraint
+// structure).
+func labelSignatures(p *lcl.Problem, rounds int) []string {
+	L := p.NumOut()
+	sig := make([]string, L)
+	// Initial: g-membership vector + self-loop flag.
+	for o := 0; o < L; o++ {
+		s := ""
+		for in := 0; in < p.NumIn(); in++ {
+			if p.GAllowed(in, o) {
+				s += "1"
+			} else {
+				s += "0"
+			}
+		}
+		if p.EdgeAllowed(o, o) {
+			s += "S"
+		}
+		sig[o] = s
+	}
+	for r := 0; r < rounds; r++ {
+		next := make([]string, L)
+		for o := 0; o < L; o++ {
+			// Edge neighborhood multiset.
+			var edges []string
+			for o2 := 0; o2 < L; o2++ {
+				if p.EdgeAllowed(o, o2) {
+					edges = append(edges, sig[o2])
+				}
+			}
+			sort.Strings(edges)
+			// Node configuration contexts: for each config containing o,
+			// the sorted signatures of its co-members.
+			var nodes []string
+			for d, list := range p.Node {
+				for _, m := range list {
+					count := 0
+					var rest []string
+					for _, x := range m {
+						if x == o {
+							count++
+						}
+					}
+					if count == 0 {
+						continue
+					}
+					for _, x := range m {
+						rest = append(rest, sig[x])
+					}
+					sort.Strings(rest)
+					nodes = append(nodes, fmt.Sprintf("d%d#%d:%v", d, count, rest))
+				}
+			}
+			sort.Strings(nodes)
+			next[o] = fmt.Sprintf("%s|E%v|N%v", sig[o], edges, nodes)
+		}
+		// Compress to keep strings short. Class ids are assigned in sorted
+		// string order so they are canonical across problems (required for
+		// Isomorphic's cross-problem signature matching).
+		uniq := map[string]bool{}
+		for _, s := range next {
+			uniq[s] = true
+		}
+		classes := make([]string, 0, len(uniq))
+		for s := range uniq {
+			classes = append(classes, s)
+		}
+		sort.Strings(classes)
+		comp := make(map[string]int, len(classes))
+		for i, s := range classes {
+			comp[s] = i
+		}
+		for o := range next {
+			sig[o] = fmt.Sprintf("%d", comp[next[o]])
+		}
+	}
+	return sig
+}
+
+// Canonical returns a canonical string for the problem under output-label
+// renaming, suitable for fixed-point detection. It canonicalizes greedily
+// by refined signature with deterministic tie-breaking, then renders all
+// constraints under the resulting relabeling; problems with equal
+// canonical strings are isomorphic for all practical battery cases, and
+// Isomorphic double-checks with an exact search.
+func Canonical(p *lcl.Problem) string {
+	L := p.NumOut()
+	sig := labelSignatures(p, 3)
+	order := make([]int, L)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if sig[order[i]] != sig[order[j]] {
+			return sig[order[i]] < sig[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	rename := make([]int, L)
+	for newID, old := range order {
+		rename[old] = newID
+	}
+	return renderRenamed(p, rename)
+}
+
+func renderRenamed(p *lcl.Problem, rename []int) string {
+	var parts []string
+	degrees := make([]int, 0, len(p.Node))
+	for d := range p.Node {
+		degrees = append(degrees, d)
+	}
+	sort.Ints(degrees)
+	for _, d := range degrees {
+		var cfgs []string
+		for _, m := range p.Node[d] {
+			r := make([]int, len(m))
+			for i, x := range m {
+				r[i] = rename[x]
+			}
+			sort.Ints(r)
+			cfgs = append(cfgs, fmt.Sprint(r))
+		}
+		sort.Strings(cfgs)
+		parts = append(parts, fmt.Sprintf("N%d:%v", d, cfgs))
+	}
+	var edges []string
+	for _, m := range p.Edge {
+		a, b := rename[m[0]], rename[m[1]]
+		if a > b {
+			a, b = b, a
+		}
+		edges = append(edges, fmt.Sprintf("(%d,%d)", a, b))
+	}
+	sort.Strings(edges)
+	parts = append(parts, fmt.Sprintf("E:%v", edges))
+	for in := 0; in < p.NumIn(); in++ {
+		var gs []int
+		for o := 0; o < p.NumOut(); o++ {
+			if p.GAllowed(in, o) {
+				gs = append(gs, rename[o])
+			}
+		}
+		sort.Ints(gs)
+		parts = append(parts, fmt.Sprintf("g%d:%v", in, gs))
+	}
+	return fmt.Sprintf("L%d|%v", p.NumOut(), parts)
+}
+
+// isoBudget bounds the backtracking search; problems whose symmetry
+// groups blow past it are reported non-isomorphic, which is the safe
+// direction for cycle detection (a missed cycle only yields an
+// inconclusive pipeline verdict, never a wrong certificate).
+const isoBudget = 2_000_000
+
+// Isomorphic decides whether two problems are equal up to output label
+// renaming (inputs fixed), by signature-pruned backtracking with a node
+// budget. Within the budget the answer is exact.
+func Isomorphic(a, b *lcl.Problem) bool {
+	if a.NumOut() != b.NumOut() || a.NumIn() != b.NumIn() {
+		return false
+	}
+	L := a.NumOut()
+	// Deep signature refinement (L rounds reaches the stable partition);
+	// the finer the classes, the smaller the backtracking branching.
+	rounds := 3
+	if L > 8 {
+		rounds = 6
+	}
+	sa := labelSignatures(a, rounds)
+	sb := labelSignatures(b, rounds)
+	// Signature multisets must match.
+	ca := append([]string(nil), sa...)
+	cb := append([]string(nil), sb...)
+	sort.Strings(ca)
+	sort.Strings(cb)
+	for i := range ca {
+		if ca[i] != cb[i] {
+			return false
+		}
+	}
+	bTarget := renderRenamed(b, identity(L))
+	perm := make([]int, L)
+	used := make([]bool, L)
+	for i := range perm {
+		perm[i] = -1
+	}
+	budget := isoBudget
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if budget <= 0 {
+			return false
+		}
+		budget--
+		if i == L {
+			return renderRenamed(a, perm) == bTarget
+		}
+		for j := 0; j < L; j++ {
+			if used[j] || sa[i] != sb[j] {
+				continue
+			}
+			// Local consistency: g and edge rows must match under the
+			// partial mapping.
+			if !consistent(a, b, perm, i, j) {
+				continue
+			}
+			perm[i] = j
+			used[j] = true
+			if rec(i + 1) {
+				return true
+			}
+			perm[i] = -1
+			used[j] = false
+		}
+		return false
+	}
+	return rec(0)
+}
+
+func identity(n int) []int {
+	id := make([]int, n)
+	for i := range id {
+		id[i] = i
+	}
+	return id
+}
+
+func consistent(a, b *lcl.Problem, perm []int, i, j int) bool {
+	for in := 0; in < a.NumIn(); in++ {
+		if a.GAllowed(in, i) != b.GAllowed(in, j) {
+			return false
+		}
+	}
+	if a.EdgeAllowed(i, i) != b.EdgeAllowed(j, j) {
+		return false
+	}
+	for k, pk := range perm {
+		if pk < 0 || k == i {
+			continue
+		}
+		if a.EdgeAllowed(i, k) != b.EdgeAllowed(j, pk) {
+			return false
+		}
+	}
+	return true
+}

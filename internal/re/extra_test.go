@@ -1,0 +1,120 @@
+package re
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/problems"
+)
+
+func TestGapPipelineFreeOrientationDelta3(t *testing.T) {
+	p := problems.FreeOrientation(3)
+	res, err := RunGapPipeline(p, []int{1, 2, 3}, Pruned, Limits{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != VerdictConstant {
+		t.Fatalf("free orientation(3): %v", res.Verdict)
+	}
+	if res.Level < 1 {
+		t.Fatalf("free orientation should not be 0-round solvable, got level %d", res.Level)
+	}
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 3; trial++ {
+		g := graph.RandomTree(25, 3, rng)
+		fout, err := res.SolveConstant(g, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !p.Solves(g, nil, fout) {
+			t.Error("lifted free orientation invalid")
+		}
+	}
+}
+
+func TestGapPipelineBoundedIndependence(t *testing.T) {
+	p := problems.BoundedIndependence(3)
+	res, err := RunGapPipeline(p, []int{1, 2, 3}, Pruned, Limits{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != VerdictConstant || res.Level != 0 {
+		t.Fatalf("bounded independence: %v at level %d", res.Verdict, res.Level)
+	}
+}
+
+func TestGapPipelineAtMostOneIncomingNotConstant(t *testing.T) {
+	// In-degree <= 1 orientation needs symmetry breaking at the very
+	// least; the pipeline must not certify O(1) at shallow levels — and if
+	// it ever did, SolveConstant's verification in the other tests would
+	// catch an unsound lift.
+	p := problems.AtMostOneIncoming(2)
+	res, err := RunGapPipeline(p, []int{1, 2}, Pruned, Limits{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict == VerdictConstant {
+		// If this fires, verify the claim before rejecting it: run the
+		// constant solver on a path and a cycle-free forest.
+		rng := rand.New(rand.NewSource(43))
+		g := graph.RandomForest(30, 3, 2, rng)
+		fout, err := res.SolveConstant(g, nil)
+		if err != nil || !p.Solves(g, nil, fout) {
+			t.Fatalf("pipeline claimed O(1) but the witness fails: %v", err)
+		}
+		// A verified O(1) on forests would be a (surprising) discovery;
+		// flag it for inspection rather than asserting it away.
+		t.Logf("note: at-most-one-incoming verified O(1) on forests at level %d", res.Level)
+	}
+}
+
+func TestEdgeColoringREStructure(t *testing.T) {
+	// R on proper edge coloring: the edge constraint is "both sides
+	// equal", whose compatibility rows are singletons; the closure family
+	// is the singletons, so R(Π) has exactly k labels.
+	p := problems.EdgeColoring(3, 2)
+	r, err := Apply(p, OpR, Pruned, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Prob.NumOut() != 3 {
+		t.Errorf("R(3-edge-coloring) has %d labels, want 3", r.Prob.NumOut())
+	}
+}
+
+func TestIsomorphicBudgetTerminates(t *testing.T) {
+	// Two highly symmetric problems (many interchangeable labels): the
+	// budgeted search must return quickly either way.
+	a := problems.Coloring(8, 2)
+	b := problems.Coloring(8, 2)
+	if !Isomorphic(a, b) {
+		t.Error("identical 8-colorings not isomorphic")
+	}
+	c := problems.EdgeColoring(8, 2)
+	if Isomorphic(a, c) {
+		t.Error("vertex and edge coloring confused")
+	}
+}
+
+func TestTwoColoringSequenceGrowsLinearly(t *testing.T) {
+	// Round elimination on 2-coloring generates the "distance-k" problem
+	// sequence: each f = R̄∘R level adds exactly one label (pruned mode)
+	// and the sequence never becomes 0-round solvable nor cycles —
+	// consistent with its Θ(n) complexity. Pin the growth pattern.
+	seq := NewSequence(problems.Coloring(2, 2), Pruned, Limits{})
+	for level := 1; level <= 3; level++ {
+		if err := seq.Extend(); err != nil {
+			t.Fatal(err)
+		}
+		rLabels := seq.Steps[2*level-2].Prob.NumOut()
+		rrLabels := seq.Steps[2*level-1].Prob.NumOut()
+		if rLabels != 2*level || rrLabels != 2*level+1 {
+			t.Fatalf("level %d: R has %d labels (want %d), R̄ has %d (want %d)",
+				level, rLabels, 2*level, rrLabels, 2*level+1)
+		}
+		if _, ok := ZeroRoundSolvable(seq.ProblemAt(level), []int{1, 2}); ok {
+			t.Fatalf("2-coloring became 0-round solvable at level %d", level)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package re
+
+import (
+	"math"
+)
+
+// Failure-probability bookkeeping of Theorem 3.4: if A solves Π with local
+// failure probability p in T rounds, then A' solves R̄(R(Π)) in T-1 rounds
+// with local failure probability at most S·p^{1/(3Δ+3)}, where
+//
+//	S = (10Δ(|Σin| + max(|Σout|, |Σ^{R(Π)}out|)))^{4Δ^{T+1}}.
+//
+// We track the bound in log₂ space to survive the tower-sized exponents of
+// Section 3.4, and expose the iterated bound used in the proof of
+// Theorem 3.10.
+
+// FailureBound describes a local failure probability bound in log2 space:
+// the bound is 2^Log2P (clamped to [0,1] by convention Log2P <= 0 means a
+// real probability, > 0 means the bound is vacuous).
+type FailureBound struct {
+	Log2P float64
+}
+
+// Vacuous reports whether the bound exceeds 1 (no information).
+func (f FailureBound) Vacuous() bool { return f.Log2P >= 0 }
+
+// Value returns min(1, 2^Log2P).
+func (f FailureBound) Value() float64 {
+	if f.Vacuous() {
+		return 1
+	}
+	return math.Exp2(f.Log2P)
+}
+
+// Theorem34Params carries the quantities the Theorem 3.4 step depends on.
+type Theorem34Params struct {
+	Delta     int // maximum degree Δ
+	SigmaIn   int // |Σin| (constant along the sequence)
+	SigmaOut  int // |Σout| of the current problem Π
+	SigmaROut int // |Σ^{R(Π)}out|
+	T         int // runtime of the current algorithm A
+}
+
+// Log2S returns log2 of S = (10Δ(|Σin| + max(|ΣΠout|, |Σ^{R(Π)}out|)))^{4Δ^{T+1}}.
+func Log2S(p Theorem34Params) float64 {
+	m := p.SigmaOut
+	if p.SigmaROut > m {
+		m = p.SigmaROut
+	}
+	base := float64(10*p.Delta) * float64(p.SigmaIn+m)
+	exp := 4 * math.Pow(float64(p.Delta), float64(p.T+1))
+	return exp * math.Log2(base)
+}
+
+// Step34 applies one Theorem 3.4 step: p -> S * p^{1/(3Δ+3)} in log space.
+func Step34(bound FailureBound, p Theorem34Params) FailureBound {
+	return FailureBound{Log2P: Log2S(p) + bound.Log2P/float64(3*p.Delta+3)}
+}
+
+// IterateBound34 tracks the bound across T applications of Theorem 3.4
+// starting from local failure probability p0 = 1/n (the randomized LOCAL
+// guarantee of Definition 2.5), using pessimistic per-step alphabet sizes
+// sigmaMax (e.g. the log n₀ cap established by (3.5) in the proof of
+// Theorem 3.10). It returns the bound after each step.
+func IterateBound34(n float64, delta, sigmaIn, sigmaMax, T int) []FailureBound {
+	bounds := make([]FailureBound, 0, T+1)
+	cur := FailureBound{Log2P: -math.Log2(n)}
+	bounds = append(bounds, cur)
+	for t := 0; t < T; t++ {
+		cur = Step34(cur, Theorem34Params{
+			Delta: delta, SigmaIn: sigmaIn,
+			SigmaOut: sigmaMax, SigmaROut: sigmaMax,
+			T: T - t,
+		})
+		bounds = append(bounds, cur)
+	}
+	return bounds
+}
+
+// MinTowerHeightForGap returns the smallest tower height h such that
+// n0 = Tower(h) satisfies the three requirements (3.2)–(3.4) in the proof
+// of Theorem 3.10 for a constant runtime T (the relevant case: after the
+// gap argument the runtime is the constant T(n0)):
+//
+//	(3.2) T + 2 <= log_Δ n0            — trivial once h >= 3,
+//	(3.3) 2T + 5 <= log* n0 = h,
+//	(3.4) (S*)² · n0^{-1/(3Δ+3)^T} < 1/(log n0)^{2Δ}
+//	      with S* = (10Δ(σin + log n0))^{4Δ^{T+1}}.
+//
+// n0 is tower-sized (this is why the paper fixes n0 rather than letting n
+// vary), so the check runs in log-log space: writing L1 = log2 n0 =
+// Tower(h-1) and L2 = log2 L1 = Tower(h-2), (3.4) in log2 form is
+//
+//	L1/(3Δ+3)^T > 8Δ^{T+1}·(log2(10Δ) + L2 + 1) + 2Δ·L2,
+//
+// i.e. 2^{L2} dominates a linear function of L2, which is decided exactly
+// for representable L2 and is automatically true for h - 2 >= 5.
+func MinTowerHeightForGap(T, delta, sigmaIn int) int {
+	h := 2*T + 5
+	if h < 3 {
+		h = 3
+	}
+	for ; h < 64; h++ {
+		if gapCondition34(h, T, delta, sigmaIn) {
+			return h
+		}
+	}
+	return -1
+}
+
+func gapCondition34(h, T, delta, sigmaIn int) bool {
+	if h-2 >= 5 {
+		// L2 = Tower(h-2) >= 2^65536: the exponential side dominates any
+		// constant-coefficient linear function of L2 arising from (3.4).
+		return true
+	}
+	l2 := tOWER(h - 2)
+	c1 := math.Pow(float64(3*delta+3), float64(T))
+	rhs := 8*math.Pow(float64(delta), float64(T+1))*(math.Log2(float64(10*delta))+l2+float64(sigmaIn)) + 2*float64(delta)*l2
+	// Condition: 2^{L2} / c1 > rhs, i.e. L2 > log2(c1 * rhs).
+	return l2 > math.Log2(c1*rhs)
+}
+
+// tOWER is Tower as float for heights 0..4.
+func tOWER(h int) float64 {
+	v := 1.0
+	for i := 0; i < h; i++ {
+		v = math.Exp2(v)
+	}
+	return v
+}

@@ -1,0 +1,114 @@
+package re
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/lcl"
+)
+
+// LiftOnce implements Lemma 3.9 executably: given a correct solution of
+// R̄(R(Q)) on (g, fin), it constructs a correct solution of Q. In the LOCAL
+// model this costs one extra round (each node inspects its neighbors'
+// R̄(R(Q))-outputs); here the transformation runs on materialized
+// labelings.
+//
+// rStep must be the Step producing R(Q) from Q, and rrStep the Step
+// producing R̄(R(Q)) from R(Q). ids provides the tie-breaking order the
+// lemma's "deterministic fashion" requires (both endpoints of an edge must
+// agree on which of the two chosen R(Q)-labels belongs to which side); any
+// injective assignment works, node indices by default.
+func LiftOnce(q *lcl.Problem, rStep, rrStep *Step, g *graph.Graph, fin []int, ids []int, foutRR []int) ([]int, error) {
+	if ids == nil {
+		ids = make([]int, g.N())
+		for i := range ids {
+			ids[i] = i
+		}
+	}
+	// Step 1 (first half of the lemma): per edge, pick
+	// (L_{v,e}, L_{w,e}) ∈ Λ(v,e) × Λ(w,e) with {L_v, L_w} ∈ E_{R(Q)},
+	// deterministically: lexicographically first over (label at the
+	// smaller-ID endpoint, label at the larger-ID endpoint).
+	rLabels := make([]int, g.NumHalfEdges()) // R(Q) labels per half-edge
+	for i := range rLabels {
+		rLabels[i] = -1
+	}
+	var liftErr error
+	g.Edges(func(u, pu, v, pv int) {
+		if liftErr != nil {
+			return
+		}
+		hu, hv := g.HalfEdge(u, pu), g.HalfEdge(v, pv)
+		mu := rrStep.Meaning[foutRR[hu]]
+		mv := rrStep.Meaning[foutRR[hv]]
+		a, b := hu, hv
+		ma, mb := mu, mv
+		if ids[v] < ids[u] {
+			a, b, ma, mb = hv, hu, mv, mu
+		}
+		found := false
+		for _, la := range ma.Members() {
+			for _, lb := range mb.Members() {
+				if rStep.Prob.EdgeAllowed(la, lb) {
+					rLabels[a], rLabels[b] = la, lb
+					found = true
+					break
+				}
+			}
+			if found {
+				break
+			}
+		}
+		if !found {
+			liftErr = fmt.Errorf("re: lift step 1 found no E_{R(Q)} pair on edge {%d,%d} (input not a valid R̄R solution?)", u, v)
+		}
+	})
+	if liftErr != nil {
+		return nil, liftErr
+	}
+	// Step 2: per node, pick ℓ_{v,e} ∈ meaning(L_{v,e}) with the multiset
+	// in N_Q^{deg(v)}; lexicographically first. g_Q holds automatically
+	// because meanings of labels allowed under g_{R(Q)}(in) are subsets of
+	// g_Q(in), but we restrict the search anyway for robustness.
+	out := make([]int, g.NumHalfEdges())
+	for v := 0; v < g.N(); v++ {
+		d := g.Deg(v)
+		choices := make([][]int, d)
+		for p := 0; p < d; p++ {
+			m := rStep.Meaning[rLabels[g.HalfEdge(v, p)]]
+			in := lcl.NoInput
+			if fin != nil {
+				in = fin[g.HalfEdge(v, p)]
+			}
+			for _, l := range m.Members() {
+				if q.GAllowed(in, l) {
+					choices[p] = append(choices[p], l)
+				}
+			}
+			if len(choices[p]) == 0 {
+				return nil, fmt.Errorf("re: lift step 2: empty g-filtered meaning at node %d port %d", v, p)
+			}
+		}
+		pick := make([]int, d)
+		if !chooseNodeConfig(q, choices, pick, 0) {
+			return nil, fmt.Errorf("re: lift step 2 found no N_Q configuration at node %d (input not a valid R̄R solution?)", v)
+		}
+		for p, l := range pick {
+			out[g.HalfEdge(v, p)] = l
+		}
+	}
+	return out, nil
+}
+
+func chooseNodeConfig(q *lcl.Problem, choices [][]int, pick []int, i int) bool {
+	if i == len(choices) {
+		return q.NodeAllowed(lcl.NewMultiset(append([]int(nil), pick...)...))
+	}
+	for _, l := range choices[i] {
+		pick[i] = l
+		if chooseNodeConfig(q, choices, pick, i+1) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,156 @@
+package re
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/lcl"
+	"repro/internal/problems"
+)
+
+// TestLiftFromBruteForce validates Lemma 3.9 directly: any valid solution
+// of R̄(R(Q)) on a small forest lifts to a valid solution of Q.
+func TestLiftFromBruteForce(t *testing.T) {
+	cases := []struct {
+		prob   *lcl.Problem
+		graphs []*graph.Graph
+	}{
+		{problems.Trivial(3), []*graph.Graph{graph.Path(3), graph.Star(3)}},
+		{problems.ConsistentOrientation(), []*graph.Graph{graph.Path(4)}},
+		{problems.Coloring(3, 2), []*graph.Graph{graph.Path(3), graph.Path(4)}},
+	}
+	for _, tc := range cases {
+		rStep, err := Apply(tc.prob, OpR, Pruned, Limits{})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.prob.Name, err)
+		}
+		rrStep, err := Apply(rStep.Prob, OpRBar, Pruned, Limits{})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.prob.Name, err)
+		}
+		for _, g := range tc.graphs {
+			foutRR, ok := rrStep.Prob.BruteForceSolve(g, nil)
+			if !ok {
+				t.Fatalf("%s: R̄R unsolvable on %d-node graph — RE broke solvability", tc.prob.Name, g.N())
+			}
+			fout, err := LiftOnce(tc.prob, rStep, rrStep, g, nil, nil, foutRR)
+			if err != nil {
+				t.Fatalf("%s: lift failed: %v", tc.prob.Name, err)
+			}
+			if vs := tc.prob.Verify(g, nil, fout); len(vs) != 0 {
+				t.Errorf("%s: lifted solution invalid: %v", tc.prob.Name, vs[0])
+			}
+		}
+	}
+}
+
+// TestSolvabilityPreservedByRE: if Q is solvable on a graph, so is R̄(R(Q))
+// (the round elimination direction), and vice versa via the lift — checked
+// by brute force on tiny graphs.
+func TestSolvabilityPreservedByRE(t *testing.T) {
+	for _, tc := range []struct {
+		prob     *lcl.Problem
+		g        *graph.Graph
+		solvable bool
+	}{
+		{problems.Coloring(2, 2), graph.Cycle(5), false},
+		{problems.Coloring(2, 2), graph.Cycle(6), true},
+		{problems.Coloring(3, 2), graph.Cycle(5), true},
+	} {
+		rStep, err := Apply(tc.prob, OpR, Pruned, Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rrStep, err := Apply(rStep.Prob, OpRBar, Pruned, Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, okBase := tc.prob.BruteForceSolve(tc.g, nil)
+		_, okRR := rrStep.Prob.BruteForceSolve(tc.g, nil)
+		if okBase != tc.solvable {
+			t.Errorf("%s on n=%d: base solvable=%v, want %v", tc.prob.Name, tc.g.N(), okBase, tc.solvable)
+		}
+		if okRR != okBase {
+			t.Errorf("%s on n=%d: R̄R solvable=%v but base=%v", tc.prob.Name, tc.g.N(), okRR, okBase)
+		}
+	}
+}
+
+// TestSolveConstantEndToEnd runs the full Theorem 3.10 reconstruction on
+// problems the pipeline classifies O(1), over random forests.
+func TestSolveConstantEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, p := range []*lcl.Problem{problems.Trivial(3), problems.EdgeGrouping()} {
+		res, err := RunGapPipeline(p, []int{1, 2, 3}, Pruned, Limits{}, 3)
+		if err != nil || res.Verdict != VerdictConstant {
+			t.Fatalf("%s: %v %v", p.Name, res.Verdict, err)
+		}
+		for trial := 0; trial < 5; trial++ {
+			g := graph.RandomForest(40, 4, 3, rng)
+			var fin []int
+			if p.NumIn() > 1 {
+				fin = make([]int, g.NumHalfEdges())
+				for h := range fin {
+					fin[h] = rng.Intn(p.NumIn())
+				}
+			}
+			fout, err := res.SolveConstant(g, fin)
+			if err != nil {
+				t.Fatalf("%s: SolveConstant: %v", p.Name, err)
+			}
+			if vs := p.Verify(g, fin, fout); len(vs) != 0 {
+				t.Errorf("%s: constant-round solution invalid: %v", p.Name, vs[0])
+			}
+		}
+	}
+}
+
+// TestSolveConstantDeeperLevel forces at least one lift level by building
+// an O(1) problem that is NOT 0-round solvable: 3-coloring restricted to
+// ...no such tree LCL exists among naturals easily, so we use an artificial
+// one: "output must differ from the input mark on this half-edge" where
+// two input marks exist and three outputs — 0-round solvable. Instead, to
+// exercise Level >= 1, we construct "orientation with both-allowed": each
+// edge must be oriented {O, I}, any node configuration allowed. A node
+// cannot decide alone (adversarial ports), so 0 rounds fail, but one round
+// of coordination (via R̄R's 0-round solution) succeeds.
+func TestSolveConstantDeeperLevel(t *testing.T) {
+	b := lcl.NewBuilder("free-orientation", nil, []string{"O", "I"})
+	for d := 1; d <= 3; d++ {
+		for numOut := 0; numOut <= d; numOut++ {
+			cfg := make([]string, d)
+			for i := range cfg {
+				if i < numOut {
+					cfg[i] = "O"
+				} else {
+					cfg[i] = "I"
+				}
+			}
+			b.Node(cfg...)
+		}
+	}
+	b.Edge("O", "I")
+	p := b.MustBuild()
+	res, err := RunGapPipeline(p, []int{1, 2, 3}, Pruned, Limits{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != VerdictConstant {
+		t.Fatalf("free orientation verdict %v, want O(1)", res.Verdict)
+	}
+	if res.Level < 1 {
+		t.Fatalf("free orientation solved at level %d; expected a lift to be exercised", res.Level)
+	}
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 5; trial++ {
+		g := graph.RandomTree(30, 3, rng)
+		fout, err := res.SolveConstant(g, nil)
+		if err != nil {
+			t.Fatalf("SolveConstant: %v", err)
+		}
+		if vs := p.Verify(g, nil, fout); len(vs) != 0 {
+			t.Errorf("lifted orientation invalid: %v", vs[0])
+		}
+	}
+}

@@ -1,0 +1,436 @@
+package re
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/lcl"
+)
+
+// Op selects the round elimination operator.
+type Op int
+
+// The two operators of Definitions 3.1 and 3.2.
+const (
+	OpR    Op = iota // R(Π): node constraint existential, edge universal
+	OpRBar           // R̄(Π): node constraint universal, edge existential
+)
+
+func (o Op) String() string {
+	if o == OpR {
+		return "R"
+	}
+	return "R̄"
+}
+
+// Mode selects the label-universe generation strategy.
+type Mode int
+
+const (
+	// Faithful enumerates every nonempty subset of the base alphabet as a
+	// candidate label — Definitions 3.1/3.2 verbatim (minus the empty set,
+	// which can never appear in a valid solution: it breaks the existential
+	// node constraint of R and the g-constraint downstream). Feasible only
+	// for small base alphabets.
+	Faithful Mode = iota
+	// Pruned restricts candidate labels to those that can appear in
+	// maximal configurations of the universal-side constraint (the closure
+	// family of the edge constraint for R; coordinates of maximal
+	// universal node configurations for R̄), each additionally intersected
+	// with every g(in). Restricting to these labels preserves solvability
+	// and complexity: in R, any solution label B can be replaced by
+	// K(K(B)) ∩ g(in) ⊇ B (universal edge constraints are closed downward,
+	// existential node constraints upward); dually for R̄. This is the
+	// standard round-eliminator simplification, adapted to inputs.
+	Pruned
+)
+
+// Limits bounds construction work; zero values select defaults.
+type Limits struct {
+	MaxLabels     int // candidate alphabet cap (default 63, hard cap 63)
+	MaxConfigs    int // per-degree configuration enumeration cap (default 2M)
+	MaxExpandIter int // BFS states for maximal-config search (default 200k)
+}
+
+func (l Limits) withDefaults() Limits {
+	if l.MaxLabels == 0 || l.MaxLabels > MaxBaseLabels {
+		l.MaxLabels = MaxBaseLabels
+	}
+	if l.MaxConfigs == 0 {
+		l.MaxConfigs = 2_000_000
+	}
+	if l.MaxExpandIter == 0 {
+		l.MaxExpandIter = 200_000
+	}
+	return l
+}
+
+// Step is one application of R or R̄: the constructed problem plus the
+// meaning of each of its output labels as a set of parent-problem labels.
+type Step struct {
+	Op      Op
+	Prob    *lcl.Problem
+	Meaning []Set // Meaning[newLabel] = set of parent output labels
+}
+
+// Apply constructs R(base) or R̄(base) per Definitions 3.1/3.2.
+func Apply(base *lcl.Problem, op Op, mode Mode, lim Limits) (*Step, error) {
+	lim = lim.withDefaults()
+	L := base.NumOut()
+	if L > MaxBaseLabels {
+		return nil, fmt.Errorf("re: base alphabet %d exceeds %d", L, MaxBaseLabels)
+	}
+	full := Set(0)
+	for i := 0; i < L; i++ {
+		full = full.Add(i)
+	}
+	gMask := make([]Set, base.NumIn())
+	for in := 0; in < base.NumIn(); in++ {
+		for o := 0; o < L; o++ {
+			if base.GAllowed(in, o) {
+				gMask[in] = gMask[in].Add(o)
+			}
+		}
+	}
+
+	// 1. Candidate labels.
+	var cand []Set
+	switch mode {
+	case Faithful:
+		if L > 16 {
+			return nil, fmt.Errorf("re: faithful mode needs base alphabet <= 16, got %d", L)
+		}
+		AllSubsets(full, func(s Set) bool {
+			cand = append(cand, s)
+			return true
+		})
+		sort.Slice(cand, func(i, j int) bool { return cand[i] < cand[j] })
+	case Pruned:
+		seeds, err := prunedSeeds(base, op, full, lim)
+		if err != nil {
+			return nil, err
+		}
+		seen := map[Set]bool{}
+		add := func(s Set) {
+			if !s.Empty() && !seen[s] {
+				seen[s] = true
+				cand = append(cand, s)
+			}
+		}
+		for _, s := range seeds {
+			add(s)
+			for _, gm := range gMask {
+				add(s.Inter(gm))
+			}
+		}
+		sort.Slice(cand, func(i, j int) bool { return cand[i] < cand[j] })
+	}
+	if len(cand) > lim.MaxLabels {
+		return nil, fmt.Errorf("re: %s produced %d candidate labels (cap %d); use Pruned mode or a smaller problem", op, len(cand), lim.MaxLabels)
+	}
+
+	// 2. Constraints over the candidate alphabet.
+	newProb := &lcl.Problem{
+		Name:    op.String() + "(" + base.Name + ")",
+		InNames: append([]string(nil), base.InNames...),
+		Node:    map[int][]lcl.Multiset{},
+	}
+	newProb.OutNames = make([]string, len(cand))
+	for i, s := range cand {
+		newProb.OutNames[i] = setName(s, base)
+	}
+
+	// Edge constraint.
+	edgeOK := func(a, b Set) bool {
+		if op == OpR {
+			return universalEdge(base, a, b)
+		}
+		return existentialEdge(base, a, b)
+	}
+	for i := range cand {
+		for j := i; j < len(cand); j++ {
+			if edgeOK(cand[i], cand[j]) {
+				newProb.Edge = append(newProb.Edge, lcl.NewMultiset(i, j))
+			}
+		}
+	}
+
+	// Node constraints per degree.
+	for d := range base.Node {
+		if cm := countMultisets(len(cand), d); cm > lim.MaxConfigs {
+			return nil, fmt.Errorf("re: %s degree-%d enumeration needs %d configs (cap %d)", op, d, cm, lim.MaxConfigs)
+		}
+		var configs []lcl.Multiset
+		multisetsOf(len(cand), d, func(m idMultiset) {
+			sets := make([]Set, d)
+			for k, id := range m {
+				sets[k] = cand[id]
+			}
+			var ok bool
+			if op == OpR {
+				ok = existentialNode(base, d, sets)
+			} else {
+				ok = universalNode(base, d, sets)
+			}
+			if ok {
+				configs = append(configs, lcl.NewMultiset(append([]int(nil), m...)...))
+			}
+		})
+		if len(configs) > 0 {
+			newProb.Node[d] = configs
+		}
+	}
+
+	// g: g_new(in) = { B in cand : B ⊆ g_base(in) }.
+	newProb.G = make([][]int, base.NumIn())
+	for in := range newProb.G {
+		for i, s := range cand {
+			if s.Subset(gMask[in]) {
+				newProb.G[in] = append(newProb.G[in], i)
+			}
+		}
+	}
+	if err := newProb.Validate(); err != nil {
+		return nil, fmt.Errorf("re: constructed problem invalid: %w", err)
+	}
+	return &Step{Op: op, Prob: newProb, Meaning: cand}, nil
+}
+
+// prunedSeeds returns the candidate-label seeds for Pruned mode.
+func prunedSeeds(base *lcl.Problem, op Op, full Set, lim Limits) ([]Set, error) {
+	if op == OpR {
+		// Edge constraint is universal: the closed sets of the Galois map
+		// K(B) = { c : ∀ b ∈ B, {b,c} ∈ E } form the seed family. The image
+		// of K is exactly the intersection closure of the compatibility
+		// rows.
+		rows := make([]Set, base.NumOut())
+		for b := 0; b < base.NumOut(); b++ {
+			for c := 0; c < base.NumOut(); c++ {
+				if base.EdgeAllowed(b, c) {
+					rows[b] = rows[b].Add(c)
+				}
+			}
+		}
+		return IntersectionClosure(rows), nil
+	}
+	// R̄: node constraint is universal. Seeds are the coordinate sets of
+	// maximal configurations {A1,...,Ad} with A1 × ... × Ad ⊆ N^d,
+	// enumerated by BFS expansion from the base configurations.
+	seen := map[Set]bool{}
+	var seeds []Set
+	addSeed := func(s Set) {
+		if !s.Empty() && !seen[s] {
+			seen[s] = true
+			seeds = append(seeds, s)
+		}
+	}
+	for d, configs := range base.Node {
+		maxCfgs, err := maximalUniversalNodeConfigs(base, d, configs, lim)
+		if err != nil {
+			return nil, err
+		}
+		for _, cfg := range maxCfgs {
+			for _, s := range cfg {
+				addSeed(s)
+			}
+		}
+	}
+	return seeds, nil
+}
+
+// maximalUniversalNodeConfigs enumerates the maximal (componentwise, as
+// sorted multisets of sets) configurations [A1..Ad] with every selection in
+// N^d, starting from the singleton configurations induced by N^d itself.
+func maximalUniversalNodeConfigs(base *lcl.Problem, d int, configs []lcl.Multiset, lim Limits) ([][]Set, error) {
+	type cfgKey string
+	key := func(cfg []Set) cfgKey {
+		sorted := append([]Set(nil), cfg...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		return cfgKey(fmt.Sprint(sorted))
+	}
+	seen := map[cfgKey]bool{}
+	var queue [][]Set
+	push := func(cfg []Set) {
+		k := key(cfg)
+		if !seen[k] {
+			seen[k] = true
+			queue = append(queue, cfg)
+		}
+	}
+	for _, m := range configs {
+		cfg := make([]Set, d)
+		for i, a := range m {
+			cfg[i] = SetOf(a)
+		}
+		push(cfg)
+	}
+	var maximal [][]Set
+	iter := 0
+	for len(queue) > 0 {
+		iter++
+		if iter > lim.MaxExpandIter {
+			return nil, fmt.Errorf("re: maximal-config search exceeded %d states at degree %d", lim.MaxExpandIter, d)
+		}
+		cfg := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		expanded := false
+		for i := range cfg {
+			for x := 0; x < base.NumOut(); x++ {
+				if cfg[i].Has(x) {
+					continue
+				}
+				next := append([]Set(nil), cfg...)
+				next[i] = next[i].Add(x)
+				if universalNode(base, d, next) {
+					expanded = true
+					push(next)
+				}
+			}
+		}
+		if !expanded {
+			maximal = append(maximal, cfg)
+		}
+	}
+	return maximal, nil
+}
+
+// edgeRowsCache mirrors node2Cache for the edge constraint:
+// row[a] = { b : {a,b} ∈ E }. Both caches are keyed by problem pointer and
+// only grow by one entry per constructed problem; the pipeline is
+// single-threaded by design (document before sharing Steps across
+// goroutines).
+var edgeRowsCache = map[*lcl.Problem][]Set{}
+
+func edgeRows(base *lcl.Problem) []Set {
+	if rows, ok := edgeRowsCache[base]; ok {
+		return rows
+	}
+	L := base.NumOut()
+	rows := make([]Set, L)
+	for a := 0; a < L; a++ {
+		for b := 0; b < L; b++ {
+			if base.EdgeAllowed(a, b) {
+				rows[a] = rows[a].Add(b)
+			}
+		}
+	}
+	edgeRowsCache[base] = rows
+	return rows
+}
+
+// universalEdge: ∀ a ∈ A, b ∈ B: {a,b} ∈ E (Definition 3.1's edge
+// constraint for R).
+func universalEdge(base *lcl.Problem, a, b Set) bool {
+	rows := edgeRows(base)
+	for _, x := range a.Members() {
+		if !b.Subset(rows[x]) {
+			return false
+		}
+	}
+	return true
+}
+
+// existentialEdge: ∃ a ∈ A, b ∈ B: {a,b} ∈ E (Definition 3.2).
+func existentialEdge(base *lcl.Problem, a, b Set) bool {
+	rows := edgeRows(base)
+	for _, x := range a.Members() {
+		if !b.Inter(rows[x]).Empty() {
+			return true
+		}
+	}
+	return false
+}
+
+// node2Rows caches, per base problem, the degree-2 node constraint as
+// bitset rows: row[a] = { b : {a,b} ∈ N² }. Degree 2 dominates the
+// pipeline's work on paths/cycles, and the bitset form turns the
+// per-selection multiset allocation into word operations.
+var node2Cache = map[*lcl.Problem][]Set{}
+
+func node2Rows(base *lcl.Problem) []Set {
+	if rows, ok := node2Cache[base]; ok {
+		return rows
+	}
+	L := base.NumOut()
+	rows := make([]Set, L)
+	for a := 0; a < L; a++ {
+		for b := 0; b < L; b++ {
+			if base.NodeAllowed(lcl.NewMultiset(a, b)) {
+				rows[a] = rows[a].Add(b)
+			}
+		}
+	}
+	node2Cache[base] = rows
+	return rows
+}
+
+// existentialNode: ∃ selection (a1..ad) ∈ A1 × ... × Ad with {a1..ad} ∈ N^d
+// (Definition 3.1's node constraint for R).
+func existentialNode(base *lcl.Problem, d int, sets []Set) bool {
+	if d == 2 {
+		rows := node2Rows(base)
+		for _, a := range sets[0].Members() {
+			if !sets[1].Inter(rows[a]).Empty() {
+				return true
+			}
+		}
+		return false
+	}
+	pick := make([]int, d)
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == d {
+			return base.NodeAllowed(lcl.NewMultiset(append([]int(nil), pick...)...))
+		}
+		for _, a := range sets[i].Members() {
+			pick[i] = a
+			if rec(i + 1) {
+				return true
+			}
+		}
+		return false
+	}
+	return rec(0)
+}
+
+// universalNode: ∀ selections: {a1..ad} ∈ N^d (Definition 3.2's node
+// constraint for R̄).
+func universalNode(base *lcl.Problem, d int, sets []Set) bool {
+	if d == 2 {
+		rows := node2Rows(base)
+		for _, a := range sets[0].Members() {
+			if !sets[1].Subset(rows[a]) {
+				return false
+			}
+		}
+		return true
+	}
+	pick := make([]int, d)
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == d {
+			return base.NodeAllowed(lcl.NewMultiset(append([]int(nil), pick...)...))
+		}
+		for _, a := range sets[i].Members() {
+			pick[i] = a
+			if !rec(i + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	return rec(0)
+}
+
+// setName renders a new label's meaning with base label names.
+func setName(s Set, base *lcl.Problem) string {
+	ms := s.Members()
+	str := "["
+	for i, m := range ms {
+		if i > 0 {
+			str += " "
+		}
+		str += base.OutNames[m]
+	}
+	return str + "]"
+}

@@ -1,0 +1,308 @@
+package re
+
+import (
+	"testing"
+
+	"repro/internal/lcl"
+	"repro/internal/problems"
+)
+
+func TestSetBasics(t *testing.T) {
+	s := SetOf(0, 2, 5)
+	if s.Count() != 3 || !s.Has(2) || s.Has(1) {
+		t.Fatalf("set ops broken: %v", s)
+	}
+	if got := s.Members(); len(got) != 3 || got[0] != 0 || got[1] != 2 || got[2] != 5 {
+		t.Errorf("members = %v", got)
+	}
+	if !SetOf(0, 2).Subset(s) || s.Subset(SetOf(0, 2)) {
+		t.Error("subset broken")
+	}
+	if s.Inter(SetOf(2, 3)) != SetOf(2) {
+		t.Error("inter broken")
+	}
+}
+
+func TestAllSubsetsCount(t *testing.T) {
+	count := 0
+	AllSubsets(SetOf(0, 1, 2, 3), func(Set) bool { count++; return true })
+	if count != 15 {
+		t.Errorf("enumerated %d nonempty subsets of a 4-set, want 15", count)
+	}
+}
+
+func TestIntersectionClosure(t *testing.T) {
+	// rows for the 2-label "must differ" edge constraint: row(a)={b},
+	// row(b)={a}; closure = {{a},{b}} (intersection is empty, dropped).
+	rows := []Set{SetOf(1), SetOf(0)}
+	fam := IntersectionClosure(rows)
+	if len(fam) != 2 {
+		t.Errorf("closure family %v, want two singletons", fam)
+	}
+	// rows with overlap: {0,1},{1,2} -> family {01,12,1}.
+	fam2 := IntersectionClosure([]Set{SetOf(0, 1), SetOf(1, 2)})
+	if len(fam2) != 3 {
+		t.Errorf("closure family %v, want 3 members", fam2)
+	}
+}
+
+func TestApplyRToSinklessOrientation(t *testing.T) {
+	// Hand-checked example (see also the classic RE fixed point): for
+	// sinkless orientation with Δ=3, R(SO) in pruned mode has labels
+	// {O},{I} and is isomorphic to SO itself.
+	so := problems.SinklessOrientation(3)
+	r, err := Apply(so, OpR, Pruned, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Prob.NumOut() != 2 {
+		t.Fatalf("R(SO) has %d labels, want 2: %v", r.Prob.NumOut(), r.Prob.OutNames)
+	}
+	if !Isomorphic(so, r.Prob) {
+		t.Errorf("R(SO) should be isomorphic to SO\nSO:\n%s\nR(SO):\n%s", so, r.Prob)
+	}
+}
+
+func TestSinklessOrientationFixedPoint(t *testing.T) {
+	// The classic round elimination fixed point: iterating f = R̄∘R on
+	// sinkless orientation cycles (R(R̄(R(SO))) ≅ SO up to renaming), so
+	// the pipeline must return VerdictCycle — certifying SO is not
+	// o(log* n), consistent with its true Θ(log n) complexity on trees.
+	so := problems.SinklessOrientation(3)
+	res, err := RunGapPipeline(so, []int{1, 2, 3}, Pruned, Limits{}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != VerdictCycle {
+		t.Fatalf("verdict = %v, want cycle", res.Verdict)
+	}
+}
+
+func TestTrivialProblemZeroRound(t *testing.T) {
+	p := problems.Trivial(3)
+	w, ok := ZeroRoundSolvable(p, []int{1, 2, 3})
+	if !ok {
+		t.Fatal("trivial problem not 0-round solvable")
+	}
+	out, ok := w.Outputs([]int{0, 0, 0})
+	if !ok || len(out) != 3 {
+		t.Fatalf("witness outputs = %v ok=%v", out, ok)
+	}
+}
+
+func TestColoringNotZeroRound(t *testing.T) {
+	p := problems.Coloring(3, 2)
+	if _, ok := ZeroRoundSolvable(p, []int{1, 2}); ok {
+		t.Error("3-coloring decided 0-round solvable")
+	}
+	// And it must stay unsolvable down the sequence within a few levels
+	// (its true complexity is Θ(log* n)).
+	res, err := RunGapPipeline(p, []int{1, 2}, Pruned, Limits{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict == VerdictConstant {
+		t.Errorf("3-coloring classified O(1) at level %d", res.Level)
+	}
+}
+
+func TestEdgeGroupingZeroRoundWithInputs(t *testing.T) {
+	p := problems.EdgeGrouping()
+	w, ok := ZeroRoundSolvable(p, []int{1, 2, 3})
+	if !ok {
+		t.Fatal("edge grouping (identity relabeling) not 0-round solvable")
+	}
+	out, ok := w.Outputs([]int{0, 1, 0})
+	if !ok {
+		t.Fatal("witness failed on mixed inputs")
+	}
+	// g forces output == input here.
+	want := []int{0, 1, 0}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("outputs = %v, want %v", out, want)
+		}
+	}
+}
+
+func TestZeroRoundRespectsCliqueCondition(t *testing.T) {
+	// Problem where each type has valid outputs but they are mutually
+	// edge-incompatible: node allows {A,A} or {B,B}; edge allows only
+	// {A,B}. Any single node can output, but two adjacent same-type nodes
+	// clash: not 0-round solvable.
+	b := lcl.NewBuilder("clash", nil, []string{"A", "B"})
+	b.Node("A").Node("B").Node("A", "A").Node("B", "B")
+	b.Edge("A", "B")
+	p := b.MustBuild()
+	if _, ok := ZeroRoundSolvable(p, []int{1, 2}); ok {
+		t.Error("edge-incompatible problem decided 0-round solvable")
+	}
+}
+
+func TestGapPipelineConstantForTrivialVariants(t *testing.T) {
+	for _, p := range []*lcl.Problem{problems.Trivial(3), problems.EdgeGrouping()} {
+		res, err := RunGapPipeline(p, []int{1, 2, 3}, Pruned, Limits{}, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if res.Verdict != VerdictConstant || res.Level != 0 {
+			t.Errorf("%s: verdict %v at level %d, want O(1) at 0", p.Name, res.Verdict, res.Level)
+		}
+	}
+}
+
+func TestIsomorphicBasic(t *testing.T) {
+	a := problems.Coloring(3, 2)
+	b := problems.Coloring(3, 2)
+	// Rename labels by permuting the alphabet: rebuild with shuffled names.
+	bl := lcl.NewBuilder("3col-renamed", nil, []string{"x", "y", "z"})
+	for d := 1; d <= 2; d++ {
+		for _, c := range []string{"x", "y", "z"} {
+			cfg := make([]string, d)
+			for i := range cfg {
+				cfg[i] = c
+			}
+			bl.Node(cfg...)
+		}
+	}
+	bl.Edge("x", "y").Edge("x", "z").Edge("y", "z")
+	c := bl.MustBuild()
+	if !Isomorphic(a, b) {
+		t.Error("identical problems not isomorphic")
+	}
+	if !Isomorphic(a, c) {
+		t.Error("renamed coloring not isomorphic")
+	}
+	if Isomorphic(a, problems.Coloring(4, 2)) {
+		t.Error("3- and 4-coloring isomorphic?")
+	}
+	if Isomorphic(a, problems.MIS(2)) {
+		t.Error("coloring isomorphic to MIS?")
+	}
+}
+
+func TestCanonicalStableUnderRenaming(t *testing.T) {
+	a := problems.MaximalMatching(3)
+	// Rebuild with permuted label order: U, M, A instead of M, A, U.
+	b := lcl.NewBuilder("mm2", nil, []string{"U", "M", "A"})
+	for d := 1; d <= 3; d++ {
+		matched := make([]string, d)
+		matched[0] = "M"
+		for i := 1; i < d; i++ {
+			matched[i] = "A"
+		}
+		b.Node(matched...)
+		unmatched := make([]string, d)
+		for i := range unmatched {
+			unmatched[i] = "U"
+		}
+		b.Node(unmatched...)
+	}
+	b.Edge("M", "M").Edge("A", "U").Edge("A", "A")
+	p2 := b.MustBuild()
+	if Canonical(a) != Canonical(p2) {
+		t.Error("canonical form not invariant under label renaming")
+	}
+	if !Isomorphic(a, p2) {
+		t.Error("renamed matching not isomorphic")
+	}
+}
+
+func TestFaithfulVsPrunedAgreeOnSmallProblems(t *testing.T) {
+	// Ablation-style correctness check: faithful and pruned modes agree on
+	// 0-round solvability (the pruning-soundness argument in the Mode
+	// documentation). Faithful mode squares the alphabet twice per f-step,
+	// so the full f = R̄∘R comparison runs on <=2-label problems and the
+	// single-step R comparison on 3-coloring.
+	degrees := []int{1, 2}
+	for _, p := range []*lcl.Problem{
+		problems.ConsistentOrientation(),
+		problems.Trivial(2),
+	} {
+		rF, errF0 := Apply(p, OpR, Faithful, Limits{})
+		rP, errP0 := Apply(p, OpR, Pruned, Limits{})
+		if errF0 != nil || errP0 != nil {
+			t.Fatalf("%s R: faithful=%v pruned=%v", p.Name, errF0, errP0)
+		}
+		rrF, errF := Apply(rF.Prob, OpRBar, Faithful, Limits{})
+		rrP, errP := Apply(rP.Prob, OpRBar, Pruned, Limits{})
+		if errF != nil || errP != nil {
+			t.Fatalf("%s R̄: faithful=%v pruned=%v", p.Name, errF, errP)
+		}
+		_, okF := ZeroRoundSolvable(rrF.Prob, degrees)
+		_, okP := ZeroRoundSolvable(rrP.Prob, degrees)
+		if okF != okP {
+			t.Errorf("%s: faithful 0-round=%v, pruned=%v", p.Name, okF, okP)
+		}
+	}
+	// Single-step comparison on a 3-label problem.
+	col := problems.Coloring(3, 2)
+	rF, errF := Apply(col, OpR, Faithful, Limits{})
+	rP, errP := Apply(col, OpR, Pruned, Limits{})
+	if errF != nil || errP != nil {
+		t.Fatalf("3-coloring R: faithful=%v pruned=%v", errF, errP)
+	}
+	_, okF := ZeroRoundSolvable(rF.Prob, degrees)
+	_, okP := ZeroRoundSolvable(rP.Prob, degrees)
+	if okF != okP {
+		t.Errorf("R(3-coloring): faithful 0-round=%v, pruned=%v", okF, okP)
+	}
+}
+
+func TestFailureBoundDegrades(t *testing.T) {
+	bounds := IterateBound34(1e6, 3, 1, 20, 3)
+	if len(bounds) != 4 {
+		t.Fatalf("bounds len = %d", len(bounds))
+	}
+	if v := bounds[0].Value(); v < 0.9e-6 || v > 1.1e-6 {
+		t.Errorf("initial bound %v, want ~1e-6", v)
+	}
+	// Clamped values never improve across a step (the theorem only ever
+	// weakens the guarantee).
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i].Value() < bounds[i-1].Value()-1e-15 {
+			t.Errorf("bound improved across a step: %v -> %v", bounds[i-1].Value(), bounds[i].Value())
+		}
+	}
+	// At modest n the chained bound must go vacuous (honesty check: the
+	// theorem needs tower-sized n0, cf. MinTowerHeightForGap).
+	if !bounds[len(bounds)-1].Vacuous() {
+		t.Error("bound unexpectedly survived at n=1e6")
+	}
+}
+
+func TestFailureBoundSurvivesAtTowerScale(t *testing.T) {
+	// At n = Tower(7)-scale the iterated bound must stay meaningful:
+	// emulate with log2 n = 2^65536 via direct Step34 in log space.
+	cur := FailureBound{Log2P: -1e300} // log2(1/n) for tower-sized n
+	for t2 := 3; t2 >= 1; t2-- {
+		cur = Step34(cur, Theorem34Params{Delta: 3, SigmaIn: 1, SigmaOut: 1 << 20, SigmaROut: 1 << 20, T: t2})
+	}
+	if cur.Vacuous() {
+		t.Error("bound went vacuous even at tower-sized n")
+	}
+}
+
+func TestMinTowerHeightForGap(t *testing.T) {
+	// Constant runtimes admit a tower height; (3.3) forces h >= 2T+5.
+	for _, tc := range []struct{ T, delta int }{{1, 3}, {2, 2}, {0, 2}} {
+		h := MinTowerHeightForGap(tc.T, tc.delta, 1)
+		if h < 0 {
+			t.Errorf("T=%d Δ=%d: no tower height found", tc.T, tc.delta)
+			continue
+		}
+		if h < 2*tc.T+5 {
+			t.Errorf("T=%d: height %d violates (3.3)", tc.T, h)
+		}
+	}
+}
+
+func TestLog2SMatchesFormula(t *testing.T) {
+	p := Theorem34Params{Delta: 2, SigmaIn: 1, SigmaOut: 3, SigmaROut: 7, T: 1}
+	// S = (10*2*(1+7))^(4*2^2) = 160^16; log2 = 16*log2(160).
+	want := 16 * 7.321928094887363
+	got := Log2S(p)
+	if diff := got - want; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("Log2S = %v, want %v", got, want)
+	}
+}

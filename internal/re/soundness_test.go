@@ -1,0 +1,204 @@
+package re
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/lcl"
+)
+
+// randomNEC generates a random node-edge-checkable problem over `labels`
+// output labels and optionally 2 input labels, with degree 1..maxDeg
+// configurations. Solvability is not guaranteed.
+func randomNEC(rng *rand.Rand, labels, maxDeg int, withInputs bool) *lcl.Problem {
+	outNames := []string{"A", "B", "C", "D"}[:labels]
+	var inNames []string
+	if withInputs {
+		inNames = []string{"x", "y"}
+	}
+	b := lcl.NewBuilder("rand", inNames, outNames)
+	for d := 1; d <= maxDeg; d++ {
+		any := false
+		cfg := make([]string, d)
+		var rec func(pos, min int)
+		rec = func(pos, min int) {
+			if pos == d {
+				if rng.Intn(3) == 0 {
+					b.Node(cfg...)
+					any = true
+				}
+				return
+			}
+			for c := min; c < labels; c++ {
+				cfg[pos] = outNames[c]
+				rec(pos+1, c)
+			}
+		}
+		rec(0, 0)
+		if !any {
+			for i := range cfg {
+				cfg[i] = outNames[0]
+			}
+			b.Node(cfg...)
+		}
+	}
+	hasEdge := false
+	for x := 0; x < labels; x++ {
+		for y := x; y < labels; y++ {
+			if rng.Intn(3) == 0 {
+				b.Edge(outNames[x], outNames[y])
+				hasEdge = true
+			}
+		}
+	}
+	if !hasEdge {
+		b.Edge(outNames[0], outNames[0])
+	}
+	if withInputs {
+		// Random nonempty g rows.
+		for _, in := range inNames {
+			var allowed []string
+			for c := 0; c < labels; c++ {
+				if rng.Intn(2) == 0 {
+					allowed = append(allowed, outNames[c])
+				}
+			}
+			if len(allowed) == 0 {
+				allowed = append(allowed, outNames[rng.Intn(labels)])
+			}
+			b.Allow(in, allowed...)
+		}
+	}
+	return b.MustBuild()
+}
+
+// TestPipelineSoundnessOnRandomProblems is the adversarial soundness check
+// for the whole Theorem 3.10 machinery: on random problems, whenever the
+// pipeline certifies O(1), the reconstructed constant-round algorithm must
+// produce verifier-clean solutions on random forests (with random inputs
+// where applicable). Any unsoundness in the pruning, the 0-round decision,
+// or the Lemma 3.9 lift surfaces here.
+func TestPipelineSoundnessOnRandomProblems(t *testing.T) {
+	rng := rand.New(rand.NewSource(137))
+	constants, cycles := 0, 0
+	for trial := 0; trial < 60; trial++ {
+		withInputs := trial%3 == 0
+		p := randomNEC(rng, 2+rng.Intn(2), 2, withInputs)
+		res, err := RunGapPipeline(p, []int{1, 2}, Pruned, Limits{}, 2)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, p)
+		}
+		switch res.Verdict {
+		case VerdictConstant:
+			constants++
+			for rep := 0; rep < 3; rep++ {
+				g := graph.RandomForest(20, 3, 2, rng)
+				var fin []int
+				if p.NumIn() > 1 {
+					fin = make([]int, g.NumHalfEdges())
+					for h := range fin {
+						fin[h] = rng.Intn(p.NumIn())
+					}
+				}
+				fout, err := res.SolveConstant(g, fin)
+				if err != nil {
+					t.Fatalf("trial %d: SolveConstant: %v\n%s", trial, err, p)
+				}
+				if vs := p.Verify(g, fin, fout); len(vs) != 0 {
+					t.Fatalf("trial %d: UNSOUND pipeline — invalid solution: %v\n%s", trial, vs[0], p)
+				}
+			}
+		case VerdictCycle:
+			cycles++
+			// A cycle certifies the problem is not o(log* n); consistency
+			// check: it must then not be 0-round solvable at any computed
+			// level.
+			for l := 0; l <= res.Level; l++ {
+				if _, ok := ZeroRoundSolvable(res.Seq.ProblemAt(l), []int{1, 2}); ok {
+					t.Fatalf("trial %d: cycle verdict but level %d is 0-round solvable\n%s", trial, l, p)
+				}
+			}
+		}
+	}
+	if constants == 0 {
+		t.Error("no random problem was classified O(1) — generator too harsh for the test to bite")
+	}
+	t.Logf("random pipeline outcomes: %d O(1), %d cycles, %d other", constants, cycles, 60-constants-cycles)
+}
+
+// TestZeroRoundWitnessAlwaysVerifies: whenever the 0-round decider says
+// yes (including with inputs), running the witness on random forests with
+// arbitrary inputs yields verifier-clean solutions.
+func TestZeroRoundWitnessAlwaysVerifies(t *testing.T) {
+	rng := rand.New(rand.NewSource(139))
+	hits := 0
+	for trial := 0; trial < 80; trial++ {
+		p := randomNEC(rng, 2+rng.Intn(3), 3, trial%2 == 0)
+		w, ok := ZeroRoundSolvable(p, []int{1, 2, 3})
+		if !ok {
+			continue
+		}
+		hits++
+		for rep := 0; rep < 3; rep++ {
+			g := graph.RandomTree(15, 3, rng)
+			var fin []int
+			if p.NumIn() > 1 {
+				fin = make([]int, g.NumHalfEdges())
+				for h := range fin {
+					fin[h] = rng.Intn(p.NumIn())
+				}
+			}
+			fout, err := w.Run(g, fin)
+			if err != nil {
+				t.Fatalf("trial %d: witness run: %v\n%s", trial, err, p)
+			}
+			if vs := p.Verify(g, fin, fout); len(vs) != 0 {
+				t.Fatalf("trial %d: UNSOUND 0-round witness: %v\n%s", trial, vs[0], p)
+			}
+		}
+	}
+	if hits == 0 {
+		t.Error("no 0-round-solvable random problems generated")
+	}
+}
+
+// TestREPreservesSolvabilityRandom: R̄(R(Π)) is solvable on a small tree
+// iff Π is (brute force both sides) — the two directions of round
+// elimination, fuzzed.
+func TestREPreservesSolvabilityRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(149))
+	checked := 0
+	for trial := 0; trial < 30; trial++ {
+		p := randomNEC(rng, 2, 2, false)
+		rStep, err := Apply(p, OpR, Pruned, Limits{})
+		if err != nil {
+			continue
+		}
+		rrStep, err := Apply(rStep.Prob, OpRBar, Pruned, Limits{})
+		if err != nil {
+			continue
+		}
+		for _, g := range []*graph.Graph{graph.Path(3), graph.Path(4), graph.Star(2)} {
+			_, okBase := p.BruteForceSolve(g, nil)
+			foutRR, okRR := rrStep.Prob.BruteForceSolve(g, nil)
+			if okBase != okRR {
+				t.Fatalf("trial %d: solvability differs (base %v, R̄R %v) on %d nodes\n%s",
+					trial, okBase, okRR, g.N(), p)
+			}
+			if okRR {
+				fout, err := LiftOnce(p, rStep, rrStep, g, nil, nil, foutRR)
+				if err != nil {
+					t.Fatalf("trial %d: lift: %v\n%s", trial, err, p)
+				}
+				if vs := p.Verify(g, nil, fout); len(vs) != 0 {
+					t.Fatalf("trial %d: lifted solution invalid: %v\n%s", trial, vs[0], p)
+				}
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Skip("no random problems small enough to check")
+	}
+}

@@ -1,0 +1,207 @@
+package re
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/lcl"
+)
+
+// This file implements the deterministic 0-round solvability decision from
+// the proof of Theorem 3.10: a 0-round deterministic algorithm A_det is a
+// function from a node's (degree, input tuple) to an output tuple, and it
+// is correct on all forests iff
+//
+//  1. for every degree d in play and every input tuple, the chosen output
+//     tuple satisfies the node constraint and g, and
+//  2. the set of output labels used anywhere is "self-compatible": every
+//     unordered pair (including twice the same label) is an allowed edge
+//     configuration — because in a forest, any port of any node type can
+//     be adjacent to any port of any (equal or different) node type.
+//
+// Condition 2 is monotone in the used-label set, so it suffices to test
+// maximal self-compatible cliques of the edge-compatibility graph.
+
+// ZeroRound is a deterministic 0-round algorithm: a witness for
+// ZeroRoundSolvable. Outputs are assigned per port, depending only on the
+// node's degree and per-port input labels.
+type ZeroRound struct {
+	Prob    *lcl.Problem
+	Clique  []int // self-compatible output labels the algorithm draws from
+	Degrees []int
+}
+
+// ZeroRoundSolvable decides whether prob admits a deterministic 0-round
+// algorithm on forests whose node degrees range over degrees, and returns
+// a witness if so.
+func ZeroRoundSolvable(prob *lcl.Problem, degrees []int) (*ZeroRound, bool) {
+	var selfOK []int
+	for o := 0; o < prob.NumOut(); o++ {
+		if prob.EdgeAllowed(o, o) {
+			selfOK = append(selfOK, o)
+		}
+	}
+	if len(selfOK) == 0 {
+		return nil, false
+	}
+	var witness *ZeroRound
+	tested := 0
+	maximalCliques(prob, selfOK, func(clique []int) bool {
+		tested++
+		if tested > maxCliquesTested {
+			return false // give up: report not-0-round (the safe direction)
+		}
+		if cliqueSupportsAllTypes(prob, clique, degrees) {
+			c := append([]int(nil), clique...)
+			sort.Ints(c)
+			witness = &ZeroRound{Prob: prob, Clique: c, Degrees: degrees}
+			return false
+		}
+		return true
+	})
+	return witness, witness != nil
+}
+
+// maxCliquesTested caps the maximal-clique enumeration; RE-generated
+// problems with dense compatibility can have exponentially many maximal
+// cliques. Giving up reports "not 0-round solvable", which can only make
+// the pipeline inconclusive, never unsound.
+const maxCliquesTested = 100_000
+
+// maximalCliques enumerates maximal cliques of the edge-compatibility
+// graph restricted to self-compatible labels (Bron–Kerbosch without
+// pivoting; alphabets are small), invoking fn for each; enumeration stops
+// when fn returns false.
+func maximalCliques(prob *lcl.Problem, verts []int, fn func([]int) bool) {
+	adj := func(a, b int) bool { return prob.EdgeAllowed(a, b) }
+	stopped := false
+	var bk func(r, p, x []int)
+	bk = func(r, p, x []int) {
+		if stopped {
+			return
+		}
+		if len(p) == 0 && len(x) == 0 {
+			if !fn(r) {
+				stopped = true
+			}
+			return
+		}
+		for i := 0; i < len(p) && !stopped; i++ {
+			v := p[i]
+			var p2, x2 []int
+			for _, u := range p {
+				if u != v && adj(u, v) {
+					p2 = append(p2, u)
+				}
+			}
+			for _, u := range x {
+				if adj(u, v) {
+					x2 = append(x2, u)
+				}
+			}
+			rv := append(append([]int(nil), r...), v)
+			bk(rv, p2, x2)
+			p = append(p[:i], p[i+1:]...)
+			i--
+			x = append(x, v)
+		}
+	}
+	bk(nil, append([]int(nil), verts...), nil)
+}
+
+// cliqueSupportsAllTypes checks condition 1 for every degree and every
+// input multiset (an ordered tuple has a valid assignment iff its multiset
+// does, since g binds outputs to inputs pointwise and node constraints are
+// multiset-based).
+func cliqueSupportsAllTypes(prob *lcl.Problem, clique []int, degrees []int) bool {
+	inC := make([]bool, prob.NumOut())
+	for _, o := range clique {
+		inC[o] = true
+	}
+	for _, d := range degrees {
+		if len(prob.Node[d]) == 0 {
+			return false
+		}
+		ok := true
+		multisetsOf(prob.NumIn(), d, func(inputs idMultiset) {
+			if !ok {
+				return
+			}
+			if _, found := assignOutputs(prob, inC, inputs); !found {
+				ok = false
+			}
+		})
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// assignOutputs finds the lexicographically first output tuple for the
+// given ordered inputs with outputs drawn from the clique, satisfying g
+// pointwise and the node constraint on the final multiset.
+func assignOutputs(prob *lcl.Problem, inClique []bool, inputs []int) ([]int, bool) {
+	d := len(inputs)
+	out := make([]int, d)
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == d {
+			return prob.NodeAllowed(lcl.NewMultiset(append([]int(nil), out...)...))
+		}
+		for o := 0; o < prob.NumOut(); o++ {
+			if !inClique[o] || !prob.GAllowed(inputs[i], o) {
+				continue
+			}
+			out[i] = o
+			if rec(i + 1) {
+				return true
+			}
+		}
+		return false
+	}
+	if rec(0) {
+		return out, true
+	}
+	return nil, false
+}
+
+// Outputs returns the 0-round algorithm's output tuple for a node with the
+// given per-port input labels (nil means all NoInput). The result is
+// deterministic in the inputs only — the defining property of A_det in
+// Theorem 3.10's proof.
+func (z *ZeroRound) Outputs(inputs []int) ([]int, bool) {
+	inC := make([]bool, z.Prob.NumOut())
+	for _, o := range z.Clique {
+		inC[o] = true
+	}
+	return assignOutputs(z.Prob, inC, inputs)
+}
+
+// Run applies the 0-round algorithm to every node of g, producing a
+// half-edge labeling of z.Prob.
+func (z *ZeroRound) Run(g *graph.Graph, fin []int) ([]int, error) {
+	out := make([]int, g.NumHalfEdges())
+	for v := 0; v < g.N(); v++ {
+		inputs := make([]int, g.Deg(v))
+		for p := range inputs {
+			if fin != nil {
+				inputs[p] = fin[g.HalfEdge(v, p)]
+			}
+		}
+		lab, ok := z.Outputs(inputs)
+		if !ok {
+			return nil, errNoAssignment(v)
+		}
+		for p, o := range lab {
+			out[g.HalfEdge(v, p)] = o
+		}
+	}
+	return out, nil
+}
+
+type errNoAssignment int
+
+func (e errNoAssignment) Error() string {
+	return "re: zero-round witness has no assignment at node (degree/input outside decided range)"
+}

@@ -1,0 +1,118 @@
+// Package reduction contains the color-reduction arithmetic shared by the
+// LOCAL and VOLUME algorithm implementations: Linial's one-round palette
+// reduction via polynomial (cover-free) families, and the Cole–Vishkin
+// bit-difference step for oriented chains.
+package reduction
+
+import "fmt"
+
+// LinialParams returns the smallest prime q (with its degree bound d) such
+// that q > d·Δ and q^(d+1) >= m. One Linial round maps a proper m-coloring
+// to a proper q²-coloring.
+func LinialParams(m, delta int) (q, d int) {
+	for q = 2; ; q++ {
+		if !IsPrime(q) {
+			continue
+		}
+		d = 0
+		pow := q
+		for pow < m {
+			pow *= q
+			d++
+		}
+		if q > d*delta {
+			return q, d
+		}
+	}
+}
+
+// IsPrime is trial-division primality (palette parameters are tiny).
+func IsPrime(x int) bool {
+	if x < 2 {
+		return false
+	}
+	for f := 2; f*f <= x; f++ {
+		if x%f == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// PolyEval evaluates the base-q digit polynomial of color c at point a
+// (mod q), using d+1 digits.
+func PolyEval(c, a, q, d int) int {
+	val, pw := 0, 1
+	for i := 0; i <= d; i++ {
+		digit := c % q
+		c /= q
+		val = (val + digit*pw) % q
+		pw = (pw * a) % q
+	}
+	return val
+}
+
+// LinialStep maps a node's color and its neighbors' colors (all proper,
+// palette [m]) to a new color in [q²], guaranteed proper: the node picks
+// an evaluation point where its digit polynomial differs from every
+// neighbor's; with q > dΔ such a point exists.
+func LinialStep(c int, neighbors []int, m, delta int) (newColor, newPalette int) {
+	q, d := LinialParams(m, delta)
+	for a := 0; a < q; a++ {
+		ok := true
+		for _, nc := range neighbors {
+			if nc == c {
+				continue // tolerate improper inputs rather than stall
+			}
+			if PolyEval(c, a, q, d) == PolyEval(nc, a, q, d) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return a*q + PolyEval(c, a, q, d), q * q
+		}
+	}
+	panic(fmt.Sprintf("reduction: no evaluation point (m=%d q=%d d=%d)", m, q, d))
+}
+
+// LinialRounds returns the number of Linial rounds needed to shrink
+// palette m to its fixed point, together with the fixed-point palette
+// size (for Δ=2 this is 49).
+func LinialRounds(m, delta int) (rounds, finalPalette int) {
+	for {
+		q, _ := LinialParams(m, delta)
+		if q*q >= m {
+			return rounds, m
+		}
+		m = q * q
+		rounds++
+	}
+}
+
+// CVStep is the Cole–Vishkin "lowest differing bit" reduction for a node
+// and its chain successor; colors must differ.
+func CVStep(c, parent int) int {
+	diff := c ^ parent
+	i := 0
+	for diff&1 == 0 {
+		diff >>= 1
+		i++
+	}
+	return 2*i + (c>>i)&1
+}
+
+// CVRounds returns the rounds needed for CV to reduce palette m to the
+// 6-color fixed point on oriented chains.
+func CVRounds(m int) int {
+	rounds := 0
+	for m > 6 {
+		b := 0
+		for x := m - 1; x > 0; x >>= 1 {
+			b++
+		}
+		m = 2 * b
+		rounds++
+	}
+	return rounds
+}

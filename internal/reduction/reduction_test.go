@@ -1,0 +1,164 @@
+package reduction
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLinialParamsSane(t *testing.T) {
+	for _, m := range []int{4, 10, 100, 1 << 20, 1 << 40} {
+		for _, delta := range []int{2, 3, 5} {
+			q, d := LinialParams(m, delta)
+			if !IsPrime(q) || q <= d*delta {
+				t.Errorf("LinialParams(%d,%d) = (%d,%d) invalid", m, delta, q, d)
+			}
+			pow := 1
+			for i := 0; i <= d; i++ {
+				pow *= q
+			}
+			if pow < m {
+				t.Errorf("LinialParams(%d,%d): q^(d+1)=%d < m", m, delta, pow)
+			}
+		}
+	}
+}
+
+func TestLinialStepProper(t *testing.T) {
+	// Exhaustive properness: for every pair of distinct colors (c, nc) in a
+	// small palette, the step keeps them distinct when each avoids the
+	// other.
+	m, delta := 30, 2
+	for c := 0; c < m; c++ {
+		for nc := 0; nc < m; nc++ {
+			if c == nc {
+				continue
+			}
+			a, pa := LinialStep(c, []int{nc}, m, delta)
+			b, pb := LinialStep(nc, []int{c}, m, delta)
+			if pa != pb {
+				t.Fatalf("palettes differ: %d vs %d", pa, pb)
+			}
+			if a == b {
+				t.Fatalf("LinialStep collides: c=%d nc=%d -> %d", c, nc, a)
+			}
+			if a < 0 || a >= pa {
+				t.Fatalf("color %d outside palette %d", a, pa)
+			}
+		}
+	}
+}
+
+func TestLinialStepTriples(t *testing.T) {
+	// Degree-2 (path) case: middle node avoids both neighbors.
+	m := 50
+	f := func(cRaw, lRaw, rRaw uint8) bool {
+		c, l, r := int(cRaw)%m, int(lRaw)%m, int(rRaw)%m
+		if c == l || c == r {
+			return true
+		}
+		nc, _ := LinialStep(c, []int{l, r}, m, 2)
+		nl, _ := LinialStep(l, []int{c}, m, 2)
+		nr, _ := LinialStep(r, []int{c}, m, 2)
+		return nc != nl && nc != nr
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinialRoundsConverges(t *testing.T) {
+	for _, m := range []int{10, 1000, 1 << 30} {
+		rounds, final := LinialRounds(m, 2)
+		if final > 25 && final != m {
+			t.Errorf("LinialRounds(%d, 2): final palette %d", m, final)
+		}
+		if rounds > 8 {
+			t.Errorf("LinialRounds(%d, 2) = %d rounds (should be log*-ish)", m, rounds)
+		}
+	}
+	// The Δ=2 fixed point is 25.
+	if _, final := LinialRounds(1<<30, 2); final != 25 {
+		t.Errorf("Δ=2 fixed point = %d, want 25", final)
+	}
+	// Larger delta converges too.
+	if rounds, _ := LinialRounds(1<<40, 5); rounds > 8 {
+		t.Errorf("Δ=5 took %d rounds", rounds)
+	}
+}
+
+func TestCVRoundsFixedPoint(t *testing.T) {
+	if CVRounds(6) != 0 {
+		t.Errorf("CVRounds(6) = %d, want 0", CVRounds(6))
+	}
+	if CVRounds(7) != 1 {
+		t.Errorf("CVRounds(7) = %d, want 1", CVRounds(7))
+	}
+	if CVRounds(1<<40)-CVRounds(1<<20) > 2 {
+		t.Errorf("CVRounds grows too fast")
+	}
+	if CVRounds(1<<62) > 8 {
+		t.Errorf("CVRounds(2^62) = %d", CVRounds(1<<62))
+	}
+}
+
+func TestCVStepChainInvariant(t *testing.T) {
+	// The classic CV invariant: for a chain c -> p -> q with c != p and
+	// p != q, the new colors of c and p differ.
+	for c := 0; c < 64; c++ {
+		for p := 0; p < 64; p++ {
+			if p == c {
+				continue
+			}
+			for q := 0; q < 64; q++ {
+				if q == p {
+					continue
+				}
+				if CVStep(c, p) == CVStep(p, q) {
+					t.Fatalf("CV invariant broken: c=%d p=%d q=%d", c, p, q)
+				}
+			}
+		}
+	}
+}
+
+func TestCVStepRange(t *testing.T) {
+	// From palette 6 the step stays within 6 colors.
+	for c := 0; c < 6; c++ {
+		for p := 0; p < 6; p++ {
+			if c == p {
+				continue
+			}
+			if nc := CVStep(c, p); nc < 0 || nc >= 6 {
+				t.Fatalf("CVStep(%d,%d) = %d escapes the 6-palette", c, p, nc)
+			}
+		}
+	}
+}
+
+func TestIsPrime(t *testing.T) {
+	primes := map[int]bool{2: true, 3: true, 5: true, 7: true, 11: true, 13: true}
+	for x := -2; x <= 14; x++ {
+		if IsPrime(x) != primes[x] {
+			t.Errorf("IsPrime(%d) = %v", x, IsPrime(x))
+		}
+	}
+}
+
+func TestPolyEvalDistinctPolynomials(t *testing.T) {
+	// Two distinct colors yield digit polynomials differing somewhere.
+	q, d := 5, 2
+	for c1 := 0; c1 < 30; c1++ {
+		for c2 := c1 + 1; c2 < 30; c2++ {
+			same := true
+			for a := 0; a < q; a++ {
+				if PolyEval(c1, a, q, d) != PolyEval(c2, a, q, d) {
+					same = false
+					break
+				}
+			}
+			if same {
+				t.Fatalf("colors %d and %d have identical polynomials", c1, c2)
+			}
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package rooted
+
+import "fmt"
+
+// Trivial returns the one-label problem where everything is allowed —
+// the canonical O(1) (indeed 0-round) member of the rooted landscape.
+func Trivial(delta int) *Problem {
+	b := NewBuilder("rooted-trivial", delta, []string{"A"})
+	children := make([]string, delta)
+	for i := range children {
+		children[i] = "A"
+	}
+	return b.Config("A", children...).MustBuild()
+}
+
+// ParentChildDistinct returns the k-label "child differs from parent"
+// problem (proper coloring along every root-to-leaf path). With IDs it is
+// Θ(log* n) on rooted trees for k >= 2 (Cole–Vishkin down the root
+// paths); no anonymous constant-radius algorithm exists, because an
+// all-zero child-index path makes arbitrarily many nodes share a view.
+func ParentChildDistinct(delta, k int) *Problem {
+	labels := make([]string, k)
+	for i := range labels {
+		labels[i] = fmt.Sprintf("c%d", i)
+	}
+	b := NewBuilder(fmt.Sprintf("parent-child-distinct-%d", k), delta, labels)
+	// Children may carry any multiset avoiding the parent's label;
+	// enumerate multisets over k-1 labels.
+	var rec func(parent int, chosen []string, from int)
+	rec = func(parent int, chosen []string, from int) {
+		if len(chosen) == delta {
+			b.Config(labels[parent], chosen...)
+			return
+		}
+		for c := from; c < k; c++ {
+			if c == parent {
+				continue
+			}
+			rec(parent, append(chosen, labels[c]), c)
+		}
+	}
+	for parent := 0; parent < k; parent++ {
+		rec(parent, nil, 0)
+	}
+	return b.MustBuild()
+}
+
+// HeightCap returns the "label = min(height, cap)" problem: leaves are
+// labeled 0, a node whose children are labeled j < cap is labeled j+1,
+// and label cap absorbs everything above. Its anonymous radius is exactly
+// cap — the synthesis tests pin this — because min(height, r) is exactly
+// what a radius-r view reveals.
+func HeightCap(delta, cap int) *Problem {
+	labels := make([]string, cap+1)
+	for i := range labels {
+		labels[i] = fmt.Sprintf("h%d", i)
+	}
+	b := NewBuilder(fmt.Sprintf("height-cap-%d", cap), delta, labels)
+	children := make([]string, delta)
+	for j := 0; j < cap; j++ {
+		for i := range children {
+			children[i] = labels[j]
+		}
+		b.Config(labels[j+1], children...)
+	}
+	for i := range children {
+		children[i] = labels[cap]
+	}
+	b.Config(labels[cap], children...)
+	return b.Leaf(labels[0]).MustBuild()
+}
+
+// DeadEnd returns a problem solvable only at depths 0 and 1: leaves must
+// carry A, internal nodes must carry B over A-children, but B admits no
+// parent. The feasibility DP empties out at height 2.
+func DeadEnd(delta int) *Problem {
+	b := NewBuilder("dead-end", delta, []string{"A", "B"})
+	children := make([]string, delta)
+	for i := range children {
+		children[i] = "A"
+	}
+	return b.Config("B", children...).Leaf("A").MustBuild()
+}
+
+// RootParity returns the "depth parity" problem: labels alternate E/O
+// along every root-to-leaf path starting with E at the root, and leaves
+// must be E — so only even-depth complete trees are solvable. It
+// exercises the depth-dependent solvability direction of the DP.
+func RootParity(delta int) *Problem {
+	b := NewBuilder("root-parity", delta, []string{"E", "O"})
+	childrenO := make([]string, delta)
+	childrenE := make([]string, delta)
+	for i := range childrenO {
+		childrenO[i] = "O"
+		childrenE[i] = "E"
+	}
+	return b.Config("E", childrenO...).Config("O", childrenE...).Leaf("E").Root("E").MustBuild()
+}

@@ -1,0 +1,301 @@
+// Package rooted implements locally checkable labeling problems on rooted
+// regular trees, the setting of [8] (Balliu, Brandt, Olivetti, Studený,
+// Suomela, Tereshchenko, PODC 2021) that the paper's Sections 1.1 and 1.4
+// contrast with its own unrooted result: on rooted regular trees every
+// LCL has complexity O(1), Θ(log* n), Θ(log n), or Θ(n^{1/k}), the class
+// is decidable, and the certificates "rely heavily on the provided
+// orientation".
+//
+// The package provides the pieces of that theory that are exactly
+// implementable and that the paper's discussion points at:
+//
+//   - the rooted problem formalism: each internal node has exactly δ
+//     children and a problem lists the allowed (parent label : children
+//     multiset) configurations plus leaf/root restrictions;
+//   - bottom-up feasibility dynamic programming (which labels can root a
+//     complete tree of each height) and exact solvability on complete
+//     δ-ary trees;
+//   - label trimming — the greatest fixed point of "sustainable in
+//     arbitrarily deep trees", the first step of [8]'s certificate
+//     machinery;
+//   - semidecision of constant-time solvability (the paper's
+//     Question 1.7 asks for full decidability on unrooted trees; here,
+//     for anonymous algorithms on complete rooted trees, both directions
+//     are finite): synthesis of depth-r anonymous algorithms by
+//     exhaustive constraint search, see synth.go.
+package rooted
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Config is one allowed internal configuration: a node labeled Parent
+// whose δ children carry the multiset Children (sorted ascending).
+type Config struct {
+	Parent   int
+	Children []int
+}
+
+// Key renders the config canonically for set membership.
+func (c Config) Key() string {
+	parts := make([]string, len(c.Children)+1)
+	parts[0] = fmt.Sprint(c.Parent)
+	for i, ch := range c.Children {
+		parts[i+1] = fmt.Sprint(ch)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Problem is an LCL on δ-regular rooted trees: trees in which every
+// internal node has exactly Delta children. Labels live on nodes (the
+// natural formalism of [8]; half-edge labelings reduce to it on rooted
+// trees by pushing each label to the child endpoint).
+type Problem struct {
+	Name   string
+	Labels []string
+	Delta  int
+	// Configs lists the allowed internal (parent : children) patterns.
+	Configs []Config
+	// LeafOK[a] / RootOK[a] report whether label a may sit on a leaf /
+	// on the root. (Both default to "all allowed" via NewBuilder.)
+	LeafOK []bool
+	RootOK []bool
+
+	configSet map[string]bool
+}
+
+// NumLabels returns |Σ|.
+func (p *Problem) NumLabels() int { return len(p.Labels) }
+
+// Validate checks structural consistency.
+func (p *Problem) Validate() error {
+	if len(p.Labels) == 0 {
+		return fmt.Errorf("rooted: %s: empty alphabet", p.Name)
+	}
+	if p.Delta < 1 {
+		return fmt.Errorf("rooted: %s: delta %d < 1", p.Name, p.Delta)
+	}
+	if len(p.LeafOK) != len(p.Labels) || len(p.RootOK) != len(p.Labels) {
+		return fmt.Errorf("rooted: %s: leaf/root masks must cover all labels", p.Name)
+	}
+	for _, c := range p.Configs {
+		if c.Parent < 0 || c.Parent >= len(p.Labels) {
+			return fmt.Errorf("rooted: %s: parent label %d out of range", p.Name, c.Parent)
+		}
+		if len(c.Children) != p.Delta {
+			return fmt.Errorf("rooted: %s: config %v has %d children, want %d", p.Name, c, len(c.Children), p.Delta)
+		}
+		if !sort.IntsAreSorted(c.Children) {
+			return fmt.Errorf("rooted: %s: unsorted children %v", p.Name, c.Children)
+		}
+		for _, ch := range c.Children {
+			if ch < 0 || ch >= len(p.Labels) {
+				return fmt.Errorf("rooted: %s: child label %d out of range", p.Name, ch)
+			}
+		}
+	}
+	return nil
+}
+
+// Allows reports whether label parent may have children carrying the
+// given labels (any order).
+func (p *Problem) Allows(parent int, children []int) bool {
+	if p.configSet == nil {
+		p.configSet = make(map[string]bool, len(p.Configs))
+		for _, c := range p.Configs {
+			p.configSet[c.Key()] = true
+		}
+	}
+	sorted := append([]int(nil), children...)
+	sort.Ints(sorted)
+	return p.configSet[Config{Parent: parent, Children: sorted}.Key()]
+}
+
+// Builder assembles rooted problems with symbolic labels.
+type Builder struct {
+	p      *Problem
+	idx    map[string]int
+	err    error
+	leaves []string
+	roots  []string
+}
+
+// NewBuilder starts a rooted problem over the given labels; leaf and root
+// constraints default to "all labels allowed" unless Leaf/Root are called.
+func NewBuilder(name string, delta int, labels []string) *Builder {
+	b := &Builder{
+		p:   &Problem{Name: name, Labels: labels, Delta: delta},
+		idx: map[string]int{},
+	}
+	for i, l := range labels {
+		b.idx[l] = i
+	}
+	return b
+}
+
+func (b *Builder) label(name string) int {
+	i, ok := b.idx[name]
+	if !ok && b.err == nil {
+		b.err = fmt.Errorf("rooted: unknown label %q", name)
+	}
+	return i
+}
+
+// Config allows parent to have the given children labels.
+func (b *Builder) Config(parent string, children ...string) *Builder {
+	c := Config{Parent: b.label(parent), Children: make([]int, len(children))}
+	for i, ch := range children {
+		c.Children[i] = b.label(ch)
+	}
+	sort.Ints(c.Children)
+	b.p.Configs = append(b.p.Configs, c)
+	return b
+}
+
+// Leaf restricts leaves to the given labels (cumulative).
+func (b *Builder) Leaf(labels ...string) *Builder {
+	b.leaves = append(b.leaves, labels...)
+	return b
+}
+
+// Root restricts the root to the given labels (cumulative).
+func (b *Builder) Root(labels ...string) *Builder {
+	b.roots = append(b.roots, labels...)
+	return b
+}
+
+// Build finalizes the problem.
+func (b *Builder) Build() (*Problem, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	n := len(b.p.Labels)
+	b.p.LeafOK = mask(n, b.leaves, b.idx)
+	b.p.RootOK = mask(n, b.roots, b.idx)
+	if err := b.p.Validate(); err != nil {
+		return nil, err
+	}
+	return b.p, nil
+}
+
+// MustBuild is Build that panics on error; for static problem tables.
+func (b *Builder) MustBuild() *Problem {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func mask(n int, names []string, idx map[string]int) []bool {
+	m := make([]bool, n)
+	if len(names) == 0 {
+		for i := range m {
+			m[i] = true
+		}
+		return m
+	}
+	for _, name := range names {
+		if i, ok := idx[name]; ok {
+			m[i] = true
+		}
+	}
+	return m
+}
+
+// FeasibleAtHeight returns, for each height h in [0, maxH], the set of
+// labels that can root a *complete* δ-ary tree of height h with a valid
+// labeling below (bottom-up dynamic programming; height 0 = leaves).
+func FeasibleAtHeight(p *Problem, maxH int) [][]bool {
+	out := make([][]bool, maxH+1)
+	out[0] = append([]bool(nil), p.LeafOK...)
+	for h := 1; h <= maxH; h++ {
+		cur := make([]bool, p.NumLabels())
+		for _, c := range p.Configs {
+			ok := true
+			for _, ch := range c.Children {
+				if !out[h-1][ch] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				cur[c.Parent] = true
+			}
+		}
+		out[h] = cur
+	}
+	return out
+}
+
+// SolvableOnComplete reports whether the complete δ-ary tree of the given
+// depth admits a valid labeling (depth 0 is a single node, which must
+// satisfy both the leaf and the root restriction).
+func SolvableOnComplete(p *Problem, depth int) bool {
+	feas := FeasibleAtHeight(p, depth)
+	for a := 0; a < p.NumLabels(); a++ {
+		if feas[depth][a] && p.RootOK[a] {
+			return true
+		}
+	}
+	return false
+}
+
+// Trim computes the greatest fixed point of sustainability: the labels a
+// for which some allowed configuration (a : children) uses only
+// sustainable children. These are exactly the labels that can appear at
+// the top of arbitrarily deep complete subtrees with all leaves deferred
+// forever — the first pruning step of [8]'s certificate machinery. Leaf
+// restrictions are intentionally ignored: trimming reasons about the
+// infinite-tree core of the problem.
+func Trim(p *Problem) []bool {
+	alive := make([]bool, p.NumLabels())
+	for i := range alive {
+		alive[i] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for a := 0; a < p.NumLabels(); a++ {
+			if !alive[a] {
+				continue
+			}
+			ok := false
+			for _, c := range p.Configs {
+				if c.Parent != a {
+					continue
+				}
+				good := true
+				for _, ch := range c.Children {
+					if !alive[ch] {
+						good = false
+						break
+					}
+				}
+				if good {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				alive[a] = false
+				changed = true
+			}
+		}
+	}
+	return alive
+}
+
+// SolvableOnAllDepths reports whether every complete δ-ary tree of depth
+// in [0, maxDepth] is solvable; problems failing this cannot have *any*
+// complexity on the class of complete trees (the analogue of the census
+// "unsolvable" row).
+func SolvableOnAllDepths(p *Problem, maxDepth int) bool {
+	for d := 0; d <= maxDepth; d++ {
+		if !SolvableOnComplete(p, d) {
+			return false
+		}
+	}
+	return true
+}

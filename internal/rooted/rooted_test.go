@@ -1,0 +1,307 @@
+package rooted
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidateCatchesBadProblems(t *testing.T) {
+	p := &Problem{Name: "bad", Labels: nil, Delta: 2}
+	if err := p.Validate(); err == nil {
+		t.Error("empty alphabet not rejected")
+	}
+	p = &Problem{Name: "bad", Labels: []string{"A"}, Delta: 0, LeafOK: []bool{true}, RootOK: []bool{true}}
+	if err := p.Validate(); err == nil {
+		t.Error("delta 0 not rejected")
+	}
+	p = &Problem{
+		Name: "bad", Labels: []string{"A"}, Delta: 2,
+		LeafOK: []bool{true}, RootOK: []bool{true},
+		Configs: []Config{{Parent: 0, Children: []int{0}}},
+	}
+	if err := p.Validate(); err == nil {
+		t.Error("wrong children count not rejected")
+	}
+}
+
+func TestAllowsIsOrderInsensitive(t *testing.T) {
+	p := ParentChildDistinct(2, 3)
+	if !p.Allows(0, []int{1, 2}) || !p.Allows(0, []int{2, 1}) {
+		t.Error("children order should not matter")
+	}
+	if p.Allows(0, []int{0, 1}) {
+		t.Error("parent label among children should be rejected")
+	}
+}
+
+func TestFeasibleAtHeightHeightCap(t *testing.T) {
+	p := HeightCap(2, 3)
+	feas := FeasibleAtHeight(p, 8)
+	for h := 0; h <= 8; h++ {
+		want := h
+		if want > 3 {
+			want = 3
+		}
+		for a := 0; a < p.NumLabels(); a++ {
+			if got := feas[h][a]; got != (a == want) {
+				t.Errorf("height %d label %s: feasible=%v", h, p.Labels[a], got)
+			}
+		}
+	}
+}
+
+func TestSolvableOnCompleteDeadEnd(t *testing.T) {
+	p := DeadEnd(2)
+	// Depth 0: the single node is both leaf and root; A qualifies.
+	// Depth 1: root B over A-leaves. Depth >= 2: nothing can sit above B.
+	if !SolvableOnComplete(p, 0) {
+		t.Error("depth 0 should be solvable")
+	}
+	if !SolvableOnComplete(p, 1) {
+		t.Error("depth 1 should be solvable")
+	}
+	for d := 2; d <= 6; d++ {
+		if SolvableOnComplete(p, d) {
+			t.Errorf("depth %d should be unsolvable", d)
+		}
+	}
+}
+
+func TestRootParityAlternates(t *testing.T) {
+	p := RootParity(2)
+	for d := 0; d <= 9; d++ {
+		want := d%2 == 0
+		if got := SolvableOnComplete(p, d); got != want {
+			t.Errorf("depth %d solvable=%v, want %v", d, got, want)
+		}
+	}
+	if SolvableOnAllDepths(p, 6) {
+		t.Error("parity problem is not solvable at all depths")
+	}
+	if !SolvableOnAllDepths(Trivial(2), 6) {
+		t.Error("trivial problem should be solvable at all depths")
+	}
+}
+
+func TestTrimHeightCap(t *testing.T) {
+	p := HeightCap(2, 2)
+	alive := Trim(p)
+	// Only the absorbing top label sustains arbitrarily deep subtrees;
+	// every exact-height label eventually needs a leaf.
+	for a := 0; a < p.NumLabels(); a++ {
+		if got, want := alive[a], a == 2; got != want {
+			t.Errorf("label %s alive=%v, want %v", p.Labels[a], got, want)
+		}
+	}
+}
+
+func TestTrimParentChildDistinct(t *testing.T) {
+	alive := Trim(ParentChildDistinct(2, 3))
+	for a, ok := range alive {
+		if !ok {
+			t.Errorf("label %d should be sustainable in 3-label distinct-from-parent", a)
+		}
+	}
+}
+
+func TestTrimDeadEnd(t *testing.T) {
+	alive := Trim(DeadEnd(2))
+	for a, ok := range alive {
+		if ok {
+			t.Errorf("label %d should be trimmed in dead-end", a)
+		}
+	}
+}
+
+// TestFeasibleSubsetOfTrimEventually is the theorem F(h) ⊆ Trim for
+// h >= |Σ|: a label rooting a complete tree of height beyond the trim
+// fixpoint depth must be sustainable. Checked on random problems.
+func TestFeasibleSubsetOfTrimEventually(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomProblem(rng)
+		alive := Trim(p)
+		k := p.NumLabels()
+		feas := FeasibleAtHeight(p, k+4)
+		for h := k; h <= k+4; h++ {
+			for a := 0; a < k; a++ {
+				if feas[h][a] && !alive[a] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomProblem draws a small random rooted problem for property tests.
+func randomProblem(rng *rand.Rand) *Problem {
+	k := 1 + rng.Intn(3)
+	delta := 1 + rng.Intn(2)
+	labels := make([]string, k)
+	for i := range labels {
+		labels[i] = string(rune('A' + i))
+	}
+	p := &Problem{Name: "random", Labels: labels, Delta: delta}
+	p.LeafOK = make([]bool, k)
+	p.RootOK = make([]bool, k)
+	for i := 0; i < k; i++ {
+		p.LeafOK[i] = rng.Intn(2) == 0
+		p.RootOK[i] = true
+	}
+	// Random subset of configs.
+	var rec func(parent int, children []int, from int)
+	rec = func(parent int, children []int, from int) {
+		if len(children) == delta {
+			if rng.Intn(3) == 0 {
+				p.Configs = append(p.Configs, Config{Parent: parent, Children: append([]int(nil), children...)})
+			}
+			return
+		}
+		for c := from; c < k; c++ {
+			rec(parent, append(children, c), c)
+		}
+	}
+	for parent := 0; parent < k; parent++ {
+		rec(parent, nil, 0)
+	}
+	return p
+}
+
+func TestSynthesizeTrivialRadiusZero(t *testing.T) {
+	alg, r, found := Decide(Trivial(2), 2)
+	if !found || r != 0 {
+		t.Fatalf("trivial problem: found=%v radius=%d, want radius 0", found, r)
+	}
+	if msg := alg.CheckComplete(Trivial(2), 5); msg != "" {
+		t.Fatalf("trivial algorithm invalid: %s", msg)
+	}
+}
+
+// TestSynthesizeHeightCapExactRadius pins the anonymous radius of the
+// height-cap problem at exactly cap: min(height, r) is precisely what a
+// radius-r view reveals, so cap is both necessary and sufficient.
+func TestSynthesizeHeightCapExactRadius(t *testing.T) {
+	for cap := 1; cap <= 2; cap++ {
+		p := HeightCap(2, cap)
+		if _, ok := Synthesize(p, cap-1); ok {
+			t.Errorf("cap %d: synthesized at radius %d, expected refutation", cap, cap-1)
+		}
+		alg, ok := Synthesize(p, cap)
+		if !ok {
+			t.Fatalf("cap %d: no algorithm at radius %d", cap, cap)
+		}
+		for depth := 0; depth <= 2*cap+4; depth++ {
+			if msg := alg.CheckComplete(p, depth); msg != "" {
+				t.Fatalf("cap %d depth %d: %s", cap, depth, msg)
+			}
+		}
+	}
+}
+
+func TestSynthesizeRefutesParentChildDistinct(t *testing.T) {
+	// No anonymous constant-radius algorithm: along an all-zeros child
+	// path every node shares a view, forcing a monochromatic parent-child
+	// pair. (With IDs the problem is Θ(log* n); anonymity is exactly what
+	// the refutation is relative to.)
+	p := ParentChildDistinct(2, 3)
+	for r := 0; r <= 2; r++ {
+		if _, ok := Synthesize(p, r); ok {
+			t.Fatalf("synthesized radius-%d anonymous algorithm for parent-child-distinct", r)
+		}
+	}
+}
+
+func TestSynthesizeRefutesRootParity(t *testing.T) {
+	// Odd-depth complete trees are unsolvable, so no algorithm can be
+	// correct on all depths.
+	if _, ok := Synthesize(RootParity(2), 2); ok {
+		t.Fatal("synthesized an algorithm for a problem unsolvable at odd depths")
+	}
+}
+
+func TestLabelCompleteCoversAllClasses(t *testing.T) {
+	p := HeightCap(2, 1)
+	alg, ok := Synthesize(p, 1)
+	if !ok {
+		t.Fatal("setup: height-cap-1 should synthesize at radius 1")
+	}
+	labels, err := alg.LabelComplete(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Depth-3 complete binary tree: classes are one root, plus suffix
+	// classes per depth: depth 1 and 2 and 3 have 2 each at radius 1.
+	if len(labels) != 1+2+2+2 {
+		t.Fatalf("%d classes, want 7: %v", len(labels), labels)
+	}
+	// Leaves (depth 3) must be labeled h0.
+	for key, lab := range labels {
+		if key[0] == '3' && p.Labels[lab] != "h0" {
+			t.Errorf("leaf class %s labeled %s", key, p.Labels[lab])
+		}
+	}
+}
+
+// TestSynthesisAgreesWithDP: whenever synthesis succeeds the problem is
+// solvable at every depth; whenever the DP shows some depth unsolvable,
+// synthesis must refute at every radius (checked at r <= 1 for random
+// problems).
+func TestSynthesisAgreesWithDP(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 150; trial++ {
+		p := randomProblem(rng)
+		solvableAll := SolvableOnAllDepths(p, 8)
+		for r := 0; r <= 1; r++ {
+			alg, ok := Synthesize(p, r)
+			if !ok {
+				continue
+			}
+			if !solvableAll {
+				t.Fatalf("trial %d: synthesized radius-%d algorithm for a problem with an unsolvable depth <= 8", trial, r)
+			}
+			for depth := 0; depth <= 2*r+4; depth++ {
+				if msg := alg.CheckComplete(p, depth); msg != "" {
+					t.Fatalf("trial %d: synthesized algorithm invalid at depth %d: %s", trial, depth, msg)
+				}
+			}
+		}
+	}
+}
+
+func TestChildViewSuffixTruncation(t *testing.T) {
+	v := view{suffix: "1.0", height: 2}
+	ch := childView(v, 1, 5, 10, 2)
+	if ch.suffix != "0.1" {
+		t.Errorf("child suffix %q, want 0.1 (keep last r indices)", ch.suffix)
+	}
+	if ch.height != 2 {
+		t.Errorf("child height %d, want 2 (capped)", ch.height)
+	}
+	// Near the root the suffix grows instead of sliding.
+	root := view{suffix: "", height: 2}
+	ch = childView(root, 1, 0, 10, 2)
+	if ch.suffix != "1" {
+		t.Errorf("child of root suffix %q, want 1", ch.suffix)
+	}
+	// Near the leaves the height cap shrinks.
+	ch = childView(view{suffix: "0.0", height: 1}, 0, 8, 9, 2)
+	if ch.height != 0 {
+		t.Errorf("leaf child height %d, want 0", ch.height)
+	}
+}
+
+func TestDecideFindsMinimalRadius(t *testing.T) {
+	_, r, found := Decide(HeightCap(2, 2), 3)
+	if !found || r != 2 {
+		t.Fatalf("height-cap-2: found=%v radius=%d, want 2", found, r)
+	}
+	_, _, found = Decide(ParentChildDistinct(2, 2), 2)
+	if found {
+		t.Fatal("parent-child-distinct should not decide at radius <= 2")
+	}
+}

@@ -1,0 +1,303 @@
+package rooted
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file semidecides constant-time solvability on complete δ-ary
+// rooted trees for *anonymous* algorithms — the executable core of the
+// paper's Question 1.7 discussion ("constant-time-solvability of LCLs on
+// trees is semidecidable as there are only constantly many different
+// candidate c-round LOCAL algorithms").
+//
+// A depth-r anonymous algorithm on a complete δ-ary tree can use exactly
+// what the radius-r ball determines: the child-index path from the
+// node's min(depth, r)-th ancestor (whose length also reveals the depth
+// when the root is visible) and the truncated height min(height, r).
+// There are finitely many such views, an algorithm is a map views →
+// labels, and correctness on ALL complete trees reduces to correctness on
+// depths 0..2r+2: a violated configuration is determined by the views of
+// a node and its children, which only depend on min(depth, r), the path
+// suffix, and min(height, r) — every combination of which already occurs
+// at some depth <= 2r+1.
+//
+// Soundness both ways (within the anonymous class): a synthesized
+// algorithm is correct on every complete tree, and a failed search is an
+// exhaustive proof that no depth-r anonymous algorithm exists. Anonymous
+// algorithms are genuine LOCAL algorithms, so synthesis success certifies
+// O(1) LOCAL complexity; refutation is relative to the anonymous class
+// (order-invariant algorithms with IDs are strictly stronger — that
+// distinction is exactly why Question 1.7 is open).
+
+// view identifies a radius-r equivalence class of nodes in complete
+// δ-ary trees.
+type view struct {
+	// suffix is the child-index path from the min(d, r)-ancestor; its
+	// length is min(d, r), so lengths < r mean the root is visible.
+	suffix string
+	// height is min(actual height, r); values < r mean leaves are
+	// visible.
+	height int
+}
+
+func (v view) String() string { return fmt.Sprintf("[%s|h%d]", v.suffix, v.height) }
+
+// suffixKey renders a child-index path.
+func suffixKey(path []int) string {
+	parts := make([]string, len(path))
+	for i, x := range path {
+		parts[i] = fmt.Sprint(x)
+	}
+	return strings.Join(parts, ".")
+}
+
+// Algorithm is a synthesized depth-r anonymous algorithm: a finite map
+// from views to labels.
+type Algorithm struct {
+	R   int
+	Out map[view]int
+}
+
+// classesAt enumerates the (depth, suffix) node classes of the complete
+// δ-ary tree of the given depth, at radius r.
+func classesAt(delta, depth, r int) [][]view {
+	perDepth := make([][]view, depth+1)
+	for d := 0; d <= depth; d++ {
+		l := d
+		if l > r {
+			l = r
+		}
+		h := depth - d
+		if h > r {
+			h = r
+		}
+		var suffixes [][]int
+		suffixes = append(suffixes, []int{})
+		for i := 0; i < l; i++ {
+			var next [][]int
+			for _, s := range suffixes {
+				for c := 0; c < delta; c++ {
+					next = append(next, append(append([]int(nil), s...), c))
+				}
+			}
+			suffixes = next
+		}
+		for _, s := range suffixes {
+			perDepth[d] = append(perDepth[d], view{suffix: suffixKey(s), height: h})
+		}
+	}
+	return perDepth
+}
+
+// childView computes the view of the i-th child of a node with the given
+// view at the given depth, inside a complete tree of the given total
+// depth.
+func childView(parent view, childIdx, parentDepth, depth, r int) view {
+	var path []int
+	if parent.suffix != "" {
+		for _, part := range strings.Split(parent.suffix, ".") {
+			var x int
+			fmt.Sscanf(part, "%d", &x)
+			path = append(path, x)
+		}
+	}
+	path = append(path, childIdx)
+	l := parentDepth + 1
+	if l > r {
+		l = r
+	}
+	path = path[len(path)-l:]
+	h := depth - parentDepth - 1
+	if h > r {
+		h = r
+	}
+	return view{suffix: suffixKey(path), height: h}
+}
+
+// constraint is one correctness requirement over view variables.
+type constraint struct {
+	kind     string // "root", "leaf", "config"
+	node     view
+	children []view // kind == "config"
+}
+
+// buildConstraints collects the distinct correctness constraints over all
+// complete-tree depths 0..2r+2.
+func buildConstraints(p *Problem, r int) (vars []view, cons []constraint) {
+	seenVar := map[view]bool{}
+	seenCon := map[string]bool{}
+	addVar := func(v view) {
+		if !seenVar[v] {
+			seenVar[v] = true
+			vars = append(vars, v)
+		}
+	}
+	addCon := func(c constraint) {
+		key := c.kind + "|" + c.node.String()
+		for _, ch := range c.children {
+			key += ch.String()
+		}
+		if !seenCon[key] {
+			seenCon[key] = true
+			cons = append(cons, c)
+		}
+	}
+	for depth := 0; depth <= 2*r+2; depth++ {
+		perDepth := classesAt(p.Delta, depth, r)
+		for d, views := range perDepth {
+			for _, v := range views {
+				addVar(v)
+				if d == 0 {
+					addCon(constraint{kind: "root", node: v})
+				}
+				if d == depth {
+					addCon(constraint{kind: "leaf", node: v})
+					continue
+				}
+				children := make([]view, p.Delta)
+				for i := 0; i < p.Delta; i++ {
+					children[i] = childView(v, i, d, depth, r)
+					addVar(children[i])
+				}
+				addCon(constraint{kind: "config", node: v, children: children})
+			}
+		}
+	}
+	sort.Slice(vars, func(i, j int) bool {
+		if vars[i].suffix != vars[j].suffix {
+			return vars[i].suffix < vars[j].suffix
+		}
+		return vars[i].height < vars[j].height
+	})
+	return vars, cons
+}
+
+// Synthesize searches for a depth-r anonymous algorithm for p on complete
+// δ-ary trees. It returns (alg, true) on success — the algorithm is then
+// correct on complete trees of every depth — or (nil, false) when no such
+// algorithm exists (an exhaustive refutation at this radius).
+func Synthesize(p *Problem, r int) (*Algorithm, bool) {
+	if r < 0 {
+		return nil, false
+	}
+	vars, cons := buildConstraints(p, r)
+	index := make(map[view]int, len(vars))
+	for i, v := range vars {
+		index[v] = i
+	}
+	// Group constraints by the last-assigned variable so DFS checks each
+	// exactly when it becomes decidable.
+	lastVar := make([][]int, len(vars))
+	for ci, c := range cons {
+		last := index[c.node]
+		for _, ch := range c.children {
+			if index[ch] > last {
+				last = index[ch]
+			}
+		}
+		lastVar[last] = append(lastVar[last], ci)
+	}
+	assign := make([]int, len(vars))
+	check := func(c constraint) bool {
+		switch c.kind {
+		case "root":
+			return p.RootOK[assign[index[c.node]]]
+		case "leaf":
+			return p.LeafOK[assign[index[c.node]]]
+		default:
+			children := make([]int, len(c.children))
+			for i, ch := range c.children {
+				children[i] = assign[index[ch]]
+			}
+			return p.Allows(assign[index[c.node]], children)
+		}
+	}
+	var dfs func(int) bool
+	dfs = func(i int) bool {
+		if i == len(vars) {
+			return true
+		}
+		for a := 0; a < p.NumLabels(); a++ {
+			assign[i] = a
+			ok := true
+			for _, ci := range lastVar[i] {
+				if !check(cons[ci]) {
+					ok = false
+					break
+				}
+			}
+			if ok && dfs(i+1) {
+				return true
+			}
+		}
+		return false
+	}
+	if !dfs(0) {
+		return nil, false
+	}
+	alg := &Algorithm{R: r, Out: make(map[view]int, len(vars))}
+	for i, v := range vars {
+		alg.Out[v] = assign[i]
+	}
+	return alg, true
+}
+
+// Decide tries radii 0..rMax and returns the smallest radius at which an
+// anonymous algorithm exists.
+func Decide(p *Problem, rMax int) (alg *Algorithm, radius int, found bool) {
+	for r := 0; r <= rMax; r++ {
+		if alg, ok := Synthesize(p, r); ok {
+			return alg, r, true
+		}
+	}
+	return nil, 0, false
+}
+
+// LabelComplete runs the algorithm on the complete δ-ary tree of the
+// given depth and returns the label of every (depth, suffix) class,
+// keyed as "d:suffix". Check validates the result; exposing the labeling
+// lets tests and examples inspect concrete runs.
+func (a *Algorithm) LabelComplete(p *Problem, depth int) (map[string]int, error) {
+	perDepth := classesAt(p.Delta, depth, a.R)
+	out := map[string]int{}
+	for d, views := range perDepth {
+		for _, v := range views {
+			lab, ok := a.Out[v]
+			if !ok {
+				return nil, fmt.Errorf("rooted: view %v missing from algorithm table", v)
+			}
+			out[fmt.Sprintf("%d:%s", d, v.suffix)] = lab
+		}
+	}
+	return out, nil
+}
+
+// CheckComplete verifies the algorithm on the complete tree of the given
+// depth, returning the first violation description (or "").
+func (a *Algorithm) CheckComplete(p *Problem, depth int) string {
+	perDepth := classesAt(p.Delta, depth, a.R)
+	for d, views := range perDepth {
+		for _, v := range views {
+			lab := a.Out[v]
+			if d == 0 && !p.RootOK[lab] {
+				return fmt.Sprintf("root label %s not allowed", p.Labels[lab])
+			}
+			if d == depth {
+				if !p.LeafOK[lab] {
+					return fmt.Sprintf("leaf label %s not allowed at %v", p.Labels[lab], v)
+				}
+				continue
+			}
+			children := make([]int, p.Delta)
+			for i := 0; i < p.Delta; i++ {
+				children[i] = a.Out[childView(v, i, d, depth, a.R)]
+			}
+			if !p.Allows(lab, children) {
+				return fmt.Sprintf("config (%s : %v) not allowed at depth %d view %v", p.Labels[lab], children, d, v)
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,114 @@
+package shortcut
+
+import (
+	"testing"
+
+	"repro/internal/ramsey"
+)
+
+func TestBuildStructure(t *testing.T) {
+	for _, m := range []int{2, 5, 16, 33, 100} {
+		inst := Build(m)
+		g := inst.G
+		if err := g.CheckPorts(); err != nil {
+			t.Fatalf("m=%d: %v", m, err)
+		}
+		if !g.IsConnected() {
+			t.Fatalf("m=%d: disconnected", m)
+		}
+		if g.MaxDeg() > 4 {
+			t.Errorf("m=%d: max degree %d > 4", m, g.MaxDeg())
+		}
+		// Path intact: consecutive path nodes adjacent via path-labeled
+		// half-edges.
+		for i := 0; i+1 < m; i++ {
+			u := inst.PathNodes[i]
+			found := false
+			for p := 0; p < g.Deg(u); p++ {
+				if g.Neighbor(u, p).To == inst.PathNodes[i+1] &&
+					inst.In[g.HalfEdge(u, p)] == InputPath {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("m=%d: path edge %d-%d missing or unlabeled", m, i, i+1)
+			}
+		}
+	}
+}
+
+func TestShortcutsShrinkDistances(t *testing.T) {
+	m := 256
+	inst := Build(m)
+	// Path-distance m-1 becomes O(log m) in G.
+	d := inst.G.Dist(inst.PathNodes[0], inst.PathNodes[m-1])
+	if d > 2*logCeil(m)+2 {
+		t.Errorf("endpoint distance %d not logarithmic (m=%d)", d, m)
+	}
+	// And generally: positions i, i+2^l at distance O(l).
+	for _, gap := range []int{4, 16, 64} {
+		d := inst.G.Dist(inst.PathNodes[10], inst.PathNodes[10+gap])
+		if d > 2*logCeil(gap)+6 {
+			t.Errorf("gap %d: distance %d not O(log gap)", gap, d)
+		}
+	}
+}
+
+func logCeil(x int) int {
+	l := 0
+	for v := 1; v < x; v <<= 1 {
+		l++
+	}
+	return l
+}
+
+func TestSolveProducesValidColoring(t *testing.T) {
+	p := Problem25(4)
+	for _, m := range []int{4, 16, 64, 200} {
+		inst := Build(m)
+		out, stats, err := Solve(inst)
+		if err != nil {
+			t.Fatalf("m=%d: %v", m, err)
+		}
+		if vs := p.Verify(inst.G, inst.In, out); len(vs) != 0 {
+			t.Errorf("m=%d: %v", m, vs[0])
+		}
+		if stats.MaxWindow == 0 || stats.MaxRadius == 0 {
+			t.Errorf("m=%d: degenerate stats %+v", m, stats)
+		}
+	}
+}
+
+func TestRadiusVolumeDivergence(t *testing.T) {
+	// The headline phenomenon (paper §1, §1.2): on the shortcut graph the
+	// required radius is exponentially smaller than the window (volume),
+	// while on the plain path they coincide. Concretely the radius must be
+	// O(log window) + O(1).
+	m := 512
+	inst := Build(m)
+	_, stats, err := Solve(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	window := stats.MaxWindow
+	if stats.MaxRadius > 2*logCeil(window)+6 {
+		t.Errorf("radius %d not logarithmic in window %d", stats.MaxRadius, window)
+	}
+	// Window is Θ(log* n)-sized: 2k+1 with k the Linial round count.
+	if window != 2*stats.Rounds+1 {
+		t.Errorf("window %d != 2k+1 with k=%d", window, stats.Rounds)
+	}
+	// Sanity on magnitude: k tracks log*.
+	if stats.Rounds > ramsey.LogStarInt(m)+6 {
+		t.Errorf("k=%d far above log*(%d)", stats.Rounds, m)
+	}
+}
+
+func TestProblemDefinitionsValidate(t *testing.T) {
+	if err := Problem(4).Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := Problem25(4).Validate(); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,325 @@
+package volume
+
+import (
+	"repro/internal/reduction"
+)
+
+// Probe-based witnesses for the VOLUME landscape (Figure 1, bottom
+// right): a Θ(log* n)-probe coloring of paths/cycles, a Θ(n)-probe global
+// 2-coloring, and a 0-probe constant algorithm. Together with the
+// Theorem 4.1 gap machinery (package orderinv) these populate exactly the
+// classes the paper proves are the only ones below Θ(n).
+
+// PathColoring properly colors paths and cycles with a constant palette
+// (at most 25 colors, the Δ=2 fixed point of Linial's reduction) using
+// Θ(log* n) probes: each node gathers the radius-k window around itself
+// (k = Linial rounds from the polynomial ID palette) by walking both
+// directions, then locally evaluates k orientation-free Linial reduction
+// rounds on the window. Different nodes evaluate the same pure function of
+// overlapping windows, so adjacent outputs are consistent and properness
+// follows from the per-round Linial guarantee.
+type PathColoring struct{}
+
+// PathColoringPalette bounds the output palette of PathColoring.
+const PathColoringPalette = 25
+
+// Name implements Algorithm.
+func (PathColoring) Name() string { return "volume-path-coloring" }
+
+// rounds computes k(n) from the polynomial ID range of Definition 2.9.
+func (PathColoring) rounds(n int) int {
+	r, _ := reduction.LinialRounds(n*n*n+2, 2)
+	return r
+}
+
+// MaxProbes implements Algorithm.
+func (pc PathColoring) MaxProbes(n int) int {
+	// Each walk step probes at most both ports of the current node; two
+	// walks of depth k plus the root's own ports.
+	return 4*pc.rounds(n) + 6
+}
+
+// pcState is the replayed probe plan: two directional walks of depth k.
+type pcState struct {
+	walkA, walkB []int // seq indices, including the root at position 0
+	endA, endB   bool  // walk stopped at a true degree-1 endpoint
+	next         Probe
+	needProbe    bool
+}
+
+// replay reconstructs the deterministic probe plan from the revealed
+// sequence. Walk A leaves the root via port 0, walk B via port 1; interior
+// steps probe the current node's ports in order and continue via the
+// first port whose revealed ID differs from the previous walk node
+// (identifying the back-edge by ID).
+func (pc PathColoring) replay(n int, seq []Tuple) pcState {
+	k := pc.rounds(n)
+	st := pcState{walkA: []int{0}, walkB: []int{0}}
+	next := 1
+	advance := func(walk *[]int, end *bool, firstPort int) bool {
+		for len(*walk) <= k {
+			cur := (*walk)[len(*walk)-1]
+			deg := seq[cur].Deg
+			if deg > 2 {
+				deg = 2
+			}
+			if len(*walk) == 1 {
+				if deg == 1 && firstPort == 1 {
+					*end = true // degree-1 root: no walk in this direction
+					return false
+				}
+				if next >= len(seq) {
+					st.next = Probe{J: cur, P: firstPort}
+					st.needProbe = true
+					return true
+				}
+				*walk = append(*walk, next)
+				next++
+				continue
+			}
+			if deg == 1 {
+				*end = true // true path endpoint
+				return false
+			}
+			prevID := seq[(*walk)[len(*walk)-2]].ID
+			probed := 0
+			found := false
+			for p := 0; p < deg; p++ {
+				if next+probed >= len(seq) {
+					st.next = Probe{J: cur, P: p}
+					st.needProbe = true
+					return true
+				}
+				t := seq[next+probed]
+				probed++
+				if t.ID != prevID {
+					*walk = append(*walk, next+probed-1)
+					found = true
+					break
+				}
+			}
+			next += probed
+			if !found {
+				*end = true // malformed; treat as endpoint
+				return false
+			}
+		}
+		return false // depth reached
+	}
+	if advance(&st.walkA, &st.endA, 0) {
+		return st
+	}
+	if seq[0].Deg >= 2 {
+		if advance(&st.walkB, &st.endB, 1) {
+			return st
+		}
+	} else {
+		st.endB = true
+	}
+	return st
+}
+
+// Step implements Algorithm.
+func (pc PathColoring) Step(n, i int, seq []Tuple) (Probe, bool) {
+	st := pc.replay(n, seq)
+	if !st.needProbe {
+		return Probe{}, false
+	}
+	return st.next, true
+}
+
+// Output implements Algorithm: k windowed Linial rounds.
+func (pc PathColoring) Output(n int, seq []Tuple) []int {
+	st := pc.replay(n, seq)
+	k := pc.rounds(n)
+	// Window positions: reversed walkB (excluding root), root, walkA.
+	var window []int // seq indices
+	for i := len(st.walkB) - 1; i >= 1; i-- {
+		window = append(window, st.walkB[i])
+	}
+	rootPos := len(window)
+	window = append(window, st.walkA...)
+	colors := make([]int, len(window))
+	for i, idx := range window {
+		colors[i] = seq[idx].ID
+	}
+	// leftEnd/rightEnd: whether the window boundary is a true endpoint
+	// (no further neighbor exists) rather than a truncation.
+	leftEnd, rightEnd := st.endB, st.endA
+	lo, hi := 0, len(window)-1
+	palette := n*n*n + 2
+	for r := 0; r < k && lo <= hi; r++ {
+		newLo, newHi := lo, hi
+		if !leftEnd {
+			newLo = lo + 1
+		}
+		if !rightEnd {
+			newHi = hi - 1
+		}
+		next := make([]int, len(window))
+		for i := newLo; i <= newHi; i++ {
+			var neigh []int
+			if i > lo {
+				neigh = append(neigh, colors[i-1])
+			}
+			if i < hi {
+				neigh = append(neigh, colors[i+1])
+			}
+			nc, _ := reduction.LinialStep(colors[i], neigh, palette, 2)
+			next[i] = nc
+		}
+		_, np := reduction.LinialStep(0, nil, palette, 2)
+		colors, lo, hi, palette = next, newLo, newHi, np
+	}
+	out := make([]int, seq[0].Deg)
+	for p := range out {
+		out[p] = colors[rootPos]
+	}
+	return out
+}
+
+// GlobalParity 2-colors a path with Θ(n) probes: each node walks to both
+// endpoints (distinguishing the back-edge by ID) and outputs the parity of
+// its distance to the smaller-ID endpoint — globally consistent, hence
+// proper. The canonical Θ(n) VOLUME witness.
+type GlobalParity struct{}
+
+// Name implements Algorithm.
+func (GlobalParity) Name() string { return "volume-global-parity" }
+
+// MaxProbes implements Algorithm.
+func (GlobalParity) MaxProbes(n int) int { return 4 * n }
+
+// walkState replays both directional walks. Walk A leaves the root via
+// port 0; walk B via port 1 (if the root has degree 2). Each walk step
+// probes the next node's ports in order until the non-back port is found.
+type walkState struct {
+	// seq indices of walk nodes, including root at position 0.
+	walkA, walkB []int
+	next         Probe
+	needProbe    bool
+}
+
+func (GlobalParity) replay(seq []Tuple) walkState {
+	st := walkState{walkA: []int{0}, walkB: []int{0}}
+	next := 1
+	// advance runs one walk to an endpoint; returns seq exhaustion.
+	advance := func(walk *[]int, firstPort int) bool {
+		for {
+			cur := (*walk)[len(*walk)-1]
+			prevID := -1
+			if len(*walk) >= 2 {
+				prevID = seq[(*walk)[len(*walk)-2]].ID
+			}
+			deg := seq[cur].Deg
+			if len(*walk) == 1 {
+				// Root step: single designated port.
+				if deg == 1 && firstPort == 1 {
+					return false // no walk B from a degree-1 root
+				}
+				if next >= len(seq) {
+					st.next = Probe{J: cur, P: firstPort}
+					st.needProbe = true
+					return true
+				}
+				*walk = append(*walk, next)
+				next++
+				continue
+			}
+			if deg == 1 {
+				return false // endpoint reached
+			}
+			// Safety on cycles: a wrap would walk forever; stop once the
+			// walk cannot be a simple path anymore.
+			if len(*walk) > len(seq)+2 {
+				return false
+			}
+			// Interior node: probe ports until the non-back neighbor found.
+			probed := 0
+			found := false
+			for p := 0; p < deg; p++ {
+				if next+probed >= len(seq) {
+					st.next = Probe{J: cur, P: p}
+					st.needProbe = true
+					return true
+				}
+				t := seq[next+probed]
+				probed++
+				if t.ID != prevID {
+					*walk = append(*walk, next+probed-1)
+					found = true
+					break
+				}
+			}
+			next += probed
+			if !found {
+				return false // malformed input; stop
+			}
+		}
+	}
+	if advance(&st.walkA, 0) {
+		return st
+	}
+	if seq[0].Deg >= 2 {
+		if advance(&st.walkB, 1) {
+			return st
+		}
+	}
+	return st
+}
+
+// Step implements Algorithm.
+func (gp GlobalParity) Step(n, i int, seq []Tuple) (Probe, bool) {
+	st := gp.replay(seq)
+	if !st.needProbe {
+		return Probe{}, false
+	}
+	return st.next, true
+}
+
+// Output implements Algorithm.
+func (gp GlobalParity) Output(n int, seq []Tuple) []int {
+	st := gp.replay(seq)
+	endA := seq[st.walkA[len(st.walkA)-1]]
+	distA := len(st.walkA) - 1
+	endB := endA
+	distB := distA
+	if seq[0].Deg == 1 {
+		// Degree-1 root: it is itself one endpoint.
+		endB = seq[0]
+		distB = 0
+	} else if len(st.walkB) > 1 {
+		endB = seq[st.walkB[len(st.walkB)-1]]
+		distB = len(st.walkB) - 1
+	}
+	dist := distA
+	if endB.ID < endA.ID {
+		dist = distB
+	}
+	out := make([]int, seq[0].Deg)
+	for p := range out {
+		out[p] = dist % 2
+	}
+	return out
+}
+
+// Constant outputs a fixed label with zero probes — the class-A witness.
+type Constant struct{ Label int }
+
+// Name implements Algorithm.
+func (c Constant) Name() string { return "volume-constant" }
+
+// MaxProbes implements Algorithm.
+func (c Constant) MaxProbes(int) int { return 0 }
+
+// Step implements Algorithm.
+func (c Constant) Step(int, int, []Tuple) (Probe, bool) { return Probe{}, false }
+
+// Output implements Algorithm.
+func (c Constant) Output(n int, seq []Tuple) []int {
+	out := make([]int, seq[0].Deg)
+	for p := range out {
+		out[p] = c.Label
+	}
+	return out
+}

@@ -1,0 +1,198 @@
+// Package volume implements the VOLUME model of Definition 2.9 and the
+// LCA model (Section 2.2): algorithms that adaptively probe the input
+// graph node by node instead of learning a whole radius-T ball, with probe
+// complexity as the measure. It also provides the probe-based witnesses
+// for the Figure 1 (bottom right) landscape and the far-probe reduction
+// context of Theorem 2.12.
+package volume
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Tuple is the local information of one node as revealed by a probe
+// (Definition 2.8): identifier, degree, and the input labels on its
+// incident half-edges, indexed by port.
+type Tuple struct {
+	ID  int
+	Deg int
+	In  []int
+}
+
+// Probe addresses the next node to inspect: the p-th port of the j-th
+// previously revealed tuple (j = 0 is the queried node itself).
+type Probe struct {
+	J, P int
+}
+
+// Algorithm is a deterministic VOLUME algorithm in the functional form of
+// Definition 2.9: Step returns the i-th adaptive probe given the revealed
+// tuple sequence (or ok=false to stop probing early), and Output maps the
+// final sequence to per-port output labels of the queried node.
+type Algorithm interface {
+	Name() string
+	// MaxProbes is the probe complexity budget T(n).
+	MaxProbes(n int) int
+	// Step returns the i-th probe (1-based) given the sequence revealed so
+	// far; ok=false stops probing.
+	Step(n, i int, seq []Tuple) (Probe, bool)
+	// Output returns the labels for the queried node's ports.
+	Output(n int, seq []Tuple) []int
+}
+
+// Result of a VOLUME run.
+type Result struct {
+	Output    []int
+	MaxProbes int // maximum probes used by any node
+	SumProbes int // total probes across nodes
+}
+
+// RunOpts configures a run.
+type RunOpts struct {
+	In  []int // input labeling, dense half-edge index
+	IDs []int // identifiers; nil = sequential
+}
+
+// Run executes the algorithm for every node of g, assembling the half-edge
+// labeling and recording probe usage. Isolated nodes are rejected
+// (Definition 2.9 excludes them).
+func Run(g *graph.Graph, a Algorithm, opts RunOpts) (*Result, error) {
+	n := g.N()
+	ids := opts.IDs
+	if ids == nil {
+		ids = make([]int, n)
+		for i := range ids {
+			ids[i] = i + 1
+		}
+	}
+	tupleOf := func(v int) Tuple {
+		d := g.Deg(v)
+		in := make([]int, d)
+		if opts.In != nil {
+			for p := 0; p < d; p++ {
+				in[p] = opts.In[g.HalfEdge(v, p)]
+			}
+		}
+		return Tuple{ID: ids[v], Deg: d, In: in}
+	}
+	out := make([]int, g.NumHalfEdges())
+	res := &Result{Output: out}
+	for v := 0; v < n; v++ {
+		if g.Deg(v) == 0 {
+			return nil, fmt.Errorf("volume: isolated node %d (excluded by Definition 2.9)", v)
+		}
+		seq := []Tuple{tupleOf(v)}
+		nodes := []int{v}
+		budget := a.MaxProbes(n)
+		probes := 0
+		for i := 1; i <= budget; i++ {
+			probe, ok := a.Step(n, i, seq)
+			if !ok {
+				break
+			}
+			if probe.J < 0 || probe.J >= len(seq) {
+				return nil, fmt.Errorf("volume: %s probe %d references tuple %d of %d", a.Name(), i, probe.J, len(seq))
+			}
+			src := nodes[probe.J]
+			if probe.P < 0 || probe.P >= g.Deg(src) {
+				return nil, fmt.Errorf("volume: %s probe %d uses port %d at degree-%d node", a.Name(), i, probe.P, g.Deg(src))
+			}
+			next := g.Neighbor(src, probe.P).To
+			seq = append(seq, tupleOf(next))
+			nodes = append(nodes, next)
+			probes++
+		}
+		lab := a.Output(n, seq)
+		if len(lab) != g.Deg(v) {
+			return nil, fmt.Errorf("volume: %s output %d labels at degree-%d node", a.Name(), len(lab), g.Deg(v))
+		}
+		for p, o := range lab {
+			out[g.HalfEdge(v, p)] = o
+		}
+		if probes > res.MaxProbes {
+			res.MaxProbes = probes
+		}
+		res.SumProbes += probes
+	}
+	return res, nil
+}
+
+// AlmostIdentical reports whether two tuple sequences are almost identical
+// in the sense of Definition 2.8: same degrees and inputs positionwise,
+// and identifiers in the same relative order (with equalities preserved).
+func AlmostIdentical(a, b []Tuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Deg != b[i].Deg || len(a[i].In) != len(b[i].In) {
+			return false
+		}
+		for p := range a[i].In {
+			if a[i].In[p] != b[i].In[p] {
+				return false
+			}
+		}
+	}
+	for i := range a {
+		for j := range a {
+			if (a[i].ID < a[j].ID) != (b[i].ID < b[j].ID) {
+				return false
+			}
+			if (a[i].ID == a[j].ID) != (b[i].ID == b[j].ID) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// OrderKey canonicalizes a tuple sequence for order-invariant algorithms
+// (Definition 2.10): IDs are replaced by their ranks. Two sequences are
+// almost identical iff their OrderKeys are equal.
+func OrderKey(seq []Tuple) string {
+	key := ""
+	for i := range seq {
+		// Dense rank: the number of *distinct* smaller IDs, so tied IDs
+		// share a rank and the equality pattern survives in the key
+		// (Definition 2.8 distinguishes id1 == id2 from id1 < id2).
+		rank := 0
+		for j := range seq {
+			if seq[j].ID >= seq[i].ID {
+				continue
+			}
+			first := true
+			for l := 0; l < j; l++ {
+				if seq[l].ID == seq[j].ID {
+					first = false
+					break
+				}
+			}
+			if first {
+				rank++
+			}
+		}
+		key += fmt.Sprintf("(%d,%d,%v)", rank, seq[i].Deg, seq[i].In)
+	}
+	return key
+}
+
+// RandomIDs returns n distinct IDs from a polynomial range.
+func RandomIDs(n int, rng *rand.Rand) []int {
+	seen := map[int]bool{}
+	ids := make([]int, n)
+	for i := range ids {
+		for {
+			x := 1 + rng.Intn(n*n*n+1)
+			if !seen[x] {
+				seen[x] = true
+				ids[i] = x
+				break
+			}
+		}
+	}
+	return ids
+}

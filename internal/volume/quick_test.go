@@ -1,0 +1,87 @@
+package volume
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randTuples draws a short tuple sequence with IDs from a tiny range so
+// ties actually occur.
+func randTuples(rng *rand.Rand, n int) []Tuple {
+	seq := make([]Tuple, n)
+	for i := range seq {
+		seq[i] = Tuple{
+			ID:  rng.Intn(5),
+			Deg: 1 + rng.Intn(3),
+			In:  []int{rng.Intn(2)},
+		}
+	}
+	return seq
+}
+
+// TestOrderKeyCharacterizesAlmostIdentical is the Definition 2.8/2.10
+// bridge as a property: two sequences are almost identical exactly when
+// their OrderKeys coincide — including sequences with tied IDs, which the
+// definition treats separately (id1 == id2 must imply id1' == id2').
+func TestOrderKeyCharacterizesAlmostIdentical(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		a, b := randTuples(rng, n), randTuples(rng, n)
+		return AlmostIdentical(a, b) == (OrderKey(a) == OrderKey(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlmostIdenticalIsEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(4)
+		a, b, c := randTuples(rng, n), randTuples(rng, n), randTuples(rng, n)
+		if !AlmostIdentical(a, a) {
+			return false
+		}
+		if AlmostIdentical(a, b) != AlmostIdentical(b, a) {
+			return false
+		}
+		if AlmostIdentical(a, b) && AlmostIdentical(b, c) && !AlmostIdentical(a, c) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrderKeyInvariantUnderMonotoneRescaling(t *testing.T) {
+	// Applying a strictly increasing function to all IDs must not change
+	// the key — the heart of order-invariance (Definition 2.10).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		a := randTuples(rng, n)
+		b := make([]Tuple, n)
+		for i, tp := range a {
+			b[i] = Tuple{ID: 3*tp.ID + 17, Deg: tp.Deg, In: tp.In}
+		}
+		return OrderKey(a) == OrderKey(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrderKeySeparatesTiesFromStrictOrder(t *testing.T) {
+	tie := []Tuple{{ID: 5, Deg: 2, In: []int{0}}, {ID: 5, Deg: 2, In: []int{0}}}
+	inc := []Tuple{{ID: 4, Deg: 2, In: []int{0}}, {ID: 5, Deg: 2, In: []int{0}}}
+	if OrderKey(tie) == OrderKey(inc) {
+		t.Fatal("tied and strictly increasing ID patterns must have different keys")
+	}
+	if AlmostIdentical(tie, inc) {
+		t.Fatal("tied and strictly increasing ID patterns are not almost identical")
+	}
+}

@@ -1,0 +1,215 @@
+package volume
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/problems"
+	"repro/internal/ramsey"
+)
+
+const volume25 = PathColoringPalette
+
+func TestPathColoringOnPaths(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	pal := problems.Coloring(volume25, 2)
+	for _, n := range []int{2, 5, 17, 100, 512} {
+		g := graph.Path(n)
+		res, err := Run(g, PathColoring{}, RunOpts{IDs: RandomIDs(n, rng)})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if vs := pal.Verify(g, nil, res.Output); len(vs) != 0 {
+			t.Errorf("n=%d: coloring invalid: %v", n, vs[0])
+		}
+		bound := 4 * (ramsey.LogStarInt(n) + 10)
+		if res.MaxProbes > bound {
+			t.Errorf("n=%d: %d probes exceeds O(log* n) bound %d", n, res.MaxProbes, bound)
+		}
+	}
+}
+
+func TestPathColoringOnCycles(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	pal := problems.Coloring(volume25, 2)
+	for _, n := range []int{3, 10, 64, 301} {
+		g := graph.Cycle(n)
+		res, err := Run(g, PathColoring{}, RunOpts{IDs: RandomIDs(n, rng)})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if vs := pal.Verify(g, nil, res.Output); len(vs) != 0 {
+			t.Errorf("n=%d: cycle coloring invalid: %v", n, vs[0])
+		}
+	}
+}
+
+func TestPathColoringPortAdversity(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	pal := problems.Coloring(volume25, 2)
+	g := graph.ShufflePorts(graph.Cycle(40), rng)
+	res, err := Run(g, PathColoring{}, RunOpts{IDs: RandomIDs(40, rng)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs := pal.Verify(g, nil, res.Output); len(vs) != 0 {
+		t.Errorf("coloring invalid under shuffled ports: %v", vs[0])
+	}
+}
+
+func TestGlobalParityOnPaths(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	p2 := problems.Coloring(2, 2)
+	for _, n := range []int{2, 3, 8, 33, 100} {
+		g := graph.Path(n)
+		res, err := Run(g, GlobalParity{}, RunOpts{IDs: RandomIDs(n, rng)})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if vs := p2.Verify(g, nil, res.Output); len(vs) != 0 {
+			t.Errorf("n=%d: parity coloring invalid: %v", n, vs[0])
+		}
+		if res.MaxProbes < n-1 {
+			t.Errorf("n=%d: only %d probes — global problem solved too locally?", n, res.MaxProbes)
+		}
+	}
+}
+
+func TestConstantZeroProbes(t *testing.T) {
+	g := graph.Star(3)
+	res, err := Run(g, Constant{}, RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxProbes != 0 || res.SumProbes != 0 {
+		t.Errorf("constant algorithm probed: %+v", res)
+	}
+	if !problems.Trivial(3).Solves(g, nil, res.Output) {
+		t.Error("constant output rejected")
+	}
+}
+
+func TestProbeComplexitySeparation(t *testing.T) {
+	// The landscape separation on one graph: constant << log* << n.
+	rng := rand.New(rand.NewSource(59))
+	n := 400
+	g := graph.Path(n)
+	ids := RandomIDs(n, rng)
+	cRes, err := Run(g, Constant{}, RunOpts{IDs: ids})
+	if err != nil {
+		t.Fatal(err)
+	}
+	colRes, err := Run(g, PathColoring{}, RunOpts{IDs: ids})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parRes, err := Run(g, GlobalParity{}, RunOpts{IDs: ids})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(cRes.MaxProbes < colRes.MaxProbes && colRes.MaxProbes < parRes.MaxProbes/4) {
+		t.Errorf("separation violated: %d, %d, %d", cRes.MaxProbes, colRes.MaxProbes, parRes.MaxProbes)
+	}
+}
+
+func TestAlmostIdentical(t *testing.T) {
+	a := []Tuple{{ID: 5, Deg: 2, In: []int{0, 0}}, {ID: 9, Deg: 2, In: []int{0, 0}}}
+	b := []Tuple{{ID: 1, Deg: 2, In: []int{0, 0}}, {ID: 100, Deg: 2, In: []int{0, 0}}}
+	c := []Tuple{{ID: 9, Deg: 2, In: []int{0, 0}}, {ID: 5, Deg: 2, In: []int{0, 0}}}
+	d := []Tuple{{ID: 5, Deg: 1, In: []int{0}}, {ID: 9, Deg: 2, In: []int{0, 0}}}
+	if !AlmostIdentical(a, b) {
+		t.Error("order-isomorphic sequences not almost identical")
+	}
+	if AlmostIdentical(a, c) {
+		t.Error("order-reversed sequences almost identical")
+	}
+	if AlmostIdentical(a, d) {
+		t.Error("degree mismatch ignored")
+	}
+	if (OrderKey(a) == OrderKey(b)) != AlmostIdentical(a, b) {
+		t.Error("OrderKey disagrees with AlmostIdentical")
+	}
+	if (OrderKey(a) == OrderKey(c)) != AlmostIdentical(a, c) {
+		t.Error("OrderKey disagrees on reversed sequences")
+	}
+}
+
+func TestRunRejectsIsolatedNodes(t *testing.T) {
+	g := graph.New(2)
+	g.AddEdge(0, 1)
+	g2 := graph.New(3)
+	g2.AddEdge(0, 1) // node 2 isolated
+	if _, err := Run(g, Constant{}, RunOpts{}); err != nil {
+		t.Errorf("unexpected error: %v", err)
+	}
+	if _, err := Run(g2, Constant{}, RunOpts{}); err == nil {
+		t.Error("isolated node accepted")
+	}
+}
+
+func TestLCAFarProbeAccounting(t *testing.T) {
+	g := graph.Path(6)
+	a := farPeeker{}
+	res, err := RunLCA(g, a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FarProbes != g.N() {
+		t.Errorf("far probes = %d, want %d", res.FarProbes, g.N())
+	}
+}
+
+// farPeeker performs one far probe (for ID 1) per node, then stops.
+type farPeeker struct{}
+
+func (farPeeker) Name() string      { return "far-peeker" }
+func (farPeeker) MaxProbes(int) int { return 1 }
+func (farPeeker) Step(n, i int, seq []Tuple) (LCAProbe, bool) {
+	if i > 1 {
+		return LCAProbe{}, false
+	}
+	return LCAProbe{Far: true, Target: 1}, true
+}
+func (farPeeker) Output(n int, seq []Tuple) []int {
+	return make([]int, seq[0].Deg)
+}
+
+func TestAsLCAEquivalence(t *testing.T) {
+	// A VOLUME algorithm run through the LCA adapter produces identical
+	// output with zero far probes.
+	rng := rand.New(rand.NewSource(61))
+	n := 50
+	g := graph.Path(n)
+	_ = rng
+	vres, err := Run(g, PathColoring{}, RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lres, err := RunLCA(g, AsLCA{Inner: PathColoring{}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lres.FarProbes != 0 {
+		t.Error("adapter performed far probes")
+	}
+	for h := range vres.Output {
+		if vres.Output[h] != lres.Output[h] {
+			t.Fatal("adapter changed outputs")
+		}
+	}
+}
+
+func TestIDRescaledStillCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	n := 40
+	g := graph.Cycle(n)
+	pal := problems.Coloring(volume25, 2)
+	res, err := Run(g, IDRescaled{Inner: PathColoring{}, K: 2}, RunOpts{IDs: RandomIDs(n, rng)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs := pal.Verify(g, nil, res.Output); len(vs) != 0 {
+		t.Errorf("rescaled coloring invalid: %v", vs[0])
+	}
+}

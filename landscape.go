@@ -1,0 +1,136 @@
+// Package repro reproduces "The Landscape of Distributed Complexities on
+// Trees and Beyond" (Grunau, Rozhoň, Brandt; PODC 2022) as an executable
+// Go library: locally checkable labeling (LCL) problems, the LOCAL /
+// VOLUME / LCA / PROD-LOCAL model simulators, the round elimination
+// operators R and R̄ with the paper's gap pipeline (Theorem 1.1), the
+// order-invariance machinery (Theorems 1.3 and 2.11), oriented-grid
+// speed-ups (Theorem 1.4), and a decidable classifier for LCLs on cycles.
+//
+// This root package is a façade: it re-exports the most used entry points
+// so downstream code can start with a single import. The full API lives in
+// the internal packages (internal/lcl, internal/re, internal/local,
+// internal/volume, internal/grid, internal/classify, internal/core, ...)
+// and is exercised end-to-end by examples/ and cmd/.
+package repro
+
+import (
+	"repro/internal/classify"
+	"repro/internal/core"
+	"repro/internal/enumerate"
+	"repro/internal/graph"
+	"repro/internal/lcl"
+	"repro/internal/lll"
+	"repro/internal/problems"
+	"repro/internal/re"
+)
+
+// Problem is a node-edge-checkable LCL problem (Definition 2.3).
+type Problem = lcl.Problem
+
+// Builder assembles Problems with symbolic label names.
+type Builder = lcl.Builder
+
+// NewProblem starts a problem definition; nil inNames means "no inputs".
+func NewProblem(name string, inNames, outNames []string) *Builder {
+	return lcl.NewBuilder(name, inNames, outNames)
+}
+
+// Graph is a bounded-degree port-numbered graph (Section 2).
+type Graph = graph.Graph
+
+// Graph constructors for the classes the paper quantifies over.
+var (
+	NewGraph     = graph.New
+	Path         = graph.Path
+	Cycle        = graph.Cycle
+	RandomTree   = graph.RandomTree
+	RandomForest = graph.RandomForest
+	Torus        = graph.Torus
+)
+
+// TreeVerdict is the Theorem 1.1 classification outcome on trees.
+type TreeVerdict = core.TreeVerdict
+
+// ClassifyOnTrees runs the round-elimination gap pipeline of Theorem 1.1:
+// it either certifies O(1) complexity (with an executable constant-round
+// solver) or an Ω(log* n) lower bound, on trees and forests.
+func ClassifyOnTrees(p *Problem, maxLevels int) (*TreeVerdict, error) {
+	return core.ClassifyOnTrees(p, maxLevels)
+}
+
+// CycleClass is the decided complexity class on cycles.
+type CycleClass = classify.Class
+
+// Cycle complexity classes (Section 1.4 decidability).
+const (
+	Unsolvable = classify.Unsolvable
+	Constant   = classify.Constant
+	LogStar    = classify.LogStar
+	Global     = classify.Global
+)
+
+// ClassifyOnCycles decides O(1) / Θ(log* n) / Θ(n) / unsolvable for an
+// input-free LCL on cycles.
+func ClassifyOnCycles(p *Problem) (*classify.Result, error) {
+	return classify.Cycles(p)
+}
+
+// RoundElimination applies one R or R̄ step (Definitions 3.1/3.2).
+func RoundElimination(p *Problem, op re.Op, mode re.Mode) (*re.Step, error) {
+	return re.Apply(p, op, mode, re.Limits{})
+}
+
+// Round elimination operators and modes, re-exported.
+const (
+	OpR      = re.OpR
+	OpRBar   = re.OpRBar
+	Faithful = re.Faithful
+	Pruned   = re.Pruned
+)
+
+// Standard problems (witnesses for every populated landscape class).
+var (
+	Coloring              = problems.Coloring
+	MIS                   = problems.MIS
+	MaximalMatching       = problems.MaximalMatching
+	SinklessOrientation   = problems.SinklessOrientation
+	ConsistentOrientation = problems.ConsistentOrientation
+	TrivialProblem        = problems.Trivial
+)
+
+// Census is the exhaustive classified enumeration of all small cycle
+// LCLs (see internal/enumerate): the landscape regenerated over an
+// entire problem space rather than a witness battery.
+type Census = enumerate.Census
+
+// RunCensus enumerates and classifies every input-free cycle LCL over a
+// k-letter output alphabet (k <= 3); with dedup, one representative per
+// label-isomorphism class.
+func RunCensus(k int, dedup bool) (*Census, error) { return enumerate.Run(k, dedup) }
+
+// SynthesizeCycleAlgorithm searches radii 0..rMax for an order-invariant
+// constant-round cycle algorithm solving p, constructively certifying
+// O(1) complexity (or exhaustively refuting it for the searched radii).
+func SynthesizeCycleAlgorithm(p *Problem, rMax int) (*enumerate.Synthesized, int, bool, error) {
+	return enumerate.Decide(p, rMax)
+}
+
+// PathsWithInputs decides solvability of an LCL with inputs on all
+// input-labeled paths (Section 1.4: decidable, PSPACE-hard), returning a
+// witness bad input when unsolvable.
+func PathsWithInputs(p *Problem) (*classify.InputsResult, error) {
+	return classify.PathsWithInputs(p)
+}
+
+// LLLSystem is an LCL reformulated as a Lovász-local-lemma constraint
+// system (class (C) of the landscape; see internal/lll).
+type LLLSystem = lll.System
+
+// ToLLL reformulates an LCL on a concrete graph as an LLL system — one
+// variable per half-edge, one bad event per node and per edge.
+func ToLLL(p *Problem, g *Graph, fin []int) (*LLLSystem, error) { return lll.FromLCL(p, g, fin) }
+
+// SolveByResampling runs distributed Moser–Tardos on an LLL system.
+func SolveByResampling(sys *LLLSystem, seed int64) (*lll.Result, error) {
+	return lll.RunParallel(sys, lll.Opts{Seed: seed})
+}
