@@ -23,10 +23,12 @@ import (
 	"repro/internal/lcl"
 	"repro/internal/lll"
 	"repro/internal/local"
+	"repro/internal/memo"
 	"repro/internal/orderinv"
 	"repro/internal/problems"
 	"repro/internal/re"
 	"repro/internal/rooted"
+	"repro/internal/service"
 	"repro/internal/shortcut"
 	"repro/internal/volume"
 )
@@ -573,6 +575,116 @@ func BenchmarkLLLDerandomizeVsResample(b *testing.B) {
 			}
 		}
 	})
+}
+
+// E19: the classification service — cold classification (canonicalize +
+// decide + fill cache) vs warm (canonicalize + cache hit). The warm/cold
+// ratio is the memoization payoff for repeated traffic; the acceptance
+// target is >= 10x on the trees pipeline.
+func BenchmarkClassifyMemo(b *testing.B) {
+	witnesses := []struct {
+		name string
+		req  service.Request
+	}{
+		// Cheap decider: cold ≈ warm, since canonicalization dominates
+		// both sides — the honest lower end of the memoization payoff.
+		{"cycles/3-coloring", service.Request{Problem: problems.Coloring(3, 2), Mode: service.ModeCycles}},
+		// Expensive deciders: the subset construction (PSPACE-hard
+		// problem class) and the RE gap pipeline; here the warm/cold
+		// ratio is 10x–1000x.
+		{"paths/list-coloring-3", service.Request{Problem: benchListColoring(3), Mode: service.ModePathsInputs}},
+		{"trees/mis", service.Request{Problem: problems.MIS(2), Mode: service.ModeTrees, MaxLevels: 2}},
+		{"trees/matching", service.Request{Problem: problems.MaximalMatching(2), Mode: service.ModeTrees, MaxLevels: 2}},
+	}
+	for _, wit := range witnesses {
+		b.Run("cold/"+wit.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e := service.New(service.Config{Workers: 1})
+				if _, err := e.Classify(wit.req); err != nil {
+					b.Fatal(err)
+				}
+				e.Close()
+			}
+		})
+		b.Run("warm/"+wit.name, func(b *testing.B) {
+			e := service.New(service.Config{Workers: 1})
+			defer e.Close()
+			if _, err := e.Classify(wit.req); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			hits := 0
+			for i := 0; i < b.N; i++ {
+				resp, err := e.Classify(wit.req)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if resp.CacheHit {
+					hits++
+				}
+			}
+			if hits != b.N {
+				b.Fatalf("%d/%d warm requests missed the cache", b.N-hits, b.N)
+			}
+		})
+	}
+}
+
+// E20: census cold vs warm — a census re-run against a warm memo cache
+// skips every classification (canonicalization remains, which is the
+// point: dedup itself rides the canon keys).
+func BenchmarkCensusMemo(b *testing.B) {
+	for _, k := range []int{2, 3} {
+		b.Run(fmt.Sprintf("cold/k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := enumerate.RunWith(k, true, enumerate.RunOpts{Cache: memo.New(0, 0)}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("warm/k=%d", k), func(b *testing.B) {
+			cache := memo.New(0, 0)
+			if _, err := enumerate.RunWith(k, true, enumerate.RunOpts{Cache: cache}); err != nil {
+				b.Fatal(err)
+			}
+			before := cache.Stats().Hits
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := enumerate.RunWith(k, true, enumerate.RunOpts{Cache: cache}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(cache.Stats().Hits-before)/float64(b.N), "hits/op")
+		})
+	}
+}
+
+// E21: batch serving throughput — a mixed batch with duplicates through
+// the worker pool, the serving shape lclserver sees.
+func BenchmarkClassifyBatch(b *testing.B) {
+	e := service.New(service.Config{Workers: 8})
+	defer e.Close()
+	var reqs []service.Request
+	for i := 0; i < 4; i++ {
+		reqs = append(reqs,
+			service.Request{Problem: problems.Coloring(3, 2), Mode: service.ModeCycles},
+			service.Request{Problem: problems.Coloring(2, 2), Mode: service.ModeCycles},
+			service.Request{Problem: problems.Coloring(3, 2), Mode: service.ModePathsInputs},
+			service.Request{Problem: problems.Trivial(2), Mode: service.ModeSynthesize},
+		)
+	}
+	before := e.Stats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, item := range e.ClassifyBatch(reqs) {
+			if item.Err != nil {
+				b.Fatal(item.Err)
+			}
+		}
+	}
+	st := e.Stats()
+	b.ReportMetric(float64(st.Cache.Hits-before.Cache.Hits)/float64(b.N), "hits/op")
+	b.ReportMetric(float64(st.Coalesced-before.Coalesced)/float64(b.N), "coalesced/op")
 }
 
 // E1 addendum: the deterministic/randomized contrast on the MIS row —

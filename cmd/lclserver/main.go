@@ -1,0 +1,91 @@
+// Command lclserver serves the classification engine over HTTP/JSON: the
+// reproduction's decision procedures (cycles, trees, paths-with-inputs,
+// synthesis) behind a memoized, batch-capable API.
+//
+//	lclserver -addr :8080 -workers 8 -cache-capacity 65536
+//
+// Endpoints:
+//
+//	POST /v1/classify        {"mode":"cycles","problem":{...lcl codec...}}
+//	POST /v1/classify/batch  {"requests":[...]}
+//	GET  /v1/census/{k}      classified cycle-LCL census (k in 1..3)
+//	GET  /healthz            liveness
+//	GET  /statsz             engine + cache counters
+//
+// Try it:
+//
+//	curl -s localhost:8080/v1/census/2 | head
+//	curl -s -X POST localhost:8080/v1/classify \
+//	  -d '{"mode":"cycles","problem":{"name":"2col","in_alphabet":["·"],
+//	       "out_alphabet":["A","B"],
+//	       "node_constraints":{"2":["A A","B B"]},
+//	       "edge_constraints":["A B"],"g":{"·":["A","B"]}}}'
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", service.DefaultWorkers, "batch worker pool size")
+	cacheShards := flag.Int("cache-shards", 0, "memo cache shard count (0 = default)")
+	cacheCap := flag.Int("cache-capacity", 0, "memo cache total entries (0 = default)")
+	prewarm := flag.Int("prewarm", 0, "run the k-census on startup to warm the cache (0 = off)")
+	flag.Parse()
+
+	engine := service.New(service.Config{
+		Workers:       *workers,
+		CacheShards:   *cacheShards,
+		CacheCapacity: *cacheCap,
+	})
+	defer engine.Close()
+
+	if *prewarm > 0 {
+		start := time.Now()
+		if _, err := engine.Census(*prewarm, true); err != nil {
+			log.Fatalf("lclserver: prewarm census k=%d: %v", *prewarm, err)
+		}
+		log.Printf("lclserver: prewarmed k=%d census in %v", *prewarm, time.Since(start))
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           NewLoggingHandler(service.NewHandler(engine)),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() {
+		log.Printf("lclserver: listening on %s (%d workers)", *addr, *workers)
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			log.Fatalf("lclserver: %v", err)
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	log.Printf("lclserver: shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("lclserver: shutdown: %v", err)
+	}
+}
+
+// NewLoggingHandler wraps h with one access-log line per request.
+func NewLoggingHandler(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h.ServeHTTP(w, r)
+		log.Printf("%s %s %v", r.Method, r.URL.Path, time.Since(start))
+	})
+}

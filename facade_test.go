@@ -118,6 +118,45 @@ func TestFacadeLLL(t *testing.T) {
 	}
 }
 
+// TestFacadeClassificationService drives the new service subsystem
+// through the façade: engine construction, canonical fingerprints, the
+// memoized census, and cache hits across label-isomorphic requests.
+func TestFacadeClassificationService(t *testing.T) {
+	engine := NewClassificationEngine(ServiceConfig{Workers: 2})
+	defer engine.Close()
+
+	resp, err := engine.Classify(ClassifyRequest{Problem: Coloring(3, 2), Mode: ModeCycles})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cycles == nil || resp.Cycles.Class != LogStar {
+		t.Fatalf("3-coloring via service: %+v", resp.Cycles)
+	}
+	fp, err := Fingerprint(Coloring(3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp != resp.Fingerprint {
+		t.Fatalf("facade fingerprint %x, service fingerprint %x", fp, resp.Fingerprint)
+	}
+	form, err := Canonicalize(Coloring(3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !form.Exact {
+		t.Fatal("3-coloring canonical form not exact")
+	}
+
+	// Shared cache: a census run warms subsequent classify traffic.
+	cache := NewMemoCache(0, 0)
+	if _, err := RunCensusWith(2, true, CensusOpts{Workers: 2, Cache: cache}); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Stats().Puts == 0 {
+		t.Fatal("census did not populate the cache")
+	}
+}
+
 func TestFacadePathsWithInputs(t *testing.T) {
 	p := Coloring(3, 2)
 	res, err := PathsWithInputs(p)

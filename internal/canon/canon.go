@@ -1,0 +1,523 @@
+// Package canon computes canonical forms and stable 64-bit fingerprints
+// for node-edge-checkable LCL problems under label isomorphism.
+//
+// Two problems Π = (Σin, Σout, N, E, g) and Π′ are label-isomorphic when
+// bijections σin: Σin → Σ′in and σout: Σout → Σ′out carry N, E, and g of
+// Π onto those of Π′. Label isomorphism preserves every complexity-
+// theoretic property the reproduction decides — the configuration digraph
+// of internal/classify, the round-elimination sequence of internal/re,
+// and the order-invariant algorithms of internal/enumerate are all
+// invariant under renaming, as is the classification itself (the classes
+// of Section 1.4 and Theorem 1.1 are properties of the constraint
+// structure, not of the alphabet spelling). Classification is therefore a
+// pure function of the canonical form, which is what makes memoization
+// (internal/memo) and census deduplication (internal/enumerate) sound.
+//
+// The canonical form generalizes enumerate.CanonicalKey — which minimizes
+// a (node-mask, edge-mask) pair over all k! output relabelings and only
+// exists for input-free degree-2 problems with k <= 3 — to arbitrary
+// problems: arbitrary degrees, input alphabets, and g maps. The algorithm
+// is the standard two-phase canonical labeling:
+//
+//  1. Color refinement: input and output labels are partitioned by
+//     iterated isomorphism-invariant signatures (occurrence counts in
+//     node/edge configurations, g-degrees, then multisets of neighboring
+//     classes) until a fixpoint, exactly like 1-WL refinement on the
+//     bipartite label-constraint incidence structure.
+//  2. Exhaustive search within refinement blocks: the canonical encoding
+//     is the lexicographic minimum of the problem's byte encoding over
+//     all relabelings that respect the block order. Since refinement
+//     classes are isomorphism-invariant, no isomorphism maps across
+//     blocks, so the minimum over block-respecting permutations equals
+//     the minimum over all isomorphisms — the form is exact whenever the
+//     search completes within budget.
+//
+// The fingerprint is a 64-bit FNV-1a hash of the canonical encoding.
+// Isomorphic problems always collide (by construction); non-isomorphic
+// problems collide only with hash probability 2^-64 when the search is
+// exact.
+package canon
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/lcl"
+)
+
+// DefaultMaxPerms bounds the block-respecting permutation search. The
+// bound is generous: refinement already splits most alphabets into
+// singleton blocks, and the census spaces (k <= 3) need at most k! = 6
+// candidates. When the bound is exceeded Canonicalize degrades to the
+// refinement-only encoding, which is still isomorphism-invariant (equal
+// for isomorphic problems) but may identify non-isomorphic problems that
+// refinement cannot separate; Form.Exact reports which case occurred.
+const DefaultMaxPerms = 1 << 16
+
+// Form is the canonical form of a problem.
+type Form struct {
+	// Encoding is the canonical byte encoding: equal for label-isomorphic
+	// problems, and (when Exact) distinct for non-isomorphic ones.
+	Encoding []byte
+	// OutPerm and InPerm map old label -> canonical label for the
+	// relabeling that achieves Encoding (identity-sized even when not
+	// Exact).
+	OutPerm []int
+	InPerm  []int
+	// Exact reports that the permutation search completed within budget,
+	// making Encoding a complete isomorphism invariant.
+	Exact bool
+}
+
+// Canonicalize computes the canonical form of p with the default budget.
+func Canonicalize(p *lcl.Problem) (*Form, error) {
+	return CanonicalizeBudget(p, DefaultMaxPerms)
+}
+
+// CanonicalizeBudget computes the canonical form, degrading to the
+// refinement-only encoding when the block permutation search would
+// examine more than maxPerms relabelings.
+func CanonicalizeBudget(p *lcl.Problem, maxPerms int) (*Form, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("canon: %w", err)
+	}
+	p = normalize(p)
+	outClass, inClass := refine(p)
+	outBlocks := blocksOf(outClass)
+	inBlocks := blocksOf(inClass)
+
+	// Count block-respecting relabelings; overflow-safe for tiny blocks.
+	perms := 1
+	exact := true
+	for _, b := range append(append([][]int{}, outBlocks...), inBlocks...) {
+		for i := 2; i <= len(b); i++ {
+			perms *= i
+			if perms > maxPerms {
+				exact = false
+			}
+		}
+		if !exact {
+			break
+		}
+	}
+
+	nOut, nIn := p.NumOut(), p.NumIn()
+	if !exact {
+		// Refinement-only encoding: relabel every label by its class id.
+		// Isomorphic problems refine to identical class structures, so
+		// this remains invariant (configurations become class multisets).
+		enc := encodeCoarse(p, outClass, inClass)
+		return &Form{Encoding: enc, OutPerm: identity(nOut), InPerm: identity(nIn), Exact: false}, nil
+	}
+
+	best := (*candidate)(nil)
+	outPerm := make([]int, nOut)
+	inPerm := make([]int, nIn)
+	// Assign canonical positions block by block (blocks are already in
+	// canonical order), enumerating permutations within each block.
+	forEachBlockPerm(outBlocks, outPerm, func() {
+		forEachBlockPerm(inBlocks, inPerm, func() {
+			enc := encode(p, inPerm, outPerm)
+			if best == nil || string(enc) < string(best.enc) {
+				best = &candidate{
+					enc: enc,
+					out: append([]int(nil), outPerm...),
+					in:  append([]int(nil), inPerm...),
+				}
+			}
+		})
+	})
+	return &Form{Encoding: best.enc, OutPerm: best.out, InPerm: best.in, Exact: true}, nil
+}
+
+type candidate struct {
+	enc []byte
+	out []int
+	in  []int
+}
+
+// Fingerprint returns the 64-bit FNV-1a hash of f's encoding.
+// Label-isomorphic problems always agree; when the form is not Exact,
+// refinement-indistinguishable non-isomorphic problems may also agree —
+// callers keying caches must check Exact before trusting the fingerprint
+// as an isomorphism test (internal/service bypasses its cache for
+// inexact forms).
+func (f *Form) Fingerprint() uint64 { return fnv64(f.Encoding) }
+
+// Fingerprint returns the 64-bit FNV-1a hash of p's canonical encoding.
+// Label-isomorphic problems always receive equal fingerprints.
+func Fingerprint(p *lcl.Problem) (uint64, error) {
+	f, err := Canonicalize(p)
+	if err != nil {
+		return 0, err
+	}
+	return f.Fingerprint(), nil
+}
+
+// MustFingerprint is Fingerprint for problems already known valid.
+func MustFingerprint(p *lcl.Problem) uint64 {
+	fp, err := Fingerprint(p)
+	if err != nil {
+		panic(err)
+	}
+	return fp
+}
+
+// Isomorphic reports whether two problems are label-isomorphic; it is
+// exact when both canonical searches complete within budget, otherwise
+// it compares refinement-only encodings (sound for "false", heuristic
+// for "true").
+func Isomorphic(a, b *lcl.Problem) (bool, error) {
+	fa, err := Canonicalize(a)
+	if err != nil {
+		return false, err
+	}
+	fb, err := Canonicalize(b)
+	if err != nil {
+		return false, err
+	}
+	if fa.Exact != fb.Exact {
+		return false, nil
+	}
+	return string(fa.Encoding) == string(fb.Encoding), nil
+}
+
+// fnv64 is 64-bit FNV-1a.
+func fnv64(data []byte) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, c := range data {
+		h ^= uint64(c)
+		h *= prime
+	}
+	return h
+}
+
+// normalize returns a shadow copy of p with duplicate constraint rows
+// removed. Configurations and g-sets are semantically *sets* — a builder
+// that records {A,B} twice (say via Edge(a,b) and Edge(b,a)) defines the
+// same problem — so multiplicities must not leak into the canonical
+// form. Names are irrelevant to the form and copied as-is.
+func normalize(p *lcl.Problem) *lcl.Problem {
+	q := &lcl.Problem{
+		Name:     p.Name,
+		InNames:  p.InNames,
+		OutNames: p.OutNames,
+		Node:     make(map[int][]lcl.Multiset, len(p.Node)),
+		G:        make([][]int, len(p.G)),
+	}
+	for d, list := range p.Node {
+		q.Node[d] = dedupMultisets(list)
+	}
+	q.Edge = dedupMultisets(p.Edge)
+	for i, outs := range p.G {
+		row := append([]int(nil), outs...)
+		sort.Ints(row)
+		uniq := row[:0]
+		for j, o := range row {
+			if j == 0 || o != row[j-1] {
+				uniq = append(uniq, o)
+			}
+		}
+		q.G[i] = uniq
+	}
+	return q
+}
+
+// dedupMultisets returns the distinct multisets of list (each multiset is
+// already internally sorted).
+func dedupMultisets(list []lcl.Multiset) []lcl.Multiset {
+	seen := make(map[string]bool, len(list))
+	out := make([]lcl.Multiset, 0, len(list))
+	for _, m := range list {
+		k := m.Key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, m)
+	}
+	return out
+}
+
+func identity(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// refine runs color refinement on output and input labels jointly until a
+// fixpoint. Returned class ids are canonical: they are assigned in sorted
+// signature order each round, and round-0 signatures are pure structural
+// invariants, so isomorphic problems produce identical classifications.
+func refine(p *lcl.Problem) (outClass, inClass []int) {
+	nOut, nIn := p.NumOut(), p.NumIn()
+	outClass = make([]int, nOut)
+	inClass = make([]int, nIn)
+
+	degrees := sortedDegrees(p)
+	sig := func() ([]string, []string) {
+		outSig := make([]string, nOut)
+		for x := 0; x < nOut; x++ {
+			var sb strings.Builder
+			// Own class first, so each round's partition refines the
+			// previous one (monotone => terminates within |Σout| rounds).
+			fmt.Fprintf(&sb, "s%d;", outClass[x])
+			for _, d := range degrees {
+				// Multiset, over node configs containing x, of
+				// (multiplicity of x, sorted class tuple of the config).
+				var occ []string
+				for _, m := range p.Node[d] {
+					mult := 0
+					classes := make([]int, len(m))
+					for i, y := range m {
+						if y == x {
+							mult++
+						}
+						classes[i] = outClass[y]
+					}
+					if mult == 0 {
+						continue
+					}
+					sort.Ints(classes)
+					occ = append(occ, fmt.Sprintf("%d:%v", mult, classes))
+				}
+				sort.Strings(occ)
+				fmt.Fprintf(&sb, "d%d%v;", d, occ)
+			}
+			// Multiset of edge partners' classes (self-edges doubled so
+			// {x,x} and {x,y} stay distinguishable).
+			var edges []int
+			for _, m := range p.Edge {
+				switch {
+				case m[0] == x && m[1] == x:
+					edges = append(edges, -1)
+				case m[0] == x:
+					edges = append(edges, outClass[m[1]])
+				case m[1] == x:
+					edges = append(edges, outClass[m[0]])
+				}
+			}
+			sort.Ints(edges)
+			fmt.Fprintf(&sb, "e%v;", edges)
+			// Multiset of classes of input labels whose g-set contains x.
+			var gs []int
+			for in, outs := range p.G {
+				for _, o := range outs {
+					if o == x {
+						gs = append(gs, inClass[in])
+					}
+				}
+			}
+			sort.Ints(gs)
+			fmt.Fprintf(&sb, "g%v", gs)
+			outSig[x] = sb.String()
+		}
+		inSig := make([]string, nIn)
+		for in := 0; in < nIn; in++ {
+			classes := make([]int, len(p.G[in]))
+			for i, o := range p.G[in] {
+				classes[i] = outClass[o]
+			}
+			sort.Ints(classes)
+			inSig[in] = fmt.Sprintf("s%d;%v", inClass[in], classes)
+		}
+		return outSig, inSig
+	}
+
+	assign := func(sigs []string, class []int) bool {
+		uniq := append([]string(nil), sigs...)
+		sort.Strings(uniq)
+		uniq = dedupStrings(uniq)
+		idx := make(map[string]int, len(uniq))
+		for i, s := range uniq {
+			idx[s] = i
+		}
+		changed := false
+		for i, s := range sigs {
+			if class[i] != idx[s] {
+				class[i] = idx[s]
+				changed = true
+			}
+		}
+		return changed
+	}
+
+	for {
+		outSig, inSig := sig()
+		co := assign(outSig, outClass)
+		ci := assign(inSig, inClass)
+		if !co && !ci {
+			return outClass, inClass
+		}
+	}
+}
+
+func dedupStrings(sorted []string) []string {
+	out := sorted[:0]
+	for i, s := range sorted {
+		if i == 0 || s != sorted[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// blocksOf groups label indices by class, ordered by class id (which is
+// canonical — see refine).
+func blocksOf(class []int) [][]int {
+	max := -1
+	for _, c := range class {
+		if c > max {
+			max = c
+		}
+	}
+	blocks := make([][]int, max+1)
+	for i, c := range class {
+		blocks[c] = append(blocks[c], i)
+	}
+	return blocks
+}
+
+// forEachBlockPerm enumerates every assignment of canonical positions to
+// labels that keeps each block contiguous in block order, writing
+// perm[old] = new and invoking fn for each complete assignment.
+func forEachBlockPerm(blocks [][]int, perm []int, fn func()) {
+	var rec func(bi, base int)
+	rec = func(bi, base int) {
+		if bi == len(blocks) {
+			fn()
+			return
+		}
+		b := blocks[bi]
+		permuteInts(b, func(order []int) {
+			for i, old := range order {
+				perm[old] = base + i
+			}
+			rec(bi+1, base+len(b))
+		})
+	}
+	rec(0, 0)
+}
+
+// permuteInts calls fn with every permutation of items (Heap's
+// algorithm; the slice is reused across calls).
+func permuteInts(items []int, fn func([]int)) {
+	work := append([]int(nil), items...)
+	n := len(work)
+	if n == 0 {
+		fn(work)
+		return
+	}
+	var rec func(int)
+	rec = func(k int) {
+		if k == 1 {
+			fn(work)
+			return
+		}
+		for i := 0; i < k; i++ {
+			rec(k - 1)
+			if k%2 == 0 {
+				work[i], work[k-1] = work[k-1], work[i]
+			} else {
+				work[0], work[k-1] = work[k-1], work[0]
+			}
+		}
+	}
+	rec(n)
+}
+
+// encode serializes p under the relabeling (inPerm, outPerm), both
+// old -> new, into a deterministic byte string. Names are deliberately
+// excluded: the form identifies constraint structure only.
+func encode(p *lcl.Problem, inPerm, outPerm []int) []byte {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "v1|in%d|out%d|", p.NumIn(), p.NumOut())
+	for _, d := range sortedDegrees(p) {
+		rows := make([]string, 0, len(p.Node[d]))
+		for _, m := range p.Node[d] {
+			rows = append(rows, relabelKey(m, outPerm))
+		}
+		sort.Strings(rows)
+		fmt.Fprintf(&sb, "N%d:%s|", d, strings.Join(rows, " "))
+	}
+	rows := make([]string, 0, len(p.Edge))
+	for _, m := range p.Edge {
+		rows = append(rows, relabelKey(m, outPerm))
+	}
+	sort.Strings(rows)
+	fmt.Fprintf(&sb, "E:%s|", strings.Join(rows, " "))
+	// g rows in canonical input order.
+	gRows := make([]string, p.NumIn())
+	for in, outs := range p.G {
+		relab := make([]int, len(outs))
+		for i, o := range outs {
+			relab[i] = outPerm[o]
+		}
+		sort.Ints(relab)
+		gRows[inPerm[in]] = fmt.Sprintf("%v", relab)
+	}
+	fmt.Fprintf(&sb, "G:%s", strings.Join(gRows, " "))
+	return []byte(sb.String())
+}
+
+// encodeCoarse is encode with labels replaced by refinement class ids
+// (used beyond the search budget). Class maps are not bijections, so g
+// rows are rendered as a sorted multiset of (input class, output class
+// set) pairs rather than positionally. The "c1|" version prefix keeps
+// coarse and exact encodings from ever comparing equal.
+func encodeCoarse(p *lcl.Problem, outClass, inClass []int) []byte {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "c1|in%d|out%d|", p.NumIn(), p.NumOut())
+	for _, d := range sortedDegrees(p) {
+		rows := make([]string, 0, len(p.Node[d]))
+		for _, m := range p.Node[d] {
+			rows = append(rows, relabelKey(m, outClass))
+		}
+		sort.Strings(rows)
+		fmt.Fprintf(&sb, "N%d:%s|", d, strings.Join(rows, " "))
+	}
+	rows := make([]string, 0, len(p.Edge))
+	for _, m := range p.Edge {
+		rows = append(rows, relabelKey(m, outClass))
+	}
+	sort.Strings(rows)
+	fmt.Fprintf(&sb, "E:%s|", strings.Join(rows, " "))
+	gRows := make([]string, 0, p.NumIn())
+	for in, outs := range p.G {
+		relab := make([]int, len(outs))
+		for i, o := range outs {
+			relab[i] = outClass[o]
+		}
+		sort.Ints(relab)
+		gRows = append(gRows, fmt.Sprintf("%d->%v", inClass[in], relab))
+	}
+	sort.Strings(gRows)
+	fmt.Fprintf(&sb, "G:%s", strings.Join(gRows, " "))
+	return []byte(sb.String())
+}
+
+// relabelKey renders a multiset under a relabeling, re-sorted.
+func relabelKey(m lcl.Multiset, perm []int) string {
+	relab := make([]int, len(m))
+	for i, x := range m {
+		relab[i] = perm[x]
+	}
+	sort.Ints(relab)
+	return fmt.Sprintf("%v", relab)
+}
+
+func sortedDegrees(p *lcl.Problem) []int {
+	ds := make([]int, 0, len(p.Node))
+	for d := range p.Node {
+		ds = append(ds, d)
+	}
+	sort.Ints(ds)
+	return ds
+}

@@ -1,0 +1,195 @@
+package canon_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/canon"
+	"repro/internal/enumerate"
+	"repro/internal/lcl"
+	"repro/internal/problems"
+)
+
+// relabel applies a random label isomorphism (output and input
+// permutations, old -> new) to p, producing a structurally distinct but
+// isomorphic problem.
+func relabel(t *testing.T, p *lcl.Problem, rng *rand.Rand) *lcl.Problem {
+	t.Helper()
+	outPerm := rng.Perm(p.NumOut())
+	inPerm := rng.Perm(p.NumIn())
+	q := &lcl.Problem{
+		Name:     p.Name + "-relabeled",
+		InNames:  make([]string, p.NumIn()),
+		OutNames: make([]string, p.NumOut()),
+		Node:     map[int][]lcl.Multiset{},
+		G:        make([][]int, p.NumIn()),
+	}
+	for i, n := range p.InNames {
+		q.InNames[inPerm[i]] = n
+	}
+	for o, n := range p.OutNames {
+		q.OutNames[outPerm[o]] = n
+	}
+	for d, list := range p.Node {
+		for _, m := range list {
+			relab := make([]int, len(m))
+			for i, x := range m {
+				relab[i] = outPerm[x]
+			}
+			q.Node[d] = append(q.Node[d], lcl.NewMultiset(relab...))
+		}
+	}
+	for _, m := range p.Edge {
+		q.Edge = append(q.Edge, lcl.NewMultiset(outPerm[m[0]], outPerm[m[1]]))
+	}
+	for in, outs := range p.G {
+		for _, o := range outs {
+			q.G[inPerm[in]] = append(q.G[inPerm[in]], outPerm[o])
+		}
+	}
+	for i := range q.G {
+		q.G[i] = lcl.NewMultiset(q.G[i]...)
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatalf("relabel broke %s: %v", p.Name, err)
+	}
+	return q
+}
+
+// TestFingerprintInvariance: random relabelings never change the
+// fingerprint, across the standard problem battery (which includes
+// input-labeled problems and varied degrees).
+func TestFingerprintInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	battery := problems.All(3)
+	battery = append(battery, problems.Coloring(3, 2), problems.MIS(2))
+	for _, p := range battery {
+		fp, err := canon.Fingerprint(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		for trial := 0; trial < 8; trial++ {
+			q := relabel(t, p, rng)
+			fq, err := canon.Fingerprint(q)
+			if err != nil {
+				t.Fatalf("%s relabeled: %v", p.Name, err)
+			}
+			if fq != fp {
+				t.Fatalf("%s: fingerprint changed under relabeling: %x vs %x", p.Name, fp, fq)
+			}
+			iso, err := canon.Isomorphic(p, q)
+			if err != nil || !iso {
+				t.Fatalf("%s: Isomorphic(p, relabel(p)) = %v, %v", p.Name, iso, err)
+			}
+		}
+	}
+}
+
+// TestFingerprintMatchesCanonicalKey is the acceptance criterion: over
+// the FULL k=2 and k=3 cycle-LCL spaces, canon fingerprints induce
+// exactly the same equivalence classes as enumerate.CanonicalKey — the
+// same number of classes, and a bijection between the two partitions.
+func TestFingerprintMatchesCanonicalKey(t *testing.T) {
+	for _, k := range []int{2, 3} {
+		total := uint(1) << uint(enumerate.PairCount(k))
+		maskToFP := map[[2]uint]uint64{}
+		fpToMask := map[uint64][2]uint{}
+		classes := map[[2]uint]bool{}
+		fps := map[uint64]bool{}
+		for n2 := uint(0); n2 < total; n2++ {
+			for e := uint(0); e < total; e++ {
+				cn, ce := enumerate.CanonicalKey(k, n2, e)
+				key := [2]uint{cn, ce}
+				fp, err := canon.Fingerprint(enumerate.FromMasks(k, n2, e))
+				if err != nil {
+					t.Fatalf("k=%d n2=%d e=%d: %v", k, n2, e, err)
+				}
+				classes[key] = true
+				fps[fp] = true
+				if prev, ok := maskToFP[key]; ok && prev != fp {
+					t.Fatalf("k=%d: canonical class %v maps to two fingerprints %x, %x (n2=%d e=%d)", k, key, prev, fp, n2, e)
+				}
+				maskToFP[key] = fp
+				if prev, ok := fpToMask[fp]; ok && prev != key {
+					t.Fatalf("k=%d: fingerprint %x covers two canonical classes %v, %v", k, fp, prev, key)
+				}
+				fpToMask[fp] = key
+			}
+		}
+		if len(classes) != len(fps) {
+			t.Fatalf("k=%d: %d canonical-key classes but %d fingerprint classes", k, len(classes), len(fps))
+		}
+		t.Logf("k=%d: %d isomorphism classes over %d problems, partitions agree", k, len(fps), total*total)
+	}
+}
+
+// TestNonIsomorphicDistinct: structurally different small problems get
+// distinct fingerprints.
+func TestNonIsomorphicDistinct(t *testing.T) {
+	a := problems.Coloring(2, 2)
+	b := problems.Coloring(3, 2)
+	fa, err := canon.Fingerprint(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := canon.Fingerprint(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa == fb {
+		t.Fatalf("2-coloring and 3-coloring share fingerprint %x", fa)
+	}
+	iso, err := canon.Isomorphic(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iso {
+		t.Fatal("2-coloring reported isomorphic to 3-coloring")
+	}
+}
+
+// TestCanonicalFormIdempotent: the canonical encoding of a relabeled
+// problem equals the canonical encoding of the original (the form is a
+// true normal form, not merely a hash).
+func TestCanonicalFormIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, p := range problems.All(3) {
+		f, err := canon.Canonicalize(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if !f.Exact {
+			t.Fatalf("%s: expected exact canonical form within default budget", p.Name)
+		}
+		q := relabel(t, p, rng)
+		fq, err := canon.Canonicalize(q)
+		if err != nil {
+			t.Fatalf("%s relabeled: %v", p.Name, err)
+		}
+		if string(f.Encoding) != string(fq.Encoding) {
+			t.Fatalf("%s: canonical encodings differ:\n%s\n%s", p.Name, f.Encoding, fq.Encoding)
+		}
+	}
+}
+
+// TestBudgetDegradation: a tiny budget forces the coarse encoding, which
+// must still be invariant under relabeling.
+func TestBudgetDegradation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := problems.Coloring(4, 2) // 4 interchangeable colors: 24 perms
+	f, err := canon.CanonicalizeBudget(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Exact {
+		t.Fatal("expected coarse form under budget 2")
+	}
+	q := relabel(t, p, rng)
+	fq, err := canon.CanonicalizeBudget(q, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(f.Encoding) != string(fq.Encoding) {
+		t.Fatal("coarse encoding not relabeling-invariant")
+	}
+}

@@ -2,11 +2,16 @@ package enumerate
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
+	"repro/internal/canon"
 	"repro/internal/classify"
 	"repro/internal/lcl"
+	"repro/internal/memo"
 )
 
 // Entry is one classified census row.
@@ -33,21 +38,124 @@ type Census struct {
 // k-letter output alphabet. This regenerates, for cycles, the populated
 // rows of Figure 1: the only classes that appear are O(1), Θ(log* n),
 // Θ(n), and unsolvable — nothing between ω(1) and Θ(log* n).
-func Run(k int, dedup bool) (*Census, error) {
+//
+// Run is RunWith with default options: one classification worker per CPU
+// and no cross-run memoization.
+func Run(k int, dedup bool) (*Census, error) { return RunWith(k, dedup, RunOpts{}) }
+
+// RunOpts configures the census engine.
+type RunOpts struct {
+	// Workers is the number of parallel classification goroutines;
+	// <= 0 selects GOMAXPROCS.
+	Workers int
+	// Cache, when non-nil, memoizes classification results under
+	// memo.Key(CycleDomain, canon fingerprint). A warm cache lets a
+	// census re-run skip every classification (see BenchmarkCensusMemo);
+	// the service layer (internal/service) shares the same keys, so
+	// census runs and API traffic warm each other.
+	Cache *memo.Cache
+}
+
+// CycleDomain is the memo key domain for cycle classification results
+// (*classify.Result values). It is shared with internal/service.
+const CycleDomain = "classify/cycles"
+
+// RunWith enumerates the census, deduplicating label-isomorphic problems
+// by canonical fingerprint (internal/canon) when dedup is set, and fans
+// classification out across a worker pool, consulting the memo cache
+// before invoking the classifier. The result is deterministic and
+// identical to a serial run: classification is a pure function of the
+// canonical form, entries stay in mask order, and with dedup the
+// representative of each class is its lexicographically smallest
+// (node-mask, edge-mask) member — the same representative CanonicalKey
+// selects, since first-encounter order in the mask sweep is exactly
+// lexicographic order.
+// Like CycleLCLs, the census is bounded to k <= 3 (4^10 = 1M raw
+// problems at k = 4 would make the classifier sweep dominate); unlike
+// CycleLCLs it reports the bound as an error rather than panicking.
+func RunWith(k int, dedup bool, opts RunOpts) (*Census, error) {
+	if k < 1 || k > 3 {
+		return nil, fmt.Errorf("enumerate: k = %d out of supported range [1, 3]", k)
+	}
 	c := &Census{
 		K:          k,
 		Dedup:      dedup,
 		ByClass:    map[classify.Class]int{},
 		RawByClass: map[classify.Class]int{},
 	}
-	for _, en := range CycleLCLs(k, dedup) {
-		res, err := classify.Cycles(en.Problem)
-		if err != nil {
-			return nil, fmt.Errorf("enumerate: classify %s: %w", en.Problem.Name, err)
+
+	// Enumerate, fingerprinting every mask problem; with dedup the
+	// fingerprint map replaces the k!-relabeling CanonicalKey sweep.
+	type job struct {
+		en Enumerated
+		fp uint64
+	}
+	var jobs []job
+	total := uint(1) << uint(PairCount(k))
+	seen := map[uint64]int{} // fingerprint -> index in jobs
+	for n2 := uint(0); n2 < total; n2++ {
+		for e := uint(0); e < total; e++ {
+			p := FromMasks(k, n2, e)
+			fp, err := canon.Fingerprint(p)
+			if err != nil {
+				return nil, fmt.Errorf("enumerate: fingerprint %s: %w", p.Name, err)
+			}
+			if dedup {
+				if i, ok := seen[fp]; ok {
+					jobs[i].en.Orbit++
+					continue
+				}
+				seen[fp] = len(jobs)
+			}
+			jobs = append(jobs, job{en: Enumerated{Problem: p, N2Mask: n2, EMask: e, Orbit: 1}, fp: fp})
 		}
-		c.Entries = append(c.Entries, Entry{Enumerated: en, Class: res.Class, Period: res.Period})
-		c.ByClass[res.Class]++
-		c.RawByClass[res.Class] += en.Orbit
+	}
+
+	// Classify over the worker pool, memoizing by fingerprint.
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	results := make([]*classify.Result, len(jobs))
+	errs := make([]error, len(jobs))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				key := memo.Key(CycleDomain, jobs[i].fp)
+				if v, ok := opts.Cache.Get(key); ok {
+					results[i] = v.(*classify.Result)
+					continue
+				}
+				res, err := classify.Cycles(jobs[i].en.Problem)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				opts.Cache.Put(key, res)
+				results[i] = res
+			}
+		}()
+	}
+	wg.Wait()
+
+	for i, j := range jobs {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("enumerate: classify %s: %w", j.en.Problem.Name, errs[i])
+		}
+		c.Entries = append(c.Entries, Entry{Enumerated: j.en, Class: results[i].Class, Period: results[i].Period})
+		c.ByClass[results[i].Class]++
+		c.RawByClass[results[i].Class] += j.en.Orbit
 	}
 	return c, nil
 }

@@ -1,0 +1,88 @@
+package enumerate
+
+import (
+	"testing"
+
+	"repro/internal/classify"
+	"repro/internal/memo"
+)
+
+// TestRunWithMatchesSerial: the parallel, memoized census is
+// deterministic and identical to the defaults whatever the worker count
+// or cache state — entry order, masks, orbits, classes, and counts.
+func TestRunWithMatchesSerial(t *testing.T) {
+	for _, dedup := range []bool{false, true} {
+		base, err := Run(2, dedup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cache := memo.New(4, 4096)
+		for _, workers := range []int{1, 4} {
+			for pass := 0; pass < 2; pass++ { // pass 1 runs fully warm
+				c, err := RunWith(2, dedup, RunOpts{Workers: workers, Cache: cache})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(c.Entries) != len(base.Entries) {
+					t.Fatalf("dedup=%v workers=%d: %d entries, want %d", dedup, workers, len(c.Entries), len(base.Entries))
+				}
+				for i := range c.Entries {
+					a, b := c.Entries[i], base.Entries[i]
+					if a.N2Mask != b.N2Mask || a.EMask != b.EMask || a.Orbit != b.Orbit || a.Class != b.Class || a.Period != b.Period {
+						t.Fatalf("dedup=%v workers=%d: entry %d differs: %+v vs %+v", dedup, workers, i, a, b)
+					}
+				}
+			}
+		}
+		if st := cache.Stats(); st.Hits == 0 {
+			t.Fatalf("dedup=%v: warm re-runs recorded no cache hits: %+v", dedup, st)
+		}
+	}
+}
+
+// TestRunWithDedupMatchesCanonicalKey: the fingerprint-based dedup picks
+// the same representatives (and orbit sizes) as the CanonicalKey-based
+// CycleLCLs sweep it replaces.
+func TestRunWithDedupMatchesCanonicalKey(t *testing.T) {
+	for _, k := range []int{2, 3} {
+		c, err := Run(k, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		old := CycleLCLs(k, true)
+		if len(c.Entries) != len(old) {
+			t.Fatalf("k=%d: %d fingerprint classes vs %d CanonicalKey classes", k, len(c.Entries), len(old))
+		}
+		for i := range old {
+			a, b := c.Entries[i].Enumerated, old[i]
+			if a.N2Mask != b.N2Mask || a.EMask != b.EMask || a.Orbit != b.Orbit {
+				t.Fatalf("k=%d rep %d: canon (N%d,E%d)x%d vs key (N%d,E%d)x%d",
+					k, i, a.N2Mask, a.EMask, a.Orbit, b.N2Mask, b.EMask, b.Orbit)
+			}
+		}
+	}
+}
+
+// TestRunWithWarmCensusSkipsClassification: a census against a warm cache
+// performs zero classifier invocations (every Put happened in the cold
+// run).
+func TestRunWithWarmCensusSkipsClassification(t *testing.T) {
+	cache := memo.New(4, 4096)
+	if _, err := RunWith(2, true, RunOpts{Cache: cache}); err != nil {
+		t.Fatal(err)
+	}
+	puts := cache.Stats().Puts
+	c, err := RunWith(2, true, RunOpts{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cache.Stats().Puts; got != puts {
+		t.Fatalf("warm census classified %d problems", got-puts)
+	}
+	if !c.GapHolds() {
+		t.Fatal("gap violated")
+	}
+	if _, ok := c.ByClass[classify.Constant]; !ok {
+		t.Fatal("constant class missing")
+	}
+}

@@ -1,0 +1,163 @@
+package lcl
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// sampleProblems covers the codec surface: input-free problems, multiple
+// degrees, input-labeled problems with nontrivial g maps, and unicode
+// label names.
+func sampleProblems(t *testing.T) []*Problem {
+	t.Helper()
+	colors := []string{"A", "B", "C"}
+	threeCol := NewBuilder("3-coloring", nil, colors)
+	for i, c := range colors {
+		threeCol.Node(c).Node(c, c)
+		for _, d := range colors[i+1:] {
+			threeCol.Edge(c, d)
+		}
+	}
+
+	// List 2-coloring: input ¬X forbids output X on that half-edge.
+	list := NewBuilder("list-2-coloring", []string{"¬A", "¬B", "·"}, []string{"A", "B"}).
+		Node("A").Node("B").Node("A", "A").Node("B", "B").
+		Edge("A", "B").
+		Allow("¬A", "B").Allow("¬B", "A").Allow("·", "A", "B")
+
+	mixedDeg := NewBuilder("mixed-degrees", nil, []string{"x", "y"}).
+		Node("x").Node("x", "y").Node("x", "x", "y").
+		Edge("x", "x").Edge("x", "y")
+
+	var out []*Problem
+	for _, b := range []*Builder{threeCol, list, mixedDeg} {
+		p, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// normalized strips the lazily built membership caches so that
+// reflect.DeepEqual compares only the problem definition.
+func normalized(p *Problem) *Problem {
+	return &Problem{
+		Name:     p.Name,
+		InNames:  p.InNames,
+		OutNames: p.OutNames,
+		Node:     p.Node,
+		Edge:     p.Edge,
+		G:        p.G,
+	}
+}
+
+// TestCodecRoundTrip: Marshal → Unmarshal is the identity on the problem
+// definition, including input alphabets and the g map.
+func TestCodecRoundTrip(t *testing.T) {
+	for _, p := range sampleProblems(t) {
+		data, err := json.Marshal(p)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", p.Name, err)
+		}
+		q := &Problem{}
+		if err := json.Unmarshal(data, q); err != nil {
+			t.Fatalf("%s: unmarshal: %v\n%s", p.Name, err, data)
+		}
+		if !reflect.DeepEqual(normalized(p), normalized(q)) {
+			t.Fatalf("%s: round trip drift:\nbefore %+v\nafter  %+v\nwire   %s",
+				p.Name, normalized(p), normalized(q), data)
+		}
+	}
+}
+
+// TestCodecRoundTripTwice: a second round trip is byte-identical (the
+// encoding is canonical: sorted configs, sorted g rows).
+func TestCodecRoundTripTwice(t *testing.T) {
+	for _, p := range sampleProblems(t) {
+		first, err := json.Marshal(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := &Problem{}
+		if err := json.Unmarshal(first, q); err != nil {
+			t.Fatal(err)
+		}
+		second, err := json.Marshal(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(first) != string(second) {
+			t.Fatalf("%s: wire form unstable:\n%s\n%s", p.Name, first, second)
+		}
+	}
+}
+
+// TestCodecGMapSemantics: the g map survives with per-input precision —
+// list-coloring's whole point is that g differs per input label.
+func TestCodecGMapSemantics(t *testing.T) {
+	p := sampleProblems(t)[1] // list-2-coloring
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := &Problem{}
+	if err := json.Unmarshal(data, q); err != nil {
+		t.Fatal(err)
+	}
+	if q.NumIn() != 3 {
+		t.Fatalf("input alphabet lost: %v", q.InNames)
+	}
+	// ¬A allows only B, ¬B allows only A, · allows both.
+	cases := []struct {
+		in      string
+		allowed map[string]bool
+	}{
+		{"¬A", map[string]bool{"B": true}},
+		{"¬B", map[string]bool{"A": true}},
+		{"·", map[string]bool{"A": true, "B": true}},
+	}
+	inIdx := map[string]int{}
+	for i, n := range q.InNames {
+		inIdx[n] = i
+	}
+	outIdx := map[string]int{}
+	for i, n := range q.OutNames {
+		outIdx[n] = i
+	}
+	for _, c := range cases {
+		for _, o := range q.OutNames {
+			if got := q.GAllowed(inIdx[c.in], outIdx[o]); got != c.allowed[o] {
+				t.Errorf("g(%s) allows %s = %v, want %v", c.in, o, got, c.allowed[o])
+			}
+		}
+	}
+}
+
+// TestCodecRejectsMalformed: the decoder validates, never panics.
+func TestCodecRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"unknown node label": `{"name":"x","in_alphabet":["·"],"out_alphabet":["A"],
+			"node_constraints":{"1":["Z"]},"edge_constraints":[],"g":{}}`,
+		"degree mismatch": `{"name":"x","in_alphabet":["·"],"out_alphabet":["A"],
+			"node_constraints":{"2":["A"]},"edge_constraints":[],"g":{}}`,
+		"edge arity": `{"name":"x","in_alphabet":["·"],"out_alphabet":["A"],
+			"node_constraints":{},"edge_constraints":["A A A"],"g":{}}`,
+		"unknown g input": `{"name":"x","in_alphabet":["·"],"out_alphabet":["A"],
+			"node_constraints":{},"edge_constraints":[],"g":{"zap":["A"]}}`,
+		"unknown g output": `{"name":"x","in_alphabet":["·"],"out_alphabet":["A"],
+			"node_constraints":{},"edge_constraints":[],"g":{"·":["Z"]}}`,
+		"bad degree key": `{"name":"x","in_alphabet":["·"],"out_alphabet":["A"],
+			"node_constraints":{"two":["A A"]},"edge_constraints":[],"g":{}}`,
+		"empty alphabet": `{"name":"x","in_alphabet":[],"out_alphabet":[],
+			"node_constraints":{},"edge_constraints":[],"g":{}}`,
+	}
+	for name, raw := range cases {
+		q := &Problem{}
+		if err := json.Unmarshal([]byte(raw), q); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -1,0 +1,243 @@
+// Package memo provides a sharded, concurrency-safe memoization cache
+// for classification results keyed by canonical fingerprint
+// (internal/canon).
+//
+// Classification is a pure function of the canonical form — the classes
+// decided by internal/classify, internal/core, and internal/enumerate
+// are invariant under label isomorphism — so memoizing by fingerprint is
+// semantically transparent: a hit returns exactly what recomputation
+// would. The cache exists to make the service layer (internal/service)
+// and the census (internal/enumerate) sublinear in repeated traffic.
+//
+// Design: the key space is split across N shards by the high bits of a
+// mixed key. Each shard holds an independent mutex, a hash map, and an
+// intrusive LRU list with a per-shard capacity bound, so concurrent
+// readers and writers on different shards never contend and eviction is
+// O(1). Hit/miss/eviction counters are global atomics, readable without
+// stopping the world.
+package memo
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultShards is the shard count used when a Config leaves it zero.
+// 16 shards keep contention negligible up to several dozen worker
+// goroutines while costing only a few hundred bytes of fixed overhead.
+const DefaultShards = 16
+
+// DefaultCapacity is the default total entry bound across all shards.
+const DefaultCapacity = 1 << 16
+
+// Cache is a sharded LRU memoization cache. The zero value is not
+// usable; construct with New. A nil *Cache is a valid "no caching"
+// cache: Get always misses and Put is a no-op, so callers can thread an
+// optional cache without branching.
+type Cache struct {
+	shards []shard
+	mask   uint64
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+	puts      atomic.Uint64
+}
+
+type shard struct {
+	mu  sync.Mutex
+	m   map[uint64]*entry
+	cap int
+	// Intrusive doubly-linked LRU ring; root.next is most recent.
+	root entry
+}
+
+type entry struct {
+	key        uint64
+	value      any
+	prev, next *entry
+}
+
+// New builds a cache with the given shard count (rounded up to a power
+// of two) and total capacity; zero or negative arguments select the
+// defaults.
+func New(shardCount, capacity int) *Cache {
+	if shardCount <= 0 {
+		shardCount = DefaultShards
+	}
+	n := 1
+	for n < shardCount {
+		n <<= 1
+	}
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	perShard := (capacity + n - 1) / n
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &Cache{shards: make([]shard, n), mask: uint64(n - 1)}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.m = make(map[uint64]*entry)
+		s.cap = perShard
+		s.root.prev, s.root.next = &s.root, &s.root
+	}
+	return c
+}
+
+// shardFor mixes the key (fingerprints are already uniform, but domain
+// mixing in Key is cheap insurance) and selects a shard by the low bits.
+func (c *Cache) shardFor(key uint64) *shard {
+	return &c.shards[mix(key)&c.mask]
+}
+
+// Get returns the cached value for key, marking it most recently used.
+func (c *Cache) Get(key uint64) (any, bool) {
+	if c == nil {
+		return nil, false
+	}
+	s := c.shardFor(key)
+	s.mu.Lock()
+	e, ok := s.m[key]
+	var v any
+	if ok {
+		s.moveToFront(e)
+		// Copy under the lock: a concurrent Put on the same key mutates
+		// e.value, and an unsynchronized interface read can tear.
+		v = e.value
+	}
+	s.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return v, true
+}
+
+// Put stores value under key, evicting the least recently used entry of
+// the shard when it is full. Storing an existing key refreshes its value
+// and recency.
+func (c *Cache) Put(key uint64, value any) {
+	if c == nil {
+		return
+	}
+	c.puts.Add(1)
+	s := c.shardFor(key)
+	s.mu.Lock()
+	if e, ok := s.m[key]; ok {
+		e.value = value
+		s.moveToFront(e)
+		s.mu.Unlock()
+		return
+	}
+	evicted := false
+	if len(s.m) >= s.cap {
+		lru := s.root.prev
+		s.unlink(lru)
+		delete(s.m, lru.key)
+		evicted = true
+	}
+	e := &entry{key: key, value: value}
+	s.m[key] = e
+	s.pushFront(e)
+	s.mu.Unlock()
+	if evicted {
+		c.evictions.Add(1)
+	}
+}
+
+// Len returns the current number of entries across all shards.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats is a point-in-time snapshot of cache counters.
+type Stats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Puts      uint64 `json:"puts"`
+	Size      int    `json:"size"`
+	Shards    int    `json:"shards"`
+	Capacity  int    `json:"capacity"`
+}
+
+// Stats snapshots the counters (counters are individually atomic; the
+// snapshot is not a single linearization point, which is fine for
+// monitoring).
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Puts:      c.puts.Load(),
+		Size:      c.Len(),
+		Shards:    len(c.shards),
+		Capacity:  len(c.shards) * c.shards[0].cap,
+	}
+}
+
+func (s *shard) pushFront(e *entry) {
+	e.prev = &s.root
+	e.next = s.root.next
+	e.prev.next = e
+	e.next.prev = e
+}
+
+func (s *shard) unlink(e *entry) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	e.prev, e.next = nil, nil
+}
+
+func (s *shard) moveToFront(e *entry) {
+	s.unlink(e)
+	s.pushFront(e)
+}
+
+// mix is splitmix64's finalizer: distributes shard selection even for
+// adversarially clustered keys.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Key derives a cache key from a classification domain (e.g. "cycles",
+// "trees/8") and a canonical problem fingerprint, so distinct engines
+// and parameterizations never alias in a shared cache. FNV-1a over the
+// domain bytes, then the fingerprint bytes.
+func Key(domain string, fp uint64) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(domain); i++ {
+		h ^= uint64(domain[i])
+		h *= prime
+	}
+	for i := 0; i < 8; i++ {
+		h ^= (fp >> (8 * i)) & 0xff
+		h *= prime
+	}
+	return h
+}

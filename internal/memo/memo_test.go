@@ -1,0 +1,163 @@
+package memo
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestGetPut(t *testing.T) {
+	c := New(4, 64)
+	if _, ok := c.Get(42); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(42, "answer")
+	v, ok := c.Get(42)
+	if !ok || v.(string) != "answer" {
+		t.Fatalf("got %v, %v", v, ok)
+	}
+	c.Put(42, "revised")
+	if v, _ := c.Get(42); v.(string) != "revised" {
+		t.Fatalf("overwrite lost: %v", v)
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Puts != 2 || st.Size != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Single shard so recency order is globally observable.
+	c := New(1, 3)
+	c.Put(1, "a")
+	c.Put(2, "b")
+	c.Put(3, "c")
+	c.Get(1) // 1 is now most recent; 2 is LRU
+	c.Put(4, "d")
+	if _, ok := c.Get(2); ok {
+		t.Fatal("LRU entry 2 survived eviction")
+	}
+	for _, k := range []uint64{1, 3, 4} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("entry %d evicted out of order", k)
+		}
+	}
+	if st := c.Stats(); st.Evictions != 1 || st.Size != 3 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestNilCache(t *testing.T) {
+	var c *Cache
+	c.Put(1, "x")
+	if _, ok := c.Get(1); ok {
+		t.Fatal("nil cache hit")
+	}
+	if c.Len() != 0 || c.Stats() != (Stats{}) {
+		t.Fatal("nil cache not empty")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(8, 1024)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := uint64(i % 512)
+				if v, ok := c.Get(k); ok {
+					if v.(uint64) != k {
+						t.Errorf("key %d holds %v", k, v)
+						return
+					}
+				} else {
+					c.Put(k, k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > 1024 {
+		t.Fatalf("capacity exceeded: %d", c.Len())
+	}
+}
+
+// TestConcurrentSameKey: concurrent Puts and Gets on one key — the
+// overwrite path mutates the entry in place, so Get must copy the value
+// under the shard lock (caught by -race before the copy existed).
+func TestConcurrentSameKey(t *testing.T) {
+	c := New(1, 8)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				if w%2 == 0 {
+					c.Put(7, i)
+				} else if v, ok := c.Get(7); ok {
+					_ = v.(int)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestCapacityBound(t *testing.T) {
+	c := New(4, 16)
+	for i := uint64(0); i < 1000; i++ {
+		c.Put(i, i)
+	}
+	if c.Len() > 16 {
+		t.Fatalf("len %d exceeds capacity 16", c.Len())
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("no evictions recorded")
+	}
+}
+
+func TestKeyDomainSeparation(t *testing.T) {
+	fp := uint64(0xdeadbeefcafef00d)
+	if Key("cycles", fp) == Key("trees/8", fp) {
+		t.Fatal("domains alias")
+	}
+	if Key("cycles", fp) != Key("cycles", fp) {
+		t.Fatal("Key not deterministic")
+	}
+	// Distinct fingerprints under the same domain must not alias.
+	seen := map[uint64]uint64{}
+	for fp := uint64(0); fp < 10000; fp++ {
+		k := Key("cycles", fp)
+		if prev, ok := seen[k]; ok {
+			t.Fatalf("fingerprints %d and %d alias under key %x", prev, fp, k)
+		}
+		seen[k] = fp
+	}
+}
+
+func BenchmarkCacheParallel(b *testing.B) {
+	c := New(DefaultShards, 1<<14)
+	for i := uint64(0); i < 1<<12; i++ {
+		c.Put(i, i)
+	}
+	b.RunParallel(func(pb *testing.PB) {
+		i := uint64(0)
+		for pb.Next() {
+			c.Get(i & (1<<12 - 1))
+			i++
+		}
+	})
+	b.ReportMetric(float64(c.Stats().Hits), "hits")
+}
+
+func ExampleCache() {
+	c := New(2, 8)
+	c.Put(Key("cycles", 7), "Θ(log* n)")
+	v, _ := c.Get(Key("cycles", 7))
+	fmt.Println(v)
+	// Output: Θ(log* n)
+}

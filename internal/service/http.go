@@ -1,0 +1,277 @@
+// HTTP/JSON transport for the classification engine: the handlers behind
+// cmd/lclserver. Problem payloads use the symbolic JSON codec of
+// internal/lcl (label names, self-describing, stable under reordering),
+// so any problem the library can build round-trips through the API.
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/lcl"
+)
+
+// NewHandler returns the lclserver route table:
+//
+//	POST /v1/classify        one classification request
+//	POST /v1/classify/batch  positional batch over the worker pool
+//	GET  /v1/census/{k}      the classified cycle-LCL census for k labels
+//	GET  /healthz            liveness
+//	GET  /statsz             engine + cache counters
+func NewHandler(e *Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/classify", e.handleClassify)
+	mux.HandleFunc("POST /v1/classify/batch", e.handleBatch)
+	mux.HandleFunc("GET /v1/census/{k}", e.handleCensus)
+	mux.HandleFunc("GET /healthz", handleHealthz)
+	mux.HandleFunc("GET /statsz", e.handleStatsz)
+	return mux
+}
+
+// wireRequest is the JSON form of a Request.
+type wireRequest struct {
+	Mode      string          `json:"mode"`
+	Problem   json.RawMessage `json:"problem"`
+	MaxLevels int             `json:"max_levels,omitempty"`
+	MaxRadius int             `json:"max_radius,omitempty"`
+}
+
+// wireResponse is the JSON form of a Response, flattened to strings a
+// client can read without the library's enums.
+type wireResponse struct {
+	Problem     string `json:"problem"`
+	Mode        string `json:"mode"`
+	Fingerprint string `json:"fingerprint"`
+	CacheHit    bool   `json:"cache_hit"`
+	Coalesced   bool   `json:"coalesced,omitempty"`
+
+	// ModeCycles
+	Class   string `json:"class,omitempty"`
+	Period  int    `json:"period,omitempty"`
+	Witness string `json:"witness,omitempty"`
+	// ModeTrees
+	Trees *wireTrees `json:"trees,omitempty"`
+	// ModePathsInputs
+	Paths *wirePaths `json:"paths,omitempty"`
+	// ModeSynthesize
+	Synth *wireSynth `json:"synthesize,omitempty"`
+
+	Error string `json:"error,omitempty"`
+}
+
+type wireTrees struct {
+	Verdict    string `json:"verdict"`
+	Constant   bool   `json:"constant"`
+	LowerBound bool   `json:"lower_bound"`
+	Level      int    `json:"level"`
+}
+
+type wirePaths struct {
+	SolvableAllInputs bool  `json:"solvable_all_inputs"`
+	BadInput          []int `json:"bad_input,omitempty"`
+}
+
+type wireSynth struct {
+	Found  bool `json:"found"`
+	Radius int  `json:"radius"`
+}
+
+// decodeRequest parses one wire request into an engine Request; the
+// problem payload is validated by the lcl codec.
+func decodeRequest(wr *wireRequest) (Request, error) {
+	var req Request
+	if len(wr.Problem) == 0 {
+		return req, fmt.Errorf("missing problem payload")
+	}
+	p := &lcl.Problem{}
+	if err := json.Unmarshal(wr.Problem, p); err != nil {
+		return req, fmt.Errorf("invalid problem: %v", err)
+	}
+	req.Problem = p
+	req.Mode = Mode(wr.Mode)
+	req.MaxLevels = wr.MaxLevels
+	req.MaxRadius = wr.MaxRadius
+	return req, nil
+}
+
+// encodeResponse flattens an engine response for the wire.
+func encodeResponse(name string, resp *Response) *wireResponse {
+	wr := &wireResponse{
+		Problem:     name,
+		Mode:        string(resp.Mode),
+		Fingerprint: fmt.Sprintf("%016x", resp.Fingerprint),
+		CacheHit:    resp.CacheHit,
+		Coalesced:   resp.Coalesced,
+	}
+	switch {
+	case resp.Cycles != nil:
+		wr.Class = resp.Cycles.Class.String()
+		wr.Period = resp.Cycles.Period
+		wr.Witness = resp.Cycles.Witness
+	case resp.Trees != nil:
+		wr.Trees = &wireTrees{
+			Verdict:    resp.Trees.String(),
+			Constant:   resp.Trees.Constant,
+			LowerBound: resp.Trees.LowerBound,
+			Level:      resp.Trees.Level,
+		}
+	case resp.Paths != nil:
+		wr.Paths = &wirePaths{
+			SolvableAllInputs: resp.Paths.SolvableAllInputs,
+			BadInput:          resp.Paths.BadInput,
+		}
+	case resp.Synth != nil:
+		wr.Synth = &wireSynth{Found: resp.Synth.Found, Radius: resp.Synth.Radius}
+	}
+	return wr
+}
+
+func (e *Engine) handleClassify(w http.ResponseWriter, r *http.Request) {
+	var wr wireRequest
+	if err := json.NewDecoder(r.Body).Decode(&wr); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	req, err := decodeRequest(&wr)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp, err := e.Classify(req)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, encodeResponse(req.Problem.Name, resp))
+}
+
+type wireBatchRequest struct {
+	Requests []wireRequest `json:"requests"`
+}
+
+type wireBatchResponse struct {
+	Results []*wireResponse `json:"results"`
+}
+
+func (e *Engine) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var wb wireBatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&wb); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	if len(wb.Requests) == 0 {
+		httpError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	// Decode errors keep their slot so results stay positional.
+	reqs := make([]Request, len(wb.Requests))
+	decodeErrs := make([]error, len(wb.Requests))
+	for i := range wb.Requests {
+		reqs[i], decodeErrs[i] = decodeRequest(&wb.Requests[i])
+	}
+	valid := make([]Request, 0, len(reqs))
+	pos := make([]int, 0, len(reqs))
+	for i := range reqs {
+		if decodeErrs[i] == nil {
+			valid = append(valid, reqs[i])
+			pos = append(pos, i)
+		}
+	}
+	items := e.ClassifyBatch(valid)
+	out := wireBatchResponse{Results: make([]*wireResponse, len(reqs))}
+	for i, err := range decodeErrs {
+		if err != nil {
+			out.Results[i] = &wireResponse{Mode: wb.Requests[i].Mode, Error: err.Error()}
+		}
+	}
+	for j, item := range items {
+		i := pos[j]
+		if item.Err != nil {
+			out.Results[i] = &wireResponse{
+				Problem: valid[j].Problem.Name,
+				Mode:    string(valid[j].Mode),
+				Error:   item.Err.Error(),
+			}
+			continue
+		}
+		out.Results[i] = encodeResponse(valid[j].Problem.Name, item.Response)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// wireCensus summarizes a census for the wire: per-class counts rather
+// than the full entry list (4096 raw problems at k = 3).
+type wireCensus struct {
+	K                  int                       `json:"k"`
+	Dedup              bool                      `json:"dedup"`
+	TotalProblems      int                       `json:"total_problems"`
+	IsomorphismClasses int                       `json:"isomorphism_classes,omitempty"`
+	Classes            map[string]wireClassCount `json:"classes"`
+	GapHolds           bool                      `json:"gap_holds"`
+}
+
+type wireClassCount struct {
+	Raw       int `json:"raw"`
+	Canonical int `json:"canonical,omitempty"`
+}
+
+func (e *Engine) handleCensus(w http.ResponseWriter, r *http.Request) {
+	k, err := strconv.Atoi(r.PathValue("k"))
+	if err != nil || k < 1 || k > 3 {
+		httpError(w, http.StatusBadRequest, "census k must be an integer in [1, 3]")
+		return
+	}
+	dedup := true
+	if v := r.URL.Query().Get("dedup"); v != "" {
+		dedup, err = strconv.ParseBool(v)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "invalid dedup: %v", err)
+			return
+		}
+	}
+	c, err := e.Census(k, dedup)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	wc := wireCensus{
+		K:        c.K,
+		Dedup:    c.Dedup,
+		Classes:  map[string]wireClassCount{},
+		GapHolds: c.GapHolds(),
+	}
+	for cl, n := range c.RawByClass {
+		wc.TotalProblems += n
+		cc := wireClassCount{Raw: n}
+		if dedup {
+			cc.Canonical = c.ByClass[cl]
+		}
+		wc.Classes[cl.String()] = cc
+	}
+	if dedup {
+		wc.IsomorphismClasses = len(c.Entries)
+	}
+	writeJSON(w, http.StatusOK, wc)
+}
+
+func handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (e *Engine) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, e.Stats())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,285 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/lcl"
+	"repro/internal/problems"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	e := New(Config{Workers: 4})
+	srv := httptest.NewServer(NewHandler(e))
+	t.Cleanup(func() {
+		srv.Close()
+		e.Close()
+	})
+	return srv
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out.Bytes()
+}
+
+func getJSON(t *testing.T, url string, into any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if into != nil {
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+// classifyBody builds a /v1/classify payload with the problem embedded
+// via the lcl codec.
+func classifyBody(t *testing.T, mode string, p json.Marshaler) map[string]any {
+	t.Helper()
+	raw, err := p.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]any{"mode": mode, "problem": json.RawMessage(raw)}
+}
+
+func TestHTTPClassifyCycles(t *testing.T) {
+	srv := newTestServer(t)
+	resp, body := postJSON(t, srv.URL+"/v1/classify", classifyBody(t, "cycles", problems.Coloring(3, 2)))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var wr wireResponse
+	if err := json.Unmarshal(body, &wr); err != nil {
+		t.Fatal(err)
+	}
+	if wr.Class != "Θ(log* n)" {
+		t.Fatalf("class %q, body %s", wr.Class, body)
+	}
+	if wr.Problem != "3-coloring" || len(wr.Fingerprint) != 16 {
+		t.Fatalf("metadata: %s", body)
+	}
+
+	// Second identical request is a cache hit.
+	_, body = postJSON(t, srv.URL+"/v1/classify", classifyBody(t, "cycles", problems.Coloring(3, 2)))
+	if err := json.Unmarshal(body, &wr); err != nil {
+		t.Fatal(err)
+	}
+	if !wr.CacheHit {
+		t.Fatalf("repeat not served from cache: %s", body)
+	}
+}
+
+func TestHTTPClassifyTreesAndSynth(t *testing.T) {
+	srv := newTestServer(t)
+	resp, body := postJSON(t, srv.URL+"/v1/classify", classifyBody(t, "trees", problems.Trivial(2)))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var wr wireResponse
+	if err := json.Unmarshal(body, &wr); err != nil {
+		t.Fatal(err)
+	}
+	if wr.Trees == nil || !wr.Trees.Constant {
+		t.Fatalf("trees verdict: %s", body)
+	}
+
+	_, body = postJSON(t, srv.URL+"/v1/classify", classifyBody(t, "synthesize", problems.Trivial(2)))
+	if err := json.Unmarshal(body, &wr); err != nil {
+		t.Fatal(err)
+	}
+	if wr.Synth == nil || !wr.Synth.Found || wr.Synth.Radius != 0 {
+		t.Fatalf("synth outcome: %s", body)
+	}
+}
+
+func TestHTTPClassifyErrors(t *testing.T) {
+	srv := newTestServer(t)
+	// Malformed JSON.
+	resp, err := http.Post(srv.URL+"/v1/classify", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON: status %d", resp.StatusCode)
+	}
+	// Missing problem.
+	resp, body := postJSON(t, srv.URL+"/v1/classify", map[string]any{"mode": "cycles"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing problem: status %d, %s", resp.StatusCode, body)
+	}
+	// Semantically invalid: cycles on an input-labeled problem.
+	inputful := lcl.NewBuilder("inputful", []string{"x", "y"}, []string{"A"}).
+		Node("A", "A").Edge("A", "A").Allow("x", "A").Allow("y", "A").MustBuild()
+	resp, body = postJSON(t, srv.URL+"/v1/classify", classifyBody(t, "cycles", inputful))
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("inputful cycles: status %d, %s", resp.StatusCode, body)
+	}
+	// Unknown mode.
+	resp, body = postJSON(t, srv.URL+"/v1/classify", classifyBody(t, "oracle", problems.Trivial(2)))
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("unknown mode: status %d, %s", resp.StatusCode, body)
+	}
+	// Wrong method.
+	resp = getJSON(t, srv.URL+"/v1/classify", nil)
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET classify: status %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPBatch(t *testing.T) {
+	srv := newTestServer(t)
+	c3, _ := problems.Coloring(3, 2).MarshalJSON()
+	triv, _ := problems.Trivial(2).MarshalJSON()
+	body := map[string]any{"requests": []map[string]any{
+		{"mode": "cycles", "problem": json.RawMessage(c3)},
+		{"mode": "cycles"}, // decode error: missing problem
+		{"mode": "paths-inputs", "problem": json.RawMessage(triv)},
+		{"mode": "cycles", "problem": json.RawMessage(c3)}, // duplicate
+	}}
+	resp, raw := postJSON(t, srv.URL+"/v1/classify/batch", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var out wireBatchResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 4 {
+		t.Fatalf("%d results", len(out.Results))
+	}
+	if out.Results[0].Class != "Θ(log* n)" || out.Results[0].Error != "" {
+		t.Fatalf("result 0: %+v", out.Results[0])
+	}
+	if out.Results[1].Error == "" {
+		t.Fatalf("result 1 should carry a decode error: %+v", out.Results[1])
+	}
+	if out.Results[2].Paths == nil || !out.Results[2].Paths.SolvableAllInputs {
+		t.Fatalf("result 2: %+v", out.Results[2])
+	}
+	// Exactly one of the two identical requests computed; the other was
+	// served from cache or coalesced (scheduling decides which slot).
+	computed := 0
+	for _, i := range []int{0, 3} {
+		if !out.Results[i].CacheHit && !out.Results[i].Coalesced {
+			computed++
+		}
+	}
+	if computed != 1 {
+		t.Fatalf("%d computations for duplicate batch entries: %+v / %+v", computed, out.Results[0], out.Results[3])
+	}
+
+	// Empty batch is rejected.
+	resp, raw = postJSON(t, srv.URL+"/v1/classify/batch", map[string]any{"requests": []any{}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty batch: status %d, %s", resp.StatusCode, raw)
+	}
+}
+
+func TestHTTPCensus(t *testing.T) {
+	srv := newTestServer(t)
+	var wc wireCensus
+	resp := getJSON(t, srv.URL+"/v1/census/2", &wc)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if wc.K != 2 || !wc.Dedup || !wc.GapHolds {
+		t.Fatalf("census header: %+v", wc)
+	}
+	if wc.TotalProblems != 64 {
+		t.Fatalf("k=2 raw total %d, want 64", wc.TotalProblems)
+	}
+	if _, ok := wc.Classes["Θ(log* n)"]; ok {
+		if wc.Classes["Θ(log* n)"].Raw != 0 {
+			t.Fatalf("k=2 census has log* problems: %+v", wc.Classes)
+		}
+	}
+
+	// dedup=false drops class-representative counts.
+	resp = getJSON(t, srv.URL+"/v1/census/2?dedup=false", &wc)
+	if resp.StatusCode != http.StatusOK || wc.Dedup {
+		t.Fatalf("dedup=false: %d %+v", resp.StatusCode, wc)
+	}
+
+	for _, bad := range []string{"/v1/census/0", "/v1/census/9", "/v1/census/x", "/v1/census/2?dedup=maybe"} {
+		resp := getJSON(t, srv.URL+bad, nil)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d", bad, resp.StatusCode)
+		}
+	}
+}
+
+func TestHTTPHealthzStatsz(t *testing.T) {
+	srv := newTestServer(t)
+	var health map[string]string
+	if resp := getJSON(t, srv.URL+"/healthz", &health); resp.StatusCode != http.StatusOK || health["status"] != "ok" {
+		t.Fatalf("healthz: %+v", health)
+	}
+
+	// Drive one request so the counters move.
+	postJSON(t, srv.URL+"/v1/classify", classifyBody(t, "cycles", problems.Coloring(3, 2)))
+	var st Stats
+	if resp := getJSON(t, srv.URL+"/statsz", &st); resp.StatusCode != http.StatusOK {
+		t.Fatalf("statsz status %d", resp.StatusCode)
+	}
+	if st.Requests == 0 || st.ByMode[ModeCycles] == 0 || st.Workers != 4 {
+		t.Fatalf("statsz: %+v", st)
+	}
+	if st.Cache.Puts == 0 {
+		t.Fatalf("statsz cache: %+v", st.Cache)
+	}
+}
+
+// TestHTTPRoundTripThroughCodec: a problem marshaled by the codec, sent
+// over the API, and classified equals the in-process classification —
+// the wire format loses nothing the classifier needs.
+func TestHTTPRoundTripThroughCodec(t *testing.T) {
+	srv := newTestServer(t)
+	for _, p := range problems.All(2) {
+		if p.NumIn() != 1 {
+			continue // cycles mode is input-free
+		}
+		e := New(Config{Workers: 1})
+		want, err := e.Classify(Request{Problem: p, Mode: ModeCycles})
+		e.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		_, raw := postJSON(t, srv.URL+"/v1/classify", classifyBody(t, "cycles", p))
+		var wr wireResponse
+		if err := json.Unmarshal(raw, &wr); err != nil {
+			t.Fatal(err)
+		}
+		if wr.Class != want.Cycles.Class.String() {
+			t.Fatalf("%s: API says %q, library says %q", p.Name, wr.Class, want.Cycles.Class)
+		}
+		if wr.Fingerprint != fmt.Sprintf("%016x", want.Fingerprint) {
+			t.Fatalf("%s: fingerprint drift across the wire", p.Name)
+		}
+	}
+}

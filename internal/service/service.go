@@ -1,0 +1,410 @@
+// Package service is the batch classification engine behind the
+// lclserver API: it fans classification requests out across a
+// configurable worker pool, deduplicates identical in-flight requests
+// (singleflight), and memoizes results in a sharded cache keyed by
+// canonical fingerprint (internal/canon, internal/memo).
+//
+// The engine is sound because every classifier it dispatches to decides
+// a property invariant under label isomorphism: the cycle classes of
+// Chang–Studený–Suomela-style decidability (classify.Cycles, Section
+// 1.4), the Theorem 1.1 tree gap pipeline (core.ClassifyOnTrees), path
+// solvability with adversarial inputs (classify.PathsWithInputs), and
+// order-invariant constant-round synthesis (enumerate.Decide) all depend
+// only on the constraint structure of Π = (Σin, Σout, N, E, g), never on
+// the alphabet spelling. Classification is therefore a pure function of
+// the canonical form, and a cache hit returns exactly what recomputation
+// would.
+package service
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/canon"
+	"repro/internal/classify"
+	"repro/internal/core"
+	"repro/internal/enumerate"
+	"repro/internal/lcl"
+	"repro/internal/memo"
+)
+
+// Mode selects which decision procedure a request runs.
+type Mode string
+
+// The four classification backends.
+const (
+	// ModeCycles decides O(1) / Θ(log* n) / Θ(n) / unsolvable on cycles
+	// (input-free problems only).
+	ModeCycles Mode = "cycles"
+	// ModeTrees runs the Theorem 1.1 round-elimination gap pipeline on
+	// trees and forests.
+	ModeTrees Mode = "trees"
+	// ModePathsInputs decides solvability on all input-labeled paths.
+	ModePathsInputs Mode = "paths-inputs"
+	// ModeSynthesize searches for an order-invariant constant-round
+	// cycle algorithm (radii 0..MaxRadius).
+	ModeSynthesize Mode = "synthesize"
+)
+
+// Defaults for per-mode search depths when a request leaves them zero.
+const (
+	DefaultMaxLevels = 6 // round-elimination levels for ModeTrees
+	DefaultMaxRadius = 2 // synthesis radius cap for ModeSynthesize
+)
+
+// Request is one classification request.
+type Request struct {
+	Problem *lcl.Problem
+	Mode    Mode
+	// MaxLevels bounds the ModeTrees round-elimination depth
+	// (DefaultMaxLevels when zero).
+	MaxLevels int
+	// MaxRadius bounds the ModeSynthesize radius search
+	// (DefaultMaxRadius when zero).
+	MaxRadius int
+}
+
+// SynthOutcome is the ModeSynthesize result.
+type SynthOutcome struct {
+	// Algorithm is the synthesized order-invariant algorithm (nil when
+	// Found is false).
+	Algorithm *enumerate.Synthesized
+	// Radius is the smallest radius at which synthesis succeeded.
+	Radius int
+	// Found reports whether any radius <= MaxRadius admits an algorithm;
+	// false is a proof of non-existence for the searched radii.
+	Found bool
+}
+
+// Response is a classification result plus serving metadata. Exactly one
+// of Cycles / Trees / Paths / Synth is set, matching Mode.
+type Response struct {
+	Mode        Mode
+	Fingerprint uint64
+	// CacheHit reports the result came from the memo cache.
+	CacheHit bool
+	// Coalesced reports the request waited on an identical in-flight
+	// computation instead of running its own.
+	Coalesced bool
+
+	Cycles *classify.Result
+	Trees  *core.TreeVerdict
+	Paths  *classify.InputsResult
+	Synth  *SynthOutcome
+}
+
+// Config configures an Engine.
+type Config struct {
+	// Workers is the size of the batch worker pool (<= 0 selects 4).
+	Workers int
+	// CacheShards and CacheCapacity size the memo cache (memo defaults
+	// when zero). Cache overrides both with an externally shared cache.
+	CacheShards   int
+	CacheCapacity int
+	Cache         *memo.Cache
+}
+
+// DefaultWorkers is the worker pool size when Config leaves it zero.
+const DefaultWorkers = 4
+
+// Engine is the classification service. It is safe for concurrent use.
+type Engine struct {
+	cache   *memo.Cache
+	workers int
+
+	jobs chan func()
+	wg   sync.WaitGroup
+
+	mu       sync.Mutex
+	inflight map[uint64]*call
+	closed   bool
+
+	requests  atomic.Uint64
+	errors    atomic.Uint64
+	coalesced atomic.Uint64
+	byMode    [4]atomic.Uint64
+}
+
+// call is one in-flight computation that later identical requests attach
+// to. payload is the mode-specific result value — the same value the
+// memo cache stores, so census runs (which cache *classify.Result under
+// the cycles domain) and API traffic interoperate.
+type call struct {
+	done    chan struct{}
+	payload any
+	err     error
+}
+
+// New starts an engine with cfg's worker pool and cache.
+func New(cfg Config) *Engine {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = DefaultWorkers
+	}
+	cache := cfg.Cache
+	if cache == nil {
+		cache = memo.New(cfg.CacheShards, cfg.CacheCapacity)
+	}
+	e := &Engine{
+		cache:    cache,
+		workers:  workers,
+		jobs:     make(chan func()),
+		inflight: map[uint64]*call{},
+	}
+	for i := 0; i < workers; i++ {
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			for job := range e.jobs {
+				job()
+			}
+		}()
+	}
+	return e
+}
+
+// Close stops the worker pool; in-flight batch items finish first.
+// Classify remains usable after Close (it runs on the caller's
+// goroutine); ClassifyBatch does not.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if !e.closed {
+		e.closed = true
+		close(e.jobs)
+	}
+	e.mu.Unlock()
+	e.wg.Wait()
+}
+
+// modeIndex maps a Mode to its stats slot.
+func modeIndex(m Mode) int {
+	switch m {
+	case ModeCycles:
+		return 0
+	case ModeTrees:
+		return 1
+	case ModePathsInputs:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// domain returns the memo key domain for a request: the mode plus every
+// parameter that can change the answer, so differently parameterized
+// requests never alias.
+func domain(req *Request) string {
+	switch req.Mode {
+	case ModeCycles:
+		return enumerate.CycleDomain
+	case ModeTrees:
+		return fmt.Sprintf("classify/trees/%d", req.MaxLevels)
+	case ModePathsInputs:
+		return "classify/paths-inputs"
+	default:
+		return fmt.Sprintf("classify/synth/%d", req.MaxRadius)
+	}
+}
+
+// normalize validates the request and fills parameter defaults.
+func normalize(req *Request) error {
+	if req.Problem == nil {
+		return fmt.Errorf("service: nil problem")
+	}
+	switch req.Mode {
+	case ModeCycles, ModeTrees, ModePathsInputs, ModeSynthesize:
+	default:
+		return fmt.Errorf("service: unknown mode %q", req.Mode)
+	}
+	if req.MaxLevels <= 0 {
+		req.MaxLevels = DefaultMaxLevels
+	}
+	if req.MaxRadius <= 0 {
+		req.MaxRadius = DefaultMaxRadius
+	}
+	return nil
+}
+
+// Classify serves one request: canonicalize, consult the cache, coalesce
+// with an identical in-flight request if one exists, otherwise compute
+// and populate the cache.
+func (e *Engine) Classify(req Request) (*Response, error) {
+	if err := normalize(&req); err != nil {
+		e.errors.Add(1)
+		return nil, err
+	}
+	e.requests.Add(1)
+	e.byMode[modeIndex(req.Mode)].Add(1)
+
+	form, err := canon.Canonicalize(req.Problem)
+	if err != nil {
+		e.errors.Add(1)
+		return nil, err
+	}
+	fp := form.Fingerprint()
+	// An inexact canonical form (permutation search over budget) is only
+	// guaranteed invariant in one direction: isomorphic problems agree,
+	// but refinement-indistinguishable non-isomorphic problems may
+	// collide. Caching such a fingerprint could serve one problem the
+	// other's answer, so compute directly instead.
+	if !form.Exact {
+		payload, err := compute(&req)
+		if err != nil {
+			e.errors.Add(1)
+			return nil, err
+		}
+		return wrap(&req, fp, payload, false, false), nil
+	}
+	key := memo.Key(domain(&req), fp)
+
+	// Singleflight: attach to an identical in-flight computation. The
+	// cache is checked under the lock: the computing goroutine fills the
+	// cache before unregistering its call, so a request arriving here
+	// either sees the call or hits the cache — an identical request is
+	// never computed twice (and each request counts at most one miss).
+	// The critical section is a map lookup + LRU bump, dwarfed by the
+	// canonicalization already done above.
+	e.mu.Lock()
+	if v, ok := e.cache.Get(key); ok {
+		e.mu.Unlock()
+		return wrap(&req, fp, v, true, false), nil
+	}
+	if c, ok := e.inflight[key]; ok {
+		e.mu.Unlock()
+		<-c.done
+		if c.err != nil {
+			e.errors.Add(1)
+			return nil, c.err
+		}
+		e.coalesced.Add(1)
+		return wrap(&req, fp, c.payload, false, true), nil
+	}
+	c := &call{done: make(chan struct{})}
+	e.inflight[key] = c
+	e.mu.Unlock()
+
+	c.payload, c.err = compute(&req)
+	if c.err == nil {
+		e.cache.Put(key, c.payload)
+	} else {
+		e.errors.Add(1)
+	}
+	e.mu.Lock()
+	delete(e.inflight, key)
+	e.mu.Unlock()
+	close(c.done)
+
+	if c.err != nil {
+		return nil, c.err
+	}
+	return wrap(&req, fp, c.payload, false, false), nil
+}
+
+// compute dispatches to the mode's decision procedure and returns the
+// mode-specific payload — the value memoized under the request's key.
+func compute(req *Request) (any, error) {
+	switch req.Mode {
+	case ModeCycles:
+		res, err := classify.Cycles(req.Problem)
+		if err != nil {
+			return nil, err
+		}
+		return res, nil
+	case ModeTrees:
+		v, err := core.ClassifyOnTrees(req.Problem, req.MaxLevels)
+		if err != nil {
+			return nil, err
+		}
+		return v, nil
+	case ModePathsInputs:
+		res, err := classify.PathsWithInputs(req.Problem)
+		if err != nil {
+			return nil, err
+		}
+		return res, nil
+	default: // ModeSynthesize
+		alg, radius, found, err := enumerate.Decide(req.Problem, req.MaxRadius)
+		if err != nil {
+			return nil, err
+		}
+		return &SynthOutcome{Algorithm: alg, Radius: radius, Found: found}, nil
+	}
+}
+
+// wrap builds a per-request Response around a (possibly shared, always
+// immutable) payload.
+func wrap(req *Request, fp uint64, payload any, hit, coalesced bool) *Response {
+	resp := &Response{Mode: req.Mode, Fingerprint: fp, CacheHit: hit, Coalesced: coalesced}
+	switch v := payload.(type) {
+	case *classify.Result:
+		resp.Cycles = v
+	case *core.TreeVerdict:
+		resp.Trees = v
+	case *classify.InputsResult:
+		resp.Paths = v
+	case *SynthOutcome:
+		resp.Synth = v
+	}
+	return resp
+}
+
+// BatchItem pairs one batch response with its error; exactly one of the
+// two is set.
+type BatchItem struct {
+	Response *Response
+	Err      error
+}
+
+// ClassifyBatch fans the requests out across the worker pool and waits
+// for all of them. Results are positional. Identical problems inside one
+// batch resolve to a single computation via the cache and singleflight.
+func (e *Engine) ClassifyBatch(reqs []Request) []BatchItem {
+	out := make([]BatchItem, len(reqs))
+	var wg sync.WaitGroup
+	for i := range reqs {
+		wg.Add(1)
+		req := reqs[i]
+		slot := &out[i]
+		e.jobs <- func() {
+			defer wg.Done()
+			slot.Response, slot.Err = e.Classify(req)
+		}
+	}
+	wg.Wait()
+	return out
+}
+
+// Census runs the memoized parallel census (enumerate.RunWith) over the
+// engine's cache and worker count. Census runs and ModeCycles traffic
+// share memo keys, so each warms the other.
+func (e *Engine) Census(k int, dedup bool) (*enumerate.Census, error) {
+	return enumerate.RunWith(k, dedup, enumerate.RunOpts{Workers: e.workers, Cache: e.cache})
+}
+
+// Stats is a point-in-time engine snapshot.
+type Stats struct {
+	Requests  uint64          `json:"requests"`
+	Errors    uint64          `json:"errors"`
+	Coalesced uint64          `json:"coalesced"`
+	ByMode    map[Mode]uint64 `json:"by_mode"`
+	Workers   int             `json:"workers"`
+	Cache     memo.Stats      `json:"cache"`
+}
+
+// Stats snapshots the serving counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Requests:  e.requests.Load(),
+		Errors:    e.errors.Load(),
+		Coalesced: e.coalesced.Load(),
+		ByMode: map[Mode]uint64{
+			ModeCycles:      e.byMode[0].Load(),
+			ModeTrees:       e.byMode[1].Load(),
+			ModePathsInputs: e.byMode[2].Load(),
+			ModeSynthesize:  e.byMode[3].Load(),
+		},
+		Workers: e.workers,
+		Cache:   e.cache.Stats(),
+	}
+}

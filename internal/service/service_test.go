@@ -1,0 +1,259 @@
+package service
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/classify"
+	"repro/internal/lcl"
+	"repro/internal/problems"
+)
+
+func newTestEngine(t *testing.T) *Engine {
+	t.Helper()
+	e := New(Config{Workers: 4, CacheShards: 4, CacheCapacity: 1024})
+	t.Cleanup(e.Close)
+	return e
+}
+
+// relabeled3Coloring is 3-coloring with the color alphabet rotated — a
+// distinct *lcl.Problem value that is label-isomorphic to
+// problems.Coloring(3, 2).
+func relabeled3Coloring() *lcl.Problem {
+	b := lcl.NewBuilder("3-coloring-rotated", nil, []string{"3", "1", "2"})
+	for _, c := range []string{"1", "2", "3"} {
+		b.Node(c)
+		b.Node(c, c)
+		for _, d := range []string{"1", "2", "3"} {
+			if c != d {
+				b.Edge(c, d)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+func TestClassifyCycles(t *testing.T) {
+	e := newTestEngine(t)
+	resp, err := e.Classify(Request{Problem: problems.Coloring(3, 2), Mode: ModeCycles})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cycles == nil || resp.Cycles.Class != classify.LogStar {
+		t.Fatalf("3-coloring on cycles: %+v", resp.Cycles)
+	}
+	if resp.CacheHit || resp.Coalesced {
+		t.Fatalf("first request served from cache: %+v", resp)
+	}
+}
+
+// TestCacheHitAcrossIsomorphs: a relabeled problem hits the cache entry
+// of its isomorph — the point of canonical keys.
+func TestCacheHitAcrossIsomorphs(t *testing.T) {
+	e := newTestEngine(t)
+	first, err := e.Classify(Request{Problem: problems.Coloring(3, 2), Mode: ModeCycles})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := e.Classify(Request{Problem: relabeled3Coloring(), Mode: ModeCycles})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.CacheHit {
+		t.Fatal("isomorphic problem missed the cache")
+	}
+	if second.Fingerprint != first.Fingerprint {
+		t.Fatalf("fingerprints differ across isomorphs: %x vs %x", first.Fingerprint, second.Fingerprint)
+	}
+	if second.Cycles.Class != first.Cycles.Class {
+		t.Fatal("classes differ across isomorphs")
+	}
+	if st := e.Stats(); st.Cache.Hits == 0 {
+		t.Fatalf("stats recorded no cache hit: %+v", st)
+	}
+}
+
+func TestClassifyTrees(t *testing.T) {
+	e := newTestEngine(t)
+	resp, err := e.Classify(Request{Problem: problems.Trivial(2), Mode: ModeTrees})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Trees == nil || !resp.Trees.Constant {
+		t.Fatalf("trivial problem on trees: %+v", resp.Trees)
+	}
+}
+
+func TestClassifyPathsInputs(t *testing.T) {
+	e := newTestEngine(t)
+	resp, err := e.Classify(Request{Problem: problems.Coloring(3, 2), Mode: ModePathsInputs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Paths == nil || !resp.Paths.SolvableAllInputs {
+		t.Fatalf("3-coloring on paths: %+v", resp.Paths)
+	}
+}
+
+func TestClassifySynthesize(t *testing.T) {
+	e := newTestEngine(t)
+	// 3-coloring needs symmetry breaking: no constant-round algorithm.
+	resp, err := e.Classify(Request{Problem: problems.Coloring(3, 2), Mode: ModeSynthesize, MaxRadius: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Synth == nil || resp.Synth.Found {
+		t.Fatalf("3-coloring synthesized at radius <= 1: %+v", resp.Synth)
+	}
+	// The trivial problem synthesizes at radius 0.
+	resp, err = e.Classify(Request{Problem: problems.Trivial(2), Mode: ModeSynthesize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Synth == nil || !resp.Synth.Found || resp.Synth.Radius != 0 {
+		t.Fatalf("trivial synthesis: %+v", resp.Synth)
+	}
+}
+
+func TestClassifyErrors(t *testing.T) {
+	e := newTestEngine(t)
+	if _, err := e.Classify(Request{Problem: problems.Coloring(3, 2), Mode: "nonsense"}); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+	if _, err := e.Classify(Request{Mode: ModeCycles}); err == nil {
+		t.Fatal("nil problem accepted")
+	}
+	// Cycles rejects problems with inputs.
+	withInputs := lcl.NewBuilder("inputful", []string{"x", "y"}, []string{"A"}).
+		Node("A", "A").Edge("A", "A").Allow("x", "A").Allow("y", "A").MustBuild()
+	if _, err := e.Classify(Request{Problem: withInputs, Mode: ModeCycles}); err == nil {
+		t.Fatal("cycles accepted an input-labeled problem")
+	}
+	if st := e.Stats(); st.Errors == 0 {
+		t.Fatalf("no errors recorded: %+v", st)
+	}
+}
+
+// TestBatch: positional results, mixed modes, and cache effectiveness
+// for duplicate entries.
+func TestBatch(t *testing.T) {
+	e := newTestEngine(t)
+	reqs := []Request{
+		{Problem: problems.Coloring(3, 2), Mode: ModeCycles},
+		{Problem: problems.Trivial(2), Mode: ModeCycles},
+		{Problem: problems.Coloring(3, 2), Mode: ModeCycles}, // duplicate of [0]
+		{Problem: problems.Coloring(3, 2), Mode: ModePathsInputs},
+	}
+	items := e.ClassifyBatch(reqs)
+	if len(items) != 4 {
+		t.Fatalf("%d items", len(items))
+	}
+	for i, item := range items {
+		if item.Err != nil {
+			t.Fatalf("item %d: %v", i, item.Err)
+		}
+	}
+	if items[0].Response.Cycles.Class != classify.LogStar {
+		t.Fatalf("item 0: %+v", items[0].Response.Cycles)
+	}
+	if items[1].Response.Cycles.Class != classify.Constant {
+		t.Fatalf("item 1: %+v", items[1].Response.Cycles)
+	}
+	if items[3].Response.Paths == nil {
+		t.Fatalf("item 3 lost its mode: %+v", items[3].Response)
+	}
+	// Of the two identical requests exactly one computed; the other was
+	// served by cache or coalesced (scheduling decides which slot).
+	computed := 0
+	for _, i := range []int{0, 2} {
+		if !items[i].Response.CacheHit && !items[i].Response.Coalesced {
+			computed++
+		}
+	}
+	if computed != 1 {
+		t.Fatalf("%d computations for duplicate batch entries", computed)
+	}
+}
+
+// TestSingleflight: concurrent identical requests against a cold cache
+// produce exactly one computation; the rest coalesce or hit the cache.
+func TestSingleflight(t *testing.T) {
+	e := newTestEngine(t)
+	const n = 16
+	var wg sync.WaitGroup
+	resps := make([]*Response, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// ModeTrees is slow enough (round elimination) for overlap.
+			resps[i], errs[i] = e.Classify(Request{Problem: problems.Coloring(3, 2), Mode: ModeTrees})
+		}(i)
+	}
+	wg.Wait()
+	computed := 0
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if !resps[i].CacheHit && !resps[i].Coalesced {
+			computed++
+		}
+	}
+	if computed != 1 {
+		t.Fatalf("%d computations for %d identical concurrent requests", computed, n)
+	}
+	if st := e.Stats(); st.Cache.Puts != 1 {
+		t.Fatalf("expected a single cache fill: %+v", st.Cache)
+	}
+}
+
+// TestInexactFormBypassesCache: a problem whose canonical search blows
+// the permutation budget (9 interchangeable colors: 9! > DefaultMaxPerms)
+// must be computed every time — caching an inexact fingerprint could
+// serve a refinement-indistinguishable non-isomorph the wrong answer.
+func TestInexactFormBypassesCache(t *testing.T) {
+	e := newTestEngine(t)
+	p := problems.Coloring(9, 2)
+	for i := 0; i < 2; i++ {
+		resp, err := e.Classify(Request{Problem: p, Mode: ModeCycles})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.CacheHit || resp.Coalesced {
+			t.Fatalf("request %d served from cache despite inexact canonical form", i)
+		}
+		if resp.Cycles == nil || resp.Cycles.Class != classify.LogStar {
+			t.Fatalf("9-coloring on cycles: %+v", resp.Cycles)
+		}
+	}
+	if st := e.Stats(); st.Cache.Puts != 0 {
+		t.Fatalf("inexact result was cached: %+v", st.Cache)
+	}
+}
+
+func TestEngineCensus(t *testing.T) {
+	e := newTestEngine(t)
+	c, err := e.Census(2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.GapHolds() {
+		t.Fatal("gap violated")
+	}
+	// Census warms the cache for subsequent ModeCycles traffic on any
+	// isomorph of a census problem — here a hand-built two-letter
+	// problem (all node configs, monochromatic edges) whose labels are
+	// spelled differently from the census normal form.
+	hand := lcl.NewBuilder("hand-ising", nil, []string{"↑", "↓"}).
+		Node("↑", "↑").Node("↑", "↓").Node("↓", "↓").
+		Edge("↑", "↑").Edge("↓", "↓").MustBuild()
+	resp, err := e.Classify(Request{Problem: hand, Mode: ModeCycles})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.CacheHit {
+		t.Fatal("census did not warm the classify cache")
+	}
+}

@@ -14,14 +14,17 @@
 package repro
 
 import (
+	"repro/internal/canon"
 	"repro/internal/classify"
 	"repro/internal/core"
 	"repro/internal/enumerate"
 	"repro/internal/graph"
 	"repro/internal/lcl"
 	"repro/internal/lll"
+	"repro/internal/memo"
 	"repro/internal/problems"
 	"repro/internal/re"
+	"repro/internal/service"
 )
 
 // Problem is a node-edge-checkable LCL problem (Definition 2.3).
@@ -107,6 +110,62 @@ type Census = enumerate.Census
 // k-letter output alphabet (k <= 3); with dedup, one representative per
 // label-isomorphism class.
 func RunCensus(k int, dedup bool) (*Census, error) { return enumerate.Run(k, dedup) }
+
+// CensusOpts configures parallel, memoized census runs.
+type CensusOpts = enumerate.RunOpts
+
+// RunCensusWith is RunCensus over a worker pool with an optional shared
+// memo cache (see MemoCache): re-runs against a warm cache skip every
+// classification.
+func RunCensusWith(k int, dedup bool, opts CensusOpts) (*Census, error) {
+	return enumerate.RunWith(k, dedup, opts)
+}
+
+// CanonicalForm is the canonical form of a problem under label
+// isomorphism (see internal/canon).
+type CanonicalForm = canon.Form
+
+// Canonicalize computes p's canonical form: equal encodings iff
+// label-isomorphic (exact within the default search budget).
+func Canonicalize(p *Problem) (*CanonicalForm, error) { return canon.Canonicalize(p) }
+
+// Fingerprint returns the stable 64-bit fingerprint of p's canonical
+// form; label-isomorphic problems always agree. It keys the memoization
+// cache of the classification service.
+func Fingerprint(p *Problem) (uint64, error) { return canon.Fingerprint(p) }
+
+// MemoCache is the sharded, concurrency-safe classification memo cache
+// (see internal/memo).
+type MemoCache = memo.Cache
+
+// NewMemoCache builds a cache with the given shard count and total
+// capacity (zeros select defaults).
+func NewMemoCache(shards, capacity int) *MemoCache { return memo.New(shards, capacity) }
+
+// ClassificationEngine is the batch classification service: a worker
+// pool over all four decision procedures with canonical-fingerprint
+// memoization and in-flight request deduplication (see internal/service
+// and cmd/lclserver for the HTTP transport).
+type ClassificationEngine = service.Engine
+
+// Classification request/response types and modes, re-exported.
+type (
+	ClassifyRequest  = service.Request
+	ClassifyResponse = service.Response
+	ServiceConfig    = service.Config
+)
+
+// Classification service modes.
+const (
+	ModeCycles      = service.ModeCycles
+	ModeTrees       = service.ModeTrees
+	ModePathsInputs = service.ModePathsInputs
+	ModeSynthesize  = service.ModeSynthesize
+)
+
+// NewClassificationEngine starts a classification service; call Close
+// when done.
+func NewClassificationEngine(cfg ServiceConfig) *ClassificationEngine { return service.New(cfg) }
 
 // SynthesizeCycleAlgorithm searches radii 0..rMax for an order-invariant
 // constant-round cycle algorithm solving p, constructively certifying
