@@ -1,0 +1,557 @@
+// Command lclbench is the reproducible experiment runner behind the
+// BENCH_<grid>.json trajectory: it executes a fixed grid of census
+// experiments (alphabet size × worker count × cache state) plus path
+// census runs, repeats each experiment, and emits a machine-readable
+// report with per-experiment latency (mean/std/min), memo hit rate, and
+// a deterministic rounds metric. CI diffs the report against the
+// committed baseline and fails on warm-path regressions.
+//
+// Run a grid:
+//
+//	lclbench -grid small -repeats 3 -out BENCH_small.json
+//
+// Validate a report's schema:
+//
+//	lclbench -validate BENCH_small.json
+//
+// Gate a candidate against a baseline (the CI regression check):
+//
+//	lclbench -check BENCH_small.candidate.json -baseline BENCH_small.json -tolerance 0.25
+//
+// Two of the three recorded quantities are machine-independent and
+// gated strictly: the rounds metric (a deterministic LOCAL Linial
+// coloring run, compared for exact equality) and the memo hit rate.
+// Wall-clock latency is machine-dependent, so the warm-path latency gate
+// compares the *normalized* warm cost — warm (or snapshot-restored)
+// latency relative to the same run's cold latency — against the
+// baseline's, and fails when it regresses by more than the tolerance.
+// That keeps the gate meaningful across CI hardware generations while
+// still catching "memoization stopped paying off" regressions.
+//
+// Cache states: cold (fresh cache), warm (cache pre-warmed in memory),
+// and snapshot (cache pre-warmed, persisted via internal/store,
+// re-loaded from disk into a fresh cache — the restart path lclserver's
+// -snapshot flag takes).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/enumerate"
+	"repro/internal/graph"
+	"repro/internal/local"
+	"repro/internal/memo"
+	"repro/internal/store"
+)
+
+// SchemaV1 tags the report format. Bump on breaking schema changes.
+const SchemaV1 = "lclbench/v1"
+
+// Experiment kinds.
+const (
+	KindCensus = "census"
+	KindPaths  = "paths"
+)
+
+// Cache states for census experiments.
+const (
+	CacheCold     = "cold"
+	CacheWarm     = "warm"
+	CacheSnapshot = "snapshot"
+)
+
+// Dist summarizes the repeats of one measured quantity.
+type Dist struct {
+	Mean    float64   `json:"mean"`
+	Std     float64   `json:"std"`
+	Min     float64   `json:"min"`
+	Samples []float64 `json:"samples"`
+}
+
+// Experiment is one grid point's results.
+type Experiment struct {
+	Name    string `json:"name"`
+	Kind    string `json:"kind"`
+	K       int    `json:"k"`
+	Workers int    `json:"workers,omitempty"`
+	Cache   string `json:"cache,omitempty"`
+	// LatencyMS is the wall-clock latency of the timed run, in
+	// milliseconds (machine-dependent; gated via the warm/cold ratio).
+	LatencyMS Dist `json:"latency_ms"`
+	// HitRate is memo cache hits / lookups during the timed run
+	// (machine-independent; gated against the baseline).
+	HitRate Dist `json:"hit_rate"`
+	// Rounds is the deterministic complexity anchor: the round count of
+	// a LOCAL Linial coloring on a fixed path with seed-derived IDs.
+	// Bit-identical across machines; gated for exact equality.
+	Rounds int `json:"rounds"`
+}
+
+// Report is the BENCH_<grid>.json payload.
+type Report struct {
+	Schema      string       `json:"schema"`
+	Grid        string       `json:"grid"`
+	Repeats     int          `json:"repeats"`
+	Seed        int64        `json:"seed"`
+	GoVersion   string       `json:"go_version"`
+	Experiments []Experiment `json:"experiments"`
+}
+
+// gridPoint is one experiment definition.
+type gridPoint struct {
+	kind    string
+	k       int
+	workers int
+	cache   string
+}
+
+// grids are fixed: reproducibility means the experiment set is part of
+// the format, not an invocation detail.
+var grids = map[string][]gridPoint{
+	"small": {
+		{KindCensus, 2, 1, CacheCold},
+		{KindCensus, 2, 1, CacheWarm},
+		{KindCensus, 2, 1, CacheSnapshot},
+		{KindCensus, 2, 4, CacheCold},
+		{KindCensus, 2, 4, CacheWarm},
+		{KindCensus, 2, 4, CacheSnapshot},
+		// k=3 is the latency-gate anchor: its cold runs are two orders of
+		// magnitude above LatencyFloorMS, so the warm/cold ratio carries
+		// signal instead of scheduler noise.
+		{KindCensus, 3, 4, CacheCold},
+		{KindCensus, 3, 4, CacheWarm},
+		{KindCensus, 3, 4, CacheSnapshot},
+		{KindPaths, 1, 0, ""},
+	},
+	"full": {
+		{KindCensus, 2, 1, CacheCold},
+		{KindCensus, 2, 1, CacheWarm},
+		{KindCensus, 2, 1, CacheSnapshot},
+		{KindCensus, 2, 4, CacheCold},
+		{KindCensus, 2, 4, CacheWarm},
+		{KindCensus, 2, 4, CacheSnapshot},
+		{KindCensus, 3, 1, CacheCold},
+		{KindCensus, 3, 1, CacheWarm},
+		{KindCensus, 3, 1, CacheSnapshot},
+		{KindCensus, 3, 4, CacheCold},
+		{KindCensus, 3, 4, CacheWarm},
+		{KindCensus, 3, 4, CacheSnapshot},
+		{KindCensus, 3, 8, CacheCold},
+		{KindCensus, 3, 8, CacheWarm},
+		{KindCensus, 3, 8, CacheSnapshot},
+		{KindPaths, 1, 0, ""},
+		{KindPaths, 2, 0, ""},
+	},
+}
+
+func (p gridPoint) name() string {
+	if p.kind == KindPaths {
+		return fmt.Sprintf("paths/k=%d", p.k)
+	}
+	return fmt.Sprintf("census/k=%d/w=%d/%s", p.k, p.workers, p.cache)
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lclbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	grid := fs.String("grid", "small", "experiment grid: small or full")
+	repeats := fs.Int("repeats", 3, "independent repeats per experiment")
+	seed := fs.Int64("seed", 1, "seed for the deterministic rounds workload")
+	out := fs.String("out", "", "output path (default BENCH_<grid>.json)")
+	validate := fs.String("validate", "", "validate a report's schema and exit")
+	check := fs.String("check", "", "candidate report to gate against -baseline")
+	baseline := fs.String("baseline", "", "baseline report for -check")
+	tolerance := fs.Float64("tolerance", 0.25, "allowed relative warm-path regression for -check")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	switch {
+	case *validate != "":
+		r, err := readReport(*validate)
+		if err == nil {
+			err = validateReport(r)
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "lclbench: %s: %v\n", *validate, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "lclbench: %s: schema-valid (%d experiments)\n", *validate, len(r.Experiments))
+		return 0
+
+	case *check != "":
+		if *baseline == "" {
+			fmt.Fprintln(stderr, "lclbench: -check requires -baseline")
+			return 2
+		}
+		cand, err := readReport(*check)
+		if err != nil {
+			fmt.Fprintf(stderr, "lclbench: %s: %v\n", *check, err)
+			return 1
+		}
+		base, err := readReport(*baseline)
+		if err != nil {
+			fmt.Fprintf(stderr, "lclbench: %s: %v\n", *baseline, err)
+			return 1
+		}
+		failures := checkRegression(base, cand, *tolerance)
+		for _, f := range failures {
+			fmt.Fprintf(stderr, "lclbench: FAIL: %s\n", f)
+		}
+		if len(failures) > 0 {
+			return 1
+		}
+		fmt.Fprintf(stdout, "lclbench: %s holds against %s (tolerance %.0f%%)\n", *check, *baseline, *tolerance*100)
+		return 0
+
+	default:
+		points, ok := grids[*grid]
+		if !ok {
+			fmt.Fprintf(stderr, "lclbench: unknown grid %q\n", *grid)
+			return 2
+		}
+		if *repeats < 1 {
+			fmt.Fprintln(stderr, "lclbench: -repeats must be >= 1")
+			return 2
+		}
+		report, err := runGrid(*grid, points, *repeats, *seed, stderr)
+		if err != nil {
+			fmt.Fprintf(stderr, "lclbench: %v\n", err)
+			return 1
+		}
+		if err := validateReport(report); err != nil {
+			fmt.Fprintf(stderr, "lclbench: self-check: %v\n", err)
+			return 1
+		}
+		path := *out
+		if path == "" {
+			path = fmt.Sprintf("BENCH_%s.json", *grid)
+		}
+		if err := writeReport(path, report); err != nil {
+			fmt.Fprintf(stderr, "lclbench: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "lclbench: wrote %s (%d experiments x %d repeats)\n", path, len(report.Experiments), *repeats)
+		return 0
+	}
+}
+
+// runGrid executes every grid point in order.
+func runGrid(gridName string, points []gridPoint, repeats int, seed int64, progress io.Writer) (*Report, error) {
+	report := &Report{
+		Schema:    SchemaV1,
+		Grid:      gridName,
+		Repeats:   repeats,
+		Seed:      seed,
+		GoVersion: runtime.Version(),
+	}
+	tmpDir, err := os.MkdirTemp("", "lclbench-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(tmpDir)
+	for _, p := range points {
+		exp, err := runExperiment(p, repeats, seed, tmpDir)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.name(), err)
+		}
+		fmt.Fprintf(progress, "lclbench: %-24s latency %8.3fms (min %8.3fms)  hit-rate %.3f  rounds %d\n",
+			exp.Name, exp.LatencyMS.Mean, exp.LatencyMS.Min, exp.HitRate.Mean, exp.Rounds)
+		report.Experiments = append(report.Experiments, *exp)
+	}
+	return report, nil
+}
+
+// runExperiment measures one grid point over the configured repeats.
+func runExperiment(p gridPoint, repeats int, seed int64, tmpDir string) (*Experiment, error) {
+	exp := &Experiment{Name: p.name(), Kind: p.kind, K: p.k, Workers: p.workers, Cache: p.cache}
+	var latencies, hitRates []float64
+	for rep := 0; rep < repeats; rep++ {
+		var latency, hitRate float64
+		var err error
+		switch p.kind {
+		case KindCensus:
+			latency, hitRate, err = runCensusOnce(p, tmpDir)
+		case KindPaths:
+			latency, err = runPathsOnce(p.k)
+		}
+		if err != nil {
+			return nil, err
+		}
+		latencies = append(latencies, latency)
+		hitRates = append(hitRates, hitRate)
+	}
+	exp.LatencyMS = summarize(latencies)
+	exp.HitRate = summarize(hitRates)
+	exp.Rounds = roundsMetric(p.k, seed)
+	return exp, nil
+}
+
+// runCensusOnce runs one timed census according to the cache state and
+// returns the latency in milliseconds plus the memo hit rate of the
+// timed run.
+func runCensusOnce(p gridPoint, tmpDir string) (float64, float64, error) {
+	cache := memo.New(0, 0)
+	switch p.cache {
+	case CacheCold:
+		// fresh cache, nothing to do
+	case CacheWarm:
+		if _, err := enumerate.RunWith(p.k, true, enumerate.RunOpts{Workers: p.workers, Cache: cache}); err != nil {
+			return 0, 0, err
+		}
+	case CacheSnapshot:
+		// Warm a scratch cache, persist it, and re-load into the cache
+		// the timed run uses — the lclserver restart path.
+		scratch := memo.New(0, 0)
+		if _, err := enumerate.RunWith(p.k, true, enumerate.RunOpts{Workers: p.workers, Cache: scratch}); err != nil {
+			return 0, 0, err
+		}
+		exported, stats := scratch.Export()
+		records, _ := store.EncodeMemo(exported)
+		snap := &store.Snapshot{
+			CreatedUnix: 1,
+			Memo:        records,
+			MemoStats:   store.MemoStats{Hits: stats.Hits, Misses: stats.Misses, Evictions: stats.Evictions, Puts: stats.Puts},
+		}
+		path := filepath.Join(tmpDir, fmt.Sprintf("k%dw%d.lclsnap", p.k, p.workers))
+		if _, err := store.Save(path, snap); err != nil {
+			return 0, 0, err
+		}
+		loaded, err := store.Load(path)
+		if err != nil {
+			return 0, 0, err
+		}
+		entries, err := store.DecodeMemo(loaded.Memo)
+		if err != nil {
+			return 0, 0, err
+		}
+		cache.Import(entries, memo.Stats{})
+	default:
+		return 0, 0, fmt.Errorf("unknown cache state %q", p.cache)
+	}
+
+	before := cache.Stats()
+	start := time.Now()
+	if _, err := enumerate.RunWith(p.k, true, enumerate.RunOpts{Workers: p.workers, Cache: cache}); err != nil {
+		return 0, 0, err
+	}
+	elapsed := time.Since(start)
+	after := cache.Stats()
+	lookups := (after.Hits - before.Hits) + (after.Misses - before.Misses)
+	hitRate := 0.0
+	if lookups > 0 {
+		hitRate = float64(after.Hits-before.Hits) / float64(lookups)
+	}
+	return float64(elapsed) / float64(time.Millisecond), hitRate, nil
+}
+
+// runPathsOnce times one full path census.
+func runPathsOnce(k int) (float64, error) {
+	start := time.Now()
+	if _, err := enumerate.RunPaths(k); err != nil {
+		return 0, err
+	}
+	return float64(time.Since(start)) / float64(time.Millisecond), nil
+}
+
+// roundsMetric is the deterministic complexity anchor: LOCAL Linial
+// 3-coloring on a path of 1024·k nodes with seed-derived IDs. Identical
+// inputs give identical rounds on every machine, so the checker compares
+// it for exact equality.
+func roundsMetric(k int, seed int64) int {
+	n := 1024 * k
+	rng := rand.New(rand.NewSource(seed))
+	res, err := local.Run(graph.Path(n), local.NewColoring(3), local.RunOpts{IDs: local.RandomIDs(n, rng)})
+	if err != nil {
+		// The Linial machine on a path cannot fail; treat it as the
+		// regression it would be.
+		return -1
+	}
+	return res.Rounds
+}
+
+func summarize(samples []float64) Dist {
+	d := Dist{Samples: samples, Min: math.Inf(1)}
+	for _, s := range samples {
+		d.Mean += s
+		d.Min = math.Min(d.Min, s)
+	}
+	d.Mean /= float64(len(samples))
+	for _, s := range samples {
+		d.Std += (s - d.Mean) * (s - d.Mean)
+	}
+	d.Std = math.Sqrt(d.Std / float64(len(samples)))
+	return d
+}
+
+// validateReport checks the schema invariants the regression gate
+// relies on.
+func validateReport(r *Report) error {
+	if r.Schema != SchemaV1 {
+		return fmt.Errorf("schema %q, want %q", r.Schema, SchemaV1)
+	}
+	if r.Repeats < 1 {
+		return fmt.Errorf("repeats %d < 1", r.Repeats)
+	}
+	if len(r.Experiments) == 0 {
+		return fmt.Errorf("no experiments")
+	}
+	seen := map[string]bool{}
+	for i, e := range r.Experiments {
+		where := fmt.Sprintf("experiment %d (%s)", i, e.Name)
+		if e.Name == "" {
+			return fmt.Errorf("experiment %d has no name", i)
+		}
+		if seen[e.Name] {
+			return fmt.Errorf("%s: duplicate name", where)
+		}
+		seen[e.Name] = true
+		if e.Kind != KindCensus && e.Kind != KindPaths {
+			return fmt.Errorf("%s: unknown kind %q", where, e.Kind)
+		}
+		if e.K < 1 || e.K > 3 {
+			return fmt.Errorf("%s: k = %d out of range", where, e.K)
+		}
+		if e.Kind == KindCensus {
+			switch e.Cache {
+			case CacheCold, CacheWarm, CacheSnapshot:
+			default:
+				return fmt.Errorf("%s: unknown cache state %q", where, e.Cache)
+			}
+			if e.Workers < 1 {
+				return fmt.Errorf("%s: workers %d < 1", where, e.Workers)
+			}
+		}
+		for _, d := range []struct {
+			name string
+			dist Dist
+		}{{"latency_ms", e.LatencyMS}, {"hit_rate", e.HitRate}} {
+			if len(d.dist.Samples) != r.Repeats {
+				return fmt.Errorf("%s: %s has %d samples, want %d", where, d.name, len(d.dist.Samples), r.Repeats)
+			}
+			if d.dist.Min > d.dist.Mean+1e-9 || d.dist.Std < 0 {
+				return fmt.Errorf("%s: %s summary inconsistent: %+v", where, d.name, d.dist)
+			}
+		}
+		if e.LatencyMS.Min <= 0 {
+			return fmt.Errorf("%s: non-positive latency", where)
+		}
+		if e.HitRate.Mean < 0 || e.HitRate.Mean > 1 {
+			return fmt.Errorf("%s: hit rate %v outside [0, 1]", where, e.HitRate.Mean)
+		}
+		if (e.Cache == CacheWarm || e.Cache == CacheSnapshot) && e.HitRate.Mean == 0 {
+			return fmt.Errorf("%s: warm experiment recorded no cache hits", where)
+		}
+		if e.Rounds <= 0 {
+			return fmt.Errorf("%s: rounds %d <= 0", where, e.Rounds)
+		}
+	}
+	return nil
+}
+
+// LatencyFloorMS exempts experiments whose cold run is too fast to time
+// reliably from the latency-ratio gate: below this floor, scheduler
+// jitter on a shared CI runner swamps the warm/cold signal. Sub-floor
+// experiments are still gated on their machine-independent metrics
+// (rounds, hit rate).
+const LatencyFloorMS = 20.0
+
+// checkRegression gates a candidate report against a baseline. Returned
+// failures are human-readable; empty means the gate passes.
+//
+// Machine-independent quantities are gated strictly: the rounds metric
+// must match exactly and the hit rate must not drop by more than 0.05.
+// Wall-clock latency is gated via the normalized warm-path cost: for
+// every warm (and snapshot) experiment, its min-latency ratio to the
+// sibling cold experiment must not exceed the baseline's ratio by more
+// than tolerance (relative), with a 0.05 absolute allowance for noise.
+// The ratio check applies only when both reports' cold runs clear
+// LatencyFloorMS.
+func checkRegression(base, cand *Report, tolerance float64) []string {
+	var failures []string
+	if err := validateReport(base); err != nil {
+		return []string{fmt.Sprintf("baseline invalid: %v", err)}
+	}
+	if err := validateReport(cand); err != nil {
+		return []string{fmt.Sprintf("candidate invalid: %v", err)}
+	}
+	candByName := map[string]*Experiment{}
+	for i := range cand.Experiments {
+		candByName[cand.Experiments[i].Name] = &cand.Experiments[i]
+	}
+	coldOf := func(r *Report, e Experiment) *Experiment {
+		want := gridPoint{kind: e.Kind, k: e.K, workers: e.Workers, cache: CacheCold}.name()
+		for i := range r.Experiments {
+			if r.Experiments[i].Name == want {
+				return &r.Experiments[i]
+			}
+		}
+		return nil
+	}
+	for _, b := range base.Experiments {
+		c, ok := candByName[b.Name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: missing from candidate", b.Name))
+			continue
+		}
+		if c.Rounds != b.Rounds {
+			failures = append(failures, fmt.Sprintf("%s: rounds %d, baseline %d (deterministic metric must match exactly)", b.Name, c.Rounds, b.Rounds))
+		}
+		if b.HitRate.Mean > 0 && c.HitRate.Mean < b.HitRate.Mean-0.05 {
+			failures = append(failures, fmt.Sprintf("%s: hit rate %.3f, baseline %.3f", b.Name, c.HitRate.Mean, b.HitRate.Mean))
+		}
+		if b.Kind == KindCensus && (b.Cache == CacheWarm || b.Cache == CacheSnapshot) {
+			bCold, cCold := coldOf(base, b), coldOf(cand, *c)
+			if bCold == nil || cCold == nil {
+				failures = append(failures, fmt.Sprintf("%s: no cold sibling to normalize against", b.Name))
+				continue
+			}
+			if bCold.LatencyMS.Min < LatencyFloorMS || cCold.LatencyMS.Min < LatencyFloorMS {
+				continue // too fast to time reliably; rounds + hit rate gate it
+			}
+			baseRatio := b.LatencyMS.Min / bCold.LatencyMS.Min
+			candRatio := c.LatencyMS.Min / cCold.LatencyMS.Min
+			if candRatio > baseRatio*(1+tolerance)+0.05 {
+				failures = append(failures, fmt.Sprintf(
+					"%s: warm-path latency regressed: warm/cold ratio %.3f vs baseline %.3f (tolerance %.0f%%)",
+					b.Name, candRatio, baseRatio, tolerance*100))
+			}
+		}
+	}
+	sort.Strings(failures)
+	return failures
+}
+
+func readReport(path string) (*Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("decode report: %w", err)
+	}
+	return &r, nil
+}
+
+func writeReport(path string, r *Report) error {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}

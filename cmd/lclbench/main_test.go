@@ -1,0 +1,228 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// smallReport runs the real small grid once (repeats=1 keeps the test
+// fast; the grid itself is the production one).
+func smallReport(t *testing.T) *Report {
+	t.Helper()
+	r, err := runGrid("small", grids["small"], 1, 1, new(bytes.Buffer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRunGridProducesValidReport(t *testing.T) {
+	r := smallReport(t)
+	if err := validateReport(r); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Experiments) != len(grids["small"]) {
+		t.Fatalf("%d experiments, want %d", len(r.Experiments), len(grids["small"]))
+	}
+	// The deterministic metric really is deterministic: a second run
+	// reproduces every rounds value and experiment name exactly.
+	again := smallReport(t)
+	for i := range r.Experiments {
+		if r.Experiments[i].Name != again.Experiments[i].Name || r.Experiments[i].Rounds != again.Experiments[i].Rounds {
+			t.Fatalf("run not deterministic at %d: %+v vs %+v", i, r.Experiments[i], again.Experiments[i])
+		}
+	}
+	// Warm experiments hit the cache on the timed run.
+	for _, e := range r.Experiments {
+		if (e.Cache == CacheWarm || e.Cache == CacheSnapshot) && e.HitRate.Mean != 1 {
+			t.Fatalf("%s: hit rate %v, want 1", e.Name, e.HitRate.Mean)
+		}
+	}
+}
+
+func TestReportFileRoundTrip(t *testing.T) {
+	r := smallReport(t)
+	path := filepath.Join(t.TempDir(), "BENCH_small.json")
+	if err := writeReport(path, r); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := readReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r, loaded) {
+		t.Fatal("report did not round-trip through JSON")
+	}
+}
+
+func TestValidateReportRejectsMalformed(t *testing.T) {
+	r := smallReport(t)
+	mutations := []struct {
+		name string
+		mut  func(*Report)
+	}{
+		{"bad-schema", func(r *Report) { r.Schema = "lclbench/v0" }},
+		{"no-experiments", func(r *Report) { r.Experiments = nil }},
+		{"dup-name", func(r *Report) { r.Experiments[1].Name = r.Experiments[0].Name }},
+		{"bad-kind", func(r *Report) { r.Experiments[0].Kind = "mystery" }},
+		{"bad-cache", func(r *Report) { r.Experiments[0].Cache = "lukewarm" }},
+		{"sample-count", func(r *Report) { r.Experiments[0].LatencyMS.Samples = nil }},
+		{"zero-latency", func(r *Report) {
+			r.Experiments[0].LatencyMS.Min = 0
+			r.Experiments[0].LatencyMS.Mean = 0
+		}},
+		{"warm-no-hits", func(r *Report) {
+			r.Experiments[1].HitRate = Dist{Samples: r.Experiments[1].HitRate.Samples}
+		}},
+		{"bad-rounds", func(r *Report) { r.Experiments[0].Rounds = 0 }},
+	}
+	for _, m := range mutations {
+		t.Run(m.name, func(t *testing.T) {
+			bad := cloneReport(r)
+			m.mut(bad)
+			if err := validateReport(bad); err == nil {
+				t.Fatal("malformed report validated")
+			}
+		})
+	}
+}
+
+func cloneReport(r *Report) *Report {
+	c := *r
+	c.Experiments = make([]Experiment, len(r.Experiments))
+	copy(c.Experiments, r.Experiments)
+	for i := range c.Experiments {
+		e := &c.Experiments[i]
+		e.LatencyMS.Samples = append([]float64(nil), e.LatencyMS.Samples...)
+		e.HitRate.Samples = append([]float64(nil), e.HitRate.Samples...)
+	}
+	return &c
+}
+
+func TestCheckRegression(t *testing.T) {
+	base := smallReport(t)
+	if failures := checkRegression(base, cloneReport(base), 0.25); len(failures) != 0 {
+		t.Fatalf("self-check failed: %v", failures)
+	}
+
+	// Warm-path latency regression: inflate every warm latency 10x.
+	slow := cloneReport(base)
+	for i := range slow.Experiments {
+		e := &slow.Experiments[i]
+		if e.Cache == CacheWarm || e.Cache == CacheSnapshot {
+			e.LatencyMS.Mean *= 10
+			e.LatencyMS.Min *= 10
+			for j := range e.LatencyMS.Samples {
+				e.LatencyMS.Samples[j] *= 10
+			}
+		}
+	}
+	failures := checkRegression(base, slow, 0.25)
+	if len(failures) == 0 {
+		t.Fatal("10x warm-path regression passed the gate")
+	}
+	for _, f := range failures {
+		if !strings.Contains(f, "warm-path latency regressed") {
+			t.Fatalf("unexpected failure: %s", f)
+		}
+	}
+
+	// Sub-floor experiments are exempt from the latency-ratio gate: with
+	// the k=2 cold runs pinned below LatencyFloorMS, inflating the k=2
+	// warm runs must not trip it — at that scale the ratio is scheduler
+	// noise, and rounds/hit-rate still gate those points.
+	floorBase, noisy := cloneReport(base), cloneReport(base)
+	trippedFloor := false
+	for _, r := range []*Report{floorBase, noisy} {
+		for i := range r.Experiments {
+			e := &r.Experiments[i]
+			if e.K == 2 && e.Cache == CacheCold {
+				e.LatencyMS.Min = 1.0 // well under LatencyFloorMS
+			}
+		}
+	}
+	for i := range noisy.Experiments {
+		e := &noisy.Experiments[i]
+		if e.K == 2 && (e.Cache == CacheWarm || e.Cache == CacheSnapshot) {
+			e.LatencyMS.Mean *= 10
+			e.LatencyMS.Min *= 10
+			for j := range e.LatencyMS.Samples {
+				e.LatencyMS.Samples[j] *= 10
+			}
+			trippedFloor = true
+		}
+	}
+	if !trippedFloor {
+		t.Fatal("grid has no k=2 warm experiments to test the floor with")
+	}
+	if failures := checkRegression(floorBase, noisy, 0.25); len(failures) != 0 {
+		t.Fatalf("sub-floor latency noise failed the gate: %v", failures)
+	}
+
+	// A uniform slowdown (cold and warm alike — a slower machine) is NOT
+	// a regression: the gate is normalized.
+	slower := cloneReport(base)
+	for i := range slower.Experiments {
+		e := &slower.Experiments[i]
+		e.LatencyMS.Mean *= 7
+		e.LatencyMS.Min *= 7
+		for j := range e.LatencyMS.Samples {
+			e.LatencyMS.Samples[j] *= 7
+		}
+	}
+	if failures := checkRegression(base, slower, 0.25); len(failures) != 0 {
+		t.Fatalf("uniformly slower machine failed the gate: %v", failures)
+	}
+
+	// Rounds drift is an exact-match failure.
+	drift := cloneReport(base)
+	drift.Experiments[0].Rounds++
+	if failures := checkRegression(base, drift, 0.25); len(failures) != 1 || !strings.Contains(failures[0], "rounds") {
+		t.Fatalf("rounds drift: %v", failures)
+	}
+
+	// Hit-rate collapse fails; validateReport already rejects hit rate 0
+	// on warm experiments, so model a partial drop.
+	coldCache := cloneReport(base)
+	for i := range coldCache.Experiments {
+		e := &coldCache.Experiments[i]
+		if e.Cache == CacheWarm || e.Cache == CacheSnapshot {
+			e.HitRate.Mean *= 0.5
+		}
+	}
+	if failures := checkRegression(base, coldCache, 0.25); len(failures) == 0 {
+		t.Fatal("hit-rate collapse passed the gate")
+	}
+
+	// A missing experiment fails.
+	missing := cloneReport(base)
+	missing.Experiments = missing.Experiments[1:]
+	if failures := checkRegression(base, missing, 0.25); len(failures) == 0 {
+		t.Fatal("missing experiment passed the gate")
+	}
+}
+
+// TestCLI drives the three entry modes through run() end to end.
+func TestCLI(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "BENCH_small.json")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-grid", "small", "-repeats", "1", "-out", out}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run exit %d: %s", code, stderr.String())
+	}
+	if code := run([]string{"-validate", out}, &stdout, &stderr); code != 0 {
+		t.Fatalf("validate exit %d: %s", code, stderr.String())
+	}
+	if code := run([]string{"-check", out, "-baseline", out}, &stdout, &stderr); code != 0 {
+		t.Fatalf("check exit %d: %s", code, stderr.String())
+	}
+	if code := run([]string{"-check", out}, &stdout, &stderr); code != 2 {
+		t.Fatalf("check without baseline exit %d", code)
+	}
+	if code := run([]string{"-grid", "nope"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unknown grid exit %d", code)
+	}
+}

@@ -2,15 +2,25 @@
 // reproduction's decision procedures (cycles, trees, paths-with-inputs,
 // synthesis) behind a memoized, batch-capable API.
 //
-//	lclserver -addr :8080 -workers 8 -cache-capacity 65536
+//	lclserver -addr :8080 -workers 8 -cache-capacity 65536 \
+//	  -snapshot /var/lib/lcl/snapshot.lclsnap
+//
+// With -snapshot the server warm-starts from the snapshot file when it
+// exists (memo cache entries, censuses — with lifetime cache counters
+// preserved), saves the warm state back on clean shutdown, and exposes
+// on-demand saves via POST /v1/admin/snapshot. A missing snapshot file
+// means a cold start; a corrupt or version-mismatched one is logged and
+// ignored.
 //
 // Endpoints:
 //
 //	POST /v1/classify        {"mode":"cycles","problem":{...lcl codec...}}
 //	POST /v1/classify/batch  {"requests":[...]}
 //	GET  /v1/census/{k}      classified cycle-LCL census (k in 1..3)
+//	GET  /v1/census/paths/{k}  path-LCL solvability census (k in 1..3)
+//	POST /v1/admin/snapshot  persist the warm state now
 //	GET  /healthz            liveness
-//	GET  /statsz             engine + cache counters
+//	GET  /statsz             engine + cache counters + snapshot age
 //
 // Try it:
 //
@@ -33,6 +43,7 @@ import (
 	"time"
 
 	"repro/internal/service"
+	"repro/internal/store"
 )
 
 func main() {
@@ -41,12 +52,31 @@ func main() {
 	cacheShards := flag.Int("cache-shards", 0, "memo cache shard count (0 = default)")
 	cacheCap := flag.Int("cache-capacity", 0, "memo cache total entries (0 = default)")
 	prewarm := flag.Int("prewarm", 0, "run the k-census on startup to warm the cache (0 = off)")
+	snapshotPath := flag.String("snapshot", "", "snapshot file: load on startup if present, save on shutdown and via POST /v1/admin/snapshot (empty = off)")
 	flag.Parse()
+
+	var snapshot *store.Snapshot
+	if *snapshotPath != "" {
+		switch s, err := store.Load(*snapshotPath); {
+		case err == nil:
+			snapshot = s
+			log.Printf("lclserver: loaded snapshot %s (%d memo entries, %d censuses, %d path censuses)",
+				*snapshotPath, len(s.Memo), len(s.Censuses), len(s.PathCensuses))
+		case os.IsNotExist(err):
+			log.Printf("lclserver: snapshot %s not found, starting cold", *snapshotPath)
+		default:
+			// Corrupt or version-mismatched snapshots are a cold start,
+			// not a refusal to serve.
+			log.Printf("lclserver: ignoring snapshot %s: %v", *snapshotPath, err)
+		}
+	}
 
 	engine := service.New(service.Config{
 		Workers:       *workers,
 		CacheShards:   *cacheShards,
 		CacheCapacity: *cacheCap,
+		Snapshot:      snapshot,
+		SnapshotPath:  *snapshotPath,
 	})
 	defer engine.Close()
 
@@ -78,6 +108,14 @@ func main() {
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
 		log.Printf("lclserver: shutdown: %v", err)
+	}
+	if *snapshotPath != "" {
+		if res, err := engine.SaveSnapshot(); err != nil {
+			log.Printf("lclserver: snapshot save: %v", err)
+		} else {
+			log.Printf("lclserver: saved snapshot %s (%d bytes, %d memo entries, %d censuses)",
+				res.Path, res.Bytes, res.MemoEntries, res.Censuses+res.PathCensuses)
+		}
 	}
 }
 

@@ -19,6 +19,13 @@ type Entry struct {
 	Enumerated
 	Class  classify.Class
 	Period int
+	// Witness carries the classifier's diagnostic witness, so results
+	// republished from a warm-start are indistinguishable from fresh
+	// classifications.
+	Witness string
+	// Fingerprint is the canonical fingerprint (internal/canon) computed
+	// during enumeration; it keys the memo cache and snapshot warm-starts.
+	Fingerprint uint64
 }
 
 // Census is the full classified enumeration for one alphabet size.
@@ -54,6 +61,14 @@ type RunOpts struct {
 	// the service layer (internal/service) shares the same keys, so
 	// census runs and API traffic warm each other.
 	Cache *memo.Cache
+	// Warm, when non-nil, warm-starts the run from a previously computed
+	// census of the same alphabet size — typically one restored from a
+	// snapshot (internal/store). Problems whose fingerprint appears in
+	// Warm skip classification entirely and reuse the recorded class and
+	// period; when a Cache is also set, the reused results are published
+	// under the shared memo keys so subsequent traffic hits too. A Warm
+	// census for a different K is ignored.
+	Warm *Census
 }
 
 // CycleDomain is the memo key domain for cycle classification results
@@ -111,6 +126,20 @@ func RunWith(k int, dedup bool, opts RunOpts) (*Census, error) {
 		}
 	}
 
+	// Warm-start index: fingerprint -> previously decided (class, period).
+	// Consulted after the cache (a cached result may carry a witness the
+	// warm census does not) but before the classifier.
+	var warm map[uint64]*Entry
+	if opts.Warm != nil && opts.Warm.K == k {
+		warm = make(map[uint64]*Entry, len(opts.Warm.Entries))
+		for i := range opts.Warm.Entries {
+			e := &opts.Warm.Entries[i]
+			if e.Fingerprint != 0 {
+				warm[e.Fingerprint] = e
+			}
+		}
+	}
+
 	// Classify over the worker pool, memoizing by fingerprint.
 	workers := opts.Workers
 	if workers <= 0 {
@@ -137,6 +166,12 @@ func RunWith(k int, dedup bool, opts RunOpts) (*Census, error) {
 					results[i] = v.(*classify.Result)
 					continue
 				}
+				if we, ok := warm[jobs[i].fp]; ok {
+					res := &classify.Result{Class: we.Class, Period: we.Period, Witness: we.Witness}
+					opts.Cache.Put(key, res)
+					results[i] = res
+					continue
+				}
 				res, err := classify.Cycles(jobs[i].en.Problem)
 				if err != nil {
 					errs[i] = err
@@ -153,7 +188,7 @@ func RunWith(k int, dedup bool, opts RunOpts) (*Census, error) {
 		if errs[i] != nil {
 			return nil, fmt.Errorf("enumerate: classify %s: %w", j.en.Problem.Name, errs[i])
 		}
-		c.Entries = append(c.Entries, Entry{Enumerated: j.en, Class: results[i].Class, Period: results[i].Period})
+		c.Entries = append(c.Entries, Entry{Enumerated: j.en, Class: results[i].Class, Period: results[i].Period, Witness: results[i].Witness, Fingerprint: j.fp})
 		c.ByClass[results[i].Class]++
 		c.RawByClass[results[i].Class] += j.en.Orbit
 	}

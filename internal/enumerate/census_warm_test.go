@@ -1,0 +1,97 @@
+package enumerate
+
+import (
+	"testing"
+
+	"repro/internal/classify"
+	"repro/internal/memo"
+)
+
+// TestRunWithWarmStart: a census warm-started from a prior census (the
+// snapshot-restore path) reproduces it exactly, and the reused results
+// are published into the memo cache for subsequent traffic.
+func TestRunWithWarmStart(t *testing.T) {
+	base, err := RunWith(2, true, RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range base.Entries {
+		if e.Fingerprint == 0 {
+			t.Fatalf("entry %d has no fingerprint", i)
+		}
+	}
+
+	cache := memo.New(4, 4096)
+	warm, err := RunWith(2, true, RunOpts{Cache: cache, Warm: base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range warm.Entries {
+		a, b := warm.Entries[i], base.Entries[i]
+		if a.Class != b.Class || a.Period != b.Period || a.Witness != b.Witness || a.Fingerprint != b.Fingerprint {
+			t.Fatalf("entry %d differs warm-started: %+v vs %+v", i, a, b)
+		}
+	}
+	// The warm-start run published every reused result under the shared
+	// memo keys, so the cache now serves census and API traffic.
+	if st := cache.Stats(); st.Puts != uint64(len(base.Entries)) {
+		t.Fatalf("warm-start published %d results, want %d", st.Puts, len(base.Entries))
+	}
+
+	// The non-deduplicated census is covered by the deduplicated warm
+	// census too: every raw problem's fingerprint is a representative's.
+	raw, err := RunWith(2, false, RunOpts{Warm: base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawBase, err := RunWith(2, false, RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cl, n := range rawBase.RawByClass {
+		if raw.RawByClass[cl] != n {
+			t.Fatalf("class %v: %d raw problems warm-started, want %d", cl, raw.RawByClass[cl], n)
+		}
+	}
+}
+
+// TestRunWithWarmStartSkipsClassifier proves the warm path really does
+// bypass the classifier: a deliberately poisoned warm entry surfaces in
+// the output, which could only happen if its problem was never
+// re-classified.
+func TestRunWithWarmStartSkipsClassifier(t *testing.T) {
+	base, err := RunWith(2, true, RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	poisoned := *base
+	poisoned.Entries = append([]Entry(nil), base.Entries...)
+	victim := -1
+	for i, e := range poisoned.Entries {
+		if e.Class == classify.Constant {
+			poisoned.Entries[i].Class = classify.Global
+			poisoned.Entries[i].Period = 77
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		t.Fatal("no constant-class entry to poison")
+	}
+	c, err := RunWith(2, true, RunOpts{Warm: &poisoned})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Entries[victim]; got.Class != classify.Global || got.Period != 77 {
+		t.Fatalf("poisoned warm entry was re-classified to %v/%d — warm start did not skip the classifier", got.Class, got.Period)
+	}
+
+	// A warm census for a different alphabet size must be ignored.
+	c3, err := RunWith(3, true, RunOpts{Warm: &poisoned})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c3.GapHolds() {
+		t.Fatal("gap violated")
+	}
+}

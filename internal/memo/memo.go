@@ -124,6 +124,12 @@ func (c *Cache) Put(key uint64, value any) {
 		return
 	}
 	c.puts.Add(1)
+	c.insert(key, value)
+}
+
+// insert is Put without the puts counter, shared with Import (imported
+// entries are restored state, not new traffic).
+func (c *Cache) insert(key uint64, value any) {
 	s := c.shardFor(key)
 	s.mu.Lock()
 	if e, ok := s.m[key]; ok {
@@ -190,6 +196,53 @@ func (c *Cache) Stats() Stats {
 		Shards:    len(c.shards),
 		Capacity:  len(c.shards) * c.shards[0].cap,
 	}
+}
+
+// Entry is one exported cache entry: the mixed key (see Key) and the
+// cached value. Values are shared, not copied — cached payloads are
+// treated as immutable throughout the stack.
+type Entry struct {
+	Key   uint64
+	Value any
+}
+
+// Export snapshots every entry plus the counter state, for persistence
+// (internal/store). Within each shard entries are emitted least recently
+// used first, so re-inserting them in order reproduces the shard's
+// recency order; ordering across shards is unspecified (shards evict
+// independently, so only per-shard order matters).
+func (c *Cache) Export() ([]Entry, Stats) {
+	if c == nil {
+		return nil, Stats{}
+	}
+	var out []Entry
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for e := s.root.prev; e != &s.root; e = e.prev {
+			out = append(out, Entry{Key: e.key, Value: e.value})
+		}
+		s.mu.Unlock()
+	}
+	return out, c.Stats()
+}
+
+// Import inserts previously exported entries and folds the exported
+// counters into the cache's own, so lifetime hit/miss accounting
+// survives a restart. Imported entries do not count as puts; entries
+// beyond capacity evict normally (and do count as evictions). Import on
+// a nil cache is a no-op.
+func (c *Cache) Import(entries []Entry, stats Stats) {
+	if c == nil {
+		return
+	}
+	for _, e := range entries {
+		c.insert(e.Key, e.Value)
+	}
+	c.hits.Add(stats.Hits)
+	c.misses.Add(stats.Misses)
+	c.evictions.Add(stats.Evictions)
+	c.puts.Add(stats.Puts)
 }
 
 func (s *shard) pushFront(e *entry) {

@@ -161,3 +161,91 @@ func ExampleCache() {
 	fmt.Println(v)
 	// Output: Θ(log* n)
 }
+
+// TestExportImportRoundTrip: entries and lifetime counters survive an
+// export/import cycle (the snapshot restart path).
+func TestExportImportRoundTrip(t *testing.T) {
+	c := New(4, 64)
+	for i := uint64(0); i < 40; i++ {
+		c.Put(i, i*i)
+	}
+	for i := uint64(0); i < 10; i++ {
+		c.Get(i)       // hits
+		c.Get(i + 100) // misses
+	}
+	entries, stats := c.Export()
+	if len(entries) != 40 {
+		t.Fatalf("exported %d entries, want 40", len(entries))
+	}
+	if stats.Hits != 10 || stats.Misses != 10 || stats.Puts != 40 {
+		t.Fatalf("exported stats %+v", stats)
+	}
+
+	fresh := New(4, 64)
+	fresh.Import(entries, stats)
+	if got := fresh.Len(); got != 40 {
+		t.Fatalf("imported cache has %d entries, want 40", got)
+	}
+	for i := uint64(0); i < 40; i++ {
+		v, ok := fresh.Get(i)
+		if !ok || v.(uint64) != i*i {
+			t.Fatalf("key %d: got %v, %v", i, v, ok)
+		}
+	}
+	// Lifetime counters carried over, then kept counting: the 40 Gets
+	// above added 40 hits on top of the imported 10.
+	st := fresh.Stats()
+	if st.Hits != 50 || st.Misses != 10 || st.Puts != 40 {
+		t.Fatalf("post-import stats %+v", st)
+	}
+}
+
+// TestImportPreservesRecency: per-shard LRU order survives the round
+// trip — after importing into a same-shaped cache, the entry that was
+// least recently used before export is still the first evicted.
+func TestImportPreservesRecency(t *testing.T) {
+	c := New(1, 4) // one shard, capacity 4: eviction order is global
+	for i := uint64(0); i < 4; i++ {
+		c.Put(i, i)
+	}
+	c.Get(0) // 1 becomes the LRU entry
+	entries, stats := c.Export()
+
+	fresh := New(1, 4)
+	fresh.Import(entries, stats)
+	fresh.Put(99, uint64(99)) // evicts the LRU entry
+	if _, ok := fresh.Get(1); ok {
+		t.Fatal("entry 1 survived eviction — recency order lost in import")
+	}
+	if _, ok := fresh.Get(0); !ok {
+		t.Fatal("recently used entry 0 evicted")
+	}
+}
+
+// TestImportIntoSmallerCache: importing more entries than capacity
+// evicts normally instead of overflowing.
+func TestImportIntoSmallerCache(t *testing.T) {
+	c := New(1, 64)
+	for i := uint64(0); i < 64; i++ {
+		c.Put(i, i)
+	}
+	entries, stats := c.Export()
+	small := New(1, 8)
+	small.Import(entries, stats)
+	if got := small.Len(); got != 8 {
+		t.Fatalf("small cache holds %d entries, want 8", got)
+	}
+	if st := small.Stats(); st.Evictions != stats.Evictions+56 {
+		t.Fatalf("evictions %d, want %d", st.Evictions, stats.Evictions+56)
+	}
+}
+
+// TestExportImportNil: both are safe no-ops on a nil cache.
+func TestExportImportNil(t *testing.T) {
+	var c *Cache
+	entries, stats := c.Export()
+	if entries != nil || stats != (Stats{}) {
+		t.Fatalf("nil export: %v, %+v", entries, stats)
+	}
+	c.Import([]Entry{{Key: 1, Value: 2}}, Stats{Hits: 3})
+}

@@ -18,13 +18,17 @@ import (
 //	POST /v1/classify        one classification request
 //	POST /v1/classify/batch  positional batch over the worker pool
 //	GET  /v1/census/{k}      the classified cycle-LCL census for k labels
+//	GET  /v1/census/paths/{k}  the path-LCL solvability census
+//	POST /v1/admin/snapshot  persist the warm state to the snapshot path
 //	GET  /healthz            liveness
-//	GET  /statsz             engine + cache counters
+//	GET  /statsz             engine + cache counters + snapshot age
 func NewHandler(e *Engine) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/classify", e.handleClassify)
 	mux.HandleFunc("POST /v1/classify/batch", e.handleBatch)
 	mux.HandleFunc("GET /v1/census/{k}", e.handleCensus)
+	mux.HandleFunc("GET /v1/census/paths/{k}", e.handlePathCensus)
+	mux.HandleFunc("POST /v1/admin/snapshot", e.handleSnapshotSave)
 	mux.HandleFunc("GET /healthz", handleHealthz)
 	mux.HandleFunc("GET /statsz", e.handleStatsz)
 	return mux
@@ -254,6 +258,51 @@ func (e *Engine) handleCensus(w http.ResponseWriter, r *http.Request) {
 		wc.IsomorphismClasses = len(c.Entries)
 	}
 	writeJSON(w, http.StatusOK, wc)
+}
+
+// wirePathCensus is the JSON form of a path census (encoding/json
+// renders int-keyed maps with string keys).
+type wirePathCensus struct {
+	K              int         `json:"k"`
+	TotalProblems  int         `json:"total_problems"`
+	SolvableAll    int         `json:"solvable_all"`
+	UnsolvableSome int         `json:"unsolvable_some"`
+	ShortestBad    map[int]int `json:"shortest_bad,omitempty"`
+}
+
+func (e *Engine) handlePathCensus(w http.ResponseWriter, r *http.Request) {
+	k, err := strconv.Atoi(r.PathValue("k"))
+	if err != nil || k < 1 || k > 3 {
+		httpError(w, http.StatusBadRequest, "path census k must be an integer in [1, 3]")
+		return
+	}
+	c, err := e.PathCensus(k)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, wirePathCensus{
+		K:              c.K,
+		TotalProblems:  c.Total,
+		SolvableAll:    c.SolvableAll,
+		UnsolvableSome: c.UnsolvableSome,
+		ShortestBad:    c.ShortestBad,
+	})
+}
+
+func (e *Engine) handleSnapshotSave(w http.ResponseWriter, r *http.Request) {
+	res, err := e.SaveSnapshot()
+	if err != nil {
+		// No configured path is an operator misconfiguration (409); a
+		// failed write is a server fault (500).
+		status := http.StatusInternalServerError
+		if e.snapshotPath == "" {
+			status = http.StatusConflict
+		}
+		httpError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
 }
 
 func handleHealthz(w http.ResponseWriter, r *http.Request) {

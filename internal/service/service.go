@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/canon"
 	"repro/internal/classify"
@@ -27,6 +28,7 @@ import (
 	"repro/internal/enumerate"
 	"repro/internal/lcl"
 	"repro/internal/memo"
+	"repro/internal/store"
 )
 
 // Mode selects which decision procedure a request runs.
@@ -103,6 +105,15 @@ type Config struct {
 	CacheShards   int
 	CacheCapacity int
 	Cache         *memo.Cache
+	// Snapshot, when non-nil, warm-starts the engine: memo entries are
+	// imported into the cache (with lifetime counters preserved), census
+	// results are restored and served without recomputation, and census
+	// runs not covered verbatim warm-start from the restored
+	// fingerprints. Records damaged beyond use are skipped, never fatal.
+	Snapshot *store.Snapshot
+	// SnapshotPath, when non-empty, is where SaveSnapshot (and the
+	// POST /v1/admin/snapshot endpoint) writes.
+	SnapshotPath string
 }
 
 // DefaultWorkers is the worker pool size when Config leaves it zero.
@@ -120,10 +131,36 @@ type Engine struct {
 	inflight map[uint64]*call
 	closed   bool
 
+	// censusMu guards the census result caches, their in-flight calls,
+	// the snapshot-restored warm censuses, and the snapshot bookkeeping.
+	censusMu     sync.Mutex
+	censuses     map[censusKey]*enumerate.Census
+	censusCalls  map[censusKey]*call
+	pathCensuses map[int]*enumerate.PathCensus
+	pathCalls    map[int]*call
+	// warmByK holds one restored census per alphabet size for
+	// enumerate.RunOpts.Warm (preferring the deduplicated record: its
+	// representatives carry every fingerprint in the space).
+	warmByK map[int]*enumerate.Census
+
+	snapshotPath string
+	snapLoaded   bool
+	snapMemo     int // memo entries restored
+	snapCensuses int
+	snapPaths    int
+	snapSkipped  int // snapshot records skipped as unusable
+	snapTime     time.Time
+
 	requests  atomic.Uint64
 	errors    atomic.Uint64
 	coalesced atomic.Uint64
 	byMode    [4]atomic.Uint64
+}
+
+// censusKey identifies one census result.
+type censusKey struct {
+	k     int
+	dedup bool
 }
 
 // call is one in-flight computation that later identical requests attach
@@ -147,10 +184,19 @@ func New(cfg Config) *Engine {
 		cache = memo.New(cfg.CacheShards, cfg.CacheCapacity)
 	}
 	e := &Engine{
-		cache:    cache,
-		workers:  workers,
-		jobs:     make(chan func()),
-		inflight: map[uint64]*call{},
+		cache:        cache,
+		workers:      workers,
+		jobs:         make(chan func()),
+		inflight:     map[uint64]*call{},
+		censuses:     map[censusKey]*enumerate.Census{},
+		censusCalls:  map[censusKey]*call{},
+		pathCensuses: map[int]*enumerate.PathCensus{},
+		pathCalls:    map[int]*call{},
+		warmByK:      map[int]*enumerate.Census{},
+		snapshotPath: cfg.SnapshotPath,
+	}
+	if cfg.Snapshot != nil {
+		e.restoreSnapshot(cfg.Snapshot)
 	}
 	for i := 0; i < workers; i++ {
 		e.wg.Add(1)
@@ -162,6 +208,52 @@ func New(cfg Config) *Engine {
 		}()
 	}
 	return e
+}
+
+// restoreSnapshot warm-starts the engine from a loaded snapshot. Records
+// that fail to re-materialize are skipped and counted — a snapshot is an
+// optimization, never a reason not to start.
+func (e *Engine) restoreSnapshot(s *store.Snapshot) {
+	entries, err := store.DecodeMemo(s.Memo)
+	if err != nil {
+		// Undecodable memo records void the whole memo section (keys and
+		// counters describe traffic we can no longer represent) but leave
+		// the censuses usable.
+		e.snapSkipped += len(s.Memo)
+	} else {
+		e.cache.Import(entries, memo.Stats{
+			Hits:      s.MemoStats.Hits,
+			Misses:    s.MemoStats.Misses,
+			Evictions: s.MemoStats.Evictions,
+			Puts:      s.MemoStats.Puts,
+		})
+		e.snapMemo = len(entries)
+	}
+	for i := range s.Censuses {
+		rec := &s.Censuses[i]
+		c, err := rec.Census()
+		if err != nil {
+			e.snapSkipped++
+			continue
+		}
+		e.censuses[censusKey{c.K, c.Dedup}] = c
+		if prev, ok := e.warmByK[c.K]; !ok || (!prev.Dedup && c.Dedup) {
+			e.warmByK[c.K] = c
+		}
+		e.snapCensuses++
+	}
+	for i := range s.PathCensuses {
+		rec := &s.PathCensuses[i]
+		c, err := rec.PathCensus()
+		if err != nil {
+			e.snapSkipped++
+			continue
+		}
+		e.pathCensuses[c.K] = c
+		e.snapPaths++
+	}
+	e.snapLoaded = true
+	e.snapTime = time.Unix(s.CreatedUnix, 0)
 }
 
 // Close stops the worker pool; in-flight batch items finish first.
@@ -375,11 +467,128 @@ func (e *Engine) ClassifyBatch(reqs []Request) []BatchItem {
 	return out
 }
 
-// Census runs the memoized parallel census (enumerate.RunWith) over the
-// engine's cache and worker count. Census runs and ModeCycles traffic
-// share memo keys, so each warms the other.
+// Census returns the classified cycle census, computing it at most once
+// per (k, dedup): results are cached for the engine's lifetime (they are
+// immutable), restored censuses from a snapshot are served directly, and
+// concurrent requests for the same census coalesce onto one computation.
+// A computed census runs over the engine's memo cache and worker count —
+// census runs and ModeCycles traffic share memo keys, so each warms the
+// other — and warm-starts from snapshot-restored fingerprints when the
+// exact (k, dedup) census was not itself persisted.
 func (e *Engine) Census(k int, dedup bool) (*enumerate.Census, error) {
-	return enumerate.RunWith(k, dedup, enumerate.RunOpts{Workers: e.workers, Cache: e.cache})
+	// warmByK is written only during construction (restoreSnapshot), so
+	// the read needs no lock.
+	return cachedCall(e, e.censuses, e.censusCalls, censusKey{k, dedup}, func() (*enumerate.Census, error) {
+		return enumerate.RunWith(k, dedup, enumerate.RunOpts{Workers: e.workers, Cache: e.cache, Warm: e.warmByK[k]})
+	})
+}
+
+// PathCensus returns the path-LCL solvability census for alphabet size
+// k, computed at most once per k with the same caching and coalescing
+// discipline as Census.
+func (e *Engine) PathCensus(k int) (*enumerate.PathCensus, error) {
+	return cachedCall(e, e.pathCensuses, e.pathCalls, k, func() (*enumerate.PathCensus, error) {
+		return enumerate.RunPaths(k)
+	})
+}
+
+// cachedCall is the compute-at-most-once discipline shared by Census and
+// PathCensus: serve from cache, else coalesce onto an in-flight call,
+// else compute and publish. Results are immutable, so a cached value is
+// returned to every caller; errors are not cached (a later call
+// retries). Both maps are guarded by e.censusMu.
+func cachedCall[K comparable, V any](e *Engine, cache map[K]V, calls map[K]*call, key K, compute func() (V, error)) (V, error) {
+	e.censusMu.Lock()
+	if v, ok := cache[key]; ok {
+		e.censusMu.Unlock()
+		return v, nil
+	}
+	if c, ok := calls[key]; ok {
+		e.censusMu.Unlock()
+		<-c.done
+		if c.err != nil {
+			var zero V
+			return zero, c.err
+		}
+		return c.payload.(V), nil
+	}
+	c := &call{done: make(chan struct{})}
+	calls[key] = c
+	e.censusMu.Unlock()
+
+	v, err := compute()
+	c.payload, c.err = v, err
+	e.censusMu.Lock()
+	if err == nil {
+		cache[key] = v
+	}
+	delete(calls, key)
+	e.censusMu.Unlock()
+	close(c.done)
+	return v, err
+}
+
+// BuildSnapshot captures the engine's warm state — every census computed
+// or restored so far plus the persistable memo entries — as a snapshot
+// ready for store.Save.
+func (e *Engine) BuildSnapshot() (*store.Snapshot, int) {
+	s := &store.Snapshot{CreatedUnix: time.Now().Unix()}
+	e.censusMu.Lock()
+	for _, c := range e.censuses {
+		s.Censuses = append(s.Censuses, store.FromCensus(c))
+	}
+	for _, c := range e.pathCensuses {
+		s.PathCensuses = append(s.PathCensuses, store.FromPathCensus(c))
+	}
+	e.censusMu.Unlock()
+	entries, stats := e.cache.Export()
+	records, skipped := store.EncodeMemo(entries)
+	s.Memo = records
+	s.MemoStats = store.MemoStats{
+		Hits:      stats.Hits,
+		Misses:    stats.Misses,
+		Evictions: stats.Evictions,
+		Puts:      stats.Puts,
+	}
+	return s, skipped
+}
+
+// SnapshotSaveResult reports one snapshot save.
+type SnapshotSaveResult struct {
+	Path string `json:"path"`
+	// Bytes is the snapshot file size.
+	Bytes int `json:"bytes"`
+	// MemoEntries counts persisted cache entries; SkippedEntries counts
+	// cache entries of kinds the snapshot format does not persist
+	// (synthesized algorithms).
+	MemoEntries    int `json:"memo_entries"`
+	SkippedEntries int `json:"skipped_entries,omitempty"`
+	Censuses       int `json:"censuses"`
+	PathCensuses   int `json:"path_censuses"`
+}
+
+// SaveSnapshot builds a snapshot and writes it to the configured
+// SnapshotPath. It fails when no path is configured.
+func (e *Engine) SaveSnapshot() (*SnapshotSaveResult, error) {
+	if e.snapshotPath == "" {
+		return nil, fmt.Errorf("service: no snapshot path configured")
+	}
+	s, skipped := e.BuildSnapshot()
+	n, err := store.Save(e.snapshotPath, s)
+	if err != nil {
+		return nil, err
+	}
+	e.censusMu.Lock()
+	e.snapTime = time.Unix(s.CreatedUnix, 0)
+	e.censusMu.Unlock()
+	return &SnapshotSaveResult{
+		Path:           e.snapshotPath,
+		Bytes:          n,
+		MemoEntries:    len(s.Memo),
+		SkippedEntries: skipped,
+		Censuses:       len(s.Censuses),
+		PathCensuses:   len(s.PathCensuses),
+	}, nil
 }
 
 // Stats is a point-in-time engine snapshot.
@@ -390,11 +599,30 @@ type Stats struct {
 	ByMode    map[Mode]uint64 `json:"by_mode"`
 	Workers   int             `json:"workers"`
 	Cache     memo.Stats      `json:"cache"`
+	// CachedCensuses counts census results held for instant serving.
+	CachedCensuses int `json:"cached_censuses"`
+	// Snapshot is nil when the engine runs without snapshot support.
+	Snapshot *SnapshotInfo `json:"snapshot,omitempty"`
+}
+
+// SnapshotInfo describes the engine's snapshot state for /statsz.
+type SnapshotInfo struct {
+	Path string `json:"path,omitempty"`
+	// Loaded reports the engine warm-started from a snapshot.
+	Loaded             bool `json:"loaded"`
+	LoadedMemoEntries  int  `json:"loaded_memo_entries,omitempty"`
+	LoadedCensuses     int  `json:"loaded_censuses,omitempty"`
+	LoadedPathCensuses int  `json:"loaded_path_censuses,omitempty"`
+	SkippedRecords     int  `json:"skipped_records,omitempty"`
+	// AgeSeconds is the age of the newest snapshot state: time since the
+	// last save, or since the loaded snapshot was created when the engine
+	// has not saved yet. Negative-free; 0 when no snapshot exists yet.
+	AgeSeconds float64 `json:"age_seconds"`
 }
 
 // Stats snapshots the serving counters.
 func (e *Engine) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Requests:  e.requests.Load(),
 		Errors:    e.errors.Load(),
 		Coalesced: e.coalesced.Load(),
@@ -407,4 +635,24 @@ func (e *Engine) Stats() Stats {
 		Workers: e.workers,
 		Cache:   e.cache.Stats(),
 	}
+	e.censusMu.Lock()
+	st.CachedCensuses = len(e.censuses) + len(e.pathCensuses)
+	if e.snapLoaded || e.snapshotPath != "" {
+		info := &SnapshotInfo{
+			Path:               e.snapshotPath,
+			Loaded:             e.snapLoaded,
+			LoadedMemoEntries:  e.snapMemo,
+			LoadedCensuses:     e.snapCensuses,
+			LoadedPathCensuses: e.snapPaths,
+			SkippedRecords:     e.snapSkipped,
+		}
+		if !e.snapTime.IsZero() {
+			if age := time.Since(e.snapTime).Seconds(); age > 0 {
+				info.AgeSeconds = age
+			}
+		}
+		st.Snapshot = info
+	}
+	e.censusMu.Unlock()
+	return st
 }

@@ -1,0 +1,210 @@
+package service
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/lcl"
+	"repro/internal/problems"
+	"repro/internal/store"
+)
+
+// TestSnapshotRoundTrip is the warm-restart property end to end: save an
+// engine's state, build a fresh engine from the loaded snapshot, and
+// verify the census is served without recomputation and classifications
+// are warm (memo hit rate > 0 immediately after load).
+func TestSnapshotRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "engine.lclsnap")
+
+	// Engine A: compute a census and a couple of classifications, then
+	// snapshot.
+	a := New(Config{Workers: 4, SnapshotPath: path})
+	censusA, err := a.Census(2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.PathCensus(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Classify(Request{Problem: problems.Coloring(3, 2), Mode: ModePathsInputs}); err != nil {
+		t.Fatal(err)
+	}
+	// A synthesize result exercises the skip path (not persistable).
+	if _, err := a.Classify(Request{Problem: problems.Trivial(2), Mode: ModeSynthesize}); err != nil {
+		t.Fatal(err)
+	}
+	statsA := a.Stats()
+	res, err := a.SaveSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MemoEntries == 0 || res.Censuses != 1 || res.PathCensuses != 1 || res.SkippedEntries != 1 {
+		t.Fatalf("save result %+v", res)
+	}
+	a.Close()
+
+	// Engine B: restart from the snapshot.
+	loaded, err := store.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := New(Config{Workers: 4, Snapshot: loaded, SnapshotPath: path})
+	defer b.Close()
+
+	// Lifetime cache counters survived the restart.
+	statsB := b.Stats()
+	if statsB.Cache.Hits != statsA.Cache.Hits || statsB.Cache.Misses != statsA.Cache.Misses {
+		t.Fatalf("cache counters lost: %+v vs %+v", statsB.Cache, statsA.Cache)
+	}
+	if statsB.Snapshot == nil || !statsB.Snapshot.Loaded || statsB.Snapshot.LoadedMemoEntries != res.MemoEntries {
+		t.Fatalf("snapshot info %+v", statsB.Snapshot)
+	}
+
+	// The census is served from the restored state: identical result,
+	// zero new cache misses (no classification, no memo traffic at all).
+	missesBefore := b.Stats().Cache.Misses
+	censusB, err := b.Census(2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Stats().Cache.Misses; got != missesBefore {
+		t.Fatalf("restored census recomputed: %d new misses", got-missesBefore)
+	}
+	if !reflect.DeepEqual(censusB.ByClass, censusA.ByClass) || !reflect.DeepEqual(censusB.RawByClass, censusA.RawByClass) {
+		t.Fatalf("restored census %v, want %v", censusB.ByClass, censusA.ByClass)
+	}
+
+	// Warm classification: the very first request on the restarted
+	// engine hits the imported cache — for an isomorph of a census
+	// problem (the census warmed the cache before the save, and label
+	// spelling doesn't matter) and for the explicitly classified paths
+	// request alike.
+	ising := lcl.NewBuilder("warm-ising", nil, []string{"↑", "↓"}).
+		Node("↑", "↑").Node("↑", "↓").Node("↓", "↓").
+		Edge("↑", "↑").Edge("↓", "↓").MustBuild()
+	resp, err := b.Classify(Request{Problem: ising, Mode: ModeCycles})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.CacheHit {
+		t.Fatal("census-covered problem missed the imported cache")
+	}
+	resp, err = b.Classify(Request{Problem: problems.Coloring(3, 2), Mode: ModePathsInputs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.CacheHit || resp.Paths == nil || !resp.Paths.SolvableAllInputs {
+		t.Fatalf("paths classification not warm: %+v", resp)
+	}
+	if st := b.Stats(); st.Cache.Hits <= statsA.Cache.Hits {
+		t.Fatalf("no cache hits after restart: %+v", st.Cache)
+	}
+
+	// The restored path census is served without recomputation too.
+	pcB, err := b.PathCensus(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pcB.Total == 0 {
+		t.Fatalf("restored path census empty: %+v", pcB)
+	}
+}
+
+// TestSnapshotWarmStartsUncoveredCensus: a census variant the snapshot
+// did not persist verbatim (dedup=false) still warm-starts from the
+// restored fingerprints instead of re-classifying.
+func TestSnapshotWarmStartsUncoveredCensus(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "engine.lclsnap")
+	a := New(Config{Workers: 4, SnapshotPath: path})
+	if _, err := a.Census(2, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.SaveSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+
+	loaded, err := store.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := New(Config{Workers: 4, Snapshot: loaded})
+	defer b.Close()
+	raw, err := b.Census(2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := b.Census(2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(raw.RawByClass, want.RawByClass) {
+		t.Fatalf("warm-started raw census %v, want %v", raw.RawByClass, want.RawByClass)
+	}
+}
+
+// TestSaveSnapshotRequiresPath: saving without a configured path fails
+// cleanly, both at the engine and over HTTP (409).
+func TestSaveSnapshotRequiresPath(t *testing.T) {
+	e := New(Config{Workers: 1})
+	defer e.Close()
+	if _, err := e.SaveSnapshot(); err == nil {
+		t.Fatal("SaveSnapshot without a path succeeded")
+	}
+	srv := httptest.NewServer(NewHandler(e))
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/v1/admin/snapshot", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("status %d, want 409", resp.StatusCode)
+	}
+}
+
+// TestHTTPSnapshotEndpoints: POST /v1/admin/snapshot persists a loadable
+// snapshot, /statsz reports its age, and /v1/census/paths/{k} serves the
+// path census.
+func TestHTTPSnapshotEndpoints(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "http.lclsnap")
+	e := New(Config{Workers: 4, SnapshotPath: path})
+	srv := httptest.NewServer(NewHandler(e))
+	defer func() {
+		srv.Close()
+		e.Close()
+	}()
+
+	var pc wirePathCensus
+	if resp := getJSON(t, srv.URL+"/v1/census/paths/1", &pc); resp.StatusCode != http.StatusOK {
+		t.Fatalf("path census status %d", resp.StatusCode)
+	}
+	if pc.K != 1 || pc.TotalProblems != pc.SolvableAll+pc.UnsolvableSome || pc.TotalProblems == 0 {
+		t.Fatalf("path census %+v", pc)
+	}
+	if resp := getJSON(t, srv.URL+"/v1/census/paths/9", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("out-of-range path census status %d", resp.StatusCode)
+	}
+
+	resp, body := postJSON(t, srv.URL+"/v1/admin/snapshot", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot status %d: %s", resp.StatusCode, body)
+	}
+	if _, err := store.Load(path); err != nil {
+		t.Fatalf("saved snapshot unloadable: %v", err)
+	}
+
+	var st Stats
+	if resp := getJSON(t, srv.URL+"/statsz", &st); resp.StatusCode != http.StatusOK {
+		t.Fatalf("statsz status %d", resp.StatusCode)
+	}
+	if st.Snapshot == nil || st.Snapshot.Path != path {
+		t.Fatalf("statsz snapshot info %+v", st.Snapshot)
+	}
+	if st.Snapshot.AgeSeconds < 0 || st.Snapshot.AgeSeconds > 60 {
+		t.Fatalf("snapshot age %v", st.Snapshot.AgeSeconds)
+	}
+}

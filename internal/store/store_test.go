@@ -1,0 +1,321 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/classify"
+	"repro/internal/core"
+	"repro/internal/enumerate"
+	"repro/internal/memo"
+)
+
+// testSnapshot builds a snapshot with real content: the k=2 census, a
+// k=1 path census, and the memo entries the census run produced.
+func testSnapshot(t *testing.T) (*Snapshot, *memo.Cache) {
+	t.Helper()
+	cache := memo.New(4, 1024)
+	census, err := enumerate.RunWith(2, true, enumerate.RunOpts{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := enumerate.RunPaths(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, stats := cache.Export()
+	records, skipped := EncodeMemo(entries)
+	if skipped != 0 {
+		t.Fatalf("%d census cache entries skipped", skipped)
+	}
+	if len(records) == 0 {
+		t.Fatal("census produced no memo records")
+	}
+	return &Snapshot{
+		CreatedUnix:  1700000000,
+		Censuses:     []CensusRecord{FromCensus(census)},
+		PathCensuses: []PathCensusRecord{FromPathCensus(paths)},
+		Memo:         records,
+		MemoStats: MemoStats{
+			Hits:   stats.Hits,
+			Misses: stats.Misses,
+			Puts:   stats.Puts,
+		},
+	}, cache
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	snap, cache := testSnapshot(t)
+	path := filepath.Join(t.TempDir(), "census.lclsnap")
+	n, err := Save(path, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(n) != fi.Size() {
+		t.Fatalf("Save reported %d bytes, file has %d", n, fi.Size())
+	}
+
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap, loaded) {
+		t.Fatal("snapshot did not round-trip")
+	}
+
+	// Census re-materialization: classes, orbits, and fingerprints all
+	// survive, and the rebuilt problems classify identically.
+	census, err := loaded.Censuses[0].Census()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := enumerate.RunWith(2, true, enumerate.RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(census.ByClass, want.ByClass) || !reflect.DeepEqual(census.RawByClass, want.RawByClass) {
+		t.Fatalf("restored census classes %v / %v, want %v / %v", census.ByClass, census.RawByClass, want.ByClass, want.RawByClass)
+	}
+	for i := range want.Entries {
+		if census.Entries[i].Fingerprint != want.Entries[i].Fingerprint {
+			t.Fatalf("entry %d fingerprint %x, want %x", i, census.Entries[i].Fingerprint, want.Entries[i].Fingerprint)
+		}
+	}
+
+	// Path census re-materialization.
+	paths, err := loaded.PathCensuses[0].PathCensus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPaths, err := enumerate.RunPaths(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(paths, wantPaths) {
+		t.Fatalf("restored path census %+v, want %+v", paths, wantPaths)
+	}
+
+	// Memo decode: imported entries reproduce the original cache's
+	// lookups key for key.
+	decoded, err := DecodeMemo(loaded.Memo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := memo.New(4, 1024)
+	fresh.Import(decoded, memo.Stats{})
+	exported, _ := cache.Export()
+	for _, e := range exported {
+		v, ok := fresh.Get(e.Key)
+		if !ok {
+			t.Fatalf("key %x missing after import", e.Key)
+		}
+		if !reflect.DeepEqual(v, e.Value) {
+			t.Fatalf("key %x: imported %+v, want %+v", e.Key, v, e.Value)
+		}
+	}
+}
+
+// TestSaveAtomicOverwrite: saving over an existing snapshot leaves a
+// valid file, and no temp files leak.
+func TestSaveAtomicOverwrite(t *testing.T) {
+	snap, _ := testSnapshot(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.lclsnap")
+	for i := 0; i < 2; i++ {
+		if _, err := Save(path, snap); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := Load(path); err != nil {
+		t.Fatal(err)
+	}
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 1 {
+		t.Fatalf("%d files in snapshot dir, want 1 (temp file leak?)", len(files))
+	}
+}
+
+func TestLoadVersionMismatch(t *testing.T) {
+	snap, _ := testSnapshot(t)
+	path := filepath.Join(t.TempDir(), "s.lclsnap")
+	if _, err := Save(path, snap); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(magic)+3] = Version + 1 // low byte of the big-endian version
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Load(path)
+	if !errors.Is(err, ErrVersion) {
+		t.Fatalf("version-mismatched snapshot loaded: %v", err)
+	}
+}
+
+func TestLoadCorrupt(t *testing.T) {
+	snap, _ := testSnapshot(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.lclsnap")
+	if _, err := Save(path, snap); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	damage := []struct {
+		name string
+		mut  func() []byte
+	}{
+		{"empty", func() []byte { return nil }},
+		{"truncated-header", func() []byte { return raw[:headerSize-3] }},
+		{"truncated-payload", func() []byte { return raw[:headerSize+len(raw[headerSize:])/2] }},
+		{"bad-magic", func() []byte {
+			b := append([]byte(nil), raw...)
+			b[0] ^= 0xff
+			return b
+		}},
+		{"payload-bit-flip", func() []byte {
+			b := append([]byte(nil), raw...)
+			b[headerSize+10] ^= 0x01
+			return b
+		}},
+		{"trailing-garbage", func() []byte { return append(append([]byte(nil), raw...), 0xde, 0xad) }},
+	}
+	for _, d := range damage {
+		t.Run(d.name, func(t *testing.T) {
+			p := filepath.Join(dir, d.name)
+			if err := os.WriteFile(p, d.mut(), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := Load(p); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("corrupt snapshot loaded: %v", err)
+			}
+		})
+	}
+
+	// JSON that passes the checksum but does not decode is also corrupt:
+	// craft a file whose payload is valid-checksum garbage.
+	garbage := &Snapshot{}
+	p := filepath.Join(dir, "json-garbage")
+	if _, err := Save(p, garbage); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replace the payload with non-JSON of the same length and re-stamp
+	// the checksum so only the decode step can object.
+	for i := headerSize; i < len(b); i++ {
+		b[i] = '!'
+	}
+	reStamp(b)
+	if err := os.WriteFile(p, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(p); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("undecodable payload loaded: %v", err)
+	}
+}
+
+// reStamp recomputes the checksum field over the (possibly mutated)
+// payload of an encoded snapshot file.
+func reStamp(b []byte) {
+	sum := checksum(b[headerSize:])
+	for i := 7; i >= 0; i-- {
+		b[len(magic)+12+i] = byte(sum)
+		sum >>= 8
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	_, err := Load(filepath.Join(t.TempDir(), "absent"))
+	if !os.IsNotExist(err) {
+		t.Fatalf("missing file reported as %v, want fs.ErrNotExist", err)
+	}
+}
+
+func TestCensusRecordValidation(t *testing.T) {
+	bad := []CensusRecord{
+		{K: 7},
+		{K: 2, Entries: []CensusEntryRecord{{Class: 99, Orbit: 1}}},
+		{K: 2, Entries: []CensusEntryRecord{{Class: 1, Orbit: 0}}},
+		{K: 2, Entries: []CensusEntryRecord{{Class: 1, Orbit: 1, N2Mask: 1 << 20}}},
+	}
+	for i, r := range bad {
+		if _, err := r.Census(); err == nil {
+			t.Fatalf("bad census record %d accepted", i)
+		}
+	}
+}
+
+func TestPathCensusRecordValidation(t *testing.T) {
+	bad := []PathCensusRecord{
+		{K: 7, Total: 1, SolvableAll: 1},
+		{K: 1, Total: 0},
+		{K: 1, Total: 10, SolvableAll: 4, UnsolvableSome: 4},
+		{K: 1, Total: 2, SolvableAll: 3, UnsolvableSome: -1},
+		{K: 1, Total: 4, SolvableAll: 2, UnsolvableSome: 2, ShortestBad: map[int]int{2: 1}},
+		{K: 1, Total: 4, SolvableAll: 2, UnsolvableSome: 2, ShortestBad: map[int]int{2: 4, 3: -2}},
+	}
+	for i, r := range bad {
+		if _, err := r.PathCensus(); err == nil {
+			t.Fatalf("bad path census record %d accepted", i)
+		}
+	}
+	good := PathCensusRecord{K: 1, Total: 8, SolvableAll: 6, UnsolvableSome: 2, ShortestBad: map[int]int{2: 2}}
+	if _, err := good.PathCensus(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeMemoSkipsUnknownKinds(t *testing.T) {
+	entries := []memo.Entry{
+		{Key: 1, Value: &classify.Result{Class: classify.Constant, Period: 1}},
+		{Key: 2, Value: &core.TreeVerdict{Constant: true, Level: 1}},
+		{Key: 3, Value: &classify.InputsResult{SolvableAllInputs: true}},
+		{Key: 4, Value: "a synthesized algorithm stand-in"},
+	}
+	records, skipped := EncodeMemo(entries)
+	if skipped != 1 || len(records) != 3 {
+		t.Fatalf("encoded %d records with %d skipped, want 3 and 1", len(records), skipped)
+	}
+	decoded, err := DecodeMemo(records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != 3 {
+		t.Fatalf("decoded %d entries", len(decoded))
+	}
+	if v := decoded[1].Value.(*core.TreeVerdict); !v.Constant || v.Level != 1 || v.Detail != nil {
+		t.Fatalf("tree verdict did not round-trip: %+v", v)
+	}
+}
+
+func TestDecodeMemoRejectsMalformed(t *testing.T) {
+	bad := [][]MemoEntry{
+		{{Key: 1, Kind: "mystery"}},
+		{{Key: 1, Kind: KindCycles}}, // kind without payload
+		{{Key: 1, Kind: KindCycles, Cycles: &CycleResult{Class: 42}}},
+	}
+	for i, records := range bad {
+		if _, err := DecodeMemo(records); err == nil {
+			t.Fatalf("malformed memo records %d accepted", i)
+		}
+	}
+}
