@@ -1,16 +1,25 @@
 // Command lclserver serves the classification engine over HTTP/JSON: the
 // reproduction's decision procedures (cycles, trees, paths-with-inputs,
-// synthesis) behind a memoized, batch-capable API.
+// synthesis) behind a memoized, batch-capable API, plus a background job
+// orchestrator for the long-running workloads (censuses, landscape
+// sweeps).
 //
 //	lclserver -addr :8080 -workers 8 -cache-capacity 65536 \
-//	  -snapshot /var/lib/lcl/snapshot.lclsnap
+//	  -snapshot /var/lib/lcl/snapshot.lclsnap \
+//	  -jobs-ledger /var/lib/lcl/jobs.json -snapshot-interval 5m
 //
 // With -snapshot the server warm-starts from the snapshot file when it
 // exists (memo cache entries, censuses — with lifetime cache counters
-// preserved), saves the warm state back on clean shutdown, and exposes
-// on-demand saves via POST /v1/admin/snapshot. A missing snapshot file
-// means a cold start; a corrupt or version-mismatched one is logged and
-// ignored.
+// preserved), saves the warm state back on clean shutdown, checkpoints
+// it periodically while jobs run, optionally autosaves it every
+// -snapshot-interval, and exposes on-demand saves via POST
+// /v1/admin/snapshot. A missing snapshot file means a cold start; a
+// corrupt or version-mismatched one is logged and ignored.
+//
+// With -jobs-ledger the job table survives restarts: jobs that were
+// pending or running when the process died are re-enqueued at boot and
+// — because the snapshot checkpoints carry their partial results —
+// resume warm instead of recomputing from scratch.
 //
 // Endpoints:
 //
@@ -18,18 +27,20 @@
 //	POST /v1/classify/batch  {"requests":[...]}
 //	GET  /v1/census/{k}      classified cycle-LCL census (k in 1..3)
 //	GET  /v1/census/paths/{k}  path-LCL solvability census (k in 1..3)
+//	POST /v1/jobs            submit a background job
+//	GET  /v1/jobs            list jobs
+//	GET  /v1/jobs/{id}       job state + progress + result
+//	DELETE /v1/jobs/{id}     cancel a job
+//	GET  /v1/jobs/{id}/events  SSE progress stream
 //	POST /v1/admin/snapshot  persist the warm state now
 //	GET  /healthz            liveness
 //	GET  /statsz             engine + cache counters + snapshot age
 //
-// Try it:
-//
-//	curl -s localhost:8080/v1/census/2 | head
-//	curl -s -X POST localhost:8080/v1/classify \
-//	  -d '{"mode":"cycles","problem":{"name":"2col","in_alphabet":["·"],
-//	       "out_alphabet":["A","B"],
-//	       "node_constraints":{"2":["A A","B B"]},
-//	       "edge_constraints":["A B"],"g":{"·":["A","B"]}}}'
+// Shutdown (SIGINT/SIGTERM) is graceful and ordered: the listener
+// drains in-flight requests via http.Server.Shutdown, the job manager
+// interrupts running jobs (recording them for resumption) and saves the
+// ledger, and only then is the final snapshot written — so the snapshot
+// always includes the interrupted jobs' last partial results.
 package main
 
 import (
@@ -42,6 +53,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/jobs"
 	"repro/internal/service"
 	"repro/internal/store"
 )
@@ -52,8 +64,16 @@ func main() {
 	cacheShards := flag.Int("cache-shards", 0, "memo cache shard count (0 = default)")
 	cacheCap := flag.Int("cache-capacity", 0, "memo cache total entries (0 = default)")
 	prewarm := flag.Int("prewarm", 0, "run the k-census on startup to warm the cache (0 = off)")
-	snapshotPath := flag.String("snapshot", "", "snapshot file: load on startup if present, save on shutdown and via POST /v1/admin/snapshot (empty = off)")
+	snapshotPath := flag.String("snapshot", "", "snapshot file: load on startup if present, save on shutdown, at checkpoints, and via POST /v1/admin/snapshot (empty = off)")
+	snapshotInterval := flag.Duration("snapshot-interval", 0, "autosave the snapshot at this interval, e.g. 5m (0 = off; requires -snapshot)")
+	jobsLedger := flag.String("jobs-ledger", "", "job ledger file: persists the job table and re-enqueues unfinished jobs at boot (empty = off)")
+	jobWorkers := flag.Int("job-workers", 1, "concurrently running background jobs")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "in-flight request drain budget on shutdown")
 	flag.Parse()
+
+	if *snapshotInterval > 0 && *snapshotPath == "" {
+		log.Fatalf("lclserver: -snapshot-interval requires -snapshot")
+	}
 
 	var snapshot *store.Snapshot
 	if *snapshotPath != "" {
@@ -71,14 +91,36 @@ func main() {
 		}
 	}
 
+	var ledger *jobs.Ledger
+	if *jobsLedger != "" {
+		switch l, err := jobs.LoadLedger(*jobsLedger); {
+		case err == nil:
+			ledger = l
+			resumable := 0
+			for _, j := range l.Jobs {
+				if !j.State.Terminal() || j.State == jobs.StateInterrupted {
+					resumable++
+				}
+			}
+			log.Printf("lclserver: loaded job ledger %s (%d jobs, %d to re-enqueue)",
+				*jobsLedger, len(l.Jobs), resumable)
+		case os.IsNotExist(err):
+			log.Printf("lclserver: job ledger %s not found, starting empty", *jobsLedger)
+		default:
+			log.Printf("lclserver: ignoring job ledger %s: %v", *jobsLedger, err)
+		}
+	}
+
 	engine := service.New(service.Config{
-		Workers:       *workers,
-		CacheShards:   *cacheShards,
-		CacheCapacity: *cacheCap,
-		Snapshot:      snapshot,
-		SnapshotPath:  *snapshotPath,
+		Workers:        *workers,
+		CacheShards:    *cacheShards,
+		CacheCapacity:  *cacheCap,
+		Snapshot:       snapshot,
+		SnapshotPath:   *snapshotPath,
+		JobWorkers:     *jobWorkers,
+		JobsLedgerPath: *jobsLedger,
+		JobsLedger:     ledger,
 	})
-	defer engine.Close()
 
 	if *prewarm > 0 {
 		start := time.Now()
@@ -88,27 +130,70 @@ func main() {
 		log.Printf("lclserver: prewarmed k=%d census in %v", *prewarm, time.Since(start))
 	}
 
+	// Periodic snapshot autosave: long-lived servers should not lose the
+	// memo cache to a crash just because no job happened to checkpoint.
+	autosaveStop := make(chan struct{})
+	if *snapshotInterval > 0 {
+		go func() {
+			ticker := time.NewTicker(*snapshotInterval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-autosaveStop:
+					return
+				case <-ticker.C:
+					if res, err := engine.SaveSnapshot(); err != nil {
+						log.Printf("lclserver: snapshot autosave: %v", err)
+					} else {
+						log.Printf("lclserver: snapshot autosave %s (%d bytes)", res.Path, res.Bytes)
+					}
+				}
+			}
+		}()
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           NewLoggingHandler(service.NewHandler(engine)),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
+	// SSE job-event streams are long-lived by design; end them when the
+	// drain starts or Shutdown would stall for its whole timeout behind
+	// every open watcher.
+	srv.RegisterOnShutdown(engine.ShutdownStreams)
+	serveErr := make(chan error, 1)
 	go func() {
-		log.Printf("lclserver: listening on %s (%d workers)", *addr, *workers)
-		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-			log.Fatalf("lclserver: %v", err)
-		}
+		log.Printf("lclserver: listening on %s (%d workers, %d job workers)", *addr, *workers, *jobWorkers)
+		serveErr <- srv.ListenAndServe()
 	}()
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
-	<-stop
-	log.Printf("lclserver: shutting down")
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	serveFailed := false
+	select {
+	case sig := <-stop:
+		log.Printf("lclserver: %v, shutting down", sig)
+	case err := <-serveErr:
+		// Listener died on its own (port conflict, ...): still run the
+		// ordered shutdown so jobs and snapshots are not lost, but exit
+		// non-zero so supervisors notice the server never served.
+		log.Printf("lclserver: serve: %v", err)
+		serveFailed = err != nil && err != http.ErrServerClosed
+	}
+
+	// Ordered shutdown: drain HTTP first so no request observes a
+	// half-stopped engine...
+	ctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
 		log.Printf("lclserver: shutdown: %v", err)
 	}
+	close(autosaveStop)
+	// ...then stop the engine: running jobs are interrupted and the
+	// ledger records them for resumption...
+	engine.Close()
+	// ...and finally persist the warm state, interrupted partials
+	// included.
 	if *snapshotPath != "" {
 		if res, err := engine.SaveSnapshot(); err != nil {
 			log.Printf("lclserver: snapshot save: %v", err)
@@ -116,6 +201,9 @@ func main() {
 			log.Printf("lclserver: saved snapshot %s (%d bytes, %d memo entries, %d censuses)",
 				res.Path, res.Bytes, res.MemoEntries, res.Censuses+res.PathCensuses)
 		}
+	}
+	if serveFailed {
+		os.Exit(1)
 	}
 }
 

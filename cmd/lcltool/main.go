@@ -12,6 +12,11 @@
 //	lcltool -problem trivial -zeroround
 //	lcltool -problem forbid-list-3-coloring -inputs   # all-inputs solvability
 //	lcltool -problem 3-coloring -delta 2 -synth 2     # O(1) synthesis/refutation
+//
+// The jobs subcommand is a client for the lclserver background-job API
+// (see jobs.go):
+//
+//	lcltool jobs -server http://localhost:8080 submit -type census -k 3 -watch
 package main
 
 import (
@@ -30,6 +35,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "jobs" {
+		runJobs(os.Args[2:])
+		return
+	}
 	problem := flag.String("problem", "", "named problem from the battery (see -list)")
 	file := flag.String("file", "", "JSON problem definition to load")
 	list := flag.Bool("list", false, "list named problems")

@@ -1,0 +1,144 @@
+package enumerate
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/memo"
+)
+
+// TestRunWithCancel: a cancelled context stops the census and surfaces
+// ctx.Err(); decisions made before cancellation are retained in the
+// cache so a resumed run skips them (the jobs-layer resume contract).
+func TestRunWithCancel(t *testing.T) {
+	pre, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunWith(2, false, RunOpts{Ctx: pre}); err != context.Canceled {
+		t.Fatalf("pre-cancelled run returned %v, want context.Canceled", err)
+	}
+
+	cache := memo.New(4, 1<<14)
+	ctx, cancel2 := context.WithCancel(context.Background())
+	var mu sync.Mutex
+	stopAt := 40
+	_, err := RunWith(3, false, RunOpts{
+		Workers: 2,
+		Cache:   cache,
+		Ctx:     ctx,
+		Progress: func(done, total int) {
+			mu.Lock()
+			if done >= stopAt {
+				cancel2()
+			}
+			mu.Unlock()
+		},
+	})
+	if err != context.Canceled {
+		t.Fatalf("mid-run cancel returned %v, want context.Canceled", err)
+	}
+	// The cache is keyed by canonical fingerprint (816 classes at k=3),
+	// so the entry count is the distinct classes decided so far: nonzero,
+	// and strictly partial.
+	partial := cache.Len()
+	if partial == 0 || partial >= 816 {
+		t.Fatalf("cache holds %d entries after cancelling around %d", partial, stopAt)
+	}
+
+	// Resume against the same cache: identical counts to a cold run, and
+	// the partial work is reused (hits at least cover it).
+	c, err := RunWith(3, false, RunOpts{Workers: 2, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Run(3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cl, n := range ref.RawByClass {
+		if c.RawByClass[cl] != n {
+			t.Errorf("class %v: resumed %d, cold %d", cl, c.RawByClass[cl], n)
+		}
+	}
+	if hits := cache.Stats().Hits; hits < uint64(partial) {
+		t.Errorf("resumed run hit the cache %d times, want >= %d", hits, partial)
+	}
+}
+
+// TestRunWithProgress: progress fires once with (0, total) and then per
+// classified problem, ending exactly at the job count.
+func TestRunWithProgress(t *testing.T) {
+	var mu sync.Mutex
+	var calls int
+	var maxDone, total int
+	c, err := RunWith(2, true, RunOpts{
+		Workers: 3,
+		Progress: func(done, tot int) {
+			mu.Lock()
+			calls++
+			if done > maxDone {
+				maxDone = done
+			}
+			total = tot
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != len(c.Entries) || maxDone != len(c.Entries) {
+		t.Errorf("progress total %d / max done %d, want both %d", total, maxDone, len(c.Entries))
+	}
+	if calls != len(c.Entries)+1 { // the (0, total) announcement plus one per problem
+		t.Errorf("progress called %d times, want %d", calls, len(c.Entries)+1)
+	}
+}
+
+// TestRunPathsWithCancelProgressAndCache: the path census honors
+// cancellation, reports dense monotone progress, and memoizes decisions
+// so a warm re-run does no classifier work (puts stay flat).
+func TestRunPathsWithCancelProgressAndCache(t *testing.T) {
+	pre, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunPathsWith(2, PathRunOpts{Ctx: pre}); err != context.Canceled {
+		t.Fatalf("pre-cancelled path run returned %v, want context.Canceled", err)
+	}
+
+	cache := memo.New(4, 1<<14)
+	var last int
+	c, err := RunPathsWith(2, PathRunOpts{
+		Cache: cache,
+		Progress: func(done, total int) {
+			if done != last+1 || total != 256 {
+				t.Fatalf("progress (%d, %d) after %d, want (+1, 256)", done, total, last)
+			}
+			last = done
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last != c.Total || c.Total != 256 {
+		t.Fatalf("progress ended at %d of %d problems", last, c.Total)
+	}
+	ref, err := RunPaths(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.SolvableAll != ref.SolvableAll || c.UnsolvableSome != ref.UnsolvableSome {
+		t.Errorf("cached run (%d, %d) differs from plain run (%d, %d)",
+			c.SolvableAll, c.UnsolvableSome, ref.SolvableAll, ref.UnsolvableSome)
+	}
+
+	putsAfterCold := cache.Stats().Puts
+	c2, err := RunPathsWith(2, PathRunOpts{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.SolvableAll != ref.SolvableAll {
+		t.Errorf("warm path census disagrees: %d vs %d", c2.SolvableAll, ref.SolvableAll)
+	}
+	if puts := cache.Stats().Puts; puts != putsAfterCold {
+		t.Errorf("warm re-run added %d puts — classifier ran again", puts-putsAfterCold)
+	}
+}

@@ -1,6 +1,7 @@
 package enumerate
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -55,6 +56,18 @@ type RunOpts struct {
 	// Workers is the number of parallel classification goroutines;
 	// <= 0 selects GOMAXPROCS.
 	Workers int
+	// Ctx, when non-nil, cancels the run: workers stop picking up new
+	// problems once the context is done and RunWith returns ctx.Err().
+	// Results classified before cancellation are already published to
+	// Cache, so a cancelled run resumed against the same cache skips the
+	// work it completed — this is the checkpoint/resume contract of the
+	// jobs layer (internal/jobs).
+	Ctx context.Context
+	// Progress, when non-nil, is called once with (0, total) after
+	// enumeration and then after every classified problem with the
+	// running done count. It is called concurrently from the worker
+	// goroutines and must be safe for concurrent use.
+	Progress func(done, total int)
 	// Cache, when non-nil, memoizes classification results under
 	// memo.Key(CycleDomain, canon fingerprint). A warm cache lets a
 	// census re-run skip every classification (see BenchmarkCensusMemo);
@@ -109,6 +122,9 @@ func RunWith(k int, dedup bool, opts RunOpts) (*Census, error) {
 	total := uint(1) << uint(PairCount(k))
 	seen := map[uint64]int{} // fingerprint -> index in jobs
 	for n2 := uint(0); n2 < total; n2++ {
+		if err := ctxErr(opts.Ctx); err != nil {
+			return nil, err
+		}
 		for e := uint(0); e < total; e++ {
 			p := FromMasks(k, n2, e)
 			fp, err := canon.Fingerprint(p)
@@ -148,15 +164,21 @@ func RunWith(k int, dedup bool, opts RunOpts) (*Census, error) {
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
+	if opts.Progress != nil {
+		opts.Progress(0, len(jobs))
+	}
 	results := make([]*classify.Result, len(jobs))
 	errs := make([]error, len(jobs))
-	var next atomic.Int64
+	var next, done atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
+				if ctxErr(opts.Ctx) != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= len(jobs) {
 					return
@@ -164,25 +186,29 @@ func RunWith(k int, dedup bool, opts RunOpts) (*Census, error) {
 				key := memo.Key(CycleDomain, jobs[i].fp)
 				if v, ok := opts.Cache.Get(key); ok {
 					results[i] = v.(*classify.Result)
-					continue
-				}
-				if we, ok := warm[jobs[i].fp]; ok {
+				} else if we, ok := warm[jobs[i].fp]; ok {
 					res := &classify.Result{Class: we.Class, Period: we.Period, Witness: we.Witness}
 					opts.Cache.Put(key, res)
 					results[i] = res
-					continue
+				} else {
+					res, err := classify.Cycles(jobs[i].en.Problem)
+					if err != nil {
+						errs[i] = err
+						continue
+					}
+					opts.Cache.Put(key, res)
+					results[i] = res
 				}
-				res, err := classify.Cycles(jobs[i].en.Problem)
-				if err != nil {
-					errs[i] = err
-					continue
+				if opts.Progress != nil {
+					opts.Progress(int(done.Add(1)), len(jobs))
 				}
-				opts.Cache.Put(key, res)
-				results[i] = res
 			}
 		}()
 	}
 	wg.Wait()
+	if err := ctxErr(opts.Ctx); err != nil {
+		return nil, err
+	}
 
 	for i, j := range jobs {
 		if errs[i] != nil {
@@ -193,6 +219,14 @@ func RunWith(k int, dedup bool, opts RunOpts) (*Census, error) {
 		c.RawByClass[results[i].Class] += j.en.Orbit
 	}
 	return c, nil
+}
+
+// ctxErr reports a done context's error; a nil context never cancels.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 // Examples returns up to max representative problems of the given class.

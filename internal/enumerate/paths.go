@@ -1,10 +1,13 @@
 package enumerate
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/canon"
 	"repro/internal/classify"
 	"repro/internal/lcl"
+	"repro/internal/memo"
 )
 
 // Path census: paths add a third constraint dimension — the degree-1
@@ -59,35 +62,100 @@ type PathCensus struct {
 	Total          int
 }
 
+// PathDomain is the memo key domain for path solvability results
+// (*classify.InputsResult values). It matches the domain the service
+// layer uses for ModePathsInputs traffic, so census runs and API
+// requests warm each other and path-census checkpoints persist through
+// the same snapshot records.
+const PathDomain = "classify/paths-inputs"
+
+// PathRunOpts configures RunPathsWith.
+type PathRunOpts struct {
+	// Ctx, when non-nil, cancels the run between problems; RunPathsWith
+	// then returns ctx.Err(). Decisions made before cancellation are
+	// already in Cache, so a resumed run skips them.
+	Ctx context.Context
+	// Progress, when non-nil, is called with (done, total) after every
+	// decided problem (the total is known up front).
+	Progress func(done, total int)
+	// Cache, when non-nil, memoizes per-problem decisions under
+	// memo.Key(PathDomain, canonical fingerprint) — the checkpoint
+	// currency of resumable path-census jobs.
+	Cache *memo.Cache
+}
+
 // RunPaths enumerates and decides the full path census at alphabet size
 // k (k <= 2 keeps the 2^k·4^{k(k+1)/2} space comfortably testable; k = 3
 // has 32768 problems and is still fine for a bench).
-func RunPaths(k int) (*PathCensus, error) {
+//
+// RunPaths is RunPathsWith with default options: no cancellation, no
+// progress reporting, no memoization.
+func RunPaths(k int) (*PathCensus, error) { return RunPathsWith(k, PathRunOpts{}) }
+
+// RunPathsWith is RunPaths with cancellation, progress reporting, and
+// per-problem memoization. The census aggregates (counts and the
+// shortest-bad histogram) are recomputed from the per-problem decisions
+// on every run; only the decisions themselves are cached, so a warm
+// re-run is sublinear in classifier work but still exact.
+func RunPathsWith(k int, opts PathRunOpts) (*PathCensus, error) {
 	if k < 1 || k > 3 {
 		return nil, fmt.Errorf("enumerate: path census supports k in [1, 3], got %d", k)
 	}
 	c := &PathCensus{K: k, ShortestBad: map[int]int{}}
 	pairSpace := uint(1) << uint(PairCount(k))
 	endSpace := uint(1) << uint(k)
+	total := int(endSpace) * int(pairSpace) * int(pairSpace)
 	for n1 := uint(0); n1 < endSpace; n1++ {
 		for n2 := uint(0); n2 < pairSpace; n2++ {
+			if err := ctxErr(opts.Ctx); err != nil {
+				return nil, err
+			}
 			for e := uint(0); e < pairSpace; e++ {
 				p := FromPathMasks(k, n1, n2, e)
 				c.Total++
-				res, err := classify.PathsWithInputs(p)
+				res, err := decidePath(p, opts.Cache)
 				if err != nil {
 					return nil, fmt.Errorf("enumerate: %s: %w", p.Name, err)
 				}
 				if res.SolvableAllInputs {
 					c.SolvableAll++
-					continue
+				} else {
+					c.UnsolvableSome++
+					c.ShortestBad[len(res.BadInput)/2+1]++
 				}
-				c.UnsolvableSome++
-				c.ShortestBad[len(res.BadInput)/2+1]++
+				if opts.Progress != nil {
+					opts.Progress(c.Total, total)
+				}
 			}
 		}
 	}
 	return c, nil
+}
+
+// decidePath decides one path problem through the memo cache. Inexact
+// canonical forms (never reached for mask problems at k <= 3, but cheap
+// to guard) bypass the cache, mirroring the service layer's rule.
+func decidePath(p *lcl.Problem, cache *memo.Cache) (*classify.InputsResult, error) {
+	if cache == nil {
+		return classify.PathsWithInputs(p)
+	}
+	form, err := canon.Canonicalize(p)
+	if err != nil {
+		return nil, err
+	}
+	if !form.Exact {
+		return classify.PathsWithInputs(p)
+	}
+	key := memo.Key(PathDomain, form.Fingerprint())
+	if v, ok := cache.Get(key); ok {
+		return v.(*classify.InputsResult), nil
+	}
+	res, err := classify.PathsWithInputs(p)
+	if err != nil {
+		return nil, err
+	}
+	cache.Put(key, res)
+	return res, nil
 }
 
 func (c *PathCensus) String() string {

@@ -1,0 +1,131 @@
+package jobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Ledger is the persisted job table: every job ever submitted (bounded
+// in practice by operators pruning finished jobs out-of-band) plus the
+// sequence counter, so job IDs stay unique across restarts.
+//
+// The ledger is the jobs subsystem's durability half: it records *which*
+// work was in flight, while the engine snapshot (internal/store) records
+// the partial *results* of that work. Reloading both resumes a killed
+// census warm: the ledger re-enqueues the job, the snapshot-restored
+// memo cache makes the re-run skip everything already decided.
+type Ledger struct {
+	Version int    `json:"version"`
+	NextSeq uint64 `json:"next_seq"`
+	Jobs    []Job  `json:"jobs"`
+}
+
+// LedgerVersion is the current ledger format version; LoadLedger rejects
+// others.
+const LedgerVersion = 1
+
+// snapshotLedgerLocked builds the ledger from the manager's current
+// state. Callers hold m.mu.
+func (m *Manager) snapshotLedgerLocked() *Ledger {
+	l := &Ledger{Version: LedgerVersion, NextSeq: m.nextSeq}
+	for _, rec := range m.jobs {
+		l.Jobs = append(l.Jobs, rec.job)
+	}
+	return l
+}
+
+// saveLedgerLocked persists the ledger when a path is configured.
+// Callers hold m.mu; only the in-memory snapshot happens under that
+// lock — the JSON marshal and disk write run on a dedicated coalescing
+// writer goroutine, so per-problem progress reports and event fan-out
+// (which contend on m.mu) never stall behind ledger I/O. Concurrent
+// snapshots coalesce to the newest; Close flushes the writer before
+// returning, so a clean shutdown always leaves the final ledger on
+// disk. Write failures are deliberately swallowed: the ledger is
+// durability insurance, and refusing to serve because a disk write
+// failed would invert the priority.
+func (m *Manager) saveLedgerLocked() {
+	if m.cfg.LedgerPath == "" {
+		return
+	}
+	l := m.snapshotLedgerLocked()
+	m.ledgerMu.Lock()
+	m.pendingLedger = l
+	spawn := !m.ledgerWriting
+	if spawn {
+		m.ledgerWriting = true
+	}
+	m.ledgerMu.Unlock()
+	if spawn {
+		m.ledgerWG.Add(1)
+		go m.writeLedgers()
+	}
+}
+
+// writeLedgers drains pending ledger snapshots, always writing the
+// newest one; stale snapshots that were superseded while a write was in
+// flight are skipped, never written over a newer file.
+func (m *Manager) writeLedgers() {
+	defer m.ledgerWG.Done()
+	for {
+		m.ledgerMu.Lock()
+		l := m.pendingLedger
+		m.pendingLedger = nil
+		if l == nil {
+			m.ledgerWriting = false
+			m.ledgerMu.Unlock()
+			return
+		}
+		m.ledgerMu.Unlock()
+		_ = SaveLedger(m.cfg.LedgerPath, l)
+	}
+}
+
+// SaveLedger writes the ledger as JSON, atomically (temp sibling +
+// rename), so a crash mid-save leaves the previous ledger intact.
+func SaveLedger(path string, l *Ledger) error {
+	data, err := json.MarshalIndent(l, "", "  ")
+	if err != nil {
+		return fmt.Errorf("jobs: encode ledger: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("jobs: save ledger: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("jobs: save ledger: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("jobs: save ledger: %w", err)
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		return fmt.Errorf("jobs: save ledger: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("jobs: save ledger: %w", err)
+	}
+	return nil
+}
+
+// LoadLedger reads a saved ledger. A missing file surfaces as the
+// underlying fs error (os.IsNotExist); damage or a foreign version is an
+// ordinary error — both mean "start with an empty ledger" to callers.
+func LoadLedger(path string) (*Ledger, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var l Ledger
+	if err := json.Unmarshal(data, &l); err != nil {
+		return nil, fmt.Errorf("jobs: decode ledger %s: %w", path, err)
+	}
+	if l.Version != LedgerVersion {
+		return nil, fmt.Errorf("jobs: ledger %s version %d, supported %d", path, l.Version, LedgerVersion)
+	}
+	return &l, nil
+}

@@ -1,0 +1,52 @@
+package jobs
+
+import "container/heap"
+
+// queue is the pending-job priority queue: higher Spec.Priority first,
+// FIFO (ascending Seq) within a priority.
+type queue struct {
+	h recHeap
+}
+
+func newQueue() *queue { return &queue{} }
+
+func (q *queue) len() int { return len(q.h) }
+
+func (q *queue) push(rec *record) { heap.Push(&q.h, rec) }
+
+func (q *queue) pop() *record { return heap.Pop(&q.h).(*record) }
+
+// remove deletes a specific record from the queue (cancellation of a
+// pending job); it is a no-op when the record is not queued.
+func (q *queue) remove(rec *record) {
+	for i, r := range q.h {
+		if r == rec {
+			heap.Remove(&q.h, i)
+			return
+		}
+	}
+}
+
+type recHeap []*record
+
+func (h recHeap) Len() int { return len(h) }
+
+func (h recHeap) Less(i, j int) bool {
+	if h[i].job.Spec.Priority != h[j].job.Spec.Priority {
+		return h[i].job.Spec.Priority > h[j].job.Spec.Priority
+	}
+	return h[i].job.Seq < h[j].job.Seq
+}
+
+func (h recHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *recHeap) Push(x any) { *h = append(*h, x.(*record)) }
+
+func (h *recHeap) Pop() any {
+	old := *h
+	n := len(old)
+	rec := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return rec
+}

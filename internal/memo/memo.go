@@ -42,6 +42,8 @@ type Cache struct {
 	misses    atomic.Uint64
 	evictions atomic.Uint64
 	puts      atomic.Uint64
+	imported  atomic.Uint64
+	exported  atomic.Uint64
 }
 
 type shard struct {
@@ -175,9 +177,15 @@ type Stats struct {
 	Misses    uint64 `json:"misses"`
 	Evictions uint64 `json:"evictions"`
 	Puts      uint64 `json:"puts"`
-	Size      int    `json:"size"`
-	Shards    int    `json:"shards"`
-	Capacity  int    `json:"capacity"`
+	// Imported / Exported count entries restored into and snapshotted out
+	// of this cache over its lifetime (Import / Export calls — i.e.
+	// snapshot loads and saves). Unlike the traffic counters they are
+	// properties of this process, so Import does not fold them in.
+	Imported uint64 `json:"imported,omitempty"`
+	Exported uint64 `json:"exported,omitempty"`
+	Size     int    `json:"size"`
+	Shards   int    `json:"shards"`
+	Capacity int    `json:"capacity"`
 }
 
 // Stats snapshots the counters (counters are individually atomic; the
@@ -192,6 +200,8 @@ func (c *Cache) Stats() Stats {
 		Misses:    c.misses.Load(),
 		Evictions: c.evictions.Load(),
 		Puts:      c.puts.Load(),
+		Imported:  c.imported.Load(),
+		Exported:  c.exported.Load(),
 		Size:      c.Len(),
 		Shards:    len(c.shards),
 		Capacity:  len(c.shards) * c.shards[0].cap,
@@ -224,6 +234,7 @@ func (c *Cache) Export() ([]Entry, Stats) {
 		}
 		s.mu.Unlock()
 	}
+	c.exported.Add(uint64(len(out)))
 	return out, c.Stats()
 }
 
@@ -239,6 +250,7 @@ func (c *Cache) Import(entries []Entry, stats Stats) {
 	for _, e := range entries {
 		c.insert(e.Key, e.Value)
 	}
+	c.imported.Add(uint64(len(entries)))
 	c.hits.Add(stats.Hits)
 	c.misses.Add(stats.Misses)
 	c.evictions.Add(stats.Evictions)

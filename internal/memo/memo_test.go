@@ -198,6 +198,19 @@ func TestExportImportRoundTrip(t *testing.T) {
 	if st.Hits != 50 || st.Misses != 10 || st.Puts != 40 {
 		t.Fatalf("post-import stats %+v", st)
 	}
+	// Import/export accounting is per-process: the source counted its 40
+	// exported entries, the fresh cache its 40 imported ones — and the
+	// imported count was not folded in from the source's stats.
+	if src := c.Stats(); src.Exported != 40 || src.Imported != 0 {
+		t.Fatalf("source import/export counters %+v", src)
+	}
+	if st.Imported != 40 || st.Exported != 0 {
+		t.Fatalf("fresh import/export counters %+v", st)
+	}
+	entries2, _ := fresh.Export()
+	if got := fresh.Stats().Exported; got != uint64(len(entries2)) {
+		t.Fatalf("exported counter %d after exporting %d entries", got, len(entries2))
+	}
 }
 
 // TestImportPreservesRecency: per-shard LRU order survives the round

@@ -1,0 +1,281 @@
+package rooted
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Rooted census: the [8]-side analogue of the cycle census in
+// internal/enumerate. The space of rooted LCLs over δ-regular trees with
+// k labels is finite — a problem is a subset of the k·multiset(k, δ)
+// allowed (parent : children) configurations plus a leaf mask and a root
+// mask — so the whole landscape row can be enumerated and decided:
+//
+//   - Unsolvable: some complete-tree depth admits no valid labeling
+//     (decided exactly by iterating the feasibility DP to its cycle);
+//   - ConstantAnon: an anonymous constant-radius algorithm exists, found
+//     by synthesis at some radius <= MaxRadius (a constructive O(1)
+//     certificate — see synth.go);
+//   - NoAnonAtRadius: solvable at every depth but refuted for every
+//     anonymous radius <= MaxRadius. Relative to the searched radii this
+//     is exhaustive; the class is named for what was actually proved
+//     (Question 1.7's open direction is exactly whether such problems can
+//     be classified further).
+
+// CensusClass is the decided bucket of one rooted census row.
+type CensusClass int
+
+// The rooted census buckets.
+const (
+	// RootedUnsolvable marks problems with an unsolvable complete-tree
+	// depth.
+	RootedUnsolvable CensusClass = iota
+	// RootedConstantAnon marks problems with an anonymous O(1) algorithm
+	// at radius <= MaxRadius.
+	RootedConstantAnon
+	// RootedNoAnonAtRadius marks problems solvable at every depth for
+	// which every anonymous radius <= MaxRadius was exhaustively refuted.
+	RootedNoAnonAtRadius
+)
+
+// String names the bucket.
+func (c CensusClass) String() string {
+	switch c {
+	case RootedUnsolvable:
+		return "unsolvable"
+	case RootedConstantAnon:
+		return "constant-anon"
+	case RootedNoAnonAtRadius:
+		return "no-anon-at-radius"
+	default:
+		return fmt.Sprintf("CensusClass(%d)", int(c))
+	}
+}
+
+// CensusEntry is one classified rooted problem, identified by its masks.
+type CensusEntry struct {
+	// ConfigMask selects the allowed configurations from AllConfigs
+	// (bit i = config i allowed); LeafMask and RootMask select the
+	// allowed leaf and root labels (bit a = label a allowed).
+	ConfigMask uint64
+	LeafMask   uint
+	RootMask   uint
+	Class      CensusClass
+	// Radius is the smallest anonymous radius (RootedConstantAnon only).
+	Radius int
+}
+
+// CensusResult is the classified enumeration of every rooted LCL over
+// one (delta, k) space.
+type CensusResult struct {
+	Delta     int
+	K         int
+	MaxRadius int
+	Entries   []CensusEntry
+	// ByClass counts entries per bucket; ByRadius histograms the
+	// constant-anon entries by their minimal radius.
+	ByClass  map[CensusClass]int
+	ByRadius map[int]int
+}
+
+// CensusOpts configures RunCensus.
+type CensusOpts struct {
+	// MaxRadius bounds the anonymous synthesis search (default 1).
+	MaxRadius int
+	// Ctx, when non-nil, cancels the run between problems.
+	Ctx context.Context
+	// Progress, when non-nil, is called with (done, total) after every
+	// decided problem.
+	Progress func(done, total int)
+}
+
+// DefaultCensusRadius is the synthesis bound when CensusOpts leaves
+// MaxRadius zero.
+const DefaultCensusRadius = 1
+
+// AllConfigs enumerates every (parent : children-multiset) configuration
+// over k labels and δ children, in a fixed deterministic order (parent
+// ascending, children multisets lexicographic). Bit i of a census
+// ConfigMask refers to the i-th config of this list.
+func AllConfigs(delta, k int) []Config {
+	var out []Config
+	var rec func(chosen []int, from int)
+	parent := 0
+	rec = func(chosen []int, from int) {
+		if len(chosen) == delta {
+			out = append(out, Config{Parent: parent, Children: append([]int(nil), chosen...)})
+			return
+		}
+		for c := from; c < k; c++ {
+			rec(append(chosen, c), c)
+		}
+	}
+	for parent = 0; parent < k; parent++ {
+		rec(nil, 0)
+	}
+	return out
+}
+
+// CensusProblem materializes the problem a census entry identifies:
+// the masked subset of AllConfigs(delta, k) plus leaf and root masks.
+func CensusProblem(delta, k int, configMask uint64, leafMask, rootMask uint) *Problem {
+	return censusProblem(AllConfigs(delta, k), delta, k, configMask, leafMask, rootMask)
+}
+
+// censusProblem is CensusProblem over a precomputed config list, so the
+// census sweep does not re-enumerate AllConfigs per problem.
+func censusProblem(all []Config, delta, k int, configMask uint64, leafMask, rootMask uint) *Problem {
+	labels := make([]string, k)
+	for i := range labels {
+		labels[i] = fmt.Sprintf("l%d", i)
+	}
+	p := &Problem{
+		Name:   fmt.Sprintf("rooted-census-d%d-k%d-C%d-L%d-R%d", delta, k, configMask, leafMask, rootMask),
+		Labels: labels,
+		Delta:  delta,
+		LeafOK: make([]bool, k),
+		RootOK: make([]bool, k),
+	}
+	for i, c := range all {
+		if configMask&(1<<uint(i)) != 0 {
+			p.Configs = append(p.Configs, c)
+		}
+	}
+	for a := 0; a < k; a++ {
+		p.LeafOK[a] = leafMask&(1<<uint(a)) != 0
+		p.RootOK[a] = rootMask&(1<<uint(a)) != 0
+	}
+	return p
+}
+
+// SolvableEverywhere decides exactly whether every complete δ-ary tree
+// depth admits a valid labeling. The feasibility DP state (the set of
+// labels that can root a complete tree of height h) lives in a lattice
+// of 2^k states, so the height sequence enters a cycle within 2^k + 1
+// steps; checking each state until the first repeat covers all depths.
+func SolvableEverywhere(p *Problem) bool {
+	state := append([]bool(nil), p.LeafOK...)
+	seen := map[string]bool{}
+	for {
+		if !rootable(p, state) {
+			return false
+		}
+		key := stateKey(state)
+		if seen[key] {
+			return true
+		}
+		seen[key] = true
+		next := make([]bool, p.NumLabels())
+		for _, c := range p.Configs {
+			ok := true
+			for _, ch := range c.Children {
+				if !state[ch] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				next[c.Parent] = true
+			}
+		}
+		state = next
+	}
+}
+
+// rootable reports whether some feasible label is allowed at the root.
+func rootable(p *Problem, feasible []bool) bool {
+	for a := range feasible {
+		if feasible[a] && p.RootOK[a] {
+			return true
+		}
+	}
+	return false
+}
+
+func stateKey(s []bool) string {
+	b := make([]byte, len(s))
+	for i, v := range s {
+		if v {
+			b[i] = '1'
+		} else {
+			b[i] = '0'
+		}
+	}
+	return string(b)
+}
+
+// RunCensus enumerates and classifies every rooted LCL over δ-regular
+// trees with k labels. The space is 2^|AllConfigs| · 2^k · 2^k problems,
+// so delta is bounded to [1, 3] and k to [1, 2] (delta = 3, k = 2 is
+// 4096 problems; anything larger makes the synthesis sweep dominate).
+// The result is deterministic: entries appear in (configMask, leafMask,
+// rootMask) lexicographic order.
+func RunCensus(delta, k int, opts CensusOpts) (*CensusResult, error) {
+	if delta < 1 || delta > 3 {
+		return nil, fmt.Errorf("rooted: census delta = %d out of supported range [1, 3]", delta)
+	}
+	if k < 1 || k > 2 {
+		return nil, fmt.Errorf("rooted: census k = %d out of supported range [1, 2]", k)
+	}
+	maxRadius := opts.MaxRadius
+	if maxRadius <= 0 {
+		maxRadius = DefaultCensusRadius
+	}
+	all := AllConfigs(delta, k)
+	configSpace := uint64(1) << uint(len(all))
+	labelSpace := uint(1) << uint(k)
+	total := int(configSpace) * int(labelSpace) * int(labelSpace)
+	res := &CensusResult{
+		Delta:     delta,
+		K:         k,
+		MaxRadius: maxRadius,
+		ByClass:   map[CensusClass]int{},
+		ByRadius:  map[int]int{},
+	}
+	done := 0
+	for cm := uint64(0); cm < configSpace; cm++ {
+		if opts.Ctx != nil && opts.Ctx.Err() != nil {
+			return nil, opts.Ctx.Err()
+		}
+		for lm := uint(0); lm < labelSpace; lm++ {
+			for rm := uint(0); rm < labelSpace; rm++ {
+				p := censusProblem(all, delta, k, cm, lm, rm)
+				e := CensusEntry{ConfigMask: cm, LeafMask: lm, RootMask: rm}
+				if !SolvableEverywhere(p) {
+					e.Class = RootedUnsolvable
+				} else if _, r, ok := Decide(p, maxRadius); ok {
+					e.Class = RootedConstantAnon
+					e.Radius = r
+					res.ByRadius[r]++
+				} else {
+					e.Class = RootedNoAnonAtRadius
+				}
+				res.Entries = append(res.Entries, e)
+				res.ByClass[e.Class]++
+				done++
+				if opts.Progress != nil {
+					opts.Progress(done, total)
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// String renders the census as a small table.
+func (r *CensusResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "rooted census delta=%d k=%d (%d problems, radius <= %d)\n",
+		r.Delta, r.K, len(r.Entries), r.MaxRadius)
+	classes := make([]CensusClass, 0, len(r.ByClass))
+	for c := range r.ByClass {
+		classes = append(classes, c)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+	for _, c := range classes {
+		fmt.Fprintf(&b, "  %-18s %6d\n", c, r.ByClass[c])
+	}
+	return b.String()
+}

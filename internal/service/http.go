@@ -19,6 +19,11 @@ import (
 //	POST /v1/classify/batch  positional batch over the worker pool
 //	GET  /v1/census/{k}      the classified cycle-LCL census for k labels
 //	GET  /v1/census/paths/{k}  the path-LCL solvability census
+//	POST /v1/jobs            submit a background job (typed spec)
+//	GET  /v1/jobs            list jobs, newest first
+//	GET  /v1/jobs/{id}       one job's state, progress, and result
+//	DELETE /v1/jobs/{id}     cancel a pending or running job
+//	GET  /v1/jobs/{id}/events  job progress stream (Server-Sent Events)
 //	POST /v1/admin/snapshot  persist the warm state to the snapshot path
 //	GET  /healthz            liveness
 //	GET  /statsz             engine + cache counters + snapshot age
@@ -28,6 +33,11 @@ func NewHandler(e *Engine) http.Handler {
 	mux.HandleFunc("POST /v1/classify/batch", e.handleBatch)
 	mux.HandleFunc("GET /v1/census/{k}", e.handleCensus)
 	mux.HandleFunc("GET /v1/census/paths/{k}", e.handlePathCensus)
+	mux.HandleFunc("POST /v1/jobs", e.handleJobSubmit)
+	mux.HandleFunc("GET /v1/jobs", e.handleJobList)
+	mux.HandleFunc("GET /v1/jobs/{id}", e.handleJobGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", e.handleJobCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", e.handleJobEvents)
 	mux.HandleFunc("POST /v1/admin/snapshot", e.handleSnapshotSave)
 	mux.HandleFunc("GET /healthz", handleHealthz)
 	mux.HandleFunc("GET /statsz", e.handleStatsz)

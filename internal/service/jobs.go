@@ -1,0 +1,257 @@
+// Job orchestration wiring: the engine's long-running workloads (cycle
+// census, path census, rooted-tree census, landscape sweeps) exposed as
+// resumable background jobs (internal/jobs).
+//
+// The resume contract composes three existing mechanisms rather than
+// inventing a new one: census runners publish every individual decision
+// into the engine's memo cache as they go, the jobs manager periodically
+// checkpoints by saving the engine snapshot (internal/store), and the
+// job ledger records which jobs were in flight. A process killed mid-
+// census therefore restarts with (a) the job re-enqueued from the ledger
+// and (b) the memo cache warm from the last checkpoint — the re-run
+// skips every decision already persisted and recomputes only the tail.
+package service
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/jobs"
+	"repro/internal/landscape"
+	"repro/internal/rooted"
+)
+
+// The job types the engine serves.
+const (
+	// JobCensus is the classified cycle-LCL census (Spec.K, Spec.Dedup).
+	JobCensus = "census"
+	// JobPathCensus is the path-LCL solvability census (Spec.K).
+	JobPathCensus = "path-census"
+	// JobRootedCensus is the rooted-tree census (Spec.Delta, Spec.K,
+	// Spec.MaxRadius).
+	JobRootedCensus = "rooted-census"
+	// JobLandscape regenerates the Figure-1 landscape panels (Spec.Sizes,
+	// Spec.Seed).
+	JobLandscape = "landscape"
+)
+
+// runners builds the engine's job-type table.
+func (e *Engine) runners() map[string]jobs.Runner {
+	return map[string]jobs.Runner{
+		JobCensus:       e.runCensusJob,
+		JobPathCensus:   e.runPathCensusJob,
+		JobRootedCensus: e.runRootedCensusJob,
+		JobLandscape:    e.runLandscapeJob,
+	}
+}
+
+// ValidateJobSpec rejects specs their runner would reject, before they
+// enter the queue — a submission error beats a failed job.
+func ValidateJobSpec(spec jobs.Spec) error {
+	switch spec.Type {
+	case JobCensus, JobPathCensus:
+		if spec.K < 1 || spec.K > 3 {
+			return fmt.Errorf("service: %s job k = %d out of range [1, 3]", spec.Type, spec.K)
+		}
+	case JobRootedCensus:
+		if spec.Delta < 1 || spec.Delta > 3 {
+			return fmt.Errorf("service: rooted-census job delta = %d out of range [1, 3]", spec.Delta)
+		}
+		if spec.K < 1 || spec.K > 2 {
+			return fmt.Errorf("service: rooted-census job k = %d out of range [1, 2]", spec.K)
+		}
+	case JobLandscape:
+		for _, n := range spec.Sizes {
+			if n < 4 {
+				return fmt.Errorf("service: landscape job size %d too small (want >= 4)", n)
+			}
+		}
+	default:
+		return fmt.Errorf("service: unknown job type %q", spec.Type)
+	}
+	return nil
+}
+
+// SubmitJob validates and enqueues a job.
+func (e *Engine) SubmitJob(spec jobs.Spec) (jobs.Job, error) {
+	if err := ValidateJobSpec(spec); err != nil {
+		return jobs.Job{}, err
+	}
+	return e.jobMgr.Submit(spec)
+}
+
+// GetJob returns a snapshot of one job.
+func (e *Engine) GetJob(id string) (jobs.Job, bool) { return e.jobMgr.Get(id) }
+
+// ListJobs returns snapshots of every known job, newest first.
+func (e *Engine) ListJobs() []jobs.Job { return e.jobMgr.List() }
+
+// CancelJob cancels a pending or running job.
+func (e *Engine) CancelJob(id string) error { return e.jobMgr.Cancel(id) }
+
+// WatchJob subscribes to a job's event stream (see jobs.Manager.
+// Subscribe); call the returned cancel function when done.
+func (e *Engine) WatchJob(id string) (<-chan jobs.Event, func(), error) {
+	return e.jobMgr.Subscribe(id)
+}
+
+// censusJobResult is the JSON shape of a finished census job — the same
+// per-class summary the census endpoint serves.
+type censusJobResult struct {
+	K                  int            `json:"k"`
+	Dedup              bool           `json:"dedup"`
+	TotalProblems      int            `json:"total_problems"`
+	IsomorphismClasses int            `json:"isomorphism_classes,omitempty"`
+	Classes            map[string]int `json:"classes"`
+	GapHolds           bool           `json:"gap_holds"`
+}
+
+// runCensusJob computes the cycle census for the spec, reporting
+// progress per classified problem. Partial work lands in the engine's
+// memo cache (checkpointed by the jobs manager), and a restored snapshot
+// census warm-starts the run, so resumed jobs skip decided problems. The
+// run shares the synchronous endpoint's cache and singleflight
+// (censusWith), so a concurrent GET /v1/census/{k} coalesces instead of
+// duplicating the sweep.
+func (e *Engine) runCensusJob(ctx context.Context, spec jobs.Spec, report jobs.Report) (any, error) {
+	report("enumerate", 0, 0)
+	c, err := e.censusWith(ctx, spec.K, spec.Dedup, func(done, total int) {
+		report("classify", int64(done), int64(total))
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := censusJobResult{
+		K:        c.K,
+		Dedup:    c.Dedup,
+		Classes:  map[string]int{},
+		GapHolds: c.GapHolds(),
+	}
+	for cl, n := range c.RawByClass {
+		res.TotalProblems += n
+		res.Classes[cl.String()] = n
+	}
+	if c.Dedup {
+		res.IsomorphismClasses = len(c.Entries)
+	}
+	return res, nil
+}
+
+// pathCensusJobResult is the JSON shape of a finished path-census job.
+type pathCensusJobResult struct {
+	K              int         `json:"k"`
+	TotalProblems  int         `json:"total_problems"`
+	SolvableAll    int         `json:"solvable_all"`
+	UnsolvableSome int         `json:"unsolvable_some"`
+	ShortestBad    map[int]int `json:"shortest_bad,omitempty"`
+}
+
+// runPathCensusJob computes the path census, memoizing per-problem
+// decisions in the engine's cache so checkpoints make it resumable; like
+// runCensusJob it shares the synchronous endpoint's singleflight.
+func (e *Engine) runPathCensusJob(ctx context.Context, spec jobs.Spec, report jobs.Report) (any, error) {
+	c, err := e.pathCensusWith(ctx, spec.K, func(done, total int) {
+		report("decide", int64(done), int64(total))
+	})
+	if err != nil {
+		return nil, err
+	}
+	return pathCensusJobResult{
+		K:              c.K,
+		TotalProblems:  c.Total,
+		SolvableAll:    c.SolvableAll,
+		UnsolvableSome: c.UnsolvableSome,
+		ShortestBad:    c.ShortestBad,
+	}, nil
+}
+
+// rootedCensusJobResult is the JSON shape of a finished rooted-census
+// job.
+type rootedCensusJobResult struct {
+	Delta         int            `json:"delta"`
+	K             int            `json:"k"`
+	MaxRadius     int            `json:"max_radius"`
+	TotalProblems int            `json:"total_problems"`
+	Classes       map[string]int `json:"classes"`
+	ByRadius      map[int]int    `json:"by_radius,omitempty"`
+}
+
+// runRootedCensusJob enumerates and classifies the rooted-tree LCL
+// space. The decisions are pure recomputation (no memo integration yet),
+// but the spaces are small enough that a resumed job simply restarts.
+func (e *Engine) runRootedCensusJob(ctx context.Context, spec jobs.Spec, report jobs.Report) (any, error) {
+	c, err := rooted.RunCensus(spec.Delta, spec.K, rooted.CensusOpts{
+		MaxRadius: spec.MaxRadius,
+		Ctx:       ctx,
+		Progress: func(done, total int) {
+			report("classify", int64(done), int64(total))
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := rootedCensusJobResult{
+		Delta:         c.Delta,
+		K:             c.K,
+		MaxRadius:     c.MaxRadius,
+		TotalProblems: len(c.Entries),
+		Classes:       map[string]int{},
+		ByRadius:      c.ByRadius,
+	}
+	for cl, n := range c.ByClass {
+		res.Classes[cl.String()] = n
+	}
+	return res, nil
+}
+
+// landscapeJobResult is the JSON shape of a finished landscape job: the
+// measured panels, directly marshalled (Panel and Series are plain
+// exported structs).
+type landscapeJobResult struct {
+	Sizes  []int              `json:"sizes"`
+	Seed   int64              `json:"seed"`
+	Panels []*landscape.Panel `json:"panels"`
+}
+
+// defaultLandscapeSizes is the sweep used when a landscape spec leaves
+// Sizes empty.
+var defaultLandscapeSizes = []int{64, 256, 1024}
+
+// runLandscapeJob regenerates the Figure-1 panels, one phase per panel.
+func (e *Engine) runLandscapeJob(ctx context.Context, spec jobs.Spec, report jobs.Report) (any, error) {
+	sizes := spec.Sizes
+	if len(sizes) == 0 {
+		sizes = defaultLandscapeSizes
+	}
+	sizes = append([]int(nil), sizes...)
+	sort.Ints(sizes)
+	maxN := sizes[len(sizes)-1]
+	var sides []int
+	for s := 4; s*s <= maxN; s *= 2 {
+		sides = append(sides, s)
+	}
+	phases := []struct {
+		name string
+		run  func() (*landscape.Panel, error)
+	}{
+		{"trees", func() (*landscape.Panel, error) { return landscape.TreesLocal(sizes, spec.Seed) }},
+		{"grids", func() (*landscape.Panel, error) { return landscape.GridsLocal(sides, spec.Seed) }},
+		{"general", func() (*landscape.Panel, error) { return landscape.GeneralLocal(sizes) }},
+		{"volume", func() (*landscape.Panel, error) { return landscape.VolumeModel(sizes, spec.Seed) }},
+	}
+	res := landscapeJobResult{Sizes: sizes, Seed: spec.Seed}
+	for i, ph := range phases {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		report(ph.name, int64(i), int64(len(phases)))
+		p, err := ph.run()
+		if err != nil {
+			return nil, fmt.Errorf("landscape %s: %w", ph.name, err)
+		}
+		res.Panels = append(res.Panels, p)
+	}
+	report("done", int64(len(phases)), int64(len(phases)))
+	return res, nil
+}

@@ -17,6 +17,7 @@
 package service
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -26,6 +27,7 @@ import (
 	"repro/internal/classify"
 	"repro/internal/core"
 	"repro/internal/enumerate"
+	"repro/internal/jobs"
 	"repro/internal/lcl"
 	"repro/internal/memo"
 	"repro/internal/store"
@@ -114,6 +116,22 @@ type Config struct {
 	// SnapshotPath, when non-empty, is where SaveSnapshot (and the
 	// POST /v1/admin/snapshot endpoint) writes.
 	SnapshotPath string
+	// JobWorkers bounds concurrently running background jobs (<= 0
+	// selects 1; each job is internally parallel across the engine's
+	// worker count already).
+	JobWorkers int
+	// JobsLedgerPath, when non-empty, persists the job ledger there on
+	// every job state transition.
+	JobsLedgerPath string
+	// JobsLedger, when non-nil, seeds the job manager from a previously
+	// saved ledger: unfinished jobs are re-enqueued at construction (see
+	// internal/jobs). Pair it with Snapshot so re-enqueued censuses
+	// resume warm.
+	JobsLedger *jobs.Ledger
+	// CheckpointEvery is the running-job checkpoint interval (the jobs
+	// default when zero). Checkpoints save the engine snapshot, so they
+	// only happen when SnapshotPath is set.
+	CheckpointEvery time.Duration
 }
 
 // DefaultWorkers is the worker pool size when Config leaves it zero.
@@ -142,6 +160,14 @@ type Engine struct {
 	// enumerate.RunOpts.Warm (preferring the deduplicated record: its
 	// representatives carry every fingerprint in the space).
 	warmByK map[int]*enumerate.Census
+
+	// jobMgr orchestrates background jobs (see jobs.go); constructed
+	// after the snapshot restore so re-enqueued jobs start warm.
+	jobMgr *jobs.Manager
+	// streamsDone is closed by ShutdownStreams to end long-lived event
+	// streams (SSE handlers) that would otherwise hold up an HTTP drain.
+	streamsDone     chan struct{}
+	streamsShutdown sync.Once
 
 	snapshotPath string
 	snapLoaded   bool
@@ -187,6 +213,7 @@ func New(cfg Config) *Engine {
 		cache:        cache,
 		workers:      workers,
 		jobs:         make(chan func()),
+		streamsDone:  make(chan struct{}),
 		inflight:     map[uint64]*call{},
 		censuses:     map[censusKey]*enumerate.Census{},
 		censusCalls:  map[censusKey]*call{},
@@ -207,6 +234,20 @@ func New(cfg Config) *Engine {
 			}
 		}()
 	}
+	jcfg := jobs.Config{
+		Workers:         cfg.JobWorkers,
+		Runners:         e.runners(),
+		LedgerPath:      cfg.JobsLedgerPath,
+		Ledger:          cfg.JobsLedger,
+		CheckpointEvery: cfg.CheckpointEvery,
+	}
+	if e.snapshotPath != "" {
+		jcfg.Checkpoint = func() error {
+			_, err := e.SaveSnapshot()
+			return err
+		}
+	}
+	e.jobMgr = jobs.New(jcfg)
 	return e
 }
 
@@ -256,10 +297,23 @@ func (e *Engine) restoreSnapshot(s *store.Snapshot) {
 	e.snapTime = time.Unix(s.CreatedUnix, 0)
 }
 
-// Close stops the worker pool; in-flight batch items finish first.
-// Classify remains usable after Close (it runs on the caller's
-// goroutine); ClassifyBatch does not.
+// ShutdownStreams ends every open job event stream (SSE). An HTTP
+// server that drains in-flight requests before Engine.Close must call
+// this first (http.Server.RegisterOnShutdown is the natural hook) —
+// a watcher of a running job would otherwise hold the drain open for
+// its full timeout, because jobs are only interrupted later, in Close.
+func (e *Engine) ShutdownStreams() {
+	e.streamsShutdown.Do(func() { close(e.streamsDone) })
+}
+
+// Close stops the job manager (running jobs are interrupted and
+// checkpointed, the ledger is saved so the next process resumes them)
+// and then the worker pool; in-flight batch items finish first. Classify
+// remains usable after Close (it runs on the caller's goroutine);
+// ClassifyBatch and the job API do not.
 func (e *Engine) Close() {
+	e.ShutdownStreams()
+	e.jobMgr.Close()
 	e.mu.Lock()
 	if !e.closed {
 		e.closed = true
@@ -293,7 +347,9 @@ func domain(req *Request) string {
 	case ModeTrees:
 		return fmt.Sprintf("classify/trees/%d", req.MaxLevels)
 	case ModePathsInputs:
-		return "classify/paths-inputs"
+		// Shared with the path census (enumerate.RunPathsWith), so API
+		// traffic and census runs warm each other.
+		return enumerate.PathDomain
 	default:
 		return fmt.Sprintf("classify/synth/%d", req.MaxRadius)
 	}
@@ -476,19 +532,46 @@ func (e *Engine) ClassifyBatch(reqs []Request) []BatchItem {
 // other — and warm-starts from snapshot-restored fingerprints when the
 // exact (k, dedup) census was not itself persisted.
 func (e *Engine) Census(k int, dedup bool) (*enumerate.Census, error) {
+	return e.censusWith(nil, k, dedup, nil)
+}
+
+// censusWith is Census with a cancellation context and progress callback
+// for the jobs layer. Synchronous requests and jobs share the same
+// singleflight, so a census is never computed twice concurrently; a
+// caller that coalesces onto another caller's computation inherits that
+// computation's (possibly absent) cancellation and reports no progress.
+func (e *Engine) censusWith(ctx context.Context, k int, dedup bool, progress func(done, total int)) (*enumerate.Census, error) {
 	// warmByK is written only during construction (restoreSnapshot), so
 	// the read needs no lock.
-	return cachedCall(e, e.censuses, e.censusCalls, censusKey{k, dedup}, func() (*enumerate.Census, error) {
-		return enumerate.RunWith(k, dedup, enumerate.RunOpts{Workers: e.workers, Cache: e.cache, Warm: e.warmByK[k]})
+	return cachedCall(e, ctx, e.censuses, e.censusCalls, censusKey{k, dedup}, func() (*enumerate.Census, error) {
+		return enumerate.RunWith(k, dedup, enumerate.RunOpts{
+			Workers:  e.workers,
+			Cache:    e.cache,
+			Warm:     e.warmByK[k],
+			Ctx:      ctx,
+			Progress: progress,
+		})
 	})
 }
 
 // PathCensus returns the path-LCL solvability census for alphabet size
 // k, computed at most once per k with the same caching and coalescing
-// discipline as Census.
+// discipline as Census. Per-problem decisions go through the memo cache
+// (enumerate.PathDomain), so census runs, API traffic, and snapshot
+// checkpoints all warm each other.
 func (e *Engine) PathCensus(k int) (*enumerate.PathCensus, error) {
-	return cachedCall(e, e.pathCensuses, e.pathCalls, k, func() (*enumerate.PathCensus, error) {
-		return enumerate.RunPaths(k)
+	return e.pathCensusWith(nil, k, nil)
+}
+
+// pathCensusWith is PathCensus with the jobs layer's context and
+// progress hooks (see censusWith for the coalescing caveats).
+func (e *Engine) pathCensusWith(ctx context.Context, k int, progress func(done, total int)) (*enumerate.PathCensus, error) {
+	return cachedCall(e, ctx, e.pathCensuses, e.pathCalls, k, func() (*enumerate.PathCensus, error) {
+		return enumerate.RunPathsWith(k, enumerate.PathRunOpts{
+			Ctx:      ctx,
+			Cache:    e.cache,
+			Progress: progress,
+		})
 	})
 }
 
@@ -497,7 +580,12 @@ func (e *Engine) PathCensus(k int) (*enumerate.PathCensus, error) {
 // else compute and publish. Results are immutable, so a cached value is
 // returned to every caller; errors are not cached (a later call
 // retries). Both maps are guarded by e.censusMu.
-func cachedCall[K comparable, V any](e *Engine, cache map[K]V, calls map[K]*call, key K, compute func() (V, error)) (V, error) {
+//
+// A coalescing caller waits only as long as its ctx allows: a cancelled
+// job (or a shutting-down manager) must not block behind another
+// caller's computation, which keeps running and publishes its result
+// normally. A nil ctx waits unconditionally.
+func cachedCall[K comparable, V any](e *Engine, ctx context.Context, cache map[K]V, calls map[K]*call, key K, compute func() (V, error)) (V, error) {
 	e.censusMu.Lock()
 	if v, ok := cache[key]; ok {
 		e.censusMu.Unlock()
@@ -505,7 +593,16 @@ func cachedCall[K comparable, V any](e *Engine, cache map[K]V, calls map[K]*call
 	}
 	if c, ok := calls[key]; ok {
 		e.censusMu.Unlock()
-		<-c.done
+		var cancelled <-chan struct{}
+		if ctx != nil {
+			cancelled = ctx.Done()
+		}
+		select {
+		case <-c.done:
+		case <-cancelled:
+			var zero V
+			return zero, ctx.Err()
+		}
 		if c.err != nil {
 			var zero V
 			return zero, c.err
@@ -601,6 +698,8 @@ type Stats struct {
 	Cache     memo.Stats      `json:"cache"`
 	// CachedCensuses counts census results held for instant serving.
 	CachedCensuses int `json:"cached_censuses"`
+	// Jobs counts background jobs by state.
+	Jobs map[jobs.State]int `json:"jobs,omitempty"`
 	// Snapshot is nil when the engine runs without snapshot support.
 	Snapshot *SnapshotInfo `json:"snapshot,omitempty"`
 }
@@ -634,6 +733,12 @@ func (e *Engine) Stats() Stats {
 		},
 		Workers: e.workers,
 		Cache:   e.cache.Stats(),
+	}
+	if js := e.jobMgr.List(); len(js) > 0 {
+		st.Jobs = map[jobs.State]int{}
+		for _, j := range js {
+			st.Jobs[j.State]++
+		}
 	}
 	e.censusMu.Lock()
 	st.CachedCensuses = len(e.censuses) + len(e.pathCensuses)

@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/enumerate"
 	"repro/internal/graph"
+	"repro/internal/jobs"
 	"repro/internal/lcl"
 	"repro/internal/lll"
 	"repro/internal/memo"
@@ -166,6 +167,25 @@ const (
 // NewClassificationEngine starts a classification service; call Close
 // when done.
 func NewClassificationEngine(cfg ServiceConfig) *ClassificationEngine { return service.New(cfg) }
+
+// Background job orchestration (see internal/jobs and the engine's
+// SubmitJob / GetJob / ListJobs / CancelJob / WatchJob methods): the
+// expensive workloads — censuses, landscape sweeps — as resumable,
+// observable background jobs with progress streaming and
+// checkpoint/resume through the snapshot store.
+type (
+	JobSpec  = jobs.Spec
+	Job      = jobs.Job
+	JobEvent = jobs.Event
+)
+
+// The engine's job types.
+const (
+	JobCensus       = service.JobCensus
+	JobPathCensus   = service.JobPathCensus
+	JobRootedCensus = service.JobRootedCensus
+	JobLandscape    = service.JobLandscape
+)
 
 // SynthesizeCycleAlgorithm searches radii 0..rMax for an order-invariant
 // constant-round cycle algorithm solving p, constructively certifying
