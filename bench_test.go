@@ -588,13 +588,13 @@ func BenchmarkClassifyMemo(b *testing.B) {
 	}{
 		// Cheap decider: cold ≈ warm, since canonicalization dominates
 		// both sides — the honest lower end of the memoization payoff.
-		{"cycles/3-coloring", service.Request{Problem: problems.Coloring(3, 2), Mode: service.ModeCycles}},
+		{"cycles/3-coloring", service.Request{Problem: problems.Coloring(3, 2), Mode: "cycles"}},
 		// Expensive deciders: the subset construction (PSPACE-hard
 		// problem class) and the RE gap pipeline; here the warm/cold
 		// ratio is 10x–1000x.
-		{"paths/list-coloring-3", service.Request{Problem: benchListColoring(3), Mode: service.ModePathsInputs}},
-		{"trees/mis", service.Request{Problem: problems.MIS(2), Mode: service.ModeTrees, MaxLevels: 2}},
-		{"trees/matching", service.Request{Problem: problems.MaximalMatching(2), Mode: service.ModeTrees, MaxLevels: 2}},
+		{"paths/list-coloring-3", service.Request{Problem: benchListColoring(3), Mode: "paths-inputs"}},
+		{"trees/mis", service.Request{Problem: problems.MIS(2), Mode: "trees", MaxLevels: 2}},
+		{"trees/matching", service.Request{Problem: problems.MaximalMatching(2), Mode: "trees", MaxLevels: 2}},
 	}
 	for _, wit := range witnesses {
 		b.Run("cold/"+wit.name, func(b *testing.B) {
@@ -667,10 +667,10 @@ func BenchmarkClassifyBatch(b *testing.B) {
 	var reqs []service.Request
 	for i := 0; i < 4; i++ {
 		reqs = append(reqs,
-			service.Request{Problem: problems.Coloring(3, 2), Mode: service.ModeCycles},
-			service.Request{Problem: problems.Coloring(2, 2), Mode: service.ModeCycles},
-			service.Request{Problem: problems.Coloring(3, 2), Mode: service.ModePathsInputs},
-			service.Request{Problem: problems.Trivial(2), Mode: service.ModeSynthesize},
+			service.Request{Problem: problems.Coloring(3, 2), Mode: "cycles"},
+			service.Request{Problem: problems.Coloring(2, 2), Mode: "cycles"},
+			service.Request{Problem: problems.Coloring(3, 2), Mode: "paths-inputs"},
+			service.Request{Problem: problems.Trivial(2), Mode: "synthesize"},
 		)
 	}
 	before := e.Stats()

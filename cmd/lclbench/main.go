@@ -49,8 +49,11 @@ import (
 
 	"repro/internal/enumerate"
 	"repro/internal/graph"
+	"repro/internal/lcl"
 	"repro/internal/local"
 	"repro/internal/memo"
+	"repro/internal/rooted"
+	"repro/internal/service"
 	"repro/internal/store"
 )
 
@@ -61,6 +64,13 @@ const SchemaV1 = "lclbench/v1"
 const (
 	KindCensus = "census"
 	KindPaths  = "paths"
+	// KindRooted times the rooted-tree census (internal/rooted) with the
+	// service layer's per-problem memoization, cold and warm.
+	KindRooted = "rooted"
+	// KindGrid times oriented-grid classification of the full k-letter
+	// mask space through a real service engine ("grid" mode), cold and
+	// warm.
+	KindGrid = "grid"
 )
 
 // Cache states for census experiments.
@@ -85,6 +95,10 @@ type Experiment struct {
 	K       int    `json:"k"`
 	Workers int    `json:"workers,omitempty"`
 	Cache   string `json:"cache,omitempty"`
+	// Delta is the rooted census child count (KindRooted only).
+	Delta int `json:"delta,omitempty"`
+	// Dims is the torus dimension (KindGrid only).
+	Dims int `json:"dims,omitempty"`
 	// LatencyMS is the wall-clock latency of the timed run, in
 	// milliseconds (machine-dependent; gated via the warm/cold ratio).
 	LatencyMS Dist `json:"latency_ms"`
@@ -113,52 +127,72 @@ type gridPoint struct {
 	k       int
 	workers int
 	cache   string
+	delta   int // KindRooted
+	dims    int // KindGrid
 }
 
 // grids are fixed: reproducibility means the experiment set is part of
 // the format, not an invocation detail.
 var grids = map[string][]gridPoint{
 	"small": {
-		{KindCensus, 2, 1, CacheCold},
-		{KindCensus, 2, 1, CacheWarm},
-		{KindCensus, 2, 1, CacheSnapshot},
-		{KindCensus, 2, 4, CacheCold},
-		{KindCensus, 2, 4, CacheWarm},
-		{KindCensus, 2, 4, CacheSnapshot},
+		{kind: KindCensus, k: 2, workers: 1, cache: CacheCold},
+		{kind: KindCensus, k: 2, workers: 1, cache: CacheWarm},
+		{kind: KindCensus, k: 2, workers: 1, cache: CacheSnapshot},
+		{kind: KindCensus, k: 2, workers: 4, cache: CacheCold},
+		{kind: KindCensus, k: 2, workers: 4, cache: CacheWarm},
+		{kind: KindCensus, k: 2, workers: 4, cache: CacheSnapshot},
 		// k=3 is the latency-gate anchor: its cold runs are two orders of
 		// magnitude above LatencyFloorMS, so the warm/cold ratio carries
 		// signal instead of scheduler noise.
-		{KindCensus, 3, 4, CacheCold},
-		{KindCensus, 3, 4, CacheWarm},
-		{KindCensus, 3, 4, CacheSnapshot},
-		{KindPaths, 1, 0, ""},
+		{kind: KindCensus, k: 3, workers: 4, cache: CacheCold},
+		{kind: KindCensus, k: 3, workers: 4, cache: CacheWarm},
+		{kind: KindCensus, k: 3, workers: 4, cache: CacheSnapshot},
+		{kind: KindPaths, k: 1},
+		{kind: KindRooted, k: 2, delta: 2, cache: CacheCold},
+		{kind: KindRooted, k: 2, delta: 2, cache: CacheWarm},
+		{kind: KindGrid, k: 2, dims: 2, workers: 4, cache: CacheCold},
+		{kind: KindGrid, k: 2, dims: 2, workers: 4, cache: CacheWarm},
 	},
 	"full": {
-		{KindCensus, 2, 1, CacheCold},
-		{KindCensus, 2, 1, CacheWarm},
-		{KindCensus, 2, 1, CacheSnapshot},
-		{KindCensus, 2, 4, CacheCold},
-		{KindCensus, 2, 4, CacheWarm},
-		{KindCensus, 2, 4, CacheSnapshot},
-		{KindCensus, 3, 1, CacheCold},
-		{KindCensus, 3, 1, CacheWarm},
-		{KindCensus, 3, 1, CacheSnapshot},
-		{KindCensus, 3, 4, CacheCold},
-		{KindCensus, 3, 4, CacheWarm},
-		{KindCensus, 3, 4, CacheSnapshot},
-		{KindCensus, 3, 8, CacheCold},
-		{KindCensus, 3, 8, CacheWarm},
-		{KindCensus, 3, 8, CacheSnapshot},
-		{KindPaths, 1, 0, ""},
-		{KindPaths, 2, 0, ""},
+		{kind: KindCensus, k: 2, workers: 1, cache: CacheCold},
+		{kind: KindCensus, k: 2, workers: 1, cache: CacheWarm},
+		{kind: KindCensus, k: 2, workers: 1, cache: CacheSnapshot},
+		{kind: KindCensus, k: 2, workers: 4, cache: CacheCold},
+		{kind: KindCensus, k: 2, workers: 4, cache: CacheWarm},
+		{kind: KindCensus, k: 2, workers: 4, cache: CacheSnapshot},
+		{kind: KindCensus, k: 3, workers: 1, cache: CacheCold},
+		{kind: KindCensus, k: 3, workers: 1, cache: CacheWarm},
+		{kind: KindCensus, k: 3, workers: 1, cache: CacheSnapshot},
+		{kind: KindCensus, k: 3, workers: 4, cache: CacheCold},
+		{kind: KindCensus, k: 3, workers: 4, cache: CacheWarm},
+		{kind: KindCensus, k: 3, workers: 4, cache: CacheSnapshot},
+		{kind: KindCensus, k: 3, workers: 8, cache: CacheCold},
+		{kind: KindCensus, k: 3, workers: 8, cache: CacheWarm},
+		{kind: KindCensus, k: 3, workers: 8, cache: CacheSnapshot},
+		{kind: KindPaths, k: 1},
+		{kind: KindPaths, k: 2},
+		{kind: KindRooted, k: 1, delta: 2, cache: CacheCold},
+		{kind: KindRooted, k: 1, delta: 2, cache: CacheWarm},
+		{kind: KindRooted, k: 2, delta: 2, cache: CacheCold},
+		{kind: KindRooted, k: 2, delta: 2, cache: CacheWarm},
+		{kind: KindGrid, k: 2, dims: 2, workers: 4, cache: CacheCold},
+		{kind: KindGrid, k: 2, dims: 2, workers: 4, cache: CacheWarm},
+		{kind: KindGrid, k: 2, dims: 3, workers: 4, cache: CacheCold},
+		{kind: KindGrid, k: 2, dims: 3, workers: 4, cache: CacheWarm},
 	},
 }
 
 func (p gridPoint) name() string {
-	if p.kind == KindPaths {
+	switch p.kind {
+	case KindPaths:
 		return fmt.Sprintf("paths/k=%d", p.k)
+	case KindRooted:
+		return fmt.Sprintf("rooted/d=%d/k=%d/%s", p.delta, p.k, p.cache)
+	case KindGrid:
+		return fmt.Sprintf("grid/k=%d/d=%d/w=%d/%s", p.k, p.dims, p.workers, p.cache)
+	default:
+		return fmt.Sprintf("census/k=%d/w=%d/%s", p.k, p.workers, p.cache)
 	}
-	return fmt.Sprintf("census/k=%d/w=%d/%s", p.k, p.workers, p.cache)
 }
 
 func main() {
@@ -278,7 +312,7 @@ func runGrid(gridName string, points []gridPoint, repeats int, seed int64, progr
 
 // runExperiment measures one grid point over the configured repeats.
 func runExperiment(p gridPoint, repeats int, seed int64, tmpDir string) (*Experiment, error) {
-	exp := &Experiment{Name: p.name(), Kind: p.kind, K: p.k, Workers: p.workers, Cache: p.cache}
+	exp := &Experiment{Name: p.name(), Kind: p.kind, K: p.k, Workers: p.workers, Cache: p.cache, Delta: p.delta, Dims: p.dims}
 	var latencies, hitRates []float64
 	for rep := 0; rep < repeats; rep++ {
 		var latency, hitRate float64
@@ -288,6 +322,10 @@ func runExperiment(p gridPoint, repeats int, seed int64, tmpDir string) (*Experi
 			latency, hitRate, err = runCensusOnce(p, tmpDir)
 		case KindPaths:
 			latency, err = runPathsOnce(p.k)
+		case KindRooted:
+			latency, hitRate, err = runRootedOnce(p)
+		case KindGrid:
+			latency, hitRate, err = runGridOnce(p)
 		}
 		if err != nil {
 			return nil, err
@@ -350,13 +388,7 @@ func runCensusOnce(p gridPoint, tmpDir string) (float64, float64, error) {
 		return 0, 0, err
 	}
 	elapsed := time.Since(start)
-	after := cache.Stats()
-	lookups := (after.Hits - before.Hits) + (after.Misses - before.Misses)
-	hitRate := 0.0
-	if lookups > 0 {
-		hitRate = float64(after.Hits-before.Hits) / float64(lookups)
-	}
-	return float64(elapsed) / float64(time.Millisecond), hitRate, nil
+	return float64(elapsed) / float64(time.Millisecond), hitRateDelta(before, cache.Stats()), nil
 }
 
 // runPathsOnce times one full path census.
@@ -366,6 +398,121 @@ func runPathsOnce(k int) (float64, error) {
 		return 0, err
 	}
 	return float64(time.Since(start)) / float64(time.Millisecond), nil
+}
+
+// rootedBenchRadius is the anonymous-synthesis bound of the rooted
+// experiments; part of the reproducible format, like the grids.
+const rootedBenchRadius = 1
+
+// runRootedOnce times one rooted census with the service layer's
+// per-problem memoization discipline (memo.Key over the rooted decider
+// domain); warm runs replay the census against a pre-populated cache.
+func runRootedOnce(p gridPoint) (float64, float64, error) {
+	cache := memo.New(0, 0)
+	opts := rooted.CensusOpts{
+		MaxRadius: rootedBenchRadius,
+		// The service layer's memoizing wrapper: the bench times the
+		// production discipline, not a re-implementation of it.
+		Classify: service.RootedMemoClassifier(cache, rootedBenchRadius),
+	}
+	if p.cache == CacheWarm {
+		if _, err := rooted.RunCensus(p.delta, p.k, opts); err != nil {
+			return 0, 0, err
+		}
+	}
+	before := cache.Stats()
+	start := time.Now()
+	if _, err := rooted.RunCensus(p.delta, p.k, opts); err != nil {
+		return 0, 0, err
+	}
+	elapsed := time.Since(start)
+	after := cache.Stats()
+	return float64(elapsed) / float64(time.Millisecond), hitRateDelta(before, after), nil
+}
+
+// gridBenchRequests is the oriented-grid workload: every input-free
+// k-letter problem over the degree-2*dims node-multiset space crossed
+// with the edge-pair space, classified in "grid" mode. The node
+// configurations have the torus degree, so every request runs the real
+// rules (line relaxation, product-tiling search, zero-round check) —
+// k=2 dims=2 gives 2^5 node masks x 2^3 edge masks = 256 problems.
+func gridBenchRequests(k, dims int) []service.Request {
+	names := make([]string, k)
+	for i := range names {
+		names[i] = fmt.Sprintf("l%d", i)
+	}
+	// All cardinality-(2*dims) multisets over the k labels, fixed order.
+	var multisets [][]string
+	var rec func(chosen []string, from int)
+	rec = func(chosen []string, from int) {
+		if len(chosen) == 2*dims {
+			multisets = append(multisets, append([]string(nil), chosen...))
+			return
+		}
+		for i := from; i < k; i++ {
+			rec(append(chosen, names[i]), i)
+		}
+	}
+	rec(nil, 0)
+	var pairs [][2]string
+	for i := 0; i < k; i++ {
+		for j := i; j < k; j++ {
+			pairs = append(pairs, [2]string{names[i], names[j]})
+		}
+	}
+	var reqs []service.Request
+	for nm := uint(0); nm < uint(1)<<uint(len(multisets)); nm++ {
+		for em := uint(0); em < uint(1)<<uint(len(pairs)); em++ {
+			b := lcl.NewBuilder(fmt.Sprintf("gridbench-k%d-d%d-N%d-E%d", k, dims, nm, em), nil, names)
+			for i, m := range multisets {
+				if nm&(1<<uint(i)) != 0 {
+					b.Node(m...)
+				}
+			}
+			for i, pr := range pairs {
+				if em&(1<<uint(i)) != 0 {
+					b.Edge(pr[0], pr[1])
+				}
+			}
+			reqs = append(reqs, service.Request{Problem: b.MustBuild(), Mode: "grid", Dims: dims})
+		}
+	}
+	return reqs
+}
+
+// runGridOnce times the oriented-grid workload through a real service
+// engine, exercising registry dispatch, memoization, and the batch
+// worker pool end to end.
+func runGridOnce(p gridPoint) (float64, float64, error) {
+	e := service.New(service.Config{Workers: p.workers})
+	defer e.Close()
+	reqs := gridBenchRequests(p.k, p.dims)
+	if p.cache == CacheWarm {
+		for _, item := range e.ClassifyBatch(reqs) {
+			if item.Err != nil {
+				return 0, 0, item.Err
+			}
+		}
+	}
+	before := e.Stats().Cache
+	start := time.Now()
+	for _, item := range e.ClassifyBatch(reqs) {
+		if item.Err != nil {
+			return 0, 0, item.Err
+		}
+	}
+	elapsed := time.Since(start)
+	after := e.Stats().Cache
+	return float64(elapsed) / float64(time.Millisecond), hitRateDelta(before, after), nil
+}
+
+// hitRateDelta computes hits / lookups between two cache snapshots.
+func hitRateDelta(before, after memo.Stats) float64 {
+	lookups := (after.Hits - before.Hits) + (after.Misses - before.Misses)
+	if lookups == 0 {
+		return 0
+	}
+	return float64(after.Hits-before.Hits) / float64(lookups)
 }
 
 // roundsMetric is the deterministic complexity anchor: LOCAL Linial
@@ -420,17 +567,41 @@ func validateReport(r *Report) error {
 			return fmt.Errorf("%s: duplicate name", where)
 		}
 		seen[e.Name] = true
-		if e.Kind != KindCensus && e.Kind != KindPaths {
+		switch e.Kind {
+		case KindCensus, KindPaths, KindRooted, KindGrid:
+		default:
 			return fmt.Errorf("%s: unknown kind %q", where, e.Kind)
 		}
-		if e.K < 1 || e.K > 3 {
+		maxK := 3
+		if e.Kind == KindRooted {
+			maxK = 2
+		}
+		if e.K < 1 || e.K > maxK {
 			return fmt.Errorf("%s: k = %d out of range", where, e.K)
 		}
-		if e.Kind == KindCensus {
+		switch e.Kind {
+		case KindCensus:
 			switch e.Cache {
 			case CacheCold, CacheWarm, CacheSnapshot:
 			default:
 				return fmt.Errorf("%s: unknown cache state %q", where, e.Cache)
+			}
+			if e.Workers < 1 {
+				return fmt.Errorf("%s: workers %d < 1", where, e.Workers)
+			}
+		case KindRooted:
+			if e.Cache != CacheCold && e.Cache != CacheWarm {
+				return fmt.Errorf("%s: rooted cache state %q", where, e.Cache)
+			}
+			if e.Delta < 1 || e.Delta > 3 {
+				return fmt.Errorf("%s: delta = %d out of range", where, e.Delta)
+			}
+		case KindGrid:
+			if e.Cache != CacheCold && e.Cache != CacheWarm {
+				return fmt.Errorf("%s: grid cache state %q", where, e.Cache)
+			}
+			if e.Dims < 1 || e.Dims > 3 {
+				return fmt.Errorf("%s: dims = %d out of range", where, e.Dims)
 			}
 			if e.Workers < 1 {
 				return fmt.Errorf("%s: workers %d < 1", where, e.Workers)
@@ -494,7 +665,7 @@ func checkRegression(base, cand *Report, tolerance float64) []string {
 		candByName[cand.Experiments[i].Name] = &cand.Experiments[i]
 	}
 	coldOf := func(r *Report, e Experiment) *Experiment {
-		want := gridPoint{kind: e.Kind, k: e.K, workers: e.Workers, cache: CacheCold}.name()
+		want := gridPoint{kind: e.Kind, k: e.K, workers: e.Workers, cache: CacheCold, delta: e.Delta, dims: e.Dims}.name()
 		for i := range r.Experiments {
 			if r.Experiments[i].Name == want {
 				return &r.Experiments[i]
@@ -514,7 +685,7 @@ func checkRegression(base, cand *Report, tolerance float64) []string {
 		if b.HitRate.Mean > 0 && c.HitRate.Mean < b.HitRate.Mean-0.05 {
 			failures = append(failures, fmt.Sprintf("%s: hit rate %.3f, baseline %.3f", b.Name, c.HitRate.Mean, b.HitRate.Mean))
 		}
-		if b.Kind == KindCensus && (b.Cache == CacheWarm || b.Cache == CacheSnapshot) {
+		if b.Cache == CacheWarm || b.Cache == CacheSnapshot {
 			bCold, cCold := coldOf(base, b), coldOf(cand, *c)
 			if bCold == nil || cCold == nil {
 				failures = append(failures, fmt.Sprintf("%s: no cold sibling to normalize against", b.Name))

@@ -1,8 +1,10 @@
 // Command lclserver serves the classification engine over HTTP/JSON: the
-// reproduction's decision procedures (cycles, trees, paths-with-inputs,
-// synthesis) behind a memoized, batch-capable API, plus a background job
-// orchestrator for the long-running workloads (censuses, landscape
-// sweeps).
+// reproduction's decision procedures — cycles, trees, paths-with-inputs,
+// synthesis, rooted trees, and oriented grids, dispatched through the
+// decider registry (internal/decide) — behind a memoized, batch-capable
+// API whose verdicts share one complexity-class lattice, plus a
+// background job orchestrator for the long-running workloads (censuses,
+// landscape sweeps).
 //
 //	lclserver -addr :8080 -workers 8 -cache-capacity 65536 \
 //	  -snapshot /var/lib/lcl/snapshot.lclsnap \
@@ -24,6 +26,8 @@
 // Endpoints:
 //
 //	POST /v1/classify        {"mode":"cycles","problem":{...lcl codec...}}
+//	                         {"mode":"rooted","rooted":{...rooted spec...}}
+//	                         {"mode":"grid","dims":2,"problem":{...}}
 //	POST /v1/classify/batch  {"requests":[...]}
 //	GET  /v1/census/{k}      classified cycle-LCL census (k in 1..3)
 //	GET  /v1/census/paths/{k}  path-LCL solvability census (k in 1..3)
@@ -50,6 +54,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -163,7 +168,8 @@ func main() {
 	srv.RegisterOnShutdown(engine.ShutdownStreams)
 	serveErr := make(chan error, 1)
 	go func() {
-		log.Printf("lclserver: listening on %s (%d workers, %d job workers)", *addr, *workers, *jobWorkers)
+		log.Printf("lclserver: listening on %s (%d workers, %d job workers, deciders: %s)",
+			*addr, *workers, *jobWorkers, strings.Join(engine.Deciders(), ", "))
 		serveErr <- srv.ListenAndServe()
 	}()
 

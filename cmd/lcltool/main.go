@@ -12,6 +12,8 @@
 //	lcltool -problem trivial -zeroround
 //	lcltool -problem forbid-list-3-coloring -inputs   # all-inputs solvability
 //	lcltool -problem 3-coloring -delta 2 -synth 2     # O(1) synthesis/refutation
+//	lcltool -problem consistent-orientation -oriented # oriented-cycle class
+//	lcltool -problem 3-coloring -grid 2               # oriented-torus class (shared lattice)
 //
 // The jobs subcommand is a client for the lclserver background-job API
 // (see jobs.go):
@@ -29,6 +31,7 @@ import (
 
 	"repro/internal/classify"
 	"repro/internal/enumerate"
+	"repro/internal/grid"
 	"repro/internal/lcl"
 	"repro/internal/problems"
 	"repro/internal/re"
@@ -47,6 +50,8 @@ func main() {
 	mode := flag.String("mode", "pruned", "round elimination mode: pruned|faithful")
 	zeroround := flag.Bool("zeroround", false, "decide deterministic 0-round solvability")
 	doClassify := flag.Bool("classify", false, "decide the complexity class on cycles")
+	oriented := flag.Bool("oriented", false, "decide the complexity class on consistently oriented cycles")
+	gridDims := flag.Int("grid", 0, "decide the class on the oriented d-dimensional torus (shared lattice; 0 = off)")
 	inputs := flag.Bool("inputs", false, "decide all-inputs solvability on paths and cycles (Section 1.4, PSPACE-hard)")
 	synth := flag.Int("synth", -1, "synthesize an order-invariant cycle algorithm up to this radius (input-free, Δ=2)")
 	gap := flag.Bool("gap", false, "run the Theorem 1.1 gap pipeline on trees")
@@ -121,6 +126,34 @@ func main() {
 			fmt.Printf(" — witness: %s", res.Witness)
 		}
 		fmt.Println()
+	}
+	if *oriented {
+		res, err := classify.OrientedCycles(p)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("oriented cycles: %s", res.Class)
+		if res.Witness != "" {
+			fmt.Printf(" — witness: %s", res.Witness)
+		}
+		fmt.Println()
+	}
+	if *gridDims > 0 {
+		v, err := grid.Classify(p, *gridDims)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("oriented %d-torus: %s", v.Dims, v.Class)
+		if !v.Exact {
+			fmt.Printf(" (partial verdict)")
+		}
+		if v.Reason != "" {
+			fmt.Printf(" — %s", v.Reason)
+		}
+		fmt.Println()
+		for _, ax := range v.Axes {
+			fmt.Printf("  axis %d: %s\n", ax.Axis, ax.Class)
+		}
 	}
 	if *inputs {
 		pres, err := classify.PathsWithInputs(p)

@@ -125,12 +125,12 @@ func TestFacadeClassificationService(t *testing.T) {
 	engine := NewClassificationEngine(ServiceConfig{Workers: 2})
 	defer engine.Close()
 
-	resp, err := engine.Classify(ClassifyRequest{Problem: Coloring(3, 2), Mode: ModeCycles})
+	resp, err := engine.Classify(ClassifyRequest{Problem: Coloring(3, 2), Mode: "cycles"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if resp.Cycles == nil || resp.Cycles.Class != LogStar {
-		t.Fatalf("3-coloring via service: %+v", resp.Cycles)
+	if resp.Cycles() == nil || resp.Cycles().Class != LogStar {
+		t.Fatalf("3-coloring via service: %+v", resp.Cycles())
 	}
 	fp, err := Fingerprint(Coloring(3, 2))
 	if err != nil {

@@ -1,0 +1,88 @@
+package classify
+
+import (
+	"repro/internal/decide"
+	"repro/internal/lcl"
+)
+
+// This file classifies input-free LCLs on *consistently oriented* cycles
+// — equivalently, dimension-1 oriented tori, the degenerate row of the
+// paper's Theorem 1.4 landscape. The configuration digraph is the same
+// as in the unoriented case (classify.go); what changes is that the
+// orientation is part of the input, so an algorithm never has to absorb
+// a scan-direction reversal and the mirror-patch conditions disappear:
+//
+//   - O(1): some state s = (x, y) has a self-loop ({y, x} ∈ E). Then
+//     every node outputting (x, y) in orientation order is a valid
+//     0-round labeling of every cycle length. Conversely a constant-time
+//     algorithm is order-invariant (Naor–Stockmeyer); on IDs increasing
+//     along the orientation all windows are order-isomorphic, so two
+//     adjacent nodes share a state, forcing a self-loop.
+//
+//   - Θ(log* n): some state sits in a period-1 ("flexible") strongly
+//     connected component. A ruling set along the orientation (O(log* n))
+//     anchors the flexible state; primitivity gives closed walks of every
+//     sufficiently large length to fill the gaps exactly — no mirror walk
+//     is needed because consecutive anchors always agree on the scan
+//     direction. Conversely a o(n) algorithm pumps on long orientation-
+//     ordered runs, forcing a flexible state.
+//
+//   - Θ(n): solvable (some SCC contains a cycle) but not flexible.
+//
+//   - Unsolvable: no closed walks at all. Note solvability itself does
+//     not depend on the orientation — both classifiers agree on it.
+
+// OrientedCycles classifies an input-free LCL on consistently oriented
+// cycles. The result's Class is never harder than Cycles' (orientation
+// is extra input), and the two agree on solvability and Period.
+func OrientedCycles(p *lcl.Problem) (*Result, error) {
+	if p.NumIn() != 1 {
+		return nil, errInputs
+	}
+	states, arcs := configDigraph(p)
+	if len(states) == 0 {
+		return &Result{Class: Unsolvable}, nil
+	}
+	comp, periods := sccPeriods(len(states), arcs)
+
+	// O(1): a self-loop state tiles every oriented cycle in 0 rounds.
+	for _, s := range states {
+		if p.EdgeAllowed(s.y, s.x) {
+			return &Result{Class: Constant, Period: 1,
+				Witness: "oriented self-loop (" + p.OutNames[s.x] + "," + p.OutNames[s.y] + ")"}, nil
+		}
+	}
+	minPeriod := 0
+	for _, g := range periods {
+		if g > 0 && (minPeriod == 0 || g < minPeriod) {
+			minPeriod = g
+		}
+	}
+	if minPeriod == 0 {
+		return &Result{Class: Unsolvable}, nil
+	}
+	// Θ(log* n): a flexible state (no mirror condition with orientation).
+	for si, s := range states {
+		if periods[comp[si]] == 1 {
+			return &Result{Class: LogStar, Period: minPeriod,
+				Witness: "flexible (" + p.OutNames[s.x] + "," + p.OutNames[s.y] + ") along the orientation"}, nil
+		}
+	}
+	return &Result{Class: Global, Period: minPeriod}, nil
+}
+
+// Lattice maps the cycle classification onto the shared complexity-class
+// lattice (internal/decide): the four cycle classes are the bottom four
+// populated rungs of the landscape.
+func (c Class) Lattice() decide.Class {
+	switch c {
+	case Unsolvable:
+		return decide.Unsolvable
+	case Constant:
+		return decide.Constant
+	case LogStar:
+		return decide.LogStar
+	default:
+		return decide.Linear
+	}
+}

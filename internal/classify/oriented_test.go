@@ -1,0 +1,122 @@
+package classify
+
+import (
+	"testing"
+
+	"repro/internal/decide"
+	"repro/internal/lcl"
+	"repro/internal/problems"
+)
+
+func TestOrientedCyclesWitnesses(t *testing.T) {
+	// Consistent orientation: Θ(n) unoriented (no flexible state with
+	// mirror walks), but O(1) given the orientation — the canonical
+	// problem Section 5 builds on. Output "out-in" along the orientation.
+	co := problems.ConsistentOrientation()
+	unoriented, err := Cycles(co)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oriented, err := OrientedCycles(co)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unoriented.Class != Global {
+		t.Fatalf("consistent-orientation unoriented: %v", unoriented.Class)
+	}
+	if oriented.Class != Constant {
+		t.Fatalf("consistent-orientation oriented: %v", oriented.Class)
+	}
+
+	// 3-coloring stays Θ(log* n): orientation does not break the
+	// symmetry between colors.
+	c3, err := OrientedCycles(problems.Coloring(3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c3.Class != LogStar {
+		t.Fatalf("3-coloring oriented: %v", c3.Class)
+	}
+
+	// 2-coloring: period 2, no flexible state — Θ(n) even oriented.
+	c2, err := OrientedCycles(problems.Coloring(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Class != Global || c2.Period != 2 {
+		t.Fatalf("2-coloring oriented: %+v", c2)
+	}
+
+	// Inputs are rejected like in the unoriented classifier.
+	withInputs := lcl.NewBuilder("inputful", []string{"a", "b"}, []string{"A"}).
+		Node("A", "A").Edge("A", "A").Allow("a", "A").Allow("b", "A").MustBuild()
+	if _, err := OrientedCycles(withInputs); err == nil {
+		t.Fatal("inputs accepted")
+	}
+}
+
+// TestOrientedNeverHarderAndSolvabilityAgrees sweeps every k=2 mask
+// problem: orientation is extra input, so the oriented class is never
+// above the unoriented one on the shared lattice, solvability (and the
+// period) is orientation-independent, and a problem is oriented-O(1)
+// exactly when its configuration digraph has a self-loop.
+func TestOrientedNeverHarderAndSolvabilityAgrees(t *testing.T) {
+	for n2 := uint(0); n2 < 8; n2++ {
+		for e := uint(0); e < 8; e++ {
+			p := maskProblem(2, n2, e)
+			u, err := Cycles(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			o, err := OrientedCycles(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if o.Class.Lattice().Cmp(u.Class.Lattice()) > 0 {
+				t.Fatalf("%s: oriented %v harder than unoriented %v", p.Name, o.Class, u.Class)
+			}
+			if (u.Class == Unsolvable) != (o.Class == Unsolvable) {
+				t.Fatalf("%s: solvability disagrees (%v vs %v)", p.Name, u.Class, o.Class)
+			}
+			if u.Class != Unsolvable && o.Class != Unsolvable && u.Period != o.Period {
+				t.Fatalf("%s: period %d vs %d", p.Name, u.Period, o.Period)
+			}
+		}
+	}
+}
+
+// maskProblem mirrors enumerate.FromMasks for the test sweep without
+// importing enumerate (which imports classify).
+func maskProblem(k int, n2, e uint) *lcl.Problem {
+	names := []string{"a", "b", "c"}[:k]
+	var pairs [][2]int
+	for i := 0; i < k; i++ {
+		for j := i; j < k; j++ {
+			pairs = append(pairs, [2]int{i, j})
+		}
+	}
+	b := lcl.NewBuilder("mask", nil, names)
+	for i, pr := range pairs {
+		if n2&(1<<uint(i)) != 0 {
+			b.Node(names[pr[0]], names[pr[1]])
+		}
+		if e&(1<<uint(i)) != 0 {
+			b.Edge(names[pr[0]], names[pr[1]])
+		}
+	}
+	return b.MustBuild()
+}
+
+func TestLatticeMapping(t *testing.T) {
+	want := map[Class]decide.Class{
+		Unsolvable: decide.Unsolvable,
+		Constant:   decide.Constant,
+		LogStar:    decide.LogStar,
+		Global:     decide.Linear,
+	}
+	for c, w := range want {
+		if c.Lattice() != w {
+			t.Fatalf("%v maps to %v, want %v", c, c.Lattice(), w)
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"repro/internal/classify"
+	"repro/internal/decide"
 	"repro/internal/graph"
 	"repro/internal/lcl"
 	"repro/internal/re"
@@ -46,6 +47,19 @@ func (v *TreeVerdict) String() string {
 	default:
 		return "inconclusive (alphabet growth or level budget)"
 	}
+}
+
+// Lattice maps the tree verdict onto the shared complexity-class lattice
+// (internal/decide). A Constant verdict is exact (the pipeline carries an
+// executable witness). A LowerBound verdict certifies Ω(log* n) but does
+// not pick between the tree landscape's remaining rungs (Θ(log* n),
+// Θ(log n), Θ(n^{1/k}), Θ(n)), and an inconclusive run certifies nothing
+// — both are honestly Unknown; the Detail carries the distinction.
+func (v *TreeVerdict) Lattice() decide.Class {
+	if v.Constant {
+		return decide.Constant
+	}
+	return decide.Unknown
 }
 
 // ClassifyOnTrees runs the Theorem 1.1 gap machinery on a node-edge-

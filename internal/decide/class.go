@@ -1,0 +1,201 @@
+// Package decide is the unified dispatch layer over the reproduction's
+// decision procedures: a shared complexity-class lattice that every
+// decider's native verdict maps onto, a Decider interface describing one
+// decision procedure (name, memo domain, computation, payload wrapping),
+// and a registry the service layer dispatches through. Adding a decision
+// procedure to the HTTP API is one Register call; the engine's caching,
+// singleflight, per-decider stats, and snapshot tagging all key off the
+// Decider methods.
+//
+// The lattice is the paper's landscape (Grunau–Rozhoň–Brandt, PODC 2022,
+// Figure 1) flattened into one chain: across cycles, paths, trees
+// (rooted and unrooted), and oriented grids the only complexities that
+// occur are O(1), Θ(log* n), Θ(log n), Θ(n^{1/k}), and Θ(n), below them
+// unsolvability, and above them the honest "unknown" for the directions
+// that are undecidable (grids, Section 1.4) or open (Question 1.7) —
+// deciders return sound verdicts and say "unknown" rather than guess.
+package decide
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the rungs of the complexity-class lattice.
+type Kind uint8
+
+// The lattice rungs, bottom to top. KindNRoot is parameterized by the
+// root exponent (Θ(n^{1/k})); all other kinds stand alone.
+const (
+	KindUnsolvable Kind = iota
+	KindConstant
+	KindLogStar
+	KindLog
+	KindNRoot
+	KindLinear
+	KindUnknown
+)
+
+// Class is one point of the shared complexity-class lattice. The zero
+// value is Unsolvable (the lattice bottom). Class values are comparable
+// with == and totally ordered by Cmp:
+//
+//	unsolvable < O(1) < Θ(log* n) < Θ(log n)
+//	           < Θ(n^{1/k}) (larger k first) < Θ(n) < unknown
+//
+// Θ(n^{1/k}) values order by growth rate: Θ(n^{1/3}) < Θ(n^{1/2}).
+// Unknown is the top: joining anything with "we could not decide"
+// yields "we could not decide".
+type Class struct {
+	kind Kind
+	// root is the k of Θ(n^{1/k}); zero except for KindNRoot.
+	root int
+}
+
+// The parameter-free lattice points.
+var (
+	Unsolvable = Class{kind: KindUnsolvable}
+	Constant   = Class{kind: KindConstant}
+	LogStar    = Class{kind: KindLogStar}
+	Log        = Class{kind: KindLog}
+	Linear     = Class{kind: KindLinear}
+	Unknown    = Class{kind: KindUnknown}
+)
+
+// NRoot returns the Θ(n^{1/k}) lattice point. k <= 1 normalizes to
+// Linear (n^{1/1} = n), so NRoot(dims) is safe to call for any grid
+// dimension.
+func NRoot(k int) Class {
+	if k <= 1 {
+		return Linear
+	}
+	return Class{kind: KindNRoot, root: k}
+}
+
+// Kind returns the lattice rung.
+func (c Class) Kind() Kind { return c.kind }
+
+// Root returns the k of Θ(n^{1/k}), or 0 for every other kind.
+func (c Class) Root() int { return c.root }
+
+// Cmp orders the lattice: negative when c grows slower than d, zero on
+// equality, positive when faster (with Unsolvable below everything and
+// Unknown above everything).
+func (c Class) Cmp(d Class) int {
+	if c.kind != d.kind {
+		return int(c.kind) - int(d.kind)
+	}
+	if c.kind != KindNRoot {
+		return 0
+	}
+	// Larger root exponent = slower growth: Θ(n^{1/3}) < Θ(n^{1/2}).
+	return d.root - c.root
+}
+
+// Less reports whether c grows strictly slower than d.
+func (c Class) Less(d Class) bool { return c.Cmp(d) < 0 }
+
+// Join returns the least upper bound of c and d — the lattice is a
+// chain, so the join is the maximum. Joining with Unknown is Unknown:
+// an undecided component makes the combination undecided.
+func (c Class) Join(d Class) Class {
+	if c.Cmp(d) >= 0 {
+		return c
+	}
+	return d
+}
+
+// Meet returns the greatest lower bound of c and d (the minimum).
+func (c Class) Meet(d Class) Class {
+	if c.Cmp(d) <= 0 {
+		return c
+	}
+	return d
+}
+
+// String renders the class in the spelling the rest of the repository
+// (census tables, the HTTP API, snapshots) uses. ParseClass inverts it.
+func (c Class) String() string {
+	switch c.kind {
+	case KindUnsolvable:
+		return "unsolvable"
+	case KindConstant:
+		return "O(1)"
+	case KindLogStar:
+		return "Θ(log* n)"
+	case KindLog:
+		return "Θ(log n)"
+	case KindNRoot:
+		return fmt.Sprintf("Θ(n^{1/%d})", c.root)
+	case KindLinear:
+		return "Θ(n)"
+	default:
+		return "unknown"
+	}
+}
+
+// ParseClass inverts String. It accepts exactly the strings String
+// produces (Θ(n^{1/k}) for any k >= 2) and fails on everything else.
+func ParseClass(s string) (Class, error) {
+	switch s {
+	case "unsolvable":
+		return Unsolvable, nil
+	case "O(1)":
+		return Constant, nil
+	case "Θ(log* n)":
+		return LogStar, nil
+	case "Θ(log n)":
+		return Log, nil
+	case "Θ(n)":
+		return Linear, nil
+	case "unknown":
+		return Unknown, nil
+	}
+	if rest, ok := strings.CutPrefix(s, "Θ(n^{1/"); ok {
+		if num, ok := strings.CutSuffix(rest, "})"); ok {
+			k, err := strconv.Atoi(num)
+			if err == nil && k >= 2 {
+				return NRoot(k), nil
+			}
+		}
+	}
+	return Class{}, fmt.Errorf("decide: unparseable class %q", s)
+}
+
+// MarshalText renders the class for JSON/text codecs (the wire `class`
+// field and snapshot records round-trip through it).
+func (c Class) MarshalText() ([]byte, error) { return []byte(c.String()), nil }
+
+// UnmarshalText parses a class previously rendered by MarshalText.
+func (c *Class) UnmarshalText(b []byte) error {
+	parsed, err := ParseClass(string(b))
+	if err != nil {
+		return err
+	}
+	*c = parsed
+	return nil
+}
+
+// All returns representative lattice points in ascending order, with
+// NRoot sampled at the given exponents (useful for exhaustive tests and
+// docs). Exponents <= 1 are ignored.
+func All(rootExponents ...int) []Class {
+	out := []Class{Unsolvable, Constant, LogStar, Log}
+	seen := map[int]bool{}
+	ks := append([]int(nil), rootExponents...)
+	for i := 0; i < len(ks); i++ {
+		for j := i + 1; j < len(ks); j++ {
+			if ks[j] > ks[i] {
+				ks[i], ks[j] = ks[j], ks[i]
+			}
+		}
+	}
+	for _, k := range ks {
+		if k >= 2 && !seen[k] {
+			seen[k] = true
+			out = append(out, NRoot(k))
+		}
+	}
+	return append(out, Linear, Unknown)
+}

@@ -1,0 +1,128 @@
+package decide
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// lattice is the sample every property test quantifies over: all
+// parameter-free points plus Θ(n^{1/k}) for k in {2, 3, 5}.
+func lattice() []Class { return All(2, 3, 5) }
+
+func TestClassOrderingIsTheLandscapeChain(t *testing.T) {
+	cs := lattice()
+	for i := 1; i < len(cs); i++ {
+		if !cs[i-1].Less(cs[i]) {
+			t.Fatalf("%v not < %v", cs[i-1], cs[i])
+		}
+		if cs[i].Less(cs[i-1]) {
+			t.Fatalf("%v < %v", cs[i], cs[i-1])
+		}
+	}
+	// Spot checks anchoring the chain to the landscape.
+	if !Unsolvable.Less(Constant) || !Constant.Less(LogStar) || !LogStar.Less(Log) {
+		t.Fatal("bottom of the chain out of order")
+	}
+	if !NRoot(3).Less(NRoot(2)) {
+		t.Fatal("Θ(n^{1/3}) should grow slower than Θ(n^{1/2})")
+	}
+	if !Log.Less(NRoot(100)) || !NRoot(2).Less(Linear) || !Linear.Less(Unknown) {
+		t.Fatal("top of the chain out of order")
+	}
+	if NRoot(1) != Linear || NRoot(0) != Linear {
+		t.Fatal("NRoot(k <= 1) should normalize to Linear")
+	}
+}
+
+func TestJoinLatticeLaws(t *testing.T) {
+	cs := lattice()
+	for _, a := range cs {
+		if a.Join(a) != a {
+			t.Fatalf("join not idempotent at %v", a)
+		}
+		if a.Join(Unsolvable) != a || Unsolvable.Join(a) != a {
+			t.Fatalf("Unsolvable not the join identity at %v", a)
+		}
+		if a.Join(Unknown) != Unknown {
+			t.Fatalf("Unknown not absorbing at %v", a)
+		}
+		for _, b := range cs {
+			if a.Join(b) != b.Join(a) {
+				t.Fatalf("join not commutative: %v, %v", a, b)
+			}
+			if a.Meet(b) != b.Meet(a) {
+				t.Fatalf("meet not commutative: %v, %v", a, b)
+			}
+			// Absorption ties join and meet together.
+			if a.Join(a.Meet(b)) != a || a.Meet(a.Join(b)) != a {
+				t.Fatalf("absorption fails: %v, %v", a, b)
+			}
+			for _, c := range cs {
+				if a.Join(b).Join(c) != a.Join(b.Join(c)) {
+					t.Fatalf("join not associative: %v, %v, %v", a, b, c)
+				}
+				// Monotone: a <= b implies a ∨ c <= b ∨ c.
+				if a.Cmp(b) <= 0 && a.Join(c).Cmp(b.Join(c)) > 0 {
+					t.Fatalf("join not monotone: %v <= %v but %v ∨ %v > %v ∨ %v", a, b, a, c, b, c)
+				}
+			}
+		}
+	}
+}
+
+func TestClassStringParseRoundTrip(t *testing.T) {
+	for _, c := range lattice() {
+		got, err := ParseClass(c.String())
+		if err != nil {
+			t.Fatalf("ParseClass(%q): %v", c.String(), err)
+		}
+		if got != c {
+			t.Fatalf("round trip %v -> %q -> %v", c, c.String(), got)
+		}
+	}
+	for _, bad := range []string{"", "O(n)", "Θ(n^{1/1})", "Θ(n^{1/x})", "Θ(n^{1/-3})", "theta(n)"} {
+		if _, err := ParseClass(bad); err == nil {
+			t.Fatalf("ParseClass(%q) accepted", bad)
+		}
+	}
+}
+
+func TestClassJSONRoundTrip(t *testing.T) {
+	for _, c := range lattice() {
+		raw, err := json.Marshal(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Class
+		if err := json.Unmarshal(raw, &got); err != nil {
+			t.Fatalf("unmarshal %s: %v", raw, err)
+		}
+		if got != c {
+			t.Fatalf("JSON round trip %v -> %s -> %v", c, raw, got)
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	if _, ok := r.Get("cycles"); ok {
+		t.Fatal("empty registry resolved a name")
+	}
+	d := stubDecider{name: "stub"}
+	if err := r.Register(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(d); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	if err := r.Register(stubDecider{name: ""}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	got, ok := r.Get("stub")
+	if !ok || got.Name() != "stub" {
+		t.Fatalf("Get: %v, %v", got, ok)
+	}
+	if names := r.Names(); len(names) != 1 || names[0] != "stub" {
+		t.Fatalf("Names: %v", names)
+	}
+}

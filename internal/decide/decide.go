@@ -1,0 +1,159 @@
+package decide
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/canon"
+	"repro/internal/lcl"
+)
+
+// Request is one classification request, shared by every decider. Mode
+// names the registered decider; exactly one of Problem / Rooted carries
+// the problem (which one depends on the decider), and the remaining
+// fields are per-decider parameters a decider's Normalize validates and
+// defaults.
+type Request struct {
+	// Mode is the registered decider name ("cycles", "trees",
+	// "paths-inputs", "synthesize", "rooted", "grid", ...).
+	Mode string
+	// Problem is the node-edge-checkable LCL for the lcl-based deciders.
+	Problem *lcl.Problem
+	// Rooted is the rooted-tree problem spec for the "rooted" decider.
+	Rooted *RootedProblem
+	// MaxLevels bounds the trees round-elimination depth.
+	MaxLevels int
+	// MaxRadius bounds synthesis searches (synthesize, rooted).
+	MaxRadius int
+	// Dims is the grid dimension for the "grid" decider.
+	Dims int
+}
+
+// RootedProblem is the transport-neutral spec of an LCL on δ-regular
+// rooted trees (internal/rooted materializes it). It exists here — not
+// as a *rooted.Problem field on Request — so internal/rooted can import
+// this package for the shared lattice without a cycle.
+type RootedProblem struct {
+	Name    string         `json:"name,omitempty"`
+	Delta   int            `json:"delta"`
+	Labels  []string       `json:"labels"`
+	Configs []RootedConfig `json:"configs"`
+	// Leaf / Root restrict the labels allowed on leaves / the root;
+	// empty means all labels allowed.
+	Leaf []string `json:"leaf,omitempty"`
+	Root []string `json:"root,omitempty"`
+}
+
+// RootedConfig is one allowed (parent : children) pattern.
+type RootedConfig struct {
+	Parent   string   `json:"parent"`
+	Children []string `json:"children"`
+}
+
+// Verdict is the decider-independent view of a decision payload: the
+// shared-lattice class plus a wire-ready, decider-specific detail.
+type Verdict struct {
+	// Class is the decided point of the shared complexity lattice.
+	Class Class
+	// Detail is the decider-specific result view. It must be JSON-
+	// marshalable; the HTTP layer serializes it verbatim.
+	Detail any
+}
+
+// Decider is one registered decision procedure. Implementations must be
+// safe for concurrent use; Compute must be a pure function of the
+// normalized request (the memo cache serves its result to isomorphic
+// requests).
+type Decider interface {
+	// Name is the registry key and the request Mode that selects this
+	// decider.
+	Name() string
+	// Normalize validates req and fills parameter defaults in place. A
+	// non-nil error rejects the request before any counters or caches
+	// are touched (the engine records it as an error only).
+	Normalize(req *Request) error
+	// MemoDomain returns the memo key domain for a normalized request:
+	// the decider name plus every parameter that can change the answer,
+	// so differently parameterized requests never alias. Snapshot
+	// records inherit this tagging through the memo key.
+	MemoDomain(req *Request) string
+	// Fingerprint returns the cache fingerprint of the request's problem
+	// and whether it is exact. An inexact fingerprint (canonical search
+	// over budget) is never used as a cache key: isomorphic problems
+	// agree on it, but non-isomorphic problems may collide.
+	Fingerprint(req *Request) (fp uint64, exact bool, err error)
+	// Compute runs the decision procedure and returns the payload the
+	// memo cache stores. Payloads must be immutable once returned.
+	Compute(ctx context.Context, req *Request) (any, error)
+	// WrapPayload projects a payload previously returned by Compute (or
+	// restored from a snapshot) onto the shared lattice. A payload of an
+	// unexpected type is an explicit error — never a silent zero value.
+	WrapPayload(payload any) (*Verdict, error)
+}
+
+// Registry maps decider names to deciders. The zero value is unusable;
+// use NewRegistry. Registration order is preserved (Names).
+type Registry struct {
+	mu     sync.RWMutex
+	byName map[string]Decider
+	names  []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]Decider{}}
+}
+
+// Register adds a decider; duplicate and empty names are errors.
+func (r *Registry) Register(d Decider) error {
+	name := d.Name()
+	if name == "" {
+		return fmt.Errorf("decide: decider with empty name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[name]; dup {
+		return fmt.Errorf("decide: duplicate decider %q", name)
+	}
+	r.byName[name] = d
+	r.names = append(r.names, name)
+	return nil
+}
+
+// MustRegister is Register that panics on error; for static tables.
+func (r *Registry) MustRegister(d Decider) {
+	if err := r.Register(d); err != nil {
+		panic(err)
+	}
+}
+
+// Get returns the decider registered under name.
+func (r *Registry) Get(name string) (Decider, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	d, ok := r.byName[name]
+	return d, ok
+}
+
+// Names returns the registered decider names in registration order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]string(nil), r.names...)
+}
+
+// LCLFingerprint is the fingerprint implementation shared by every
+// decider whose problem is a node-edge-checkable LCL: the canonical
+// fingerprint under label isomorphism (internal/canon), exact when the
+// canonical search stayed within budget.
+func LCLFingerprint(p *lcl.Problem) (uint64, bool, error) {
+	if p == nil {
+		return 0, false, fmt.Errorf("decide: nil problem")
+	}
+	form, err := canon.Canonicalize(p)
+	if err != nil {
+		return 0, false, err
+	}
+	return form.Fingerprint(), form.Exact, nil
+}

@@ -1,0 +1,49 @@
+package decide
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/lcl"
+)
+
+// stubDecider is the minimal Decider for registry tests.
+type stubDecider struct{ name string }
+
+func (d stubDecider) Name() string                   { return d.name }
+func (d stubDecider) Normalize(req *Request) error   { return nil }
+func (d stubDecider) MemoDomain(req *Request) string { return "stub" }
+func (d stubDecider) Fingerprint(req *Request) (uint64, bool, error) {
+	return 0, false, nil
+}
+func (d stubDecider) Compute(ctx context.Context, req *Request) (any, error) {
+	return "payload", nil
+}
+func (d stubDecider) WrapPayload(payload any) (*Verdict, error) {
+	if _, ok := payload.(string); !ok {
+		return nil, fmt.Errorf("stub: unexpected payload %T", payload)
+	}
+	return &Verdict{Class: Unknown}, nil
+}
+
+func TestLCLFingerprintExactAndIsomorphismInvariant(t *testing.T) {
+	a := lcl.NewBuilder("a", nil, []string{"x", "y"}).
+		Node("x", "y").Edge("x", "y").MustBuild()
+	b := lcl.NewBuilder("b", nil, []string{"y", "x"}).
+		Node("y", "x").Edge("y", "x").MustBuild()
+	fa, exactA, err := LCLFingerprint(a)
+	if err != nil || !exactA {
+		t.Fatalf("fingerprint a: %v exact=%v", err, exactA)
+	}
+	fb, _, err := LCLFingerprint(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa != fb {
+		t.Fatalf("isomorphs disagree: %x vs %x", fa, fb)
+	}
+	if _, _, err := LCLFingerprint(nil); err == nil {
+		t.Fatal("nil problem accepted")
+	}
+}

@@ -64,7 +64,7 @@ type PathCensus struct {
 
 // PathDomain is the memo key domain for path solvability results
 // (*classify.InputsResult values). It matches the domain the service
-// layer uses for ModePathsInputs traffic, so census runs and API
+// layer uses for paths-inputs traffic, so census runs and API
 // requests warm each other and path-census checkpoints persist through
 // the same snapshot records.
 const PathDomain = "classify/paths-inputs"

@@ -1,0 +1,481 @@
+package grid
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/classify"
+	"repro/internal/decide"
+	"repro/internal/lcl"
+	"repro/internal/re"
+)
+
+// This file is the oriented-grid decision procedure behind the "grid"
+// decider of the classification service. The setting is the paper's
+// Theorem 1.4 / Section 5: LCLs on consistently oriented d-dimensional
+// tori, where the only complexities are O(1), Θ(log* n), and Θ(n^{1/j})
+// for j <= d. For d = 1 the torus is the oriented cycle and the
+// classification is exactly decidable (classify.OrientedCycles). For
+// d >= 2 exact classification is undecidable in general — LCLs on
+// oriented grids encode Wang tilings — so the decider decides the
+// fragments it can and returns the lattice's honest Unknown otherwise:
+//
+//   - Direction-labeled problems (inputs are exactly the 2d orientation
+//     labels, the formalism Dim0Problem uses, with inputs promised to
+//     match the orientation as DirectionInputs produces them) that
+//     factor by axis are decided EXACTLY: each axis induces an oriented-
+//     cycle problem over its own palette, classified by
+//     classify.OrientedCycles, and the torus class is the lattice JOIN
+//     of the per-axis classes with Θ(n)_axis mapping to Θ(n^{1/d})_torus
+//     (an axis line has n^{1/d} nodes). Upper bound: solve every axis's
+//     lines independently; factorization makes the combination valid.
+//     Lower bound: a torus algorithm restricted to one axis line (other
+//     IDs fixed canonically) is an oriented-cycle algorithm for that
+//     axis's problem with the same round count, so the axis lower
+//     bounds transfer.
+//
+//   - Input-free problems get sound partial rules: the axis-line
+//     relaxation (the degree-2 constraint keeping pairs extendable to a
+//     full degree-2d configuration) is a necessary condition, so its
+//     unsolvability certifies torus unsolvability; a product tiling
+//     (per-axis self-loop pairs forming an allowed configuration) or
+//     0-round solvability certifies O(1).
+
+// DefaultDims is the grid dimension when a request leaves it zero: the
+// paper's 2-dimensional tori.
+const DefaultDims = 2
+
+// MaxDims bounds the supported dimension (the degree-2d configuration
+// space and the factorization sweep grow exponentially in d).
+const MaxDims = 3
+
+// combinationBudget caps the factorization / product-tiling sweeps; a
+// problem whose pair space blows the budget skips those rules (the
+// verdict degrades to Unknown, never to a wrong answer).
+const combinationBudget = 1 << 22
+
+// LineResult is the wire/snapshot-friendly summary of one oriented-cycle
+// classification (classify.Result with the class spelled out).
+type LineResult struct {
+	Class   string `json:"class"`
+	Period  int    `json:"period,omitempty"`
+	Witness string `json:"witness,omitempty"`
+}
+
+func lineResult(r *classify.Result) *LineResult {
+	return &LineResult{Class: r.Class.String(), Period: r.Period, Witness: r.Witness}
+}
+
+// AxisResult is the exact classification of one axis of a direction-
+// labeled, axis-factored problem.
+type AxisResult struct {
+	Axis int `json:"axis"`
+	LineResult
+}
+
+// Verdict is the oriented-grid classification outcome. It is a plain
+// value, so it memoizes and persists through snapshots.
+type Verdict struct {
+	// Class is the shared-lattice verdict: exact for dims = 1 and for
+	// axis-factored direction-labeled problems; otherwise Unsolvable and
+	// Constant verdicts are witnessed and everything else is Unknown.
+	Class decide.Class `json:"class"`
+	Dims  int          `json:"dims"`
+	// Line is the oriented-cycle classification of the problem itself
+	// (dims = 1, exact) or of the axis-line relaxation (input-free
+	// dims >= 2, diagnostic).
+	Line *LineResult `json:"line,omitempty"`
+	// Axes carries the exact per-axis classes of an axis-factored
+	// direction-labeled problem; Class is their lattice join (with
+	// Θ(n) per axis becoming Θ(n^{1/dims}) on the torus).
+	Axes []AxisResult `json:"axes,omitempty"`
+	// Exact reports the verdict is a full classification, not a sound
+	// partial one.
+	Exact bool `json:"exact"`
+	// Reason names the rule that decided (or why the verdict is Unknown).
+	Reason string `json:"reason,omitempty"`
+}
+
+// Classify decides an LCL on consistently oriented dims-dimensional
+// tori. dims <= 0 selects DefaultDims. The problem is either input-free
+// or direction-labeled: exactly 2*dims input labels where inputs 2j and
+// 2j+1 mark the two directions of axis j and are promised to match the
+// grid's orientation.
+func Classify(p *lcl.Problem, dims int) (*Verdict, error) {
+	if dims <= 0 {
+		dims = DefaultDims
+	}
+	if dims > MaxDims {
+		return nil, fmt.Errorf("grid: dims = %d out of supported range [1, %d]", dims, MaxDims)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	switch {
+	case p.NumIn() == 1:
+		return classifyInputFree(p, dims)
+	case p.NumIn() == 2*dims:
+		return classifyDirectionLabeled(p, dims)
+	default:
+		return nil, fmt.Errorf("grid: problem must be input-free or carry exactly the %d direction labels (has %d inputs)", 2*dims, p.NumIn())
+	}
+}
+
+// classifyInputFree handles problems without inputs: exact on dims = 1,
+// sound partial rules above.
+func classifyInputFree(p *lcl.Problem, dims int) (*Verdict, error) {
+	if dims == 1 {
+		res, err := classify.OrientedCycles(p)
+		if err != nil {
+			return nil, err
+		}
+		return &Verdict{
+			Class:  res.Class.Lattice(),
+			Dims:   1,
+			Line:   lineResult(res),
+			Exact:  true,
+			Reason: "dims=1: the oriented cycle classification is exact",
+		}, nil
+	}
+
+	deg := 2 * dims
+	v := &Verdict{Dims: dims}
+	if len(p.Node[deg]) == 0 {
+		v.Class = decide.Unsolvable
+		v.Exact = true
+		v.Reason = fmt.Sprintf("no allowed degree-%d node configuration", deg)
+		return v, nil
+	}
+	line, err := classify.OrientedCycles(lineRelaxation(p, extendablePairs(p, deg)))
+	if err != nil {
+		return nil, err
+	}
+	v.Line = lineResult(line)
+	if line.Class == classify.Unsolvable {
+		// A valid torus labeling would induce a valid axis-line labeling
+		// of the relaxation; none exists for any length.
+		v.Class = decide.Unsolvable
+		v.Exact = true
+		v.Reason = "axis-line relaxation admits no labeling of any length"
+		return v, nil
+	}
+	if ok, witness := productTiling(p, dims, deg); ok {
+		v.Class = decide.Constant
+		v.Exact = true
+		v.Reason = "constant product tiling " + witness + " (0 rounds given the orientation)"
+		return v, nil
+	}
+	if _, ok := re.ZeroRoundSolvable(p, []int{deg}); ok {
+		v.Class = decide.Constant
+		v.Exact = true
+		v.Reason = "0-round solvable without using the orientation"
+		return v, nil
+	}
+	v.Class = decide.Unknown
+	v.Reason = "no sound rule applies; exact classification of input-free LCLs on d >= 2 oriented grids encodes tiling problems"
+	return v, nil
+}
+
+// classifyDirectionLabeled handles problems whose inputs are the 2*dims
+// direction labels. Axis-factored problems are decided exactly; the
+// rest are Unknown.
+func classifyDirectionLabeled(p *lcl.Problem, dims int) (*Verdict, error) {
+	v := &Verdict{Dims: dims}
+	if len(p.Node[2*dims]) == 0 {
+		// Every torus node has degree 2*dims; with no allowed
+		// configuration this is exact unsolvability, same as the
+		// input-free branch — not a factorization failure.
+		v.Class = decide.Unsolvable
+		v.Exact = true
+		v.Reason = fmt.Sprintf("no allowed degree-%d node configuration", 2*dims)
+		return v, nil
+	}
+	palettes, reason := axisPalettes(p, dims)
+	if palettes == nil {
+		v.Class = decide.Unknown
+		v.Reason = "not axis-factored: " + reason
+		return v, nil
+	}
+	axisPairs, reason := splitByAxis(p, dims, palettes)
+	if axisPairs == nil {
+		v.Class = decide.Unknown
+		v.Reason = "not axis-factored: " + reason
+		return v, nil
+	}
+
+	// Classify each axis's induced oriented-cycle problem and join.
+	join := decide.Unsolvable
+	var reasons []string
+	for j := 0; j < dims; j++ {
+		res, err := classify.OrientedCycles(axisProblem(p, j, palettes[j], axisPairs[j]))
+		if err != nil {
+			return nil, err
+		}
+		v.Axes = append(v.Axes, AxisResult{Axis: j, LineResult: *lineResult(res)})
+		if res.Class == classify.Unsolvable {
+			// Unsolvable is the lattice bottom, not an absorbing element:
+			// handle it explicitly — one dead axis kills the torus.
+			v.Class = decide.Unsolvable
+			v.Exact = true
+			v.Reason = fmt.Sprintf("axis %d admits no labeling of any length", j)
+			return v, nil
+		}
+		axis := res.Class.Lattice()
+		if res.Class == classify.Global {
+			// Θ(n) along a single axis line of n^{1/dims} nodes.
+			axis = decide.NRoot(dims)
+		}
+		join = join.Join(axis)
+		reasons = append(reasons, fmt.Sprintf("axis %d: %s", j, axis))
+	}
+	v.Class = join
+	v.Exact = true
+	v.Reason = "axis-factored; torus class is the lattice join of " + strings.Join(reasons, ", ")
+	return v, nil
+}
+
+// axisPalettes maps each axis to its output palette. It requires every
+// output label to be permitted on both directions of exactly one axis
+// (palettes symmetric per axis and pairwise disjoint) — the first half
+// of the axis-factorization condition. A nil return carries the reason.
+func axisPalettes(p *lcl.Problem, dims int) ([][]int, string) {
+	axisOf := make([]int, p.NumOut())
+	palettes := make([][]int, dims)
+	for o := 0; o < p.NumOut(); o++ {
+		axisOf[o] = -1
+		for j := 0; j < dims; j++ {
+			fwd, bwd := p.GAllowed(2*j, o), p.GAllowed(2*j+1, o)
+			if fwd != bwd {
+				return nil, fmt.Sprintf("output %s is allowed on only one direction of axis %d", p.OutNames[o], j)
+			}
+			if !fwd {
+				continue
+			}
+			if axisOf[o] != -1 {
+				return nil, fmt.Sprintf("output %s is allowed on axes %d and %d", p.OutNames[o], axisOf[o], j)
+			}
+			axisOf[o] = j
+		}
+		if axisOf[o] == -1 {
+			continue // dead label: allowed nowhere, can never appear
+		}
+		palettes[axisOf[o]] = append(palettes[axisOf[o]], o)
+	}
+	for j, pal := range palettes {
+		if len(pal) == 0 {
+			return nil, fmt.Sprintf("axis %d has an empty palette", j)
+		}
+	}
+	return palettes, ""
+}
+
+// splitByAxis derives the per-axis pair sets from the degree-2*dims node
+// constraint and verifies the constraint factors: every configuration
+// splits into one pair per axis palette, and every combination of such
+// pairs is allowed. A nil return carries the reason.
+func splitByAxis(p *lcl.Problem, dims int, palettes [][]int) ([][][2]int, string) {
+	deg := 2 * dims
+	if len(p.Node[deg]) == 0 {
+		return nil, fmt.Sprintf("no allowed degree-%d node configuration", deg)
+	}
+	axisOf := make([]int, p.NumOut())
+	for i := range axisOf {
+		axisOf[i] = -1
+	}
+	for j, pal := range palettes {
+		for _, o := range pal {
+			axisOf[o] = j
+		}
+	}
+	pairSets := make([]map[[2]int]bool, dims)
+	for j := range pairSets {
+		pairSets[j] = map[[2]int]bool{}
+	}
+	for _, m := range p.Node[deg] {
+		split := make([][]int, dims)
+		for _, o := range m {
+			if axisOf[o] == -1 {
+				return nil, fmt.Sprintf("configuration %v uses dead label %s", m, p.OutNames[o])
+			}
+			split[axisOf[o]] = append(split[axisOf[o]], o)
+		}
+		for j, labels := range split {
+			if len(labels) != 2 {
+				return nil, fmt.Sprintf("a configuration has %d labels on axis %d, want 2", len(labels), j)
+			}
+			pairSets[j][[2]int{labels[0], labels[1]}] = true
+		}
+	}
+	out := make([][][2]int, dims)
+	total := 1
+	for j, set := range pairSets {
+		for pr := range set {
+			out[j] = append(out[j], pr)
+		}
+		total *= len(out[j])
+		if total > combinationBudget {
+			return nil, "factorization sweep over budget"
+		}
+	}
+	// Completeness: every combination of per-axis pairs must be allowed,
+	// otherwise the constraint couples axes and per-axis solving is
+	// unsound.
+	labels := make([]int, 0, deg)
+	var rec func(axis int) bool
+	rec = func(axis int) bool {
+		if axis == dims {
+			return p.NodeAllowed(lcl.NewMultiset(labels...))
+		}
+		for _, pr := range out[axis] {
+			labels = append(labels, pr[0], pr[1])
+			ok := rec(axis + 1)
+			labels = labels[:len(labels)-2]
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if !rec(0) {
+		return nil, "the node constraint couples axes (a combination of per-axis pairs is forbidden)"
+	}
+	return out, ""
+}
+
+// axisProblem builds the oriented-cycle problem one axis induces: the
+// axis palette as outputs, the axis pair set as the degree-2 constraint,
+// and the edge constraint restricted to the palette.
+func axisProblem(p *lcl.Problem, axis int, palette []int, pairs [][2]int) *lcl.Problem {
+	names := make([]string, len(palette))
+	index := make([]int, p.NumOut())
+	for i, o := range palette {
+		names[i] = p.OutNames[o]
+		index[o] = i
+	}
+	b := lcl.NewBuilder(fmt.Sprintf("%s-axis%d", p.Name, axis), nil, names)
+	for _, pr := range pairs {
+		b.Node(names[index[pr[0]]], names[index[pr[1]]])
+	}
+	inPalette := make([]bool, p.NumOut())
+	for _, o := range palette {
+		inPalette[o] = true
+	}
+	for _, m := range p.Edge {
+		if inPalette[m[0]] && inPalette[m[1]] {
+			b.Edge(names[index[m[0]]], names[index[m[1]]])
+		}
+	}
+	return b.MustBuild()
+}
+
+// extendablePairs returns the ordered pairs (x, y) of output labels that
+// occur together inside some allowed degree-deg configuration — the
+// state space of the axis-line relaxation. The pair (x, x) requires x
+// with multiplicity two.
+func extendablePairs(p *lcl.Problem, deg int) [][2]int {
+	k := p.NumOut()
+	seen := make([]bool, k*k)
+	for _, m := range p.Node[deg] {
+		count := make([]int, k)
+		for _, l := range m {
+			count[l]++
+		}
+		for x := 0; x < k; x++ {
+			if count[x] == 0 {
+				continue
+			}
+			for y := 0; y < k; y++ {
+				if count[y] == 0 || (x == y && count[x] < 2) {
+					continue
+				}
+				seen[x*k+y] = true
+			}
+		}
+	}
+	var out [][2]int
+	for x := 0; x < k; x++ {
+		for y := 0; y < k; y++ {
+			if seen[x*k+y] {
+				out = append(out, [2]int{x, y})
+			}
+		}
+	}
+	return out
+}
+
+// lineRelaxation builds the oriented-cycle problem a torus labeling
+// induces along one axis: degree-2 configurations are the extendable
+// pairs, the edge constraint is inherited.
+func lineRelaxation(p *lcl.Problem, pairs [][2]int) *lcl.Problem {
+	b := lcl.NewBuilder(p.Name+"-line", nil, p.OutNames)
+	for _, pr := range pairs {
+		b.Node(p.OutNames[pr[0]], p.OutNames[pr[1]])
+	}
+	for _, m := range p.Edge {
+		b.Edge(p.OutNames[m[0]], p.OutNames[m[1]])
+	}
+	return b.MustBuild()
+}
+
+// productTiling searches for per-axis self-loop pairs — (x_j, y_j) with
+// {y_j, x_j} ∈ E — whose combined multiset is an allowed degree-deg
+// configuration. Such a tuple tiles the torus in 0 rounds: every node
+// outputs x_j on its −j port and y_j on its +j port. Budget-bounded;
+// over budget reports false (a missed witness, never a wrong one).
+func productTiling(p *lcl.Problem, dims, deg int) (bool, string) {
+	k := p.NumOut()
+	var loops [][2]int
+	for x := 0; x < k; x++ {
+		for y := 0; y < k; y++ {
+			if p.EdgeAllowed(y, x) {
+				loops = append(loops, [2]int{x, y})
+			}
+		}
+	}
+	if len(loops) == 0 {
+		return false, ""
+	}
+	if pow := intPow(len(loops), dims); pow < 0 || pow > combinationBudget {
+		return false, ""
+	}
+	labels := make([]int, 0, deg)
+	chosen := make([][2]int, 0, dims)
+	var rec func(axis, from int) bool
+	rec = func(axis, from int) bool {
+		if axis == dims {
+			return p.NodeAllowed(lcl.NewMultiset(labels...))
+		}
+		// Combinations with repetition: the node multiset is order-
+		// insensitive across axes.
+		for i := from; i < len(loops); i++ {
+			labels = append(labels, loops[i][0], loops[i][1])
+			chosen = append(chosen, loops[i])
+			if rec(axis+1, i) {
+				return true
+			}
+			labels = labels[:len(labels)-2]
+			chosen = chosen[:len(chosen)-1]
+		}
+		return false
+	}
+	if !rec(0, 0) {
+		return false, ""
+	}
+	parts := make([]string, len(chosen))
+	for j, pr := range chosen {
+		parts[j] = "(" + p.OutNames[pr[0]] + "," + p.OutNames[pr[1]] + ")"
+	}
+	return true, strings.Join(parts, " ")
+}
+
+// intPow returns base^exp, or -1 on overflow past combinationBudget.
+func intPow(base, exp int) int {
+	out := 1
+	for i := 0; i < exp; i++ {
+		out *= base
+		if out < 0 || out > combinationBudget {
+			return -1
+		}
+	}
+	return out
+}

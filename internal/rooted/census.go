@@ -89,6 +89,12 @@ type CensusOpts struct {
 	// Progress, when non-nil, is called with (done, total) after every
 	// decided problem.
 	Progress func(done, total int)
+	// Classify, when non-nil, replaces the default per-problem decision
+	// (ClassifyProblem at MaxRadius). The service layer injects a
+	// memoizing wrapper here so census runs publish every decision into
+	// the shared cache and resume warm from snapshots. The override must
+	// be semantically identical to ClassifyProblem at MaxRadius.
+	Classify func(p *Problem) (*Verdict, error)
 }
 
 // DefaultCensusRadius is the synthesis bound when CensusOpts leaves
@@ -223,6 +229,10 @@ func RunCensus(delta, k int, opts CensusOpts) (*CensusResult, error) {
 	if maxRadius <= 0 {
 		maxRadius = DefaultCensusRadius
 	}
+	classify := opts.Classify
+	if classify == nil {
+		classify = func(p *Problem) (*Verdict, error) { return ClassifyProblem(p, maxRadius) }
+	}
 	all := AllConfigs(delta, k)
 	configSpace := uint64(1) << uint(len(all))
 	labelSpace := uint(1) << uint(k)
@@ -243,14 +253,14 @@ func RunCensus(delta, k int, opts CensusOpts) (*CensusResult, error) {
 			for rm := uint(0); rm < labelSpace; rm++ {
 				p := censusProblem(all, delta, k, cm, lm, rm)
 				e := CensusEntry{ConfigMask: cm, LeafMask: lm, RootMask: rm}
-				if !SolvableEverywhere(p) {
-					e.Class = RootedUnsolvable
-				} else if _, r, ok := Decide(p, maxRadius); ok {
-					e.Class = RootedConstantAnon
-					e.Radius = r
-					res.ByRadius[r]++
-				} else {
-					e.Class = RootedNoAnonAtRadius
+				v, err := classify(p)
+				if err != nil {
+					return nil, fmt.Errorf("rooted: census %s: %w", p.Name, err)
+				}
+				e.Class = v.CensusClass()
+				if v.ConstantAnon {
+					e.Radius = v.Radius
+					res.ByRadius[v.Radius]++
 				}
 				res.Entries = append(res.Entries, e)
 				res.ByClass[e.Class]++

@@ -1,0 +1,140 @@
+package rooted
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"repro/internal/decide"
+)
+
+// This file is the rooted-tree decision procedure behind the "rooted"
+// decider of the classification service: exact solvability on every
+// complete-tree depth (SolvableEverywhere, a finite feasibility-lattice
+// cycle check) combined with anonymous constant-radius synthesis
+// (Decide), mapped onto the shared complexity-class lattice.
+
+// Verdict is the rooted-tree classification outcome. It is a plain value
+// (no algorithm tables), so it memoizes and persists through snapshots.
+type Verdict struct {
+	// Class is the shared-lattice verdict: Unsolvable (exact), Constant
+	// (constructively witnessed by an anonymous algorithm), or Unknown —
+	// solvable at every depth but with every anonymous radius <= MaxRadius
+	// exhaustively refuted. On rooted regular trees the remaining
+	// possibilities are Θ(log* n), Θ(log n), and Θ(n^{1/k}) ([8]); the
+	// full certificate machinery deciding among them is future work, and
+	// the verdict says so rather than guess.
+	Class decide.Class `json:"class"`
+	// SolvableEverywhere reports the exact all-depths solvability
+	// decision.
+	SolvableEverywhere bool `json:"solvable_everywhere"`
+	// ConstantAnon reports an anonymous algorithm was synthesized;
+	// Radius is the smallest working radius.
+	ConstantAnon bool `json:"constant_anon"`
+	Radius       int  `json:"radius,omitempty"`
+	// MaxRadius is the searched synthesis bound (refutations are
+	// exhaustive relative to it).
+	MaxRadius int `json:"max_radius"`
+}
+
+// CensusClass folds the verdict into the census bucket taxonomy.
+func (v *Verdict) CensusClass() CensusClass {
+	switch {
+	case !v.SolvableEverywhere:
+		return RootedUnsolvable
+	case v.ConstantAnon:
+		return RootedConstantAnon
+	default:
+		return RootedNoAnonAtRadius
+	}
+}
+
+// Lattice maps a census bucket onto the shared complexity-class lattice.
+func (c CensusClass) Lattice() decide.Class {
+	switch c {
+	case RootedUnsolvable:
+		return decide.Unsolvable
+	case RootedConstantAnon:
+		return decide.Constant
+	default:
+		return decide.Unknown
+	}
+}
+
+// ClassifyProblem decides one rooted problem: exact solvability across
+// all complete-tree depths, then anonymous synthesis up to maxRadius
+// (<= 0 selects DefaultCensusRadius).
+func ClassifyProblem(p *Problem, maxRadius int) (*Verdict, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if maxRadius <= 0 {
+		maxRadius = DefaultCensusRadius
+	}
+	v := &Verdict{MaxRadius: maxRadius}
+	if !SolvableEverywhere(p) {
+		v.Class = decide.Unsolvable
+		return v, nil
+	}
+	v.SolvableEverywhere = true
+	if _, r, ok := Decide(p, maxRadius); ok {
+		v.ConstantAnon = true
+		v.Radius = r
+		v.Class = decide.Constant
+		return v, nil
+	}
+	v.Class = decide.Unknown
+	return v, nil
+}
+
+// FromSpec materializes the transport-neutral rooted problem spec
+// (decide.RootedProblem, the wire format of the "rooted" mode).
+func FromSpec(spec *decide.RootedProblem) (*Problem, error) {
+	if spec == nil {
+		return nil, fmt.Errorf("rooted: missing rooted problem spec")
+	}
+	name := spec.Name
+	if name == "" {
+		name = "rooted-request"
+	}
+	b := NewBuilder(name, spec.Delta, spec.Labels)
+	for _, c := range spec.Configs {
+		b.Config(c.Parent, c.Children...)
+	}
+	if len(spec.Leaf) > 0 {
+		b.Leaf(spec.Leaf...)
+	}
+	if len(spec.Root) > 0 {
+		b.Root(spec.Root...)
+	}
+	return b.Build()
+}
+
+// Fingerprint returns a stable 64-bit fingerprint of the problem's exact
+// structure (FNV-1a over a canonical serialization: delta, labels,
+// sorted configs, leaf/root masks). Unlike the canonical LCL fingerprint
+// it is label-spelling sensitive — relabeled rooted problems do not share
+// cache entries — but identical encodings always agree, which is all the
+// memo cache needs for soundness.
+func (p *Problem) Fingerprint() uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "d=%d;k=%d;", p.Delta, len(p.Labels))
+	for _, l := range p.Labels {
+		fmt.Fprintf(h, "l=%q;", l)
+	}
+	keys := make([]string, len(p.Configs))
+	for i, c := range p.Configs {
+		keys[i] = c.Key()
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(h, "c=%s;", k)
+	}
+	for _, ok := range p.LeafOK {
+		fmt.Fprintf(h, "f=%v;", ok)
+	}
+	for _, ok := range p.RootOK {
+		fmt.Fprintf(h, "r=%v;", ok)
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,143 @@
+package rooted
+
+import (
+	"testing"
+
+	"repro/internal/decide"
+)
+
+// twoColorRooted is proper 2-coloring of the complete binary tree:
+// solvable at every depth (color by depth parity), but depth parity is
+// invisible to an anonymous constant-radius algorithm — the canonical
+// RootedNoAnonAtRadius / lattice-Unknown specimen.
+func twoColorRooted() *Problem {
+	return NewBuilder("rooted-2col", 2, []string{"a", "b"}).
+		Config("a", "b", "b").
+		Config("b", "a", "a").
+		MustBuild()
+}
+
+func TestClassifyProblemBuckets(t *testing.T) {
+	// Unsolvable: the root demands a label no configuration can sustain
+	// past depth 0 wherever leaves must be "b" but only "a" roots exist.
+	unsolv := NewBuilder("rooted-unsolv", 2, []string{"a", "b"}).
+		Config("a", "a", "a").
+		Leaf("b").Root("a").
+		MustBuild()
+	v, err := ClassifyProblem(unsolv, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Class != decide.Unsolvable || v.SolvableEverywhere || v.CensusClass() != RootedUnsolvable {
+		t.Fatalf("unsolvable verdict: %+v", v)
+	}
+
+	// Constant: the trivial one-label problem synthesizes at radius 0.
+	trivial := NewBuilder("rooted-trivial", 2, []string{"a"}).
+		Config("a", "a", "a").
+		MustBuild()
+	v, err = ClassifyProblem(trivial, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Class != decide.Constant || !v.ConstantAnon || v.Radius != 0 || v.CensusClass() != RootedConstantAnon {
+		t.Fatalf("trivial verdict: %+v", v)
+	}
+
+	// Unknown: 2-coloring is solvable at every depth, but depth parity is
+	// invisible anonymously — exhaustively refuted for the searched radii.
+	v, err = ClassifyProblem(twoColorRooted(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Class != decide.Unknown || !v.SolvableEverywhere || v.ConstantAnon ||
+		v.CensusClass() != RootedNoAnonAtRadius {
+		t.Fatalf("2-coloring verdict: %+v", v)
+	}
+
+	// Validation errors propagate.
+	bad := &Problem{Name: "bad", Labels: []string{"a"}, Delta: 0}
+	if _, err := ClassifyProblem(bad, 1); err == nil {
+		t.Fatal("invalid problem accepted")
+	}
+}
+
+func TestCensusClassifyHookMatchesDefault(t *testing.T) {
+	plain, err := RunCensus(2, 1, CensusOpts{MaxRadius: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hooked, err := RunCensus(2, 1, CensusOpts{
+		MaxRadius: 1,
+		Classify:  func(p *Problem) (*Verdict, error) { return ClassifyProblem(p, 1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Entries) != len(hooked.Entries) {
+		t.Fatalf("entry counts differ: %d vs %d", len(plain.Entries), len(hooked.Entries))
+	}
+	for i := range plain.Entries {
+		if plain.Entries[i] != hooked.Entries[i] {
+			t.Fatalf("entry %d differs: %+v vs %+v", i, plain.Entries[i], hooked.Entries[i])
+		}
+	}
+}
+
+func TestFromSpecAndFingerprint(t *testing.T) {
+	spec := &decide.RootedProblem{
+		Delta:  2,
+		Labels: []string{"a", "b"},
+		Configs: []decide.RootedConfig{
+			{Parent: "a", Children: []string{"b", "b"}},
+			{Parent: "b", Children: []string{"a", "a"}},
+		},
+	}
+	p, err := FromSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Delta != 2 || len(p.Configs) != 2 || !p.LeafOK[0] || !p.RootOK[1] {
+		t.Fatalf("materialized problem: %+v", p)
+	}
+	// Config order does not affect the fingerprint; constraints do.
+	swapped := &decide.RootedProblem{
+		Delta:  2,
+		Labels: []string{"a", "b"},
+		Configs: []decide.RootedConfig{
+			{Parent: "b", Children: []string{"a", "a"}},
+			{Parent: "a", Children: []string{"b", "b"}},
+		},
+	}
+	q, err := FromSpec(swapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Fingerprint() != q.Fingerprint() {
+		t.Fatal("config order changed the fingerprint")
+	}
+	restricted := &decide.RootedProblem{
+		Delta:  2,
+		Labels: []string{"a", "b"},
+		Configs: []decide.RootedConfig{
+			{Parent: "a", Children: []string{"b", "b"}},
+			{Parent: "b", Children: []string{"a", "a"}},
+		},
+		Root: []string{"a"},
+	}
+	r, err := FromSpec(restricted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Fingerprint() == r.Fingerprint() {
+		t.Fatal("root restriction did not change the fingerprint")
+	}
+	// Spec errors surface: unknown labels, missing spec.
+	if _, err := FromSpec(&decide.RootedProblem{Delta: 2, Labels: []string{"a"},
+		Configs: []decide.RootedConfig{{Parent: "z", Children: []string{"a", "a"}}}}); err == nil {
+		t.Fatal("unknown label accepted")
+	}
+	if _, err := FromSpec(nil); err == nil {
+		t.Fatal("nil spec accepted")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"repro/internal/decide"
 	"repro/internal/lcl"
 )
 
@@ -44,102 +45,93 @@ func NewHandler(e *Engine) http.Handler {
 	return mux
 }
 
-// wireRequest is the JSON form of a Request.
+// wireRequest is the JSON form of a Request. Exactly one of Problem
+// (lcl codec) / Rooted carries the problem, matching the mode.
 type wireRequest struct {
-	Mode      string          `json:"mode"`
-	Problem   json.RawMessage `json:"problem"`
-	MaxLevels int             `json:"max_levels,omitempty"`
-	MaxRadius int             `json:"max_radius,omitempty"`
+	Mode      string                `json:"mode"`
+	Problem   json.RawMessage       `json:"problem,omitempty"`
+	Rooted    *decide.RootedProblem `json:"rooted,omitempty"`
+	MaxLevels int                   `json:"max_levels,omitempty"`
+	MaxRadius int                   `json:"max_radius,omitempty"`
+	Dims      int                   `json:"dims,omitempty"`
 }
 
-// wireResponse is the JSON form of a Response, flattened to strings a
-// client can read without the library's enums.
+// wireResponse is the JSON form of a Response: serving metadata, the
+// shared-lattice class, and the decider-specific detail — uniform
+// across every registered decider, so adding one needs no transport
+// changes.
 type wireResponse struct {
-	Problem     string `json:"problem"`
+	Problem     string `json:"problem,omitempty"`
 	Mode        string `json:"mode"`
-	Fingerprint string `json:"fingerprint"`
+	Fingerprint string `json:"fingerprint,omitempty"`
 	CacheHit    bool   `json:"cache_hit"`
 	Coalesced   bool   `json:"coalesced,omitempty"`
-
-	// ModeCycles
-	Class   string `json:"class,omitempty"`
-	Period  int    `json:"period,omitempty"`
-	Witness string `json:"witness,omitempty"`
-	// ModeTrees
-	Trees *wireTrees `json:"trees,omitempty"`
-	// ModePathsInputs
-	Paths *wirePaths `json:"paths,omitempty"`
-	// ModeSynthesize
-	Synth *wireSynth `json:"synthesize,omitempty"`
+	// Class is the verdict on the shared complexity-class lattice
+	// ("unsolvable", "O(1)", "Θ(log* n)", "Θ(log n)", "Θ(n^{1/k})",
+	// "Θ(n)", "unknown").
+	Class string `json:"class,omitempty"`
+	// Detail carries the decider-specific view (Decider.WrapPayload).
+	Detail json.RawMessage `json:"detail,omitempty"`
 
 	Error string `json:"error,omitempty"`
 }
 
-type wireTrees struct {
-	Verdict    string `json:"verdict"`
-	Constant   bool   `json:"constant"`
-	LowerBound bool   `json:"lower_bound"`
-	Level      int    `json:"level"`
-}
-
-type wirePaths struct {
-	SolvableAllInputs bool  `json:"solvable_all_inputs"`
-	BadInput          []int `json:"bad_input,omitempty"`
-}
-
-type wireSynth struct {
-	Found  bool `json:"found"`
-	Radius int  `json:"radius"`
-}
-
-// decodeRequest parses one wire request into an engine Request; the
-// problem payload is validated by the lcl codec.
+// decodeRequest parses one wire request into an engine Request; lcl
+// problem payloads are validated by the lcl codec, rooted specs by the
+// decider's Normalize.
 func decodeRequest(wr *wireRequest) (Request, error) {
 	var req Request
-	if len(wr.Problem) == 0 {
-		return req, fmt.Errorf("missing problem payload")
-	}
-	p := &lcl.Problem{}
-	if err := json.Unmarshal(wr.Problem, p); err != nil {
-		return req, fmt.Errorf("invalid problem: %v", err)
-	}
-	req.Problem = p
-	req.Mode = Mode(wr.Mode)
+	req.Mode = wr.Mode
 	req.MaxLevels = wr.MaxLevels
 	req.MaxRadius = wr.MaxRadius
+	req.Dims = wr.Dims
+	req.Rooted = wr.Rooted
+	if len(wr.Problem) > 0 {
+		p := &lcl.Problem{}
+		if err := json.Unmarshal(wr.Problem, p); err != nil {
+			return req, fmt.Errorf("invalid problem: %v", err)
+		}
+		req.Problem = p
+	}
+	if req.Problem == nil && req.Rooted == nil {
+		return req, fmt.Errorf("missing problem payload")
+	}
 	return req, nil
 }
 
-// encodeResponse flattens an engine response for the wire.
-func encodeResponse(name string, resp *Response) *wireResponse {
+// requestName returns the display name of a request's problem.
+func requestName(req *Request) string {
+	switch {
+	case req.Problem != nil:
+		return req.Problem.Name
+	case req.Rooted != nil:
+		return req.Rooted.Name
+	default:
+		return ""
+	}
+}
+
+// encodeResponse flattens an engine response for the wire. Detail types
+// are service-defined and marshalable by construction; a marshal
+// failure is a programming error, reported so callers can map it to a
+// real error status instead of a 200 with a missing detail.
+func encodeResponse(name string, resp *Response) (*wireResponse, error) {
 	wr := &wireResponse{
 		Problem:     name,
-		Mode:        string(resp.Mode),
+		Mode:        resp.Mode,
 		Fingerprint: fmt.Sprintf("%016x", resp.Fingerprint),
 		CacheHit:    resp.CacheHit,
 		Coalesced:   resp.Coalesced,
+		Class:       resp.Class.String(),
 	}
-	switch {
-	case resp.Cycles != nil:
-		wr.Class = resp.Cycles.Class.String()
-		wr.Period = resp.Cycles.Period
-		wr.Witness = resp.Cycles.Witness
-	case resp.Trees != nil:
-		wr.Trees = &wireTrees{
-			Verdict:    resp.Trees.String(),
-			Constant:   resp.Trees.Constant,
-			LowerBound: resp.Trees.LowerBound,
-			Level:      resp.Trees.Level,
+	if resp.Detail != nil {
+		raw, err := json.Marshal(resp.Detail)
+		if err != nil {
+			return nil, fmt.Errorf("encode %s detail: %v", resp.Mode, err)
 		}
-	case resp.Paths != nil:
-		wr.Paths = &wirePaths{
-			SolvableAllInputs: resp.Paths.SolvableAllInputs,
-			BadInput:          resp.Paths.BadInput,
-		}
-	case resp.Synth != nil:
-		wr.Synth = &wireSynth{Found: resp.Synth.Found, Radius: resp.Synth.Radius}
+		wr.Detail = raw
 	}
-	return wr
+	return wr, nil
 }
 
 func (e *Engine) handleClassify(w http.ResponseWriter, r *http.Request) {
@@ -158,7 +150,12 @@ func (e *Engine) handleClassify(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, encodeResponse(req.Problem.Name, resp))
+	wresp, err := encodeResponse(requestName(&req), resp)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, wresp)
 }
 
 type wireBatchRequest struct {
@@ -204,13 +201,23 @@ func (e *Engine) handleBatch(w http.ResponseWriter, r *http.Request) {
 		i := pos[j]
 		if item.Err != nil {
 			out.Results[i] = &wireResponse{
-				Problem: valid[j].Problem.Name,
-				Mode:    string(valid[j].Mode),
+				Problem: requestName(&valid[j]),
+				Mode:    valid[j].Mode,
 				Error:   item.Err.Error(),
 			}
 			continue
 		}
-		out.Results[i] = encodeResponse(valid[j].Problem.Name, item.Response)
+		wr, err := encodeResponse(requestName(&valid[j]), item.Response)
+		if err != nil {
+			// Batch results are positional: an encode failure stays in
+			// its slot as an explicit item error.
+			wr = &wireResponse{
+				Problem: requestName(&valid[j]),
+				Mode:    valid[j].Mode,
+				Error:   err.Error(),
+			}
+		}
+		out.Results[i] = wr
 	}
 	writeJSON(w, http.StatusOK, out)
 }

@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"testing"
 
+	"repro/internal/decide"
 	"repro/internal/lcl"
 	"repro/internal/problems"
 )
@@ -67,6 +68,110 @@ func classifyBody(t *testing.T, mode string, p json.Marshaler) map[string]any {
 	return map[string]any{"mode": mode, "problem": json.RawMessage(raw)}
 }
 
+// detailOf unmarshals a wire response's decider detail into a map.
+func detailOf(t *testing.T, wr *wireResponse) map[string]any {
+	t.Helper()
+	if len(wr.Detail) == 0 {
+		t.Fatalf("response has no detail: %+v", wr)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(wr.Detail, &m); err != nil {
+		t.Fatalf("detail: %v", err)
+	}
+	return m
+}
+
+// TestHTTPEveryDeciderRoundTrips is the registry's transport contract,
+// table-driven over every registered decider: POST /v1/classify serves
+// it, the class field is a shared-lattice value, an identical second
+// request hits the memo cache, and /statsz counts it in its own
+// per-decider bucket.
+func TestHTTPEveryDeciderRoundTrips(t *testing.T) {
+	srv := newTestServer(t)
+	c3raw, _ := problems.Coloring(3, 2).MarshalJSON()
+	trivraw, _ := problems.Trivial(2).MarshalJSON()
+	coraw, _ := problems.ConsistentOrientation().MarshalJSON()
+
+	cases := []struct {
+		mode      string
+		body      map[string]any
+		wantClass string
+	}{
+		{"cycles", map[string]any{"mode": "cycles", "problem": json.RawMessage(c3raw)}, "Θ(log* n)"},
+		{"trees", map[string]any{"mode": "trees", "problem": json.RawMessage(trivraw)}, "O(1)"},
+		{"paths-inputs", map[string]any{"mode": "paths-inputs", "problem": json.RawMessage(c3raw)}, "unknown"},
+		{"synthesize", map[string]any{"mode": "synthesize", "problem": json.RawMessage(trivraw)}, "O(1)"},
+		{"rooted", map[string]any{"mode": "rooted", "rooted": rootedTwoColoring()}, "unknown"},
+		{"grid", map[string]any{"mode": "grid", "dims": 1, "problem": json.RawMessage(coraw)}, "O(1)"},
+	}
+	registered := DefaultRegistry().Names()
+	if len(cases) != len(registered) {
+		t.Fatalf("test table covers %d deciders, registry has %d (%v)", len(cases), len(registered), registered)
+	}
+	covered := map[string]bool{}
+	for _, tc := range cases {
+		covered[tc.mode] = true
+	}
+	for _, name := range registered {
+		if !covered[name] {
+			t.Fatalf("registered decider %q missing from the table", name)
+		}
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.mode, func(t *testing.T) {
+			resp, body := postJSON(t, srv.URL+"/v1/classify", tc.body)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status %d: %s", resp.StatusCode, body)
+			}
+			var wr wireResponse
+			if err := json.Unmarshal(body, &wr); err != nil {
+				t.Fatal(err)
+			}
+			if wr.Mode != tc.mode || wr.Error != "" {
+				t.Fatalf("metadata: %s", body)
+			}
+			if _, err := decide.ParseClass(wr.Class); err != nil {
+				t.Fatalf("class %q is not a lattice value: %v", wr.Class, err)
+			}
+			if wr.Class != tc.wantClass {
+				t.Fatalf("class %q, want %q (%s)", wr.Class, tc.wantClass, body)
+			}
+			if wr.CacheHit {
+				t.Fatalf("first request served from cache: %s", body)
+			}
+			detailOf(t, &wr) // every decider ships a detail object
+
+			// Identical second request: memoized.
+			_, body = postJSON(t, srv.URL+"/v1/classify", tc.body)
+			if err := json.Unmarshal(body, &wr); err != nil {
+				t.Fatal(err)
+			}
+			if !wr.CacheHit {
+				t.Fatalf("repeat not served from cache: %s", body)
+			}
+			if wr.Class != tc.wantClass {
+				t.Fatalf("cached class drifted: %s", body)
+			}
+		})
+	}
+
+	// Per-decider stats: every registered decider served exactly two
+	// requests; nothing leaked into other buckets.
+	var st Stats
+	if resp := getJSON(t, srv.URL+"/statsz", &st); resp.StatusCode != http.StatusOK {
+		t.Fatalf("statsz status %d", resp.StatusCode)
+	}
+	for _, name := range registered {
+		if st.ByDecider[name] != 2 {
+			t.Fatalf("decider %q served %d requests, want 2 (%+v)", name, st.ByDecider[name], st.ByDecider)
+		}
+	}
+	if st.UnknownModeRejects != 0 {
+		t.Fatalf("spurious unknown-mode rejects: %+v", st)
+	}
+}
+
 func TestHTTPClassifyCycles(t *testing.T) {
 	srv := newTestServer(t)
 	resp, body := postJSON(t, srv.URL+"/v1/classify", classifyBody(t, "cycles", problems.Coloring(3, 2)))
@@ -83,14 +188,8 @@ func TestHTTPClassifyCycles(t *testing.T) {
 	if wr.Problem != "3-coloring" || len(wr.Fingerprint) != 16 {
 		t.Fatalf("metadata: %s", body)
 	}
-
-	// Second identical request is a cache hit.
-	_, body = postJSON(t, srv.URL+"/v1/classify", classifyBody(t, "cycles", problems.Coloring(3, 2)))
-	if err := json.Unmarshal(body, &wr); err != nil {
-		t.Fatal(err)
-	}
-	if !wr.CacheHit {
-		t.Fatalf("repeat not served from cache: %s", body)
+	if d := detailOf(t, &wr); d["class"] != "Θ(log* n)" || d["witness"] == "" {
+		t.Fatalf("cycles detail: %v", d)
 	}
 }
 
@@ -104,7 +203,7 @@ func TestHTTPClassifyTreesAndSynth(t *testing.T) {
 	if err := json.Unmarshal(body, &wr); err != nil {
 		t.Fatal(err)
 	}
-	if wr.Trees == nil || !wr.Trees.Constant {
+	if d := detailOf(t, &wr); d["constant"] != true {
 		t.Fatalf("trees verdict: %s", body)
 	}
 
@@ -112,9 +211,69 @@ func TestHTTPClassifyTreesAndSynth(t *testing.T) {
 	if err := json.Unmarshal(body, &wr); err != nil {
 		t.Fatal(err)
 	}
-	if wr.Synth == nil || !wr.Synth.Found || wr.Synth.Radius != 0 {
+	if d := detailOf(t, &wr); d["found"] != true || d["radius"] != float64(0) {
 		t.Fatalf("synth outcome: %s", body)
 	}
+}
+
+// TestHTTPClassifyRootedAndGrid: the two new families, end to end with
+// their native payloads.
+func TestHTTPClassifyRootedAndGrid(t *testing.T) {
+	srv := newTestServer(t)
+	resp, body := postJSON(t, srv.URL+"/v1/classify", map[string]any{
+		"mode": "rooted", "rooted": rootedTwoColoring(), "max_radius": 1,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("rooted status %d: %s", resp.StatusCode, body)
+	}
+	var wr wireResponse
+	if err := json.Unmarshal(body, &wr); err != nil {
+		t.Fatal(err)
+	}
+	if wr.Class != "unknown" || wr.Problem != "rooted-2col" {
+		t.Fatalf("rooted response: %s", body)
+	}
+	if d := detailOf(t, &wr); d["solvable_everywhere"] != true || d["constant_anon"] != false {
+		t.Fatalf("rooted detail: %v", d)
+	}
+
+	// Dim0Problem is the Θ(√n) landscape witness, served over the wire
+	// with its shared-lattice spelling.
+	dim0raw, _ := dim0WireProblem(t)
+	resp, body = postJSON(t, srv.URL+"/v1/classify", map[string]any{
+		"mode": "grid", "dims": 2, "problem": dim0raw,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("grid status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &wr); err != nil {
+		t.Fatal(err)
+	}
+	if wr.Class != "Θ(n^{1/2})" {
+		t.Fatalf("grid class %q: %s", wr.Class, body)
+	}
+	if d := detailOf(t, &wr); d["exact"] != true {
+		t.Fatalf("grid detail: %v", d)
+	}
+}
+
+// dim0WireProblem builds the 2-dim Dim0 problem through the lcl codec
+// (mirrors grid.Dim0Problem without importing internal/grid, which
+// would be an import cycle through the registry — service imports grid).
+func dim0WireProblem(t *testing.T) (json.RawMessage, *lcl.Problem) {
+	t.Helper()
+	b := lcl.NewBuilder("grid-2d-dim0-2coloring", []string{"dir0", "dir1", "dir2", "dir3"}, []string{"c0", "c1", "x"})
+	b.Node("c0", "c0", "x", "x")
+	b.Node("c1", "c1", "x", "x")
+	b.Edge("c0", "c1").Edge("x", "x")
+	b.Allow("dir0", "c0", "c1").Allow("dir1", "c0", "c1")
+	b.Allow("dir2", "x").Allow("dir3", "x")
+	p := b.MustBuild()
+	raw, err := p.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw, p
 }
 
 func TestHTTPClassifyErrors(t *testing.T) {
@@ -128,7 +287,7 @@ func TestHTTPClassifyErrors(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("malformed JSON: status %d", resp.StatusCode)
 	}
-	// Missing problem.
+	// Missing problem payload (neither lcl nor rooted).
 	resp, body := postJSON(t, srv.URL+"/v1/classify", map[string]any{"mode": "cycles"})
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("missing problem: status %d, %s", resp.StatusCode, body)
@@ -161,6 +320,7 @@ func TestHTTPBatch(t *testing.T) {
 		{"mode": "cycles"}, // decode error: missing problem
 		{"mode": "paths-inputs", "problem": json.RawMessage(triv)},
 		{"mode": "cycles", "problem": json.RawMessage(c3)}, // duplicate
+		{"mode": "rooted", "rooted": rootedTwoColoring()},  // mixed family
 	}}
 	resp, raw := postJSON(t, srv.URL+"/v1/classify/batch", body)
 	if resp.StatusCode != http.StatusOK {
@@ -170,7 +330,7 @@ func TestHTTPBatch(t *testing.T) {
 	if err := json.Unmarshal(raw, &out); err != nil {
 		t.Fatal(err)
 	}
-	if len(out.Results) != 4 {
+	if len(out.Results) != 5 {
 		t.Fatalf("%d results", len(out.Results))
 	}
 	if out.Results[0].Class != "Θ(log* n)" || out.Results[0].Error != "" {
@@ -179,8 +339,11 @@ func TestHTTPBatch(t *testing.T) {
 	if out.Results[1].Error == "" {
 		t.Fatalf("result 1 should carry a decode error: %+v", out.Results[1])
 	}
-	if out.Results[2].Paths == nil || !out.Results[2].Paths.SolvableAllInputs {
+	if d := detailOf(t, out.Results[2]); d["solvable_all_inputs"] != true {
 		t.Fatalf("result 2: %+v", out.Results[2])
+	}
+	if out.Results[4].Error != "" || out.Results[4].Mode != "rooted" {
+		t.Fatalf("result 4: %+v", out.Results[4])
 	}
 	// Exactly one of the two identical requests computed; the other was
 	// served from cache or coalesced (scheduling decides which slot).
@@ -247,11 +410,14 @@ func TestHTTPHealthzStatsz(t *testing.T) {
 	if resp := getJSON(t, srv.URL+"/statsz", &st); resp.StatusCode != http.StatusOK {
 		t.Fatalf("statsz status %d", resp.StatusCode)
 	}
-	if st.Requests == 0 || st.ByMode[ModeCycles] == 0 || st.Workers != 4 {
+	if st.Requests == 0 || st.ByDecider["cycles"] == 0 || st.Workers != 4 {
 		t.Fatalf("statsz: %+v", st)
 	}
 	if st.Cache.Puts == 0 {
 		t.Fatalf("statsz cache: %+v", st.Cache)
+	}
+	if len(st.Deciders) == 0 {
+		t.Fatalf("statsz deciders: %+v", st)
 	}
 }
 
@@ -265,7 +431,7 @@ func TestHTTPRoundTripThroughCodec(t *testing.T) {
 			continue // cycles mode is input-free
 		}
 		e := New(Config{Workers: 1})
-		want, err := e.Classify(Request{Problem: p, Mode: ModeCycles})
+		want, err := e.Classify(Request{Problem: p, Mode: "cycles"})
 		e.Close()
 		if err != nil {
 			t.Fatalf("%s: %v", p.Name, err)
@@ -275,8 +441,8 @@ func TestHTTPRoundTripThroughCodec(t *testing.T) {
 		if err := json.Unmarshal(raw, &wr); err != nil {
 			t.Fatal(err)
 		}
-		if wr.Class != want.Cycles.Class.String() {
-			t.Fatalf("%s: API says %q, library says %q", p.Name, wr.Class, want.Cycles.Class)
+		if wr.Class != want.Cycles().Class.String() {
+			t.Fatalf("%s: API says %q, library says %q", p.Name, wr.Class, want.Cycles().Class)
 		}
 		if wr.Fingerprint != fmt.Sprintf("%016x", want.Fingerprint) {
 			t.Fatalf("%s: fingerprint drift across the wire", p.Name)

@@ -1,15 +1,18 @@
-// Job orchestration wiring: the engine's long-running workloads (cycle
-// census, path census, rooted-tree census, landscape sweeps) exposed as
+// Job orchestration wiring: the engine's long-running workloads —
+// censuses over whole problem spaces plus landscape sweeps — exposed as
 // resumable background jobs (internal/jobs).
 //
-// The resume contract composes three existing mechanisms rather than
-// inventing a new one: census runners publish every individual decision
-// into the engine's memo cache as they go, the jobs manager periodically
-// checkpoints by saving the engine snapshot (internal/store), and the
-// job ledger records which jobs were in flight. A process killed mid-
-// census therefore restarts with (a) the job re-enqueued from the ledger
-// and (b) the memo cache warm from the last checkpoint — the re-run
-// skips every decision already persisted and recomputes only the tail.
+// The census job table is built generically from the decider registry:
+// any registered decider implementing CensusRunner contributes one job
+// type. The resume contract composes three existing mechanisms rather
+// than inventing a new one: census runners publish every individual
+// decision into the engine's memo cache as they go, the jobs manager
+// periodically checkpoints by saving the engine snapshot
+// (internal/store), and the job ledger records which jobs were in
+// flight. A process killed mid-census therefore restarts with (a) the
+// job re-enqueued from the ledger and (b) the memo cache warm from the
+// last checkpoint — the re-run skips every decision already persisted
+// and recomputes only the tail.
 package service
 
 import (
@@ -22,60 +25,87 @@ import (
 	"repro/internal/rooted"
 )
 
-// The job types the engine serves.
+// The job types the engine serves. The census types are contributed by
+// the deciders (CensusRunner); the names are stable because job ledgers
+// persist them across restarts.
 const (
-	// JobCensus is the classified cycle-LCL census (Spec.K, Spec.Dedup).
+	// JobCensus is the classified cycle-LCL census (Spec.K, Spec.Dedup),
+	// contributed by the cycles decider.
 	JobCensus = "census"
-	// JobPathCensus is the path-LCL solvability census (Spec.K).
+	// JobPathCensus is the path-LCL solvability census (Spec.K),
+	// contributed by the paths-inputs decider.
 	JobPathCensus = "path-census"
 	// JobRootedCensus is the rooted-tree census (Spec.Delta, Spec.K,
-	// Spec.MaxRadius).
+	// Spec.MaxRadius), contributed by the rooted decider.
 	JobRootedCensus = "rooted-census"
 	// JobLandscape regenerates the Figure-1 landscape panels (Spec.Sizes,
 	// Spec.Seed).
 	JobLandscape = "landscape"
 )
 
-// runners builds the engine's job-type table.
-func (e *Engine) runners() map[string]jobs.Runner {
-	return map[string]jobs.Runner{
-		JobCensus:       e.runCensusJob,
-		JobPathCensus:   e.runPathCensusJob,
-		JobRootedCensus: e.runRootedCensusJob,
-		JobLandscape:    e.runLandscapeJob,
+// CensusRunner is the optional decider capability behind census jobs: a
+// decider that can exhaustively enumerate and decide its problem space
+// contributes one job type. Implementations run against the engine so
+// their per-problem decisions flow through the shared memo cache —
+// that is what makes their jobs resumable through snapshots.
+type CensusRunner interface {
+	// CensusJobType names the job type (stable across releases; job
+	// ledgers persist it).
+	CensusJobType() string
+	// ValidateCensusSpec rejects specs the runner would reject, before
+	// they enter the queue — a submission error beats a failed job.
+	ValidateCensusSpec(spec jobs.Spec) error
+	// RunCensusJob executes the census against the engine's caches.
+	RunCensusJob(ctx context.Context, e *Engine, spec jobs.Spec, report jobs.Report) (any, error)
+}
+
+// censusRunners collects the registry's census-capable deciders.
+func (e *Engine) censusRunners() map[string]CensusRunner {
+	out := map[string]CensusRunner{}
+	for _, name := range e.registry.Names() {
+		d, _ := e.registry.Get(name)
+		if cr, ok := d.(CensusRunner); ok {
+			out[cr.CensusJobType()] = cr
+		}
 	}
+	return out
+}
+
+// runners builds the engine's job-type table: one generic census runner
+// per census-capable decider, plus the landscape sweep.
+func (e *Engine) runners() map[string]jobs.Runner {
+	table := map[string]jobs.Runner{
+		JobLandscape: e.runLandscapeJob,
+	}
+	for jobType, cr := range e.censusRunners() {
+		cr := cr
+		table[jobType] = func(ctx context.Context, spec jobs.Spec, report jobs.Report) (any, error) {
+			return cr.RunCensusJob(ctx, e, spec, report)
+		}
+	}
+	return table
 }
 
 // ValidateJobSpec rejects specs their runner would reject, before they
-// enter the queue — a submission error beats a failed job.
-func ValidateJobSpec(spec jobs.Spec) error {
-	switch spec.Type {
-	case JobCensus, JobPathCensus:
-		if spec.K < 1 || spec.K > 3 {
-			return fmt.Errorf("service: %s job k = %d out of range [1, 3]", spec.Type, spec.K)
-		}
-	case JobRootedCensus:
-		if spec.Delta < 1 || spec.Delta > 3 {
-			return fmt.Errorf("service: rooted-census job delta = %d out of range [1, 3]", spec.Delta)
-		}
-		if spec.K < 1 || spec.K > 2 {
-			return fmt.Errorf("service: rooted-census job k = %d out of range [1, 2]", spec.K)
-		}
-	case JobLandscape:
+// enter the queue.
+func (e *Engine) ValidateJobSpec(spec jobs.Spec) error {
+	if cr, ok := e.censusRunners()[spec.Type]; ok {
+		return cr.ValidateCensusSpec(spec)
+	}
+	if spec.Type == JobLandscape {
 		for _, n := range spec.Sizes {
 			if n < 4 {
 				return fmt.Errorf("service: landscape job size %d too small (want >= 4)", n)
 			}
 		}
-	default:
-		return fmt.Errorf("service: unknown job type %q", spec.Type)
+		return nil
 	}
-	return nil
+	return fmt.Errorf("service: unknown job type %q", spec.Type)
 }
 
 // SubmitJob validates and enqueues a job.
 func (e *Engine) SubmitJob(spec jobs.Spec) (jobs.Job, error) {
-	if err := ValidateJobSpec(spec); err != nil {
+	if err := e.ValidateJobSpec(spec); err != nil {
 		return jobs.Job{}, err
 	}
 	return e.jobMgr.Submit(spec)
@@ -96,6 +126,9 @@ func (e *Engine) WatchJob(id string) (<-chan jobs.Event, func(), error) {
 	return e.jobMgr.Subscribe(id)
 }
 
+// ---------------------------------------------------------------------
+// cycles census
+
 // censusJobResult is the JSON shape of a finished census job — the same
 // per-class summary the census endpoint serves.
 type censusJobResult struct {
@@ -107,14 +140,23 @@ type censusJobResult struct {
 	GapHolds           bool           `json:"gap_holds"`
 }
 
-// runCensusJob computes the cycle census for the spec, reporting
+func (cyclesDecider) CensusJobType() string { return JobCensus }
+
+func (cyclesDecider) ValidateCensusSpec(spec jobs.Spec) error {
+	if spec.K < 1 || spec.K > 3 {
+		return fmt.Errorf("service: %s job k = %d out of range [1, 3]", spec.Type, spec.K)
+	}
+	return nil
+}
+
+// RunCensusJob computes the cycle census for the spec, reporting
 // progress per classified problem. Partial work lands in the engine's
 // memo cache (checkpointed by the jobs manager), and a restored snapshot
 // census warm-starts the run, so resumed jobs skip decided problems. The
 // run shares the synchronous endpoint's cache and singleflight
 // (censusWith), so a concurrent GET /v1/census/{k} coalesces instead of
 // duplicating the sweep.
-func (e *Engine) runCensusJob(ctx context.Context, spec jobs.Spec, report jobs.Report) (any, error) {
+func (cyclesDecider) RunCensusJob(ctx context.Context, e *Engine, spec jobs.Spec, report jobs.Report) (any, error) {
 	report("enumerate", 0, 0)
 	c, err := e.censusWith(ctx, spec.K, spec.Dedup, func(done, total int) {
 		report("classify", int64(done), int64(total))
@@ -138,6 +180,9 @@ func (e *Engine) runCensusJob(ctx context.Context, spec jobs.Spec, report jobs.R
 	return res, nil
 }
 
+// ---------------------------------------------------------------------
+// path census
+
 // pathCensusJobResult is the JSON shape of a finished path-census job.
 type pathCensusJobResult struct {
 	K              int         `json:"k"`
@@ -147,10 +192,20 @@ type pathCensusJobResult struct {
 	ShortestBad    map[int]int `json:"shortest_bad,omitempty"`
 }
 
-// runPathCensusJob computes the path census, memoizing per-problem
-// decisions in the engine's cache so checkpoints make it resumable; like
-// runCensusJob it shares the synchronous endpoint's singleflight.
-func (e *Engine) runPathCensusJob(ctx context.Context, spec jobs.Spec, report jobs.Report) (any, error) {
+func (pathsDecider) CensusJobType() string { return JobPathCensus }
+
+func (pathsDecider) ValidateCensusSpec(spec jobs.Spec) error {
+	if spec.K < 1 || spec.K > 3 {
+		return fmt.Errorf("service: %s job k = %d out of range [1, 3]", spec.Type, spec.K)
+	}
+	return nil
+}
+
+// RunCensusJob computes the path census, memoizing per-problem
+// decisions in the engine's cache so checkpoints make it resumable;
+// like the cycle census it shares the synchronous endpoint's
+// singleflight.
+func (pathsDecider) RunCensusJob(ctx context.Context, e *Engine, spec jobs.Spec, report jobs.Report) (any, error) {
 	c, err := e.pathCensusWith(ctx, spec.K, func(done, total int) {
 		report("decide", int64(done), int64(total))
 	})
@@ -166,6 +221,9 @@ func (e *Engine) runPathCensusJob(ctx context.Context, spec jobs.Spec, report jo
 	}, nil
 }
 
+// ---------------------------------------------------------------------
+// rooted census
+
 // rootedCensusJobResult is the JSON shape of a finished rooted-census
 // job.
 type rootedCensusJobResult struct {
@@ -177,16 +235,35 @@ type rootedCensusJobResult struct {
 	ByRadius      map[int]int    `json:"by_radius,omitempty"`
 }
 
-// runRootedCensusJob enumerates and classifies the rooted-tree LCL
-// space. The decisions are pure recomputation (no memo integration yet),
-// but the spaces are small enough that a resumed job simply restarts.
-func (e *Engine) runRootedCensusJob(ctx context.Context, spec jobs.Spec, report jobs.Report) (any, error) {
+func (rootedDecider) CensusJobType() string { return JobRootedCensus }
+
+func (rootedDecider) ValidateCensusSpec(spec jobs.Spec) error {
+	if spec.Delta < 1 || spec.Delta > 3 {
+		return fmt.Errorf("service: rooted-census job delta = %d out of range [1, 3]", spec.Delta)
+	}
+	if spec.K < 1 || spec.K > 2 {
+		return fmt.Errorf("service: rooted-census job k = %d out of range [1, 2]", spec.K)
+	}
+	return nil
+}
+
+// RunCensusJob enumerates and classifies the rooted-tree LCL space,
+// memoizing every per-problem verdict in the engine's cache under the
+// rooted decider's domain. Checkpoints persist the verdicts through the
+// snapshot store (rooted records), so an interrupted census resumes
+// warm, and API traffic on the same problems hits too.
+func (rootedDecider) RunCensusJob(ctx context.Context, e *Engine, spec jobs.Spec, report jobs.Report) (any, error) {
+	maxRadius := spec.MaxRadius
+	if maxRadius <= 0 {
+		maxRadius = DefaultRootedRadius
+	}
 	c, err := rooted.RunCensus(spec.Delta, spec.K, rooted.CensusOpts{
-		MaxRadius: spec.MaxRadius,
+		MaxRadius: maxRadius,
 		Ctx:       ctx,
 		Progress: func(done, total int) {
 			report("classify", int64(done), int64(total))
 		},
+		Classify: RootedMemoClassifier(e.cache, maxRadius),
 	})
 	if err != nil {
 		return nil, err
@@ -204,6 +281,9 @@ func (e *Engine) runRootedCensusJob(ctx context.Context, spec jobs.Spec, report 
 	}
 	return res, nil
 }
+
+// ---------------------------------------------------------------------
+// landscape
 
 // landscapeJobResult is the JSON shape of a finished landscape job: the
 // measured panels, directly marshalled (Panel and Series are plain

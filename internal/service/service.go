@@ -1,75 +1,46 @@
 // Package service is the batch classification engine behind the
-// lclserver API: it fans classification requests out across a
-// configurable worker pool, deduplicates identical in-flight requests
-// (singleflight), and memoizes results in a sharded cache keyed by
-// canonical fingerprint (internal/canon, internal/memo).
+// lclserver API: it dispatches requests through the decider registry
+// (internal/decide), fans them out across a configurable worker pool,
+// deduplicates identical in-flight requests (singleflight), and memoizes
+// results in a sharded cache (internal/memo) keyed by each decider's
+// fingerprint and memo domain.
 //
-// The engine is sound because every classifier it dispatches to decides
-// a property invariant under label isomorphism: the cycle classes of
-// Chang–Studený–Suomela-style decidability (classify.Cycles, Section
-// 1.4), the Theorem 1.1 tree gap pipeline (core.ClassifyOnTrees), path
-// solvability with adversarial inputs (classify.PathsWithInputs), and
-// order-invariant constant-round synthesis (enumerate.Decide) all depend
-// only on the constraint structure of Π = (Σin, Σout, N, E, g), never on
-// the alphabet spelling. Classification is therefore a pure function of
-// the canonical form, and a cache hit returns exactly what recomputation
-// would.
+// The engine never inspects a request's mode itself: the registered
+// Decider supplies validation, the memo key domain (which also tags
+// snapshot records, through the key), the computation, and the
+// projection of its payload onto the shared complexity-class lattice.
+// Caching is sound because each decider's Fingerprint only identifies
+// requests its Compute answers identically — canonical forms under
+// label isomorphism for the lcl-based deciders (whose classifiers
+// depend only on the constraint structure of Π, never the alphabet
+// spelling), exact structural hashes where isomorphism would be too
+// coarse (rooted, grid).
 package service
 
 import (
 	"context"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"repro/internal/canon"
 	"repro/internal/classify"
 	"repro/internal/core"
+	"repro/internal/decide"
 	"repro/internal/enumerate"
+	"repro/internal/grid"
 	"repro/internal/jobs"
-	"repro/internal/lcl"
 	"repro/internal/memo"
+	"repro/internal/rooted"
 	"repro/internal/store"
 )
 
-// Mode selects which decision procedure a request runs.
-type Mode string
+// Request is one classification request; Mode selects the registered
+// decider (see deciders.go for the names and parameters).
+type Request = decide.Request
 
-// The four classification backends.
-const (
-	// ModeCycles decides O(1) / Θ(log* n) / Θ(n) / unsolvable on cycles
-	// (input-free problems only).
-	ModeCycles Mode = "cycles"
-	// ModeTrees runs the Theorem 1.1 round-elimination gap pipeline on
-	// trees and forests.
-	ModeTrees Mode = "trees"
-	// ModePathsInputs decides solvability on all input-labeled paths.
-	ModePathsInputs Mode = "paths-inputs"
-	// ModeSynthesize searches for an order-invariant constant-round
-	// cycle algorithm (radii 0..MaxRadius).
-	ModeSynthesize Mode = "synthesize"
-)
-
-// Defaults for per-mode search depths when a request leaves them zero.
-const (
-	DefaultMaxLevels = 6 // round-elimination levels for ModeTrees
-	DefaultMaxRadius = 2 // synthesis radius cap for ModeSynthesize
-)
-
-// Request is one classification request.
-type Request struct {
-	Problem *lcl.Problem
-	Mode    Mode
-	// MaxLevels bounds the ModeTrees round-elimination depth
-	// (DefaultMaxLevels when zero).
-	MaxLevels int
-	// MaxRadius bounds the ModeSynthesize radius search
-	// (DefaultMaxRadius when zero).
-	MaxRadius int
-}
-
-// SynthOutcome is the ModeSynthesize result.
+// SynthOutcome is the synthesize decider's payload.
 type SynthOutcome struct {
 	// Algorithm is the synthesized order-invariant algorithm (nil when
 	// Found is false).
@@ -81,25 +52,72 @@ type SynthOutcome struct {
 	Found bool
 }
 
-// Response is a classification result plus serving metadata. Exactly one
-// of Cycles / Trees / Paths / Synth is set, matching Mode.
+// Response is a classification result plus serving metadata.
 type Response struct {
-	Mode        Mode
+	// Mode is the decider that served the request.
+	Mode        string
 	Fingerprint uint64
 	// CacheHit reports the result came from the memo cache.
 	CacheHit bool
 	// Coalesced reports the request waited on an identical in-flight
 	// computation instead of running its own.
 	Coalesced bool
+	// Class is the decider's verdict on the shared complexity-class
+	// lattice.
+	Class decide.Class
+	// Detail is the decider-specific wire view (Decider.WrapPayload).
+	Detail any
+	// Payload is the raw decider payload — the memoized value. The
+	// typed accessors below unwrap it.
+	Payload any
+}
 
-	Cycles *classify.Result
-	Trees  *core.TreeVerdict
-	Paths  *classify.InputsResult
-	Synth  *SynthOutcome
+// Cycles returns the cycle classification payload, or nil for other
+// modes.
+func (r *Response) Cycles() *classify.Result {
+	v, _ := r.Payload.(*classify.Result)
+	return v
+}
+
+// Trees returns the tree gap-pipeline payload, or nil for other modes.
+func (r *Response) Trees() *core.TreeVerdict {
+	v, _ := r.Payload.(*core.TreeVerdict)
+	return v
+}
+
+// Paths returns the paths-with-inputs payload, or nil for other modes.
+func (r *Response) Paths() *classify.InputsResult {
+	v, _ := r.Payload.(*classify.InputsResult)
+	return v
+}
+
+// Synth returns the synthesis payload, or nil for other modes.
+func (r *Response) Synth() *SynthOutcome {
+	v, _ := r.Payload.(*SynthOutcome)
+	return v
+}
+
+// Rooted returns the rooted-tree payload, or nil for other modes.
+func (r *Response) Rooted() *rooted.Verdict {
+	v, _ := r.Payload.(*rooted.Verdict)
+	return v
+}
+
+// Grid returns the oriented-grid payload, or nil for other modes.
+func (r *Response) Grid() *grid.Verdict {
+	v, _ := r.Payload.(*grid.Verdict)
+	return v
 }
 
 // Config configures an Engine.
 type Config struct {
+	// Registry supplies the decision procedures (nil selects
+	// DefaultRegistry: cycles, trees, paths-inputs, synthesize, rooted,
+	// grid). Register every decider before New: per-decider stats
+	// buckets and the census job table are built at construction, so a
+	// decider registered later still serves requests but gets no stats
+	// bucket and contributes no job type.
+	Registry *decide.Registry
 	// Workers is the size of the batch worker pool (<= 0 selects 4).
 	Workers int
 	// CacheShards and CacheCapacity size the memo cache (memo defaults
@@ -139,8 +157,9 @@ const DefaultWorkers = 4
 
 // Engine is the classification service. It is safe for concurrent use.
 type Engine struct {
-	cache   *memo.Cache
-	workers int
+	registry *decide.Registry
+	cache    *memo.Cache
+	workers  int
 
 	jobs chan func()
 	wg   sync.WaitGroup
@@ -180,7 +199,12 @@ type Engine struct {
 	requests  atomic.Uint64
 	errors    atomic.Uint64
 	coalesced atomic.Uint64
-	byMode    [4]atomic.Uint64
+	// byDecider counts requests per registered decider (keys fixed at
+	// construction from the registry); unknownMode counts requests
+	// rejected for naming no registered decider — they pollute no
+	// decider's bucket.
+	byDecider   map[string]*atomic.Uint64
+	unknownMode atomic.Uint64
 }
 
 // censusKey identifies one census result.
@@ -209,7 +233,17 @@ func New(cfg Config) *Engine {
 	if cache == nil {
 		cache = memo.New(cfg.CacheShards, cfg.CacheCapacity)
 	}
+	registry := cfg.Registry
+	if registry == nil {
+		registry = DefaultRegistry()
+	}
+	byDecider := map[string]*atomic.Uint64{}
+	for _, name := range registry.Names() {
+		byDecider[name] = &atomic.Uint64{}
+	}
 	e := &Engine{
+		registry:     registry,
+		byDecider:    byDecider,
 		cache:        cache,
 		workers:      workers,
 		jobs:         make(chan func()),
@@ -323,88 +357,57 @@ func (e *Engine) Close() {
 	e.wg.Wait()
 }
 
-// modeIndex maps a Mode to its stats slot.
-func modeIndex(m Mode) int {
-	switch m {
-	case ModeCycles:
-		return 0
-	case ModeTrees:
-		return 1
-	case ModePathsInputs:
-		return 2
-	default:
-		return 3
-	}
-}
+// Deciders returns the registered decider names in registration order.
+func (e *Engine) Deciders() []string { return e.registry.Names() }
 
-// domain returns the memo key domain for a request: the mode plus every
-// parameter that can change the answer, so differently parameterized
-// requests never alias.
-func domain(req *Request) string {
-	switch req.Mode {
-	case ModeCycles:
-		return enumerate.CycleDomain
-	case ModeTrees:
-		return fmt.Sprintf("classify/trees/%d", req.MaxLevels)
-	case ModePathsInputs:
-		// Shared with the path census (enumerate.RunPathsWith), so API
-		// traffic and census runs warm each other.
-		return enumerate.PathDomain
-	default:
-		return fmt.Sprintf("classify/synth/%d", req.MaxRadius)
-	}
-}
-
-// normalize validates the request and fills parameter defaults.
-func normalize(req *Request) error {
-	if req.Problem == nil {
-		return fmt.Errorf("service: nil problem")
-	}
-	switch req.Mode {
-	case ModeCycles, ModeTrees, ModePathsInputs, ModeSynthesize:
-	default:
-		return fmt.Errorf("service: unknown mode %q", req.Mode)
-	}
-	if req.MaxLevels <= 0 {
-		req.MaxLevels = DefaultMaxLevels
-	}
-	if req.MaxRadius <= 0 {
-		req.MaxRadius = DefaultMaxRadius
-	}
-	return nil
-}
-
-// Classify serves one request: canonicalize, consult the cache, coalesce
-// with an identical in-flight request if one exists, otherwise compute
-// and populate the cache.
+// Classify serves one request: resolve the decider, normalize,
+// fingerprint, consult the cache, coalesce with an identical in-flight
+// request if one exists, otherwise compute and populate the cache.
 func (e *Engine) Classify(req Request) (*Response, error) {
-	if err := normalize(&req); err != nil {
+	d, ok := e.registry.Get(req.Mode)
+	if !ok {
+		// Unknown modes get their own reject counter — they must not
+		// pollute any decider's stats bucket.
+		e.unknownMode.Add(1)
+		e.errors.Add(1)
+		return nil, fmt.Errorf("service: unknown mode %q (registered: %s)",
+			req.Mode, strings.Join(e.registry.Names(), ", "))
+	}
+	if err := d.Normalize(&req); err != nil {
+		// Parameter-invalid requests count only as errors, never as
+		// served requests — the pre-registry behavior, kept so
+		// Requests/Errors remain comparable across versions.
 		e.errors.Add(1)
 		return nil, err
 	}
 	e.requests.Add(1)
-	e.byMode[modeIndex(req.Mode)].Add(1)
+	// The counter map is snapshotted at construction; a decider
+	// registered after New still serves (registry lookups are live) but
+	// has no per-decider bucket, so guard the lookup instead of
+	// dereferencing nil inside a worker goroutine.
+	if counter, ok := e.byDecider[d.Name()]; ok {
+		counter.Add(1)
+	}
 
-	form, err := canon.Canonicalize(req.Problem)
+	fp, exact, err := d.Fingerprint(&req)
 	if err != nil {
 		e.errors.Add(1)
 		return nil, err
 	}
-	fp := form.Fingerprint()
-	// An inexact canonical form (permutation search over budget) is only
-	// guaranteed invariant in one direction: isomorphic problems agree,
-	// but refinement-indistinguishable non-isomorphic problems may
-	// collide. Caching such a fingerprint could serve one problem the
-	// other's answer, so compute directly instead.
-	if !form.Exact {
-		payload, err := compute(&req)
+	// An inexact fingerprint (canonical permutation search over budget)
+	// is only guaranteed invariant in one direction: isomorphic problems
+	// agree, but refinement-indistinguishable non-isomorphic problems
+	// may collide. Caching under it could serve one problem the other's
+	// answer, so compute directly instead.
+	if !exact {
+		payload, err := d.Compute(context.Background(), &req)
 		if err != nil {
 			e.errors.Add(1)
 			return nil, err
 		}
-		return wrap(&req, fp, payload, false, false), nil
+		return e.wrap(d, &req, fp, payload, false, false)
 	}
-	key := memo.Key(domain(&req), fp)
+	key := memo.Key(d.MemoDomain(&req), fp)
 
 	// Singleflight: attach to an identical in-flight computation. The
 	// cache is checked under the lock: the computing goroutine fills the
@@ -412,11 +415,11 @@ func (e *Engine) Classify(req Request) (*Response, error) {
 	// either sees the call or hits the cache — an identical request is
 	// never computed twice (and each request counts at most one miss).
 	// The critical section is a map lookup + LRU bump, dwarfed by the
-	// canonicalization already done above.
+	// fingerprinting already done above.
 	e.mu.Lock()
 	if v, ok := e.cache.Get(key); ok {
 		e.mu.Unlock()
-		return wrap(&req, fp, v, true, false), nil
+		return e.wrap(d, &req, fp, v, true, false)
 	}
 	if c, ok := e.inflight[key]; ok {
 		e.mu.Unlock()
@@ -426,13 +429,13 @@ func (e *Engine) Classify(req Request) (*Response, error) {
 			return nil, c.err
 		}
 		e.coalesced.Add(1)
-		return wrap(&req, fp, c.payload, false, true), nil
+		return e.wrap(d, &req, fp, c.payload, false, true)
 	}
 	c := &call{done: make(chan struct{})}
 	e.inflight[key] = c
 	e.mu.Unlock()
 
-	c.payload, c.err = compute(&req)
+	c.payload, c.err = d.Compute(context.Background(), &req)
 	if c.err == nil {
 		e.cache.Put(key, c.payload)
 	} else {
@@ -446,55 +449,28 @@ func (e *Engine) Classify(req Request) (*Response, error) {
 	if c.err != nil {
 		return nil, c.err
 	}
-	return wrap(&req, fp, c.payload, false, false), nil
-}
-
-// compute dispatches to the mode's decision procedure and returns the
-// mode-specific payload — the value memoized under the request's key.
-func compute(req *Request) (any, error) {
-	switch req.Mode {
-	case ModeCycles:
-		res, err := classify.Cycles(req.Problem)
-		if err != nil {
-			return nil, err
-		}
-		return res, nil
-	case ModeTrees:
-		v, err := core.ClassifyOnTrees(req.Problem, req.MaxLevels)
-		if err != nil {
-			return nil, err
-		}
-		return v, nil
-	case ModePathsInputs:
-		res, err := classify.PathsWithInputs(req.Problem)
-		if err != nil {
-			return nil, err
-		}
-		return res, nil
-	default: // ModeSynthesize
-		alg, radius, found, err := enumerate.Decide(req.Problem, req.MaxRadius)
-		if err != nil {
-			return nil, err
-		}
-		return &SynthOutcome{Algorithm: alg, Radius: radius, Found: found}, nil
-	}
+	return e.wrap(d, &req, fp, c.payload, false, false)
 }
 
 // wrap builds a per-request Response around a (possibly shared, always
-// immutable) payload.
-func wrap(req *Request, fp uint64, payload any, hit, coalesced bool) *Response {
-	resp := &Response{Mode: req.Mode, Fingerprint: fp, CacheHit: hit, Coalesced: coalesced}
-	switch v := payload.(type) {
-	case *classify.Result:
-		resp.Cycles = v
-	case *core.TreeVerdict:
-		resp.Trees = v
-	case *classify.InputsResult:
-		resp.Paths = v
-	case *SynthOutcome:
-		resp.Synth = v
+// immutable) payload. A payload the decider does not recognize — a
+// cache entry written by other code under a colliding key, say — is an
+// explicit error, never a silently empty response.
+func (e *Engine) wrap(d decide.Decider, req *Request, fp uint64, payload any, hit, coalesced bool) (*Response, error) {
+	v, err := d.WrapPayload(payload)
+	if err != nil {
+		e.errors.Add(1)
+		return nil, fmt.Errorf("service: %s: %w", d.Name(), err)
 	}
-	return resp
+	return &Response{
+		Mode:        req.Mode,
+		Fingerprint: fp,
+		CacheHit:    hit,
+		Coalesced:   coalesced,
+		Class:       v.Class,
+		Detail:      v.Detail,
+		Payload:     payload,
+	}, nil
 }
 
 // BatchItem pairs one batch response with its error; exactly one of the
@@ -528,7 +504,7 @@ func (e *Engine) ClassifyBatch(reqs []Request) []BatchItem {
 // immutable), restored censuses from a snapshot are served directly, and
 // concurrent requests for the same census coalesce onto one computation.
 // A computed census runs over the engine's memo cache and worker count —
-// census runs and ModeCycles traffic share memo keys, so each warms the
+// census runs and cycles-mode traffic share memo keys, so each warms the
 // other — and warm-starts from snapshot-restored fingerprints when the
 // exact (k, dedup) census was not itself persisted.
 func (e *Engine) Census(k int, dedup bool) (*enumerate.Census, error) {
@@ -690,12 +666,18 @@ func (e *Engine) SaveSnapshot() (*SnapshotSaveResult, error) {
 
 // Stats is a point-in-time engine snapshot.
 type Stats struct {
-	Requests  uint64          `json:"requests"`
-	Errors    uint64          `json:"errors"`
-	Coalesced uint64          `json:"coalesced"`
-	ByMode    map[Mode]uint64 `json:"by_mode"`
-	Workers   int             `json:"workers"`
-	Cache     memo.Stats      `json:"cache"`
+	Requests  uint64 `json:"requests"`
+	Errors    uint64 `json:"errors"`
+	Coalesced uint64 `json:"coalesced"`
+	// ByDecider counts served requests per registered decider name;
+	// every registered decider appears, even at zero.
+	ByDecider map[string]uint64 `json:"by_decider"`
+	// UnknownModeRejects counts requests naming no registered decider.
+	UnknownModeRejects uint64 `json:"unknown_mode_rejects"`
+	// Deciders lists the registered decider names in registration order.
+	Deciders []string   `json:"deciders"`
+	Workers  int        `json:"workers"`
+	Cache    memo.Stats `json:"cache"`
 	// CachedCensuses counts census results held for instant serving.
 	CachedCensuses int `json:"cached_censuses"`
 	// Jobs counts background jobs by state.
@@ -722,17 +704,17 @@ type SnapshotInfo struct {
 // Stats snapshots the serving counters.
 func (e *Engine) Stats() Stats {
 	st := Stats{
-		Requests:  e.requests.Load(),
-		Errors:    e.errors.Load(),
-		Coalesced: e.coalesced.Load(),
-		ByMode: map[Mode]uint64{
-			ModeCycles:      e.byMode[0].Load(),
-			ModeTrees:       e.byMode[1].Load(),
-			ModePathsInputs: e.byMode[2].Load(),
-			ModeSynthesize:  e.byMode[3].Load(),
-		},
-		Workers: e.workers,
-		Cache:   e.cache.Stats(),
+		Requests:           e.requests.Load(),
+		Errors:             e.errors.Load(),
+		Coalesced:          e.coalesced.Load(),
+		ByDecider:          make(map[string]uint64, len(e.byDecider)),
+		UnknownModeRejects: e.unknownMode.Load(),
+		Deciders:           e.registry.Names(),
+		Workers:            e.workers,
+		Cache:              e.cache.Stats(),
+	}
+	for name, n := range e.byDecider {
+		st.ByDecider[name] = n.Load()
 	}
 	if js := e.jobMgr.List(); len(js) > 0 {
 		st.Jobs = map[jobs.State]int{}

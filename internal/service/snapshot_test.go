@@ -29,11 +29,11 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	if _, err := a.PathCensus(1); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := a.Classify(Request{Problem: problems.Coloring(3, 2), Mode: ModePathsInputs}); err != nil {
+	if _, err := a.Classify(Request{Problem: problems.Coloring(3, 2), Mode: "paths-inputs"}); err != nil {
 		t.Fatal(err)
 	}
 	// A synthesize result exercises the skip path (not persistable).
-	if _, err := a.Classify(Request{Problem: problems.Trivial(2), Mode: ModeSynthesize}); err != nil {
+	if _, err := a.Classify(Request{Problem: problems.Trivial(2), Mode: "synthesize"}); err != nil {
 		t.Fatal(err)
 	}
 	statsA := a.Stats()
@@ -85,18 +85,18 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	ising := lcl.NewBuilder("warm-ising", nil, []string{"↑", "↓"}).
 		Node("↑", "↑").Node("↑", "↓").Node("↓", "↓").
 		Edge("↑", "↑").Edge("↓", "↓").MustBuild()
-	resp, err := b.Classify(Request{Problem: ising, Mode: ModeCycles})
+	resp, err := b.Classify(Request{Problem: ising, Mode: "cycles"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !resp.CacheHit {
 		t.Fatal("census-covered problem missed the imported cache")
 	}
-	resp, err = b.Classify(Request{Problem: problems.Coloring(3, 2), Mode: ModePathsInputs})
+	resp, err = b.Classify(Request{Problem: problems.Coloring(3, 2), Mode: "paths-inputs"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !resp.CacheHit || resp.Paths == nil || !resp.Paths.SolvableAllInputs {
+	if !resp.CacheHit || resp.Paths() == nil || !resp.Paths().SolvableAllInputs {
 		t.Fatalf("paths classification not warm: %+v", resp)
 	}
 	if st := b.Stats(); st.Cache.Hits <= statsA.Cache.Hits {

@@ -41,7 +41,9 @@ import (
 	"repro/internal/classify"
 	"repro/internal/core"
 	"repro/internal/enumerate"
+	"repro/internal/grid"
 	"repro/internal/memo"
+	"repro/internal/rooted"
 )
 
 // Version is the current snapshot format version. Load rejects files
@@ -124,16 +126,23 @@ const (
 	KindCycles = "cycles"
 	KindTrees  = "trees"
 	KindPaths  = "paths"
+	KindRooted = "rooted"
+	KindGrid   = "grid"
 )
 
 // MemoEntry is one persisted cache entry: the mixed memo key and a
-// kind-tagged payload (exactly one payload field is set).
+// kind-tagged payload (exactly one payload field is set). The rooted
+// and grid verdicts are plain string-classed values and serve as their
+// own wire form; their lattice classes are validated on decode by
+// decide.Class's text unmarshaler.
 type MemoEntry struct {
 	Key    uint64            `json:"key"`
 	Kind   string            `json:"kind"`
 	Cycles *CycleResult      `json:"cycles,omitempty"`
 	Trees  *TreeVerdict      `json:"trees,omitempty"`
 	Paths  *PathInputsResult `json:"paths,omitempty"`
+	Rooted *rooted.Verdict   `json:"rooted,omitempty"`
+	Grid   *grid.Verdict     `json:"grid,omitempty"`
 }
 
 // CycleResult is the wire form of classify.Result.
@@ -286,6 +295,10 @@ func EncodeMemo(entries []memo.Entry) (records []MemoEntry, skipped int) {
 				Kind:  KindPaths,
 				Paths: &PathInputsResult{SolvableAllInputs: v.SolvableAllInputs, BadInput: v.BadInput},
 			})
+		case *rooted.Verdict:
+			records = append(records, MemoEntry{Key: e.Key, Kind: KindRooted, Rooted: v})
+		case *grid.Verdict:
+			records = append(records, MemoEntry{Key: e.Key, Kind: KindGrid, Grid: v})
 		default:
 			skipped++
 		}
@@ -309,6 +322,10 @@ func DecodeMemo(records []MemoEntry) ([]memo.Entry, error) {
 			value = &core.TreeVerdict{Constant: r.Trees.Constant, LowerBound: r.Trees.LowerBound, Level: r.Trees.Level}
 		case r.Kind == KindPaths && r.Paths != nil:
 			value = &classify.InputsResult{SolvableAllInputs: r.Paths.SolvableAllInputs, BadInput: r.Paths.BadInput}
+		case r.Kind == KindRooted && r.Rooted != nil:
+			value = r.Rooted
+		case r.Kind == KindGrid && r.Grid != nil:
+			value = r.Grid
 		default:
 			return nil, fmt.Errorf("store: memo record %d: kind %q without matching payload", i, r.Kind)
 		}

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"encoding/json"
 	"errors"
 	"os"
 	"path/filepath"
@@ -9,8 +10,11 @@ import (
 
 	"repro/internal/classify"
 	"repro/internal/core"
+	"repro/internal/decide"
 	"repro/internal/enumerate"
+	"repro/internal/grid"
 	"repro/internal/memo"
+	"repro/internal/rooted"
 )
 
 // testSnapshot builds a snapshot with real content: the k=2 census, a
@@ -317,5 +321,78 @@ func TestDecodeMemoRejectsMalformed(t *testing.T) {
 		if _, err := DecodeMemo(records); err == nil {
 			t.Fatalf("malformed memo records %d accepted", i)
 		}
+	}
+}
+
+// TestRootedAndGridVerdictsRoundTrip: the two new memo kinds persist
+// through a full save/load cycle with their lattice classes intact.
+func TestRootedAndGridVerdictsRoundTrip(t *testing.T) {
+	entries := []memo.Entry{
+		{Key: 11, Value: &rooted.Verdict{
+			Class: decide.Constant, SolvableEverywhere: true,
+			ConstantAnon: true, Radius: 1, MaxRadius: 2,
+		}},
+		{Key: 12, Value: &grid.Verdict{
+			Class: decide.NRoot(2), Dims: 2, Exact: true,
+			Axes: []grid.AxisResult{
+				{Axis: 0, LineResult: grid.LineResult{Class: "Θ(n)", Period: 2}},
+				{Axis: 1, LineResult: grid.LineResult{Class: "O(1)", Period: 1}},
+			},
+			Reason: "axis-factored",
+		}},
+	}
+	records, skipped := EncodeMemo(entries)
+	if skipped != 0 || len(records) != 2 {
+		t.Fatalf("encoded %d records with %d skipped", len(records), skipped)
+	}
+	if records[0].Kind != KindRooted || records[1].Kind != KindGrid {
+		t.Fatalf("kinds: %q, %q", records[0].Kind, records[1].Kind)
+	}
+	snap := &Snapshot{CreatedUnix: 1700000000, Memo: records}
+	path := filepath.Join(t.TempDir(), "verdicts.lclsnap")
+	if _, err := Save(path, snap); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeMemo(loaded.Memo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rv := decoded[0].Value.(*rooted.Verdict)
+	if rv.Class != decide.Constant || !rv.ConstantAnon || rv.Radius != 1 {
+		t.Fatalf("rooted verdict: %+v", rv)
+	}
+	gv := decoded[1].Value.(*grid.Verdict)
+	if gv.Class != decide.NRoot(2) || len(gv.Axes) != 2 || gv.Axes[0].Class != "Θ(n)" {
+		t.Fatalf("grid verdict: %+v", gv)
+	}
+}
+
+// TestVerdictRecordsRejectBadLatticeClass: the lattice class strings in
+// rooted/grid records are validated by decide.Class's text unmarshaler
+// at snapshot JSON decode time, so a record with a garbage class fails
+// to parse instead of importing as the zero class.
+func TestVerdictRecordsRejectBadLatticeClass(t *testing.T) {
+	var entry MemoEntry
+	good := []byte(`{"key":1,"kind":"rooted","rooted":{"class":"O(1)","solvable_everywhere":true,"constant_anon":true,"radius":1,"max_radius":2}}`)
+	if err := json.Unmarshal(good, &entry); err != nil {
+		t.Fatalf("well-formed record rejected: %v", err)
+	}
+	for _, bad := range []string{
+		`{"key":1,"kind":"rooted","rooted":{"class":"O(n^2)"}}`,
+		`{"key":1,"kind":"grid","grid":{"class":"theta(n)","dims":2}}`,
+	} {
+		if err := json.Unmarshal([]byte(bad), &entry); err == nil {
+			t.Fatalf("garbage lattice class accepted: %s", bad)
+		}
+	}
+	// And a kind-without-payload record still fails DecodeMemo.
+	records, _ := EncodeMemo([]memo.Entry{{Key: 1, Value: &rooted.Verdict{Class: decide.Constant}}})
+	records[0].Rooted = nil
+	if _, err := DecodeMemo(records); err == nil {
+		t.Fatal("rooted kind without payload accepted")
 	}
 }

@@ -17,14 +17,17 @@ import (
 	"repro/internal/canon"
 	"repro/internal/classify"
 	"repro/internal/core"
+	"repro/internal/decide"
 	"repro/internal/enumerate"
 	"repro/internal/graph"
+	"repro/internal/grid"
 	"repro/internal/jobs"
 	"repro/internal/lcl"
 	"repro/internal/lll"
 	"repro/internal/memo"
 	"repro/internal/problems"
 	"repro/internal/re"
+	"repro/internal/rooted"
 	"repro/internal/service"
 )
 
@@ -144,25 +147,60 @@ type MemoCache = memo.Cache
 func NewMemoCache(shards, capacity int) *MemoCache { return memo.New(shards, capacity) }
 
 // ClassificationEngine is the batch classification service: a worker
-// pool over all four decision procedures with canonical-fingerprint
-// memoization and in-flight request deduplication (see internal/service
-// and cmd/lclserver for the HTTP transport).
+// pool dispatching through the decider registry (internal/decide) with
+// per-decider memoization and in-flight request deduplication (see
+// internal/service and cmd/lclserver for the HTTP transport).
 type ClassificationEngine = service.Engine
 
-// Classification request/response types and modes, re-exported.
+// Classification request/response types, re-exported. A request's Mode
+// names a registered decider — "cycles", "trees", "paths-inputs",
+// "synthesize", "rooted", or "grid" with the default registry; a running
+// engine lists its registry via Deciders().
 type (
 	ClassifyRequest  = service.Request
 	ClassifyResponse = service.Response
 	ServiceConfig    = service.Config
 )
 
-// Classification service modes.
-const (
-	ModeCycles      = service.ModeCycles
-	ModeTrees       = service.ModeTrees
-	ModePathsInputs = service.ModePathsInputs
-	ModeSynthesize  = service.ModeSynthesize
+// ComplexityClass is the shared complexity-class lattice every decider's
+// verdict maps onto: unsolvable < O(1) < Θ(log* n) < Θ(log n) <
+// Θ(n^{1/k}) < Θ(n) < unknown, with Join/Meet and String/ParseClass
+// round-trips (see internal/decide).
+type ComplexityClass = decide.Class
+
+// RootedProblemSpec is the transport-neutral rooted-tree problem spec
+// the "rooted" decider consumes (ClassifyRequest.Rooted).
+type (
+	RootedProblemSpec = decide.RootedProblem
+	RootedConfigSpec  = decide.RootedConfig
 )
+
+// ParseComplexityClass inverts ComplexityClass.String.
+func ParseComplexityClass(s string) (ComplexityClass, error) { return decide.ParseClass(s) }
+
+// DefaultDeciderRegistry builds the registry with every built-in
+// decision procedure; pass a custom registry via ServiceConfig.Registry
+// to add or restrict deciders.
+func DefaultDeciderRegistry() *decide.Registry { return service.DefaultRegistry() }
+
+// ClassifyOnRootedTrees decides an LCL on δ-regular rooted trees: exact
+// solvability across every complete-tree depth plus anonymous
+// constant-radius synthesis up to maxRadius, on the shared lattice.
+func ClassifyOnRootedTrees(spec *RootedProblemSpec, maxRadius int) (*rooted.Verdict, error) {
+	p, err := rooted.FromSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	return rooted.ClassifyProblem(p, maxRadius)
+}
+
+// ClassifyOnGrids decides an LCL on consistently oriented
+// dims-dimensional tori: exact for dims = 1 and for axis-factored
+// direction-labeled problems, sound and partial otherwise (Theorem 1.4
+// landscape; see internal/grid).
+func ClassifyOnGrids(p *Problem, dims int) (*grid.Verdict, error) {
+	return grid.Classify(p, dims)
+}
 
 // NewClassificationEngine starts a classification service; call Close
 // when done.
