@@ -109,8 +109,20 @@ func TestCheckRegression(t *testing.T) {
 		t.Fatalf("self-check failed: %v", failures)
 	}
 
-	// Warm-path latency regression: inflate every warm latency 10x.
-	slow := cloneReport(base)
+	// Warm-path latency regression: inflate every warm latency 10x. Cold
+	// latencies are pinned above the floor in both reports first — the
+	// real grid's cold runs are machine-dependent and may dip below
+	// LatencyFloorMS on fast hardware, which would exempt them from the
+	// ratio gate and leave nothing for the inflation to trip.
+	pinned := cloneReport(base)
+	for i := range pinned.Experiments {
+		e := &pinned.Experiments[i]
+		if e.Cache == CacheCold {
+			e.LatencyMS.Min = math.Max(e.LatencyMS.Min, LatencyFloorMS*10)
+			e.LatencyMS.Mean = math.Max(e.LatencyMS.Mean, e.LatencyMS.Min)
+		}
+	}
+	slow := cloneReport(pinned)
 	for i := range slow.Experiments {
 		e := &slow.Experiments[i]
 		if e.Cache == CacheWarm || e.Cache == CacheSnapshot {
@@ -121,7 +133,7 @@ func TestCheckRegression(t *testing.T) {
 			}
 		}
 	}
-	failures := checkRegression(base, slow, 0.25)
+	failures := checkRegression(pinned, slow, 0.25)
 	if len(failures) == 0 {
 		t.Fatal("10x warm-path regression passed the gate")
 	}

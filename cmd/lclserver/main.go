@@ -52,6 +52,9 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	// Registers the profiling endpoints on http.DefaultServeMux; they
+	// are only reachable when -pprof binds that mux to its own listener.
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -74,7 +77,20 @@ func main() {
 	jobsLedger := flag.String("jobs-ledger", "", "job ledger file: persists the job table and re-enqueues unfinished jobs at boot (empty = off)")
 	jobWorkers := flag.Int("job-workers", 1, "concurrently running background jobs")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "in-flight request drain budget on shutdown")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address, e.g. localhost:6060 (empty = off; bind a loopback address — the endpoints are unauthenticated)")
 	flag.Parse()
+
+	// Profiling listener: separate from the API listener so profiling
+	// never rides an exposed port, and guarded by the flag so production
+	// deployments opt in explicitly.
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("lclserver: pprof listening on %s (/debug/pprof/)", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("lclserver: pprof: %v", err)
+			}
+		}()
+	}
 
 	if *snapshotInterval > 0 && *snapshotPath == "" {
 		log.Fatalf("lclserver: -snapshot-interval requires -snapshot")

@@ -15,60 +15,108 @@
 //
 // The canonical form generalizes enumerate.CanonicalKey — which minimizes
 // a (node-mask, edge-mask) pair over all k! output relabelings and only
-// exists for input-free degree-2 problems with k <= 3 — to arbitrary
-// problems: arbitrary degrees, input alphabets, and g maps. The algorithm
-// is the standard two-phase canonical labeling:
+// exists for input-free degree-2 problems — to arbitrary problems:
+// arbitrary degrees, input alphabets, and g maps. The algorithm is the
+// standard two-phase canonical labeling:
 //
 //  1. Color refinement: input and output labels are partitioned by
 //     iterated isomorphism-invariant signatures (occurrence counts in
 //     node/edge configurations, g-degrees, then multisets of neighboring
 //     classes) until a fixpoint, exactly like 1-WL refinement on the
 //     bipartite label-constraint incidence structure.
-//  2. Exhaustive search within refinement blocks: the canonical encoding
-//     is the lexicographic minimum of the problem's byte encoding over
-//     all relabelings that respect the block order. Since refinement
-//     classes are isomorphism-invariant, no isomorphism maps across
-//     blocks, so the minimum over block-respecting permutations equals
-//     the minimum over all isomorphisms — the form is exact whenever the
-//     search completes within budget.
+//  2. Exhaustive search within refinement blocks: the canonical form is
+//     the lexicographic minimum of the problem's packed-word encoding
+//     over all relabelings that respect the block order. Since
+//     refinement classes are isomorphism-invariant, no isomorphism maps
+//     across blocks, so the minimum over block-respecting permutations
+//     equals the minimum over all isomorphisms — the form is exact
+//     whenever the search completes within budget.
 //
-// The fingerprint is a 64-bit FNV-1a hash of the canonical encoding.
-// Isomorphic problems always collide (by construction); non-isomorphic
-// problems collide only with hash probability 2^-64 when the search is
-// exact.
+// The hot path is allocation-conscious by design: candidate encodings
+// are packed []uint64 streams built into sync.Pool-backed scratch
+// buffers and compared word-wise (never rendered to strings), and the
+// refinement signatures are integer chunks sorted in place. The byte
+// Encoding is only a lazy, cached projection of the winning packed
+// words, materialized on first use for debugging and equality tests.
+//
+// The fingerprint is a 64-bit FNV-1a hash of the canonical packed
+// encoding. Isomorphic problems always collide (by construction);
+// non-isomorphic problems collide only with hash probability 2^-64 when
+// the search is exact.
 package canon
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/lcl"
 )
 
 // DefaultMaxPerms bounds the block-respecting permutation search. The
 // bound is generous: refinement already splits most alphabets into
-// singleton blocks, and the census spaces (k <= 3) need at most k! = 6
+// singleton blocks, and the census spaces (k <= 4) need at most k! = 24
 // candidates. When the bound is exceeded Canonicalize degrades to the
 // refinement-only encoding, which is still isomorphism-invariant (equal
 // for isomorphic problems) but may identify non-isomorphic problems that
 // refinement cannot separate; Form.Exact reports which case occurred.
 const DefaultMaxPerms = 1 << 16
 
+// Version tags leading the packed encodings. Exact and coarse forms
+// never compare equal: their first word differs.
+const (
+	tagExact  = 0xC4A00002
+	tagCoarse = 0xC4A00003
+)
+
 // Form is the canonical form of a problem.
 type Form struct {
-	// Encoding is the canonical byte encoding: equal for label-isomorphic
-	// problems, and (when Exact) distinct for non-isomorphic ones.
-	Encoding []byte
 	// OutPerm and InPerm map old label -> canonical label for the
-	// relabeling that achieves Encoding (identity-sized even when not
-	// Exact).
+	// relabeling that achieves the canonical encoding (identity-sized
+	// even when not Exact).
 	OutPerm []int
 	InPerm  []int
 	// Exact reports that the permutation search completed within budget,
-	// making Encoding a complete isomorphism invariant.
+	// making the canonical encoding a complete isomorphism invariant.
 	Exact bool
+
+	// words is the canonical packed encoding: equal for label-isomorphic
+	// problems, and (when Exact) distinct for non-isomorphic ones.
+	words []uint64
+	fp    uint64
+
+	encOnce sync.Once
+	enc     []byte
 }
+
+// Encoding returns the canonical byte encoding, a lazy cached rendering
+// of the packed canonical words: equal for label-isomorphic problems,
+// and (when Exact) distinct for non-isomorphic ones. Comparison-only
+// callers should prefer Fingerprint, which never materializes bytes.
+func (f *Form) Encoding() []byte {
+	f.encOnce.Do(func() {
+		var sb strings.Builder
+		sb.Grow(len(f.words)*9 + 3)
+		for i, w := range f.words {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			fmt.Fprintf(&sb, "%x", w)
+		}
+		f.enc = []byte(sb.String())
+	})
+	return f.enc
+}
+
+// Fingerprint returns the 64-bit FNV-1a hash of f's packed encoding.
+// Label-isomorphic problems always agree; when the form is not Exact,
+// refinement-indistinguishable non-isomorphic problems may also agree —
+// callers keying caches must check Exact before trusting the fingerprint
+// as an isomorphism test (internal/service bypasses its cache for
+// inexact forms).
+func (f *Form) Fingerprint() uint64 { return f.fp }
 
 // Canonicalize computes the canonical form of p with the default budget.
 func Canonicalize(p *lcl.Problem) (*Form, error) {
@@ -83,23 +131,30 @@ func CanonicalizeBudget(p *lcl.Problem, maxPerms int) (*Form, error) {
 		return nil, fmt.Errorf("canon: %w", err)
 	}
 	p = normalize(p)
-	outClass, inClass := refine(p)
+	s := getScratch()
+	defer putScratch(s)
+	s.degrees = sortedDegreesInto(p, s.degrees)
+
+	outClass, inClass := refine(p, s)
 	outBlocks := blocksOf(outClass)
 	inBlocks := blocksOf(inClass)
 
 	// Count block-respecting relabelings; overflow-safe for tiny blocks.
-	perms := 1
-	exact := true
-	for _, b := range append(append([][]int{}, outBlocks...), inBlocks...) {
-		for i := 2; i <= len(b); i++ {
-			perms *= i
-			if perms > maxPerms {
-				exact = false
+	perms, exact := 1, true
+	countBlocks := func(blocks [][]int) {
+		for _, b := range blocks {
+			for i := 2; i <= len(b); i++ {
+				perms *= i
+				if perms > maxPerms {
+					exact = false
+					return
+				}
 			}
 		}
-		if !exact {
-			break
-		}
+	}
+	countBlocks(outBlocks)
+	if exact {
+		countBlocks(inBlocks)
 	}
 
 	nOut, nIn := p.NumOut(), p.NumIn()
@@ -107,43 +162,47 @@ func CanonicalizeBudget(p *lcl.Problem, maxPerms int) (*Form, error) {
 		// Refinement-only encoding: relabel every label by its class id.
 		// Isomorphic problems refine to identical class structures, so
 		// this remains invariant (configurations become class multisets).
-		enc := encodeCoarse(p, outClass, inClass)
-		return &Form{Encoding: enc, OutPerm: identity(nOut), InPerm: identity(nIn), Exact: false}, nil
+		s.cur = encodeCoarse(s.cur[:0], p, outClass, inClass, s)
+		return newForm(s.cur, identity(nOut), identity(nIn), false), nil
 	}
 
-	best := (*candidate)(nil)
-	outPerm := make([]int, nOut)
-	inPerm := make([]int, nIn)
+	outPerm := ensureInts(&s.outPerm, nOut)
+	inPerm := ensureInts(&s.inPerm, nIn)
+	bestOut := ensureInts(&s.bestOut, nOut)
+	bestIn := ensureInts(&s.bestIn, nIn)
+	outBufs := permBufs(&s.outBufs, outBlocks)
+	inBufs := permBufs(&s.inBufs, inBlocks)
+	haveBest := false
 	// Assign canonical positions block by block (blocks are already in
-	// canonical order), enumerating permutations within each block.
-	forEachBlockPerm(outBlocks, outPerm, func() {
-		forEachBlockPerm(inBlocks, inPerm, func() {
-			enc := encode(p, inPerm, outPerm)
-			if best == nil || string(enc) < string(best.enc) {
-				best = &candidate{
-					enc: enc,
-					out: append([]int(nil), outPerm...),
-					in:  append([]int(nil), inPerm...),
-				}
+	// canonical order), enumerating permutations within each block and
+	// keeping the word-wise smallest packed encoding.
+	forEachBlockPerm(outBlocks, outBufs, outPerm, func() {
+		forEachBlockPerm(inBlocks, inBufs, inPerm, func() {
+			s.cur = encodeExact(s.cur[:0], p, inPerm, outPerm, s)
+			if !haveBest || lessWords(s.cur, s.best) {
+				haveBest = true
+				s.best = append(s.best[:0], s.cur...)
+				copy(bestOut, outPerm)
+				copy(bestIn, inPerm)
 			}
 		})
 	})
-	return &Form{Encoding: best.enc, OutPerm: best.out, InPerm: best.in, Exact: true}, nil
+	outCopy := append([]int(nil), bestOut...)
+	inCopy := append([]int(nil), bestIn...)
+	return newForm(s.best, outCopy, inCopy, true), nil
 }
 
-type candidate struct {
-	enc []byte
-	out []int
-	in  []int
+// newForm copies the packed words out of scratch and seals the form.
+func newForm(words []uint64, outPerm, inPerm []int, exact bool) *Form {
+	f := &Form{
+		OutPerm: outPerm,
+		InPerm:  inPerm,
+		Exact:   exact,
+		words:   append([]uint64(nil), words...),
+	}
+	f.fp = fnvWords(f.words)
+	return f
 }
-
-// Fingerprint returns the 64-bit FNV-1a hash of f's encoding.
-// Label-isomorphic problems always agree; when the form is not Exact,
-// refinement-indistinguishable non-isomorphic problems may also agree —
-// callers keying caches must check Exact before trusting the fingerprint
-// as an isomorphism test (internal/service bypasses its cache for
-// inexact forms).
-func (f *Form) Fingerprint() uint64 { return fnv64(f.Encoding) }
 
 // Fingerprint returns the 64-bit FNV-1a hash of p's canonical encoding.
 // Label-isomorphic problems always receive equal fingerprints.
@@ -177,25 +236,121 @@ func Isomorphic(a, b *lcl.Problem) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	if fa.Exact != fb.Exact {
+	if fa.Exact != fb.Exact || len(fa.words) != len(fb.words) {
 		return false, nil
 	}
-	return string(fa.Encoding) == string(fb.Encoding), nil
+	for i := range fa.words {
+		if fa.words[i] != fb.words[i] {
+			return false, nil
+		}
+	}
+	return true, nil
 }
 
-// fnv64 is 64-bit FNV-1a.
-func fnv64(data []byte) uint64 {
+// fnvWords is 64-bit FNV-1a over the words' little-endian bytes.
+func fnvWords(words []uint64) uint64 {
 	const (
 		offset = 14695981039346656037
 		prime  = 1099511628211
 	)
 	h := uint64(offset)
-	for _, c := range data {
-		h ^= uint64(c)
-		h *= prime
+	for _, w := range words {
+		for i := 0; i < 8; i++ {
+			h ^= (w >> (8 * i)) & 0xff
+			h *= prime
+		}
 	}
 	return h
 }
+
+// lessWords is the lexicographic order on packed encodings.
+func lessWords(a, b []uint64) bool {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// ---------------------------------------------------------------------
+// Scratch buffers
+//
+// Everything the search and refinement touch repeatedly lives in one
+// pooled struct, so a Canonicalize call allocates only its Form (plus
+// the permutation copies it returns) once the pool is warm.
+
+type scratch struct {
+	degrees []int
+
+	// refinement
+	outClass, inClass, newClass []int
+	sig                         []uint64
+	sigOff                      []int
+	order                       []int
+	chunkTmp                    []uint64
+	sorter                      chunkSorter
+
+	// encoding
+	relab   []int
+	rows    []uint64
+	rowTmp  []uint64
+	rowSort rowSorter
+	gmask   []uint64
+	cur     []uint64
+	best    []uint64
+	outPerm []int
+	inPerm  []int
+	bestOut []int
+	bestIn  []int
+	outBufs [][]int
+	inBufs  [][]int
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+func getScratch() *scratch  { return scratchPool.Get().(*scratch) }
+func putScratch(s *scratch) { scratchPool.Put(s) }
+
+// ensureInts resizes *buf to n zeroed ints, reusing capacity.
+func ensureInts(buf *[]int, n int) []int {
+	b := *buf
+	if cap(b) < n {
+		b = make([]int, n)
+	} else {
+		b = b[:n]
+		for i := range b {
+			b[i] = 0
+		}
+	}
+	*buf = b
+	return b
+}
+
+// permBufs provides one reusable permutation work buffer per block, so
+// the block-permutation recursion never allocates per level.
+func permBufs(store *[][]int, blocks [][]int) [][]int {
+	bufs := *store
+	if cap(bufs) < len(blocks) {
+		bufs = make([][]int, len(blocks))
+	} else {
+		bufs = bufs[:len(blocks)]
+	}
+	for i, b := range blocks {
+		if cap(bufs[i]) < len(b) {
+			bufs[i] = make([]int, len(b))
+		}
+	}
+	*store = bufs
+	return bufs
+}
+
+// ---------------------------------------------------------------------
+// Normalization
 
 // normalize returns a shadow copy of p with duplicate constraint rows
 // removed. Configurations and g-sets are semantically *sets* — a builder
@@ -228,20 +383,40 @@ func normalize(p *lcl.Problem) *lcl.Problem {
 	return q
 }
 
-// dedupMultisets returns the distinct multisets of list (each multiset is
-// already internally sorted).
+// dedupMultisets returns the distinct multisets of list (each multiset
+// is already internally sorted), in lexicographic order.
 func dedupMultisets(list []lcl.Multiset) []lcl.Multiset {
-	seen := make(map[string]bool, len(list))
-	out := make([]lcl.Multiset, 0, len(list))
-	for _, m := range list {
-		k := m.Key()
-		if seen[k] {
-			continue
-		}
-		seen[k] = true
-		out = append(out, m)
+	if len(list) == 0 {
+		return nil
 	}
-	return out
+	out := make([]lcl.Multiset, len(list))
+	copy(out, list)
+	sort.Slice(out, func(i, j int) bool { return compareMultisets(out[i], out[j]) < 0 })
+	uniq := out[:1]
+	for _, m := range out[1:] {
+		if compareMultisets(m, uniq[len(uniq)-1]) != 0 {
+			uniq = append(uniq, m)
+		}
+	}
+	return uniq
+}
+
+func compareMultisets(a, b lcl.Multiset) int {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
 }
 
 func identity(n int) []int {
@@ -252,121 +427,242 @@ func identity(n int) []int {
 	return out
 }
 
-// refine runs color refinement on output and input labels jointly until a
-// fixpoint. Returned class ids are canonical: they are assigned in sorted
-// signature order each round, and round-0 signatures are pure structural
-// invariants, so isomorphic problems produce identical classifications.
-func refine(p *lcl.Problem) (outClass, inClass []int) {
-	nOut, nIn := p.NumOut(), p.NumIn()
-	outClass = make([]int, nOut)
-	inClass = make([]int, nIn)
+// ---------------------------------------------------------------------
+// Color refinement
+//
+// Signatures are variable-length integer chunks in one shared stream:
+// the label's own class, then per degree the sorted multiset of
+// (multiplicity, sorted class tuple) entries over the configurations
+// containing the label, then sorted edge-partner classes (self-edges
+// tokenized distinctly), then the sorted classes of the input labels
+// whose g-set contains it. Classes are assigned by the rank of a
+// label's chunk among the sorted distinct chunks — the integer
+// equivalent of the previous string-signature scheme, minus all the
+// string building.
 
-	degrees := sortedDegrees(p)
-	sig := func() ([]string, []string) {
-		outSig := make([]string, nOut)
+// refine runs color refinement on output and input labels jointly until
+// a fixpoint. Returned class ids are canonical: they are assigned in
+// sorted signature order each round, and round-0 signatures are pure
+// structural invariants, so isomorphic problems produce identical
+// classifications. The returned slices alias s and stay valid until the
+// scratch is released.
+func refine(p *lcl.Problem, s *scratch) (outClass, inClass []int) {
+	nOut, nIn := p.NumOut(), p.NumIn()
+	outClass = ensureInts(&s.outClass, nOut)
+	inClass = ensureInts(&s.inClass, nIn)
+	if cap(s.sigOff) < nOut+nIn+1 {
+		s.sigOff = make([]int, nOut+nIn+1)
+	}
+	sigOff := s.sigOff[:nOut+nIn+1]
+
+	for {
+		sig := s.sig[:0]
+		sigOff[0] = 0
 		for x := 0; x < nOut; x++ {
-			var sb strings.Builder
 			// Own class first, so each round's partition refines the
 			// previous one (monotone => terminates within |Σout| rounds).
-			fmt.Fprintf(&sb, "s%d;", outClass[x])
-			for _, d := range degrees {
+			sig = append(sig, uint64(outClass[x]))
+			for _, d := range s.degrees {
 				// Multiset, over node configs containing x, of
 				// (multiplicity of x, sorted class tuple of the config).
-				var occ []string
+				sig = append(sig, uint64(d))
+				cntPos := len(sig)
+				sig = append(sig, 0)
+				entLen := d + 1
+				entStart := len(sig)
 				for _, m := range p.Node[d] {
 					mult := 0
-					classes := make([]int, len(m))
-					for i, y := range m {
+					for _, y := range m {
 						if y == x {
 							mult++
 						}
-						classes[i] = outClass[y]
 					}
 					if mult == 0 {
 						continue
 					}
-					sort.Ints(classes)
-					occ = append(occ, fmt.Sprintf("%d:%v", mult, classes))
+					sig = append(sig, uint64(mult))
+					pos := len(sig)
+					for _, y := range m {
+						sig = append(sig, uint64(outClass[y]))
+					}
+					insertionSortU64(sig[pos:])
 				}
-				sort.Strings(occ)
-				fmt.Fprintf(&sb, "d%d%v;", d, occ)
+				sortChunks(sig[entStart:], entLen, &s.chunkTmp)
+				sig[cntPos] = uint64((len(sig) - entStart) / entLen)
 			}
-			// Multiset of edge partners' classes (self-edges doubled so
-			// {x,x} and {x,y} stay distinguishable).
-			var edges []int
+			// Multiset of edge partners' classes (self-edges tokenized as
+			// 0 so {x,x} and {x,y} stay distinguishable).
+			cntPos := len(sig)
+			sig = append(sig, 0)
+			pos := len(sig)
 			for _, m := range p.Edge {
 				switch {
 				case m[0] == x && m[1] == x:
-					edges = append(edges, -1)
+					sig = append(sig, 0)
 				case m[0] == x:
-					edges = append(edges, outClass[m[1]])
+					sig = append(sig, uint64(outClass[m[1]])+1)
 				case m[1] == x:
-					edges = append(edges, outClass[m[0]])
+					sig = append(sig, uint64(outClass[m[0]])+1)
 				}
 			}
-			sort.Ints(edges)
-			fmt.Fprintf(&sb, "e%v;", edges)
+			insertionSortU64(sig[pos:])
+			sig[cntPos] = uint64(len(sig) - pos)
 			// Multiset of classes of input labels whose g-set contains x.
-			var gs []int
+			cntPos = len(sig)
+			sig = append(sig, 0)
+			pos = len(sig)
 			for in, outs := range p.G {
 				for _, o := range outs {
 					if o == x {
-						gs = append(gs, inClass[in])
+						sig = append(sig, uint64(inClass[in]))
 					}
 				}
 			}
-			sort.Ints(gs)
-			fmt.Fprintf(&sb, "g%v", gs)
-			outSig[x] = sb.String()
+			insertionSortU64(sig[pos:])
+			sig[cntPos] = uint64(len(sig) - pos)
+			sigOff[x+1] = len(sig)
 		}
-		inSig := make([]string, nIn)
+		// Input signatures: own class plus the sorted classes of the
+		// g-set (built from the pre-update output classes, like the
+		// output signatures themselves).
 		for in := 0; in < nIn; in++ {
-			classes := make([]int, len(p.G[in]))
-			for i, o := range p.G[in] {
-				classes[i] = outClass[o]
+			sig = append(sig, uint64(inClass[in]), uint64(len(p.G[in])))
+			pos := len(sig)
+			for _, o := range p.G[in] {
+				sig = append(sig, uint64(outClass[o]))
 			}
-			sort.Ints(classes)
-			inSig[in] = fmt.Sprintf("s%d;%v", inClass[in], classes)
+			insertionSortU64(sig[pos:])
+			sigOff[nOut+in+1] = len(sig)
 		}
-		return outSig, inSig
-	}
+		s.sig = sig
 
-	assign := func(sigs []string, class []int) bool {
-		uniq := append([]string(nil), sigs...)
-		sort.Strings(uniq)
-		uniq = dedupStrings(uniq)
-		idx := make(map[string]int, len(uniq))
-		for i, s := range uniq {
-			idx[s] = i
-		}
-		changed := false
-		for i, s := range sigs {
-			if class[i] != idx[s] {
-				class[i] = idx[s]
-				changed = true
-			}
-		}
-		return changed
-	}
-
-	for {
-		outSig, inSig := sig()
-		co := assign(outSig, outClass)
-		ci := assign(inSig, inClass)
+		co := assignClasses(sig, sigOff[:nOut+1], outClass, s)
+		ci := assignClasses(sig, sigOff[nOut:nOut+nIn+1], inClass, s)
 		if !co && !ci {
 			return outClass, inClass
 		}
 	}
 }
 
-func dedupStrings(sorted []string) []string {
-	out := sorted[:0]
-	for i, s := range sorted {
-		if i == 0 || s != sorted[i-1] {
-			out = append(out, s)
+// assignClasses re-ranks the labels covered by off (len(class)+1
+// offsets into sig) by their signature chunks and reports whether any
+// class id changed.
+func assignClasses(sig []uint64, off []int, class []int, s *scratch) bool {
+	n := len(class)
+	order := ensureInts(&s.order, n)
+	for i := range order {
+		order[i] = i
+	}
+	s.sorter = chunkSorter{sig: sig, off: off, idx: order}
+	sort.Sort(&s.sorter)
+	newClass := ensureInts(&s.newClass, n)
+	rank := 0
+	for i, x := range order {
+		if i > 0 && compareChunks(sig, off, x, order[i-1]) != 0 {
+			rank++
+		}
+		newClass[x] = rank
+	}
+	changed := false
+	for i := range class {
+		if class[i] != newClass[i] {
+			class[i] = newClass[i]
+			changed = true
 		}
 	}
-	return out
+	return changed
+}
+
+// chunkSorter orders label indices by their signature chunks.
+type chunkSorter struct {
+	sig []uint64
+	off []int
+	idx []int
+}
+
+func (c *chunkSorter) Len() int      { return len(c.idx) }
+func (c *chunkSorter) Swap(i, j int) { c.idx[i], c.idx[j] = c.idx[j], c.idx[i] }
+func (c *chunkSorter) Less(i, j int) bool {
+	return compareChunks(c.sig, c.off, c.idx[i], c.idx[j]) < 0
+}
+
+// compareChunks lexicographically compares the signature chunks of
+// labels a and b (chunk i spans sig[off[i]:off[i+1]]).
+func compareChunks(sig []uint64, off []int, a, b int) int {
+	as, ae := off[a], off[a+1]
+	bs, be := off[b], off[b+1]
+	for as < ae && bs < be {
+		if sig[as] != sig[bs] {
+			if sig[as] < sig[bs] {
+				return -1
+			}
+			return 1
+		}
+		as++
+		bs++
+	}
+	switch {
+	case ae-off[a] < be-off[b]:
+		return -1
+	case ae-off[a] > be-off[b]:
+		return 1
+	}
+	return 0
+}
+
+func insertionSortU64(a []uint64) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// sortChunks sorts consecutive fixed-stride chunks of data in place
+// (lexicographically), using insertion sort — chunk counts here are the
+// per-label configuration multiplicities, which are tiny.
+func sortChunks(data []uint64, stride int, tmp *[]uint64) {
+	if stride <= 0 {
+		return
+	}
+	n := len(data) / stride
+	if n < 2 {
+		return
+	}
+	t := *tmp
+	if cap(t) < stride {
+		t = make([]uint64, stride)
+		*tmp = t
+	}
+	t = t[:stride]
+	for i := 1; i < n; i++ {
+		// Find the insertion point for chunk i: the prefix is sorted, so
+		// scan down while chunk i still compares below the prefix chunk —
+		// comparing chunk i itself, not the shifting position.
+		j := i
+		for j > 0 && compareStride(data, i, j-1, stride) < 0 {
+			j--
+		}
+		if j == i {
+			continue
+		}
+		copy(t, data[i*stride:(i+1)*stride])
+		copy(data[(j+1)*stride:(i+1)*stride], data[j*stride:i*stride])
+		copy(data[j*stride:(j+1)*stride], t)
+	}
+}
+
+func compareStride(data []uint64, a, b, stride int) int {
+	as, bs := a*stride, b*stride
+	for i := 0; i < stride; i++ {
+		if data[as+i] != data[bs+i] {
+			if data[as+i] < data[bs+i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
 }
 
 // blocksOf groups label indices by class, ordered by class id (which is
@@ -387,8 +683,10 @@ func blocksOf(class []int) [][]int {
 
 // forEachBlockPerm enumerates every assignment of canonical positions to
 // labels that keeps each block contiguous in block order, writing
-// perm[old] = new and invoking fn for each complete assignment.
-func forEachBlockPerm(blocks [][]int, perm []int, fn func()) {
+// perm[old] = new and invoking fn for each complete assignment. bufs
+// supplies one reusable permutation buffer per block (permBufs), so no
+// level of the recursion allocates.
+func forEachBlockPerm(blocks, bufs [][]int, perm []int, fn func()) {
 	var rec func(bi, base int)
 	rec = func(bi, base int) {
 		if bi == len(blocks) {
@@ -396,7 +694,7 @@ func forEachBlockPerm(blocks [][]int, perm []int, fn func()) {
 			return
 		}
 		b := blocks[bi]
-		permuteInts(b, func(order []int) {
+		permuteInts(b, bufs[bi], func(order []int) {
 			for i, old := range order {
 				perm[old] = base + i
 			}
@@ -407,9 +705,11 @@ func forEachBlockPerm(blocks [][]int, perm []int, fn func()) {
 }
 
 // permuteInts calls fn with every permutation of items (Heap's
-// algorithm; the slice is reused across calls).
-func permuteInts(items []int, fn func([]int)) {
-	work := append([]int(nil), items...)
+// algorithm), permuting in the caller-supplied work buffer — reused
+// across calls instead of allocated per recursion level.
+func permuteInts(items, work []int, fn func([]int)) {
+	work = work[:len(items)]
+	copy(work, items)
 	n := len(work)
 	if n == 0 {
 		fn(work)
@@ -433,88 +733,178 @@ func permuteInts(items []int, fn func([]int)) {
 	rec(n)
 }
 
-// encode serializes p under the relabeling (inPerm, outPerm), both
-// old -> new, into a deterministic byte string. Names are deliberately
-// excluded: the form identifies constraint structure only.
-func encode(p *lcl.Problem, inPerm, outPerm []int) []byte {
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "v1|in%d|out%d|", p.NumIn(), p.NumOut())
-	for _, d := range sortedDegrees(p) {
-		rows := make([]string, 0, len(p.Node[d]))
-		for _, m := range p.Node[d] {
-			rows = append(rows, relabelKey(m, outPerm))
+// ---------------------------------------------------------------------
+// Packed encodings
+//
+// An encoding is a []uint64 stream: a version tag, the alphabet sizes,
+// then per degree the sorted relabeled configuration rows (each row
+// packed most-significant-label-first into ceil(d·bits/64) words, so
+// word order equals label order), the sorted edge rows, and the g map
+// as per-input bitmasks over the canonical output labels. The stream
+// reconstructs the normalized problem up to the relabeling, so equal
+// exact encodings mean isomorphic problems.
+
+// labelBits returns the packing width for labels drawn from an n-letter
+// alphabet (class ids also fit: classes never exceed labels).
+func labelBits(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// rowWordCount is the packed width of a d-label row.
+func rowWordCount(d, bits int) int {
+	if d == 0 {
+		return 1
+	}
+	return (d*bits + 63) / 64
+}
+
+// packRow packs the sorted labels into chunk, most significant first.
+func packRow(chunk []uint64, labels []int, bits int) {
+	for i := range chunk {
+		chunk[i] = 0
+	}
+	for i, lab := range labels {
+		bitPos := i * bits
+		w, off := bitPos/64, bitPos%64
+		if off+bits <= 64 {
+			chunk[w] |= uint64(lab) << uint(64-off-bits)
+		} else {
+			lo := bits - (64 - off)
+			chunk[w] |= uint64(lab) >> uint(lo)
+			chunk[w+1] |= uint64(lab) << uint(64-lo)
 		}
-		sort.Strings(rows)
-		fmt.Fprintf(&sb, "N%d:%s|", d, strings.Join(rows, " "))
 	}
-	rows := make([]string, 0, len(p.Edge))
-	for _, m := range p.Edge {
-		rows = append(rows, relabelKey(m, outPerm))
+}
+
+// appendSortedRows relabels every row of list through perm (which may
+// be a non-bijective class map for the coarse encoding), re-sorts each
+// row, packs it, sorts the packed rows, and appends them to dst.
+func appendSortedRows(dst []uint64, list []lcl.Multiset, perm []int, d, bits int, s *scratch) []uint64 {
+	rw := rowWordCount(d, bits)
+	need := len(list) * rw
+	if cap(s.rows) < need {
+		s.rows = make([]uint64, need)
 	}
-	sort.Strings(rows)
-	fmt.Fprintf(&sb, "E:%s|", strings.Join(rows, " "))
-	// g rows in canonical input order.
-	gRows := make([]string, p.NumIn())
-	for in, outs := range p.G {
-		relab := make([]int, len(outs))
-		for i, o := range outs {
-			relab[i] = outPerm[o]
+	rows := s.rows[:need]
+	relab := ensureInts(&s.relab, d)
+	for ri, m := range list {
+		for i, x := range m {
+			relab[i] = perm[x]
 		}
 		sort.Ints(relab)
-		gRows[inPerm[in]] = fmt.Sprintf("%v", relab)
+		packRow(rows[ri*rw:(ri+1)*rw], relab, bits)
 	}
-	fmt.Fprintf(&sb, "G:%s", strings.Join(gRows, " "))
-	return []byte(sb.String())
+	if cap(s.rowTmp) < rw {
+		s.rowTmp = make([]uint64, rw)
+	}
+	s.rowSort = rowSorter{data: rows, stride: rw, tmp: s.rowTmp[:rw]}
+	sort.Sort(&s.rowSort)
+	return append(dst, rows...)
 }
 
-// encodeCoarse is encode with labels replaced by refinement class ids
-// (used beyond the search budget). Class maps are not bijections, so g
-// rows are rendered as a sorted multiset of (input class, output class
-// set) pairs rather than positionally. The "c1|" version prefix keeps
-// coarse and exact encodings from ever comparing equal.
-func encodeCoarse(p *lcl.Problem, outClass, inClass []int) []byte {
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "c1|in%d|out%d|", p.NumIn(), p.NumOut())
-	for _, d := range sortedDegrees(p) {
-		rows := make([]string, 0, len(p.Node[d]))
-		for _, m := range p.Node[d] {
-			rows = append(rows, relabelKey(m, outClass))
-		}
-		sort.Strings(rows)
-		fmt.Fprintf(&sb, "N%d:%s|", d, strings.Join(rows, " "))
+// rowSorter sorts fixed-stride packed rows in place.
+type rowSorter struct {
+	data   []uint64
+	stride int
+	tmp    []uint64
+}
+
+func (r *rowSorter) Len() int { return len(r.data) / r.stride }
+func (r *rowSorter) Less(i, j int) bool {
+	return compareStride(r.data, i, j, r.stride) < 0
+}
+func (r *rowSorter) Swap(i, j int) {
+	a := r.data[i*r.stride : (i+1)*r.stride]
+	b := r.data[j*r.stride : (j+1)*r.stride]
+	copy(r.tmp, a)
+	copy(a, b)
+	copy(b, r.tmp)
+}
+
+// encodeExact serializes p under the relabeling (inPerm, outPerm), both
+// old -> new, into dst. Names are deliberately excluded: the form
+// identifies constraint structure only.
+func encodeExact(dst []uint64, p *lcl.Problem, inPerm, outPerm []int, s *scratch) []uint64 {
+	nOut, nIn := p.NumOut(), p.NumIn()
+	bits := labelBits(nOut)
+	dst = append(dst, tagExact, uint64(nIn), uint64(nOut), uint64(len(s.degrees)))
+	for _, d := range s.degrees {
+		rows := p.Node[d]
+		dst = append(dst, uint64(d), uint64(len(rows)))
+		dst = appendSortedRows(dst, rows, outPerm, d, bits, s)
 	}
-	rows := make([]string, 0, len(p.Edge))
-	for _, m := range p.Edge {
-		rows = append(rows, relabelKey(m, outClass))
+	dst = append(dst, uint64(len(p.Edge)))
+	dst = appendSortedRows(dst, p.Edge, outPerm, 2, bits, s)
+	// g rows as bitmasks over canonical output labels, in canonical
+	// input order.
+	gw := (nOut + 63) / 64
+	need := nIn * gw
+	if cap(s.gmask) < need {
+		s.gmask = make([]uint64, need)
 	}
-	sort.Strings(rows)
-	fmt.Fprintf(&sb, "E:%s|", strings.Join(rows, " "))
-	gRows := make([]string, 0, p.NumIn())
+	gmask := s.gmask[:need]
+	for i := range gmask {
+		gmask[i] = 0
+	}
 	for in, outs := range p.G {
-		relab := make([]int, len(outs))
-		for i, o := range outs {
-			relab[i] = outClass[o]
+		base := inPerm[in] * gw
+		for _, o := range outs {
+			b := outPerm[o]
+			gmask[base+b/64] |= 1 << uint(b%64)
 		}
-		sort.Ints(relab)
-		gRows = append(gRows, fmt.Sprintf("%d->%v", inClass[in], relab))
 	}
-	sort.Strings(gRows)
-	fmt.Fprintf(&sb, "G:%s", strings.Join(gRows, " "))
-	return []byte(sb.String())
+	return append(dst, gmask...)
 }
 
-// relabelKey renders a multiset under a relabeling, re-sorted.
-func relabelKey(m lcl.Multiset, perm []int) string {
-	relab := make([]int, len(m))
-	for i, x := range m {
-		relab[i] = perm[x]
+// encodeCoarse is encodeExact with labels replaced by refinement class
+// ids (used beyond the search budget). Class maps are not bijections,
+// so g rows are rendered as a sorted multiset of (input class, output
+// class bitmask) chunks rather than positionally. The distinct version
+// tag keeps coarse and exact encodings from ever comparing equal.
+func encodeCoarse(dst []uint64, p *lcl.Problem, outClass, inClass []int, s *scratch) []uint64 {
+	nOut, nIn := p.NumOut(), p.NumIn()
+	bits := labelBits(nOut)
+	dst = append(dst, tagCoarse, uint64(nIn), uint64(nOut), uint64(len(s.degrees)))
+	for _, d := range s.degrees {
+		rows := p.Node[d]
+		dst = append(dst, uint64(d), uint64(len(rows)))
+		dst = appendSortedRows(dst, rows, outClass, d, bits, s)
 	}
-	sort.Ints(relab)
-	return fmt.Sprintf("%v", relab)
+	dst = append(dst, uint64(len(p.Edge)))
+	dst = appendSortedRows(dst, p.Edge, outClass, 2, bits, s)
+	gw := (nOut + 63) / 64
+	stride := 1 + gw
+	need := nIn * stride
+	if cap(s.gmask) < need {
+		s.gmask = make([]uint64, need)
+	}
+	gmask := s.gmask[:need]
+	for i := range gmask {
+		gmask[i] = 0
+	}
+	for in, outs := range p.G {
+		base := in * stride
+		gmask[base] = uint64(inClass[in])
+		for _, o := range outs {
+			c := outClass[o]
+			gmask[base+1+c/64] |= 1 << uint(c%64)
+		}
+	}
+	if cap(s.rowTmp) < stride {
+		s.rowTmp = make([]uint64, stride)
+	}
+	s.rowSort = rowSorter{data: gmask, stride: stride, tmp: s.rowTmp[:stride]}
+	sort.Sort(&s.rowSort)
+	return append(dst, gmask...)
 }
 
-func sortedDegrees(p *lcl.Problem) []int {
-	ds := make([]int, 0, len(p.Node))
+// sortedDegreesInto collects p's configured degrees in ascending order
+// into buf.
+func sortedDegreesInto(p *lcl.Problem, buf []int) []int {
+	ds := buf[:0]
 	for d := range p.Node {
 		ds = append(ds, d)
 	}

@@ -166,8 +166,54 @@ func TestCanonicalFormIdempotent(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s relabeled: %v", p.Name, err)
 		}
-		if string(f.Encoding) != string(fq.Encoding) {
-			t.Fatalf("%s: canonical encodings differ:\n%s\n%s", p.Name, f.Encoding, fq.Encoding)
+		if string(f.Encoding()) != string(fq.Encoding()) {
+			t.Fatalf("%s: canonical encodings differ:\n%s\n%s", p.Name, f.Encoding(), fq.Encoding())
+		}
+	}
+}
+
+// TestFingerprintInvarianceManyConfigs: regression for the refinement
+// signature chunk sort. A label appearing in several same-degree
+// configurations produces a per-label entry list that needs a genuine
+// multi-position insertion sort; a sort that only performs adjacent
+// swaps leaves the signature dependent on the configuration order the
+// builder happened to record, splitting isomorphic problems. The
+// battery problems never need more than an adjacent swap, so this
+// fixture — five labels, four degree-3 configurations sharing label
+// "E" — covers the gap, across many random relabelings.
+func TestFingerprintInvarianceManyConfigs(t *testing.T) {
+	b := lcl.NewBuilder("many-configs", nil, []string{"A", "B", "C", "D", "E", "F"})
+	b.Node("A", "B", "D")
+	b.Node("C", "E", "F")
+	b.Node("D", "F", "F")
+	b.Node("A", "E", "F")
+	b.Node("B", "D", "F")
+	b.Node("A", "C", "E")
+	b.Edge("B", "D")
+	b.Edge("A", "E")
+	p := b.MustBuild()
+	f, err := canon.Canonicalize(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Exact {
+		t.Fatal("expected exact form")
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 64; trial++ {
+		q := relabel(t, p, rng)
+		fq, err := canon.Canonicalize(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !fq.Exact {
+			t.Fatal("relabeled form not exact")
+		}
+		if fq.Fingerprint() != f.Fingerprint() {
+			t.Fatalf("trial %d: fingerprint changed under relabeling: %x vs %x", trial, f.Fingerprint(), fq.Fingerprint())
+		}
+		if string(f.Encoding()) != string(fq.Encoding()) {
+			t.Fatalf("trial %d: canonical encodings differ", trial)
 		}
 	}
 }
@@ -189,7 +235,7 @@ func TestBudgetDegradation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if string(f.Encoding) != string(fq.Encoding) {
+	if string(f.Encoding()) != string(fq.Encoding()) {
 		t.Fatal("coarse encoding not relabeling-invariant")
 	}
 }

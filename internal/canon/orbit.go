@@ -1,0 +1,197 @@
+// Orbit tables: precomputed permutation actions on the census mask
+// spaces (internal/enumerate addresses the cardinality-2 multisets over
+// k output labels as bit positions of a pair mask, and — for paths —
+// the single labels as bits of a label mask). For k <= MaxOrbitK the
+// whole action of the symmetric group S_k on every mask fits in a few
+// kilobytes, so canonicalizing a mask problem — finding the
+// lexicographically smallest relabeling of its (node, edge) mask pair —
+// becomes a handful of table lookups instead of a fresh Heap's-algorithm
+// sweep with per-bit pair-index arithmetic. Every method on OrbitTable
+// is allocation-free; tables are built once per k and shared.
+//
+// The same tables answer the two orbit queries the census fast path
+// needs: IsCanonicalPair (skip non-representative masks up front, so
+// each isomorphism class is classified exactly once) and PairOrbitSize
+// (weight the representative by the number of raw problems it stands
+// for).
+package canon
+
+import (
+	"fmt"
+	"sync"
+)
+
+// MaxOrbitK is the largest alphabet size with precomputed orbit tables:
+// k! * 2^(k(k+1)/2) table entries stay tiny through k = 4 (24 * 1024)
+// and explode at k = 5 (120 * 32768).
+const MaxOrbitK = 4
+
+// OrbitTable is the precomputed S_k action on the k-letter mask spaces.
+type OrbitTable struct {
+	// K is the alphabet size, Pairs = k(k+1)/2 the pair-mask width, and
+	// Perms = k! the group order.
+	K, Pairs, Perms int
+	// pairMask[p][m] is the image of pair mask m under permutation p.
+	pairMask [][]uint16
+	// labelMask[p][m] is the image of single-label mask m (k bits) under
+	// permutation p (the N¹ endpoint masks of the path census).
+	labelMask [][]uint16
+}
+
+var (
+	orbitTables [MaxOrbitK + 1]*OrbitTable
+	orbitOnce   [MaxOrbitK + 1]sync.Once
+)
+
+// Orbits returns the (shared, immutable) orbit table for alphabet size
+// k; it panics outside [1, MaxOrbitK] — callers guard with MaxOrbitK.
+func Orbits(k int) *OrbitTable {
+	if k < 1 || k > MaxOrbitK {
+		panic(fmt.Sprintf("canon: no orbit table for k = %d (supported range [1, %d])", k, MaxOrbitK))
+	}
+	orbitOnce[k].Do(func() { orbitTables[k] = buildOrbitTable(k) })
+	return orbitTables[k]
+}
+
+// orbitPairIndex is the bit position of the multiset {a, b} in the mask
+// ordering used by enumerate.pairs: pairs with first coordinate < a
+// occupy sum_{i<a} (k-i) bits.
+func orbitPairIndex(k, a, b int) int {
+	if a > b {
+		a, b = b, a
+	}
+	return a*k - a*(a-1)/2 + (b - a)
+}
+
+func buildOrbitTable(k int) *OrbitTable {
+	pairs := make([][2]int, 0, k*(k+1)/2)
+	for a := 0; a < k; a++ {
+		for b := a; b < k; b++ {
+			pairs = append(pairs, [2]int{a, b})
+		}
+	}
+	var perms [][]int
+	perm := make([]int, k)
+	for i := range perm {
+		perm[i] = i
+	}
+	var rec func(int)
+	rec = func(n int) {
+		if n == 1 {
+			perms = append(perms, append([]int(nil), perm...))
+			return
+		}
+		for i := 0; i < n; i++ {
+			rec(n - 1)
+			if n%2 == 0 {
+				perm[i], perm[n-1] = perm[n-1], perm[i]
+			} else {
+				perm[0], perm[n-1] = perm[n-1], perm[0]
+			}
+		}
+	}
+	rec(k)
+
+	t := &OrbitTable{
+		K:         k,
+		Pairs:     len(pairs),
+		Perms:     len(perms),
+		pairMask:  make([][]uint16, len(perms)),
+		labelMask: make([][]uint16, len(perms)),
+	}
+	for pi, pr := range perms {
+		// The induced map on pair-mask bit positions, then its closure
+		// over all masks.
+		bitTo := make([]int, len(pairs))
+		for i, pair := range pairs {
+			bitTo[i] = orbitPairIndex(k, pr[pair[0]], pr[pair[1]])
+		}
+		pm := make([]uint16, 1<<uint(len(pairs)))
+		for m := range pm {
+			var out uint16
+			for i, to := range bitTo {
+				if m&(1<<uint(i)) != 0 {
+					out |= 1 << uint(to)
+				}
+			}
+			pm[m] = out
+		}
+		t.pairMask[pi] = pm
+		lm := make([]uint16, 1<<uint(k))
+		for m := range lm {
+			var out uint16
+			for a := 0; a < k; a++ {
+				if m&(1<<uint(a)) != 0 {
+					out |= 1 << uint(pr[a])
+				}
+			}
+			lm[m] = out
+		}
+		t.labelMask[pi] = lm
+	}
+	return t
+}
+
+// CanonicalPair returns the lexicographically smallest image of the
+// (node, edge) pair-mask pair over all k! relabelings — the same key as
+// enumerate.CanonicalKey, via table lookups.
+func (t *OrbitTable) CanonicalPair(n2, e uint) (uint, uint) {
+	bestN, bestE := n2, e
+	for p := 0; p < t.Perms; p++ {
+		pn, pe := uint(t.pairMask[p][n2]), uint(t.pairMask[p][e])
+		if pn < bestN || (pn == bestN && pe < bestE) {
+			bestN, bestE = pn, pe
+		}
+	}
+	return bestN, bestE
+}
+
+// IsCanonicalPair reports whether (n2, e) is its own orbit's canonical
+// representative (no relabeling produces a lexicographically smaller
+// pair). The census skips every mask pair for which this is false.
+func (t *OrbitTable) IsCanonicalPair(n2, e uint) bool {
+	for p := 0; p < t.Perms; p++ {
+		pn, pe := uint(t.pairMask[p][n2]), uint(t.pairMask[p][e])
+		if pn < n2 || (pn == n2 && pe < e) {
+			return false
+		}
+	}
+	return true
+}
+
+// PairOrbitSize returns the number of distinct (node, edge) mask pairs
+// in the orbit of (n2, e) — the count of raw census problems its
+// representative stands for.
+func (t *OrbitTable) PairOrbitSize(n2, e uint) int {
+	var seen [24][2]uint16 // k! <= 24 for k <= MaxOrbitK
+	count := 0
+	for p := 0; p < t.Perms; p++ {
+		img := [2]uint16{t.pairMask[p][n2], t.pairMask[p][e]}
+		dup := false
+		for i := 0; i < count; i++ {
+			if seen[i] == img {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			seen[count] = img
+			count++
+		}
+	}
+	return count
+}
+
+// CanonicalTriple returns the lexicographically smallest image of the
+// path-census (endpoint, node, edge) mask triple — endpoint masks are
+// k-bit single-label masks — over all k! relabelings.
+func (t *OrbitTable) CanonicalTriple(n1, n2, e uint) (uint, uint, uint) {
+	b1, b2, b3 := n1, n2, e
+	for p := 0; p < t.Perms; p++ {
+		p1, p2, p3 := uint(t.labelMask[p][n1]), uint(t.pairMask[p][n2]), uint(t.pairMask[p][e])
+		if p1 < b1 || (p1 == b1 && (p2 < b2 || (p2 == b2 && p3 < b3))) {
+			b1, b2, b3 = p1, p2, p3
+		}
+	}
+	return b1, b2, b3
+}

@@ -26,31 +26,22 @@ func CycleSolvableUpTo(p *lcl.Problem, maxN int) []bool {
 	if k == 0 {
 		return out
 	}
-	// cur[i][j] = "j reachable from i in exactly `step` arcs".
-	cur := make([][]bool, k)
-	for i := range cur {
-		cur[i] = make([]bool, k)
-		cur[i][i] = true
+	// cur[i] bitset row j = "j reachable from i in exactly `step` arcs";
+	// the two rows ping-pong, so the whole sweep allocates three
+	// matrices total.
+	words := (k + 63) / 64
+	adj := adjBits(k, words, arcs)
+	cur := make([]uint64, k*words)
+	next := make([]uint64, k*words)
+	for i := 0; i < k; i++ {
+		cur[i*words+i/64] = 1 << uint(i%64)
 	}
 	for step := 1; step <= maxN; step++ {
-		next := make([][]bool, k)
-		for i := range next {
-			next[i] = make([]bool, k)
-		}
-		for i := 0; i < k; i++ {
-			for j := 0; j < k; j++ {
-				if !cur[i][j] {
-					continue
-				}
-				for _, l := range arcs[j] {
-					next[i][l] = true
-				}
-			}
-		}
-		cur = next
+		stepBits(k, words, cur, next, adj)
+		cur, next = next, cur
 		if step >= 3 {
 			for i := 0; i < k && !out[step]; i++ {
-				out[step] = cur[i][i]
+				out[step] = cur[i*words+i/64]&(1<<uint(i%64)) != 0
 			}
 		}
 	}

@@ -1,0 +1,49 @@
+package classify
+
+import (
+	"testing"
+
+	"repro/internal/lcl"
+)
+
+// benchColoring is the degree-2 k-coloring fixture: {c} and {c,c} node
+// configs per color, edges between distinct colors — the classifier's
+// Θ(log* n) witness shape.
+func benchColoring(k int) *lcl.Problem {
+	colors := make([]string, k)
+	for i := range colors {
+		colors[i] = string(rune('A' + i))
+	}
+	b := lcl.NewBuilder("bench-coloring", nil, colors)
+	for _, c := range colors {
+		b.Node(c, c)
+		for _, d := range colors {
+			if c != d {
+				b.Edge(c, d)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// BenchmarkCyclesClassify measures one full cycle classification —
+// dense digraph build, SCC periods, bitset closure, decision — on the
+// 3-coloring fixture. The pooled scratch keeps steady-state allocations
+// to the returned Result.
+func BenchmarkCyclesClassify(b *testing.B) {
+	p := benchColoring(3)
+	if _, err := Cycles(p); err != nil { // warm the problem's caches and the pool
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Cycles(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchResult = res
+	}
+}
+
+var benchResult *Result

@@ -45,6 +45,8 @@
 package classify
 
 import (
+	"sync"
+
 	"repro/internal/lcl"
 )
 
@@ -90,34 +92,40 @@ type state struct{ x, y int }
 // Cycles classifies an input-free LCL on cycles. Problems with inputs are
 // rejected (the decidability landscape with inputs is PSPACE-hard already
 // on paths, per Section 1.4).
+//
+// The decision runs entirely on a dense integer-indexed digraph (states
+// addressed as x·k+y, CSR adjacency, bitset closure) built into pooled
+// scratch, so repeated calls — the census classifies hundreds of orbit
+// representatives per run — do per-problem work without per-problem
+// garbage.
 func Cycles(p *lcl.Problem) (*Result, error) {
 	if p.NumIn() != 1 {
 		return nil, errInputs
 	}
-	states, arcs := configDigraph(p)
-	if len(states) == 0 {
+	s := getDG()
+	defer putDG(s)
+	n := s.build(p)
+	if n == 0 {
 		return &Result{Class: Unsolvable}, nil
 	}
+	k := s.k
 
-	comp, periods := sccPeriods(len(states), arcs)
-	idx0 := map[state]int{}
-	for i, s := range states {
-		idx0[s] = i
-	}
-	reach0 := closure(len(states), arcs)
+	comp, periods := s.sccPeriods(n)
+	s.closure(n)
 
 	// O(1): a self-loop state s with s →* mirror(s) →* s.
-	for si, s := range states {
-		if !p.EdgeAllowed(s.y, s.x) {
+	for si := 0; si < n; si++ {
+		st := s.states[si]
+		if !s.edgeOK[st.y*k+st.x] {
 			continue // no self-loop
 		}
-		mi, ok := idx0[state{s.y, s.x}]
-		if !ok {
+		mi := s.stateOf[st.y*k+st.x]
+		if mi < 0 {
 			continue
 		}
-		if si == mi || (reachOK(reach0, si, mi) && reachOK(reach0, mi, si)) {
+		if si == int(mi) || (s.reachOK(si, int(mi)) && s.reachOK(int(mi), si)) {
 			return &Result{Class: Constant, Period: 1,
-				Witness: "self-loop (" + p.OutNames[s.x] + "," + p.OutNames[s.y] + ") with mirror patches"}, nil
+				Witness: "self-loop (" + p.OutNames[st.x] + "," + p.OutNames[st.y] + ") with mirror patches"}, nil
 		}
 	}
 	minPeriod := 0
@@ -143,15 +151,16 @@ func Cycles(p *lcl.Problem) (*Result, error) {
 	// at-most-one-incoming has t →* mirror(t) through a zero-in-degree
 	// "source" state but no reverse patch (a two-in-degree "sink" label
 	// does not exist), and it is genuinely Θ(n).
-	for ti, t2 := range states {
+	for ti := 0; ti < n; ti++ {
 		if periods[comp[ti]] != 1 {
 			continue
 		}
-		mi, ok := idx0[state{t2.y, t2.x}]
-		if !ok {
+		t2 := s.states[ti]
+		mi := s.stateOf[t2.y*k+t2.x]
+		if mi < 0 {
 			continue
 		}
-		if ti == mi || (reachOK(reach0, ti, mi) && reachOK(reach0, mi, ti)) {
+		if ti == int(mi) || (s.reachOK(ti, int(mi)) && s.reachOK(int(mi), ti)) {
 			return &Result{Class: LogStar, Period: minPeriod,
 				Witness: "flexible (" + p.OutNames[t2.x] + "," + p.OutNames[t2.y] + ") with two-way mirror patches"}, nil
 		}
@@ -165,27 +174,151 @@ type errorString string
 
 func (e errorString) Error() string { return string(e) }
 
-// configDigraph builds the ordered-configuration automaton.
-func configDigraph(p *lcl.Problem) ([]state, [][]int) {
-	var states []state
-	idx := map[state]int{}
-	for x := 0; x < p.NumOut(); x++ {
-		for y := 0; y < p.NumOut(); y++ {
-			if p.NodeAllowed(lcl.NewMultiset(x, y)) {
-				idx[state{x, y}] = len(states)
-				states = append(states, state{x, y})
+// ---------------------------------------------------------------------
+// Dense configuration digraph
+//
+// The hot deciders (Cycles, OrientedCycles — invoked once per orbit
+// representative during a census) never touch the Problem's map-backed
+// membership caches: allowed pairs are materialized as k×k boolean
+// tables by direct scans of the constraint slices, states are addressed
+// as x·k+y through a dense index, adjacency is CSR over int32, and
+// reachability is a flat bitset. All of it lives in one pooled scratch
+// struct, so a classification allocates only its Result.
+
+// dgScratch is the reusable dense-digraph workspace.
+type dgScratch struct {
+	k int
+	// nodeOK/edgeOK are k×k membership tables for ordered pairs.
+	nodeOK, edgeOK []bool
+	// stateOf maps x·k+y -> dense state id (-1 when not a state).
+	stateOf []int32
+	states  []state
+	// CSR adjacency: arcs[arcStart[i]:arcStart[i+1]] are i's successors.
+	arcStart []int32
+	arcs     []int32
+
+	// SCC + period scratch.
+	comp, periods, level, queue, order []int
+	index, low, stack                  []int
+	onStack                            []bool
+	frames                             []dgFrame
+
+	// Transitive-closure bitsets: n rows of `words` words.
+	reach []uint64
+	words int
+}
+
+type dgFrame struct{ v, ai int32 }
+
+var dgPool = sync.Pool{New: func() any { return new(dgScratch) }}
+
+func getDG() *dgScratch  { return dgPool.Get().(*dgScratch) }
+func putDG(s *dgScratch) { dgPool.Put(s) }
+
+func ensureBools(buf *[]bool, n int) []bool {
+	b := *buf
+	if cap(b) < n {
+		b = make([]bool, n)
+	} else {
+		b = b[:n]
+		for i := range b {
+			b[i] = false
+		}
+	}
+	*buf = b
+	return b
+}
+
+func ensureIntsN(buf *[]int, n int) []int {
+	b := *buf
+	if cap(b) < n {
+		b = make([]int, n)
+	} else {
+		b = b[:n]
+	}
+	*buf = b
+	return b
+}
+
+// fillPairTables scans p's degree-2 and edge constraint slices directly
+// (no multiset keys, no maps) into the k×k membership tables.
+func fillPairTables(p *lcl.Problem, k int, nodeOK, edgeOK []bool) {
+	for _, m := range p.Node[2] {
+		nodeOK[m[0]*k+m[1]] = true
+		nodeOK[m[1]*k+m[0]] = true
+	}
+	for _, m := range p.Edge {
+		edgeOK[m[0]*k+m[1]] = true
+		edgeOK[m[1]*k+m[0]] = true
+	}
+}
+
+// build materializes p's configuration digraph into the scratch and
+// returns the state count.
+func (s *dgScratch) build(p *lcl.Problem) int {
+	k := p.NumOut()
+	s.k = k
+	nodeOK := ensureBools(&s.nodeOK, k*k)
+	edgeOK := ensureBools(&s.edgeOK, k*k)
+	fillPairTables(p, k, nodeOK, edgeOK)
+
+	if cap(s.stateOf) < k*k {
+		s.stateOf = make([]int32, k*k)
+	}
+	stateOf := s.stateOf[:k*k]
+	s.states = s.states[:0]
+	n := 0
+	for x := 0; x < k; x++ {
+		for y := 0; y < k; y++ {
+			if nodeOK[x*k+y] {
+				stateOf[x*k+y] = int32(n)
+				s.states = append(s.states, state{x, y})
+				n++
+			} else {
+				stateOf[x*k+y] = -1
 			}
 		}
 	}
-	arcs := make([][]int, len(states))
-	for i, s := range states {
-		for j, t := range states {
-			if p.EdgeAllowed(s.y, t.x) {
-				arcs[i] = append(arcs[i], j)
+	s.stateOf = stateOf
+
+	if cap(s.arcStart) < n+1 {
+		s.arcStart = make([]int32, n+1)
+	}
+	arcStart := s.arcStart[:n+1]
+	arcStart[0] = 0
+	for i := 0; i < n; i++ {
+		yi := s.states[i].y
+		cnt := int32(0)
+		for j := 0; j < n; j++ {
+			if edgeOK[yi*k+s.states[j].x] {
+				cnt++
+			}
+		}
+		arcStart[i+1] = arcStart[i] + cnt
+	}
+	s.arcStart = arcStart
+	total := int(arcStart[n])
+	if cap(s.arcs) < total {
+		s.arcs = make([]int32, total)
+	}
+	arcs := s.arcs[:total]
+	for i := 0; i < n; i++ {
+		yi := s.states[i].y
+		pos := arcStart[i]
+		for j := 0; j < n; j++ {
+			if edgeOK[yi*k+s.states[j].x] {
+				arcs[pos] = int32(j)
+				pos++
 			}
 		}
 	}
-	return states, arcs
+	s.arcs = arcs
+	return n
+}
+
+// succ returns state i's successors.
+func (s *dgScratch) succ(i int) []int32 {
+	return s.arcs[s.arcStart[i]:s.arcStart[i+1]]
 }
 
 // sccPeriods returns each vertex's component id and each component's
@@ -193,20 +326,22 @@ func configDigraph(p *lcl.Problem) ([]state, [][]int) {
 // acyclic singleton components). The period is computed by the standard
 // BFS-level trick: for a root r with levels ℓ, the gcd of
 // ℓ(u) + 1 − ℓ(v) over all intra-SCC arcs u→v equals the component's
-// period.
-func sccPeriods(n int, arcs [][]int) (comp []int, periods []int) {
-	comp = tarjanSCC(n, arcs)
+// period. Returned slices alias the scratch.
+func (s *dgScratch) sccPeriods(n int) (comp []int, periods []int) {
+	comp = s.tarjanSCC(n)
 	numComp := 0
 	for _, c := range comp {
 		if c+1 > numComp {
 			numComp = c + 1
 		}
 	}
-	periods = make([]int, numComp)
-	level := make([]int, n)
+	periods = ensureIntsN(&s.periods, numComp)
+	level := ensureIntsN(&s.level, n)
 	for i := range level {
 		level[i] = -1
 	}
+	queue := ensureIntsN(&s.queue, n)
+	order := ensureIntsN(&s.order, n)
 	for c := 0; c < numComp; c++ {
 		root := -1
 		for v := 0; v < n; v++ {
@@ -216,13 +351,15 @@ func sccPeriods(n int, arcs [][]int) (comp []int, periods []int) {
 			}
 		}
 		// BFS within the component.
-		queue := []int{root}
+		queue, order = queue[:0], order[:0]
+		queue = append(queue, root)
 		level[root] = 0
-		order := []int{root}
+		order = append(order, root)
 		for len(queue) > 0 {
 			u := queue[0]
 			queue = queue[1:]
-			for _, v := range arcs[u] {
+			for _, v32 := range s.succ(u) {
+				v := int(v32)
 				if comp[v] == c && level[v] == -1 {
 					level[v] = level[u] + 1
 					queue = append(queue, v)
@@ -232,8 +369,8 @@ func sccPeriods(n int, arcs [][]int) (comp []int, periods []int) {
 		}
 		g := 0
 		for _, u := range order {
-			for _, v := range arcs[u] {
-				if comp[v] == c {
+			for _, v32 := range s.succ(u) {
+				if v := int(v32); comp[v] == c {
 					g = gcd(g, abs(level[u]+1-level[v]))
 				}
 			}
@@ -257,54 +394,52 @@ func abs(x int) int {
 	return x
 }
 
-// tarjanSCC returns component ids (iterative Tarjan).
-func tarjanSCC(n int, arcs [][]int) []int {
-	comp := make([]int, n)
-	for i := range comp {
-		comp[i] = -1
+// tarjanSCC returns component ids (iterative Tarjan) aliasing the
+// scratch.
+func (s *dgScratch) tarjanSCC(n int) []int {
+	comp := ensureIntsN(&s.comp, n)
+	index := ensureIntsN(&s.index, n)
+	low := ensureIntsN(&s.low, n)
+	onStack := ensureBools(&s.onStack, n)
+	stack := s.stack[:0]
+	call := s.frames[:0]
+	for i := 0; i < n; i++ {
+		comp[i], index[i] = -1, -1
 	}
-	index := make([]int, n)
-	low := make([]int, n)
-	onStack := make([]bool, n)
-	for i := range index {
-		index[i] = -1
-	}
-	var stack []int
 	counter, numComp := 0, 0
 
-	type frame struct{ v, ai int }
-	for s := 0; s < n; s++ {
-		if index[s] != -1 {
+	for r := 0; r < n; r++ {
+		if index[r] != -1 {
 			continue
 		}
-		call := []frame{{s, 0}}
-		index[s], low[s] = counter, counter
+		call = append(call[:0], dgFrame{int32(r), 0})
+		index[r], low[r] = counter, counter
 		counter++
-		stack = append(stack, s)
-		onStack[s] = true
+		stack = append(stack, r)
+		onStack[r] = true
 		for len(call) > 0 {
 			f := &call[len(call)-1]
-			if f.ai < len(arcs[f.v]) {
-				w := arcs[f.v][f.ai]
+			v := int(f.v)
+			if succ := s.succ(v); int(f.ai) < len(succ) {
+				w := int(succ[f.ai])
 				f.ai++
 				if index[w] == -1 {
 					index[w], low[w] = counter, counter
 					counter++
 					stack = append(stack, w)
 					onStack[w] = true
-					call = append(call, frame{w, 0})
+					call = append(call, dgFrame{int32(w), 0})
 				} else if onStack[w] {
-					if index[w] < low[f.v] {
-						low[f.v] = index[w]
+					if index[w] < low[v] {
+						low[v] = index[w]
 					}
 				}
 				continue
 			}
 			// Post-visit.
-			v := f.v
 			call = call[:len(call)-1]
 			if len(call) > 0 {
-				parent := call[len(call)-1].v
+				parent := int(call[len(call)-1].v)
 				if low[v] < low[parent] {
 					low[parent] = low[v]
 				}
@@ -323,46 +458,86 @@ func tarjanSCC(n int, arcs [][]int) []int {
 			}
 		}
 	}
+	s.stack, s.frames = stack[:0], call[:0]
 	return comp
 }
 
-// closure computes all-pairs reachability (including via nonempty walks)
-// as bitsets over words.
-func closure(n int, arcs [][]int) [][]uint64 {
+// closure computes all-pairs reachability (via nonempty walks) as a
+// flat bitset in the scratch.
+func (s *dgScratch) closure(n int) {
 	words := (n + 63) / 64
-	reach := make([][]uint64, n)
+	s.words = words
+	if cap(s.reach) < n*words {
+		s.reach = make([]uint64, n*words)
+	}
+	reach := s.reach[:n*words]
 	for i := range reach {
-		reach[i] = make([]uint64, words)
-		for _, j := range arcs[i] {
-			reach[i][j/64] |= 1 << uint(j%64)
+		reach[i] = 0
+	}
+	for i := 0; i < n; i++ {
+		for _, j := range s.succ(i) {
+			reach[i*words+int(j)/64] |= 1 << uint(int(j)%64)
 		}
 	}
 	for changed := true; changed; {
 		changed = false
 		for i := 0; i < n; i++ {
+			row := reach[i*words : (i+1)*words]
 			for j := 0; j < n; j++ {
-				if reachOK(reach, i, j) {
-					for w := 0; w < words; w++ {
-						old := reach[i][w]
-						reach[i][w] |= reach[j][w]
-						if reach[i][w] != old {
-							changed = true
-						}
+				if row[j/64]&(1<<uint(j%64)) == 0 {
+					continue
+				}
+				src := reach[j*words : (j+1)*words]
+				for w := 0; w < words; w++ {
+					old := row[w]
+					row[w] |= src[w]
+					if row[w] != old {
+						changed = true
 					}
 				}
 			}
 		}
 	}
-	return reach
+	s.reach = reach
 }
 
-func reachOK(reach [][]uint64, i, j int) bool {
-	return reach[i][j/64]&(1<<uint(j%64)) != 0
+// reachOK reports i →+ j on the closure bitsets.
+func (s *dgScratch) reachOK(i, j int) bool {
+	return s.reach[i*s.words+j/64]&(1<<uint(j%64)) != 0
 }
 
-// CycleSolvable reports whether a valid labeling exists on the n-cycle, by
-// dynamic programming over walks (exact, used to cross-check Class and
-// Period on small instances).
+// configDigraph builds the ordered-configuration automaton in the
+// allocating [][]int shape used by the colder deciders (paths, inputs,
+// monoid exploration). It shares the dense membership-table scan with
+// the pooled fast path — no multiset keys, no maps.
+func configDigraph(p *lcl.Problem) ([]state, [][]int) {
+	k := p.NumOut()
+	nodeOK := make([]bool, k*k)
+	edgeOK := make([]bool, k*k)
+	fillPairTables(p, k, nodeOK, edgeOK)
+	var states []state
+	for x := 0; x < k; x++ {
+		for y := 0; y < k; y++ {
+			if nodeOK[x*k+y] {
+				states = append(states, state{x, y})
+			}
+		}
+	}
+	arcs := make([][]int, len(states))
+	for i, si := range states {
+		for j, sj := range states {
+			if edgeOK[si.y*k+sj.x] {
+				arcs[i] = append(arcs[i], j)
+			}
+		}
+	}
+	return states, arcs
+}
+
+// CycleSolvable reports whether a valid labeling exists on the n-cycle,
+// by dynamic programming over walks (exact, used to cross-check Class
+// and Period on small instances). The step relation is a bitset matrix
+// product over two ping-pong buffers — no per-step allocation.
 func CycleSolvable(p *lcl.Problem, n int) bool {
 	if p.NumIn() != 1 || n < 3 {
 		return false
@@ -372,35 +547,59 @@ func CycleSolvable(p *lcl.Problem, n int) bool {
 	if k == 0 {
 		return false
 	}
+	words := (k + 63) / 64
+	adj := adjBits(k, words, arcs)
 	// reachable-in-exactly-n steps from i back to i, for some i.
-	cur := make([][]bool, k)
-	for i := range cur {
-		cur[i] = make([]bool, k)
-		cur[i][i] = true
+	cur := make([]uint64, k*words)
+	next := make([]uint64, k*words)
+	for i := 0; i < k; i++ {
+		cur[i*words+i/64] = 1 << uint(i%64)
 	}
 	for step := 0; step < n; step++ {
-		next := make([][]bool, k)
-		for i := range next {
-			next[i] = make([]bool, k)
-		}
-		for i := 0; i < k; i++ {
-			for j := 0; j < k; j++ {
-				if !cur[i][j] {
-					continue
-				}
-				for _, l := range arcs[j] {
-					next[i][l] = true
-				}
-			}
-		}
-		cur = next
+		stepBits(k, words, cur, next, adj)
+		cur, next = next, cur
 	}
 	for i := 0; i < k; i++ {
-		if cur[i][i] {
+		if cur[i*words+i/64]&(1<<uint(i%64)) != 0 {
 			return true
 		}
 	}
 	return false
+}
+
+// adjBits renders [][]int adjacency as row bitsets.
+func adjBits(k, words int, arcs [][]int) []uint64 {
+	adj := make([]uint64, k*words)
+	for i, succ := range arcs {
+		for _, j := range succ {
+			adj[i*words+j/64] |= 1 << uint(j%64)
+		}
+	}
+	return adj
+}
+
+// stepBits computes next = cur · adj over the boolean semiring; next is
+// overwritten.
+func stepBits(k, words int, cur, next, adj []uint64) {
+	for i := range next {
+		next[i] = 0
+	}
+	for i := 0; i < k; i++ {
+		row := cur[i*words : (i+1)*words]
+		out := next[i*words : (i+1)*words]
+		for jw := 0; jw < words; jw++ {
+			w := row[jw]
+			for w != 0 {
+				b := w & (-w)
+				j := jw*64 + trailingZeros(b)
+				w &^= b
+				src := adj[j*words : (j+1)*words]
+				for x := 0; x < words; x++ {
+					out[x] |= src[x]
+				}
+			}
+		}
+	}
 }
 
 // PathSolvable reports whether a valid labeling exists on the n-path

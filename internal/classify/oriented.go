@@ -39,15 +39,19 @@ func OrientedCycles(p *lcl.Problem) (*Result, error) {
 	if p.NumIn() != 1 {
 		return nil, errInputs
 	}
-	states, arcs := configDigraph(p)
-	if len(states) == 0 {
+	dg := getDG()
+	defer putDG(dg)
+	n := dg.build(p)
+	if n == 0 {
 		return &Result{Class: Unsolvable}, nil
 	}
-	comp, periods := sccPeriods(len(states), arcs)
+	k := dg.k
+	comp, periods := dg.sccPeriods(n)
 
 	// O(1): a self-loop state tiles every oriented cycle in 0 rounds.
-	for _, s := range states {
-		if p.EdgeAllowed(s.y, s.x) {
+	for si := 0; si < n; si++ {
+		s := dg.states[si]
+		if dg.edgeOK[s.y*k+s.x] {
 			return &Result{Class: Constant, Period: 1,
 				Witness: "oriented self-loop (" + p.OutNames[s.x] + "," + p.OutNames[s.y] + ")"}, nil
 		}
@@ -62,8 +66,9 @@ func OrientedCycles(p *lcl.Problem) (*Result, error) {
 		return &Result{Class: Unsolvable}, nil
 	}
 	// Θ(log* n): a flexible state (no mirror condition with orientation).
-	for si, s := range states {
+	for si := 0; si < n; si++ {
 		if periods[comp[si]] == 1 {
+			s := dg.states[si]
 			return &Result{Class: LogStar, Period: minPeriod,
 				Witness: "flexible (" + p.OutNames[s.x] + "," + p.OutNames[s.y] + ") along the orientation"}, nil
 		}

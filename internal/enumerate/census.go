@@ -88,16 +88,86 @@ type RunOpts struct {
 // (*classify.Result values). It is shared with internal/service.
 const CycleDomain = "classify/cycles"
 
-// RunWith enumerates the census, deduplicating label-isomorphic problems
-// by canonical fingerprint (internal/canon) when dedup is set, and fans
-// classification out across a worker pool, consulting the memo cache
-// before invoking the classifier. The result is deterministic and
+// classifyCycles is the classifier the census invokes, a seam so tests
+// can count invocations (the orbit-representative contract: exactly one
+// call per isomorphism class).
+var classifyCycles = classify.Cycles
+
+// maskFingerprints memoizes the canonical fingerprint of the orbit
+// representative mask problems, keyed by packed (k, n2, e) — see
+// maskFPKey. Fingerprints are pure functions of the mask orbit, and the
+// spaces are tiny (≤ ~46k representatives at k = 4), so the cache is
+// process-lifetime: repeated censuses and mask-shaped API traffic
+// (FastCycleFingerprint) skip canonicalization entirely after the first
+// encounter of each orbit.
+var maskFingerprints sync.Map // uint64 -> uint64
+
+func maskFPKey(k int, n2, e uint) uint64 {
+	return uint64(k)<<40 | uint64(n2)<<20 | uint64(e)
+}
+
+// maskFingerprint returns the canonical fingerprint (internal/canon) of
+// the census problem with canonical masks (cn, ce) — equal, by label
+// isomorphism, to the fingerprint of every member of the orbit.
+func maskFingerprint(k int, cn, ce uint) uint64 {
+	key := maskFPKey(k, cn, ce)
+	if fp, ok := maskFingerprints.Load(key); ok {
+		return fp.(uint64)
+	}
+	fp := canon.MustFingerprint(FromMasks(k, cn, ce))
+	maskFingerprints.Store(key, fp)
+	return fp
+}
+
+// FastCycleFingerprint computes the canonical fingerprint of a
+// mask-shaped problem — input-free, degree-2 configurations only, g =
+// "all outputs", alphabet within the orbit tables — via orbit-table
+// canonicalization and the shared mask-fingerprint cache, skipping the
+// full canonical search. It returns ok = false (and no fingerprint) for
+// any other problem; the value returned for ok = true is exactly
+// canon.Fingerprint(p), so cache keys derived from it are
+// interchangeable with the slow path's. Exported for the service layer
+// (the cycles decider), whose traffic is dominated by census-shaped
+// problems.
+func FastCycleFingerprint(p *lcl.Problem) (uint64, bool) {
+	k := p.NumOut()
+	if p.NumIn() != 1 || k < 1 || k > canon.MaxOrbitK {
+		return 0, false
+	}
+	if p.Validate() != nil {
+		return 0, false
+	}
+	for d, list := range p.Node {
+		if d != 2 && len(list) > 0 {
+			return 0, false
+		}
+	}
+	// g must allow every output on the single input label.
+	var g uint
+	for _, o := range p.G[0] {
+		g |= 1 << uint(o)
+	}
+	if g != uint(1)<<uint(k)-1 {
+		return 0, false
+	}
+	n2, e := Masks(p)
+	cn, ce := canon.Orbits(k).CanonicalPair(n2, e)
+	return maskFingerprint(k, cn, ce), true
+}
+
+// RunWith enumerates the census over orbit representatives: a mask pair
+// is classified only when it is its own orbit's canonical
+// representative (orbit tables, internal/canon), so each label-
+// isomorphism class meets the fingerprinter and the classifier exactly
+// once — without dedup the representative's result is fanned out to
+// every orbit member. Memo lookups happen in one batch (one lock per
+// cache shard) before the worker pool starts; only unresolved
+// representatives reach the workers. The result is deterministic and
 // identical to a serial run: classification is a pure function of the
 // canonical form, entries stay in mask order, and with dedup the
 // representative of each class is its lexicographically smallest
 // (node-mask, edge-mask) member — the same representative CanonicalKey
-// selects, since first-encounter order in the mask sweep is exactly
-// lexicographic order.
+// selects.
 // Like CycleLCLs, the census is bounded to k <= 3 (4^10 = 1M raw
 // problems at k = 4 would make the classifier sweep dominate); unlike
 // CycleLCLs it reports the bound as an error rather than panicking.
@@ -112,34 +182,55 @@ func RunWith(k int, dedup bool, opts RunOpts) (*Census, error) {
 		RawByClass: map[classify.Class]int{},
 	}
 
-	// Enumerate, fingerprinting every mask problem; with dedup the
-	// fingerprint map replaces the k!-relabeling CanonicalKey sweep.
-	type job struct {
-		en Enumerated
-		fp uint64
+	// Enumerate the mask space, reducing every pair to its orbit
+	// representative by table lookup. Representatives are discovered in
+	// ascending mask order (the canonical pair is the orbit's
+	// lexicographic minimum, so it is seen before any other member).
+	type rep struct {
+		n2, e   uint
+		problem *lcl.Problem
+		fp      uint64
+		orbit   int // raw mask pairs in the orbit
+		result  *classify.Result
+		err     error
 	}
-	var jobs []job
+	type job struct {
+		en  Enumerated
+		rep int
+	}
+	tbl := canon.Orbits(k)
 	total := uint(1) << uint(PairCount(k))
-	seen := map[uint64]int{} // fingerprint -> index in jobs
+	var reps []rep
+	var jobs []job
+	repOf := make([]int32, total*total)
+	for i := range repOf {
+		repOf[i] = -1
+	}
 	for n2 := uint(0); n2 < total; n2++ {
 		if err := ctxErr(opts.Ctx); err != nil {
 			return nil, err
 		}
 		for e := uint(0); e < total; e++ {
-			p := FromMasks(k, n2, e)
-			fp, err := canon.Fingerprint(p)
-			if err != nil {
-				return nil, fmt.Errorf("enumerate: fingerprint %s: %w", p.Name, err)
+			cn, ce := tbl.CanonicalPair(n2, e)
+			ri := repOf[cn<<uint(PairCount(k))|ce]
+			if ri < 0 {
+				ri = int32(len(reps))
+				repOf[cn<<uint(PairCount(k))|ce] = ri
+				reps = append(reps, rep{n2: cn, e: ce, problem: FromMasks(k, cn, ce)})
 			}
+			reps[ri].orbit++
 			if dedup {
-				if i, ok := seen[fp]; ok {
-					jobs[i].en.Orbit++
-					continue
+				if n2 == cn && e == ce {
+					jobs = append(jobs, job{en: Enumerated{Problem: reps[ri].problem, N2Mask: n2, EMask: e}, rep: int(ri)})
 				}
-				seen[fp] = len(jobs)
+			} else {
+				jobs = append(jobs, job{en: Enumerated{Problem: FromMasks(k, n2, e), N2Mask: n2, EMask: e, Orbit: 1}, rep: int(ri)})
 			}
-			jobs = append(jobs, job{en: Enumerated{Problem: p, N2Mask: n2, EMask: e, Orbit: 1}, fp: fp})
 		}
+	}
+	// Canonical fingerprints, once per orbit (and cached across runs).
+	for ri := range reps {
+		reps[ri].fp = maskFingerprint(k, reps[ri].n2, reps[ri].e)
 	}
 
 	// Warm-start index: fingerprint -> previously decided (class, period).
@@ -156,20 +247,72 @@ func RunWith(k int, dedup bool, opts RunOpts) (*Census, error) {
 		}
 	}
 
-	// Classify over the worker pool, memoizing by fingerprint.
+	// Progress accounting is per census entry, like the serial engine:
+	// with dedup one tick per representative, otherwise ticks arrive in
+	// orbit-sized strides as each representative resolves.
+	totalJobs := len(jobs)
+	if opts.Progress != nil {
+		opts.Progress(0, totalJobs)
+	}
+	var done atomic.Int64
+	// entriesOf(ri) is how many census entries representative ri
+	// resolves: 1 with dedup, the orbit size otherwise.
+	entriesOf := func(ri int) int {
+		if dedup {
+			return 1
+		}
+		return reps[ri].orbit
+	}
+
+	// Batched memo lookup: one GetBatch resolves every cached orbit with
+	// a single lock acquisition per shard.
+	keys := make([]uint64, len(reps))
+	for ri := range reps {
+		keys[ri] = memo.Key(CycleDomain, reps[ri].fp)
+	}
+	if opts.Cache != nil {
+		values := make([]any, len(reps))
+		opts.Cache.GetBatch(keys, values)
+		for ri := range reps {
+			if values[ri] == nil {
+				continue
+			}
+			reps[ri].result = values[ri].(*classify.Result)
+			if opts.Progress != nil {
+				opts.Progress(int(done.Add(int64(entriesOf(ri)))), totalJobs)
+			}
+		}
+	}
+	// Warm census resolution for the remaining orbits.
+	for ri := range reps {
+		if reps[ri].result != nil {
+			continue
+		}
+		if we, ok := warm[reps[ri].fp]; ok {
+			res := &classify.Result{Class: we.Class, Period: we.Period, Witness: we.Witness}
+			opts.Cache.Put(keys[ri], res)
+			reps[ri].result = res
+			if opts.Progress != nil {
+				opts.Progress(int(done.Add(int64(entriesOf(ri)))), totalJobs)
+			}
+		}
+	}
+
+	// Classify the unresolved representatives over the worker pool.
+	var pending []int32
+	for ri := range reps {
+		if reps[ri].result == nil {
+			pending = append(pending, int32(ri))
+		}
+	}
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(jobs) {
-		workers = len(jobs)
+	if workers > len(pending) {
+		workers = len(pending)
 	}
-	if opts.Progress != nil {
-		opts.Progress(0, len(jobs))
-	}
-	results := make([]*classify.Result, len(jobs))
-	errs := make([]error, len(jobs))
-	var next, done atomic.Int64
+	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -179,28 +322,20 @@ func RunWith(k int, dedup bool, opts RunOpts) (*Census, error) {
 				if ctxErr(opts.Ctx) != nil {
 					return
 				}
-				i := int(next.Add(1)) - 1
-				if i >= len(jobs) {
+				pi := int(next.Add(1)) - 1
+				if pi >= len(pending) {
 					return
 				}
-				key := memo.Key(CycleDomain, jobs[i].fp)
-				if v, ok := opts.Cache.Get(key); ok {
-					results[i] = v.(*classify.Result)
-				} else if we, ok := warm[jobs[i].fp]; ok {
-					res := &classify.Result{Class: we.Class, Period: we.Period, Witness: we.Witness}
-					opts.Cache.Put(key, res)
-					results[i] = res
-				} else {
-					res, err := classify.Cycles(jobs[i].en.Problem)
-					if err != nil {
-						errs[i] = err
-						continue
-					}
-					opts.Cache.Put(key, res)
-					results[i] = res
+				ri := int(pending[pi])
+				res, err := classifyCycles(reps[ri].problem)
+				if err != nil {
+					reps[ri].err = err
+					continue
 				}
+				opts.Cache.Put(keys[ri], res)
+				reps[ri].result = res
 				if opts.Progress != nil {
-					opts.Progress(int(done.Add(1)), len(jobs))
+					opts.Progress(int(done.Add(int64(entriesOf(ri)))), totalJobs)
 				}
 			}
 		}()
@@ -210,13 +345,18 @@ func RunWith(k int, dedup bool, opts RunOpts) (*Census, error) {
 		return nil, err
 	}
 
-	for i, j := range jobs {
-		if errs[i] != nil {
-			return nil, fmt.Errorf("enumerate: classify %s: %w", j.en.Problem.Name, errs[i])
+	for _, j := range jobs {
+		r := &reps[j.rep]
+		if r.err != nil {
+			return nil, fmt.Errorf("enumerate: classify %s: %w", r.problem.Name, r.err)
 		}
-		c.Entries = append(c.Entries, Entry{Enumerated: j.en, Class: results[i].Class, Period: results[i].Period, Witness: results[i].Witness, Fingerprint: j.fp})
-		c.ByClass[results[i].Class]++
-		c.RawByClass[results[i].Class] += j.en.Orbit
+		en := j.en
+		if dedup {
+			en.Orbit = r.orbit
+		}
+		c.Entries = append(c.Entries, Entry{Enumerated: en, Class: r.result.Class, Period: r.result.Period, Witness: r.result.Witness, Fingerprint: r.fp})
+		c.ByClass[r.result.Class]++
+		c.RawByClass[r.result.Class] += en.Orbit
 	}
 	return c, nil
 }

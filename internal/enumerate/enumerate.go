@@ -17,8 +17,8 @@ package enumerate
 
 import (
 	"fmt"
-	"sort"
 
+	"repro/internal/canon"
 	"repro/internal/lcl"
 )
 
@@ -96,8 +96,21 @@ func Masks(p *lcl.Problem) (n2, e uint) {
 // CanonicalKey returns the lexicographically smallest (node, edge) mask
 // pair over all k! relabelings of the output alphabet. Problems with equal
 // keys are exactly the label-isomorphic ones; the census uses the key to
-// deduplicate.
+// deduplicate. For k <= canon.MaxOrbitK (every census alphabet) the
+// answer is a pure table lookup over the precomputed orbit tables —
+// zero allocations; larger k fall back to the permutation sweep.
 func CanonicalKey(k int, n2, e uint) (uint, uint) {
+	if k <= canon.MaxOrbitK {
+		return canon.Orbits(k).CanonicalPair(n2, e)
+	}
+	return canonicalKeySweep(k, n2, e)
+}
+
+// canonicalKeySweep is the reference implementation of CanonicalKey: a
+// fresh Heap's-algorithm sweep over all k! relabelings. It is the
+// fallback beyond the orbit tables and the oracle the orbit-table
+// property tests compare against.
+func canonicalKeySweep(k int, n2, e uint) (uint, uint) {
 	bestN, bestE := n2, e
 	forEachPermutation(k, func(perm []int) {
 		pn, pe := permuteMask(k, n2, perm), permuteMask(k, e, perm)
@@ -176,30 +189,25 @@ func CycleLCLs(k int, dedup bool) []Enumerated {
 		}
 		return out
 	}
-	type key struct{ n2, e uint }
-	reps := map[key]*Enumerated{}
-	var order []key
+	// Orbit-representative sweep: a mask pair is kept iff it is its own
+	// orbit's canonical representative, so each isomorphism class is
+	// materialized exactly once — no map, no per-pair canonical key.
+	// Representatives appear in ascending (n2, e) order because the
+	// canonical pair is the orbit's lexicographic minimum.
+	tbl := canon.Orbits(k)
+	var out []Enumerated
 	for n2 := uint(0); n2 < total; n2++ {
 		for e := uint(0); e < total; e++ {
-			cn, ce := CanonicalKey(k, n2, e)
-			kk := key{cn, ce}
-			if r, ok := reps[kk]; ok {
-				r.Orbit++
+			if !tbl.IsCanonicalPair(n2, e) {
 				continue
 			}
-			reps[kk] = &Enumerated{Problem: FromMasks(k, cn, ce), N2Mask: cn, EMask: ce, Orbit: 1}
-			order = append(order, kk)
+			out = append(out, Enumerated{
+				Problem: FromMasks(k, n2, e),
+				N2Mask:  n2,
+				EMask:   e,
+				Orbit:   tbl.PairOrbitSize(n2, e),
+			})
 		}
-	}
-	sort.Slice(order, func(i, j int) bool {
-		if order[i].n2 != order[j].n2 {
-			return order[i].n2 < order[j].n2
-		}
-		return order[i].e < order[j].e
-	})
-	out := make([]Enumerated, len(order))
-	for i, kk := range order {
-		out[i] = *reps[kk]
 	}
 	return out
 }

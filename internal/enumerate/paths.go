@@ -3,6 +3,7 @@ package enumerate
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"repro/internal/canon"
 	"repro/internal/classify"
@@ -102,9 +103,14 @@ func RunPathsWith(k int, opts PathRunOpts) (*PathCensus, error) {
 		return nil, fmt.Errorf("enumerate: path census supports k in [1, 3], got %d", k)
 	}
 	c := &PathCensus{K: k, ShortestBad: map[int]int{}}
+	tbl := canon.Orbits(k)
 	pairSpace := uint(1) << uint(PairCount(k))
 	endSpace := uint(1) << uint(k)
 	total := int(endSpace) * int(pairSpace) * int(pairSpace)
+	// Per-run orbit sharing: path solvability is invariant under output
+	// relabeling, so one decision per (n1, n2, e) orbit covers every
+	// member even without a memo cache.
+	byFP := make(map[uint64]*classify.InputsResult)
 	for n1 := uint(0); n1 < endSpace; n1++ {
 		for n2 := uint(0); n2 < pairSpace; n2++ {
 			if err := ctxErr(opts.Ctx); err != nil {
@@ -113,7 +119,8 @@ func RunPathsWith(k int, opts PathRunOpts) (*PathCensus, error) {
 			for e := uint(0); e < pairSpace; e++ {
 				p := FromPathMasks(k, n1, n2, e)
 				c.Total++
-				res, err := decidePath(p, opts.Cache)
+				cn1, cn2, ce := tbl.CanonicalTriple(n1, n2, e)
+				res, err := decidePath(p, pathMaskFingerprint(k, cn1, cn2, ce), opts.Cache, byFP)
 				if err != nil {
 					return nil, fmt.Errorf("enumerate: %s: %w", p.Name, err)
 				}
@@ -132,29 +139,44 @@ func RunPathsWith(k int, opts PathRunOpts) (*PathCensus, error) {
 	return c, nil
 }
 
-// decidePath decides one path problem through the memo cache. Inexact
-// canonical forms (never reached for mask problems at k <= 3, but cheap
-// to guard) bypass the cache, mirroring the service layer's rule.
-func decidePath(p *lcl.Problem, cache *memo.Cache) (*classify.InputsResult, error) {
-	if cache == nil {
-		return classify.PathsWithInputs(p)
+// pathMaskFingerprints memoizes canonical fingerprints of path-census
+// orbit representatives, keyed by packed (k, n1, n2, e); like the cycle
+// census's mask-fingerprint cache, it is process-lifetime and tiny.
+var pathMaskFingerprints sync.Map // uint64 -> uint64
+
+// pathMaskFingerprint returns the canonical fingerprint of the path
+// problem with canonical masks (cn1, cn2, ce) — shared, by label
+// isomorphism, with every orbit member. The full canonical search runs
+// once per orbit per process.
+func pathMaskFingerprint(k int, cn1, cn2, ce uint) uint64 {
+	key := uint64(k)<<44 | uint64(cn1)<<40 | uint64(cn2)<<20 | uint64(ce)
+	if fp, ok := pathMaskFingerprints.Load(key); ok {
+		return fp.(uint64)
 	}
-	form, err := canon.Canonicalize(p)
-	if err != nil {
-		return nil, err
+	fp := canon.MustFingerprint(FromPathMasks(k, cn1, cn2, ce))
+	pathMaskFingerprints.Store(key, fp)
+	return fp
+}
+
+// decidePath decides one path problem under its (precomputed, exact)
+// canonical fingerprint: first the run-local orbit results, then the
+// memo cache, then the subset-construction decider.
+func decidePath(p *lcl.Problem, fp uint64, cache *memo.Cache, byFP map[uint64]*classify.InputsResult) (*classify.InputsResult, error) {
+	if res, ok := byFP[fp]; ok {
+		return res, nil
 	}
-	if !form.Exact {
-		return classify.PathsWithInputs(p)
-	}
-	key := memo.Key(PathDomain, form.Fingerprint())
+	key := memo.Key(PathDomain, fp)
 	if v, ok := cache.Get(key); ok {
-		return v.(*classify.InputsResult), nil
+		res := v.(*classify.InputsResult)
+		byFP[fp] = res
+		return res, nil
 	}
 	res, err := classify.PathsWithInputs(p)
 	if err != nil {
 		return nil, err
 	}
 	cache.Put(key, res)
+	byFP[fp] = res
 	return res, nil
 }
 

@@ -118,6 +118,51 @@ func (c *Cache) Get(key uint64) (any, bool) {
 	return v, true
 }
 
+// GetBatch looks up many keys at once, writing each hit's value into
+// values (values[i] stays nil on a miss) and returning the hit count.
+// Each shard is locked once per batch instead of once per key, so a
+// census-sized batch (thousands of keys) costs a handful of lock
+// acquisitions. Hits refresh recency and counters exactly as Get does.
+// A nil cache misses everything.
+func (c *Cache) GetBatch(keys []uint64, values []any) int {
+	if len(values) < len(keys) {
+		panic("memo: GetBatch values shorter than keys")
+	}
+	if c == nil {
+		for i := range keys {
+			values[i] = nil
+		}
+		return 0
+	}
+	hits := 0
+	for si := range c.shards {
+		s := &c.shards[si]
+		locked := false
+		for i, key := range keys {
+			if mix(key)&c.mask != uint64(si) {
+				continue
+			}
+			if !locked {
+				s.mu.Lock()
+				locked = true
+			}
+			if e, ok := s.m[key]; ok {
+				s.moveToFront(e)
+				values[i] = e.value
+				hits++
+			} else {
+				values[i] = nil
+			}
+		}
+		if locked {
+			s.mu.Unlock()
+		}
+	}
+	c.hits.Add(uint64(hits))
+	c.misses.Add(uint64(len(keys) - hits))
+	return hits
+}
+
 // Put stores value under key, evicting the least recently used entry of
 // the shard when it is full. Storing an existing key refreshes its value
 // and recency.

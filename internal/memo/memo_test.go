@@ -262,3 +262,70 @@ func TestExportImportNil(t *testing.T) {
 	}
 	c.Import([]Entry{{Key: 1, Value: 2}}, Stats{Hits: 3})
 }
+
+// TestGetBatch: a batched lookup returns exactly what per-key Gets
+// would — values for hits, nils for misses — counts hits and misses
+// once per key, and refreshes recency so batch-hit entries survive
+// eviction pressure like individually-hit ones.
+func TestGetBatch(t *testing.T) {
+	c := New(4, 1024)
+	for i := uint64(0); i < 100; i += 2 {
+		c.Put(i, i*10)
+	}
+	keys := make([]uint64, 100)
+	for i := range keys {
+		keys[i] = uint64(i)
+	}
+	values := make([]any, len(keys))
+	hits := c.GetBatch(keys, values)
+	if hits != 50 {
+		t.Fatalf("batch hit %d of 100 keys, want 50", hits)
+	}
+	for i, v := range values {
+		if i%2 == 0 {
+			if v != uint64(i)*10 {
+				t.Fatalf("key %d: got %v, want %d", i, v, i*10)
+			}
+		} else if v != nil {
+			t.Fatalf("missing key %d returned %v", i, v)
+		}
+	}
+	st := c.Stats()
+	if st.Hits != 50 || st.Misses != 50 {
+		t.Fatalf("stats after batch: hits %d misses %d, want 50/50", st.Hits, st.Misses)
+	}
+}
+
+// TestGetBatchRecency: batch hits move entries to the front of their
+// shard's LRU, exactly like Get.
+func TestGetBatchRecency(t *testing.T) {
+	c := New(1, 4) // one shard, capacity 4
+	for i := uint64(0); i < 4; i++ {
+		c.Put(i, i)
+	}
+	// Touch key 0 via a batch, then insert two new keys: the untouched
+	// keys evict first and 0 survives.
+	values := make([]any, 1)
+	if hits := c.GetBatch([]uint64{0}, values); hits != 1 {
+		t.Fatalf("batch missed a present key")
+	}
+	c.Put(10, 10)
+	c.Put(11, 11)
+	if _, ok := c.Get(0); !ok {
+		t.Fatal("batch-refreshed key was evicted before stale ones")
+	}
+}
+
+// TestGetBatchNil: a nil cache misses every key and writes nils.
+func TestGetBatchNil(t *testing.T) {
+	var c *Cache
+	values := []any{1, 2, 3}
+	if hits := c.GetBatch([]uint64{7, 8, 9}, values); hits != 0 {
+		t.Fatalf("nil cache reported %d hits", hits)
+	}
+	for i, v := range values {
+		if v != nil {
+			t.Fatalf("values[%d] = %v, want nil", i, v)
+		}
+	}
+}

@@ -91,7 +91,19 @@ func (cyclesDecider) Normalize(req *decide.Request) error { return requireProble
 // census runs and API traffic warm each other.
 func (cyclesDecider) MemoDomain(req *decide.Request) string { return enumerate.CycleDomain }
 
+// Fingerprint takes the orbit-table fast path for mask-shaped problems
+// (input-free, degree-2 configs, g = all outputs, k within the tables):
+// the canonical fingerprint of such a problem is a pure function of its
+// mask orbit, which enumerate resolves by table lookup against the
+// shared mask-fingerprint cache — the same keys the census publishes,
+// so census runs and API traffic keep warming each other. Everything
+// else canonicalizes fully.
 func (cyclesDecider) Fingerprint(req *decide.Request) (uint64, bool, error) {
+	if req.Problem != nil {
+		if fp, ok := enumerate.FastCycleFingerprint(req.Problem); ok {
+			return fp, true, nil
+		}
+	}
 	return decide.LCLFingerprint(req.Problem)
 }
 

@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/decide"
 	"repro/internal/enumerate"
 	"repro/internal/jobs"
 	"repro/internal/store"
@@ -321,12 +322,31 @@ func readSSE(t *testing.T, body *bufio.Scanner, max int) []sseEvent {
 	return events
 }
 
+// pacedCensusDecider gates the real cycles census job on a channel, so
+// the SSE test provably attaches its stream while the job is still
+// running — the orbit-representative census finishes a k=3 sweep in
+// single-digit milliseconds, faster than an HTTP round-trip, and an
+// ungated job would race the watcher to the terminal state.
+type pacedCensusDecider struct {
+	cyclesDecider
+	attached chan struct{}
+}
+
+func (p pacedCensusDecider) RunCensusJob(ctx context.Context, e *Engine, spec jobs.Spec, report jobs.Report) (any, error) {
+	<-p.attached
+	return p.cyclesDecider.RunCensusJob(ctx, e, spec, report)
+}
+
 // TestHTTPJobEventsStreamMonotonic is the acceptance test for progress
 // streaming: GET /v1/jobs/{id}/events on a running k=3 census job
 // delivers monotonically increasing progress and ends with the terminal
-// state event.
+// state event. The census is gated on stream attach (pacedCensusDecider)
+// so every progress event is emitted while the watcher is subscribed.
 func TestHTTPJobEventsStreamMonotonic(t *testing.T) {
-	e := New(Config{Workers: 2})
+	attached := make(chan struct{})
+	registry := decide.NewRegistry()
+	registry.MustRegister(pacedCensusDecider{attached: attached})
+	e := New(Config{Workers: 2, Registry: registry})
 	defer e.Close()
 	srv := httptest.NewServer(NewHandler(e))
 	defer srv.Close()
@@ -351,6 +371,9 @@ func TestHTTPJobEventsStreamMonotonic(t *testing.T) {
 	if ct := stream.Header.Get("Content-Type"); ct != "text/event-stream" {
 		t.Fatalf("content type %q", ct)
 	}
+	// The stream is subscribed (response headers are written after the
+	// handler attaches): release the census.
+	close(attached)
 	events := readSSE(t, bufio.NewScanner(stream.Body), 100000)
 	if len(events) == 0 {
 		t.Fatal("no SSE events")
