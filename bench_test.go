@@ -630,6 +630,42 @@ func BenchmarkClassifyMemo(b *testing.B) {
 	}
 }
 
+// Observability overhead gate: the warm memo-hit path (the hottest
+// request shape the server serves) with instrumentation on vs off. The
+// CI bench gate asserts identical allocs/op — the obs layer must stay
+// allocation-free on the hot path — and the ns/op delta is the real
+// instrumentation cost (a few time.Now calls plus atomic updates,
+// ~2% locally).
+func BenchmarkClassifyInstrumented(b *testing.B) {
+	req := service.Request{Problem: problems.Coloring(3, 2), Mode: "cycles"}
+	for _, variant := range []struct {
+		name       string
+		disableObs bool
+	}{
+		{"bare", true},
+		{"instrumented", false},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			e := service.New(service.Config{Workers: 1, DisableObs: variant.disableObs})
+			defer e.Close()
+			if _, err := e.Classify(req); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				resp, err := e.Classify(req)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !resp.CacheHit {
+					b.Fatal("warm request missed the cache")
+				}
+			}
+		})
+	}
+}
+
 // E20: census cold vs warm — a census re-run against a warm memo cache
 // skips every classification (canonicalization remains, which is the
 // point: dedup itself rides the canon keys).

@@ -39,6 +39,17 @@
 //	POST /v1/admin/snapshot  persist the warm state now
 //	GET  /healthz            liveness
 //	GET  /statsz             engine + cache counters + snapshot age
+//	GET  /metricsz           Prometheus text exposition (engine, memo,
+//	                         jobs, HTTP families)
+//	GET  /debug/tracez       recent request traces with per-stage spans
+//	                         (?decider=, ?min_ms=, ?limit=)
+//
+// Observability: logs are structured (log/slog; -log-format json for
+// machine-readable lines, -log-level debug for per-request access
+// lines), every response echoes an X-Request-Id (accepted from the
+// request or minted), requests slower than -slow-request are logged
+// with their span breakdown, and the last -trace-buffer requests are
+// inspectable at /debug/tracez.
 //
 // Shutdown (SIGINT/SIGTERM) is graceful and ordered: the listener
 // drains in-flight requests via http.Server.Shutdown, the job manager
@@ -50,7 +61,7 @@ package main
 import (
 	"context"
 	"flag"
-	"log"
+	"log/slog"
 	"net/http"
 	// Registers the profiling endpoints on http.DefaultServeMux; they
 	// are only reachable when -pprof binds that mux to its own listener.
@@ -62,6 +73,7 @@ import (
 	"time"
 
 	"repro/internal/jobs"
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/store"
 )
@@ -78,22 +90,36 @@ func main() {
 	jobWorkers := flag.Int("job-workers", 1, "concurrently running background jobs")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "in-flight request drain budget on shutdown")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address, e.g. localhost:6060 (empty = off; bind a loopback address — the endpoints are unauthenticated)")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error (debug logs every request)")
+	logFormat := flag.String("log-format", "text", "log format: text or json")
+	slowRequest := flag.Duration("slow-request", obs.DefaultSlowThreshold, "log requests slower than this with their span breakdown (0 = off)")
+	traceBuffer := flag.Int("trace-buffer", obs.DefaultTraceBuffer, "recent request traces kept for /debug/tracez")
 	flag.Parse()
+
+	base := obs.NewLogger(os.Stderr, obs.ParseLevel(*logLevel), *logFormat == "json")
+	slog.SetDefault(base)
+	logger := obs.Component(base, "lclserver")
+
+	obsSet := obs.NewSet()
+	obsSet.Logger = base
+	obsSet.Traces = obs.NewTraceRing(*traceBuffer)
+	obsSet.SlowThreshold = *slowRequest
 
 	// Profiling listener: separate from the API listener so profiling
 	// never rides an exposed port, and guarded by the flag so production
 	// deployments opt in explicitly.
 	if *pprofAddr != "" {
 		go func() {
-			log.Printf("lclserver: pprof listening on %s (/debug/pprof/)", *pprofAddr)
+			logger.Info("pprof listening", "addr", *pprofAddr, "path", "/debug/pprof/")
 			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				log.Printf("lclserver: pprof: %v", err)
+				logger.Error("pprof listener failed", "err", err)
 			}
 		}()
 	}
 
 	if *snapshotInterval > 0 && *snapshotPath == "" {
-		log.Fatalf("lclserver: -snapshot-interval requires -snapshot")
+		logger.Error("-snapshot-interval requires -snapshot")
+		os.Exit(1)
 	}
 
 	var snapshot *store.Snapshot
@@ -101,14 +127,15 @@ func main() {
 		switch s, err := store.Load(*snapshotPath); {
 		case err == nil:
 			snapshot = s
-			log.Printf("lclserver: loaded snapshot %s (%d memo entries, %d censuses, %d path censuses)",
-				*snapshotPath, len(s.Memo), len(s.Censuses), len(s.PathCensuses))
+			logger.Info("loaded snapshot", "path", *snapshotPath,
+				"memo_entries", len(s.Memo), "censuses", len(s.Censuses),
+				"path_censuses", len(s.PathCensuses))
 		case os.IsNotExist(err):
-			log.Printf("lclserver: snapshot %s not found, starting cold", *snapshotPath)
+			logger.Info("snapshot not found, starting cold", "path", *snapshotPath)
 		default:
 			// Corrupt or version-mismatched snapshots are a cold start,
 			// not a refusal to serve.
-			log.Printf("lclserver: ignoring snapshot %s: %v", *snapshotPath, err)
+			logger.Warn("ignoring snapshot", "path", *snapshotPath, "err", err)
 		}
 	}
 
@@ -123,12 +150,12 @@ func main() {
 					resumable++
 				}
 			}
-			log.Printf("lclserver: loaded job ledger %s (%d jobs, %d to re-enqueue)",
-				*jobsLedger, len(l.Jobs), resumable)
+			logger.Info("loaded job ledger", "path", *jobsLedger,
+				"jobs", len(l.Jobs), "to_re_enqueue", resumable)
 		case os.IsNotExist(err):
-			log.Printf("lclserver: job ledger %s not found, starting empty", *jobsLedger)
+			logger.Info("job ledger not found, starting empty", "path", *jobsLedger)
 		default:
-			log.Printf("lclserver: ignoring job ledger %s: %v", *jobsLedger, err)
+			logger.Warn("ignoring job ledger", "path", *jobsLedger, "err", err)
 		}
 	}
 
@@ -141,14 +168,16 @@ func main() {
 		JobWorkers:     *jobWorkers,
 		JobsLedgerPath: *jobsLedger,
 		JobsLedger:     ledger,
+		Obs:            obsSet,
 	})
 
 	if *prewarm > 0 {
 		start := time.Now()
 		if _, err := engine.Census(*prewarm, true); err != nil {
-			log.Fatalf("lclserver: prewarm census k=%d: %v", *prewarm, err)
+			logger.Error("prewarm census failed", "k", *prewarm, "err", err)
+			os.Exit(1)
 		}
-		log.Printf("lclserver: prewarmed k=%d census in %v", *prewarm, time.Since(start))
+		logger.Info("prewarmed census", "k", *prewarm, "elapsed", time.Since(start))
 	}
 
 	// Periodic snapshot autosave: long-lived servers should not lose the
@@ -164,9 +193,9 @@ func main() {
 					return
 				case <-ticker.C:
 					if res, err := engine.SaveSnapshot(); err != nil {
-						log.Printf("lclserver: snapshot autosave: %v", err)
+						logger.Warn("snapshot autosave failed", "err", err)
 					} else {
-						log.Printf("lclserver: snapshot autosave %s (%d bytes)", res.Path, res.Bytes)
+						logger.Info("snapshot autosave", "path", res.Path, "bytes", res.Bytes)
 					}
 				}
 			}
@@ -174,8 +203,10 @@ func main() {
 	}
 
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           NewLoggingHandler(service.NewHandler(engine)),
+		Addr: *addr,
+		// NewHandler already wraps the route table in obs.Middleware
+		// (request metrics, traces, access + slow-request logging).
+		Handler:           service.NewHandler(engine),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	// SSE job-event streams are long-lived by design; end them when the
@@ -184,8 +215,9 @@ func main() {
 	srv.RegisterOnShutdown(engine.ShutdownStreams)
 	serveErr := make(chan error, 1)
 	go func() {
-		log.Printf("lclserver: listening on %s (%d workers, %d job workers, deciders: %s)",
-			*addr, *workers, *jobWorkers, strings.Join(engine.Deciders(), ", "))
+		logger.Info("listening", "addr", *addr, "workers", *workers,
+			"job_workers", *jobWorkers,
+			"deciders", strings.Join(engine.Deciders(), ", "))
 		serveErr <- srv.ListenAndServe()
 	}()
 
@@ -194,12 +226,12 @@ func main() {
 	serveFailed := false
 	select {
 	case sig := <-stop:
-		log.Printf("lclserver: %v, shutting down", sig)
+		logger.Info("shutting down", "signal", sig.String())
 	case err := <-serveErr:
 		// Listener died on its own (port conflict, ...): still run the
 		// ordered shutdown so jobs and snapshots are not lost, but exit
 		// non-zero so supervisors notice the server never served.
-		log.Printf("lclserver: serve: %v", err)
+		logger.Error("serve failed", "err", err)
 		serveFailed = err != nil && err != http.ErrServerClosed
 	}
 
@@ -208,32 +240,35 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
-		log.Printf("lclserver: shutdown: %v", err)
+		logger.Warn("http drain incomplete", "err", err)
 	}
 	close(autosaveStop)
 	// ...then stop the engine: running jobs are interrupted and the
 	// ledger records them for resumption...
 	engine.Close()
+	interrupted := 0
+	for _, j := range engine.ListJobs() {
+		if j.State == jobs.StateInterrupted {
+			interrupted++
+		}
+	}
+	if interrupted > 0 {
+		logger.Info("interrupted running jobs for resumption", "jobs", interrupted)
+	}
 	// ...and finally persist the warm state, interrupted partials
 	// included.
 	if *snapshotPath != "" {
+		start := time.Now()
 		if res, err := engine.SaveSnapshot(); err != nil {
-			log.Printf("lclserver: snapshot save: %v", err)
+			logger.Error("final snapshot save failed", "err", err)
 		} else {
-			log.Printf("lclserver: saved snapshot %s (%d bytes, %d memo entries, %d censuses)",
-				res.Path, res.Bytes, res.MemoEntries, res.Censuses+res.PathCensuses)
+			logger.Info("saved final snapshot", "path", res.Path,
+				"bytes", res.Bytes, "memo_entries", res.MemoEntries,
+				"censuses", res.Censuses+res.PathCensuses,
+				"elapsed", time.Since(start))
 		}
 	}
 	if serveFailed {
 		os.Exit(1)
 	}
-}
-
-// NewLoggingHandler wraps h with one access-log line per request.
-func NewLoggingHandler(h http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
-		h.ServeHTTP(w, r)
-		log.Printf("%s %s %v", r.Method, r.URL.Path, time.Since(start))
-	})
 }

@@ -19,6 +19,12 @@
 // (see jobs.go):
 //
 //	lcltool jobs -server http://localhost:8080 submit -type census -k 3 -watch
+//
+// The statsz and metrics subcommands inspect a running lclserver's
+// observability surface (see stats.go):
+//
+//	lcltool statsz -server http://localhost:8080
+//	lcltool metrics -filter lcl_engine -watch 2s
 package main
 
 import (
@@ -40,6 +46,10 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "jobs" {
 		runJobs(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && (os.Args[1] == "statsz" || os.Args[1] == "metrics") {
+		runStats(os.Args[1], os.Args[2:])
 		return
 	}
 	problem := flag.String("problem", "", "named problem from the battery (see -list)")

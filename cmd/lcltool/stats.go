@@ -1,0 +1,373 @@
+// The `lcltool statsz` and `lcltool metrics` subcommands: clients for a
+// running lclserver's observability surface.
+//
+//	lcltool statsz  [-server http://localhost:8080] [-watch 2s]
+//	lcltool metrics [-server http://localhost:8080] [-watch 2s] [-filter lcl_engine]
+//
+// statsz pretty-prints GET /statsz (the engine's JSON counters);
+// metrics fetches GET /metricsz, parses the Prometheus text exposition,
+// and renders counters and gauges as aligned name/value lines and
+// histograms as count/mean/p50/p95/p99 summaries. -watch refetches at
+// the given interval, redrawing in place.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// runStats dispatches `lcltool statsz ...` and `lcltool metrics ...`;
+// cmd is the subcommand name, args excludes it.
+func runStats(cmd string, args []string) {
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	server := fs.String("server", "http://localhost:8080", "lclserver base URL")
+	watch := fs.Duration("watch", 0, "refetch at this interval, redrawing in place (0 = once)")
+	filter := fs.String("filter", "", "only metric families whose name contains this substring (metrics only)")
+	fs.Parse(args)
+	base := strings.TrimRight(*server, "/")
+
+	render := func() error {
+		switch cmd {
+		case "statsz":
+			return renderStatsz(base)
+		default:
+			return renderMetrics(base, *filter)
+		}
+	}
+	if *watch <= 0 {
+		if err := render(); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	for {
+		// Clear screen + home, like a minimal `watch(1)`.
+		fmt.Print("\033[2J\033[H")
+		fmt.Printf("%s %s  (every %s, ctrl-c to stop)\n\n", cmd, base, *watch)
+		if err := render(); err != nil {
+			fmt.Fprintf(os.Stderr, "lcltool: %v\n", err)
+		}
+		time.Sleep(*watch)
+	}
+}
+
+// fetch GETs path off base, failing on non-200s with the server's error
+// payload when there is one.
+func fetch(base, path string) (*http.Response, error) {
+	resp, err := http.Get(base + path)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		return nil, apiError(resp)
+	}
+	return resp, nil
+}
+
+func renderStatsz(base string) error {
+	resp, err := fetch(base, "/statsz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		return err
+	}
+	// Re-indent through json.Indent so the output is stable even if the
+	// server stops pretty-printing.
+	var pretty bytes.Buffer
+	if err := json.Indent(&pretty, buf.Bytes(), "", "  "); err != nil {
+		return fmt.Errorf("statsz payload is not JSON: %v", err)
+	}
+	fmt.Println(strings.TrimSpace(pretty.String()))
+	return nil
+}
+
+// promSample is one parsed exposition line: name, rendered label set
+// (including braces, empty for unlabeled), and value.
+type promSample struct {
+	labels string
+	value  float64
+	// le is the parsed le="..." bound for _bucket samples (math.Inf(1)
+	// for +Inf), and NaN otherwise.
+	le float64
+}
+
+// promFamily is one parsed metric family.
+type promFamily struct {
+	name    string
+	kind    string // counter | gauge | histogram | untyped
+	samples map[string][]promSample
+	order   []string // sample insertion order, keyed by suffix+labels
+}
+
+// parsePrometheus parses the subset of the text exposition format the
+// server emits: # HELP / # TYPE headers and name{labels} value lines.
+// It is strict about structure (a malformed line is an error, so the CI
+// smoke test doubles as a format check) while ignoring HELP text.
+func parsePrometheus(r *bufio.Scanner) ([]*promFamily, error) {
+	byName := map[string]*promFamily{}
+	var order []*promFamily
+	family := func(name string) *promFamily {
+		if f, ok := byName[name]; ok {
+			return f
+		}
+		f := &promFamily{name: name, kind: "untyped", samples: map[string][]promSample{}}
+		byName[name] = f
+		order = append(order, f)
+		return f
+	}
+	lineNo := 0
+	for r.Scan() {
+		lineNo++
+		line := strings.TrimSpace(r.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				return nil, fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+			}
+			family(parts[2]).kind = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		// name{labels} value  |  name value
+		nameEnd := strings.IndexAny(line, "{ ")
+		if nameEnd <= 0 {
+			return nil, fmt.Errorf("line %d: malformed sample %q", lineNo, line)
+		}
+		name := line[:nameEnd]
+		rest := line[nameEnd:]
+		labels := ""
+		if rest[0] == '{' {
+			close := strings.LastIndex(rest, "}")
+			if close < 0 {
+				return nil, fmt.Errorf("line %d: unterminated label set %q", lineNo, line)
+			}
+			labels = rest[:close+1]
+			rest = rest[close+1:]
+		}
+		valStr := strings.TrimSpace(rest)
+		val, err := parsePromValue(valStr)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad value %q: %v", lineNo, valStr, err)
+		}
+		// Histogram series (name_bucket/_sum/_count) belong to the base
+		// family declared by TYPE.
+		baseName := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(name, suffix)
+			if trimmed != name {
+				if f, ok := byName[trimmed]; ok && f.kind == "histogram" {
+					baseName = trimmed
+				}
+			}
+		}
+		f := family(baseName)
+		s := promSample{labels: labels, value: val, le: math.NaN()}
+		if strings.HasSuffix(name, "_bucket") && baseName != name {
+			s.le, err = parseLE(labels)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+		}
+		seriesKey := name + "\x00" + stripLE(labels)
+		if _, ok := f.samples[seriesKey]; !ok {
+			f.order = append(f.order, seriesKey)
+		}
+		f.samples[seriesKey] = append(f.samples[seriesKey], s)
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return order, nil
+}
+
+// parsePromValue parses an exposition float, including +Inf/-Inf/NaN.
+func parsePromValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// parseLE extracts the le="..." bound from a _bucket label set.
+func parseLE(labels string) (float64, error) {
+	i := strings.Index(labels, `le="`)
+	if i < 0 {
+		return 0, fmt.Errorf("bucket sample without le label: %s", labels)
+	}
+	rest := labels[i+len(`le="`):]
+	j := strings.Index(rest, `"`)
+	if j < 0 {
+		return 0, fmt.Errorf("unterminated le label: %s", labels)
+	}
+	return parsePromValue(rest[:j])
+}
+
+// stripLE removes the le="..." pair so every bucket of one histogram
+// child shares a series key.
+func stripLE(labels string) string {
+	i := strings.Index(labels, `le="`)
+	if i < 0 {
+		return labels
+	}
+	rest := labels[i+len(`le="`):]
+	j := strings.Index(rest, `"`)
+	if j < 0 {
+		return labels
+	}
+	head := strings.TrimSuffix(strings.TrimSuffix(labels[:i], ","), "{")
+	tail := strings.TrimPrefix(rest[j+1:], ",")
+	switch {
+	case head == "" && tail == "}":
+		return ""
+	case head == "":
+		return "{" + tail
+	case tail == "}":
+		return head + "}"
+	default:
+		return head + "," + tail
+	}
+}
+
+func renderMetrics(base, filter string) error {
+	resp, err := fetch(base, "/metricsz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	families, err := parsePrometheus(sc)
+	if err != nil {
+		return err
+	}
+	for _, f := range families {
+		if filter != "" && !strings.Contains(f.name, filter) {
+			continue
+		}
+		switch f.kind {
+		case "histogram":
+			renderHistogramFamily(f)
+		default:
+			renderScalarFamily(f)
+		}
+	}
+	return nil
+}
+
+// renderScalarFamily prints one line per counter/gauge sample.
+func renderScalarFamily(f *promFamily) {
+	for _, key := range f.order {
+		for _, s := range f.samples[key] {
+			fmt.Printf("%-58s %s\n", f.name+s.labels, formatValue(s.value))
+		}
+	}
+}
+
+// renderHistogramFamily condenses each histogram child to one summary
+// line: count, mean, and interpolated p50/p95/p99.
+func renderHistogramFamily(f *promFamily) {
+	type child struct {
+		labels  string
+		bounds  []float64
+		cum     []uint64 // cumulative bucket counts, bounds-aligned + Inf
+		sum     float64
+		count   uint64
+		hasInfo bool
+	}
+	children := map[string]*child{}
+	var order []string
+	get := func(labels string) *child {
+		if c, ok := children[labels]; ok {
+			return c
+		}
+		c := &child{labels: labels}
+		children[labels] = c
+		order = append(order, labels)
+		return c
+	}
+	for _, key := range f.order {
+		name, labels, _ := strings.Cut(key, "\x00")
+		c := get(labels)
+		for _, s := range f.samples[key] {
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				if math.IsInf(s.le, 1) {
+					c.cum = append(c.cum, uint64(s.value))
+				} else {
+					c.bounds = append(c.bounds, s.le)
+					c.cum = append(c.cum, uint64(s.value))
+				}
+			case strings.HasSuffix(name, "_sum"):
+				c.sum = s.value
+				c.hasInfo = true
+			case strings.HasSuffix(name, "_count"):
+				c.count = uint64(s.value)
+				c.hasInfo = true
+			}
+		}
+	}
+	for _, labels := range order {
+		c := children[labels]
+		if !c.hasInfo {
+			continue
+		}
+		// De-cumulate (exposition buckets are cumulative) for the shared
+		// quantile estimator.
+		counts := make([]uint64, len(c.cum))
+		var prev uint64
+		for i, v := range c.cum {
+			counts[i] = v - prev
+			prev = v
+		}
+		mean := 0.0
+		if c.count > 0 {
+			mean = c.sum / float64(c.count)
+		}
+		p50 := obs.QuantileFromBuckets(c.bounds, counts, c.count, 0.50)
+		p95 := obs.QuantileFromBuckets(c.bounds, counts, c.count, 0.95)
+		p99 := obs.QuantileFromBuckets(c.bounds, counts, c.count, 0.99)
+		fmt.Printf("%-58s count=%d mean=%s p50=%s p95=%s p99=%s\n",
+			f.name+c.labels, c.count,
+			formatValue(mean), formatValue(p50), formatValue(p95), formatValue(p99))
+	}
+}
+
+// formatValue renders a metric value compactly: integers without a
+// fraction, small floats with enough precision to be useful.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', 0, 64)
+	}
+	if math.Abs(v) < 0.01 {
+		return strconv.FormatFloat(v, 'g', 4, 64)
+	}
+	return strconv.FormatFloat(v, 'f', 4, 64)
+}

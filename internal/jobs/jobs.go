@@ -20,6 +20,8 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"sort"
 	"sync"
 	"time"
@@ -91,6 +93,10 @@ type Job struct {
 	ID   string `json:"id"`
 	Seq  uint64 `json:"seq"`
 	Spec Spec   `json:"spec"`
+	// RequestID links the job to the HTTP request (trace ID) that
+	// submitted it, so the submitting request's trace in /debug/tracez
+	// and the job's lifecycle can be correlated.
+	RequestID string `json:"request_id,omitempty"`
 
 	State    State    `json:"state"`
 	Progress Progress `json:"progress"`
@@ -161,6 +167,13 @@ type Config struct {
 	// jobs are re-enqueued (with Attempts incremented for those that had
 	// started).
 	Ledger *Ledger
+	// Logger receives structured job lifecycle records (submissions,
+	// state transitions, checkpoint failures). Nil discards them.
+	Logger *slog.Logger
+	// OnCheckpoint, when non-nil, observes every checkpoint attempt with
+	// its duration and outcome (the observability layer feeds a
+	// checkpoint-duration histogram from it).
+	OnCheckpoint func(d time.Duration, err error)
 }
 
 // DefaultCheckpointEvery is the checkpoint interval when Config leaves
@@ -170,6 +183,7 @@ const DefaultCheckpointEvery = 15 * time.Second
 // Manager runs jobs. It is safe for concurrent use.
 type Manager struct {
 	cfg Config
+	log *slog.Logger
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -220,8 +234,13 @@ func New(cfg Config) *Manager {
 	if cfg.CheckpointEvery <= 0 {
 		cfg.CheckpointEvery = DefaultCheckpointEvery
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	m := &Manager{
 		cfg:   cfg,
+		log:   logger,
 		jobs:  map[string]*record{},
 		queue: newQueue(),
 	}
@@ -273,7 +292,12 @@ func (m *Manager) restore(l *Ledger) {
 }
 
 // Submit enqueues a job for the given spec and returns its snapshot.
-func (m *Manager) Submit(spec Spec) (Job, error) {
+func (m *Manager) Submit(spec Spec) (Job, error) { return m.SubmitWith(spec, "") }
+
+// SubmitWith is Submit plus the submitting request's trace ID, recorded
+// on the job so its lifecycle links back to the request that created it
+// (see Job.RequestID).
+func (m *Manager) SubmitWith(spec Spec, requestID string) (Job, error) {
 	if _, ok := m.cfg.Runners[spec.Type]; !ok {
 		return Job{}, fmt.Errorf("jobs: unknown job type %q", spec.Type)
 	}
@@ -288,6 +312,7 @@ func (m *Manager) Submit(spec Spec) (Job, error) {
 		ID:          fmt.Sprintf("j%06d", seq),
 		Seq:         seq,
 		Spec:        spec,
+		RequestID:   requestID,
 		State:       StatePending,
 		CreatedUnix: time.Now().Unix(),
 	}}
@@ -298,7 +323,48 @@ func (m *Manager) Submit(spec Spec) (Job, error) {
 	m.saveLedgerLocked()
 	m.cond.Signal()
 	m.mu.Unlock()
+	m.log.Info("job submitted", "id", job.ID, "type", spec.Type, "priority", spec.Priority, "request_id", requestID)
 	return job, nil
+}
+
+// Counts is a point-in-time census of the manager's jobs for
+// monitoring: queue depth, running jobs, and per-state totals.
+type Counts struct {
+	// QueueDepth is the number of jobs waiting in the priority queue.
+	QueueDepth int
+	// Running is the number of jobs currently executing.
+	Running int
+	// ByState counts every known job by lifecycle state.
+	ByState map[State]int
+}
+
+// Counts snapshots the job population (one lock acquisition).
+func (m *Manager) Counts() Counts {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := Counts{QueueDepth: m.queue.len(), ByState: map[State]int{}}
+	for _, rec := range m.jobs {
+		c.ByState[rec.job.State]++
+		if rec.job.State == StateRunning {
+			c.Running++
+		}
+	}
+	return c
+}
+
+// checkpoint runs the configured checkpoint callback, timing it,
+// feeding the OnCheckpoint observer, and logging failures — a silent
+// checkpoint failure would quietly void the resume contract.
+func (m *Manager) checkpoint() error {
+	start := time.Now()
+	err := m.cfg.Checkpoint()
+	if m.cfg.OnCheckpoint != nil {
+		m.cfg.OnCheckpoint(time.Since(start), err)
+	}
+	if err != nil {
+		m.log.Warn("checkpoint failed", "error", err, "duration_ms", float64(time.Since(start).Microseconds())/1000)
+	}
+	return err
 }
 
 // Get returns a snapshot of the job.
@@ -429,7 +495,7 @@ func (m *Manager) Close() {
 	// partial work, and callers (cmd/lclserver) typically snapshot right
 	// after anyway.
 	if interrupting && m.cfg.Checkpoint != nil {
-		_ = m.cfg.Checkpoint()
+		_ = m.checkpoint()
 	}
 	m.mu.Lock()
 	m.saveLedgerLocked()
@@ -460,9 +526,11 @@ func (m *Manager) work() {
 		m.notifyLocked(rec, EventState)
 		m.saveLedgerLocked()
 		spec := rec.job.Spec
+		id, attempt := rec.job.ID, rec.job.Attempts
 		runner := m.cfg.Runners[spec.Type]
 		m.mu.Unlock()
 
+		m.log.Info("job started", "id", id, "type", spec.Type, "attempt", attempt)
 		m.run(ctx, cancel, rec, runner, spec)
 	}
 }
@@ -484,7 +552,7 @@ func (m *Manager) run(ctx context.Context, cancel context.CancelFunc, rec *recor
 					close(ckDone)
 					return
 				case <-ticker.C:
-					if err := m.cfg.Checkpoint(); err == nil {
+					if err := m.checkpoint(); err == nil {
 						m.mu.Lock()
 						rec.job.CheckpointUnix = time.Now().Unix()
 						m.notifyLocked(rec, EventCheckpoint)
@@ -579,5 +647,12 @@ func (m *Manager) run(ctx context.Context, cancel context.CancelFunc, rec *recor
 	}
 	m.notifyLocked(rec, EventState)
 	m.saveLedgerLocked()
+	state, errMsg := rec.job.State, rec.job.Error
+	elapsed := rec.job.FinishedUnix - rec.job.StartedUnix
 	m.mu.Unlock()
+	if state == StateFailed {
+		m.log.Warn("job finished", "id", rec.job.ID, "type", spec.Type, "state", string(state), "error", errMsg, "elapsed_s", elapsed)
+	} else {
+		m.log.Info("job finished", "id", rec.job.ID, "type", spec.Type, "state", string(state), "elapsed_s", elapsed)
+	}
 }

@@ -44,6 +44,12 @@ type Cache struct {
 	puts      atomic.Uint64
 	imported  atomic.Uint64
 	exported  atomic.Uint64
+
+	// batchObs, when set, observes every GetBatch call (batch size and
+	// hit count) — the seam the observability layer (internal/obs, via
+	// internal/service) uses for its batch-size histogram without memo
+	// depending on it.
+	batchObs atomic.Pointer[func(keys, hits int)]
 }
 
 type shard struct {
@@ -52,6 +58,10 @@ type shard struct {
 	cap int
 	// Intrusive doubly-linked LRU ring; root.next is most recent.
 	root entry
+	// Per-shard traffic counters (guarded by mu; the global atomics
+	// above stay the cheap cross-shard totals). They expose shard
+	// balance and contention hot spots through ShardStats.
+	hits, misses, evictions uint64
 }
 
 type entry struct {
@@ -108,6 +118,9 @@ func (c *Cache) Get(key uint64) (any, bool) {
 		// Copy under the lock: a concurrent Put on the same key mutates
 		// e.value, and an unsynchronized interface read can tear.
 		v = e.value
+		s.hits++
+	} else {
+		s.misses++
 	}
 	s.mu.Unlock()
 	if !ok {
@@ -149,9 +162,11 @@ func (c *Cache) GetBatch(keys []uint64, values []any) int {
 			if e, ok := s.m[key]; ok {
 				s.moveToFront(e)
 				values[i] = e.value
+				s.hits++
 				hits++
 			} else {
 				values[i] = nil
+				s.misses++
 			}
 		}
 		if locked {
@@ -160,7 +175,26 @@ func (c *Cache) GetBatch(keys []uint64, values []any) int {
 	}
 	c.hits.Add(uint64(hits))
 	c.misses.Add(uint64(len(keys) - hits))
+	if obs := c.batchObs.Load(); obs != nil {
+		(*obs)(len(keys), hits)
+	}
 	return hits
+}
+
+// SetBatchObserver installs fn as the GetBatch observer: it is called
+// once per GetBatch with the batch size and hit count. Pass nil to
+// remove. Safe to call concurrently with batch traffic; the last
+// writer wins (a shared cache re-wired by a second engine simply
+// reports to the newest observer).
+func (c *Cache) SetBatchObserver(fn func(keys, hits int)) {
+	if c == nil {
+		return
+	}
+	if fn == nil {
+		c.batchObs.Store(nil)
+		return
+	}
+	c.batchObs.Store(&fn)
 }
 
 // Put stores value under key, evicting the least recently used entry of
@@ -190,6 +224,7 @@ func (c *Cache) insert(key uint64, value any) {
 		lru := s.root.prev
 		s.unlink(lru)
 		delete(s.m, lru.key)
+		s.evictions++
 		evicted = true
 	}
 	e := &entry{key: key, value: value}
@@ -251,6 +286,33 @@ func (c *Cache) Stats() Stats {
 		Shards:    len(c.shards),
 		Capacity:  len(c.shards) * c.shards[0].cap,
 	}
+}
+
+// ShardStat is one shard's traffic snapshot (see ShardStats).
+type ShardStat struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Size      int    `json:"size"`
+}
+
+// ShardStats snapshots every shard's counters and occupancy, in shard
+// order — the observability layer samples it at scrape time to expose
+// shard balance and contention hot spots. Each shard is locked briefly;
+// the snapshot is not a single linearization point. Nil caches return
+// nil.
+func (c *Cache) ShardStats() []ShardStat {
+	if c == nil {
+		return nil
+	}
+	out := make([]ShardStat, len(c.shards))
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		out[i] = ShardStat{Hits: s.hits, Misses: s.misses, Evictions: s.evictions, Size: len(s.m)}
+		s.mu.Unlock()
+	}
+	return out
 }
 
 // Entry is one exported cache entry: the mixed key (see Key) and the

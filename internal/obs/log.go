@@ -1,0 +1,48 @@
+// Structured logging over log/slog: one process-wide base logger with
+// component-scoped children, replacing ad-hoc log.Printf call sites.
+package obs
+
+import (
+	"io"
+	"log/slog"
+)
+
+// NewLogger builds a structured logger writing to w. jsonFormat selects
+// JSON lines over logfmt-style text.
+func NewLogger(w io.Writer, level slog.Level, jsonFormat bool) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	if jsonFormat {
+		return slog.New(slog.NewJSONHandler(w, opts))
+	}
+	return slog.New(slog.NewTextHandler(w, opts))
+}
+
+// Component returns a child of base scoped to one component (every
+// record carries component=name). A nil base uses slog.Default().
+func Component(base *slog.Logger, name string) *slog.Logger {
+	if base == nil {
+		base = slog.Default()
+	}
+	return base.With("component", name)
+}
+
+// NopLogger returns a logger that discards everything — the default for
+// libraries whose callers did not wire logging.
+func NopLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// ParseLevel maps a -log-level flag value onto a slog.Level; unknown
+// values select Info.
+func ParseLevel(s string) slog.Level {
+	switch s {
+	case "debug":
+		return slog.LevelDebug
+	case "warn":
+		return slog.LevelWarn
+	case "error":
+		return slog.LevelError
+	default:
+		return slog.LevelInfo
+	}
+}

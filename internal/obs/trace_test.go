@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// finishedTrace builds a finished trace with a given decider and total
+// duration (duration is forced by back-dating the start).
+func finishedTrace(id, decider string, dur time.Duration) *Trace {
+	tr := NewTrace(id, "POST", "/v1/classify")
+	tr.start = time.Now().Add(-dur)
+	tr.SetDecider(decider)
+	tr.Finish(200)
+	return tr
+}
+
+// TestTraceSpanOrdering: spans recorded out of order come back sorted
+// by start offset, and a span's offset/duration are consistent.
+func TestTraceSpanOrdering(t *testing.T) {
+	tr := NewTrace("", "POST", "/v1/classify")
+	base := tr.start
+	// Record in reverse start order: later stage first.
+	tr.Record("compute", base.Add(2*time.Millisecond))
+	tr.Record("fingerprint", base.Add(1*time.Millisecond))
+	tr.Record("decode", base)
+	tr.Finish(200)
+
+	v := tr.View()
+	var names []string
+	for _, s := range v.Spans {
+		names = append(names, s.Name)
+	}
+	want := []string{"decode", "fingerprint", "compute"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Errorf("span order = %v, want %v", names, want)
+	}
+	if v.Spans[0].StartMS != 0 {
+		t.Errorf("first span start = %v, want 0", v.Spans[0].StartMS)
+	}
+	if v.Spans[2].StartMS < 2 {
+		t.Errorf("compute start = %vms, want >= 2ms", v.Spans[2].StartMS)
+	}
+	if v.Status != 200 || v.DurationMS <= 0 {
+		t.Errorf("finish not reflected: status=%d duration=%v", v.Status, v.DurationMS)
+	}
+}
+
+// TestNilTrace: the whole trace API is nil-receiver safe.
+func TestNilTrace(t *testing.T) {
+	var tr *Trace
+	tr.Record("x", time.Now())
+	tr.SetDecider("cycles")
+	tr.Finish(200)
+	if tr.ID() != "" {
+		t.Error("nil trace ID must be empty")
+	}
+	var ring *TraceRing
+	ring.Add(tr)
+	if ring.Snapshot() != nil {
+		t.Error("nil ring snapshot must be nil")
+	}
+}
+
+// TestTraceRingOverflow: a full ring drops the oldest traces and
+// Snapshot returns newest first.
+func TestTraceRingOverflow(t *testing.T) {
+	ring := NewTraceRing(4)
+	for i := 0; i < 10; i++ {
+		ring.Add(finishedTrace(fmt.Sprintf("trace-%02d", i), "cycles", time.Millisecond))
+	}
+	views := ring.Snapshot()
+	if len(views) != 4 {
+		t.Fatalf("snapshot size = %d, want 4", len(views))
+	}
+	for i, want := range []string{"trace-09", "trace-08", "trace-07", "trace-06"} {
+		if views[i].ID != want {
+			t.Errorf("views[%d].ID = %s, want %s", i, views[i].ID, want)
+		}
+	}
+}
+
+// TestTracezFilters drives the /debug/tracez handler's decider, min_ms,
+// and limit query parameters.
+func TestTracezFilters(t *testing.T) {
+	ring := NewTraceRing(16)
+	ring.Add(finishedTrace("slow-cycles", "cycles", 50*time.Millisecond))
+	ring.Add(finishedTrace("fast-cycles", "cycles", time.Millisecond))
+	ring.Add(finishedTrace("slow-trees", "trees", 80*time.Millisecond))
+	h := TracezHandler(ring)
+
+	get := func(query string) tracezResponse {
+		t.Helper()
+		req := httptest.NewRequest("GET", "/debug/tracez"+query, nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("GET %s: status %d", query, rec.Code)
+		}
+		var out tracezResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			t.Fatalf("GET %s: %v", query, err)
+		}
+		return out
+	}
+
+	if out := get(""); out.Count != 3 {
+		t.Errorf("unfiltered count = %d, want 3", out.Count)
+	}
+	out := get("?decider=cycles")
+	if out.Count != 2 {
+		t.Errorf("decider filter count = %d, want 2", out.Count)
+	}
+	for _, v := range out.Traces {
+		if v.Decider != "cycles" {
+			t.Errorf("decider filter leaked %s", v.ID)
+		}
+	}
+	out = get("?min_ms=20")
+	if out.Count != 2 {
+		t.Errorf("min_ms filter count = %d, want 2", out.Count)
+	}
+	for _, v := range out.Traces {
+		if v.DurationMS < 20 {
+			t.Errorf("min_ms filter leaked %s (%vms)", v.ID, v.DurationMS)
+		}
+	}
+	if out := get("?limit=1"); out.Count != 1 || out.Traces[0].ID != "slow-trees" {
+		t.Errorf("limit=1 = %+v, want just the newest (slow-trees)", out.Traces)
+	}
+	req := httptest.NewRequest("GET", "/debug/tracez?min_ms=bogus", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("bad min_ms status = %d, want 400", rec.Code)
+	}
+}
+
+// TestMiddleware checks the end-to-end request pipeline: request-ID
+// minting and echo, metrics, and trace publication.
+func TestMiddleware(t *testing.T) {
+	set := NewSet()
+	set.Logger = NopLogger()
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tr := TraceFrom(r.Context())
+		if tr == nil {
+			t.Error("handler context missing trace")
+		} else {
+			start := time.Now()
+			tr.Record("work", start)
+			tr.SetDecider("cycles")
+		}
+		w.WriteHeader(http.StatusTeapot)
+	})
+	h := Middleware(inner, set)
+
+	// Minted ID on a bare request.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/classify", nil))
+	if rec.Header().Get("X-Request-Id") == "" {
+		t.Error("middleware must mint an X-Request-Id")
+	}
+	// Caller-supplied ID is propagated.
+	rec = httptest.NewRecorder()
+	req := httptest.NewRequest("POST", "/v1/classify", nil)
+	req.Header.Set("X-Request-Id", "caller-chosen-id")
+	h.ServeHTTP(rec, req)
+	if got := rec.Header().Get("X-Request-Id"); got != "caller-chosen-id" {
+		t.Errorf("X-Request-Id = %q, want caller-chosen-id", got)
+	}
+
+	views := set.Traces.Snapshot()
+	if len(views) != 2 {
+		t.Fatalf("ring has %d traces, want 2", len(views))
+	}
+	newest := views[0]
+	if newest.ID != "caller-chosen-id" || newest.Status != http.StatusTeapot ||
+		newest.Decider != "cycles" || len(newest.Spans) != 1 || newest.Spans[0].Name != "work" {
+		t.Errorf("trace view = %+v", newest)
+	}
+
+	var b strings.Builder
+	if err := set.Registry.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `lcl_http_requests_total{method="POST",route="/v1/classify",status="418"} 2`) {
+		t.Errorf("request counter missing:\n%s", out)
+	}
+	if !strings.Contains(out, `lcl_http_request_seconds_count{route="/v1/classify"} 2`) {
+		t.Errorf("latency histogram missing:\n%s", out)
+	}
+	if !strings.Contains(out, "lcl_http_in_flight_requests 0") {
+		t.Errorf("in-flight gauge should settle at 0:\n%s", out)
+	}
+}
+
+// TestNormalizeRoute pins the bounded-cardinality route table.
+func TestNormalizeRoute(t *testing.T) {
+	cases := map[string]string{
+		"/v1/classify":          "/v1/classify",
+		"/v1/classify/batch":    "/v1/classify/batch",
+		"/v1/census/3":          "/v1/census/{k}",
+		"/v1/census/paths/2":    "/v1/census/paths/{k}",
+		"/v1/jobs":              "/v1/jobs",
+		"/v1/jobs/j000001":      "/v1/jobs/{id}",
+		"/v1/jobs/j07/events":   "/v1/jobs/{id}/events",
+		"/metricsz":             "/metricsz",
+		"/debug/tracez":         "/debug/tracez",
+		"/totally/unknown/path": "other",
+	}
+	for path, want := range cases {
+		if got := NormalizeRoute(path); got != want {
+			t.Errorf("NormalizeRoute(%q) = %q, want %q", path, got, want)
+		}
+	}
+}

@@ -9,9 +9,11 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"repro/internal/decide"
 	"repro/internal/lcl"
+	"repro/internal/obs"
 )
 
 // NewHandler returns the lclserver route table:
@@ -28,6 +30,13 @@ import (
 //	POST /v1/admin/snapshot  persist the warm state to the snapshot path
 //	GET  /healthz            liveness
 //	GET  /statsz             engine + cache counters + snapshot age
+//	GET  /metricsz           Prometheus text exposition of the registry
+//	GET  /debug/tracez       recent request traces with per-stage spans
+//
+// On an instrumented engine (the default) the whole table is wrapped
+// in obs.Middleware: every request is metered, carries a trace (spans
+// recorded by ClassifyCtx appear in /debug/tracez), echoes its
+// X-Request-Id, and slow requests are logged with a span breakdown.
 func NewHandler(e *Engine) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/classify", e.handleClassify)
@@ -42,7 +51,13 @@ func NewHandler(e *Engine) http.Handler {
 	mux.HandleFunc("POST /v1/admin/snapshot", e.handleSnapshotSave)
 	mux.HandleFunc("GET /healthz", handleHealthz)
 	mux.HandleFunc("GET /statsz", e.handleStatsz)
-	return mux
+	set := e.Obs()
+	if set == nil {
+		return mux
+	}
+	mux.Handle("GET /metricsz", obs.MetricsHandler(set.Registry))
+	mux.Handle("GET /debug/tracez", obs.TracezHandler(set.Traces))
+	return obs.Middleware(mux, set)
 }
 
 // wireRequest is the JSON form of a Request. Exactly one of Problem
@@ -135,22 +150,32 @@ func encodeResponse(name string, resp *Response) (*wireResponse, error) {
 }
 
 func (e *Engine) handleClassify(w http.ResponseWriter, r *http.Request) {
+	tr := obs.TraceFrom(r.Context())
+	var spanStart time.Time
+	if tr != nil {
+		spanStart = time.Now()
+	}
 	var wr wireRequest
 	if err := json.NewDecoder(r.Body).Decode(&wr); err != nil {
 		httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
 		return
 	}
 	req, err := decodeRequest(&wr)
+	tr.Record("decode", spanStart)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	resp, err := e.Classify(req)
+	resp, err := e.ClassifyCtx(r.Context(), req)
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
+	if tr != nil {
+		spanStart = time.Now()
+	}
 	wresp, err := encodeResponse(requestName(&req), resp)
+	tr.Record("encode", spanStart)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, "%v", err)
 		return

@@ -26,7 +26,7 @@ func (e *Engine) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
 		return
 	}
-	job, err := e.SubmitJob(spec)
+	job, err := e.SubmitJobCtx(r.Context(), spec)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return

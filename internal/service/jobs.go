@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/jobs"
 	"repro/internal/landscape"
+	"repro/internal/obs"
 	"repro/internal/rooted"
 )
 
@@ -105,10 +106,18 @@ func (e *Engine) ValidateJobSpec(spec jobs.Spec) error {
 
 // SubmitJob validates and enqueues a job.
 func (e *Engine) SubmitJob(spec jobs.Spec) (jobs.Job, error) {
+	return e.SubmitJobCtx(context.Background(), spec)
+}
+
+// SubmitJobCtx is SubmitJob with a request context: a trace carried in
+// ctx stamps its ID onto the job record (Job.RequestID), linking the
+// submitting HTTP request to the job's whole lifecycle in logs and the
+// jobs API.
+func (e *Engine) SubmitJobCtx(ctx context.Context, spec jobs.Spec) (jobs.Job, error) {
 	if err := e.ValidateJobSpec(spec); err != nil {
 		return jobs.Job{}, err
 	}
-	return e.jobMgr.Submit(spec)
+	return e.jobMgr.SubmitWith(spec, obs.TraceFrom(ctx).ID())
 }
 
 // GetJob returns a snapshot of one job.

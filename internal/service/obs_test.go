@@ -1,0 +1,213 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/jobs"
+	"repro/internal/obs"
+	"repro/internal/problems"
+)
+
+// TestObsMetricsEndpoint drives a mixed workload through the handler
+// and checks /metricsz serves valid Prometheus text covering the
+// engine, memo, jobs, and HTTP families with the right counts.
+func TestObsMetricsEndpoint(t *testing.T) {
+	srv := newTestServer(t)
+
+	for i := 0; i < 3; i++ {
+		resp, _ := postJSON(t, srv.URL+"/v1/classify", classifyBody(t, "cycles", problems.Coloring(3, 2)))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("classify %d: status %d", i, resp.StatusCode)
+		}
+	}
+	resp, _ := postJSON(t, srv.URL+"/v1/classify/batch", map[string]any{
+		"requests": []map[string]any{
+			classifyBody(t, "cycles", problems.Coloring(3, 2)),
+			classifyBody(t, "trees", problems.Trivial(2)),
+		},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: status %d", resp.StatusCode)
+	}
+
+	httpResp, err := http.Get(srv.URL + "/metricsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpResp.Body.Close()
+	if ct := httpResp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("metricsz content type = %q", ct)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(httpResp.Body); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	// 3 direct + 2 batch items = 5 engine requests, 4 of them cycles.
+	for _, want := range []string{
+		`lcl_engine_requests_total{decider="cycles"} 4`,
+		`lcl_engine_requests_total{decider="trees"} 1`,
+		`lcl_engine_cache_misses_total{decider="cycles"} 1`,
+		`lcl_engine_cache_hits_total{decider="cycles"} 3`,
+		`lcl_http_requests_total{method="POST",route="/v1/classify",status="200"} 3`,
+		`lcl_http_requests_total{method="POST",route="/v1/classify/batch",status="200"} 1`,
+		"lcl_engine_batch_size_count 1",
+		"lcl_memo_puts_total 2",
+		"lcl_memo_shard_hits{shard=",
+		`lcl_jobs{state="pending"} 0`,
+		"lcl_jobs_queue_depth 0",
+		"# TYPE lcl_engine_request_seconds histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metricsz missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("full exposition:\n%s", out)
+	}
+}
+
+// TestObsTracez checks a just-served classify request is visible in
+// /debug/tracez with its pipeline spans.
+func TestObsTracez(t *testing.T) {
+	srv := newTestServer(t)
+
+	// First request computes, second hits the memo.
+	postJSON(t, srv.URL+"/v1/classify", classifyBody(t, "cycles", problems.Coloring(3, 2)))
+	postJSON(t, srv.URL+"/v1/classify", classifyBody(t, "cycles", problems.Coloring(3, 2)))
+
+	var out struct {
+		Count  int `json:"count"`
+		Traces []struct {
+			ID      string `json:"id"`
+			Route   string `json:"route"`
+			Decider string `json:"decider"`
+			Status  int    `json:"status"`
+			Spans   []struct {
+				Name string `json:"name"`
+			} `json:"spans"`
+		} `json:"traces"`
+	}
+	getJSON(t, srv.URL+"/debug/tracez?decider=cycles", &out)
+	if out.Count != 2 {
+		t.Fatalf("tracez count = %d, want 2", out.Count)
+	}
+	spanNames := func(i int) map[string]bool {
+		m := map[string]bool{}
+		for _, s := range out.Traces[i].Spans {
+			m[s.Name] = true
+		}
+		return m
+	}
+	// Newest first: Traces[0] is the memo hit, Traces[1] the compute.
+	hit, computed := spanNames(0), spanNames(1)
+	for _, want := range []string{"decode", "fingerprint", "memo-get", "encode"} {
+		if !hit[want] || !computed[want] {
+			t.Errorf("span %q missing (hit=%v computed=%v)", want, hit, computed)
+		}
+	}
+	if !computed["compute"] || !computed["memo-put"] {
+		t.Errorf("compute trace spans = %v, want compute and memo-put", computed)
+	}
+	if hit["compute"] {
+		t.Errorf("memo-hit trace has a compute span: %v", hit)
+	}
+	for _, tr := range out.Traces {
+		if tr.Route != "/v1/classify" || tr.Decider != "cycles" || tr.Status != 200 || tr.ID == "" {
+			t.Errorf("trace metadata = %+v", tr)
+		}
+	}
+}
+
+// TestObsJobRequestID checks the submitting request's trace ID is
+// stamped onto the job record.
+func TestObsJobRequestID(t *testing.T) {
+	srv := newTestServer(t)
+
+	body, err := json.Marshal(map[string]any{"type": JobCensus, "k": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, srv.URL+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-Id", "submitting-request")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	var job jobs.Job
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	if job.RequestID != "submitting-request" {
+		t.Errorf("job.RequestID = %q, want submitting-request", job.RequestID)
+	}
+}
+
+// TestObsDisabled checks DisableObs yields a bare engine: no registry,
+// no /metricsz route, classify still serves.
+func TestObsDisabled(t *testing.T) {
+	e := New(Config{Workers: 2, DisableObs: true})
+	defer e.Close()
+	if e.Obs() != nil {
+		t.Fatal("DisableObs engine must have nil Obs()")
+	}
+	if _, err := e.Classify(Request{Mode: "cycles", Problem: problems.Coloring(3, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	h := NewHandler(e)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metricsz", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("/metricsz on a bare engine: status %d, want 404", rec.Code)
+	}
+}
+
+// TestObsSharedSetAcrossHandlers: constructing a second handler over
+// one engine (snapshot tests do this) must not panic on double
+// registration.
+func TestObsSharedSetAcrossHandlers(t *testing.T) {
+	e := New(Config{Workers: 2})
+	defer e.Close()
+	_ = NewHandler(e)
+	_ = NewHandler(e)
+}
+
+// TestObsEngineSharedRegistry: two engines must not share a default
+// registry implicitly (each New without Config.Obs gets a private set).
+func TestObsEngineSharedRegistry(t *testing.T) {
+	a := New(Config{Workers: 1})
+	defer a.Close()
+	b := New(Config{Workers: 1})
+	defer b.Close()
+	if a.Obs() == nil || b.Obs() == nil || a.Obs() == b.Obs() {
+		t.Fatalf("engines must get private obs sets: %p vs %p", a.Obs(), b.Obs())
+	}
+	// Sharing one set explicitly is the supported multi-engine shape.
+	set := obs.NewSet()
+	c := New(Config{Workers: 1, Obs: set})
+	defer c.Close()
+	if c.Obs() != set {
+		t.Fatal("explicit Config.Obs must be used verbatim")
+	}
+	var buf bytes.Buffer
+	if err := set.Registry.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "lcl_engine_requests_total") {
+		t.Errorf("shared registry missing engine families:\n%s", buf.String())
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/jobs"
 	"repro/internal/memo"
+	"repro/internal/obs"
 	"repro/internal/rooted"
 	"repro/internal/store"
 )
@@ -150,6 +151,15 @@ type Config struct {
 	// default when zero). Checkpoints save the engine snapshot, so they
 	// only happen when SnapshotPath is set.
 	CheckpointEvery time.Duration
+	// Obs supplies the observability surface (metrics registry, trace
+	// ring, structured logger). Nil builds a private obs.NewSet, so an
+	// engine is always instrumented unless DisableObs opts out.
+	Obs *obs.Set
+	// DisableObs builds the engine without instrumentation: no metric
+	// registrations, no per-request observations, Obs() returns nil.
+	// Exists for measuring instrumentation overhead (bench gate) and for
+	// embedders that want the bare engine.
+	DisableObs bool
 }
 
 // DefaultWorkers is the worker pool size when Config leaves it zero.
@@ -205,6 +215,10 @@ type Engine struct {
 	// decider's bucket.
 	byDecider   map[string]*atomic.Uint64
 	unknownMode atomic.Uint64
+
+	// obs is the engine's observability state (see obs.go); nil when the
+	// engine was built with Config.DisableObs.
+	obs *engineObs
 }
 
 // censusKey identifies one census result.
@@ -256,6 +270,17 @@ func New(cfg Config) *Engine {
 		warmByK:      map[int]*enumerate.Census{},
 		snapshotPath: cfg.SnapshotPath,
 	}
+	if !cfg.DisableObs {
+		set := cfg.Obs
+		if set == nil {
+			// A private set: metrics and traces work out of the box, but
+			// logging stays off — an embedder that wants log output wires
+			// its own Set (as cmd/lclserver does).
+			set = obs.NewSet()
+			set.Logger = obs.NopLogger()
+		}
+		e.obs = newEngineObs(set, registry.Names())
+	}
 	if cfg.Snapshot != nil {
 		e.restoreSnapshot(cfg.Snapshot)
 	}
@@ -281,7 +306,16 @@ func New(cfg Config) *Engine {
 			return err
 		}
 	}
+	if e.obs != nil {
+		jcfg.Logger = obs.Component(e.obs.set.Logger, "jobs")
+		jcfg.OnCheckpoint = func(d time.Duration, err error) {
+			e.obs.checkpoint.Observe(d.Seconds())
+		}
+	}
 	e.jobMgr = jobs.New(jcfg)
+	if e.obs != nil {
+		e.finishObs()
+	}
 	return e
 }
 
@@ -364,6 +398,17 @@ func (e *Engine) Deciders() []string { return e.registry.Names() }
 // fingerprint, consult the cache, coalesce with an identical in-flight
 // request if one exists, otherwise compute and populate the cache.
 func (e *Engine) Classify(req Request) (*Response, error) {
+	return e.ClassifyCtx(context.Background(), req)
+}
+
+// ClassifyCtx is Classify with a request context: a trace carried in
+// ctx (obs.ContextWithTrace — the HTTP middleware installs one) gets
+// per-stage spans (fingerprint, memo-get, coalesce, compute, memo-put)
+// and the serving decider's name; the context also reaches the
+// decider's Compute. The trace machinery is nil-safe, so untraced and
+// uninstrumented calls pay only nil checks.
+func (e *Engine) ClassifyCtx(ctx context.Context, req Request) (resp *Response, err error) {
+	tr := obs.TraceFrom(ctx)
 	d, ok := e.registry.Get(req.Mode)
 	if !ok {
 		// Unknown modes get their own reject counter — they must not
@@ -373,6 +418,7 @@ func (e *Engine) Classify(req Request) (*Response, error) {
 		return nil, fmt.Errorf("service: unknown mode %q (registered: %s)",
 			req.Mode, strings.Join(e.registry.Names(), ", "))
 	}
+	tr.SetDecider(d.Name())
 	if err := d.Normalize(&req); err != nil {
 		// Parameter-invalid requests count only as errors, never as
 		// served requests — the pre-registry behavior, kept so
@@ -388,8 +434,18 @@ func (e *Engine) Classify(req Request) (*Response, error) {
 	if counter, ok := e.byDecider[d.Name()]; ok {
 		counter.Add(1)
 	}
+	var start time.Time
+	if e.obs != nil {
+		start = time.Now()
+		defer func() { e.observeRequest(d.Name(), start, resp != nil && resp.CacheHit, err) }()
+	}
 
+	var spanStart time.Time
+	if tr != nil {
+		spanStart = time.Now()
+	}
 	fp, exact, err := d.Fingerprint(&req)
+	tr.Record("fingerprint", spanStart)
 	if err != nil {
 		e.errors.Add(1)
 		return nil, err
@@ -400,7 +456,11 @@ func (e *Engine) Classify(req Request) (*Response, error) {
 	// may collide. Caching under it could serve one problem the other's
 	// answer, so compute directly instead.
 	if !exact {
-		payload, err := d.Compute(context.Background(), &req)
+		if tr != nil {
+			spanStart = time.Now()
+		}
+		payload, err := d.Compute(ctx, &req)
+		tr.Record("compute", spanStart)
 		if err != nil {
 			e.errors.Add(1)
 			return nil, err
@@ -416,14 +476,23 @@ func (e *Engine) Classify(req Request) (*Response, error) {
 	// never computed twice (and each request counts at most one miss).
 	// The critical section is a map lookup + LRU bump, dwarfed by the
 	// fingerprinting already done above.
+	if tr != nil {
+		spanStart = time.Now()
+	}
 	e.mu.Lock()
 	if v, ok := e.cache.Get(key); ok {
 		e.mu.Unlock()
+		tr.Record("memo-get", spanStart)
 		return e.wrap(d, &req, fp, v, true, false)
 	}
 	if c, ok := e.inflight[key]; ok {
 		e.mu.Unlock()
+		tr.Record("memo-get", spanStart)
+		if tr != nil {
+			spanStart = time.Now()
+		}
 		<-c.done
+		tr.Record("coalesce", spanStart)
 		if c.err != nil {
 			e.errors.Add(1)
 			return nil, c.err
@@ -434,10 +503,22 @@ func (e *Engine) Classify(req Request) (*Response, error) {
 	c := &call{done: make(chan struct{})}
 	e.inflight[key] = c
 	e.mu.Unlock()
+	tr.Record("memo-get", spanStart)
 
+	if tr != nil {
+		spanStart = time.Now()
+	}
+	// Compute under the background context, not ctx: later identical
+	// requests coalesce onto this computation, and the first caller
+	// hanging up must not fail the waiters.
 	c.payload, c.err = d.Compute(context.Background(), &req)
+	tr.Record("compute", spanStart)
 	if c.err == nil {
+		if tr != nil {
+			spanStart = time.Now()
+		}
 		e.cache.Put(key, c.payload)
+		tr.Record("memo-put", spanStart)
 	} else {
 		e.errors.Add(1)
 	}
@@ -484,6 +565,9 @@ type BatchItem struct {
 // for all of them. Results are positional. Identical problems inside one
 // batch resolve to a single computation via the cache and singleflight.
 func (e *Engine) ClassifyBatch(reqs []Request) []BatchItem {
+	if e.obs != nil {
+		e.obs.batch.Observe(float64(len(reqs)))
+	}
 	out := make([]BatchItem, len(reqs))
 	var wg sync.WaitGroup
 	for i := range reqs {
@@ -525,7 +609,7 @@ func (e *Engine) censusWith(ctx context.Context, k int, dedup bool, progress fun
 			Cache:    e.cache,
 			Warm:     e.warmByK[k],
 			Ctx:      ctx,
-			Progress: progress,
+			Progress: e.censusProgress(progress),
 		})
 	})
 }
@@ -546,7 +630,7 @@ func (e *Engine) pathCensusWith(ctx context.Context, k int, progress func(done, 
 		return enumerate.RunPathsWith(k, enumerate.PathRunOpts{
 			Ctx:      ctx,
 			Cache:    e.cache,
-			Progress: progress,
+			Progress: e.censusProgress(progress),
 		})
 	})
 }
