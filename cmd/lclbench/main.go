@@ -82,6 +82,13 @@ const (
 	// records the skip ratio — masks skipped / total, machine-independent
 	// — and its latency the sweep cost.
 	KindOrbit = "orbit"
+	// KindSealed builds a sealed landscape table over the k-letter cycle
+	// mask space and measures the sealed lookup against the warm
+	// memo-hit serving path (a real engine with a pre-warmed cache).
+	// AllocsPerOp gates the 0 allocs/op invariant, SpeedupVsMemo the
+	// >= 10x latency win, and LookupsPerSec the multi-million-QPS-class
+	// throughput — all machine-independent enough to gate absolutely.
+	KindSealed = "sealed"
 )
 
 // Cache states for census experiments.
@@ -120,9 +127,15 @@ type Experiment struct {
 	// a LOCAL Linial coloring on a fixed path with seed-derived IDs.
 	// Bit-identical across machines; gated for exact equality.
 	Rounds int `json:"rounds"`
-	// AllocsPerOp records heap allocations per operation (KindAlloc
-	// only); machine-independent, expected 0 on the orbit-table path.
+	// AllocsPerOp records heap allocations per operation (KindAlloc and
+	// KindSealed); machine-independent, expected 0 on both paths.
 	AllocsPerOp *Dist `json:"allocs_per_op,omitempty"`
+	// SpeedupVsMemo is the warm memo-hit serving latency divided by the
+	// sealed lookup latency over the same keys (KindSealed only); the
+	// sealed tier's acceptance bar is >= 10.
+	SpeedupVsMemo *Dist `json:"speedup_vs_memo,omitempty"`
+	// LookupsPerSec is the sealed lookup throughput (KindSealed only).
+	LookupsPerSec *Dist `json:"lookups_per_sec,omitempty"`
 }
 
 // Report is the BENCH_<grid>.json payload.
@@ -168,6 +181,7 @@ var grids = map[string][]gridPoint{
 		{kind: KindGrid, k: 2, dims: 2, workers: 4, cache: CacheWarm},
 		{kind: KindAlloc, k: 3},
 		{kind: KindOrbit, k: 3},
+		{kind: KindSealed, k: 3},
 	},
 	"full": {
 		{kind: KindCensus, k: 2, workers: 1, cache: CacheCold},
@@ -199,6 +213,8 @@ var grids = map[string][]gridPoint{
 		{kind: KindAlloc, k: 3},
 		{kind: KindOrbit, k: 2},
 		{kind: KindOrbit, k: 3},
+		{kind: KindSealed, k: 2},
+		{kind: KindSealed, k: 3},
 	},
 }
 
@@ -214,6 +230,8 @@ func (p gridPoint) name() string {
 		return fmt.Sprintf("alloc/canonical-key/k=%d", p.k)
 	case KindOrbit:
 		return fmt.Sprintf("orbit/skip/k=%d", p.k)
+	case KindSealed:
+		return fmt.Sprintf("sealed/lookup/k=%d", p.k)
 	default:
 		return fmt.Sprintf("census/k=%d/w=%d/%s", p.k, p.workers, p.cache)
 	}
@@ -337,9 +355,9 @@ func runGrid(gridName string, points []gridPoint, repeats int, seed int64, progr
 // runExperiment measures one grid point over the configured repeats.
 func runExperiment(p gridPoint, repeats int, seed int64, tmpDir string) (*Experiment, error) {
 	exp := &Experiment{Name: p.name(), Kind: p.kind, K: p.k, Workers: p.workers, Cache: p.cache, Delta: p.delta, Dims: p.dims}
-	var latencies, hitRates, allocs []float64
+	var latencies, hitRates, allocs, speedups, lookups []float64
 	for rep := 0; rep < repeats; rep++ {
-		var latency, hitRate, allocRate float64
+		var latency, hitRate, allocRate, speedup, qps float64
 		var err error
 		switch p.kind {
 		case KindCensus:
@@ -358,6 +376,8 @@ func runExperiment(p gridPoint, repeats int, seed int64, tmpDir string) (*Experi
 			// skipped / masks visited) and machine-independent, so the
 			// existing hit-rate gate covers it.
 			latency, hitRate, err = runOrbitOnce(p)
+		case KindSealed:
+			latency, hitRate, allocRate, speedup, qps, err = runSealedOnce(p, tmpDir)
 		}
 		if err != nil {
 			return nil, err
@@ -365,15 +385,119 @@ func runExperiment(p gridPoint, repeats int, seed int64, tmpDir string) (*Experi
 		latencies = append(latencies, latency)
 		hitRates = append(hitRates, hitRate)
 		allocs = append(allocs, allocRate)
+		speedups = append(speedups, speedup)
+		lookups = append(lookups, qps)
 	}
 	exp.LatencyMS = summarize(latencies)
 	exp.HitRate = summarize(hitRates)
 	exp.Rounds = roundsMetric(p.k, seed)
-	if p.kind == KindAlloc {
+	if p.kind == KindAlloc || p.kind == KindSealed {
 		d := summarize(allocs)
 		exp.AllocsPerOp = &d
 	}
+	if p.kind == KindSealed {
+		s := summarize(speedups)
+		exp.SpeedupVsMemo = &s
+		q := summarize(lookups)
+		exp.LookupsPerSec = &q
+	}
 	return exp, nil
+}
+
+// runSealedOnce builds a sealed landscape table over the k-letter cycle
+// mask space via the real artifact path (BuildSealed -> SaveSealed ->
+// LoadSealed), then races the two warm tiers over identical coverage:
+//
+//   - warm memo-hit serving: a real engine with a pre-warmed cache,
+//     Classify over every mask problem in the space — the path a
+//     repeat request takes today;
+//   - sealed lookup: SealedTable.Get over every sealed key — the path
+//     the same request takes with -sealed loaded (one hash + one
+//     probe; the fingerprint and response wrap are common to both).
+//
+// Returns (sealed sweep latency ms, sealed hit rate, sealed allocs/op,
+// warm-vs-sealed speedup, sealed lookups/sec).
+func runSealedOnce(p gridPoint, tmpDir string) (float64, float64, float64, float64, float64, error) {
+	sealed, err := service.BuildSealed(service.SealConfig{CycleKs: []int{p.k}})
+	if err != nil {
+		return 0, 0, 0, 0, 0, err
+	}
+	path := filepath.Join(tmpDir, fmt.Sprintf("k%d.lclseal", p.k))
+	if _, err := store.SaveSealed(path, sealed); err != nil {
+		return 0, 0, 0, 0, 0, err
+	}
+	tbl, err := store.LoadSealed(path)
+	if err != nil {
+		return 0, 0, 0, 0, 0, err
+	}
+	var keys []uint64
+	for _, sec := range sealed.Sections {
+		for _, e := range sec.Entries {
+			keys = append(keys, memo.Key(sec.Domain, e.Fingerprint))
+		}
+	}
+	if len(keys) == 0 {
+		return 0, 0, 0, 0, 0, fmt.Errorf("sealed table for k=%d is empty", p.k)
+	}
+
+	// Warm memo-hit baseline: every mask problem through a real engine,
+	// second pass timed (every request is a cache hit).
+	engine := service.New(service.Config{DisableObs: true})
+	defer engine.Close()
+	maskSpace := uint(1) << uint(enumerate.PairCount(p.k))
+	var reqs []service.Request
+	for n2 := uint(0); n2 < maskSpace; n2++ {
+		for e := uint(0); e < maskSpace; e++ {
+			reqs = append(reqs, service.Request{Mode: service.ModeCycles, Problem: enumerate.FromMasks(p.k, n2, e)})
+		}
+	}
+	warm := func() (time.Duration, error) {
+		start := time.Now()
+		for i := range reqs {
+			resp, err := engine.Classify(reqs[i])
+			if err != nil {
+				return 0, err
+			}
+			_ = resp
+		}
+		return time.Since(start), nil
+	}
+	if _, err := warm(); err != nil { // warming pass: fills the cache
+		return 0, 0, 0, 0, 0, err
+	}
+	warmElapsed, err := warm() // timed pass: all memo hits
+	if err != nil {
+		return 0, 0, 0, 0, 0, err
+	}
+	warmNsPerOp := float64(warmElapsed.Nanoseconds()) / float64(len(reqs))
+
+	// Sealed sweep: enough passes over the key set to time reliably.
+	iters := (1 << 20) / len(keys)
+	if iters < 1 {
+		iters = 1
+	}
+	ops := iters * len(keys)
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for it := 0; it < iters; it++ {
+		for _, k := range keys {
+			if _, ok := tbl.Get(k); !ok {
+				return 0, 0, 0, 0, 0, fmt.Errorf("sealed key %016x missed its own table", k)
+			}
+		}
+	}
+	sealedElapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	sealedNsPerOp := float64(sealedElapsed.Nanoseconds()) / float64(ops)
+	if sealedNsPerOp <= 0 {
+		return 0, 0, 0, 0, 0, fmt.Errorf("sealed sweep too fast to time (%d ops in %v)", ops, sealedElapsed)
+	}
+	allocsPerOp := float64(after.Mallocs-before.Mallocs) / float64(ops)
+	speedup := warmNsPerOp / sealedNsPerOp
+	qps := 1e9 / sealedNsPerOp
+	return float64(sealedElapsed) / float64(time.Millisecond), 1.0, allocsPerOp, speedup, qps, nil
 }
 
 // runAllocOnce sweeps the whole (node, edge) mask space through the
@@ -657,7 +781,7 @@ func validateReport(r *Report) error {
 		}
 		seen[e.Name] = true
 		switch e.Kind {
-		case KindCensus, KindPaths, KindRooted, KindGrid, KindAlloc, KindOrbit:
+		case KindCensus, KindPaths, KindRooted, KindGrid, KindAlloc, KindOrbit, KindSealed:
 		default:
 			return fmt.Errorf("%s: unknown kind %q", where, e.Kind)
 		}
@@ -720,6 +844,38 @@ func validateReport(r *Report) error {
 			}
 			if e.HitRate.Mean <= 0 {
 				return fmt.Errorf("%s: orbit sweep skipped nothing", where)
+			}
+		case KindSealed:
+			if e.Cache != "" {
+				return fmt.Errorf("%s: sealed experiments take no cache state, got %q", where, e.Cache)
+			}
+			if e.AllocsPerOp == nil {
+				return fmt.Errorf("%s: sealed experiment missing allocs_per_op", where)
+			}
+			if len(e.AllocsPerOp.Samples) != r.Repeats {
+				return fmt.Errorf("%s: allocs_per_op has %d samples, want %d", where, len(e.AllocsPerOp.Samples), r.Repeats)
+			}
+			// The tier's contract: a sealed hit allocates nothing (sub-1
+			// readings tolerate stray runtime mallocs inside the window).
+			if e.AllocsPerOp.Mean >= 1 {
+				return fmt.Errorf("%s: %.3f allocs/op on the sealed lookup path", where, e.AllocsPerOp.Mean)
+			}
+			if e.SpeedupVsMemo == nil {
+				return fmt.Errorf("%s: sealed experiment missing speedup_vs_memo", where)
+			}
+			// The reason the tier exists: >= 10x under the warm memo-hit
+			// serving path (fingerprint + lock + LRU + wrap).
+			if e.SpeedupVsMemo.Mean < 10 {
+				return fmt.Errorf("%s: sealed lookup only %.1fx faster than the warm memo-hit path, want >= 10x", where, e.SpeedupVsMemo.Mean)
+			}
+			if e.LookupsPerSec == nil {
+				return fmt.Errorf("%s: sealed experiment missing lookups_per_sec", where)
+			}
+			if e.LookupsPerSec.Mean < 1e6 {
+				return fmt.Errorf("%s: sealed lookup throughput %.0f/s below the multi-million-QPS bar", where, e.LookupsPerSec.Mean)
+			}
+			if e.HitRate.Mean != 1 {
+				return fmt.Errorf("%s: sealed sweep hit rate %v, want exactly 1", where, e.HitRate.Mean)
 			}
 		}
 		for _, d := range []struct {

@@ -23,6 +23,13 @@
 // — because the snapshot checkpoints carry their partial results —
 // resume warm instead of recomputing from scratch.
 //
+// With -sealed the server loads a precomputed landscape table built by
+// `lcltool seal` and consults it before the memo cache: requests inside
+// the sealed spaces are answered with one hash probe, zero allocations,
+// and no lock contention. A missing, corrupt, or version-mismatched
+// table is logged and ignored — the server serves classifier-only, with
+// bit-identical verdicts.
+//
 // Endpoints:
 //
 //	POST /v1/classify        {"mode":"cycles","problem":{...lcl codec...}}
@@ -85,6 +92,7 @@ func main() {
 	cacheCap := flag.Int("cache-capacity", 0, "memo cache total entries (0 = default)")
 	prewarm := flag.Int("prewarm", 0, "run the k-census on startup to warm the cache (0 = off)")
 	snapshotPath := flag.String("snapshot", "", "snapshot file: load on startup if present, save on shutdown, at checkpoints, and via POST /v1/admin/snapshot (empty = off)")
+	sealedPath := flag.String("sealed", "", "sealed landscape table from `lcltool seal`: precomputed verdicts served before the memo cache (empty = off)")
 	snapshotInterval := flag.Duration("snapshot-interval", 0, "autosave the snapshot at this interval, e.g. 5m (0 = off; requires -snapshot)")
 	jobsLedger := flag.String("jobs-ledger", "", "job ledger file: persists the job table and re-enqueues unfinished jobs at boot (empty = off)")
 	jobWorkers := flag.Int("job-workers", 1, "concurrently running background jobs")
@@ -139,6 +147,23 @@ func main() {
 		}
 	}
 
+	var sealedTbl *store.SealedTable
+	if *sealedPath != "" {
+		switch t, err := store.LoadSealed(*sealedPath); {
+		case err == nil:
+			sealedTbl = t
+			logger.Info("loaded sealed landscape", "path", *sealedPath,
+				"entries", t.Len(), "sections", len(t.Sections()),
+				"bytes", t.SizeBytes())
+		case os.IsNotExist(err):
+			logger.Info("sealed table not found, serving classifier-only", "path", *sealedPath)
+		default:
+			// Corrupt or version-mismatched tables must never be served;
+			// the classifier fallback is bit-identical.
+			logger.Warn("ignoring sealed table", "path", *sealedPath, "err", err)
+		}
+	}
+
 	var ledger *jobs.Ledger
 	if *jobsLedger != "" {
 		switch l, err := jobs.LoadLedger(*jobsLedger); {
@@ -165,6 +190,7 @@ func main() {
 		CacheCapacity:  *cacheCap,
 		Snapshot:       snapshot,
 		SnapshotPath:   *snapshotPath,
+		Sealed:         sealedTbl,
 		JobWorkers:     *jobWorkers,
 		JobsLedgerPath: *jobsLedger,
 		JobsLedger:     ledger,

@@ -25,6 +25,12 @@
 //
 //	lcltool statsz -server http://localhost:8080
 //	lcltool metrics -filter lcl_engine -watch 2s
+//
+// The seal subcommand precomputes the landscape over whole mask spaces
+// and writes a read-only sealed table for lclserver -sealed (see
+// seal.go):
+//
+//	lcltool seal -out landscape.lclseal -cycles-k 3 -paths-k 2
 package main
 
 import (
@@ -50,6 +56,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && (os.Args[1] == "statsz" || os.Args[1] == "metrics") {
 		runStats(os.Args[1], os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "seal" {
+		runSeal(os.Args[2:])
 		return
 	}
 	problem := flag.String("problem", "", "named problem from the battery (see -list)")

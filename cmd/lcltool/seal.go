@@ -1,0 +1,91 @@
+// The seal subcommand: enumerate every orbit representative of the
+// selected mask spaces, classify each once, and write the verdicts as a
+// versioned read-only sealed table (format "lclseal1", see
+// docs/FORMATS.md). lclserver loads the artifact with -sealed and
+// serves those spaces with a single hash probe — no classifier, no
+// cache churn, no allocation.
+
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/store"
+)
+
+// runSeal handles `lcltool seal <flags>`.
+func runSeal(args []string) {
+	fs := flag.NewFlagSet("seal", flag.ExitOnError)
+	out := fs.String("out", "landscape.lclseal", "output path for the sealed table")
+	cyclesK := fs.Int("cycles-k", 3, "seal cycle mask spaces for k = 1..N labels (0 skips cycles)")
+	pathsK := fs.Int("paths-k", 2, "seal path-with-inputs spaces for k = 1..N labels (0 skips paths)")
+	rootedDelta := fs.Int("rooted-delta", 2, "seal rooted (delta, k) spaces up to this delta (0 skips rooted)")
+	rootedK := fs.Int("rooted-k", 2, "seal rooted (delta, k) spaces up to this k")
+	rootedRadius := fs.Int("rooted-radius", 0, "anonymous synthesis radius for rooted spaces (0 = default)")
+	gridK := fs.Int("grid-k", 3, "seal 1-dimensional oriented-torus spaces for k = 1..N labels (0 skips grids)")
+	workers := fs.Int("workers", 0, "parallel workers for the cycle sweeps (0 = GOMAXPROCS)")
+	quiet := fs.Bool("q", false, "suppress progress output")
+	fs.Parse(args)
+
+	cfg := service.SealConfig{
+		RootedRadius: *rootedRadius,
+		Workers:      *workers,
+	}
+	for k := 1; k <= *cyclesK; k++ {
+		cfg.CycleKs = append(cfg.CycleKs, k)
+	}
+	for k := 1; k <= *pathsK; k++ {
+		cfg.PathKs = append(cfg.PathKs, k)
+	}
+	if *rootedDelta > 0 {
+		for d := 1; d <= *rootedDelta; d++ {
+			for k := 1; k <= *rootedK; k++ {
+				if d == 3 && k == 2 {
+					continue // beyond the supported rooted spaces
+				}
+				cfg.Rooted = append(cfg.Rooted, [2]int{d, k})
+			}
+		}
+	}
+	for k := 1; k <= *gridK; k++ {
+		cfg.GridKs = append(cfg.GridKs, k)
+	}
+	if !*quiet {
+		last := ""
+		cfg.Progress = func(section string, done, total int) {
+			if section != last {
+				if last != "" {
+					fmt.Fprintln(os.Stderr)
+				}
+				last = section
+			}
+			fmt.Fprintf(os.Stderr, "\rseal %-16s %d/%d", section, done, total)
+		}
+	}
+
+	start := time.Now()
+	sealed, err := service.BuildSealed(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if !*quiet {
+		fmt.Fprintln(os.Stderr)
+	}
+	sealed.CreatedUnix = time.Now().Unix()
+	n, err := store.SaveSealed(*out, sealed)
+	if err != nil {
+		fatal(err)
+	}
+
+	total := 0
+	for _, sec := range sealed.Sections {
+		fmt.Printf("  %-16s %6d verdicts  (%s)\n", sec.Name, len(sec.Entries), sec.Domain)
+		total += len(sec.Entries)
+	}
+	fmt.Printf("sealed %d verdicts in %d sections to %s (%d bytes) in %v\n",
+		total, len(sealed.Sections), *out, n, time.Since(start).Round(time.Millisecond))
+}

@@ -14,6 +14,7 @@
 // each isomorphism class is classified exactly once) and PairOrbitSize
 // (weight the representative by the number of raw problems it stands
 // for).
+
 package canon
 
 import (

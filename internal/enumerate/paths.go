@@ -139,6 +139,72 @@ func RunPathsWith(k int, opts PathRunOpts) (*PathCensus, error) {
 	return c, nil
 }
 
+// PathDecision is one path-space orbit representative's decision: the
+// canonical fingerprint every orbit member's request resolves to, and
+// the shared solvability verdict.
+type PathDecision struct {
+	Fingerprint uint64
+	Result      *classify.InputsResult
+}
+
+// PathDecisions decides exactly one representative per (n1, n2, e)
+// orbit of the alphabet-size-k path space and returns the per-orbit
+// decisions keyed by canonical fingerprint — the sealed landscape's
+// currency: every orbit member's exact fingerprint resolves to its
+// representative's, so this list covers the whole space. Options are
+// honored as in RunPathsWith; Progress counts orbit representatives,
+// not raw triples.
+func PathDecisions(k int, opts PathRunOpts) ([]PathDecision, error) {
+	if k < 1 || k > 3 {
+		return nil, fmt.Errorf("enumerate: path decisions support k in [1, 3], got %d", k)
+	}
+	tbl := canon.Orbits(k)
+	pairSpace := uint(1) << uint(PairCount(k))
+	endSpace := uint(1) << uint(k)
+	// First pass: count representatives so Progress has a real total.
+	total := 0
+	for n1 := uint(0); n1 < endSpace; n1++ {
+		for n2 := uint(0); n2 < pairSpace; n2++ {
+			for e := uint(0); e < pairSpace; e++ {
+				if cn1, cn2, ce := tbl.CanonicalTriple(n1, n2, e); cn1 == n1 && cn2 == n2 && ce == e {
+					total++
+				}
+			}
+		}
+	}
+	decisions := make([]PathDecision, 0, total)
+	byFP := make(map[uint64]*classify.InputsResult, total)
+	for n1 := uint(0); n1 < endSpace; n1++ {
+		for n2 := uint(0); n2 < pairSpace; n2++ {
+			if err := ctxErr(opts.Ctx); err != nil {
+				return nil, err
+			}
+			for e := uint(0); e < pairSpace; e++ {
+				if cn1, cn2, ce := tbl.CanonicalTriple(n1, n2, e); cn1 != n1 || cn2 != n2 || ce != e {
+					continue
+				}
+				p := FromPathMasks(k, n1, n2, e)
+				fp := pathMaskFingerprint(k, n1, n2, e)
+				if _, ok := byFP[fp]; ok {
+					// Distinct orbits have distinct canonical forms, so a
+					// repeated fingerprint would be a hash collision;
+					// dropping the later orbit keeps the table unambiguous.
+					continue
+				}
+				res, err := decidePath(p, fp, opts.Cache, byFP)
+				if err != nil {
+					return nil, fmt.Errorf("enumerate: %s: %w", p.Name, err)
+				}
+				decisions = append(decisions, PathDecision{Fingerprint: fp, Result: res})
+				if opts.Progress != nil {
+					opts.Progress(len(decisions), total)
+				}
+			}
+		}
+	}
+	return decisions, nil
+}
+
 // pathMaskFingerprints memoizes canonical fingerprints of path-census
 // orbit representatives, keyed by packed (k, n1, n2, e); like the cycle
 // census's mask-fingerprint cache, it is process-lifetime and tiny.

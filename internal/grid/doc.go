@@ -1,0 +1,21 @@
+// Package grid implements Section 5 of the paper: oriented
+// d-dimensional toroidal grids and the decidability of LCL complexities
+// on them.
+//
+// The package has two halves:
+//
+//   - the PROD-LOCAL model (Definition 5.2), in which every node holds
+//     one identifier per dimension (equal iff the nodes share that
+//     coordinate), the LOCAL→PROD-LOCAL simulation of Proposition 5.3,
+//     and the complexity-class witnesses for the Figure 1 (top right)
+//     landscape: O(1) (direction labeling), Θ(log* n) (per-dimension
+//     Cole–Vishkin coloring), and Θ(d√n) (line-global 2-coloring) — see
+//     prodlocal.go;
+//   - the oriented-grid decider behind Classify: dimension 1 reduces
+//     exactly to the oriented-cycle automaton analysis, and higher
+//     dimensions factor per axis, combining line verdicts into a grid
+//     verdict on the shared complexity lattice — see decide.go.
+//
+// Verdicts surface through the decide registry (mode "grid") and can be
+// precomputed into sealed landscape tables (internal/store).
+package grid

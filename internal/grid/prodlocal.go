@@ -1,10 +1,10 @@
-// Package grid implements Section 5: oriented d-dimensional toroidal
-// grids, the PROD-LOCAL model (Definition 5.2) in which every node holds
-// one identifier per dimension (equal iff the nodes share that
-// coordinate), the LOCAL→PROD-LOCAL simulation of Proposition 5.3, and the
+// The PROD-LOCAL model (Definition 5.2): every node holds one
+// identifier per dimension (equal iff the nodes share that coordinate),
+// the LOCAL→PROD-LOCAL simulation of Proposition 5.3, and the
 // complexity-class witnesses for the Figure 1 (top right) landscape:
 // O(1) (direction labeling), Θ(log* n) (per-dimension Cole–Vishkin
 // coloring), and Θ(d√n) (line-global 2-coloring).
+
 package grid
 
 import (

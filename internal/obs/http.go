@@ -2,6 +2,7 @@
 // shares across components, the middleware that meters every request
 // and carries the trace through the handler stack, and the /metricsz
 // and /debug/tracez handlers.
+
 package obs
 
 import (

@@ -1,5 +1,6 @@
 // Structured logging over log/slog: one process-wide base logger with
 // component-scoped children, replacing ad-hoc log.Printf call sites.
+
 package obs
 
 import (

@@ -7,6 +7,7 @@
 // an active trace (direct library calls, benchmarks) call the same
 // methods on a nil *Trace and pay only a nil check — no allocation, no
 // time syscalls (callers guard their time.Now with `if tr != nil`).
+
 package obs
 
 import (

@@ -81,6 +81,7 @@ type wireResponse struct {
 	Fingerprint string `json:"fingerprint,omitempty"`
 	CacheHit    bool   `json:"cache_hit"`
 	Coalesced   bool   `json:"coalesced,omitempty"`
+	Sealed      bool   `json:"sealed,omitempty"`
 	// Class is the verdict on the shared complexity-class lattice
 	// ("unsolvable", "O(1)", "Θ(log* n)", "Θ(log n)", "Θ(n^{1/k})",
 	// "Θ(n)", "unknown").
@@ -137,6 +138,7 @@ func encodeResponse(name string, resp *Response) (*wireResponse, error) {
 		Fingerprint: fmt.Sprintf("%016x", resp.Fingerprint),
 		CacheHit:    resp.CacheHit,
 		Coalesced:   resp.Coalesced,
+		Sealed:      resp.Sealed,
 		Class:       resp.Class.String(),
 	}
 	if resp.Detail != nil {

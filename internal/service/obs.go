@@ -19,10 +19,12 @@ import (
 
 // deciderObs is one decider's hot-path instruments.
 type deciderObs struct {
-	latency *obs.Histogram
-	hits    *obs.Counter
-	misses  *obs.Counter
-	errors  *obs.Counter
+	latency      *obs.Histogram
+	hits         *obs.Counter
+	misses       *obs.Counter
+	errors       *obs.Counter
+	sealedHits   *obs.Counter
+	sealedMisses *obs.Counter
 }
 
 // engineObs bundles the engine's observability state.
@@ -65,12 +67,20 @@ func newEngineObs(set *obs.Set, deciders []string) *engineObs {
 		"Requests that computed (or coalesced onto a computation), by decider.", "decider")
 	errors := r.CounterVec("lcl_engine_request_errors_total",
 		"Requests that failed, by decider.", "decider")
+	// Sealed-tier counters are registered even when no table is loaded,
+	// so dashboards see stable (zero) series either way.
+	sealedHits := r.CounterVec("lcl_engine_sealed_hits_total",
+		"Requests served from the sealed landscape table, by decider.", "decider")
+	sealedMisses := r.CounterVec("lcl_engine_sealed_misses_total",
+		"Requests that missed the sealed landscape table and fell through, by decider.", "decider")
 	for _, name := range deciders {
 		eo.decider[name] = &deciderObs{
-			latency: latency.With(name),
-			hits:    hits.With(name),
-			misses:  misses.With(name),
-			errors:  errors.With(name),
+			latency:      latency.With(name),
+			hits:         hits.With(name),
+			misses:       misses.With(name),
+			errors:       errors.With(name),
+			sealedHits:   sealedHits.With(name),
+			sealedMisses: sealedMisses.With(name),
 		}
 	}
 	return eo
@@ -158,6 +168,27 @@ func (e *Engine) finishObs() {
 			}
 		})
 
+	// Sealed landscape table: size and age gauges (0 when no table is
+	// loaded; SealedTable accessors are nil-receiver safe).
+	r.GaugeFunc("lcl_sealed_entries",
+		"Precomputed verdicts in the loaded sealed landscape table (0 when none is loaded).",
+		func() float64 { return float64(e.sealed.Len()) })
+	r.GaugeFunc("lcl_sealed_bytes",
+		"On-disk size of the loaded sealed landscape table in bytes.",
+		func() float64 { return float64(e.sealed.SizeBytes()) })
+	r.GaugeFunc("lcl_sealed_age_seconds",
+		"Seconds since the loaded sealed landscape table was built (0 when none is loaded).",
+		func() float64 {
+			created := e.sealed.CreatedUnix()
+			if created <= 0 {
+				return 0
+			}
+			if age := time.Since(time.Unix(created, 0)).Seconds(); age > 0 {
+				return age
+			}
+			return 0
+		})
+
 	// Snapshot age mirrors /statsz's AgeSeconds.
 	r.GaugeFunc("lcl_snapshot_age_seconds",
 		"Seconds since the newest snapshot state (0 when none exists).",
@@ -193,6 +224,24 @@ func (e *Engine) observeRequest(decider string, start time.Time, hit bool, err e
 		do.hits.Inc()
 	default:
 		do.misses.Inc()
+	}
+}
+
+// observeSealed records one sealed-tier lookup outcome. No-op when the
+// engine is uninstrumented or the decider was registered after
+// construction.
+func (e *Engine) observeSealed(decider string, hit bool) {
+	if e.obs == nil {
+		return
+	}
+	do := e.obs.decider[decider]
+	if do == nil {
+		return
+	}
+	if hit {
+		do.sealedHits.Inc()
+	} else {
+		do.sealedMisses.Inc()
 	}
 }
 

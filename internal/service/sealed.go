@@ -1,0 +1,228 @@
+// Building the sealed landscape: the offline sweep behind `lcltool
+// seal`. Each supported finite mask space is enumerated, classified
+// once per orbit representative, and packaged as one store.Sealed
+// section keyed under the exact memo domain the serving decider uses —
+// so a sealed table built here answers production traffic without the
+// deciders knowing it exists.
+//
+// Coverage semantics differ by space, mirroring each decider's
+// fingerprint discipline:
+//
+//   - cycles and paths entries are keyed by canonical fingerprint; the
+//     serving fingerprint of every orbit member resolves to its
+//     representative's (FastCycleFingerprint / LCLFingerprint), so one
+//     entry covers the whole isomorphism class.
+//   - rooted and grid entries are keyed by the deciders' exact
+//     (spelling-sensitive) fingerprints, so they cover requests phrased
+//     in the census encoding — labels "l0".."l{k-1}" with the canonical
+//     constraint spelling — which is what lcltool and the census jobs
+//     emit.
+
+package service
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/classify"
+	"repro/internal/enumerate"
+	"repro/internal/grid"
+	"repro/internal/rooted"
+	"repro/internal/store"
+)
+
+// SealConfig selects which mask spaces BuildSealed sweeps. Empty slices
+// skip the space entirely.
+type SealConfig struct {
+	// CycleKs lists cycle-census alphabet sizes to seal (each in
+	// [1, canon.MaxOrbitK]).
+	CycleKs []int
+	// PathKs lists path-space alphabet sizes to seal (each in [1, 3]).
+	PathKs []int
+	// Rooted lists (delta, k) rooted spaces to seal (delta in [1, 3],
+	// k in [1, 2]); RootedRadius bounds the anonymous synthesis search
+	// (0 selects rooted.DefaultCensusRadius). The radius is part of the
+	// memo domain, so a table sealed at one radius only serves requests
+	// asking for it.
+	Rooted       [][2]int
+	RootedRadius int
+	// GridKs lists mask-space alphabet sizes to seal for the
+	// one-dimensional oriented torus (each in [1, canon.MaxOrbitK]).
+	GridKs []int
+	// Workers parallelizes the cycle-census sweeps (<= 0 selects
+	// GOMAXPROCS).
+	Workers int
+	// Ctx, when non-nil, cancels the build between problems.
+	Ctx context.Context
+	// Progress, when non-nil, is called per section as classification
+	// advances.
+	Progress func(section string, done, total int)
+}
+
+// DefaultSealConfig covers every space the classifiers handle at
+// interactive build cost: the full k <= 3 cycle and grid mask spaces,
+// the k <= 2 path spaces, and all four supported rooted (delta, k)
+// spaces at the default census radius.
+func DefaultSealConfig() SealConfig {
+	return SealConfig{
+		CycleKs: []int{1, 2, 3},
+		PathKs:  []int{1, 2},
+		Rooted:  [][2]int{{1, 1}, {2, 1}, {3, 1}, {1, 2}, {2, 2}},
+		GridKs:  []int{1, 2, 3},
+	}
+}
+
+// BuildSealed classifies every orbit representative of the configured
+// mask spaces and returns the sealed landscape ready for
+// store.SaveSealed. The build is deterministic for a given config
+// (section order follows the config, entries are fingerprint-sorted on
+// encode), except for CreatedUnix, which the caller stamps.
+func BuildSealed(cfg SealConfig) (*store.Sealed, error) {
+	sealed := &store.Sealed{}
+	progress := func(section string) func(done, total int) {
+		if cfg.Progress == nil {
+			return nil
+		}
+		return func(done, total int) { cfg.Progress(section, done, total) }
+	}
+
+	for _, k := range cfg.CycleKs {
+		name := fmt.Sprintf("cycles/k=%d", k)
+		census, err := enumerate.RunWith(k, true, enumerate.RunOpts{
+			Workers:  cfg.Workers,
+			Ctx:      cfg.Ctx,
+			Progress: progress(name),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("seal %s: %w", name, err)
+		}
+		sec := store.SealedSection{Name: name, Domain: enumerate.CycleDomain, Kind: store.KindCycles}
+		seen := map[uint64]bool{}
+		for _, e := range census.Entries {
+			if seen[e.Fingerprint] {
+				continue
+			}
+			seen[e.Fingerprint] = true
+			sec.Entries = append(sec.Entries, store.SealedEntry{
+				Fingerprint: e.Fingerprint,
+				Value:       &classify.Result{Class: e.Class, Period: e.Period, Witness: e.Witness},
+			})
+		}
+		sealed.Sections = append(sealed.Sections, sec)
+	}
+
+	for _, k := range cfg.PathKs {
+		name := fmt.Sprintf("paths/k=%d", k)
+		decisions, err := enumerate.PathDecisions(k, enumerate.PathRunOpts{
+			Ctx:      cfg.Ctx,
+			Progress: progress(name),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("seal %s: %w", name, err)
+		}
+		sec := store.SealedSection{Name: name, Domain: enumerate.PathDomain, Kind: store.KindPaths}
+		for _, d := range decisions {
+			sec.Entries = append(sec.Entries, store.SealedEntry{Fingerprint: d.Fingerprint, Value: d.Result})
+		}
+		sealed.Sections = append(sealed.Sections, sec)
+	}
+
+	if len(cfg.Rooted) > 0 {
+		radius := cfg.RootedRadius
+		if radius <= 0 {
+			radius = rooted.DefaultCensusRadius
+		}
+		for _, dk := range cfg.Rooted {
+			sec, err := sealRootedSpace(dk[0], dk[1], radius, cfg.Ctx, cfg.Progress)
+			if err != nil {
+				return nil, err
+			}
+			sealed.Sections = append(sealed.Sections, *sec)
+		}
+	}
+
+	for _, k := range cfg.GridKs {
+		sec, err := sealGridSpace(k, cfg.Ctx, cfg.Progress)
+		if err != nil {
+			return nil, err
+		}
+		sealed.Sections = append(sealed.Sections, *sec)
+	}
+
+	return sealed, nil
+}
+
+// sealRootedSpace sweeps the (delta, k) rooted space — every
+// (configMask, leafMask, rootMask) problem — classifying each once
+// under the rooted decider's exact fingerprint. Distinct mask triples
+// yield distinct problems, but the fingerprint dedup guard keeps a hash
+// collision from producing an ambiguous section.
+func sealRootedSpace(delta, k, radius int, ctx context.Context, progress func(string, int, int)) (*store.SealedSection, error) {
+	name := fmt.Sprintf("rooted/d=%d/k=%d", delta, k)
+	sec := &store.SealedSection{Name: name, Domain: rootedDomain(radius), Kind: store.KindRooted}
+	seen := map[uint64]bool{}
+	capture := func(p *rooted.Problem) (*rooted.Verdict, error) {
+		v, err := rooted.ClassifyProblem(p, radius)
+		if err != nil {
+			return nil, err
+		}
+		if fp := p.Fingerprint(); !seen[fp] {
+			seen[fp] = true
+			sec.Entries = append(sec.Entries, store.SealedEntry{Fingerprint: fp, Value: v})
+		}
+		return v, nil
+	}
+	opts := rooted.CensusOpts{MaxRadius: radius, Ctx: ctx, Classify: capture}
+	if progress != nil {
+		opts.Progress = func(done, total int) { progress(name, done, total) }
+	}
+	if _, err := rooted.RunCensus(delta, k, opts); err != nil {
+		return nil, fmt.Errorf("seal %s: %w", name, err)
+	}
+	return sec, nil
+}
+
+// sealGridSpace sweeps the full (not orbit-reduced) k-label cycle mask
+// space for the one-dimensional oriented torus: the grid decider hashes
+// exact encodings, so every mask pair needs its own entry. Dimension 1
+// is the exact (and cheap) regime — grid.Classify reduces it to the
+// oriented-cycle automaton; higher dimensions take their verdicts from
+// per-axis factorization at serving time and are not sealed.
+func sealGridSpace(k int, ctx context.Context, progress func(string, int, int)) (*store.SealedSection, error) {
+	name := fmt.Sprintf("grid/d=1/k=%d", k)
+	gd := gridDecider{}
+	pairSpace := uint(1) << uint(enumerate.PairCount(k))
+	total := int(pairSpace) * int(pairSpace)
+	sec := &store.SealedSection{Name: name, Kind: store.KindGrid}
+	seen := map[uint64]bool{}
+	done := 0
+	for n2 := uint(0); n2 < pairSpace; n2++ {
+		if ctx != nil && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		for e := uint(0); e < pairSpace; e++ {
+			req := Request{Mode: ModeGrid, Problem: enumerate.FromMasks(k, n2, e), Dims: 1}
+			if sec.Domain == "" {
+				sec.Domain = gd.MemoDomain(&req)
+			}
+			fp, _, err := gd.Fingerprint(&req)
+			if err != nil {
+				return nil, fmt.Errorf("seal %s: %w", name, err)
+			}
+			done++
+			if seen[fp] {
+				continue
+			}
+			seen[fp] = true
+			v, err := grid.Classify(req.Problem, req.Dims)
+			if err != nil {
+				return nil, fmt.Errorf("seal %s: %s: %w", name, req.Problem.Name, err)
+			}
+			sec.Entries = append(sec.Entries, store.SealedEntry{Fingerprint: fp, Value: v})
+			if progress != nil {
+				progress(name, done, total)
+			}
+		}
+	}
+	return sec, nil
+}

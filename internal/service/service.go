@@ -63,6 +63,9 @@ type Response struct {
 	// Coalesced reports the request waited on an identical in-flight
 	// computation instead of running its own.
 	Coalesced bool
+	// Sealed reports the result came from the read-only sealed landscape
+	// table (which implies CacheHit: the verdict was precomputed).
+	Sealed bool
 	// Class is the decider's verdict on the shared complexity-class
 	// lattice.
 	Class decide.Class
@@ -135,6 +138,14 @@ type Config struct {
 	// SnapshotPath, when non-empty, is where SaveSnapshot (and the
 	// POST /v1/admin/snapshot endpoint) writes.
 	SnapshotPath string
+	// Sealed, when non-nil, is the precomputed landscape table (built by
+	// lcltool seal, loaded with store.LoadSealed). It is consulted before
+	// the memo cache: a hit is one hash and one lock-free probe — no LRU
+	// bump, no shard contention, no allocation. A miss falls through to
+	// the existing cache/compute path unchanged, so serving without a
+	// table (or after refusing a corrupt one) is bit-identical, just
+	// slower.
+	Sealed *store.SealedTable
 	// JobWorkers bounds concurrently running background jobs (<= 0
 	// selects 1; each job is internally parallel across the engine's
 	// worker count already).
@@ -197,6 +208,13 @@ type Engine struct {
 	// streams (SSE handlers) that would otherwise hold up an HTTP drain.
 	streamsDone     chan struct{}
 	streamsShutdown sync.Once
+
+	// sealed is the read-only precomputed landscape table (nil = tier
+	// off); its hit/miss counters live beside the engine's other serving
+	// counters.
+	sealed       *store.SealedTable
+	sealedHits   atomic.Uint64
+	sealedMisses atomic.Uint64
 
 	snapshotPath string
 	snapLoaded   bool
@@ -268,6 +286,7 @@ func New(cfg Config) *Engine {
 		pathCensuses: map[int]*enumerate.PathCensus{},
 		pathCalls:    map[int]*call{},
 		warmByK:      map[int]*enumerate.Census{},
+		sealed:       cfg.Sealed,
 		snapshotPath: cfg.SnapshotPath,
 	}
 	if !cfg.DisableObs {
@@ -468,6 +487,29 @@ func (e *Engine) ClassifyCtx(ctx context.Context, req Request) (resp *Response, 
 		return e.wrap(d, &req, fp, payload, false, false)
 	}
 	key := memo.Key(d.MemoDomain(&req), fp)
+
+	// Sealed landscape tier: the whole finite mask space was classified
+	// offline, so a hit here is a single lock-free probe — ahead of the
+	// memo cache and its shard mutex + LRU bump. A miss (problem outside
+	// the sealed spaces, or no table loaded) falls through unchanged.
+	if e.sealed != nil {
+		if tr != nil {
+			spanStart = time.Now()
+		}
+		v, ok := e.sealed.Get(key)
+		tr.Record("sealed-get", spanStart)
+		if ok {
+			e.sealedHits.Add(1)
+			e.observeSealed(d.Name(), true)
+			resp, err := e.wrap(d, &req, fp, v, true, false)
+			if resp != nil {
+				resp.Sealed = true
+			}
+			return resp, err
+		}
+		e.sealedMisses.Add(1)
+		e.observeSealed(d.Name(), false)
+	}
 
 	// Singleflight: attach to an identical in-flight computation. The
 	// cache is checked under the lock: the computing goroutine fills the
@@ -768,6 +810,8 @@ type Stats struct {
 	Jobs map[jobs.State]int `json:"jobs,omitempty"`
 	// Snapshot is nil when the engine runs without snapshot support.
 	Snapshot *SnapshotInfo `json:"snapshot,omitempty"`
+	// Sealed is nil when no sealed landscape table is loaded.
+	Sealed *SealedInfo `json:"sealed,omitempty"`
 }
 
 // SnapshotInfo describes the engine's snapshot state for /statsz.
@@ -783,6 +827,22 @@ type SnapshotInfo struct {
 	// last save, or since the loaded snapshot was created when the engine
 	// has not saved yet. Negative-free; 0 when no snapshot exists yet.
 	AgeSeconds float64 `json:"age_seconds"`
+}
+
+// SealedInfo describes the loaded sealed landscape table for /statsz.
+type SealedInfo struct {
+	// Entries is the total precomputed verdict count across sections.
+	Entries int `json:"entries"`
+	// Sections lists the sealed problem spaces.
+	Sections []store.SealedSectionInfo `json:"sections"`
+	// Bytes is the artifact size the table was loaded from.
+	Bytes int `json:"bytes"`
+	// AgeSeconds is the time since the artifact was built (negative-free).
+	AgeSeconds float64 `json:"age_seconds"`
+	// Hits and Misses count sealed-tier lookups over exact-fingerprint
+	// traffic; a miss fell through to the memo cache.
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
 }
 
 // Stats snapshots the serving counters.
@@ -825,5 +885,20 @@ func (e *Engine) Stats() Stats {
 		st.Snapshot = info
 	}
 	e.censusMu.Unlock()
+	if e.sealed != nil {
+		info := &SealedInfo{
+			Entries:  e.sealed.Len(),
+			Sections: e.sealed.Sections(),
+			Bytes:    e.sealed.SizeBytes(),
+			Hits:     e.sealedHits.Load(),
+			Misses:   e.sealedMisses.Load(),
+		}
+		if created := e.sealed.CreatedUnix(); created > 0 {
+			if age := time.Since(time.Unix(created, 0)).Seconds(); age > 0 {
+				info.AgeSeconds = age
+			}
+		}
+		st.Sealed = info
+	}
 	return st
 }
