@@ -39,7 +39,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"math"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -53,6 +52,7 @@ import (
 	"repro/internal/lcl"
 	"repro/internal/local"
 	"repro/internal/memo"
+	"repro/internal/obs"
 	"repro/internal/rooted"
 	"repro/internal/service"
 	"repro/internal/store"
@@ -98,13 +98,11 @@ const (
 	CacheSnapshot = "snapshot"
 )
 
-// Dist summarizes the repeats of one measured quantity.
-type Dist struct {
-	Mean    float64   `json:"mean"`
-	Std     float64   `json:"std"`
-	Min     float64   `json:"min"`
-	Samples []float64 `json:"samples"`
-}
+// Dist summarizes the repeats of one measured quantity. It is the
+// shared obs.Dist (the alias keeps the BENCH report JSON schema
+// byte-identical while lclload and lclbench agree on the summary
+// form).
+type Dist = obs.Dist
 
 // Experiment is one grid point's results.
 type Experiment struct {
@@ -745,17 +743,7 @@ func roundsMetric(k int, seed int64) int {
 }
 
 func summarize(samples []float64) Dist {
-	d := Dist{Samples: samples, Min: math.Inf(1)}
-	for _, s := range samples {
-		d.Mean += s
-		d.Min = math.Min(d.Min, s)
-	}
-	d.Mean /= float64(len(samples))
-	for _, s := range samples {
-		d.Std += (s - d.Mean) * (s - d.Mean)
-	}
-	d.Std = math.Sqrt(d.Std / float64(len(samples)))
-	return d
+	return obs.Summarize(samples)
 }
 
 // validateReport checks the schema invariants the regression gate

@@ -1,0 +1,362 @@
+// lclload is the sustained-load harness for a running lclserver: it
+// drives a weighted mix of classify / sealed / batch / census traffic,
+// records client-side latency per route in log-bucketed histograms
+// (p50 through p99.9 with ~5% resolution), scrapes /metricsz before
+// and after to diff the server's counter families (memo and sealed hit
+// rates paired with the client latencies), optionally captures CPU and
+// heap profiles from the server's -pprof listener mid-run, and writes
+// the whole run into a timestamped folder:
+//
+//	loadruns/<timestamp>/
+//	  results.json       per-route latency, QPS, error taxonomy
+//	  metrics-diff.json  server counter deltas, hit rates, GC pauses
+//	  profiles/          cpu.pprof, heap.pprof (when -pprof is set)
+//
+// Modes:
+//
+//	closed loop (default)  -concurrency N workers, each issuing the
+//	                       next request as soon as the last returns —
+//	                       measures capacity at a fixed parallelism
+//	open loop              -rate R arrivals/second regardless of how
+//	                       fast the server responds — measures behavior
+//	                       at a fixed offered rate, the honest way to
+//	                       see queueing collapse
+//
+// With -check the run is gated against an SLO spec (-slo, default
+// loadruns/slo.json): p99 ceilings, minimum QPS, maximum error rate,
+// maximum server GC pause. Any violation prints and exits non-zero,
+// which is how CI's load-smoke job fails.
+//
+// Example:
+//
+//	lclload -server http://localhost:8080 -duration 15s \
+//	        -pprof http://localhost:6060 -check
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// routeRec accumulates one route's client-side view of the run.
+type routeRec struct {
+	latency  *obs.LogHistogram
+	requests atomic.Uint64
+	errors   atomic.Uint64
+	mu       sync.Mutex
+	byKind   map[string]uint64
+}
+
+func newRouteRec() *routeRec {
+	return &routeRec{latency: obs.NewLogHistogram(), byKind: map[string]uint64{}}
+}
+
+func (r *routeRec) fail(kind string) {
+	r.errors.Add(1)
+	r.mu.Lock()
+	r.byKind[kind]++
+	r.mu.Unlock()
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lclload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	server := fs.String("server", "http://localhost:8080", "lclserver base URL")
+	duration := fs.Duration("duration", 15*time.Second, "load duration")
+	concurrency := fs.Int("concurrency", 8, "closed-loop worker count (also the open-loop in-flight cap)")
+	rate := fs.Float64("rate", 0, "open-loop offered rate in requests/second (0 = closed loop)")
+	mix := fs.String("mix", "classify=4,sealed=2,batch=1,census=1", "traffic mix as name=weight pairs")
+	batchSize := fs.Int("batch-size", 16, "problems per batch request")
+	seed := fs.Int64("seed", 1, "payload-pool RNG seed (same seed = same request stream)")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-request timeout")
+	outDir := fs.String("out", "loadruns", "parent directory for the run folder (empty = no artifacts)")
+	pprofBase := fs.String("pprof", "", "server pprof base URL, e.g. http://localhost:6060 (empty = no profiles)")
+	cpuProfile := fs.Duration("cpu-profile", 5*time.Second, "CPU profile capture window within the run (0 = skip)")
+	sloPath := fs.String("slo", "loadruns/slo.json", "SLO spec for -check")
+	check := fs.Bool("check", false, "gate the run against the -slo spec; violations exit non-zero")
+	quiet := fs.Bool("q", false, "suppress the human-readable summary")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *duration <= 0 || *concurrency < 1 {
+		fmt.Fprintln(stderr, "lclload: -duration must be positive and -concurrency at least 1")
+		return 2
+	}
+
+	ops := buildOps(*batchSize, *seed)
+	schedule, err := parseMix(*mix, ops)
+	if err != nil {
+		fmt.Fprintf(stderr, "lclload: %v\n", err)
+		return 2
+	}
+
+	client := &http.Client{
+		Timeout: *timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        *concurrency * 2,
+			MaxIdleConnsPerHost: *concurrency * 2,
+		},
+	}
+
+	// The server must be up before we attribute anything to it.
+	if err := checkHealth(client, *server); err != nil {
+		fmt.Fprintf(stderr, "lclload: server not healthy: %v\n", err)
+		return 1
+	}
+
+	before, err := scrapeMetrics(client, *server)
+	if err != nil {
+		fmt.Fprintf(stderr, "lclload: pre-run scrape: %v\n", err)
+		return 1
+	}
+
+	start := time.Now()
+	runDir := ""
+	if *outDir != "" {
+		runDir, err = makeRunDir(*outDir, start)
+		if err != nil {
+			fmt.Fprintf(stderr, "lclload: %v\n", err)
+			return 1
+		}
+	}
+
+	routes := map[string]*routeRec{}
+	for name := range ops {
+		routes[name] = newRouteRec()
+	}
+
+	// Profile capture runs concurrently with the load so the CPU
+	// profile window covers the loaded server, not an idle one.
+	var profiles []string
+	var profErr error
+	var profWG sync.WaitGroup
+	if *pprofBase != "" && runDir != "" {
+		profWG.Add(1)
+		go func() {
+			defer profWG.Done()
+			// Give the load a moment to ramp before profiling.
+			time.Sleep(*duration / 10)
+			window := *cpuProfile
+			if limit := *duration - *duration/5; window > limit {
+				window = limit
+			}
+			profiles, profErr = captureProfiles(*pprofBase, runDir, window)
+		}()
+	}
+	var offered uint64
+	if *rate > 0 {
+		offered = openLoop(client, *server, schedule, routes, *rate, *duration, *concurrency)
+	} else {
+		offered = closedLoop(client, *server, schedule, routes, *concurrency, *duration)
+	}
+	elapsed := time.Since(start)
+
+	profWG.Wait()
+	if profErr != nil {
+		fmt.Fprintf(stderr, "lclload: profile capture: %v\n", profErr)
+	}
+
+	after, err := scrapeMetrics(client, *server)
+	if err != nil {
+		fmt.Fprintf(stderr, "lclload: post-run scrape: %v\n", err)
+		return 1
+	}
+
+	results := buildResults(*server, *rate > 0, *concurrency, *rate, offered, elapsed, routes)
+	results.Profiles = profiles
+	diff := diffMetrics(before, after)
+
+	if runDir != "" {
+		if err := writeRun(runDir, results, diff); err != nil {
+			fmt.Fprintf(stderr, "lclload: write run folder: %v\n", err)
+			return 1
+		}
+	}
+
+	if !*quiet {
+		printSummary(stdout, results, diff, runDir, profiles)
+	}
+
+	if *check {
+		slo, err := loadSLO(*sloPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "lclload: %v\n", err)
+			return 1
+		}
+		violations := slo.Check(results, diff)
+		if len(violations) > 0 {
+			fmt.Fprintf(stderr, "lclload: %d SLO violation(s) against %s:\n", len(violations), *sloPath)
+			for _, v := range violations {
+				fmt.Fprintf(stderr, "  FAIL %s\n", v)
+			}
+			return 1
+		}
+		fmt.Fprintf(stdout, "SLO check passed (%s)\n", *sloPath)
+	}
+	return 0
+}
+
+// checkHealth requires a 200 from /healthz.
+func checkHealth(client *http.Client, base string) error {
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /healthz: status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// issue sends one request and records it under its route.
+func issue(client *http.Client, base string, o *op, rec *routeRec) {
+	method, path, body := o.next()
+	var reader io.Reader
+	if body != nil {
+		reader = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, base+path, reader)
+	if err != nil {
+		rec.requests.Add(1)
+		rec.fail("request_build")
+		return
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	start := time.Now()
+	resp, err := client.Do(req)
+	dur := time.Since(start)
+	rec.requests.Add(1)
+	if err != nil {
+		rec.fail(errKind(err))
+		return
+	}
+	// Drain so the connection is reusable; latency includes the body.
+	_, copyErr := io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	dur = time.Since(start)
+	rec.latency.Observe(dur.Seconds())
+	switch {
+	case copyErr != nil:
+		rec.fail("body_read")
+	case resp.StatusCode != http.StatusOK:
+		rec.fail(fmt.Sprintf("http_%d", resp.StatusCode))
+	}
+}
+
+// errKind maps a transport error onto a bounded taxonomy key, so the
+// error breakdown in results.json has fixed cardinality no matter what
+// the wrapped error chains say.
+func errKind(err error) string {
+	if err == nil {
+		return ""
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return "timeout"
+	}
+	s := err.Error()
+	switch {
+	case containsAny(s, "context deadline exceeded", "Client.Timeout"):
+		return "timeout"
+	case containsAny(s, "connection refused"):
+		return "conn_refused"
+	case containsAny(s, "connection reset", "EOF", "broken pipe"):
+		return "conn_reset"
+	default:
+		return "transport"
+	}
+}
+
+func containsAny(s string, subs ...string) bool {
+	for _, sub := range subs {
+		if strings.Contains(s, sub) {
+			return true
+		}
+	}
+	return false
+}
+
+// closedLoop runs workers that each issue the next request the moment
+// the previous one finishes: offered load adapts to the server, so the
+// achieved QPS is the capacity at this parallelism. Returns requests
+// issued.
+func closedLoop(client *http.Client, base string, schedule []*op, routes map[string]*routeRec, workers int, d time.Duration) uint64 {
+	deadline := time.Now().Add(d)
+	var next atomic.Uint64
+	var issued atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				o := schedule[next.Add(1)%uint64(len(schedule))]
+				issue(client, base, o, routes[o.name])
+				issued.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	return issued.Load()
+}
+
+// openLoop issues arrivals on a fixed clock regardless of completions
+// — the offered rate does not slow down when the server does, so
+// latency under overload is visible instead of self-throttled. The
+// in-flight population is capped at 16x the concurrency flag; an
+// arrival finding the cap exhausted is recorded as a "dropped" error
+// against its route (an honest overload signal, not silent back-off).
+// Returns arrivals offered (issued plus dropped).
+func openLoop(client *http.Client, base string, schedule []*op, routes map[string]*routeRec, rate float64, d time.Duration, concurrency int) uint64 {
+	interval := time.Duration(float64(time.Second) / rate)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	deadline := time.Now().Add(d)
+	sem := make(chan struct{}, concurrency*16)
+	var next atomic.Uint64
+	var offered uint64
+	var wg sync.WaitGroup
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for now := range ticker.C {
+		if !now.Before(deadline) {
+			break
+		}
+		offered++
+		o := schedule[next.Add(1)%uint64(len(schedule))]
+		rec := routes[o.name]
+		select {
+		case sem <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				issue(client, base, o, rec)
+			}()
+		default:
+			rec.requests.Add(1)
+			rec.fail("dropped")
+		}
+	}
+	wg.Wait()
+	return offered
+}

@@ -1,0 +1,322 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	nhpprof "net/http/pprof"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/service"
+	"repro/internal/store"
+)
+
+// newLoadTestServer boots a real engine behind httptest, plus a second
+// listener serving the pprof endpoints the way lclserver's -pprof flag
+// does. Returns the API base URL and the pprof base URL.
+func newLoadTestServer(t *testing.T, cfg service.Config) (string, string) {
+	t.Helper()
+	e := service.New(cfg)
+	srv := httptest.NewServer(service.NewHandler(e))
+	pprofMux := http.NewServeMux()
+	pprofMux.HandleFunc("/debug/pprof/profile", nhpprof.Profile)
+	pprofMux.Handle("/debug/pprof/heap", nhpprof.Handler("heap"))
+	psrv := httptest.NewServer(pprofMux)
+	t.Cleanup(func() {
+		srv.Close()
+		psrv.Close()
+		e.Close()
+	})
+	return srv.URL, psrv.URL
+}
+
+func writeSLO(t *testing.T, dir string, slo map[string]any) string {
+	t.Helper()
+	raw, err := json.Marshal(slo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "slo.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func readJSON(t *testing.T, path string, into any) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, into); err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+}
+
+// TestClosedLoopEndToEnd drives the full pipeline against a live
+// engine with a sealed tier: run, artifacts, profiles, passing SLO
+// gate. This is the acceptance-criteria run in miniature.
+func TestClosedLoopEndToEnd(t *testing.T) {
+	sealed, err := service.BuildSealed(service.SealConfig{CycleKs: []int{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealPath := filepath.Join(t.TempDir(), "test.lclseal")
+	if _, err := store.SaveSealed(sealPath, sealed); err != nil {
+		t.Fatal(err)
+	}
+	table, err := store.LoadSealed(sealPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apiURL, pprofURL := newLoadTestServer(t, service.Config{Workers: 2, Sealed: table})
+	dir := t.TempDir()
+	sloPath := writeSLO(t, dir, map[string]any{
+		"max_error_rate":              0.01,
+		"min_qps":                     1,
+		"max_p99_over_p50":            map[string]float64{"*": 1000},
+		"max_gc_pause_p99_ms":         5000,
+		"min_memo_or_sealed_hit_rate": 0.05,
+	})
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-server", apiURL, "-pprof", pprofURL,
+		"-duration", "2s", "-concurrency", "4",
+		"-cpu-profile", "1s",
+		"-out", dir, "-slo", sloPath, "-check",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run exited %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+
+	// Exactly one timestamped run folder.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runDir := ""
+	for _, e := range entries {
+		if e.IsDir() {
+			runDir = filepath.Join(dir, e.Name())
+		}
+	}
+	if runDir == "" {
+		t.Fatalf("no run folder created in %s", dir)
+	}
+
+	var res Results
+	readJSON(t, filepath.Join(runDir, "results.json"), &res)
+	if res.Schema != ResultsSchema || res.Mode != "closed" {
+		t.Errorf("schema/mode = %q/%q", res.Schema, res.Mode)
+	}
+	if res.Requests == 0 || res.AchievedQPS <= 0 {
+		t.Errorf("no traffic recorded: %+v", res)
+	}
+	if res.ErrorRate > 0.01 {
+		t.Errorf("error rate %.4f against a healthy server", res.ErrorRate)
+	}
+	for _, route := range []string{"classify", "sealed", "batch", "census"} {
+		rs := res.Routes[route]
+		if rs == nil || rs.Requests == 0 {
+			t.Errorf("route %s saw no traffic", route)
+			continue
+		}
+		l := rs.LatencyMS
+		if l.P50 <= 0 || l.P99 < l.P50 || l.P999 < l.P99 {
+			t.Errorf("route %s percentiles not ordered: %+v", route, l)
+		}
+	}
+
+	var diff MetricsDiff
+	readJSON(t, filepath.Join(runDir, "metrics-diff.json"), &diff)
+	if len(diff.CounterDeltas) == 0 {
+		t.Error("no counter deltas recorded")
+	}
+	if v, ok := diff.CounterDeltas[`lcl_engine_requests_total{decider="cycles"}`]; !ok || v <= 0 {
+		t.Errorf("cycles request delta missing or zero: %v (deltas: %d families)", v, len(diff.CounterDeltas))
+	}
+	if diff.MemoHitRate == nil {
+		t.Error("memo hit rate absent after a classify-heavy run")
+	}
+	// The sealed pool is k=2 mask problems and the table seals k<=2:
+	// every sealed-route request must hit the sealed tier.
+	if diff.SealedHitRate == nil || *diff.SealedHitRate <= 0 {
+		t.Errorf("sealed hit rate = %v, want positive with a sealed table loaded", diff.SealedHitRate)
+	}
+
+	// Profiles captured from the pprof listener.
+	for _, p := range []string{"cpu.pprof", "heap.pprof"} {
+		fi, err := os.Stat(filepath.Join(runDir, "profiles", p))
+		if err != nil {
+			t.Errorf("profile %s: %v", p, err)
+			continue
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+	if len(res.Profiles) != 2 {
+		t.Errorf("results list %v profiles, want 2", res.Profiles)
+	}
+
+	if !strings.Contains(stdout.String(), "SLO check passed") {
+		t.Errorf("missing SLO pass line:\n%s", stdout.String())
+	}
+}
+
+// TestImpossibleSLOFails: the -check gate must exit non-zero when the
+// spec cannot be met, and name the violation.
+func TestImpossibleSLOFails(t *testing.T) {
+	apiURL, _ := newLoadTestServer(t, service.Config{Workers: 2})
+	dir := t.TempDir()
+	sloPath := writeSLO(t, dir, map[string]any{"min_qps": 1e12})
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-server", apiURL, "-duration", "300ms", "-concurrency", "2",
+		"-out", "", "-slo", sloPath, "-check", "-q",
+	}, &stdout, &stderr)
+	if code == 0 {
+		t.Fatalf("impossible SLO passed\nstderr: %s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "below min") {
+		t.Errorf("violation not reported:\n%s", stderr.String())
+	}
+}
+
+// TestOpenLoop: fixed-rate arrivals report offered vs achieved.
+func TestOpenLoop(t *testing.T) {
+	apiURL, _ := newLoadTestServer(t, service.Config{Workers: 2})
+	dir := t.TempDir()
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-server", apiURL, "-duration", "500ms", "-rate", "200",
+		"-concurrency", "4", "-mix", "classify=1", "-out", dir,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run exited %d\nstderr: %s", code, stderr.String())
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Fatalf("run folders = %d, want 1", len(entries))
+	}
+	var res Results
+	readJSON(t, filepath.Join(dir, entries[0].Name(), "results.json"), &res)
+	if res.Mode != "open" || res.OfferedQPS != 200 {
+		t.Errorf("mode/offered = %q/%v, want open/200", res.Mode, res.OfferedQPS)
+	}
+	if res.Routes["classify"] == nil || res.Requests == 0 {
+		t.Errorf("no classify traffic: %+v", res)
+	}
+}
+
+// TestBadServerExitsNonzero: an unreachable server is a run failure,
+// not an empty success.
+func TestBadServerExitsNonzero(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-server", "http://127.0.0.1:1", "-duration", "100ms", "-out", "",
+	}, &stdout, &stderr)
+	if code == 0 {
+		t.Fatal("unreachable server reported success")
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	ops := buildOps(4, 1)
+	sched, err := parseMix("classify=2,census=1", ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, o := range sched {
+		counts[o.name]++
+	}
+	if counts["classify"] != 2 || counts["census"] != 1 || len(sched) != 3 {
+		t.Errorf("schedule = %v", counts)
+	}
+	for _, bad := range []string{"bogus=1", "classify", "classify=-2", "classify=0"} {
+		if _, err := parseMix(bad, ops); err == nil {
+			t.Errorf("mix %q accepted", bad)
+		}
+	}
+	// Weight 0 removes an op but the rest survive.
+	sched, err = parseMix("classify=0,sealed=3", ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range sched {
+		if o.name != "sealed" {
+			t.Errorf("zero-weight op leaked into schedule: %s", o.name)
+		}
+	}
+}
+
+// TestSLOCheckUnit exercises every gate in isolation.
+func TestSLOCheckUnit(t *testing.T) {
+	f := func(v float64) *float64 { return &v }
+	res := &Results{
+		Requests: 1000, Errors: 50, ErrorRate: 0.05, AchievedQPS: 80,
+		Routes: map[string]*RouteStats{
+			"classify": {LatencyMS: LatencySummary{P50: 2, P99: 400, Count: 900}},
+		},
+	}
+	diff := &MetricsDiff{GCPauseP99MS: 20, MemoHitRate: f(0.3)}
+
+	slo := &SLO{
+		MaxErrorRate:           f(0.01),
+		MinQPS:                 f(100),
+		MaxP99OverP50:          map[string]float64{"*": 100},
+		MaxGCPauseP99MS:        f(10),
+		MinMemoOrSealedHitRate: f(0.5),
+	}
+	violations := slo.Check(res, diff)
+	if len(violations) != 5 {
+		t.Fatalf("violations = %d %v, want 5", len(violations), violations)
+	}
+
+	// The same run passes a permissive spec.
+	loose := &SLO{
+		MaxErrorRate:           f(0.10),
+		MinQPS:                 f(1),
+		MaxP99OverP50:          map[string]float64{"*": 500},
+		MaxGCPauseP99MS:        f(1000),
+		MinMemoOrSealedHitRate: f(0.1),
+	}
+	if v := loose.Check(res, diff); len(v) != 0 {
+		t.Errorf("loose spec violated: %v", v)
+	}
+
+	// An empty spec gates nothing.
+	if v := (&SLO{}).Check(res, diff); len(v) != 0 {
+		t.Errorf("empty spec violated: %v", v)
+	}
+
+	// Sub-millisecond p50 skips the ratio gate (histogram noise).
+	res.Routes["classify"].LatencyMS = LatencySummary{P50: 0.1, P99: 90, Count: 900}
+	tight := &SLO{MaxP99OverP50: map[string]float64{"*": 2}}
+	if v := tight.Check(res, diff); len(v) != 0 {
+		t.Errorf("sub-ms p50 not skipped: %v", v)
+	}
+}
+
+func TestLoadSLORejectsUnknownFields(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "slo.json")
+	if err := os.WriteFile(path, []byte(`{"max_error_rate": 0.1, "typo_field": 3}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadSLO(path); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := loadSLO(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,363 @@
+// Run artifacts: the results.json / metrics-diff.json schemas, the
+// /metricsz scrape-and-diff that pairs client latencies with
+// server-side counters, pprof capture, and the timestamped run folder.
+
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/promtext"
+)
+
+// ResultsSchema versions results.json.
+const ResultsSchema = "lclload/v1"
+
+// Results is the client-side view of one run (results.json).
+type Results struct {
+	Schema    string `json:"schema"`
+	Server    string `json:"server"`
+	StartUnix int64  `json:"start_unix"`
+	// Mode is "closed" (fixed concurrency) or "open" (fixed rate).
+	Mode        string  `json:"mode"`
+	Concurrency int     `json:"concurrency"`
+	OfferedQPS  float64 `json:"offered_qps,omitempty"`
+	DurationSec float64 `json:"duration_seconds"`
+
+	Requests    uint64  `json:"requests"`
+	Errors      uint64  `json:"errors"`
+	ErrorRate   float64 `json:"error_rate"`
+	AchievedQPS float64 `json:"achieved_qps"`
+
+	Routes map[string]*RouteStats `json:"routes"`
+	// Profiles lists captured profile files, relative to the run folder.
+	Profiles []string `json:"profiles,omitempty"`
+}
+
+// RouteStats is one traffic class's latency and error summary.
+type RouteStats struct {
+	Requests     uint64            `json:"requests"`
+	Errors       uint64            `json:"errors"`
+	ErrorsByKind map[string]uint64 `json:"errors_by_kind,omitempty"`
+	QPS          float64           `json:"qps"`
+	LatencyMS    LatencySummary    `json:"latency_ms"`
+}
+
+// LatencySummary reports milliseconds at the standard percentiles.
+type LatencySummary struct {
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
+	Count uint64  `json:"count"`
+}
+
+func summarizeLatency(h *obs.LogHistogram) LatencySummary {
+	const ms = 1e3
+	return LatencySummary{
+		Mean:  h.Mean() * ms,
+		Min:   h.Min() * ms,
+		Max:   h.Max() * ms,
+		P50:   h.Quantile(0.50) * ms,
+		P95:   h.Quantile(0.95) * ms,
+		P99:   h.Quantile(0.99) * ms,
+		P999:  h.Quantile(0.999) * ms,
+		Count: h.Count(),
+	}
+}
+
+func buildResults(server string, open bool, concurrency int, rate float64, offered uint64, elapsed time.Duration, routes map[string]*routeRec) *Results {
+	res := &Results{
+		Schema:      ResultsSchema,
+		Server:      server,
+		StartUnix:   time.Now().Add(-elapsed).Unix(),
+		Mode:        "closed",
+		Concurrency: concurrency,
+		DurationSec: elapsed.Seconds(),
+		Routes:      map[string]*RouteStats{},
+	}
+	if open {
+		res.Mode = "open"
+		res.OfferedQPS = rate
+	}
+	for name, rec := range routes {
+		if rec.requests.Load() == 0 {
+			continue
+		}
+		rec.mu.Lock()
+		kinds := make(map[string]uint64, len(rec.byKind))
+		for k, v := range rec.byKind {
+			kinds[k] = v
+		}
+		rec.mu.Unlock()
+		rs := &RouteStats{
+			Requests:     rec.requests.Load(),
+			Errors:       rec.errors.Load(),
+			ErrorsByKind: kinds,
+			QPS:          float64(rec.requests.Load()) / elapsed.Seconds(),
+			LatencyMS:    summarizeLatency(rec.latency),
+		}
+		res.Routes[name] = rs
+		res.Requests += rs.Requests
+		res.Errors += rs.Errors
+	}
+	if res.Requests > 0 {
+		res.ErrorRate = float64(res.Errors) / float64(res.Requests)
+	}
+	res.AchievedQPS = float64(res.Requests) / elapsed.Seconds()
+	return res
+}
+
+// MetricsDiff is the server-side view of the run (metrics-diff.json):
+// counter-family deltas between the pre- and post-run scrapes, plus
+// the derived rates a dashboard would compute from them.
+type MetricsDiff struct {
+	// CounterDeltas holds after-minus-before for every counter (and
+	// histogram _count/_sum) series that changed during the run.
+	CounterDeltas map[string]float64 `json:"counter_deltas"`
+	// MemoHitRate is delta(hits)/(delta(hits)+delta(misses)) over the
+	// run; nil when the run produced no memo lookups.
+	MemoHitRate *float64 `json:"memo_hit_rate,omitempty"`
+	// SealedHitRate is the same over the sealed-tier counters; nil when
+	// the run produced no sealed-tier lookups (e.g. sealed is off).
+	SealedHitRate *float64 `json:"sealed_hit_rate,omitempty"`
+	// GCPauseP99MS estimates the p99 GC pause during the run from the
+	// bucket-count deltas of lcl_go_gc_pause_seconds.
+	GCPauseP99MS float64 `json:"gc_pause_p99_ms"`
+	// SchedLatencyP99MS is the same estimate over scheduler latency.
+	SchedLatencyP99MS float64 `json:"sched_latency_p99_ms"`
+	GCCycles          float64 `json:"gc_cycles"`
+	GoroutinesAfter   float64 `json:"goroutines_after"`
+	HeapBytesAfter    float64 `json:"heap_bytes_after"`
+}
+
+// scrapeMetrics fetches and parses /metricsz.
+func scrapeMetrics(client *http.Client, base string) ([]*promtext.Family, error) {
+	resp, err := client.Get(base + "/metricsz")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metricsz: status %d", resp.StatusCode)
+	}
+	return promtext.Parse(resp.Body)
+}
+
+// ratio returns a/(a+b), or nil when there were no events.
+func ratio(a, b float64) *float64 {
+	if a+b <= 0 {
+		return nil
+	}
+	r := a / (a + b)
+	return &r
+}
+
+// intervalQuantile estimates a quantile of the activity *during* the
+// run from the before/after bucket counts of one cumulative histogram
+// family (both scrapes share the family's fixed bucket layout).
+func intervalQuantile(before, after []*promtext.Family, family string, q float64) float64 {
+	b := findHistogram(before, family)
+	a := findHistogram(after, family)
+	if a == nil {
+		return 0
+	}
+	counts := make([]uint64, len(a.Counts))
+	var total uint64
+	for i := range a.Counts {
+		var prev uint64
+		if b != nil && i < len(b.Counts) {
+			prev = b.Counts[i]
+		}
+		if a.Counts[i] > prev {
+			counts[i] = a.Counts[i] - prev
+		}
+		total += counts[i]
+	}
+	return promtext.QuantileFromBuckets(a.Bounds, counts, total, q)
+}
+
+func findHistogram(fams []*promtext.Family, name string) *promtext.HistogramSeries {
+	for _, f := range fams {
+		if f.Name != name || f.Kind != "histogram" {
+			continue
+		}
+		hists := f.Histograms()
+		if len(hists) > 0 {
+			return &hists[0]
+		}
+	}
+	return nil
+}
+
+// diffMetrics pairs the two scrapes: counter deltas for everything
+// that moved, hit rates derived from the engine counter families, and
+// interval GC-pause / sched-latency quantiles from the runtime
+// histograms.
+func diffMetrics(before, after []*promtext.Family) *MetricsDiff {
+	bv, av := promtext.Values(before), promtext.Values(after)
+	d := &MetricsDiff{CounterDeltas: map[string]float64{}}
+
+	kind := map[string]string{}
+	for _, f := range after {
+		kind[f.Name] = f.Kind
+	}
+	baseName := func(series string) string {
+		name, _, _ := strings.Cut(series, "{")
+		name = strings.TrimSuffix(name, "_count")
+		name = strings.TrimSuffix(name, "_sum")
+		return name
+	}
+	for series, v := range av {
+		k := kind[baseName(series)]
+		if k != "counter" && k != "histogram" {
+			continue
+		}
+		if delta := v - bv[series]; delta != 0 {
+			d.CounterDeltas[series] = delta
+		}
+	}
+
+	sum := func(prefix string) float64 {
+		var total float64
+		for series, delta := range d.CounterDeltas {
+			if strings.HasPrefix(series, prefix) {
+				total += delta
+			}
+		}
+		return total
+	}
+	d.MemoHitRate = ratio(sum("lcl_memo_hits_total"), sum("lcl_memo_misses_total"))
+	d.SealedHitRate = ratio(sum("lcl_engine_sealed_hits_total"), sum("lcl_engine_sealed_misses_total"))
+	d.GCPauseP99MS = intervalQuantile(before, after, "lcl_go_gc_pause_seconds", 0.99) * 1e3
+	d.SchedLatencyP99MS = intervalQuantile(before, after, "lcl_go_sched_latency_seconds", 0.99) * 1e3
+	d.GCCycles = av["lcl_go_gc_cycles_total"] - bv["lcl_go_gc_cycles_total"]
+	d.GoroutinesAfter = av["lcl_go_goroutines"]
+	d.HeapBytesAfter = av["lcl_go_heap_bytes"]
+	return d
+}
+
+// makeRunDir creates the timestamped run folder under parent.
+func makeRunDir(parent string, start time.Time) (string, error) {
+	dir := filepath.Join(parent, start.UTC().Format("20060102-150405"))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	return dir, nil
+}
+
+// writeRun persists results.json and metrics-diff.json into the run
+// folder.
+func writeRun(dir string, results *Results, diff *MetricsDiff) error {
+	if err := writeJSONFile(filepath.Join(dir, "results.json"), results); err != nil {
+		return err
+	}
+	return writeJSONFile(filepath.Join(dir, "metrics-diff.json"), diff)
+}
+
+func writeJSONFile(path string, v any) error {
+	raw, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// captureProfiles pulls a CPU profile (over window, when positive) and
+// a heap profile from the server's pprof listener into dir/profiles/.
+// Returns the saved files relative to dir.
+func captureProfiles(pprofBase, dir string, window time.Duration) ([]string, error) {
+	profDir := filepath.Join(dir, "profiles")
+	if err := os.MkdirAll(profDir, 0o755); err != nil {
+		return nil, err
+	}
+	base := strings.TrimRight(pprofBase, "/")
+	// The CPU endpoint blocks for the whole window; give the client
+	// headroom beyond it.
+	client := &http.Client{Timeout: window + 30*time.Second}
+	var saved []string
+	fetch := func(url, name string) error {
+		resp, err := client.Get(url)
+		if err != nil {
+			return fmt.Errorf("%s: %v", name, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("%s: status %d", name, resp.StatusCode)
+		}
+		f, err := os.Create(filepath.Join(profDir, name))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if _, err := io.Copy(f, resp.Body); err != nil {
+			return fmt.Errorf("%s: %v", name, err)
+		}
+		saved = append(saved, filepath.Join("profiles", name))
+		return nil
+	}
+	if window > 0 {
+		secs := int(window.Seconds())
+		if secs < 1 {
+			secs = 1
+		}
+		if err := fetch(fmt.Sprintf("%s/debug/pprof/profile?seconds=%d", base, secs), "cpu.pprof"); err != nil {
+			return saved, err
+		}
+	}
+	if err := fetch(base+"/debug/pprof/heap", "heap.pprof"); err != nil {
+		return saved, err
+	}
+	return saved, nil
+}
+
+// printSummary renders the human-readable run report.
+func printSummary(w io.Writer, res *Results, diff *MetricsDiff, runDir string, profiles []string) {
+	fmt.Fprintf(w, "lclload %s  mode=%s  %0.1fs  %d requests  %.1f req/s  errors=%d (%.2f%%)\n",
+		res.Server, res.Mode, res.DurationSec, res.Requests, res.AchievedQPS,
+		res.Errors, res.ErrorRate*100)
+	if res.Mode == "open" {
+		fmt.Fprintf(w, "  offered %.1f req/s, achieved %.1f req/s\n", res.OfferedQPS, res.AchievedQPS)
+	}
+	names := make([]string, 0, len(res.Routes))
+	for name := range res.Routes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rs := res.Routes[name]
+		l := rs.LatencyMS
+		fmt.Fprintf(w, "  %-9s %6d req  %7.1f req/s  p50=%.2fms p95=%.2fms p99=%.2fms p99.9=%.2fms max=%.2fms",
+			name, rs.Requests, rs.QPS, l.P50, l.P95, l.P99, l.P999, l.Max)
+		if rs.Errors > 0 {
+			fmt.Fprintf(w, "  errors=%d %v", rs.Errors, rs.ErrorsByKind)
+		}
+		fmt.Fprintln(w)
+	}
+	if diff.MemoHitRate != nil {
+		fmt.Fprintf(w, "  server memo hit rate   %.1f%%\n", *diff.MemoHitRate*100)
+	}
+	if diff.SealedHitRate != nil {
+		fmt.Fprintf(w, "  server sealed hit rate %.1f%%\n", *diff.SealedHitRate*100)
+	}
+	fmt.Fprintf(w, "  server GC: %d cycles, pause p99 %.3fms, sched latency p99 %.3fms\n",
+		int(diff.GCCycles), diff.GCPauseP99MS, diff.SchedLatencyP99MS)
+	if len(profiles) > 0 {
+		fmt.Fprintf(w, "  profiles: %s\n", strings.Join(profiles, ", "))
+	}
+	if runDir != "" {
+		fmt.Fprintf(w, "  run folder: %s\n", runDir)
+	}
+}

@@ -1,0 +1,114 @@
+// The SLO gate: a JSON spec of run-level and per-route ceilings that
+// `lclload -check` validates after a run. Every field is optional —
+// absent means ungated — so one spec file can gate only what is
+// machine-independent (error rates, ratios, GC pauses) in CI while a
+// stricter local spec also pins absolute latency.
+
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// SLO is the spec format (loadruns/slo.json).
+type SLO struct {
+	// MaxErrorRate caps overall errors/requests (0.01 = 1%).
+	MaxErrorRate *float64 `json:"max_error_rate,omitempty"`
+	// MinQPS floors the overall achieved throughput.
+	MinQPS *float64 `json:"min_qps,omitempty"`
+	// MaxP99MS caps a route's p99 latency in milliseconds. The key "*"
+	// applies to every route without an explicit entry. Machine-
+	// dependent — prefer MaxP99OverP50 for CI.
+	MaxP99MS map[string]float64 `json:"max_p99_ms,omitempty"`
+	// MaxP99OverP50 caps a route's p99/p50 ratio — a machine-independent
+	// tail-blowup gate. The key "*" applies to every route without an
+	// explicit entry. Routes with a sub-millisecond p50 are skipped (the
+	// ratio is noise at histogram resolution).
+	MaxP99OverP50 map[string]float64 `json:"max_p99_over_p50,omitempty"`
+	// MaxGCPauseP99MS caps the server's p99 GC pause during the run.
+	MaxGCPauseP99MS *float64 `json:"max_gc_pause_p99_ms,omitempty"`
+	// MinMemoOrSealedHitRate floors max(memo, sealed) hit rate — the
+	// steady-state run must actually exercise the caching tiers.
+	MinMemoOrSealedHitRate *float64 `json:"min_memo_or_sealed_hit_rate,omitempty"`
+}
+
+// loadSLO reads and validates a spec file.
+func loadSLO(path string) (*SLO, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("SLO spec: %v", err)
+	}
+	var s SLO
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("SLO spec %s: %v", path, err)
+	}
+	return &s, nil
+}
+
+// routeCeiling resolves a per-route map with "*" fallback.
+func routeCeiling(m map[string]float64, route string) (float64, bool) {
+	if v, ok := m[route]; ok {
+		return v, true
+	}
+	v, ok := m["*"]
+	return v, ok
+}
+
+// Check evaluates the spec against a finished run. The returned
+// strings are human-readable violations; empty means the run passes.
+func (s *SLO) Check(res *Results, diff *MetricsDiff) []string {
+	var out []string
+	if s.MaxErrorRate != nil && res.ErrorRate > *s.MaxErrorRate {
+		out = append(out, fmt.Sprintf("error rate %.4f exceeds max %.4f (%d/%d requests)",
+			res.ErrorRate, *s.MaxErrorRate, res.Errors, res.Requests))
+	}
+	if s.MinQPS != nil && res.AchievedQPS < *s.MinQPS {
+		out = append(out, fmt.Sprintf("achieved %.1f req/s below min %.1f",
+			res.AchievedQPS, *s.MinQPS))
+	}
+	routes := make([]string, 0, len(res.Routes))
+	for name := range res.Routes {
+		routes = append(routes, name)
+	}
+	sort.Strings(routes)
+	for _, name := range routes {
+		rs := res.Routes[name]
+		if rs.LatencyMS.Count == 0 {
+			continue
+		}
+		if ceil, ok := routeCeiling(s.MaxP99MS, name); ok && rs.LatencyMS.P99 > ceil {
+			out = append(out, fmt.Sprintf("%s p99 %.2fms exceeds max %.2fms",
+				name, rs.LatencyMS.P99, ceil))
+		}
+		if ceil, ok := routeCeiling(s.MaxP99OverP50, name); ok && rs.LatencyMS.P50 >= 1 {
+			if r := rs.LatencyMS.P99 / rs.LatencyMS.P50; r > ceil {
+				out = append(out, fmt.Sprintf("%s p99/p50 ratio %.1f exceeds max %.1f (p50=%.2fms p99=%.2fms)",
+					name, r, ceil, rs.LatencyMS.P50, rs.LatencyMS.P99))
+			}
+		}
+	}
+	if s.MaxGCPauseP99MS != nil && diff.GCPauseP99MS > *s.MaxGCPauseP99MS {
+		out = append(out, fmt.Sprintf("server GC pause p99 %.3fms exceeds max %.3fms",
+			diff.GCPauseP99MS, *s.MaxGCPauseP99MS))
+	}
+	if s.MinMemoOrSealedHitRate != nil {
+		best := 0.0
+		if diff.MemoHitRate != nil && *diff.MemoHitRate > best {
+			best = *diff.MemoHitRate
+		}
+		if diff.SealedHitRate != nil && *diff.SealedHitRate > best {
+			best = *diff.SealedHitRate
+		}
+		if best < *s.MinMemoOrSealedHitRate {
+			out = append(out, fmt.Sprintf("memo/sealed hit rate %.3f below min %.3f",
+				best, *s.MinMemoOrSealedHitRate))
+		}
+	}
+	return out
+}

@@ -1,0 +1,194 @@
+// Traffic generation: the four op classes of the mix and their
+// pre-built payload pools. Everything is generated up front from a
+// seeded RNG — workers only rotate atomic counters through the pools,
+// so the load loop itself allocates nothing per request beyond the
+// HTTP machinery and two runs with the same seed offer the same
+// request stream.
+
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/enumerate"
+	"repro/internal/lcl"
+	"repro/internal/problems"
+)
+
+// op is one traffic class: a route label (the key of the results and
+// the SLO spec) plus a rotating supply of concrete requests.
+type op struct {
+	name   string
+	method string
+	paths  []string // GET ops: rotated; POST ops: single element
+	bodies [][]byte // POST ops: rotated; nil for GET ops
+	i      atomic.Uint64
+}
+
+// next returns the op's next request.
+func (o *op) next() (method, path string, body []byte) {
+	n := o.i.Add(1) - 1
+	path = o.paths[0]
+	if len(o.paths) > 1 {
+		path = o.paths[n%uint64(len(o.paths))]
+	}
+	if len(o.bodies) > 0 {
+		body = o.bodies[n%uint64(len(o.bodies))]
+	}
+	return o.method, path, body
+}
+
+// classifyBody marshals one /v1/classify payload in cycles mode.
+func classifyBody(p *lcl.Problem) []byte {
+	raw, err := json.Marshal(p)
+	if err != nil {
+		panic(fmt.Sprintf("lclload: marshal %s: %v", p.Name, err))
+	}
+	body, err := json.Marshal(map[string]json.RawMessage{
+		"mode":    json.RawMessage(`"cycles"`),
+		"problem": raw,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("lclload: wrap %s: %v", p.Name, err))
+	}
+	return body
+}
+
+// maskProblems draws n distinct (node, edge) mask pairs from the
+// k-label cycle space. Every such problem is input-free cycles traffic,
+// and — because `lcltool seal` covers the full mask space for k <= 3 —
+// guaranteed to be served from the sealed tier when one is loaded.
+func maskProblems(k, n int, rng *rand.Rand) []*lcl.Problem {
+	space := 1 << uint(enumerate.PairCount(k))
+	if n > space*space {
+		n = space * space
+	}
+	seen := make(map[[2]int]bool, n)
+	out := make([]*lcl.Problem, 0, n)
+	for len(out) < n {
+		pair := [2]int{rng.Intn(space), rng.Intn(space)}
+		if seen[pair] {
+			continue
+		}
+		seen[pair] = true
+		out = append(out, enumerate.FromMasks(k, uint(pair[0]), uint(pair[1])))
+	}
+	return out
+}
+
+// buildOps constructs the four traffic classes:
+//
+//	classify  POST /v1/classify        named battery problems (input-free)
+//	                                   plus random k=3 mask problems
+//	sealed    POST /v1/classify        random k=2 mask problems — fully
+//	                                   covered by any `lcltool seal` table
+//	batch     POST /v1/classify/batch  batches of classify payloads
+//	census    GET  /v1/census/{k} and /v1/census/paths/{k}
+func buildOps(batchSize int, seed int64) map[string]*op {
+	rng := rand.New(rand.NewSource(seed))
+
+	var classifyPool [][]byte
+	for _, p := range problems.All(2) {
+		if p.NumIn() != 1 {
+			continue // cycles mode serves input-free problems only
+		}
+		classifyPool = append(classifyPool, classifyBody(p))
+	}
+	for _, p := range maskProblems(3, 192, rng) {
+		classifyPool = append(classifyPool, classifyBody(p))
+	}
+
+	var sealedPool [][]byte
+	for _, p := range maskProblems(2, 48, rng) {
+		sealedPool = append(sealedPool, classifyBody(p))
+	}
+
+	// Batches draw from the classify pool at rotating offsets so no two
+	// batch bodies are identical (distinct fingerprint sets exercise the
+	// batch memo prefill rather than one coalesced computation).
+	var batchPool [][]byte
+	for b := 0; b < 32; b++ {
+		reqs := make([]json.RawMessage, 0, batchSize)
+		for j := 0; j < batchSize; j++ {
+			reqs = append(reqs, classifyPool[(b*batchSize+j*7)%len(classifyPool)])
+		}
+		body, err := json.Marshal(map[string][]json.RawMessage{"requests": reqs})
+		if err != nil {
+			panic(fmt.Sprintf("lclload: marshal batch: %v", err))
+		}
+		batchPool = append(batchPool, body)
+	}
+
+	return map[string]*op{
+		"classify": {name: "classify", method: "POST", paths: []string{"/v1/classify"}, bodies: classifyPool},
+		"sealed":   {name: "sealed", method: "POST", paths: []string{"/v1/classify"}, bodies: sealedPool},
+		"batch":    {name: "batch", method: "POST", paths: []string{"/v1/classify/batch"}, bodies: batchPool},
+		"census": {name: "census", method: "GET", paths: []string{
+			"/v1/census/1", "/v1/census/2", "/v1/census/3",
+			"/v1/census/paths/1", "/v1/census/paths/2",
+		}},
+	}
+}
+
+// parseMix parses "classify=4,sealed=2,batch=1,census=1" into a
+// weighted schedule over the known ops — a fixed slice the dispatch
+// loop walks with one atomic counter, giving the exact requested ratio
+// with no per-request RNG. Weight 0 removes an op from the mix.
+func parseMix(spec string, ops map[string]*op) ([]*op, error) {
+	weights := map[string]int{}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("mix entry %q is not name=weight", part)
+		}
+		o, known := ops[name]
+		if !known {
+			return nil, fmt.Errorf("unknown op %q (have classify, sealed, batch, census)", name)
+		}
+		var w int
+		if _, err := fmt.Sscanf(val, "%d", &w); err != nil || w < 0 {
+			return nil, fmt.Errorf("mix weight %q for %s must be a non-negative integer", val, name)
+		}
+		weights[o.name] = w
+	}
+	names := make([]string, 0, len(weights))
+	for name, w := range weights {
+		if w > 0 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var schedule []*op
+	// Interleave ops round-robin by remaining weight so the schedule
+	// mixes classes rather than running them in blocks.
+	remaining := map[string]int{}
+	for _, n := range names {
+		remaining[n] = weights[n]
+	}
+	for {
+		emitted := false
+		for _, n := range names {
+			if remaining[n] > 0 {
+				schedule = append(schedule, ops[n])
+				remaining[n]--
+				emitted = true
+			}
+		}
+		if !emitted {
+			break
+		}
+	}
+	if len(schedule) == 0 {
+		return nil, fmt.Errorf("mix %q selects no ops", spec)
+	}
+	return schedule, nil
+}

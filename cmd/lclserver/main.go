@@ -113,6 +113,12 @@ func main() {
 	obsSet.Traces = obs.NewTraceRing(*traceBuffer)
 	obsSet.SlowThreshold = *slowRequest
 
+	// The lcl_build_info gauge is registered again by the engine's obs
+	// wiring (idempotently); registering here first lets the startup log
+	// carry the same version labels every scrape will.
+	version, goVersion := obs.RegisterBuildInfo(obsSet.Registry)
+	logger.Info("build info", "version", version, "go", goVersion)
+
 	// Profiling listener: separate from the API listener so profiling
 	// never rides an exposed port, and guarded by the flag so production
 	// deployments opt in explicitly.

@@ -5,14 +5,14 @@
 //	lcltool metrics [-server http://localhost:8080] [-watch 2s] [-filter lcl_engine]
 //
 // statsz pretty-prints GET /statsz (the engine's JSON counters);
-// metrics fetches GET /metricsz, parses the Prometheus text exposition,
-// and renders counters and gauges as aligned name/value lines and
-// histograms as count/mean/p50/p95/p99 summaries. -watch refetches at
-// the given interval, redrawing in place.
+// metrics fetches GET /metricsz, parses the Prometheus text exposition
+// via internal/obs/promtext (the strict shared parser lclload also
+// uses), and renders counters and gauges as aligned name/value lines
+// and histograms as count/mean/p50/p95/p99 summaries. -watch refetches
+// at the given interval, redrawing in place.
 package main
 
 import (
-	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
@@ -24,7 +24,7 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/obs"
+	"repro/internal/obs/promtext"
 )
 
 // runStats dispatches `lcltool statsz ...` and `lcltool metrics ...`;
@@ -96,183 +96,21 @@ func renderStatsz(base string) error {
 	return nil
 }
 
-// promSample is one parsed exposition line: name, rendered label set
-// (including braces, empty for unlabeled), and value.
-type promSample struct {
-	labels string
-	value  float64
-	// le is the parsed le="..." bound for _bucket samples (math.Inf(1)
-	// for +Inf), and NaN otherwise.
-	le float64
-}
-
-// promFamily is one parsed metric family.
-type promFamily struct {
-	name    string
-	kind    string // counter | gauge | histogram | untyped
-	samples map[string][]promSample
-	order   []string // sample insertion order, keyed by suffix+labels
-}
-
-// parsePrometheus parses the subset of the text exposition format the
-// server emits: # HELP / # TYPE headers and name{labels} value lines.
-// It is strict about structure (a malformed line is an error, so the CI
-// smoke test doubles as a format check) while ignoring HELP text.
-func parsePrometheus(r *bufio.Scanner) ([]*promFamily, error) {
-	byName := map[string]*promFamily{}
-	var order []*promFamily
-	family := func(name string) *promFamily {
-		if f, ok := byName[name]; ok {
-			return f
-		}
-		f := &promFamily{name: name, kind: "untyped", samples: map[string][]promSample{}}
-		byName[name] = f
-		order = append(order, f)
-		return f
-	}
-	lineNo := 0
-	for r.Scan() {
-		lineNo++
-		line := strings.TrimSpace(r.Text())
-		if line == "" {
-			continue
-		}
-		if strings.HasPrefix(line, "# HELP ") {
-			continue
-		}
-		if strings.HasPrefix(line, "# TYPE ") {
-			parts := strings.Fields(line)
-			if len(parts) != 4 {
-				return nil, fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
-			}
-			family(parts[2]).kind = parts[3]
-			continue
-		}
-		if strings.HasPrefix(line, "#") {
-			continue
-		}
-		// name{labels} value  |  name value
-		nameEnd := strings.IndexAny(line, "{ ")
-		if nameEnd <= 0 {
-			return nil, fmt.Errorf("line %d: malformed sample %q", lineNo, line)
-		}
-		name := line[:nameEnd]
-		rest := line[nameEnd:]
-		labels := ""
-		if rest[0] == '{' {
-			close := strings.LastIndex(rest, "}")
-			if close < 0 {
-				return nil, fmt.Errorf("line %d: unterminated label set %q", lineNo, line)
-			}
-			labels = rest[:close+1]
-			rest = rest[close+1:]
-		}
-		valStr := strings.TrimSpace(rest)
-		val, err := parsePromValue(valStr)
-		if err != nil {
-			return nil, fmt.Errorf("line %d: bad value %q: %v", lineNo, valStr, err)
-		}
-		// Histogram series (name_bucket/_sum/_count) belong to the base
-		// family declared by TYPE.
-		baseName := name
-		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
-			trimmed := strings.TrimSuffix(name, suffix)
-			if trimmed != name {
-				if f, ok := byName[trimmed]; ok && f.kind == "histogram" {
-					baseName = trimmed
-				}
-			}
-		}
-		f := family(baseName)
-		s := promSample{labels: labels, value: val, le: math.NaN()}
-		if strings.HasSuffix(name, "_bucket") && baseName != name {
-			s.le, err = parseLE(labels)
-			if err != nil {
-				return nil, fmt.Errorf("line %d: %v", lineNo, err)
-			}
-		}
-		seriesKey := name + "\x00" + stripLE(labels)
-		if _, ok := f.samples[seriesKey]; !ok {
-			f.order = append(f.order, seriesKey)
-		}
-		f.samples[seriesKey] = append(f.samples[seriesKey], s)
-	}
-	if err := r.Err(); err != nil {
-		return nil, err
-	}
-	return order, nil
-}
-
-// parsePromValue parses an exposition float, including +Inf/-Inf/NaN.
-func parsePromValue(s string) (float64, error) {
-	switch s {
-	case "+Inf":
-		return math.Inf(1), nil
-	case "-Inf":
-		return math.Inf(-1), nil
-	case "NaN":
-		return math.NaN(), nil
-	}
-	return strconv.ParseFloat(s, 64)
-}
-
-// parseLE extracts the le="..." bound from a _bucket label set.
-func parseLE(labels string) (float64, error) {
-	i := strings.Index(labels, `le="`)
-	if i < 0 {
-		return 0, fmt.Errorf("bucket sample without le label: %s", labels)
-	}
-	rest := labels[i+len(`le="`):]
-	j := strings.Index(rest, `"`)
-	if j < 0 {
-		return 0, fmt.Errorf("unterminated le label: %s", labels)
-	}
-	return parsePromValue(rest[:j])
-}
-
-// stripLE removes the le="..." pair so every bucket of one histogram
-// child shares a series key.
-func stripLE(labels string) string {
-	i := strings.Index(labels, `le="`)
-	if i < 0 {
-		return labels
-	}
-	rest := labels[i+len(`le="`):]
-	j := strings.Index(rest, `"`)
-	if j < 0 {
-		return labels
-	}
-	head := strings.TrimSuffix(strings.TrimSuffix(labels[:i], ","), "{")
-	tail := strings.TrimPrefix(rest[j+1:], ",")
-	switch {
-	case head == "" && tail == "}":
-		return ""
-	case head == "":
-		return "{" + tail
-	case tail == "}":
-		return head + "}"
-	default:
-		return head + "," + tail
-	}
-}
-
 func renderMetrics(base, filter string) error {
 	resp, err := fetch(base, "/metricsz")
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
-	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	families, err := parsePrometheus(sc)
+	families, err := promtext.Parse(resp.Body)
 	if err != nil {
 		return err
 	}
 	for _, f := range families {
-		if filter != "" && !strings.Contains(f.name, filter) {
+		if filter != "" && !strings.Contains(f.Name, filter) {
 			continue
 		}
-		switch f.kind {
+		switch f.Kind {
 		case "histogram":
 			renderHistogramFamily(f)
 		default:
@@ -283,80 +121,22 @@ func renderMetrics(base, filter string) error {
 }
 
 // renderScalarFamily prints one line per counter/gauge sample.
-func renderScalarFamily(f *promFamily) {
-	for _, key := range f.order {
-		for _, s := range f.samples[key] {
-			fmt.Printf("%-58s %s\n", f.name+s.labels, formatValue(s.value))
+func renderScalarFamily(f *promtext.Family) {
+	for _, s := range f.Series() {
+		for _, smp := range s.Samples {
+			fmt.Printf("%-58s %s\n", f.Name+smp.Labels, formatValue(smp.Value))
 		}
 	}
 }
 
 // renderHistogramFamily condenses each histogram child to one summary
 // line: count, mean, and interpolated p50/p95/p99.
-func renderHistogramFamily(f *promFamily) {
-	type child struct {
-		labels  string
-		bounds  []float64
-		cum     []uint64 // cumulative bucket counts, bounds-aligned + Inf
-		sum     float64
-		count   uint64
-		hasInfo bool
-	}
-	children := map[string]*child{}
-	var order []string
-	get := func(labels string) *child {
-		if c, ok := children[labels]; ok {
-			return c
-		}
-		c := &child{labels: labels}
-		children[labels] = c
-		order = append(order, labels)
-		return c
-	}
-	for _, key := range f.order {
-		name, labels, _ := strings.Cut(key, "\x00")
-		c := get(labels)
-		for _, s := range f.samples[key] {
-			switch {
-			case strings.HasSuffix(name, "_bucket"):
-				if math.IsInf(s.le, 1) {
-					c.cum = append(c.cum, uint64(s.value))
-				} else {
-					c.bounds = append(c.bounds, s.le)
-					c.cum = append(c.cum, uint64(s.value))
-				}
-			case strings.HasSuffix(name, "_sum"):
-				c.sum = s.value
-				c.hasInfo = true
-			case strings.HasSuffix(name, "_count"):
-				c.count = uint64(s.value)
-				c.hasInfo = true
-			}
-		}
-	}
-	for _, labels := range order {
-		c := children[labels]
-		if !c.hasInfo {
-			continue
-		}
-		// De-cumulate (exposition buckets are cumulative) for the shared
-		// quantile estimator.
-		counts := make([]uint64, len(c.cum))
-		var prev uint64
-		for i, v := range c.cum {
-			counts[i] = v - prev
-			prev = v
-		}
-		mean := 0.0
-		if c.count > 0 {
-			mean = c.sum / float64(c.count)
-		}
-		p50 := obs.QuantileFromBuckets(c.bounds, counts, c.count, 0.50)
-		p95 := obs.QuantileFromBuckets(c.bounds, counts, c.count, 0.95)
-		p99 := obs.QuantileFromBuckets(c.bounds, counts, c.count, 0.99)
+func renderHistogramFamily(f *promtext.Family) {
+	for _, h := range f.Histograms() {
 		fmt.Printf("%-58s count=%d mean=%s p50=%s p95=%s p99=%s\n",
-			f.name+c.labels, c.count,
-			formatValue(mean), formatValue(p50), formatValue(p95), formatValue(p99))
+			f.Name+h.Labels, h.Count,
+			formatValue(h.Mean()), formatValue(h.Quantile(0.50)),
+			formatValue(h.Quantile(0.95)), formatValue(h.Quantile(0.99)))
 	}
 }
 

@@ -159,25 +159,52 @@ func spanSummary(spans []SpanView) string {
 }
 
 // NormalizeRoute maps a request path onto a bounded route label:
-// dynamic segments (census k, job IDs) collapse to placeholders so
-// metric cardinality stays fixed, and unknown paths collapse to
-// "other".
+// dynamic segments (census k, job IDs, proof fingerprints) collapse to
+// placeholders so metric cardinality stays fixed, and unknown paths
+// collapse to "other". Matching is by exact segment shape — a path with
+// extra segments (`/v1/jobs/a/b/events`) is "other", not a spurious
+// match, so the label set is exactly the route table plus "other".
 func NormalizeRoute(path string) string {
 	switch path {
-	case "/v1/classify", "/v1/classify/batch", "/v1/jobs",
-		"/v1/admin/snapshot", "/healthz", "/statsz",
-		"/metricsz", "/debug/tracez":
+	case "/healthz", "/statsz", "/metricsz", "/debug/tracez":
 		return path
 	}
-	switch {
-	case strings.HasPrefix(path, "/v1/census/paths/"):
-		return "/v1/census/paths/{k}"
-	case strings.HasPrefix(path, "/v1/census/"):
-		return "/v1/census/{k}"
-	case strings.HasPrefix(path, "/v1/jobs/") && strings.HasSuffix(path, "/events"):
-		return "/v1/jobs/{id}/events"
-	case strings.HasPrefix(path, "/v1/jobs/"):
-		return "/v1/jobs/{id}"
+	seg := strings.Split(strings.Trim(path, "/"), "/")
+	if len(seg) < 2 || seg[0] != "v1" {
+		return "other"
+	}
+	switch seg[1] {
+	case "classify":
+		if len(seg) == 2 {
+			return "/v1/classify"
+		}
+		if len(seg) == 3 && seg[2] == "batch" {
+			return "/v1/classify/batch"
+		}
+	case "census":
+		if len(seg) == 3 {
+			return "/v1/census/{k}"
+		}
+		if len(seg) == 4 && seg[2] == "paths" {
+			return "/v1/census/paths/{k}"
+		}
+	case "jobs":
+		switch {
+		case len(seg) == 2:
+			return "/v1/jobs"
+		case len(seg) == 3:
+			return "/v1/jobs/{id}"
+		case len(seg) == 4 && seg[3] == "events":
+			return "/v1/jobs/{id}/events"
+		}
+	case "proof":
+		if len(seg) == 3 {
+			return "/v1/proof/{fingerprint}"
+		}
+	case "admin":
+		if len(seg) == 3 && seg[2] == "snapshot" {
+			return "/v1/admin/snapshot"
+		}
 	}
 	return "other"
 }

@@ -1,0 +1,210 @@
+// LogHistogram: an HDR-style log-bucketed latency recorder for load
+// clients. Unlike Registry histograms (a handful of hand-picked
+// bounds, rendered into an exposition), LogHistogram covers 1µs–100s
+// with ~5% relative bucket width, so a load run can report p99.9 with
+// meaningful resolution without pre-guessing where the latency will
+// land. Recording is one atomic add on a precomputed bucket index —
+// safe for every worker goroutine of a load generator to share.
+//
+// Dist/Summarize live here too: the repeat-summary type lclbench
+// serializes (obs is the shared stats home; lclbench aliases it to
+// keep its report schema).
+
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	logHistMin    = 1e-6  // 1µs: below this everything lands in bucket 0
+	logHistMax    = 100.0 // 100s: above this is the overflow bucket
+	logHistGrowth = 1.05  // ~5% relative error per bucket
+)
+
+var (
+	logHistBuckets int
+	logHistScale   float64 // 1 / ln(growth), precomputed for the hot path
+	logHistBounds  []float64
+)
+
+func init() {
+	logHistScale = 1 / math.Log(logHistGrowth)
+	logHistBuckets = int(math.Ceil(math.Log(logHistMax/logHistMin)*logHistScale)) + 1
+	logHistBounds = make([]float64, logHistBuckets)
+	for i := range logHistBounds {
+		logHistBounds[i] = logHistMin * math.Pow(logHistGrowth, float64(i+1))
+	}
+}
+
+// LogHistogram records durations in seconds into fixed log-spaced
+// buckets. The zero value is NOT ready; use NewLogHistogram. All
+// methods are safe for concurrent use.
+type LogHistogram struct {
+	counts []atomic.Uint64 // len = logHistBuckets+1; last is >100s overflow
+	count  atomic.Uint64
+	sum    atomic.Uint64 // seconds as float64 bits, CAS-accumulated
+	max    atomic.Uint64 // seconds as float64 bits, CAS-raised
+	min    atomic.Uint64 // seconds as float64 bits, CAS-lowered; MaxUint64 = unset
+}
+
+// NewLogHistogram returns an empty histogram.
+func NewLogHistogram() *LogHistogram {
+	h := &LogHistogram{counts: make([]atomic.Uint64, logHistBuckets+1)}
+	h.min.Store(math.MaxUint64)
+	return h
+}
+
+// Observe records one duration in seconds.
+func (h *LogHistogram) Observe(seconds float64) {
+	if h == nil || seconds < 0 || math.IsNaN(seconds) {
+		return
+	}
+	i := 0
+	if seconds > logHistMin {
+		i = int(math.Log(seconds/logHistMin) * logHistScale)
+		if i >= logHistBuckets {
+			i = logHistBuckets
+		}
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+seconds)) {
+			break
+		}
+	}
+	// Observations are >= 0, so the zero initial state is a valid
+	// identity for the running max.
+	for {
+		old := h.max.Load()
+		if math.Float64frombits(old) >= seconds {
+			break
+		}
+		if h.max.CompareAndSwap(old, math.Float64bits(seconds)) {
+			break
+		}
+	}
+	for {
+		old := h.min.Load()
+		if old != math.MaxUint64 && math.Float64frombits(old) <= seconds {
+			break
+		}
+		if h.min.CompareAndSwap(old, math.Float64bits(seconds)) {
+			break
+		}
+	}
+}
+
+// ObserveDuration records one time.Duration.
+func (h *LogHistogram) ObserveDuration(d time.Duration) {
+	h.Observe(d.Seconds())
+}
+
+// Count returns the number of observations.
+func (h *LogHistogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total of all observations in seconds.
+func (h *LogHistogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Mean returns the mean observation in seconds (0 when empty).
+func (h *LogHistogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// Max returns the largest observation in seconds (0 when empty).
+func (h *LogHistogram) Max() float64 {
+	if h == nil || h.Count() == 0 {
+		return 0
+	}
+	return math.Float64frombits(h.max.Load())
+}
+
+// Min returns the smallest observation in seconds (0 when empty).
+func (h *LogHistogram) Min() float64 {
+	if h == nil || h.Count() == 0 {
+		return 0
+	}
+	v := h.min.Load()
+	if v == math.MaxUint64 {
+		return 0
+	}
+	return math.Float64frombits(v)
+}
+
+// Quantile estimates the q-quantile in seconds with the shared
+// bucket-interpolation estimator. With ~5% bucket growth the estimate
+// is within ~5% of the true value for anything inside [1µs, 100s].
+func (h *LogHistogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	counts := make([]uint64, len(h.counts))
+	var total uint64
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	return QuantileFromBuckets(logHistBounds, counts, total, q)
+}
+
+// Snapshot returns the histogram's current state in the shared
+// snapshot form (Counts one longer than Bounds; last is overflow).
+func (h *LogHistogram) Snapshot() HistogramSnapshot {
+	snap := HistogramSnapshot{
+		Bounds: logHistBounds,
+		Counts: make([]uint64, len(h.counts)),
+	}
+	for i := range h.counts {
+		snap.Counts[i] = h.counts[i].Load()
+		snap.Count += snap.Counts[i]
+	}
+	snap.Sum = h.Sum()
+	return snap
+}
+
+// Dist summarizes the repeats of one measured quantity (mean, sample
+// standard deviation, min, and the raw samples). It is the summary
+// form lclbench reports serialize.
+type Dist struct {
+	Mean    float64   `json:"mean"`
+	Std     float64   `json:"std"`
+	Min     float64   `json:"min"`
+	Samples []float64 `json:"samples"`
+}
+
+// Summarize folds samples into a Dist. Empty input yields a zero Dist
+// with Min 0 (not +Inf) so the JSON stays finite.
+func Summarize(samples []float64) Dist {
+	if len(samples) == 0 {
+		return Dist{}
+	}
+	d := Dist{Samples: samples, Min: math.Inf(1)}
+	for _, s := range samples {
+		d.Mean += s
+		d.Min = math.Min(d.Min, s)
+	}
+	d.Mean /= float64(len(samples))
+	for _, s := range samples {
+		d.Std += (s - d.Mean) * (s - d.Mean)
+	}
+	d.Std = math.Sqrt(d.Std / float64(len(samples)))
+	return d
+}

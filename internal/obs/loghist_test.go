@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLogHistogramBasics(t *testing.T) {
+	h := NewLogHistogram()
+	for _, v := range []float64{0.001, 0.010, 0.100} {
+		h.Observe(v)
+	}
+	if h.Count() != 3 {
+		t.Errorf("count = %d, want 3", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-0.111) > 1e-12 {
+		t.Errorf("sum = %v, want 0.111", got)
+	}
+	if got := h.Mean(); math.Abs(got-0.037) > 1e-12 {
+		t.Errorf("mean = %v, want 0.037", got)
+	}
+	if h.Min() != 0.001 || h.Max() != 0.100 {
+		t.Errorf("min/max = %v/%v, want 0.001/0.100", h.Min(), h.Max())
+	}
+	// ~5% bucket growth: every quantile estimate lands within one
+	// bucket (6%) of the true value.
+	if got := h.Quantile(0.5); math.Abs(got-0.010)/0.010 > 0.06 {
+		t.Errorf("p50 = %v, want ~0.010", got)
+	}
+	h.ObserveDuration(50 * time.Millisecond)
+	if h.Count() != 4 {
+		t.Errorf("count after ObserveDuration = %d, want 4", h.Count())
+	}
+}
+
+// TestLogHistogramAccuracy: the relative error of the quantile
+// estimate over a broad sample stays within the bucket growth factor.
+func TestLogHistogramAccuracy(t *testing.T) {
+	h := NewLogHistogram()
+	rng := rand.New(rand.NewSource(1))
+	samples := make([]float64, 0, 5000)
+	for i := 0; i < 5000; i++ {
+		// Log-uniform over 100µs..1s, the realistic latency band.
+		v := 1e-4 * math.Pow(1e4, rng.Float64())
+		samples = append(samples, v)
+		h.Observe(v)
+	}
+	exact := func(q float64) float64 {
+		s := append([]float64(nil), samples...)
+		for i := range s {
+			for j := i + 1; j < len(s); j++ {
+				if s[j] < s[i] {
+					s[i], s[j] = s[j], s[i]
+				}
+			}
+		}
+		return s[int(q*float64(len(s)))]
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		got, want := h.Quantile(q), exact(q)
+		if rel := math.Abs(got-want) / want; rel > 0.10 {
+			t.Errorf("q=%v: estimate %v vs exact %v (rel err %.2f)", q, got, want, rel)
+		}
+	}
+}
+
+func TestLogHistogramEdges(t *testing.T) {
+	h := NewLogHistogram()
+	h.Observe(-1)         // ignored
+	h.Observe(math.NaN()) // ignored
+	if h.Count() != 0 {
+		t.Errorf("count after invalid observations = %d, want 0", h.Count())
+	}
+	h.Observe(0)    // below range: lands in bucket 0
+	h.Observe(1e-9) // ditto
+	h.Observe(1e6)  // above range: overflow bucket
+	if h.Count() != 3 {
+		t.Errorf("count = %d, want 3", h.Count())
+	}
+	if h.Max() != 1e6 {
+		t.Errorf("max = %v, want 1e6", h.Max())
+	}
+	if h.Min() != 0 {
+		t.Errorf("min = %v, want 0", h.Min())
+	}
+	// Overflow quantiles clamp to the largest finite bound (~100s), so
+	// a run dominated by timeouts still reports a finite p99.
+	if got := h.Quantile(0.99); got <= 0 || math.IsInf(got, 1) {
+		t.Errorf("overflow p99 = %v, want finite positive", got)
+	}
+	snap := h.Snapshot()
+	if snap.Count != 3 || len(snap.Counts) != len(snap.Bounds)+1 {
+		t.Errorf("snapshot = count %d, %d counts for %d bounds",
+			snap.Count, len(snap.Counts), len(snap.Bounds))
+	}
+	if snap.Counts[len(snap.Counts)-1] != 1 {
+		t.Errorf("overflow bucket = %d, want 1", snap.Counts[len(snap.Counts)-1])
+	}
+}
+
+func TestLogHistogramNil(t *testing.T) {
+	var h *LogHistogram
+	h.Observe(1)
+	h.ObserveDuration(time.Second)
+	if h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 ||
+		h.Min() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("nil LogHistogram must read as empty")
+	}
+}
+
+// TestLogHistogramConcurrent hammers one histogram from many
+// goroutines; run under -race this proves the recorder is safe to
+// share across load-generator workers, and the totals must balance.
+func TestLogHistogramConcurrent(t *testing.T) {
+	h := NewLogHistogram()
+	const workers, perWorker = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perWorker; i++ {
+				h.Observe(rng.Float64() * 0.1)
+				if i%100 == 0 {
+					_ = h.Quantile(0.99) // concurrent reads
+					_ = h.Snapshot()
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if h.Count() != workers*perWorker {
+		t.Errorf("count = %d, want %d", h.Count(), workers*perWorker)
+	}
+	snap := h.Snapshot()
+	var total uint64
+	for _, c := range snap.Counts {
+		total += c
+	}
+	if total != workers*perWorker {
+		t.Errorf("bucket total = %d, want %d", total, workers*perWorker)
+	}
+	if mean := h.Mean(); mean <= 0 || mean >= 0.1 {
+		t.Errorf("mean = %v, want in (0, 0.1)", mean)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	d := Summarize([]float64{1, 2, 3})
+	if d.Mean != 2 || d.Min != 1 {
+		t.Errorf("mean/min = %v/%v, want 2/1", d.Mean, d.Min)
+	}
+	if want := math.Sqrt(2.0 / 3.0); math.Abs(d.Std-want) > 1e-12 {
+		t.Errorf("std = %v, want %v", d.Std, want)
+	}
+	if len(d.Samples) != 3 {
+		t.Errorf("samples = %v", d.Samples)
+	}
+	empty := Summarize(nil)
+	if empty.Mean != 0 || empty.Std != 0 || empty.Min != 0 || empty.Samples != nil {
+		t.Errorf("Summarize(nil) = %+v, want zero Dist", empty)
+	}
+}

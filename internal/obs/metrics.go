@@ -23,6 +23,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs/promtext"
 )
 
 // Counter is a monotonically increasing uint64 metric. The zero value
@@ -166,52 +168,19 @@ func (h *Histogram) Quantile(q float64) float64 {
 		counts[i] = h.buckets[i].Load()
 		total += counts[i]
 	}
-	return quantileFromBuckets(h.bounds, counts, total, q)
+	return promtext.QuantileFromBuckets(h.bounds, counts, total, q)
 }
 
 // QuantileFromBuckets estimates the q-quantile of a histogram given as
 // finite bucket bounds plus per-bucket (non-cumulative) counts, with
 // counts one longer than bounds (the final count is the +Inf overflow
 // bucket, clamped to the largest finite bound). It is the estimator
-// Histogram.Quantile uses, exported so the lcltool metrics
-// pretty-printer applies the same interpolation to parsed exposition
+// Histogram.Quantile uses; the implementation lives in
+// internal/obs/promtext so scrape-side consumers (lcltool metrics,
+// lclload) apply the exact same interpolation to parsed exposition
 // data.
 func QuantileFromBuckets(bounds []float64, counts []uint64, total uint64, q float64) float64 {
-	return quantileFromBuckets(bounds, counts, total, q)
-}
-
-// quantileFromBuckets is the shared bucket-interpolation core.
-// bounds has one fewer element than counts (the final count is +Inf).
-func quantileFromBuckets(bounds []float64, counts []uint64, total uint64, q float64) float64 {
-	if total == 0 || q <= 0 || q >= 1 {
-		return 0
-	}
-	rank := q * float64(total)
-	var cum uint64
-	for i, c := range counts {
-		prev := float64(cum)
-		cum += c
-		if float64(cum) < rank {
-			continue
-		}
-		if i >= len(bounds) {
-			// Overflow bucket: clamp to the largest finite bound.
-			if len(bounds) == 0 {
-				return 0
-			}
-			return bounds[len(bounds)-1]
-		}
-		lo := 0.0
-		if i > 0 {
-			lo = bounds[i-1]
-		}
-		hi := bounds[i]
-		if c == 0 {
-			return hi
-		}
-		return lo + (hi-lo)*(rank-prev)/float64(c)
-	}
-	return bounds[len(bounds)-1]
+	return promtext.QuantileFromBuckets(bounds, counts, total, q)
 }
 
 // metricKind is the exposition TYPE of a family.
@@ -247,6 +216,22 @@ type family struct {
 	// collect, when non-nil, makes this a sampled family: it is invoked
 	// at scrape time and emits (labelValues, value) pairs.
 	collect func(emit func(labelValues []string, v float64))
+	// collectHist, when non-nil, makes this a sampled histogram family:
+	// it is invoked at scrape time and returns the full bucket snapshot
+	// (the runtime collector exposes runtime/metrics histograms this
+	// way).
+	collectHist func() HistogramSnapshot
+}
+
+// HistogramSnapshot is a point-in-time histogram for sampled histogram
+// families: finite bucket upper bounds plus non-cumulative counts one
+// longer than Bounds (the last is the +Inf overflow), and the sum and
+// count series.
+type HistogramSnapshot struct {
+	Bounds []float64
+	Counts []uint64
+	Sum    float64
+	Count  uint64
 }
 
 // Registry holds metric families and renders them in Prometheus text
@@ -376,6 +361,17 @@ func (r *Registry) CollectGauges(name, help string, labelNames []string, collect
 	f.collect = collect
 }
 
+// HistogramFunc registers a sampled scalar histogram family: fn runs at
+// scrape time and returns the full bucket snapshot. Use it to expose a
+// histogram another subsystem already maintains (runtime/metrics GC
+// pause and scheduler-latency distributions). The snapshot's counts
+// must be non-cumulative with the +Inf overflow last; the writer
+// renders the cumulative _bucket series Prometheus expects.
+func (r *Registry) HistogramFunc(name, help string, fn func() HistogramSnapshot) {
+	f := r.register(name, help, kindHistogram, nil, nil)
+	f.collectHist = fn
+}
+
 // childFor returns the child for the label values, creating it via mk.
 func (f *family) childFor(labelValues []string, mk func() *child) *child {
 	if len(labelValues) != len(f.labelNames) {
@@ -462,7 +458,9 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for _, f := range fams {
 		b.Reset()
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind)
-		if f.collect != nil {
+		if f.collectHist != nil {
+			writeHistogramSnapshot(&b, f.name, "", f.collectHist())
+		} else if f.collect != nil {
 			f.collect(func(labelValues []string, v float64) {
 				writeSample(&b, f.name, renderLabels(f.labelNames, labelValues), formatFloat(v))
 			})
@@ -501,21 +499,40 @@ func writeSample(b *strings.Builder, name, labels, value string) {
 }
 
 func writeHistogram(b *strings.Builder, name, labels string, h *Histogram) {
+	snap := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.buckets)),
+		Sum:    h.Sum(),
+		Count:  h.count.Load(),
+	}
+	for i := range h.buckets {
+		snap.Counts[i] = h.buckets[i].Load()
+	}
+	writeHistogramSnapshot(b, name, labels, snap)
+}
+
+// writeHistogramSnapshot renders one histogram child's cumulative
+// _bucket series plus _sum and _count from a non-cumulative snapshot.
+func writeHistogramSnapshot(b *strings.Builder, name, labels string, snap HistogramSnapshot) {
 	var cum uint64
-	for i, bound := range h.bounds {
-		cum += h.buckets[i].Load()
+	for i, bound := range snap.Bounds {
+		if i < len(snap.Counts) {
+			cum += snap.Counts[i]
+		}
 		le := `le="` + formatFloat(bound) + `"`
 		if labels != "" {
 			le = labels + "," + le
 		}
 		writeSample(b, name+"_bucket", le, strconv.FormatUint(cum, 10))
 	}
-	cum += h.buckets[len(h.bounds)].Load()
+	if len(snap.Counts) > len(snap.Bounds) {
+		cum += snap.Counts[len(snap.Counts)-1]
+	}
 	le := `le="+Inf"`
 	if labels != "" {
 		le = labels + "," + le
 	}
 	writeSample(b, name+"_bucket", le, strconv.FormatUint(cum, 10))
-	writeSample(b, name+"_sum", labels, formatFloat(h.Sum()))
-	writeSample(b, name+"_count", labels, strconv.FormatUint(h.count.Load(), 10))
+	writeSample(b, name+"_sum", labels, formatFloat(snap.Sum))
+	writeSample(b, name+"_count", labels, strconv.FormatUint(snap.Count, 10))
 }

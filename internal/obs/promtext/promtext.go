@@ -1,0 +1,368 @@
+// Package promtext parses the Prometheus text exposition format
+// (version 0.0.4) that internal/obs renders at /metricsz, and carries
+// the shared bucket-quantile estimator. It is the one implementation
+// behind every exposition consumer in the repo: `lcltool metrics`
+// pretty-printing, lclload's before/after counter diffs and
+// server-side GC-pause quantiles, and obs.Histogram.Quantile itself
+// (obs delegates here, so a client-side estimate over scraped buckets
+// and the server-side estimate over live buckets agree bit for bit).
+//
+// The parser is strict about structure — a malformed line is an error,
+// so the CI smoke tests double as format checks — while ignoring HELP
+// text. It accepts histogram children whose bucket lines arrive in any
+// order and normalizes them (bounds sorted, counts de-cumulated) in
+// Family.Histograms.
+package promtext
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line's value: the rendered label set
+// (including braces, empty for unlabeled series) and the value. For
+// _bucket samples LE carries the parsed le="..." bound (math.Inf(1)
+// for +Inf); for every other sample it is NaN.
+type Sample struct {
+	Labels string
+	Value  float64
+	LE     float64
+}
+
+// Family is one parsed metric family: every series sharing the base
+// name declared by a # TYPE line (histogram _bucket/_sum/_count series
+// fold into their base family).
+type Family struct {
+	Name string
+	// Kind is the TYPE: counter | gauge | histogram | untyped.
+	Kind string
+
+	samples map[string][]Sample
+	order   []string // series insertion order, keyed by name\x00labels
+}
+
+// Series is one series of a family: the full sample name (including
+// any _bucket/_sum/_count suffix) plus its label set with le stripped,
+// and the samples recorded under it in input order.
+type Series struct {
+	Name    string
+	Labels  string
+	Samples []Sample
+}
+
+// Series returns the family's series in input order.
+func (f *Family) Series() []Series {
+	out := make([]Series, 0, len(f.order))
+	for _, key := range f.order {
+		name, labels, _ := strings.Cut(key, "\x00")
+		out = append(out, Series{Name: name, Labels: labels, Samples: f.samples[key]})
+	}
+	return out
+}
+
+// Parse reads a text exposition stream into its metric families, in
+// declaration order.
+func Parse(r io.Reader) ([]*Family, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	byName := map[string]*Family{}
+	var order []*Family
+	family := func(name string) *Family {
+		if f, ok := byName[name]; ok {
+			return f
+		}
+		f := &Family{Name: name, Kind: "untyped", samples: map[string][]Sample{}}
+		byName[name] = f
+		order = append(order, f)
+		return f
+	}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				return nil, fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+			}
+			family(parts[2]).Kind = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		// name{labels} value  |  name value
+		nameEnd := strings.IndexAny(line, "{ ")
+		if nameEnd <= 0 {
+			return nil, fmt.Errorf("line %d: malformed sample %q", lineNo, line)
+		}
+		name := line[:nameEnd]
+		rest := line[nameEnd:]
+		labels := ""
+		if rest[0] == '{' {
+			close := strings.LastIndex(rest, "}")
+			if close < 0 {
+				return nil, fmt.Errorf("line %d: unterminated label set %q", lineNo, line)
+			}
+			labels = rest[:close+1]
+			rest = rest[close+1:]
+		}
+		valStr := strings.TrimSpace(rest)
+		val, err := ParseValue(valStr)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad value %q: %v", lineNo, valStr, err)
+		}
+		// Histogram series (name_bucket/_sum/_count) belong to the base
+		// family declared by TYPE.
+		baseName := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(name, suffix)
+			if trimmed != name {
+				if f, ok := byName[trimmed]; ok && f.Kind == "histogram" {
+					baseName = trimmed
+				}
+			}
+		}
+		f := family(baseName)
+		s := Sample{Labels: labels, Value: val, LE: math.NaN()}
+		if strings.HasSuffix(name, "_bucket") && baseName != name {
+			s.LE, err = parseLE(labels)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+		}
+		seriesKey := name + "\x00" + stripLE(labels)
+		if _, ok := f.samples[seriesKey]; !ok {
+			f.order = append(f.order, seriesKey)
+		}
+		f.samples[seriesKey] = append(f.samples[seriesKey], s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return order, nil
+}
+
+// ParseValue parses an exposition float, including +Inf/-Inf/NaN.
+func ParseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// parseLE extracts the le="..." bound from a _bucket label set.
+func parseLE(labels string) (float64, error) {
+	i := strings.Index(labels, `le="`)
+	if i < 0 {
+		return 0, fmt.Errorf("bucket sample without le label: %s", labels)
+	}
+	rest := labels[i+len(`le="`):]
+	j := strings.Index(rest, `"`)
+	if j < 0 {
+		return 0, fmt.Errorf("unterminated le label: %s", labels)
+	}
+	return ParseValue(rest[:j])
+}
+
+// stripLE removes the le="..." pair so every bucket of one histogram
+// child shares a series key.
+func stripLE(labels string) string {
+	i := strings.Index(labels, `le="`)
+	if i < 0 {
+		return labels
+	}
+	rest := labels[i+len(`le="`):]
+	j := strings.Index(rest, `"`)
+	if j < 0 {
+		return labels
+	}
+	head := strings.TrimSuffix(strings.TrimSuffix(labels[:i], ","), "{")
+	tail := strings.TrimPrefix(rest[j+1:], ",")
+	switch {
+	case head == "" && tail == "}":
+		return ""
+	case head == "":
+		return "{" + tail
+	case tail == "}":
+		return head + "}"
+	default:
+		return head + "," + tail
+	}
+}
+
+// HistogramSeries is one histogram child aggregated from its exposition
+// series: sorted finite bucket bounds, de-cumulated per-bucket counts
+// (one longer than Bounds; the last is the +Inf overflow), and the _sum
+// and _count samples.
+type HistogramSeries struct {
+	Labels string
+	Bounds []float64
+	Counts []uint64
+	Sum    float64
+	Count  uint64
+}
+
+// Quantile estimates the q-quantile of the child with the shared
+// bucket-interpolation estimator.
+func (h *HistogramSeries) Quantile(q float64) float64 {
+	return QuantileFromBuckets(h.Bounds, h.Counts, h.Count, q)
+}
+
+// Mean returns sum/count (0 with no observations).
+func (h *HistogramSeries) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Histograms aggregates a histogram family's series into one
+// HistogramSeries per label set, in input order. Bucket lines may
+// arrive in any order: bounds are sorted ascending and the cumulative
+// exposition counts are de-cumulated against that order. Children with
+// neither a _sum nor a _count sample are dropped (they have no
+// observations to summarize).
+func (f *Family) Histograms() []HistogramSeries {
+	type acc struct {
+		bounds  []float64 // includes +Inf when present
+		cum     []uint64
+		sum     float64
+		count   uint64
+		hasInfo bool
+	}
+	children := map[string]*acc{}
+	var order []string
+	get := func(labels string) *acc {
+		if c, ok := children[labels]; ok {
+			return c
+		}
+		c := &acc{}
+		children[labels] = c
+		order = append(order, labels)
+		return c
+	}
+	for _, key := range f.order {
+		name, labels, _ := strings.Cut(key, "\x00")
+		c := get(labels)
+		for _, s := range f.samples[key] {
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				c.bounds = append(c.bounds, s.LE)
+				c.cum = append(c.cum, uint64(s.Value))
+			case strings.HasSuffix(name, "_sum"):
+				c.sum = s.Value
+				c.hasInfo = true
+			case strings.HasSuffix(name, "_count"):
+				c.count = uint64(s.Value)
+				c.hasInfo = true
+			}
+		}
+	}
+	out := make([]HistogramSeries, 0, len(order))
+	for _, labels := range order {
+		c := children[labels]
+		if !c.hasInfo {
+			continue
+		}
+		// Sort buckets by bound (+Inf last), then de-cumulate in that
+		// order — exposition buckets are cumulative.
+		idx := make([]int, len(c.bounds))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool { return c.bounds[idx[a]] < c.bounds[idx[b]] })
+		h := HistogramSeries{Labels: labels, Sum: c.sum, Count: c.count}
+		var prev uint64
+		for _, i := range idx {
+			n := c.cum[i] - prev
+			prev = c.cum[i]
+			if math.IsInf(c.bounds[i], 1) {
+				h.Counts = append(h.Counts, n)
+				continue
+			}
+			h.Bounds = append(h.Bounds, c.bounds[i])
+			h.Counts = append(h.Counts, n)
+		}
+		// A child without an explicit +Inf bucket still needs the
+		// overflow slot the estimator expects.
+		if len(h.Counts) == len(h.Bounds) {
+			h.Counts = append(h.Counts, 0)
+		}
+		out = append(out, h)
+	}
+	return out
+}
+
+// Values flattens every counter and gauge sample (and untyped scalar
+// samples) into a name{labels} -> value map. Histogram families
+// contribute their _count and _sum series (bucket series are skipped —
+// diff those via Histograms). The map form is what lclload diffs
+// between its before/after scrapes.
+func Values(fams []*Family) map[string]float64 {
+	out := map[string]float64{}
+	for _, f := range fams {
+		for _, s := range f.Series() {
+			if f.Kind == "histogram" && strings.HasSuffix(s.Name, "_bucket") {
+				continue
+			}
+			for _, smp := range s.Samples {
+				out[s.Name+smp.Labels] = smp.Value
+			}
+		}
+	}
+	return out
+}
+
+// QuantileFromBuckets estimates the q-quantile (0 < q < 1) of a
+// histogram given as finite bucket bounds plus per-bucket
+// (non-cumulative) counts, with counts one longer than bounds (the
+// final count is the +Inf overflow bucket, clamped to the largest
+// finite bound). Linear interpolation inside the bucket where the
+// quantile rank falls — the same estimate a Prometheus
+// histogram_quantile produces. Returns 0 with no observations or no
+// finite bounds.
+func QuantileFromBuckets(bounds []float64, counts []uint64, total uint64, q float64) float64 {
+	if total == 0 || q <= 0 || q >= 1 || len(bounds) == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i, c := range counts {
+		prev := float64(cum)
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(bounds) {
+			// Overflow bucket: clamp to the largest finite bound.
+			return bounds[len(bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = bounds[i-1]
+		}
+		hi := bounds[i]
+		if c == 0 {
+			return hi
+		}
+		return lo + (hi-lo)*(rank-prev)/float64(c)
+	}
+	return bounds[len(bounds)-1]
+}

@@ -1,0 +1,261 @@
+package promtext_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/obs/promtext"
+)
+
+func parse(t *testing.T, text string) []*promtext.Family {
+	t.Helper()
+	fams, err := promtext.Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return fams
+}
+
+func familyByName(t *testing.T, fams []*promtext.Family, name string) *promtext.Family {
+	t.Helper()
+	for _, f := range fams {
+		if f.Name == name {
+			return f
+		}
+	}
+	t.Fatalf("family %q not parsed", name)
+	return nil
+}
+
+// The parser and the registry writer are two halves of one format: what
+// obs renders must round-trip through promtext with values intact.
+func TestParseRoundTripsRegistryOutput(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter("t_requests_total", "requests").Add(7)
+	r.GaugeVec("t_depth", "depth", "queue").With(`q"weird\`).Set(2.5)
+	h := r.Histogram("t_latency_seconds", "latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	fams := parse(t, b.String())
+
+	if f := familyByName(t, fams, "t_requests_total"); f.Kind != "counter" {
+		t.Errorf("t_requests_total kind = %q, want counter", f.Kind)
+	}
+	vals := promtext.Values(fams)
+	if vals["t_requests_total"] != 7 {
+		t.Errorf("counter value = %v, want 7", vals["t_requests_total"])
+	}
+	found := false
+	for k, v := range vals {
+		if strings.HasPrefix(k, "t_depth{") {
+			found = true
+			if v != 2.5 {
+				t.Errorf("gauge value = %v, want 2.5", v)
+			}
+		}
+	}
+	if !found {
+		t.Error("escaped-label gauge missing from Values")
+	}
+
+	hf := familyByName(t, fams, "t_latency_seconds")
+	hists := hf.Histograms()
+	if len(hists) != 1 {
+		t.Fatalf("got %d histogram children, want 1", len(hists))
+	}
+	hs := hists[0]
+	if hs.Count != 3 || hs.Sum != 5.55 {
+		t.Errorf("count/sum = %d/%v, want 3/5.55", hs.Count, hs.Sum)
+	}
+	if want := []float64{0.1, 1}; len(hs.Bounds) != 2 || hs.Bounds[0] != want[0] || hs.Bounds[1] != want[1] {
+		t.Errorf("bounds = %v, want %v", hs.Bounds, want)
+	}
+	if want := []uint64{1, 1, 1}; len(hs.Counts) != 3 || hs.Counts[0] != 1 || hs.Counts[1] != 1 || hs.Counts[2] != 1 {
+		t.Errorf("counts = %v, want %v", hs.Counts, want)
+	}
+	// The scrape-side estimate must agree with the live histogram's.
+	if got, want := hs.Quantile(0.5), h.Quantile(0.5); got != want {
+		t.Errorf("scraped p50 = %v, live p50 = %v", got, want)
+	}
+}
+
+// A TYPE header with no samples is a legal (empty) family: no series,
+// no histogram children, nothing in Values.
+func TestEmptyFamily(t *testing.T) {
+	fams := parse(t, "# HELP t_empty nothing yet\n# TYPE t_empty histogram\n")
+	f := familyByName(t, fams, "t_empty")
+	if f.Kind != "histogram" {
+		t.Errorf("kind = %q, want histogram", f.Kind)
+	}
+	if s := f.Series(); len(s) != 0 {
+		t.Errorf("empty family has %d series", len(s))
+	}
+	if h := f.Histograms(); len(h) != 0 {
+		t.Errorf("empty family has %d histogram children", len(h))
+	}
+	if v := promtext.Values(fams); len(v) != 0 {
+		t.Errorf("empty family leaked into Values: %v", v)
+	}
+}
+
+func TestSingleBucketHistogram(t *testing.T) {
+	fams := parse(t, `# TYPE t_h histogram
+t_h_bucket{le="0.5"} 4
+t_h_bucket{le="+Inf"} 4
+t_h_sum 1
+t_h_count 4
+`)
+	hists := familyByName(t, fams, "t_h").Histograms()
+	if len(hists) != 1 {
+		t.Fatalf("got %d children, want 1", len(hists))
+	}
+	h := hists[0]
+	if len(h.Bounds) != 1 || h.Bounds[0] != 0.5 {
+		t.Fatalf("bounds = %v, want [0.5]", h.Bounds)
+	}
+	// All 4 observations in [0, 0.5]: p50 interpolates to the middle.
+	if got := h.Quantile(0.5); got != 0.25 {
+		t.Errorf("p50 = %v, want 0.25", got)
+	}
+	if got := h.Quantile(0.99); got <= 0.25 || got > 0.5 {
+		t.Errorf("p99 = %v, want in (0.25, 0.5]", got)
+	}
+}
+
+// A histogram whose only bucket is +Inf has no finite bound to
+// interpolate within; the estimator returns 0 rather than inventing a
+// value.
+func TestInfOnlyBucketHistogram(t *testing.T) {
+	fams := parse(t, `# TYPE t_h histogram
+t_h_bucket{le="+Inf"} 3
+t_h_sum 42
+t_h_count 3
+`)
+	hists := familyByName(t, fams, "t_h").Histograms()
+	if len(hists) != 1 {
+		t.Fatalf("got %d children, want 1", len(hists))
+	}
+	h := hists[0]
+	if len(h.Bounds) != 0 {
+		t.Fatalf("bounds = %v, want none", h.Bounds)
+	}
+	if len(h.Counts) != 1 || h.Counts[0] != 3 {
+		t.Fatalf("counts = %v, want [3]", h.Counts)
+	}
+	if got := h.Quantile(0.99); got != 0 {
+		t.Errorf("p99 over +Inf-only buckets = %v, want 0", got)
+	}
+	if got := h.Mean(); got != 14 {
+		t.Errorf("mean = %v, want 14", got)
+	}
+}
+
+// Bucket lines in any order must aggregate identically: bounds sort
+// ascending and the cumulative counts de-cumulate against that order.
+func TestUnsortedBucketBounds(t *testing.T) {
+	sorted := parse(t, `# TYPE t_h histogram
+t_h_bucket{le="0.1"} 2
+t_h_bucket{le="1"} 5
+t_h_bucket{le="10"} 6
+t_h_bucket{le="+Inf"} 7
+t_h_sum 20
+t_h_count 7
+`)
+	shuffled := parse(t, `# TYPE t_h histogram
+t_h_bucket{le="+Inf"} 7
+t_h_bucket{le="1"} 5
+t_h_bucket{le="10"} 6
+t_h_bucket{le="0.1"} 2
+t_h_sum 20
+t_h_count 7
+`)
+	a := familyByName(t, sorted, "t_h").Histograms()[0]
+	b := familyByName(t, shuffled, "t_h").Histograms()[0]
+	if len(b.Bounds) != 3 || b.Bounds[0] != 0.1 || b.Bounds[1] != 1 || b.Bounds[2] != 10 {
+		t.Fatalf("shuffled bounds = %v, want [0.1 1 10]", b.Bounds)
+	}
+	for i := range a.Counts {
+		if a.Counts[i] != b.Counts[i] {
+			t.Fatalf("counts diverge: sorted %v vs shuffled %v", a.Counts, b.Counts)
+		}
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if a.Quantile(q) != b.Quantile(q) {
+			t.Errorf("q=%v: sorted %v != shuffled %v", q, a.Quantile(q), b.Quantile(q))
+		}
+	}
+}
+
+func TestHistogramChildrenByLabels(t *testing.T) {
+	fams := parse(t, `# TYPE t_h histogram
+t_h_bucket{route="/a",le="1"} 1
+t_h_bucket{route="/a",le="+Inf"} 1
+t_h_sum{route="/a"} 0.5
+t_h_count{route="/a"} 1
+t_h_bucket{route="/b",le="1"} 2
+t_h_bucket{route="/b",le="+Inf"} 3
+t_h_sum{route="/b"} 9
+t_h_count{route="/b"} 3
+`)
+	hists := familyByName(t, fams, "t_h").Histograms()
+	if len(hists) != 2 {
+		t.Fatalf("got %d children, want 2", len(hists))
+	}
+	if hists[0].Labels != `{route="/a"}` || hists[1].Labels != `{route="/b"}` {
+		t.Errorf("child labels = %q, %q", hists[0].Labels, hists[1].Labels)
+	}
+	if hists[1].Count != 3 || hists[1].Counts[1] != 1 {
+		t.Errorf("child /b = %+v", hists[1])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, tc := range []struct{ name, text string }{
+		{"malformed sample", "just-a-name\n"},
+		{"unterminated labels", `t_x{le="1" 4` + "\n"},
+		{"bad value", "t_x not-a-number\n"},
+		{"malformed TYPE", "# TYPE t_x\n"},
+		{"bucket without le", "# TYPE t_h histogram\nt_h_bucket{route=\"/a\"} 1\n"},
+	} {
+		if _, err := promtext.Parse(strings.NewReader(tc.text)); err == nil {
+			t.Errorf("%s: parsed without error", tc.name)
+		}
+	}
+}
+
+func TestParseSpecialValues(t *testing.T) {
+	fams := parse(t, "t_inf +Inf\nt_neg -Inf\nt_nan NaN\n")
+	vals := promtext.Values(fams)
+	if !math.IsInf(vals["t_inf"], 1) || !math.IsInf(vals["t_neg"], -1) || !math.IsNaN(vals["t_nan"]) {
+		t.Errorf("special values parsed as %v", vals)
+	}
+}
+
+func TestQuantileFromBucketsEdges(t *testing.T) {
+	bounds := []float64{1, 2}
+	counts := []uint64{1, 1, 1}
+	if got := promtext.QuantileFromBuckets(bounds, counts, 3, 0); got != 0 {
+		t.Errorf("q=0: %v, want 0", got)
+	}
+	if got := promtext.QuantileFromBuckets(bounds, counts, 3, 1); got != 0 {
+		t.Errorf("q=1: %v, want 0", got)
+	}
+	if got := promtext.QuantileFromBuckets(bounds, counts, 0, 0.5); got != 0 {
+		t.Errorf("empty: %v, want 0", got)
+	}
+	if got := promtext.QuantileFromBuckets(nil, []uint64{5}, 5, 0.5); got != 0 {
+		t.Errorf("no finite bounds: %v, want 0", got)
+	}
+	// Overflow-bucket quantiles clamp to the largest finite bound.
+	if got := promtext.QuantileFromBuckets(bounds, counts, 3, 0.99); got != 2 {
+		t.Errorf("overflow clamp: %v, want 2", got)
+	}
+}

@@ -1,0 +1,206 @@
+// The Go runtime collector: system-level gauges and histograms sourced
+// from runtime/metrics at scrape time, so /metricsz answers "what is
+// the *process* doing under load" — GC pauses, scheduler latency, heap
+// pressure, goroutine population — next to the request-level families.
+// Everything here is sampled (zero cost off the scrape path), and
+// registration is a no-op for any runtime/metrics name the running
+// toolchain does not support.
+
+package obs
+
+import (
+	"math"
+	"runtime"
+	"runtime/debug"
+	"runtime/metrics"
+)
+
+// RuntimeBuckets is the fixed bucket layout runtime histograms are
+// re-bucketed onto: 1µs to 1s, roughly logarithmic. runtime/metrics
+// histograms carry hundreds of toolchain-defined buckets whose layout
+// may change between Go versions; folding them onto a fixed layout
+// keeps scrape size bounded and the series stable. Counts stay
+// monotone under the fold, so Prometheus-style rate/quantile math
+// works unchanged.
+var RuntimeBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5,
+	1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3,
+	1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1,
+}
+
+// RegisterRuntime registers the runtime collector into r:
+//
+//	lcl_go_goroutines              gauge      /sched/goroutines
+//	lcl_go_heap_bytes              gauge      /memory/classes/heap/objects
+//	lcl_go_heap_goal_bytes         gauge      /gc/heap/goal (next-GC target)
+//	lcl_go_gc_cycles_total         counter    /gc/cycles/total
+//	lcl_go_alloc_bytes_total       counter    /gc/heap/allocs
+//	lcl_go_cgo_calls_total         counter    runtime.NumCgoCall
+//	lcl_go_gc_pause_seconds        histogram  /sched/pauses/total/gc
+//	lcl_go_sched_latency_seconds   histogram  /sched/latencies
+//
+// Safe to call more than once on the same registry (idempotent, like
+// all obs registration).
+func RegisterRuntime(r *Registry) {
+	runtimeGauge(r, "lcl_go_goroutines",
+		"Live goroutines.", "/sched/goroutines:goroutines")
+	runtimeGauge(r, "lcl_go_heap_bytes",
+		"Bytes of live heap objects plus not-yet-reclaimed dead objects.",
+		"/memory/classes/heap/objects:bytes")
+	runtimeGauge(r, "lcl_go_heap_goal_bytes",
+		"Heap size target of the next GC cycle.", "/gc/heap/goal:bytes")
+	runtimeCounter(r, "lcl_go_gc_cycles_total",
+		"Completed GC cycles.", "/gc/cycles/total:gc-cycles")
+	runtimeCounter(r, "lcl_go_alloc_bytes_total",
+		"Cumulative bytes allocated on the heap.", "/gc/heap/allocs:bytes")
+	r.CounterFunc("lcl_go_cgo_calls_total",
+		"Cgo calls made by the process.",
+		func() float64 { return float64(runtime.NumCgoCall()) })
+	runtimeHistogram(r, "lcl_go_gc_pause_seconds",
+		"Stop-the-world GC pause durations, re-bucketed onto a fixed layout.",
+		"/sched/pauses/total/gc:seconds")
+	runtimeHistogram(r, "lcl_go_sched_latency_seconds",
+		"Goroutine scheduling latency (runnable to running), re-bucketed onto a fixed layout.",
+		"/sched/latencies:seconds")
+}
+
+// runtimeSupported reports whether the running toolchain exports the
+// runtime/metrics name.
+func runtimeSupported(name string) bool {
+	s := []metrics.Sample{{Name: name}}
+	metrics.Read(s)
+	return s[0].Value.Kind() != metrics.KindBad
+}
+
+// runtimeValue reads one scalar runtime metric as a float64.
+func runtimeValue(name string) float64 {
+	s := []metrics.Sample{{Name: name}}
+	metrics.Read(s)
+	switch s[0].Value.Kind() {
+	case metrics.KindUint64:
+		return float64(s[0].Value.Uint64())
+	case metrics.KindFloat64:
+		return s[0].Value.Float64()
+	default:
+		return 0
+	}
+}
+
+func runtimeGauge(r *Registry, name, help, metric string) {
+	if !runtimeSupported(metric) {
+		return
+	}
+	r.GaugeFunc(name, help, func() float64 { return runtimeValue(metric) })
+}
+
+func runtimeCounter(r *Registry, name, help, metric string) {
+	if !runtimeSupported(metric) {
+		return
+	}
+	r.CounterFunc(name, help, func() float64 { return runtimeValue(metric) })
+}
+
+func runtimeHistogram(r *Registry, name, help, metric string) {
+	if !runtimeSupported(metric) {
+		return
+	}
+	r.HistogramFunc(name, help, func() HistogramSnapshot {
+		s := []metrics.Sample{{Name: metric}}
+		metrics.Read(s)
+		if s[0].Value.Kind() != metrics.KindFloat64Histogram {
+			return HistogramSnapshot{Bounds: RuntimeBuckets, Counts: make([]uint64, len(RuntimeBuckets)+1)}
+		}
+		return foldRuntimeHistogram(s[0].Value.Float64Histogram(), RuntimeBuckets)
+	})
+}
+
+// foldRuntimeHistogram re-buckets a runtime/metrics histogram onto the
+// fixed bounds: each runtime bucket's count lands in the fixed bucket
+// containing its upper edge (the conservative choice — a pause is
+// reported at least as large as it was). Sum is approximated from
+// bucket midpoints; runtime histograms carry no exact sum.
+func foldRuntimeHistogram(h *metrics.Float64Histogram, bounds []float64) HistogramSnapshot {
+	snap := HistogramSnapshot{Bounds: bounds, Counts: make([]uint64, len(bounds)+1)}
+	for i, n := range h.Counts {
+		if n == 0 {
+			continue
+		}
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		snap.Count += n
+		// Midpoint for the approximate sum; clamp the open-ended edges.
+		mid := (lo + hi) / 2
+		switch {
+		case math.IsInf(hi, 1) && math.IsInf(lo, -1):
+			mid = 0
+		case math.IsInf(hi, 1):
+			mid = lo
+		case math.IsInf(lo, -1):
+			mid = hi
+		}
+		snap.Sum += mid * float64(n)
+		// Place by upper edge.
+		j := 0
+		for j < len(bounds) && hi > bounds[j] {
+			j++
+		}
+		snap.Counts[j] += n
+	}
+	return snap
+}
+
+// RuntimeInfo is the compact runtime snapshot surfaced in /statsz next
+// to the engine counters (the /metricsz runtime families carry the full
+// distributions).
+type RuntimeInfo struct {
+	Goroutines    int     `json:"goroutines"`
+	HeapBytes     uint64  `json:"heap_bytes"`
+	HeapGoalBytes uint64  `json:"heap_goal_bytes"`
+	GCCycles      uint64  `json:"gc_cycles"`
+	GCPauseP99MS  float64 `json:"gc_pause_p99_ms"`
+}
+
+// ReadRuntimeInfo samples the runtime for /statsz-style reporting.
+func ReadRuntimeInfo() RuntimeInfo {
+	info := RuntimeInfo{
+		Goroutines:    runtime.NumGoroutine(),
+		HeapBytes:     uint64(runtimeValue("/memory/classes/heap/objects:bytes")),
+		HeapGoalBytes: uint64(runtimeValue("/gc/heap/goal:bytes")),
+		GCCycles:      uint64(runtimeValue("/gc/cycles/total:gc-cycles")),
+	}
+	s := []metrics.Sample{{Name: "/sched/pauses/total/gc:seconds"}}
+	metrics.Read(s)
+	if s[0].Value.Kind() == metrics.KindFloat64Histogram {
+		snap := foldRuntimeHistogram(s[0].Value.Float64Histogram(), RuntimeBuckets)
+		info.GCPauseP99MS = QuantileFromBuckets(snap.Bounds, snap.Counts, snap.Count, 0.99) * 1e3
+	}
+	return info
+}
+
+// RegisterBuildInfo registers the lcl_build_info gauge — the standard
+// constant-1 info-metric idiom, labeled with the module version (VCS
+// revision when the module version is unset, as in plain `go build`)
+// and the Go toolchain — and returns the labels so startup logs can
+// repeat them. Run artifacts and scrapes carry it, so every recorded
+// latency is attributable to the binary that produced it.
+func RegisterBuildInfo(r *Registry) (version, goVersion string) {
+	version = "unknown"
+	goVersion = runtime.Version()
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if v := bi.Main.Version; v != "" && v != "(devel)" {
+			version = v
+		} else {
+			for _, s := range bi.Settings {
+				if s.Key == "vcs.revision" && s.Value != "" {
+					version = s.Value
+					if len(version) > 12 {
+						version = version[:12]
+					}
+				}
+			}
+		}
+	}
+	r.GaugeVec("lcl_build_info",
+		"Constant 1, labeled with the binary's module/VCS version and Go toolchain.",
+		"version", "go_version").With(version, goVersion).Set(1)
+	return version, goVersion
+}

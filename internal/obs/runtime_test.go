@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"math"
+	"runtime"
+	runtimemetrics "runtime/metrics"
+	"strings"
+	"testing"
+
+	"repro/internal/obs/promtext"
+)
+
+// scrapeHistogram registers-and-scrapes r, returning the named
+// histogram child (unlabeled) parsed back out of the exposition.
+func scrapeHistogram(t *testing.T, r *Registry, name string) promtext.HistogramSeries {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	fams, err := promtext.Parse(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	for _, f := range fams {
+		if f.Name != name {
+			continue
+		}
+		hists := f.Histograms()
+		if len(hists) != 1 {
+			t.Fatalf("%s has %d children, want 1", name, len(hists))
+		}
+		return hists[0]
+	}
+	t.Fatalf("family %s not in exposition", name)
+	return promtext.HistogramSeries{}
+}
+
+// TestRegisterRuntime: every runtime family lands in the exposition
+// with plausible live values, and double registration is harmless.
+func TestRegisterRuntime(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntime(r)
+	RegisterRuntime(r) // idempotent, like all obs registration
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := b.String()
+	for _, fam := range []string{
+		"lcl_go_goroutines",
+		"lcl_go_heap_bytes",
+		"lcl_go_heap_goal_bytes",
+		"lcl_go_gc_cycles_total",
+		"lcl_go_alloc_bytes_total",
+		"lcl_go_cgo_calls_total",
+		"lcl_go_gc_pause_seconds_count",
+		"lcl_go_sched_latency_seconds_count",
+	} {
+		if !strings.Contains(out, fam) {
+			t.Errorf("exposition missing %s:\n%s", fam, out)
+		}
+	}
+	fams, err := promtext.Parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("runtime exposition does not parse: %v", err)
+	}
+	vals := promtext.Values(fams)
+	if vals["lcl_go_goroutines"] < 1 {
+		t.Errorf("goroutines = %v, want >= 1", vals["lcl_go_goroutines"])
+	}
+	if vals["lcl_go_heap_bytes"] <= 0 {
+		t.Errorf("heap bytes = %v, want > 0", vals["lcl_go_heap_bytes"])
+	}
+}
+
+// TestGCPauseHistogramMonotone: runtime histogram counts are cumulative
+// process counters, so a forced GC cycle must only grow them — the
+// property counter-diffing load clients depend on.
+func TestGCPauseHistogramMonotone(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntime(r)
+
+	before := scrapeHistogram(t, r, "lcl_go_gc_pause_seconds")
+	runtime.GC()
+	runtime.GC()
+	after := scrapeHistogram(t, r, "lcl_go_gc_pause_seconds")
+
+	if after.Count <= before.Count {
+		t.Errorf("GC pause count %d -> %d, want strictly increasing after forced GC",
+			before.Count, after.Count)
+	}
+	// Per-bucket monotonicity: cumulative counts at each shared bound
+	// never decrease. Both scrapes share the fixed RuntimeBuckets layout.
+	if len(before.Counts) != len(after.Counts) {
+		t.Fatalf("bucket layout changed between scrapes: %d vs %d",
+			len(before.Counts), len(after.Counts))
+	}
+	var cumBefore, cumAfter uint64
+	for i := range before.Counts {
+		cumBefore += before.Counts[i]
+		cumAfter += after.Counts[i]
+		if cumAfter < cumBefore {
+			t.Errorf("bucket %d cumulative count shrank: %d -> %d", i, cumBefore, cumAfter)
+		}
+	}
+	if p99 := after.Quantile(0.99); p99 <= 0 || p99 > 1 {
+		t.Errorf("GC pause p99 = %vs, want in (0, 1s]", p99)
+	}
+}
+
+// TestFoldRuntimeHistogram: counts land in the fixed bucket holding the
+// runtime bucket's upper edge, open-ended edges don't poison the sum.
+func TestFoldRuntimeHistogram(t *testing.T) {
+	h := &runtimemetrics.Float64Histogram{
+		Counts:  []uint64{2, 3, 5},
+		Buckets: []float64{math.Inf(-1), 2e-6, 3e-4, math.Inf(1)},
+	}
+	bounds := []float64{1e-6, 1e-5, 1e-3}
+	snap := foldRuntimeHistogram(h, bounds)
+	if snap.Count != 10 {
+		t.Errorf("count = %d, want 10", snap.Count)
+	}
+	// Upper edges: 2e-6 -> bucket le=1e-5 (idx 1); 3e-4 -> le=1e-3
+	// (idx 2); +Inf -> overflow (idx 3).
+	want := []uint64{0, 2, 3, 5}
+	for i := range want {
+		if snap.Counts[i] != want[i] {
+			t.Errorf("counts = %v, want %v", snap.Counts, want)
+			break
+		}
+	}
+	if math.IsInf(snap.Sum, 0) || math.IsNaN(snap.Sum) {
+		t.Errorf("sum = %v, want finite", snap.Sum)
+	}
+	if snap.Sum <= 0 {
+		t.Errorf("sum = %v, want > 0", snap.Sum)
+	}
+}
+
+// TestRegisterBuildInfo: the constant-1 info gauge carries the Go
+// toolchain version and whatever module/VCS version is available.
+func TestRegisterBuildInfo(t *testing.T) {
+	r := NewRegistry()
+	version, goVersion := RegisterBuildInfo(r)
+	if version == "" {
+		t.Error("version label empty")
+	}
+	if goVersion != runtime.Version() {
+		t.Errorf("go version = %q, want %q", goVersion, runtime.Version())
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "lcl_build_info{") ||
+		!strings.Contains(out, `go_version="`+runtime.Version()+`"`) {
+		t.Errorf("build info gauge missing or unlabeled:\n%s", out)
+	}
+	fams, err := promtext.Parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("build info exposition does not parse: %v", err)
+	}
+	for k, v := range promtext.Values(fams) {
+		if strings.HasPrefix(k, "lcl_build_info{") && v != 1 {
+			t.Errorf("%s = %v, want 1", k, v)
+		}
+	}
+}
+
+// TestReadRuntimeInfo: the /statsz snapshot reports a live process.
+func TestReadRuntimeInfo(t *testing.T) {
+	runtime.GC()
+	info := ReadRuntimeInfo()
+	if info.Goroutines < 1 {
+		t.Errorf("goroutines = %d, want >= 1", info.Goroutines)
+	}
+	if info.HeapBytes == 0 {
+		t.Error("heap bytes = 0, want > 0")
+	}
+	if info.HeapGoalBytes == 0 {
+		t.Error("heap goal = 0, want > 0")
+	}
+	if info.GCCycles == 0 {
+		t.Error("gc cycles = 0 after forced GC")
+	}
+	if info.GCPauseP99MS < 0 {
+		t.Errorf("gc pause p99 = %v, want >= 0", info.GCPauseP99MS)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -82,6 +83,57 @@ func TestTraceRingOverflow(t *testing.T) {
 		if views[i].ID != want {
 			t.Errorf("views[%d].ID = %s, want %s", i, views[i].ID, want)
 		}
+	}
+}
+
+// TestTraceRingConcurrent: writers appending while readers snapshot.
+// Under -race this pins the ring's lock-free claim; structurally, every
+// snapshot is bounded by the capacity and contains only finished,
+// non-nil views.
+func TestTraceRingConcurrent(t *testing.T) {
+	ring := NewTraceRing(32)
+	const writers, perWriter, readers = 8, 500, 4
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				ring.Add(finishedTrace(fmt.Sprintf("w%d-%d", w, i), "cycles", time.Microsecond))
+			}
+		}(w)
+	}
+	var rg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		rg.Add(1)
+		go func() {
+			defer rg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				views := ring.Snapshot()
+				if len(views) > 32 {
+					t.Errorf("snapshot size %d exceeds capacity 32", len(views))
+					return
+				}
+				for _, v := range views {
+					if v.ID == "" || v.Status != 200 {
+						t.Errorf("snapshot contains unfinished view %+v", v)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	rg.Wait()
+	if got := ring.Snapshot(); len(got) != 32 {
+		t.Errorf("final snapshot size = %d, want full ring of 32", len(got))
 	}
 }
 
@@ -203,20 +255,66 @@ func TestMiddleware(t *testing.T) {
 // TestNormalizeRoute pins the bounded-cardinality route table.
 func TestNormalizeRoute(t *testing.T) {
 	cases := map[string]string{
-		"/v1/classify":          "/v1/classify",
-		"/v1/classify/batch":    "/v1/classify/batch",
-		"/v1/census/3":          "/v1/census/{k}",
-		"/v1/census/paths/2":    "/v1/census/paths/{k}",
-		"/v1/jobs":              "/v1/jobs",
-		"/v1/jobs/j000001":      "/v1/jobs/{id}",
-		"/v1/jobs/j07/events":   "/v1/jobs/{id}/events",
-		"/metricsz":             "/metricsz",
-		"/debug/tracez":         "/debug/tracez",
-		"/totally/unknown/path": "other",
+		"/v1/classify":           "/v1/classify",
+		"/v1/classify/batch":     "/v1/classify/batch",
+		"/v1/census/3":           "/v1/census/{k}",
+		"/v1/census/paths/2":     "/v1/census/paths/{k}",
+		"/v1/jobs":               "/v1/jobs",
+		"/v1/jobs/j000001":       "/v1/jobs/{id}",
+		"/v1/jobs/j07/events":    "/v1/jobs/{id}/events",
+		"/v1/proof/a1b2c3d4e5":   "/v1/proof/{fingerprint}",
+		"/v1/admin/snapshot":     "/v1/admin/snapshot",
+		"/healthz":               "/healthz",
+		"/statsz":                "/statsz",
+		"/metricsz":              "/metricsz",
+		"/debug/tracez":          "/debug/tracez",
+		"/totally/unknown/path":  "other",
+		"/":                      "other",
+		"/v1":                    "other",
+		"/v1/jobs/a/b/events":    "other", // extra segment must not match {id}/events
+		"/v1/census/3/extra":     "other",
+		"/v1/proof/a/b":          "other",
+		"/v1/classify/batch/own": "other",
 	}
 	for path, want := range cases {
 		if got := NormalizeRoute(path); got != want {
 			t.Errorf("NormalizeRoute(%q) = %q, want %q", path, got, want)
+		}
+	}
+}
+
+// TestNormalizeRouteCardinality: high-cardinality request streams —
+// per-job event streams, proof fingerprints, junk — must collapse onto
+// a fixed label set, or every scrape grows with traffic.
+func TestNormalizeRouteCardinality(t *testing.T) {
+	labels := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		for _, path := range []string{
+			fmt.Sprintf("/v1/jobs/j%06d", i),
+			fmt.Sprintf("/v1/jobs/j%06d/events", i),
+			fmt.Sprintf("/v1/proof/%08x", i*2654435761),
+			fmt.Sprintf("/v1/census/%d", i),
+			fmt.Sprintf("/v1/census/paths/%d", i),
+			fmt.Sprintf("/junk/%d/deep/%d", i, i*7),
+			fmt.Sprintf("/v1/%d", i),
+		} {
+			labels[NormalizeRoute(path)] = true
+		}
+	}
+	want := map[string]bool{
+		"/v1/jobs/{id}":           true,
+		"/v1/jobs/{id}/events":    true,
+		"/v1/proof/{fingerprint}": true,
+		"/v1/census/{k}":          true,
+		"/v1/census/paths/{k}":    true,
+		"other":                   true,
+	}
+	if len(labels) != len(want) {
+		t.Fatalf("7000 requests produced %d route labels %v, want exactly %v", len(labels), labels, want)
+	}
+	for l := range labels {
+		if !want[l] {
+			t.Errorf("unexpected route label %q", l)
 		}
 	}
 }

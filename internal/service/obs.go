@@ -49,6 +49,12 @@ type engineObs struct {
 // callbacks are added later by finishObs, once the job manager exists.
 func newEngineObs(set *obs.Set, deciders []string) *engineObs {
 	r := set.Registry
+	// Process-level families ride along with every instrumented engine:
+	// the Go runtime collector (GC pauses, sched latency, heap gauges)
+	// and the build-info gauge. Registration is idempotent, so sharing a
+	// Set across engines is fine.
+	obs.RegisterRuntime(r)
+	obs.RegisterBuildInfo(r)
 	eo := &engineObs{
 		set:     set,
 		decider: map[string]*deciderObs{},

@@ -63,6 +63,10 @@ func TestObsMetricsEndpoint(t *testing.T) {
 		`lcl_jobs{state="pending"} 0`,
 		"lcl_jobs_queue_depth 0",
 		"# TYPE lcl_engine_request_seconds histogram",
+		// Process-level families registered by default with the engine.
+		"lcl_go_goroutines ",
+		"# TYPE lcl_go_gc_pause_seconds histogram",
+		"lcl_build_info{",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("metricsz missing %q", want)

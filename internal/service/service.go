@@ -812,6 +812,9 @@ type Stats struct {
 	Snapshot *SnapshotInfo `json:"snapshot,omitempty"`
 	// Sealed is nil when no sealed landscape table is loaded.
 	Sealed *SealedInfo `json:"sealed,omitempty"`
+	// Runtime is the process-level snapshot (goroutines, heap, GC);
+	// the full distributions live in /metricsz.
+	Runtime obs.RuntimeInfo `json:"runtime"`
 }
 
 // SnapshotInfo describes the engine's snapshot state for /statsz.
@@ -900,5 +903,6 @@ func (e *Engine) Stats() Stats {
 		}
 		st.Sealed = info
 	}
+	st.Runtime = obs.ReadRuntimeInfo()
 	return st
 }
