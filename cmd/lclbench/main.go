@@ -89,6 +89,18 @@ const (
 	// >= 10x latency win, and LookupsPerSec the multi-million-QPS-class
 	// throughput — all machine-independent enough to gate absolutely.
 	KindSealed = "sealed"
+	// KindSealedBuild times the sharded sealed-artifact build
+	// (service.BuildSealedFile) end to end — enumeration, classification,
+	// run encode, and the streaming merge — at a given worker count.
+	// BuildRepsPerSec records classification throughput; Cores records
+	// the machine parallelism so the 1-vs-8-worker scaling gate only
+	// fires where 8 workers can actually run (validateReport).
+	KindSealedBuild = "sealedbuild"
+	// KindSealedLoad times opening a sealed artifact for serving both
+	// ways: LatencyMS is the mmap zero-copy open (store.OpenSealedMapped,
+	// checksum pass included), LoadReadFileMS the portable heap load the
+	// mmap path falls back to.
+	KindSealedLoad = "sealedload"
 )
 
 // Cache states for census experiments.
@@ -134,6 +146,16 @@ type Experiment struct {
 	SpeedupVsMemo *Dist `json:"speedup_vs_memo,omitempty"`
 	// LookupsPerSec is the sealed lookup throughput (KindSealed only).
 	LookupsPerSec *Dist `json:"lookups_per_sec,omitempty"`
+	// Cores is the machine parallelism (runtime.NumCPU) the experiment
+	// ran under (KindSealedBuild only); the worker-scaling gate is
+	// conditional on it.
+	Cores int `json:"cores,omitempty"`
+	// BuildRepsPerSec is orbit representatives classified per second
+	// over the whole sharded build (KindSealedBuild only).
+	BuildRepsPerSec *Dist `json:"build_reps_per_sec,omitempty"`
+	// LoadReadFileMS is the portable heap-load latency of the same
+	// artifact LatencyMS maps (KindSealedLoad only).
+	LoadReadFileMS *Dist `json:"load_readfile_ms,omitempty"`
 }
 
 // Report is the BENCH_<grid>.json payload.
@@ -180,6 +202,9 @@ var grids = map[string][]gridPoint{
 		{kind: KindAlloc, k: 3},
 		{kind: KindOrbit, k: 3},
 		{kind: KindSealed, k: 3},
+		{kind: KindSealedBuild, k: 3, workers: 1},
+		{kind: KindSealedBuild, k: 3, workers: 8},
+		{kind: KindSealedLoad, k: 3},
 	},
 	"full": {
 		{kind: KindCensus, k: 2, workers: 1, cache: CacheCold},
@@ -213,6 +238,10 @@ var grids = map[string][]gridPoint{
 		{kind: KindOrbit, k: 3},
 		{kind: KindSealed, k: 2},
 		{kind: KindSealed, k: 3},
+		{kind: KindSealedBuild, k: 3, workers: 1},
+		{kind: KindSealedBuild, k: 3, workers: 2},
+		{kind: KindSealedBuild, k: 3, workers: 8},
+		{kind: KindSealedLoad, k: 3},
 	},
 }
 
@@ -230,6 +259,10 @@ func (p gridPoint) name() string {
 		return fmt.Sprintf("orbit/skip/k=%d", p.k)
 	case KindSealed:
 		return fmt.Sprintf("sealed/lookup/k=%d", p.k)
+	case KindSealedBuild:
+		return fmt.Sprintf("sealed/build/k=%d/w=%d", p.k, p.workers)
+	case KindSealedLoad:
+		return fmt.Sprintf("sealed/load/k=%d", p.k)
 	default:
 		return fmt.Sprintf("census/k=%d/w=%d/%s", p.k, p.workers, p.cache)
 	}
@@ -353,9 +386,9 @@ func runGrid(gridName string, points []gridPoint, repeats int, seed int64, progr
 // runExperiment measures one grid point over the configured repeats.
 func runExperiment(p gridPoint, repeats int, seed int64, tmpDir string) (*Experiment, error) {
 	exp := &Experiment{Name: p.name(), Kind: p.kind, K: p.k, Workers: p.workers, Cache: p.cache, Delta: p.delta, Dims: p.dims}
-	var latencies, hitRates, allocs, speedups, lookups []float64
+	var latencies, hitRates, allocs, speedups, lookups, buildRates, readLoads []float64
 	for rep := 0; rep < repeats; rep++ {
-		var latency, hitRate, allocRate, speedup, qps float64
+		var latency, hitRate, allocRate, speedup, qps, buildRate, readLoad float64
 		var err error
 		switch p.kind {
 		case KindCensus:
@@ -376,6 +409,10 @@ func runExperiment(p gridPoint, repeats int, seed int64, tmpDir string) (*Experi
 			latency, hitRate, err = runOrbitOnce(p)
 		case KindSealed:
 			latency, hitRate, allocRate, speedup, qps, err = runSealedOnce(p, tmpDir)
+		case KindSealedBuild:
+			latency, buildRate, err = runSealedBuildOnce(p, tmpDir)
+		case KindSealedLoad:
+			latency, readLoad, err = runSealedLoadOnce(p, tmpDir)
 		}
 		if err != nil {
 			return nil, err
@@ -385,6 +422,8 @@ func runExperiment(p gridPoint, repeats int, seed int64, tmpDir string) (*Experi
 		allocs = append(allocs, allocRate)
 		speedups = append(speedups, speedup)
 		lookups = append(lookups, qps)
+		buildRates = append(buildRates, buildRate)
+		readLoads = append(readLoads, readLoad)
 	}
 	exp.LatencyMS = summarize(latencies)
 	exp.HitRate = summarize(hitRates)
@@ -399,7 +438,90 @@ func runExperiment(p gridPoint, repeats int, seed int64, tmpDir string) (*Experi
 		q := summarize(lookups)
 		exp.LookupsPerSec = &q
 	}
+	if p.kind == KindSealedBuild {
+		exp.Cores = runtime.NumCPU()
+		d := summarize(buildRates)
+		exp.BuildRepsPerSec = &d
+	}
+	if p.kind == KindSealedLoad {
+		d := summarize(readLoads)
+		exp.LoadReadFileMS = &d
+	}
 	return exp, nil
+}
+
+// runSealedBuildOnce runs one full sharded file build of the k-letter
+// cycle space at the configured worker count and returns (latency ms,
+// orbit representatives classified per second). The timestamp is
+// pinned so repeated builds are byte-identical, making the experiment
+// double as an end-to-end determinism probe.
+func runSealedBuildOnce(p gridPoint, tmpDir string) (float64, float64, error) {
+	path := filepath.Join(tmpDir, fmt.Sprintf("build-k%d-w%d.lclseal", p.k, p.workers))
+	start := time.Now()
+	res, err := service.BuildSealedFile(path, service.SealConfig{
+		CycleKs:     []int{p.k},
+		Workers:     p.workers,
+		CreatedUnix: 1,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	elapsed := time.Since(start)
+	if res.Entries == 0 {
+		return 0, 0, fmt.Errorf("sealed build for k=%d produced no entries", p.k)
+	}
+	secs := elapsed.Seconds()
+	if secs <= 0 {
+		return 0, 0, fmt.Errorf("sealed build too fast to time (%v)", elapsed)
+	}
+	return float64(elapsed) / float64(time.Millisecond), float64(res.Entries) / secs, nil
+}
+
+// runSealedLoadOnce builds one artifact, then times both serving
+// loads: the mmap zero-copy open (returned as the latency) and the
+// portable ReadFile load it falls back to. Both tables are probed once
+// so a load that validated but cannot serve fails here, not in
+// production.
+func runSealedLoadOnce(p gridPoint, tmpDir string) (float64, float64, error) {
+	path := filepath.Join(tmpDir, fmt.Sprintf("load-k%d.lclseal", p.k))
+	if _, err := os.Stat(path); os.IsNotExist(err) {
+		sealed, err := service.BuildSealed(service.SealConfig{CycleKs: []int{p.k}})
+		if err != nil {
+			return 0, 0, err
+		}
+		sealed.CreatedUnix = 1
+		if _, err := store.SaveSealed(path, sealed); err != nil {
+			return 0, 0, err
+		}
+	}
+	probe := func(t *store.SealedTable) error {
+		for _, sec := range t.Sections() {
+			if sec.Entries == 0 {
+				return fmt.Errorf("section %s loaded empty", sec.Name)
+			}
+		}
+		return nil
+	}
+	start := time.Now()
+	mapped, err := store.OpenSealedMapped(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	mmapMS := float64(time.Since(start)) / float64(time.Millisecond)
+	if err := probe(mapped); err != nil {
+		return 0, 0, err
+	}
+	defer mapped.Close()
+	start = time.Now()
+	heap, err := store.LoadSealed(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	readMS := float64(time.Since(start)) / float64(time.Millisecond)
+	if err := probe(heap); err != nil {
+		return 0, 0, err
+	}
+	return mmapMS, readMS, nil
 }
 
 // runSealedOnce builds a sealed landscape table over the k-letter cycle
@@ -769,7 +891,7 @@ func validateReport(r *Report) error {
 		}
 		seen[e.Name] = true
 		switch e.Kind {
-		case KindCensus, KindPaths, KindRooted, KindGrid, KindAlloc, KindOrbit, KindSealed:
+		case KindCensus, KindPaths, KindRooted, KindGrid, KindAlloc, KindOrbit, KindSealed, KindSealedBuild, KindSealedLoad:
 		default:
 			return fmt.Errorf("%s: unknown kind %q", where, e.Kind)
 		}
@@ -777,7 +899,7 @@ func validateReport(r *Report) error {
 		switch e.Kind {
 		case KindRooted:
 			maxK = 2
-		case KindAlloc, KindOrbit:
+		case KindAlloc, KindOrbit, KindSealedBuild, KindSealedLoad:
 			maxK = 4 // bounded by the orbit tables, not the census
 		}
 		if e.K < 1 || e.K > maxK {
@@ -865,6 +987,38 @@ func validateReport(r *Report) error {
 			if e.HitRate.Mean != 1 {
 				return fmt.Errorf("%s: sealed sweep hit rate %v, want exactly 1", where, e.HitRate.Mean)
 			}
+		case KindSealedBuild:
+			if e.Cache != "" {
+				return fmt.Errorf("%s: sealed-build experiments take no cache state, got %q", where, e.Cache)
+			}
+			if e.Workers < 1 {
+				return fmt.Errorf("%s: workers %d < 1", where, e.Workers)
+			}
+			if e.Cores < 1 {
+				return fmt.Errorf("%s: cores %d < 1", where, e.Cores)
+			}
+			if e.BuildRepsPerSec == nil {
+				return fmt.Errorf("%s: sealed-build experiment missing build_reps_per_sec", where)
+			}
+			if len(e.BuildRepsPerSec.Samples) != r.Repeats {
+				return fmt.Errorf("%s: build_reps_per_sec has %d samples, want %d", where, len(e.BuildRepsPerSec.Samples), r.Repeats)
+			}
+			if e.BuildRepsPerSec.Mean <= 0 {
+				return fmt.Errorf("%s: non-positive build throughput", where)
+			}
+		case KindSealedLoad:
+			if e.Cache != "" {
+				return fmt.Errorf("%s: sealed-load experiments take no cache state, got %q", where, e.Cache)
+			}
+			if e.LoadReadFileMS == nil {
+				return fmt.Errorf("%s: sealed-load experiment missing load_readfile_ms", where)
+			}
+			if len(e.LoadReadFileMS.Samples) != r.Repeats {
+				return fmt.Errorf("%s: load_readfile_ms has %d samples, want %d", where, len(e.LoadReadFileMS.Samples), r.Repeats)
+			}
+			if e.LoadReadFileMS.Min <= 0 {
+				return fmt.Errorf("%s: non-positive ReadFile load latency", where)
+			}
 		}
 		for _, d := range []struct {
 			name string
@@ -890,8 +1044,37 @@ func validateReport(r *Report) error {
 			return fmt.Errorf("%s: rounds %d <= 0", where, e.Rounds)
 		}
 	}
+	// Worker-scaling gate: with 8 workers genuinely runnable (>= 8
+	// cores), the sharded build must classify at least sealedBuildScaleup
+	// times faster than single-threaded. On smaller machines the ratio
+	// measures oversubscription, not the builder, so the gate is
+	// conditional on the recorded core count.
+	builds := map[[2]int]*Experiment{}
+	for i := range r.Experiments {
+		e := &r.Experiments[i]
+		if e.Kind == KindSealedBuild {
+			builds[[2]int{e.K, e.Workers}] = e
+		}
+	}
+	for key, wide := range builds {
+		if key[1] != 8 || wide.Cores < 8 {
+			continue
+		}
+		one, ok := builds[[2]int{key[0], 1}]
+		if !ok {
+			continue
+		}
+		if ratio := wide.BuildRepsPerSec.Mean / one.BuildRepsPerSec.Mean; ratio < sealedBuildScaleup {
+			return fmt.Errorf("sealed build k=%d scales only %.1fx from 1 to 8 workers on %d cores, want >= %.0fx",
+				key[0], ratio, wide.Cores, sealedBuildScaleup)
+		}
+	}
 	return nil
 }
+
+// sealedBuildScaleup is the 1-to-8-worker throughput multiple the
+// sharded builder must clear on machines with >= 8 cores.
+const sealedBuildScaleup = 4.0
 
 // LatencyFloorMS exempts experiments whose cold run is too fast to time
 // reliably from the latency-ratio gate: below this floor, scheduler

@@ -4,18 +4,77 @@
 // docs/FORMATS.md). lclserver loads the artifact with -sealed and
 // serves those spaces with a single hash probe — no classifier, no
 // cache churn, no allocation.
+//
+// The build runs as a local jobs.Manager job: shard completions feed
+// the jobs progress machinery (the same renderer `lcltool jobs watch`
+// uses), and the manager's periodic checkpointer persists the build
+// manifest, so a build killed at any point resumes with -resume from
+// its last completed shard instead of starting over.
 
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"sync"
 	"time"
 
+	"repro/internal/jobs"
 	"repro/internal/service"
-	"repro/internal/store"
 )
+
+// sealProgress bridges the build's shard-completion hook to the jobs
+// manager's Report callback (armed once the runner starts) and owns
+// the planned-stop trigger for -stop-after.
+type sealProgress struct {
+	mu        sync.Mutex
+	report    jobs.Report
+	cancel    context.CancelFunc
+	total     int64
+	done      int64
+	fresh     int64
+	skipped   int64
+	stopAfter int64
+	stopped   bool
+}
+
+func (p *sealProgress) arm(report jobs.Report, cancel context.CancelFunc) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.report = report
+	p.cancel = cancel
+	if p.total > 0 {
+		report("classify", p.done, p.total)
+	}
+}
+
+func (p *sealProgress) shardDone(ev service.SealShardEvent) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+	if ev.Skipped {
+		p.skipped++
+	} else {
+		p.fresh++
+	}
+	if p.report != nil {
+		p.report(ev.Section, p.done, p.total)
+	}
+	if p.stopAfter > 0 && p.fresh >= p.stopAfter && !p.stopped && p.cancel != nil {
+		p.stopped = true
+		p.cancel()
+	}
+}
+
+func (p *sealProgress) plannedStop() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stopped
+}
 
 // runSeal handles `lcltool seal <flags>`.
 func runSeal(args []string) {
@@ -27,13 +86,20 @@ func runSeal(args []string) {
 	rootedK := fs.Int("rooted-k", 2, "seal rooted (delta, k) spaces up to this k")
 	rootedRadius := fs.Int("rooted-radius", 0, "anonymous synthesis radius for rooted spaces (0 = default)")
 	gridK := fs.Int("grid-k", 3, "seal 1-dimensional oriented-torus spaces for k = 1..N labels (0 skips grids)")
-	workers := fs.Int("workers", 0, "parallel workers for the cycle sweeps (0 = GOMAXPROCS)")
+	workers := fs.Int("workers", 0, "parallel shard workers (0 = GOMAXPROCS); never affects the artifact bytes")
+	resume := fs.Bool("resume", false, "reuse completed shards from an interrupted build of the same configuration")
+	buildDir := fs.String("build-dir", "", "directory for in-flight shard runs and the build manifest (default: <out>.build)")
+	created := fs.Int64("created", 0, "pin the artifact header timestamp (unix seconds; 0 = now, resume keeps the original)")
+	stopAfter := fs.Int64("stop-after", 0, "stop cleanly after N freshly built shards (for testing resume; 0 = run to completion)")
 	quiet := fs.Bool("q", false, "suppress progress output")
 	fs.Parse(args)
 
 	cfg := service.SealConfig{
 		RootedRadius: *rootedRadius,
 		Workers:      *workers,
+		CreatedUnix:  *created,
+		BuildDir:     *buildDir,
+		Resume:       *resume,
 	}
 	for k := 1; k <= *cyclesK; k++ {
 		cfg.CycleKs = append(cfg.CycleKs, k)
@@ -54,38 +120,107 @@ func runSeal(args []string) {
 	for k := 1; k <= *gridK; k++ {
 		cfg.GridKs = append(cfg.GridKs, k)
 	}
-	if !*quiet {
-		last := ""
-		cfg.Progress = func(section string, done, total int) {
-			if section != last {
-				if last != "" {
-					fmt.Fprintln(os.Stderr)
-				}
-				last = section
-			}
-			fmt.Fprintf(os.Stderr, "\rseal %-16s %d/%d", section, done, total)
-		}
-	}
 
-	start := time.Now()
-	sealed, err := service.BuildSealed(cfg)
+	prog := &sealProgress{stopAfter: *stopAfter}
+	cfg.ShardDone = prog.shardDone
+
+	// Plan the build up front: a -resume against a manifest written by a
+	// different configuration fails here, before any work runs.
+	build, err := service.NewSealFileBuild(*out, cfg)
 	if err != nil {
 		fatal(err)
+	}
+	prog.total = int64(build.Shards())
+
+	start := time.Now()
+	mgr := jobs.New(jobs.Config{
+		Workers: 1,
+		Runners: map[string]jobs.Runner{
+			"seal": func(ctx context.Context, _ jobs.Spec, report jobs.Report) (any, error) {
+				runCtx, cancel := context.WithCancel(ctx)
+				defer cancel()
+				prog.arm(report, cancel)
+				res, err := build.Run(runCtx)
+				if err != nil {
+					if prog.plannedStop() && errors.Is(err, context.Canceled) && ctx.Err() == nil {
+						// -stop-after fired: the interruption is the point.
+						// Partial shards and the manifest are on disk; report
+						// success so scripted kill-and-resume tests get a
+						// clean exit.
+						return map[string]any{
+							"stopped_after_shards": prog.fresh,
+							"resumed_shards":       prog.skipped,
+							"total_shards":         prog.total,
+							"resume":               true,
+						}, nil
+					}
+					return nil, err
+				}
+				return res, nil
+			},
+		},
+		// The manager's periodic checkpointer persists the shard manifest
+		// while the build runs; shard completions also checkpoint inline,
+		// so this bounds only the metadata loss window, not shard work.
+		Checkpoint:      build.Checkpoint,
+		CheckpointEvery: 5 * time.Second,
+	})
+	defer mgr.Close()
+
+	job, err := mgr.Submit(jobs.Spec{Type: "seal"})
+	if err != nil {
+		fatal(err)
+	}
+	events, unsub, err := mgr.Subscribe(job.ID)
+	if err != nil {
+		fatal(err)
+	}
+	defer unsub()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt)
+	defer signal.Stop(sigc)
+
+	var final jobs.Job
+watch:
+	for {
+		select {
+		case <-sigc:
+			signal.Stop(sigc)
+			_ = mgr.Cancel(job.ID)
+			if !*quiet {
+				fmt.Fprintf(os.Stderr, "\ninterrupt: checkpointing; rerun with -resume to continue\n")
+			}
+		case ev := <-events:
+			if !*quiet {
+				fmt.Fprintf(os.Stderr, "\r\033[Kseal %s  %s", ev.Job.State, progressLine(ev.Job))
+			}
+			if ev.Job.State.Terminal() {
+				final = ev.Job
+				break watch
+			}
+		}
 	}
 	if !*quiet {
 		fmt.Fprintln(os.Stderr)
 	}
-	sealed.CreatedUnix = time.Now().Unix()
-	n, err := store.SaveSealed(*out, sealed)
-	if err != nil {
-		fatal(err)
-	}
 
-	total := 0
-	for _, sec := range sealed.Sections {
-		fmt.Printf("  %-16s %6d verdicts  (%s)\n", sec.Name, len(sec.Entries), sec.Domain)
-		total += len(sec.Entries)
+	switch final.State {
+	case jobs.StateDone:
+		if err := printOutcome(final); err != nil {
+			fatal(err)
+		}
+		if prog.plannedStop() {
+			fmt.Printf("stopped after %d fresh shards (of %d); resume with -resume\n", prog.fresh, prog.total)
+			return
+		}
+		fmt.Printf("sealed %s in %v (%d shards built, %d resumed)\n",
+			*out, time.Since(start).Round(time.Millisecond), prog.fresh, prog.skipped)
+	case jobs.StateCancelled:
+		fmt.Fprintf(os.Stderr, "seal interrupted after %d/%d shards; completed work is checkpointed in %s — rerun with -resume\n",
+			prog.done, prog.total, build.Dir())
+		os.Exit(130)
+	default:
+		fatal(fmt.Errorf("seal job %s: %s", final.State, final.Error))
 	}
-	fmt.Printf("sealed %d verdicts in %d sections to %s (%d bytes) in %v\n",
-		total, len(sealed.Sections), *out, n, time.Since(start).Round(time.Millisecond))
 }

@@ -168,12 +168,17 @@ func FastCycleFingerprint(p *lcl.Problem) (uint64, bool) {
 // representative of each class is its lexicographically smallest
 // (node-mask, edge-mask) member — the same representative CanonicalKey
 // selects.
-// Like CycleLCLs, the census is bounded to k <= 3 (4^10 = 1M raw
-// problems at k = 4 would make the classifier sweep dominate); unlike
-// CycleLCLs it reports the bound as an error rather than panicking.
+// The census runs up to k = 4 with dedup (the orbit reduction keeps
+// the classifier sweep to the ~46k representatives); without dedup it
+// is bounded to k <= 3, since materializing all 4^10 = 1M raw problems
+// at k = 4 would dominate everything. Unlike CycleLCLs the bounds are
+// reported as errors rather than panics.
 func RunWith(k int, dedup bool, opts RunOpts) (*Census, error) {
-	if k < 1 || k > 3 {
-		return nil, fmt.Errorf("enumerate: k = %d out of supported range [1, 3]", k)
+	if k < 1 || k > canon.MaxOrbitK {
+		return nil, fmt.Errorf("enumerate: k = %d out of supported range [1, %d]", k, canon.MaxOrbitK)
+	}
+	if k > 3 && !dedup {
+		return nil, fmt.Errorf("enumerate: k = %d census requires dedup (the raw space has %d problems)", k, uint64(CycleMaskSpace(k))*uint64(CycleMaskSpace(k)))
 	}
 	c := &Census{
 		K:          k,

@@ -1,0 +1,64 @@
+package enumerate
+
+import (
+	"fmt"
+
+	"repro/internal/canon"
+)
+
+// Range-based orbit-representative iteration for the k = 4 census
+// frontier. RunWith materializes the whole representative table before
+// classifying — fine at k <= 3 (~200 representatives), wasteful at
+// k = 4, where the raw pair space is 4^10 ≈ 1M masks and the sealed
+// builder wants to partition work into shards that are enumerated,
+// classified, and discarded one range at a time. CycleRepRange walks a
+// sub-range of the outer (node-mask) dimension and visits only orbit
+// representatives, so a sharded builder touches each isomorphism class
+// exactly once across all shards with no shared state beyond the
+// precomputed orbit table.
+
+// CycleMaskSpace returns the size of one mask dimension of the cycle
+// census at alphabet size k: 2^PairCount(k) node masks (and as many
+// edge masks). The raw pair space is the square of this. It panics
+// outside [1, canon.MaxOrbitK], like canon.Orbits.
+func CycleMaskSpace(k int) uint {
+	if k < 1 || k > canon.MaxOrbitK {
+		panic(fmt.Sprintf("enumerate: no mask space for k = %d (supported range [1, %d])", k, canon.MaxOrbitK))
+	}
+	return uint(1) << uint(PairCount(k))
+}
+
+// CycleRepRange calls fn for every orbit representative (n2, e) of the
+// k-cycle census whose node mask lies in [lo, hi), in ascending
+// (n2, e) order, passing each representative's raw orbit size. A
+// representative is the lexicographically smallest member of its
+// orbit (canon.OrbitTable.IsCanonicalPair), so iterating disjoint
+// ranges that cover [0, CycleMaskSpace(k)) visits every isomorphism
+// class exactly once. fn errors abort the walk.
+func CycleRepRange(k int, lo, hi uint, fn func(n2, e uint, orbit int) error) error {
+	space := CycleMaskSpace(k)
+	if hi > space {
+		hi = space
+	}
+	tbl := canon.Orbits(k)
+	for n2 := lo; n2 < hi; n2++ {
+		for e := uint(0); e < space; e++ {
+			if !tbl.IsCanonicalPair(n2, e) {
+				continue
+			}
+			if err := fn(n2, e, tbl.PairOrbitSize(n2, e)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// CycleRepCount returns the number of orbit representatives with node
+// mask in [lo, hi) — the exact work size of a CycleRepRange shard,
+// used for progress totals.
+func CycleRepCount(k int, lo, hi uint) int {
+	n := 0
+	CycleRepRange(k, lo, hi, func(_, _ uint, _ int) error { n++; return nil })
+	return n
+}

@@ -1,0 +1,107 @@
+package enumerate
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/canon"
+)
+
+// TestCycleRepRangeCoversSpace: for every supported k, the orbit sizes
+// of the representatives visited over the full range must sum to the
+// raw pair space — each isomorphism class counted exactly once, no
+// class missed. This is the partition property the sharded sealed
+// builder rests on.
+func TestCycleRepRangeCoversSpace(t *testing.T) {
+	for k := 1; k <= canon.MaxOrbitK; k++ {
+		space := CycleMaskSpace(k)
+		total := 0
+		reps := 0
+		prev := int64(-1)
+		err := CycleRepRange(k, 0, space, func(n2, e uint, orbit int) error {
+			if orbit < 1 {
+				t.Fatalf("k=%d: rep (%d,%d) has orbit size %d", k, n2, e, orbit)
+			}
+			cur := int64(n2)<<32 | int64(e)
+			if cur <= prev {
+				t.Fatalf("k=%d: reps not in ascending (n2,e) order at (%d,%d)", k, n2, e)
+			}
+			prev = cur
+			total += orbit
+			reps++
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if want := int(space) * int(space); total != want {
+			t.Errorf("k=%d: orbit sizes sum to %d, want the raw pair space %d", k, total, want)
+		}
+		if reps != CycleRepCount(k, 0, space) {
+			t.Errorf("k=%d: CycleRepCount = %d, walk visited %d", k, CycleRepCount(k, 0, space), reps)
+		}
+		t.Logf("k=%d: %d representatives cover %d raw pairs", k, reps, total)
+	}
+}
+
+// TestCycleRepRangePartition: splitting [0, space) into arbitrary
+// disjoint ranges visits exactly the representatives of the full walk,
+// in the same order — the determinism contract of the shard plan.
+func TestCycleRepRangePartition(t *testing.T) {
+	const k = 3
+	space := CycleMaskSpace(k)
+	var full [][2]uint
+	if err := CycleRepRange(k, 0, space, func(n2, e uint, _ int) error {
+		full = append(full, [2]uint{n2, e})
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, parts := range []uint{2, 3, 7, space} {
+		var got [][2]uint
+		width := (space + parts - 1) / parts
+		for lo := uint(0); lo < space; lo += width {
+			if err := CycleRepRange(k, lo, lo+width, func(n2, e uint, _ int) error {
+				got = append(got, [2]uint{n2, e})
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if len(got) != len(full) {
+			t.Fatalf("parts=%d: %d reps, full walk has %d", parts, len(got), len(full))
+		}
+		for i := range got {
+			if got[i] != full[i] {
+				t.Fatalf("parts=%d: rep %d is (%d,%d), full walk has (%d,%d)",
+					parts, i, got[i][0], got[i][1], full[i][0], full[i][1])
+			}
+		}
+	}
+}
+
+func TestCycleRepRangeClampsAndErrors(t *testing.T) {
+	space := CycleMaskSpace(2)
+	// hi beyond the space clamps rather than walking garbage masks.
+	if n := CycleRepCount(2, 0, space*10); n != CycleRepCount(2, 0, space) {
+		t.Errorf("clamped count %d != full count %d", n, CycleRepCount(2, 0, space))
+	}
+	if n := CycleRepCount(2, space, space); n != 0 {
+		t.Errorf("empty range visited %d reps", n)
+	}
+	sentinel := errors.New("stop")
+	calls := 0
+	err := CycleRepRange(2, 0, space, func(_, _ uint, _ int) error {
+		calls++
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) || calls != 1 {
+		t.Errorf("fn error: err = %v after %d calls, want sentinel after 1", err, calls)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("CycleMaskSpace(0) did not panic")
+		}
+	}()
+	CycleMaskSpace(0)
+}

@@ -17,17 +17,17 @@
 //     in the census encoding — labels "l0".."l{k-1}" with the canonical
 //     constraint spelling — which is what lcltool and the census jobs
 //     emit.
+//
+// Two build paths share one shard plan (sealedbuild.go): BuildSealed
+// assembles the table in memory for store.SaveSealed, and
+// BuildSealedFile streams shards through run files into the artifact
+// with checkpointed resume — the k = 4-scale path.
 
 package service
 
 import (
 	"context"
-	"fmt"
 
-	"repro/internal/classify"
-	"repro/internal/enumerate"
-	"repro/internal/grid"
-	"repro/internal/rooted"
 	"repro/internal/store"
 )
 
@@ -49,20 +49,43 @@ type SealConfig struct {
 	// GridKs lists mask-space alphabet sizes to seal for the
 	// one-dimensional oriented torus (each in [1, canon.MaxOrbitK]).
 	GridKs []int
-	// Workers parallelizes the cycle-census sweeps (<= 0 selects
-	// GOMAXPROCS).
+	// Workers sets the shard worker pool size (<= 0 selects
+	// GOMAXPROCS). Worker count never affects the built artifact's
+	// bytes, only wall-clock.
 	Workers int
 	// Ctx, when non-nil, cancels the build between problems.
 	Ctx context.Context
 	// Progress, when non-nil, is called per section as classification
-	// advances.
+	// advances. It may be called concurrently from shard workers.
 	Progress func(section string, done, total int)
+
+	// The fields below apply to BuildSealedFile (the sharded,
+	// checkpointed file build) only.
+
+	// CreatedUnix pins the artifact header timestamp; 0 stamps the
+	// build's start time. Resumed builds always keep the original
+	// stamp recorded in the build manifest, so interrupted and
+	// uninterrupted builds stay byte-identical.
+	CreatedUnix int64
+	// BuildDir holds the run files and manifest while the build is in
+	// flight (default: the artifact path + ".build"). It is removed on
+	// success.
+	BuildDir string
+	// Resume reuses complete shard run files found in BuildDir from a
+	// previously interrupted build of the same configuration instead
+	// of rebuilding them.
+	Resume bool
+	// ShardDone, when non-nil, is called after every shard completes
+	// or is skipped on resume. It may be called concurrently.
+	ShardDone func(SealShardEvent)
 }
 
 // DefaultSealConfig covers every space the classifiers handle at
 // interactive build cost: the full k <= 3 cycle and grid mask spaces,
 // the k <= 2 path spaces, and all four supported rooted (delta, k)
-// spaces at the default census radius.
+// spaces at the default census radius. The k = 4 cycle frontier is
+// opt-in (`lcltool seal -cycles-k 4`): its ~46k representatives build
+// in minutes, not milliseconds.
 func DefaultSealConfig() SealConfig {
 	return SealConfig{
 		CycleKs: []int{1, 2, 3},
@@ -74,155 +97,37 @@ func DefaultSealConfig() SealConfig {
 
 // BuildSealed classifies every orbit representative of the configured
 // mask spaces and returns the sealed landscape ready for
-// store.SaveSealed. The build is deterministic for a given config
-// (section order follows the config, entries are fingerprint-sorted on
-// encode), except for CreatedUnix, which the caller stamps.
+// store.SaveSealed. The build runs the same deterministic shard plan
+// as BuildSealedFile over the worker pool, assembling sections in
+// memory: for a given config the result is independent of worker
+// count (section order follows the config, shard results concatenate
+// in plan order, and entries are fingerprint-sorted on encode),
+// except for CreatedUnix, which the caller stamps.
 func BuildSealed(cfg SealConfig) (*store.Sealed, error) {
+	plan, err := planSeal(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Shard results land in their plan slot, then concatenate in order
+	// — the in-memory equivalent of the file build's run merge.
+	shardEntries := make([][][]store.SealedEntry, len(plan))
+	for si := range plan {
+		shardEntries[si] = make([][]store.SealedEntry, len(plan[si].shards))
+	}
+	done := func(t sealTask, entries []store.SealedEntry) error {
+		shardEntries[t.section][t.shard] = entries
+		return nil
+	}
+	if err := runSealShards(cfg.Ctx, cfg, plan, nil, done); err != nil {
+		return nil, err
+	}
 	sealed := &store.Sealed{}
-	progress := func(section string) func(done, total int) {
-		if cfg.Progress == nil {
-			return nil
-		}
-		return func(done, total int) { cfg.Progress(section, done, total) }
-	}
-
-	for _, k := range cfg.CycleKs {
-		name := fmt.Sprintf("cycles/k=%d", k)
-		census, err := enumerate.RunWith(k, true, enumerate.RunOpts{
-			Workers:  cfg.Workers,
-			Ctx:      cfg.Ctx,
-			Progress: progress(name),
-		})
-		if err != nil {
-			return nil, fmt.Errorf("seal %s: %w", name, err)
-		}
-		sec := store.SealedSection{Name: name, Domain: enumerate.CycleDomain, Kind: store.KindCycles}
-		seen := map[uint64]bool{}
-		for _, e := range census.Entries {
-			if seen[e.Fingerprint] {
-				continue
-			}
-			seen[e.Fingerprint] = true
-			sec.Entries = append(sec.Entries, store.SealedEntry{
-				Fingerprint: e.Fingerprint,
-				Value:       &classify.Result{Class: e.Class, Period: e.Period, Witness: e.Witness},
-			})
+	for si := range plan {
+		sec := store.SealedSection{Name: plan[si].name, Domain: plan[si].domain, Kind: plan[si].kind}
+		for _, entries := range shardEntries[si] {
+			sec.Entries = append(sec.Entries, entries...)
 		}
 		sealed.Sections = append(sealed.Sections, sec)
 	}
-
-	for _, k := range cfg.PathKs {
-		name := fmt.Sprintf("paths/k=%d", k)
-		decisions, err := enumerate.PathDecisions(k, enumerate.PathRunOpts{
-			Ctx:      cfg.Ctx,
-			Progress: progress(name),
-		})
-		if err != nil {
-			return nil, fmt.Errorf("seal %s: %w", name, err)
-		}
-		sec := store.SealedSection{Name: name, Domain: enumerate.PathDomain, Kind: store.KindPaths}
-		for _, d := range decisions {
-			sec.Entries = append(sec.Entries, store.SealedEntry{Fingerprint: d.Fingerprint, Value: d.Result})
-		}
-		sealed.Sections = append(sealed.Sections, sec)
-	}
-
-	if len(cfg.Rooted) > 0 {
-		radius := cfg.RootedRadius
-		if radius <= 0 {
-			radius = rooted.DefaultCensusRadius
-		}
-		for _, dk := range cfg.Rooted {
-			sec, err := sealRootedSpace(dk[0], dk[1], radius, cfg.Ctx, cfg.Progress)
-			if err != nil {
-				return nil, err
-			}
-			sealed.Sections = append(sealed.Sections, *sec)
-		}
-	}
-
-	for _, k := range cfg.GridKs {
-		sec, err := sealGridSpace(k, cfg.Ctx, cfg.Progress)
-		if err != nil {
-			return nil, err
-		}
-		sealed.Sections = append(sealed.Sections, *sec)
-	}
-
 	return sealed, nil
-}
-
-// sealRootedSpace sweeps the (delta, k) rooted space — every
-// (configMask, leafMask, rootMask) problem — classifying each once
-// under the rooted decider's exact fingerprint. Distinct mask triples
-// yield distinct problems, but the fingerprint dedup guard keeps a hash
-// collision from producing an ambiguous section.
-func sealRootedSpace(delta, k, radius int, ctx context.Context, progress func(string, int, int)) (*store.SealedSection, error) {
-	name := fmt.Sprintf("rooted/d=%d/k=%d", delta, k)
-	sec := &store.SealedSection{Name: name, Domain: rootedDomain(radius), Kind: store.KindRooted}
-	seen := map[uint64]bool{}
-	capture := func(p *rooted.Problem) (*rooted.Verdict, error) {
-		v, err := rooted.ClassifyProblem(p, radius)
-		if err != nil {
-			return nil, err
-		}
-		if fp := p.Fingerprint(); !seen[fp] {
-			seen[fp] = true
-			sec.Entries = append(sec.Entries, store.SealedEntry{Fingerprint: fp, Value: v})
-		}
-		return v, nil
-	}
-	opts := rooted.CensusOpts{MaxRadius: radius, Ctx: ctx, Classify: capture}
-	if progress != nil {
-		opts.Progress = func(done, total int) { progress(name, done, total) }
-	}
-	if _, err := rooted.RunCensus(delta, k, opts); err != nil {
-		return nil, fmt.Errorf("seal %s: %w", name, err)
-	}
-	return sec, nil
-}
-
-// sealGridSpace sweeps the full (not orbit-reduced) k-label cycle mask
-// space for the one-dimensional oriented torus: the grid decider hashes
-// exact encodings, so every mask pair needs its own entry. Dimension 1
-// is the exact (and cheap) regime — grid.Classify reduces it to the
-// oriented-cycle automaton; higher dimensions take their verdicts from
-// per-axis factorization at serving time and are not sealed.
-func sealGridSpace(k int, ctx context.Context, progress func(string, int, int)) (*store.SealedSection, error) {
-	name := fmt.Sprintf("grid/d=1/k=%d", k)
-	gd := gridDecider{}
-	pairSpace := uint(1) << uint(enumerate.PairCount(k))
-	total := int(pairSpace) * int(pairSpace)
-	sec := &store.SealedSection{Name: name, Kind: store.KindGrid}
-	seen := map[uint64]bool{}
-	done := 0
-	for n2 := uint(0); n2 < pairSpace; n2++ {
-		if ctx != nil && ctx.Err() != nil {
-			return nil, ctx.Err()
-		}
-		for e := uint(0); e < pairSpace; e++ {
-			req := Request{Mode: ModeGrid, Problem: enumerate.FromMasks(k, n2, e), Dims: 1}
-			if sec.Domain == "" {
-				sec.Domain = gd.MemoDomain(&req)
-			}
-			fp, _, err := gd.Fingerprint(&req)
-			if err != nil {
-				return nil, fmt.Errorf("seal %s: %w", name, err)
-			}
-			done++
-			if seen[fp] {
-				continue
-			}
-			seen[fp] = true
-			v, err := grid.Classify(req.Problem, req.Dims)
-			if err != nil {
-				return nil, fmt.Errorf("seal %s: %s: %w", name, req.Problem.Name, err)
-			}
-			sec.Entries = append(sec.Entries, store.SealedEntry{Fingerprint: fp, Value: v})
-			if progress != nil {
-				progress(name, done, total)
-			}
-		}
-	}
-	return sec, nil
 }

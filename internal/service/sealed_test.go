@@ -257,11 +257,29 @@ func BenchmarkSealedLookup(b *testing.B) {
 		}
 	}
 
+	path := filepath.Join(b.TempDir(), "landscape.lclseal")
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		b.Fatal(err)
+	}
+	mapped, err := store.OpenSealedMapped(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer mapped.Close()
+
 	b.Run("sealed", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, ok := tbl.Get(keys[i%len(keys)]); !ok {
 				b.Fatal("sealed miss on a sealed key")
+			}
+		}
+	})
+	b.Run("sealed-mmap", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, ok := mapped.Get(keys[i%len(keys)]); !ok {
+				b.Fatal("mmap miss on a sealed key")
 			}
 		}
 	})

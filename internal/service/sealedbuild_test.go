@@ -1,0 +1,271 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/classify"
+	"repro/internal/lcl"
+	"repro/internal/store"
+)
+
+const testSealCreated = 1754600000
+
+func testFileSealConfig() SealConfig {
+	cfg := testSealConfig()
+	cfg.CreatedUnix = testSealCreated
+	return cfg
+}
+
+// referenceSealBytes is the ground truth every sharded build is
+// compared against: the in-memory build encoded by EncodeSealed.
+func referenceSealBytes(t *testing.T) []byte {
+	t.Helper()
+	sealed, err := BuildSealed(testSealConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealed.CreatedUnix = testSealCreated
+	buf, err := store.EncodeSealed(sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+func readArtifact(t *testing.T, path string) []byte {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestBuildSealedFileMatchesInMemoryEncode: the streaming sharded file
+// build and the in-memory EncodeSealed path are byte-identical.
+func TestBuildSealedFileMatchesInMemoryEncode(t *testing.T) {
+	want := referenceSealBytes(t)
+	path := filepath.Join(t.TempDir(), "landscape.lclseal")
+	res, err := BuildSealedFile(path, testFileSealConfig())
+	if err != nil {
+		t.Fatalf("BuildSealedFile: %v", err)
+	}
+	got := readArtifact(t, path)
+	if string(got) != string(want) {
+		t.Fatalf("file build differs from in-memory encode (%d vs %d bytes)", len(got), len(want))
+	}
+	if res.Bytes != int64(len(got)) {
+		t.Errorf("result reports %d bytes, file has %d", res.Bytes, len(got))
+	}
+	if res.CreatedUnix != testSealCreated {
+		t.Errorf("result created %d, want %d", res.CreatedUnix, testSealCreated)
+	}
+	if res.Shards == 0 || res.SkippedShards != 0 || res.Entries == 0 || len(res.Sections) != 4 {
+		t.Errorf("implausible result: %+v", res)
+	}
+	if _, err := os.Stat(path + ".build"); !os.IsNotExist(err) {
+		t.Errorf("build dir survived a successful build (stat err = %v)", err)
+	}
+	tbl, err := store.OpenSealedMapped(path)
+	if err != nil {
+		t.Fatalf("OpenSealedMapped of built artifact: %v", err)
+	}
+	defer tbl.Close()
+	if tbl.Len() != res.Entries {
+		t.Errorf("table has %d entries, result reports %d", tbl.Len(), res.Entries)
+	}
+}
+
+// TestBuildSealedFileDeterministicAcrossWorkers is half the acceptance
+// bar: worker count must never leak into the artifact bytes.
+func TestBuildSealedFileDeterministicAcrossWorkers(t *testing.T) {
+	want := referenceSealBytes(t)
+	for _, workers := range []int{1, 4, 16} {
+		cfg := testFileSealConfig()
+		cfg.Workers = workers
+		path := filepath.Join(t.TempDir(), "landscape.lclseal")
+		if _, err := BuildSealedFile(path, cfg); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got := readArtifact(t, path); string(got) != string(want) {
+			t.Errorf("workers=%d: artifact differs from the single-threaded reference", workers)
+		}
+	}
+}
+
+// TestBuildSealedFileResumeKillAtEveryCheckpoint is the other half: a
+// build killed after every checkpoint in turn — shard N completes, the
+// process dies, a -resume build picks up — must converge to the exact
+// single-threaded bytes, re-classifying only lost work.
+func TestBuildSealedFileResumeKillAtEveryCheckpoint(t *testing.T) {
+	want := referenceSealBytes(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "landscape.lclseal")
+
+	cfg := testFileSealConfig()
+	cfg.Workers = 1
+	probe, err := NewSealFileBuild(filepath.Join(t.TempDir(), "probe.lclseal"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalShards := probe.Shards()
+	if totalShards < 4 {
+		t.Fatalf("test config plans only %d shards; the kill schedule needs more", totalShards)
+	}
+
+	// Chain of killed sessions: session i completes exactly one new
+	// shard, then cancels — exercising resume-of-resume at every
+	// checkpoint boundary until the final session finishes the build.
+	done := 0
+	for session := 0; done < totalShards; session++ {
+		if session > totalShards {
+			t.Fatalf("made no progress after %d sessions (done=%d of %d)", session, done, totalShards)
+		}
+		scfg := testFileSealConfig()
+		scfg.Workers = 1
+		scfg.Resume = session > 0
+		ctx, cancel := context.WithCancel(context.Background())
+		scfg.Ctx = ctx
+		var fresh, skipped atomic.Int64
+		scfg.ShardDone = func(ev SealShardEvent) {
+			if ev.Skipped {
+				skipped.Add(1)
+				return
+			}
+			if fresh.Add(1) == 1 && done+1 < totalShards {
+				cancel() // the "kill": no further shards may start
+			}
+		}
+		res, err := BuildSealedFile(path, scfg)
+		cancel()
+		if done+int(fresh.Load()) < totalShards {
+			if err == nil {
+				t.Fatalf("session %d: build completed despite the kill (done=%d)", session, done)
+			}
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("session %d: err = %v, want context.Canceled", session, err)
+			}
+		} else {
+			if err != nil {
+				t.Fatalf("final session %d: %v", session, err)
+			}
+			if res.SkippedShards != int(skipped.Load()) || res.SkippedShards != done {
+				t.Errorf("final session: skipped %d shards, want %d", res.SkippedShards, done)
+			}
+		}
+		if int(skipped.Load()) != done {
+			t.Errorf("session %d: resumed %d shards from disk, want %d", session, skipped.Load(), done)
+		}
+		done += int(fresh.Load())
+	}
+	if got := readArtifact(t, path); string(got) != string(want) {
+		t.Fatal("kill-and-resume chain produced different bytes than an uninterrupted build")
+	}
+}
+
+// TestBuildSealedFileResumeSkipsCompletedClassification proves resume
+// does not silently re-classify completed shards: after a full cycles
+// section survives the kill, the classifier seam sees no further
+// cycle invocations.
+func TestBuildSealedFileResumeSkipsCompletedClassification(t *testing.T) {
+	cfg := SealConfig{CycleKs: []int{2}, CreatedUnix: testSealCreated, Workers: 1}
+	path := filepath.Join(t.TempDir(), "landscape.lclseal")
+	if _, err := BuildSealedFile(path, cfg); err != nil {
+		t.Fatal(err)
+	}
+	want := readArtifact(t, path)
+
+	// Build again into the same (now recreated) build dir, killing
+	// after the first shard; then resume with a counting classifier.
+	path2 := filepath.Join(t.TempDir(), "landscape.lclseal")
+	kcfg := cfg
+	ctx, cancel := context.WithCancel(context.Background())
+	kcfg.Ctx = ctx
+	kcfg.ShardDone = func(ev SealShardEvent) { cancel() }
+	if _, err := BuildSealedFile(path2, kcfg); err == nil {
+		t.Fatal("killed build reported success")
+	}
+	cancel()
+
+	var calls atomic.Int64
+	orig := sealClassifyCycles
+	sealClassifyCycles = func(p *lcl.Problem) (*classify.Result, error) {
+		calls.Add(1)
+		return orig(p)
+	}
+	defer func() { sealClassifyCycles = orig }()
+
+	rcfg := cfg
+	rcfg.Resume = true
+	res, err := BuildSealedFile(path2, rcfg)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if res.SkippedShards == 0 {
+		t.Error("resume re-ran every shard; expected recovered runs")
+	}
+	full := 0
+	for _, sec := range res.Sections {
+		full += sec.Entries
+	}
+	if int(calls.Load()) >= full {
+		t.Errorf("resume classified %d problems of %d total; completed shards were not skipped", calls.Load(), full)
+	}
+	if got := readArtifact(t, path2); string(got) != string(want) {
+		t.Fatal("resumed artifact differs from uninterrupted build")
+	}
+}
+
+func TestBuildSealedFileResumeRejectsConfigChange(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "landscape.lclseal")
+	cfg := SealConfig{CycleKs: []int{2}, CreatedUnix: testSealCreated, Workers: 1}
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg.Ctx = ctx
+	cfg.ShardDone = func(SealShardEvent) { cancel() }
+	if _, err := BuildSealedFile(path, cfg); err == nil {
+		t.Fatal("killed build reported success")
+	}
+	cancel()
+
+	other := SealConfig{CycleKs: []int{1, 2}, Resume: true}
+	if _, err := BuildSealedFile(path, other); err == nil || !strings.Contains(err.Error(), "different seal configuration") {
+		t.Fatalf("err = %v, want plan-mismatch rejection", err)
+	}
+}
+
+// TestBuildSealedFileResumePreservesCreatedStamp: the resumed build
+// must keep the original header timestamp even if the caller passes a
+// different one, or byte-identity would silently break.
+func TestBuildSealedFileResumePreservesCreatedStamp(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "landscape.lclseal")
+	cfg := SealConfig{CycleKs: []int{2}, CreatedUnix: testSealCreated, Workers: 1}
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg.Ctx = ctx
+	cfg.ShardDone = func(SealShardEvent) { cancel() }
+	if _, err := BuildSealedFile(path, cfg); err == nil {
+		t.Fatal("killed build reported success")
+	}
+	cancel()
+
+	rcfg := SealConfig{CycleKs: []int{2}, CreatedUnix: 42, Resume: true, Workers: 1}
+	res, err := BuildSealedFile(path, rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CreatedUnix != testSealCreated {
+		t.Fatalf("resumed build stamped %d, want the manifest's %d", res.CreatedUnix, testSealCreated)
+	}
+	tbl, err := store.LoadSealed(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.CreatedUnix() != testSealCreated {
+		t.Fatalf("artifact header stamped %d, want %d", tbl.CreatedUnix(), testSealCreated)
+	}
+}

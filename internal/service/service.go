@@ -840,6 +840,9 @@ type SealedInfo struct {
 	Sections []store.SealedSectionInfo `json:"sections"`
 	// Bytes is the artifact size the table was loaded from.
 	Bytes int `json:"bytes"`
+	// Mapped reports zero-copy serving: the table reads a memory-mapped
+	// artifact rather than a heap copy (store.OpenSealedMapped).
+	Mapped bool `json:"mapped"`
 	// AgeSeconds is the time since the artifact was built (negative-free).
 	AgeSeconds float64 `json:"age_seconds"`
 	// Hits and Misses count sealed-tier lookups over exact-fingerprint
@@ -893,6 +896,7 @@ func (e *Engine) Stats() Stats {
 			Entries:  e.sealed.Len(),
 			Sections: e.sealed.Sections(),
 			Bytes:    e.sealed.SizeBytes(),
+			Mapped:   e.sealed.Mapped(),
 			Hits:     e.sealedHits.Load(),
 			Misses:   e.sealedMisses.Load(),
 		}

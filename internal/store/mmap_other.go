@@ -1,0 +1,16 @@
+//go:build !unix
+
+package store
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapFile is unavailable here; OpenSealedMapped falls back to
+// LoadSealed.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return nil, errors.ErrUnsupported
+}
+
+func munmapFile(raw []byte) error { return nil }

@@ -1,0 +1,19 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only. MAP_SHARED keeps the pages
+// backed by (and shared through) the page cache — multiple lclserver
+// processes serving one artifact map the same physical pages.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmapFile(raw []byte) error {
+	return syscall.Munmap(raw)
+}

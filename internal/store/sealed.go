@@ -42,6 +42,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"unsafe"
 
 	"repro/internal/classify"
 	"repro/internal/decide"
@@ -132,6 +133,10 @@ type SealedTable struct {
 	values []any
 	slots  []int32
 	mask   uint64
+	// mapped holds the mmap'd artifact for tables opened by
+	// OpenSealedMapped (nil otherwise); value strings alias it, so it
+	// lives until Close.
+	mapped []byte
 }
 
 // Get returns the sealed verdict stored under key (a memo.Key), if any.
@@ -270,10 +275,20 @@ func LoadSealed(path string) (*SealedTable, error) {
 	return OpenSealed(raw)
 }
 
-// OpenSealed is LoadSealed over bytes already in memory (an mmap'd
-// region, a test fixture). The table copies what it keeps, so raw may
-// be released afterwards.
+// OpenSealed is LoadSealed over bytes already in memory (a test
+// fixture, a downloaded blob). The table copies what it keeps, so raw
+// may be released afterwards. OpenSealedMapped is the zero-copy
+// variant over a memory-mapped artifact.
 func OpenSealed(raw []byte) (*SealedTable, error) {
+	return openSealed(raw, false)
+}
+
+// openSealed decodes and indexes a sealed artifact. With zeroCopy set,
+// decoded strings (witnesses, reasons, section labels) alias raw
+// instead of being copied — raw must then outlive the table (the
+// mmap-backed loader guarantees this by keeping the mapping until
+// Close).
+func openSealed(raw []byte, zeroCopy bool) (*SealedTable, error) {
 	if len(raw) < sealedHeaderSize {
 		return nil, fmt.Errorf("%w: %d bytes is shorter than the %d-byte header", ErrSealedCorrupt, len(raw), sealedHeaderSize)
 	}
@@ -301,9 +316,16 @@ func OpenSealed(raw []byte) (*SealedTable, error) {
 
 	t := &SealedTable{createdUnix: created, sizeBytes: len(raw)}
 	for si := uint32(0); si < sections; si++ {
-		rest, err := t.readSection(payload)
+		// The absolute file offset where this section starts — carried
+		// into corruption errors so operators can find the damage with a
+		// hex dump instead of re-deriving section extents by hand.
+		secOff := len(raw) - len(payload)
+		name, rest, err := t.readSection(payload, zeroCopy)
 		if err != nil {
-			return nil, fmt.Errorf("%w: section %d: %v", ErrSealedCorrupt, si, err)
+			if name == "" {
+				name = "?"
+			}
+			return nil, fmt.Errorf("%w: section %d (%q) at byte offset %d: %v", ErrSealedCorrupt, si, name, secOff, err)
 		}
 		payload = rest
 	}
@@ -381,65 +403,67 @@ func appendSealedSection(buf []byte, sec *SealedSection, sorted []SealedEntry) (
 
 // readSection decodes one section off the front of payload, appending
 // its entries (keys pre-computed via memo.Key, values materialized) to
-// the table, and returns the remaining payload.
-func (t *SealedTable) readSection(payload []byte) ([]byte, error) {
-	name, payload, err := readSealedString(payload)
+// the table, and returns the remaining payload. The section name is
+// returned even on failure (best-effort) so load errors can identify
+// which section was damaged. With zeroCopy set, the fingerprint and
+// word arrays are decoded straight out of payload and value strings
+// alias it.
+func (t *SealedTable) readSection(payload []byte, zeroCopy bool) (string, []byte, error) {
+	name, payload, err := takeSealedString(payload, zeroCopy)
 	if err != nil {
-		return nil, fmt.Errorf("name: %w", err)
+		return "", nil, fmt.Errorf("name: %w", err)
 	}
-	domain, payload, err := readSealedString(payload)
+	domain, payload, err := takeSealedString(payload, zeroCopy)
 	if err != nil {
-		return nil, fmt.Errorf("domain: %w", err)
+		return name, nil, fmt.Errorf("domain: %w", err)
 	}
-	kind, payload, err := readSealedString(payload)
+	kind, payload, err := takeSealedString(payload, zeroCopy)
 	if err != nil {
-		return nil, fmt.Errorf("kind: %w", err)
+		return name, nil, fmt.Errorf("kind: %w", err)
 	}
 	switch kind {
 	case KindCycles, KindPaths, KindRooted, KindGrid:
 	default:
-		return nil, fmt.Errorf("unknown kind %q", kind)
+		return name, nil, fmt.Errorf("unknown kind %q", kind)
 	}
 	if len(payload) < 4 {
-		return nil, fmt.Errorf("truncated entry count")
+		return name, nil, fmt.Errorf("truncated entry count")
 	}
 	count := int(binary.BigEndian.Uint32(payload))
 	payload = payload[4:]
 	if uint64(len(payload)) < uint64(count)*16 {
-		return nil, fmt.Errorf("%d entries declared, %d bytes remain", count, len(payload))
+		return name, nil, fmt.Errorf("%d entries declared, %d bytes remain", count, len(payload))
 	}
-	fps := make([]uint64, count)
-	for i := range fps {
-		fps[i] = binary.BigEndian.Uint64(payload[8*i:])
-		if i > 0 && fps[i] <= fps[i-1] {
-			return nil, fmt.Errorf("fingerprints not strictly increasing at entry %d", i)
-		}
-	}
+	fpBytes := payload[:8*count]
 	payload = payload[8*count:]
-	words := make([]uint64, count)
-	for i := range words {
-		words[i] = binary.BigEndian.Uint64(payload[8*i:])
-	}
+	wordBytes := payload[:8*count]
 	payload = payload[8*count:]
 	if len(payload) < 4 {
-		return nil, fmt.Errorf("truncated aux pool length")
+		return name, nil, fmt.Errorf("truncated aux pool length")
 	}
 	auxLen := int(binary.BigEndian.Uint32(payload))
 	payload = payload[4:]
 	if len(payload) < auxLen {
-		return nil, fmt.Errorf("aux pool declares %d bytes, %d remain", auxLen, len(payload))
+		return name, nil, fmt.Errorf("aux pool declares %d bytes, %d remain", auxLen, len(payload))
 	}
 	aux := payload[:auxLen]
-	for i := range words {
-		v, err := unpackSealedValue(kind, words[i], aux)
-		if err != nil {
-			return nil, fmt.Errorf("entry %d (fingerprint %016x): %w", i, fps[i], err)
+	var prev uint64
+	for i := 0; i < count; i++ {
+		fp := binary.BigEndian.Uint64(fpBytes[8*i:])
+		if i > 0 && fp <= prev {
+			return name, nil, fmt.Errorf("fingerprints not strictly increasing at entry %d", i)
 		}
-		t.keys = append(t.keys, memo.Key(domain, fps[i]))
+		prev = fp
+		word := binary.BigEndian.Uint64(wordBytes[8*i:])
+		v, err := unpackSealedValue(kind, word, aux, zeroCopy)
+		if err != nil {
+			return name, nil, fmt.Errorf("entry %d (fingerprint %016x): %w", i, fp, err)
+		}
+		t.keys = append(t.keys, memo.Key(domain, fp))
 		t.values = append(t.values, v)
 	}
 	t.sections = append(t.sections, SealedSectionInfo{Name: name, Domain: domain, Kind: kind, Entries: count})
-	return payload[auxLen:], nil
+	return name, payload[auxLen:], nil
 }
 
 // ---------------------------------------------------------------------
@@ -581,7 +605,7 @@ func packSealedValue(kind string, value any, aux []byte) (uint64, []byte, error)
 	return 0, nil, fmt.Errorf("kind %q is not sealable", kind)
 }
 
-func unpackSealedValue(kind string, word uint64, aux []byte) (any, error) {
+func unpackSealedValue(kind string, word uint64, aux []byte, zeroCopy bool) (any, error) {
 	auxOff := int(word >> 32)
 	if auxOff > len(aux) {
 		return nil, fmt.Errorf("aux offset %d past pool of %d bytes", auxOff, len(aux))
@@ -596,7 +620,7 @@ func unpackSealedValue(kind string, word uint64, aux []byte) (any, error) {
 		v := &classify.Result{Class: class, Period: int(word >> 8 & 0xffff)}
 		if word&(1<<24) != 0 {
 			var err error
-			v.Witness, _, err = readSealedString(rest)
+			v.Witness, _, err = takeSealedString(rest, zeroCopy)
 			if err != nil {
 				return nil, fmt.Errorf("witness: %w", err)
 			}
@@ -626,7 +650,7 @@ func unpackSealedValue(kind string, word uint64, aux []byte) (any, error) {
 		return v, nil
 
 	case KindRooted:
-		spelled, _, err := readSealedString(rest)
+		spelled, _, err := readSealedString(rest) // parsed, not retained
 		if err != nil {
 			return nil, fmt.Errorf("class: %w", err)
 		}
@@ -656,11 +680,11 @@ func unpackSealedValue(kind string, word uint64, aux []byte) (any, error) {
 			Dims:  int(word >> 8 & 0xff),
 			Exact: word&1 != 0,
 		}
-		if v.Reason, rest, err = readSealedString(rest); err != nil {
+		if v.Reason, rest, err = takeSealedString(rest, zeroCopy); err != nil {
 			return nil, fmt.Errorf("reason: %w", err)
 		}
 		if word&2 != 0 {
-			if v.Line, rest, err = readSealedLine(rest); err != nil {
+			if v.Line, rest, err = readSealedLine(rest, zeroCopy); err != nil {
 				return nil, fmt.Errorf("line: %w", err)
 			}
 		}
@@ -677,7 +701,7 @@ func unpackSealedValue(kind string, word uint64, aux []byte) (any, error) {
 				return nil, fmt.Errorf("axis %d index: %w", i, err)
 			}
 			var line *grid.LineResult
-			if line, rest, err = readSealedLine(rest); err != nil {
+			if line, rest, err = readSealedLine(rest, zeroCopy); err != nil {
 				return nil, fmt.Errorf("axis %d: %w", i, err)
 			}
 			v.Axes = append(v.Axes, grid.AxisResult{Axis: int(axis), LineResult: *line})
@@ -699,10 +723,10 @@ func appendSealedLine(aux []byte, l *grid.LineResult) ([]byte, error) {
 	return appendSealedString(aux, l.Witness)
 }
 
-func readSealedLine(b []byte) (*grid.LineResult, []byte, error) {
+func readSealedLine(b []byte, zeroCopy bool) (*grid.LineResult, []byte, error) {
 	l := &grid.LineResult{}
 	var err error
-	if l.Class, b, err = readSealedString(b); err != nil {
+	if l.Class, b, err = takeSealedString(b, zeroCopy); err != nil {
 		return nil, nil, err
 	}
 	var period uint64
@@ -710,7 +734,7 @@ func readSealedLine(b []byte) (*grid.LineResult, []byte, error) {
 		return nil, nil, err
 	}
 	l.Period = int(period)
-	if l.Witness, b, err = readSealedString(b); err != nil {
+	if l.Witness, b, err = takeSealedString(b, zeroCopy); err != nil {
 		return nil, nil, err
 	}
 	return l, b, nil
@@ -722,6 +746,26 @@ func appendSealedString(b []byte, s string) ([]byte, error) {
 	}
 	b = binary.BigEndian.AppendUint16(b, uint16(len(s)))
 	return append(b, s...), nil
+}
+
+// takeSealedString is readSealedString with an optional zero-copy mode:
+// the returned string aliases b's backing array instead of copying it.
+// Only the mmap-backed loader sets zeroCopy — the mapping is PROT_READ
+// and outlives the table, so the aliased strings are immutable and
+// stay valid until SealedTable.Close.
+func takeSealedString(b []byte, zeroCopy bool) (string, []byte, error) {
+	if len(b) < 2 {
+		return "", nil, fmt.Errorf("truncated string length")
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	if len(b) < n {
+		return "", nil, fmt.Errorf("string declares %d bytes, %d remain", n, len(b))
+	}
+	if zeroCopy && n > 0 {
+		return unsafe.String(&b[0], n), b[n:], nil
+	}
+	return string(b[:n]), b[n:], nil
 }
 
 func readSealedString(b []byte) (string, []byte, error) {

@@ -1,0 +1,94 @@
+// Zero-copy serving of sealed artifacts via mmap.
+//
+// LoadSealed pulls the whole artifact through os.ReadFile: the file
+// lands in one heap allocation, every decoded string is copied off it,
+// and the kernel page cache holds a second copy. At k <= 3 (a ~500 KiB
+// artifact) nobody notices; at the k=4 frontier the artifact is large
+// enough that doubling it on the heap — and paying a full-file read
+// before the first lookup — matters.
+//
+// OpenSealedMapped maps the file read-only instead. Validation is
+// exactly as paranoid as OpenSealed (magic, version, bounds, and a full
+// checksum pass — which also faults every page in sequentially, the
+// cheapest possible prefetch), and decoding runs against the mapped
+// region with zero-copy strings: witnesses, reasons, and section labels
+// alias the map rather than the heap. The probe index (keys/slots) and
+// the fixed-size verdict structs are still materialized at open — Get
+// stays the same lock-free, allocation-free one-hash-one-probe — but
+// the artifact bytes themselves are never duplicated, and the pages
+// stay evictable and shared across processes serving the same file.
+
+package store
+
+import (
+	"fmt"
+	"os"
+)
+
+// mmapSealed is the platform mapper (mmap_unix.go / mmap_other.go), a
+// seam so the ReadFile fallback is testable everywhere.
+var mmapSealed = mmapFile
+
+// OpenSealedMapped loads a sealed table by memory-mapping path,
+// serving the artifact's variable-length data in place. On platforms
+// without mmap support — or if the mapping itself fails — it falls
+// back to LoadSealed, so callers get a working table either way;
+// Mapped reports which mode won. Validation failures are reported
+// exactly as LoadSealed reports them (ErrSealedCorrupt /
+// ErrSealedVersion).
+//
+// A mapped table's values alias the mapping: call Close only once no
+// Get results are referenced anymore (lclserver holds its table for
+// the process lifetime and never does).
+func OpenSealedMapped(path string) (*SealedTable, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size < int64(sealedHeaderSize) {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than the %d-byte header", ErrSealedCorrupt, size, sealedHeaderSize)
+	}
+	if size > int64(int(^uint(0)>>1)) {
+		return nil, fmt.Errorf("%w: %d bytes exceeds the address space", ErrSealedCorrupt, size)
+	}
+	raw, err := mmapSealed(f, int(size))
+	if err != nil {
+		// No mmap on this platform (or the map failed): portable
+		// ReadFile fallback.
+		return LoadSealed(path)
+	}
+	t, err := openSealed(raw, true)
+	if err != nil {
+		munmapFile(raw)
+		return nil, err
+	}
+	t.mapped = raw
+	return t, nil
+}
+
+// Mapped reports whether the table serves a memory-mapped artifact
+// (true only for OpenSealedMapped loads that actually mapped).
+func (t *SealedTable) Mapped() bool {
+	return t != nil && t.mapped != nil
+}
+
+// Close releases the table's memory mapping, if any. After Close, the
+// table and any values previously returned by Get must not be used.
+// Closing a nil or unmapped table is a no-op.
+func (t *SealedTable) Close() error {
+	if t == nil || t.mapped == nil {
+		return nil
+	}
+	raw := t.mapped
+	t.mapped = nil
+	t.slots = nil
+	t.keys = nil
+	t.values = nil
+	return munmapFile(raw)
+}

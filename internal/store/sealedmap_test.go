@@ -1,0 +1,185 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/memo"
+)
+
+func saveTestSealed(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "landscape.lclseal")
+	if _, err := SaveSealed(path, testSealed()); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestOpenSealedMappedServesIdentically: the mmap path must be
+// observationally identical to LoadSealed — same sections, same
+// entries, deep-equal values for every key.
+func TestOpenSealedMappedServesIdentically(t *testing.T) {
+	path := saveTestSealed(t)
+	ref, err := LoadSealed(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := OpenSealedMapped(path)
+	if err != nil {
+		t.Fatalf("OpenSealedMapped: %v", err)
+	}
+	defer tbl.Close()
+	if ref.Mapped() {
+		t.Error("LoadSealed table reports Mapped")
+	}
+	if tbl.Len() != ref.Len() || tbl.CreatedUnix() != ref.CreatedUnix() || tbl.SizeBytes() != ref.SizeBytes() {
+		t.Errorf("mapped table shape (%d, %d, %d) != loaded (%d, %d, %d)",
+			tbl.Len(), tbl.CreatedUnix(), tbl.SizeBytes(), ref.Len(), ref.CreatedUnix(), ref.SizeBytes())
+	}
+	if !reflect.DeepEqual(tbl.Sections(), ref.Sections()) {
+		t.Errorf("sections differ:\n mapped: %+v\n loaded: %+v", tbl.Sections(), ref.Sections())
+	}
+	for _, sec := range testSealed().Sections {
+		for _, e := range sec.Entries {
+			key := memo.Key(sec.Domain, e.Fingerprint)
+			a, ok := tbl.Get(key)
+			if !ok {
+				t.Fatalf("mapped table misses %s/%#x", sec.Domain, e.Fingerprint)
+			}
+			b, _ := ref.Get(key)
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("%s/%#x:\n mapped: %#v\n loaded: %#v", sec.Domain, e.Fingerprint, a, b)
+			}
+		}
+	}
+	if _, ok := tbl.Get(memo.Key("classify/cycles", 0xdead)); ok {
+		t.Error("mapped table hit an unsealed key")
+	}
+}
+
+func TestOpenSealedMappedClose(t *testing.T) {
+	path := saveTestSealed(t)
+	tbl, err := OpenSealedMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wasMapped := tbl.Mapped()
+	if err := tbl.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if tbl.Mapped() {
+		t.Error("table still reports Mapped after Close")
+	}
+	if _, ok := tbl.Get(memo.Key("classify/cycles", 0x1111)); ok {
+		t.Error("Get hit after Close; a closed table must miss, not fault")
+	}
+	if err := tbl.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+	var nilTbl *SealedTable
+	if err := nilTbl.Close(); err != nil {
+		t.Errorf("nil Close: %v", err)
+	}
+	_ = wasMapped
+}
+
+func TestOpenSealedMappedTruncated(t *testing.T) {
+	path := saveTestSealed(t)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{0, 4, sealedHeaderSize - 1, sealedHeaderSize + 3, len(raw) - 1} {
+		p := filepath.Join(t.TempDir(), "trunc.lclseal")
+		if err := os.WriteFile(p, raw[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := OpenSealedMapped(p); !errors.Is(err, ErrSealedCorrupt) {
+			t.Errorf("truncated to %d bytes: err = %v, want ErrSealedCorrupt", n, err)
+		}
+	}
+}
+
+func TestOpenSealedMappedGarbageTail(t *testing.T) {
+	path := saveTestSealed(t)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(t.TempDir(), "tail.lclseal")
+	if err := os.WriteFile(p, append(raw, 0xde, 0xad, 0xbe, 0xef), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenSealedMapped(p); !errors.Is(err, ErrSealedCorrupt) {
+		t.Errorf("garbage tail: err = %v, want ErrSealedCorrupt", err)
+	}
+	// A flipped payload byte fails the checksum before any probe.
+	raw[len(raw)-1] ^= 0x01
+	if err := os.WriteFile(p, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenSealedMapped(p); !errors.Is(err, ErrSealedCorrupt) {
+		t.Errorf("flipped byte: err = %v, want ErrSealedCorrupt", err)
+	}
+}
+
+func TestOpenSealedMappedMissingFile(t *testing.T) {
+	if _, err := OpenSealedMapped(filepath.Join(t.TempDir(), "absent.lclseal")); !os.IsNotExist(err) {
+		t.Fatalf("err = %v, want fs not-exist", err)
+	}
+}
+
+// TestOpenSealedMappedReadFileFallback forces the platform mapper to
+// fail and checks the portable path: a fully working, unmapped table.
+func TestOpenSealedMappedReadFileFallback(t *testing.T) {
+	orig := mmapSealed
+	mmapSealed = func(f *os.File, size int) ([]byte, error) {
+		return nil, errors.ErrUnsupported
+	}
+	defer func() { mmapSealed = orig }()
+
+	path := saveTestSealed(t)
+	tbl, err := OpenSealedMapped(path)
+	if err != nil {
+		t.Fatalf("OpenSealedMapped with mmap disabled: %v", err)
+	}
+	if tbl.Mapped() {
+		t.Error("fallback table reports Mapped")
+	}
+	if tbl.Len() != 8 {
+		t.Errorf("Len = %d, want 8", tbl.Len())
+	}
+	if _, ok := tbl.Get(memo.Key("classify/cycles", 0x1111)); !ok {
+		t.Error("fallback table misses a sealed key")
+	}
+}
+
+// BenchmarkSealedMappedGet pins the mmap-backed hot path at 0
+// allocs/op, mirroring the service-level BenchmarkSealedLookup gate.
+func BenchmarkSealedMappedGet(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "landscape.lclseal")
+	if _, err := SaveSealed(path, testSealed()); err != nil {
+		b.Fatal(err)
+	}
+	tbl, err := OpenSealedMapped(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer tbl.Close()
+	var keys []uint64
+	for _, sec := range testSealed().Sections {
+		for _, e := range sec.Entries {
+			keys = append(keys, memo.Key(sec.Domain, e.Fingerprint))
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := tbl.Get(keys[i%len(keys)]); !ok {
+			b.Fatal("miss on a sealed key")
+		}
+	}
+}

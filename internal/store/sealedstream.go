@@ -1,0 +1,450 @@
+// Streaming construction of sealed landscape tables.
+//
+// EncodeSealed assembles the whole artifact in memory, which is fine at
+// k <= 3 (~3k cycle representatives) and collapses at the k=4 frontier,
+// where one section alone holds tens of thousands of representatives
+// and the mask space behind them runs to millions of pairs. The
+// streaming path splits the build into two disk-backed stages:
+//
+//  1. Each build shard writes its classified entries to a sorted run
+//     file ("lclrun1": fingerprint-sorted entries with per-entry aux
+//     bytes, checksummed, written atomically).
+//  2. WriteSealedStream k-way merges each section's runs straight into
+//     the final "lclseal1" file. Fingerprints, verdict words, and the
+//     aux pool are produced by three merge passes over the runs, so
+//     peak memory is bounded by the merge frontier (one buffered reader
+//     per run), never by the table size.
+//
+// The output is byte-identical to EncodeSealed over the same entries:
+// the header/checksum contract, section layout, and canonical
+// fingerprint ordering are all unchanged, so the format version stays
+// at 1 and every existing loader reads streamed artifacts unmodified.
+// Run files and the build manifest are build-side intermediates, not
+// part of the sealed format (spec'd separately in docs/FORMATS.md).
+
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+const (
+	sealedRunMagic = "lclrun1\x00"
+	// sealedRunHeaderSize is the magic plus the u32 entry count.
+	sealedRunHeaderSize = len(sealedRunMagic) + 4
+)
+
+// ErrRunCorrupt reports a damaged shard run file. Builders treat it
+// like a missing run: the shard is simply rebuilt on resume.
+var ErrRunCorrupt = errors.New("store: sealed run corrupt")
+
+// WriteSealedRun writes one build shard's classified entries as a
+// sorted run file at path (atomically: temp sibling + fsync + rename).
+//
+// Run format (big-endian):
+//
+//	offset  size  field
+//	0       8     magic "lclrun1\x00"
+//	8       4     entry count
+//	12      n     entries: u64 fingerprint, u64 verdict word (aux
+//	              offset bits zero), u32 aux length, aux bytes
+//	12+n    8     FNV-1a 64 checksum of the entry bytes
+//
+// Entries are sorted by fingerprint here, so the merge in
+// WriteSealedStream only ever compares run heads. Duplicate
+// fingerprints within the shard are rejected (a fingerprint collision
+// between distinct representatives must fail the build, not silently
+// drop a verdict).
+func WriteSealedRun(path, kind string, entries []SealedEntry) error {
+	sorted := append([]SealedEntry(nil), entries...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Fingerprint < sorted[j].Fingerprint })
+	body := make([]byte, 0, 24*len(sorted))
+	for i, e := range sorted {
+		if i > 0 && e.Fingerprint == sorted[i-1].Fingerprint {
+			return fmt.Errorf("store: write sealed run: duplicate fingerprint %016x in shard", e.Fingerprint)
+		}
+		// Pack against an empty aux pool: the word's offset bits stay
+		// zero and the aux bytes are private to this entry. The merge
+		// re-bases offsets into the section pool.
+		word, aux, err := packSealedValue(kind, e.Value, nil)
+		if err != nil {
+			return fmt.Errorf("store: write sealed run: fingerprint %016x: %w", e.Fingerprint, err)
+		}
+		if len(aux) > int(^uint32(0)) {
+			return fmt.Errorf("store: write sealed run: fingerprint %016x: %d aux bytes overflow the entry", e.Fingerprint, len(aux))
+		}
+		body = binary.BigEndian.AppendUint64(body, e.Fingerprint)
+		body = binary.BigEndian.AppendUint64(body, word)
+		body = binary.BigEndian.AppendUint32(body, uint32(len(aux)))
+		body = append(body, aux...)
+	}
+	buf := make([]byte, 0, sealedRunHeaderSize+len(body)+8)
+	buf = append(buf, sealedRunMagic...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(sorted)))
+	buf = append(buf, body...)
+	h := fnv.New64a()
+	h.Write(body)
+	buf = binary.BigEndian.AppendUint64(buf, h.Sum64())
+	if err := writeFileAtomic(path, buf); err != nil {
+		return fmt.Errorf("store: write sealed run: %w", err)
+	}
+	return nil
+}
+
+// ValidateSealedRun checks that path holds a complete, uncorrupted run
+// file and returns its entry count. Resume uses it to decide whether a
+// shard's work survived the previous build.
+func ValidateSealedRun(path string) (int, error) {
+	r, err := openSealedRun(path)
+	if err != nil {
+		return 0, err
+	}
+	defer r.Close()
+	for {
+		ok, err := r.next()
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			return r.count, nil
+		}
+	}
+}
+
+// sealedRunReader streams one run file's entries in fingerprint order,
+// verifying the trailing checksum as a side effect of reaching the end.
+type sealedRunReader struct {
+	path  string
+	f     *os.File
+	br    *bufio.Reader
+	h     hash.Hash64
+	count int
+	read  int
+	// current entry, valid after next() returns true
+	fp   uint64
+	word uint64
+	aux  []byte
+}
+
+func openSealedRun(path string) (*sealedRunReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	br := bufio.NewReaderSize(f, 64<<10)
+	head := make([]byte, sealedRunHeaderSize)
+	if _, err := io.ReadFull(br, head); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%w: %s: truncated header", ErrRunCorrupt, path)
+	}
+	if string(head[:len(sealedRunMagic)]) != sealedRunMagic {
+		f.Close()
+		return nil, fmt.Errorf("%w: %s: bad magic", ErrRunCorrupt, path)
+	}
+	count := int(binary.BigEndian.Uint32(head[len(sealedRunMagic):]))
+	return &sealedRunReader{path: path, f: f, br: br, h: fnv.New64a(), count: count}, nil
+}
+
+// next advances to the following entry. It returns false with a nil
+// error at a clean end of run — after verifying the checksum — and an
+// ErrRunCorrupt error on any structural damage.
+func (r *sealedRunReader) next() (bool, error) {
+	if r.read == r.count {
+		var sum [8]byte
+		if _, err := io.ReadFull(r.br, sum[:]); err != nil {
+			return false, fmt.Errorf("%w: %s: truncated checksum", ErrRunCorrupt, r.path)
+		}
+		if got := r.h.Sum64(); got != binary.BigEndian.Uint64(sum[:]) {
+			return false, fmt.Errorf("%w: %s: checksum mismatch", ErrRunCorrupt, r.path)
+		}
+		if _, err := r.br.ReadByte(); err != io.EOF {
+			return false, fmt.Errorf("%w: %s: trailing bytes after checksum", ErrRunCorrupt, r.path)
+		}
+		return false, nil
+	}
+	var head [20]byte
+	if _, err := io.ReadFull(r.br, head[:]); err != nil {
+		return false, fmt.Errorf("%w: %s: truncated entry %d", ErrRunCorrupt, r.path, r.read)
+	}
+	r.h.Write(head[:])
+	fp := binary.BigEndian.Uint64(head[0:])
+	if r.read > 0 && fp <= r.fp {
+		return false, fmt.Errorf("%w: %s: fingerprints not strictly increasing at entry %d", ErrRunCorrupt, r.path, r.read)
+	}
+	r.fp = fp
+	r.word = binary.BigEndian.Uint64(head[8:])
+	auxLen := int(binary.BigEndian.Uint32(head[16:]))
+	if cap(r.aux) < auxLen {
+		r.aux = make([]byte, auxLen)
+	}
+	r.aux = r.aux[:auxLen]
+	if _, err := io.ReadFull(r.br, r.aux); err != nil {
+		return false, fmt.Errorf("%w: %s: truncated aux for entry %d", ErrRunCorrupt, r.path, r.read)
+	}
+	r.h.Write(r.aux)
+	r.read++
+	return true, nil
+}
+
+func (r *sealedRunReader) Close() error { return r.f.Close() }
+
+// mergeSealedRuns k-way merges the named runs in fingerprint order,
+// calling fn once per entry. Equal fingerprints across runs are
+// rejected — shards partition the representative space, so a
+// cross-shard duplicate is either a build bug or a hash collision, and
+// both must fail loudly.
+func mergeSealedRuns(paths []string, fn func(fp, word uint64, aux []byte) error) error {
+	readers := make([]*sealedRunReader, 0, len(paths))
+	defer func() {
+		for _, r := range readers {
+			r.Close()
+		}
+	}()
+	live := make([]*sealedRunReader, 0, len(paths))
+	for _, p := range paths {
+		r, err := openSealedRun(p)
+		if err != nil {
+			return err
+		}
+		readers = append(readers, r)
+		ok, err := r.next()
+		if err != nil {
+			return err
+		}
+		if ok {
+			live = append(live, r)
+		}
+		// An empty run is fine: next() already verified its checksum
+		// trailer on the way to returning false.
+	}
+	for len(live) > 0 {
+		// The run count is small (tens), so a linear scan for the minimum
+		// head beats heap bookkeeping in both code and cycles.
+		min := 0
+		for i := 1; i < len(live); i++ {
+			if live[i].fp < live[min].fp {
+				min = i
+			} else if live[i].fp == live[min].fp {
+				return fmt.Errorf("%w: duplicate fingerprint %016x across runs %s and %s",
+					ErrRunCorrupt, live[i].fp, live[min].path, live[i].path)
+			}
+		}
+		r := live[min]
+		if err := fn(r.fp, r.word, r.aux); err != nil {
+			return err
+		}
+		ok, err := r.next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			live[min] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+	}
+	return nil
+}
+
+// SealedRunSection names one output section and the sorted run files
+// holding its entries, in any order.
+type SealedRunSection struct {
+	Name   string
+	Domain string
+	Kind   string
+	Runs   []string
+}
+
+// countingWriter tracks payload length for the header patch.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// WriteSealedStream merges per-shard run files into a complete sealed
+// artifact at path, returning the file size in bytes. The payload is
+// streamed through the FNV-1a checksum to a temp sibling, the header's
+// length and checksum fields are patched in place, and the file is
+// fsynced and renamed — the same atomicity and byte layout as
+// SaveSealed, without ever holding a section in memory.
+//
+// Each section's fingerprint array, word array, and aux pool are
+// produced by three independent merge passes over its runs; pass 0
+// additionally sizes the section and enforces the cross-section
+// duplicate-fingerprint rule for sections sharing a memo domain (only
+// those domains keep a fingerprint set, so memory stays bounded by the
+// small shared-domain spaces, not the big single-domain ones).
+func WriteSealedStream(path string, createdUnix int64, sections []SealedRunSection) (int64, error) {
+	if len(sections) > int(^uint32(0)) {
+		return 0, fmt.Errorf("store: write sealed stream: %d sections overflow the header", len(sections))
+	}
+	domainSections := map[string]int{}
+	for i := range sections {
+		domainSections[sections[i].Domain]++
+	}
+	sharedDomain := map[string]map[uint64]bool{}
+	for d, n := range domainSections {
+		if n > 1 {
+			sharedDomain[d] = map[uint64]bool{}
+		}
+	}
+
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return 0, fmt.Errorf("store: write sealed stream: %w", err)
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+
+	// Header with zeroed length/checksum; patched after the payload.
+	head := make([]byte, 0, sealedHeaderSize)
+	head = append(head, sealedMagic...)
+	head = binary.BigEndian.AppendUint32(head, SealedVersion)
+	head = binary.BigEndian.AppendUint64(head, uint64(createdUnix))
+	head = binary.BigEndian.AppendUint32(head, uint32(len(sections)))
+	head = append(head, make([]byte, 16)...)
+	if _, err := tmp.Write(head); err != nil {
+		return 0, fmt.Errorf("store: write sealed stream: %w", err)
+	}
+
+	bw := bufio.NewWriterSize(tmp, 256<<10)
+	h := fnv.New64a()
+	cw := &countingWriter{w: io.MultiWriter(bw, h)}
+	var scratch [8]byte
+	writeU32 := func(v uint32) error {
+		binary.BigEndian.PutUint32(scratch[:4], v)
+		_, err := cw.Write(scratch[:4])
+		return err
+	}
+	writeU64 := func(v uint64) error {
+		binary.BigEndian.PutUint64(scratch[:], v)
+		_, err := cw.Write(scratch[:])
+		return err
+	}
+
+	for si := range sections {
+		sec := &sections[si]
+		switch sec.Kind {
+		case KindCycles, KindPaths, KindRooted, KindGrid:
+		default:
+			return 0, fmt.Errorf("store: write sealed stream: section %q: kind %q is not sealable", sec.Name, sec.Kind)
+		}
+
+		// Pass 0: size the section and check cross-run/domain duplicates.
+		var count, auxTotal uint64
+		shared := sharedDomain[sec.Domain]
+		err := mergeSealedRuns(sec.Runs, func(fp, word uint64, aux []byte) error {
+			if shared != nil {
+				if shared[fp] {
+					return fmt.Errorf("store: write sealed stream: section %q: duplicate fingerprint %016x in domain %q",
+						sec.Name, fp, sec.Domain)
+				}
+				shared[fp] = true
+			}
+			count++
+			auxTotal += uint64(len(aux))
+			return nil
+		})
+		if err != nil {
+			return 0, fmt.Errorf("store: write sealed stream: section %q: %w", sec.Name, err)
+		}
+		if count > uint64(^uint32(0)) {
+			return 0, fmt.Errorf("store: write sealed stream: section %q: %d entries overflow the count field", sec.Name, count)
+		}
+		if auxTotal > uint64(^uint32(0)) {
+			return 0, fmt.Errorf("store: write sealed stream: section %q: aux pool overflows 32-bit offsets", sec.Name)
+		}
+
+		for _, label := range []string{sec.Name, sec.Domain, sec.Kind} {
+			if len(label) > int(^uint16(0)) {
+				return 0, fmt.Errorf("store: write sealed stream: section %q: string of %d bytes overflows the 16-bit length prefix", sec.Name, len(label))
+			}
+			binary.BigEndian.PutUint16(scratch[:2], uint16(len(label)))
+			if _, err := cw.Write(scratch[:2]); err != nil {
+				return 0, err
+			}
+			if _, err := io.WriteString(cw, label); err != nil {
+				return 0, err
+			}
+		}
+		if err := writeU32(uint32(count)); err != nil {
+			return 0, err
+		}
+
+		// Pass 1: fingerprints.
+		if err := mergeSealedRuns(sec.Runs, func(fp, word uint64, aux []byte) error {
+			return writeU64(fp)
+		}); err != nil {
+			return 0, fmt.Errorf("store: write sealed stream: section %q: %w", sec.Name, err)
+		}
+		// Pass 2: verdict words, re-based onto the section aux pool.
+		var auxOff uint64
+		if err := mergeSealedRuns(sec.Runs, func(fp, word uint64, aux []byte) error {
+			if word>>32 != 0 {
+				return fmt.Errorf("entry %016x: run word carries a nonzero aux offset", fp)
+			}
+			w := word | auxOff<<32
+			auxOff += uint64(len(aux))
+			return writeU64(w)
+		}); err != nil {
+			return 0, fmt.Errorf("store: write sealed stream: section %q: %w", sec.Name, err)
+		}
+		// Pass 3: the aux pool itself.
+		if err := writeU32(uint32(auxTotal)); err != nil {
+			return 0, err
+		}
+		if err := mergeSealedRuns(sec.Runs, func(fp, word uint64, aux []byte) error {
+			_, err := cw.Write(aux)
+			return err
+		}); err != nil {
+			return 0, fmt.Errorf("store: write sealed stream: section %q: %w", sec.Name, err)
+		}
+	}
+
+	if err := bw.Flush(); err != nil {
+		return 0, fmt.Errorf("store: write sealed stream: %w", err)
+	}
+	// Patch payload length (offset 24) and checksum (offset 32).
+	var trailer [16]byte
+	binary.BigEndian.PutUint64(trailer[:8], uint64(cw.n))
+	binary.BigEndian.PutUint64(trailer[8:], h.Sum64())
+	if _, err := tmp.WriteAt(trailer[:], int64(len(sealedMagic))+4+8+4); err != nil {
+		return 0, fmt.Errorf("store: write sealed stream: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return 0, fmt.Errorf("store: write sealed stream: %w", err)
+	}
+	name := tmp.Name()
+	if err := tmp.Close(); err != nil {
+		return 0, fmt.Errorf("store: write sealed stream: %w", err)
+	}
+	tmp = nil
+	if err := os.Chmod(name, 0o644); err != nil {
+		os.Remove(name)
+		return 0, fmt.Errorf("store: write sealed stream: %w", err)
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return 0, fmt.Errorf("store: write sealed stream: %w", err)
+	}
+	return int64(sealedHeaderSize) + cw.n, nil
+}

@@ -1,0 +1,203 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTestRuns splits each fixture section's entries into two run
+// files (alternating entries, so both runs interleave in fingerprint
+// order) and returns the stream sections.
+func writeTestRuns(t *testing.T, dir string, s *Sealed) []SealedRunSection {
+	t.Helper()
+	var out []SealedRunSection
+	for si, sec := range s.Sections {
+		var a, b []SealedEntry
+		for i, e := range sec.Entries {
+			if i%2 == 0 {
+				a = append(a, e)
+			} else {
+				b = append(b, e)
+			}
+		}
+		rs := SealedRunSection{Name: sec.Name, Domain: sec.Domain, Kind: sec.Kind}
+		for ri, entries := range [][]SealedEntry{a, b} {
+			path := filepath.Join(dir, shardName(si, ri))
+			if err := WriteSealedRun(path, sec.Kind, entries); err != nil {
+				t.Fatalf("WriteSealedRun(%s): %v", path, err)
+			}
+			rs.Runs = append(rs.Runs, path)
+		}
+		out = append(out, rs)
+	}
+	return out
+}
+
+func shardName(si, ri int) string {
+	return filepath.Join("", "s"+string(rune('0'+si))+"-"+string(rune('0'+ri))+".lclrun")
+}
+
+// TestSealedStreamMatchesEncode is the streaming encoder's core
+// contract: merging per-shard runs to disk produces exactly the bytes
+// EncodeSealed produces in memory — same header, same checksum, same
+// canonical section layout, so the format version stays at 1.
+func TestSealedStreamMatchesEncode(t *testing.T) {
+	s := testSealed()
+	want, err := EncodeSealed(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	sections := writeTestRuns(t, dir, s)
+	out := filepath.Join(dir, "landscape.lclseal")
+	n, err := WriteSealedStream(out, s.CreatedUnix, sections)
+	if err != nil {
+		t.Fatalf("WriteSealedStream: %v", err)
+	}
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(got)) != n {
+		t.Errorf("WriteSealedStream reported %d bytes, file has %d", n, len(got))
+	}
+	if string(got) != string(want) {
+		t.Fatalf("streamed artifact differs from EncodeSealed (%d vs %d bytes)", len(got), len(want))
+	}
+	// And it loads like any other sealed table.
+	tbl, err := LoadSealed(out)
+	if err != nil {
+		t.Fatalf("LoadSealed of streamed artifact: %v", err)
+	}
+	if tbl.Len() != 8 {
+		t.Errorf("Len = %d, want 8", tbl.Len())
+	}
+}
+
+func TestSealedRunRoundTripAndCorruption(t *testing.T) {
+	s := testSealed()
+	sec := s.Sections[0]
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.lclrun")
+	if err := WriteSealedRun(path, sec.Kind, sec.Entries); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := ValidateSealedRun(path); err != nil || n != len(sec.Entries) {
+		t.Fatalf("ValidateSealedRun = (%d, %v), want (%d, nil)", n, err, len(sec.Entries))
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corrupt := func(name string, mutate func([]byte) []byte) {
+		t.Helper()
+		p := filepath.Join(dir, name+".lclrun")
+		if err := os.WriteFile(p, mutate(append([]byte(nil), raw...)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ValidateSealedRun(p); !errors.Is(err, ErrRunCorrupt) {
+			t.Errorf("%s: err = %v, want ErrRunCorrupt", name, err)
+		}
+	}
+	corrupt("truncated-header", func(b []byte) []byte { return b[:4] })
+	corrupt("truncated-body", func(b []byte) []byte { return b[:len(b)-9] })
+	corrupt("bad-magic", func(b []byte) []byte { b[0] ^= 0xff; return b })
+	corrupt("flipped-bit", func(b []byte) []byte { b[len(b)-12] ^= 0x01; return b })
+	corrupt("trailing-garbage", func(b []byte) []byte { return append(b, 0xde, 0xad) })
+}
+
+func TestSealedRunRejectsDuplicateInShard(t *testing.T) {
+	s := testSealed()
+	sec := s.Sections[0]
+	dup := append(append([]SealedEntry(nil), sec.Entries...), sec.Entries[0])
+	err := WriteSealedRun(filepath.Join(t.TempDir(), "dup.lclrun"), sec.Kind, dup)
+	if err == nil || !strings.Contains(err.Error(), "duplicate fingerprint") {
+		t.Fatalf("err = %v, want duplicate-fingerprint rejection", err)
+	}
+}
+
+func TestSealedStreamRejectsCrossRunDuplicates(t *testing.T) {
+	s := testSealed()
+	sec := s.Sections[0]
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.lclrun")
+	b := filepath.Join(dir, "b.lclrun")
+	for _, p := range []string{a, b} {
+		if err := WriteSealedRun(p, sec.Kind, sec.Entries); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := WriteSealedStream(filepath.Join(dir, "out.lclseal"), 1, []SealedRunSection{
+		{Name: sec.Name, Domain: sec.Domain, Kind: sec.Kind, Runs: []string{a, b}},
+	})
+	if err == nil || !strings.Contains(err.Error(), "duplicate fingerprint") {
+		t.Fatalf("err = %v, want cross-run duplicate rejection", err)
+	}
+}
+
+// TestSealedStreamRejectsSharedDomainDuplicates covers the
+// cross-section rule EncodeSealed enforces with its seen map: two
+// sections sealed under one memo domain must not repeat a fingerprint.
+func TestSealedStreamRejectsSharedDomainDuplicates(t *testing.T) {
+	s := testSealed()
+	sec := s.Sections[2] // rooted — the kind that genuinely shares domains
+	dir := t.TempDir()
+	run := filepath.Join(dir, "r.lclrun")
+	if err := WriteSealedRun(run, sec.Kind, sec.Entries); err != nil {
+		t.Fatal(err)
+	}
+	_, err := WriteSealedStream(filepath.Join(dir, "out.lclseal"), 1, []SealedRunSection{
+		{Name: "rooted/d=1/k=1", Domain: sec.Domain, Kind: sec.Kind, Runs: []string{run}},
+		{Name: "rooted/d=2/k=1", Domain: sec.Domain, Kind: sec.Kind, Runs: []string{run}},
+	})
+	if err == nil || !strings.Contains(err.Error(), "duplicate fingerprint") {
+		t.Fatalf("err = %v, want shared-domain duplicate rejection", err)
+	}
+}
+
+// TestSealedCorruptErrorNamesSectionAndOffset pins the load-diagnostic
+// contract: a section that fails to decode is reported with its name
+// and the byte offset where it starts, not just its index.
+func TestSealedCorruptErrorNamesSectionAndOffset(t *testing.T) {
+	buf, err := EncodeSealed(testSealed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Swap the two fingerprints of the second section ("paths/k=2") so
+	// the strictly-increasing check fires, and re-stamp the checksum so
+	// damage is reached by the section decoder rather than the
+	// whole-file checksum.
+	idx := strings.Index(string(buf), "paths/k=2")
+	if idx < 0 {
+		t.Fatal("fixture section name not found in encoding")
+	}
+	// Section layout after the name: domain (2+len), kind (2+len),
+	// count (4), then the fingerprint array.
+	off := idx + len("paths/k=2")
+	off += 2 + len("classify/paths-inputs")
+	off += 2 + len(KindPaths)
+	off += 4
+	for i := 0; i < 8; i++ {
+		buf[off+i], buf[off+8+i] = buf[off+8+i], buf[off+i]
+	}
+	buf = reseal(t, buf)
+
+	_, err = OpenSealed(buf)
+	if !errors.Is(err, ErrSealedCorrupt) {
+		t.Fatalf("err = %v, want ErrSealedCorrupt", err)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"paths/k=2"`) {
+		t.Errorf("error does not name the failing section: %s", msg)
+	}
+	if !strings.Contains(msg, "byte offset") {
+		t.Errorf("error does not report the section byte offset: %s", msg)
+	}
+	if !strings.Contains(msg, "not strictly increasing") {
+		t.Errorf("error lost the underlying cause: %s", msg)
+	}
+}
