@@ -11,8 +11,11 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"path/filepath"
+	"runtime"
 	"testing"
 
 	"repro/internal/classify"
@@ -30,6 +33,7 @@ import (
 	"repro/internal/rooted"
 	"repro/internal/service"
 	"repro/internal/shortcut"
+	"repro/internal/store"
 	"repro/internal/volume"
 )
 
@@ -695,32 +699,141 @@ func BenchmarkCensusMemo(b *testing.B) {
 	}
 }
 
-// E21: batch serving throughput — a mixed batch with duplicates through
-// the worker pool, the serving shape lclserver sees.
+// E21: batch serving throughput through the vectorized pipeline, over
+// the serving shapes that matter: a mixed-decider batch with duplicates
+// (the lclserver shape), a duplicate-heavy batch (intra-batch dedup
+// payoff), a unique-heavy batch (the dedup stage's overhead floor), and
+// a sealed-hit batch (the zero-alloc steady state the CI gate pins via
+// the allocs/item metric).
 func BenchmarkClassifyBatch(b *testing.B) {
-	e := service.New(service.Config{Workers: 8})
-	defer e.Close()
-	var reqs []service.Request
-	for i := 0; i < 4; i++ {
-		reqs = append(reqs,
-			service.Request{Problem: problems.Coloring(3, 2), Mode: "cycles"},
-			service.Request{Problem: problems.Coloring(2, 2), Mode: "cycles"},
-			service.Request{Problem: problems.Coloring(3, 2), Mode: "paths-inputs"},
-			service.Request{Problem: problems.Trivial(2), Mode: "synthesize"},
-		)
+	b.Run("mixed", func(b *testing.B) {
+		e := service.New(service.Config{Workers: 8})
+		defer e.Close()
+		var reqs []service.Request
+		for i := 0; i < 4; i++ {
+			reqs = append(reqs,
+				service.Request{Problem: problems.Coloring(3, 2), Mode: "cycles"},
+				service.Request{Problem: problems.Coloring(2, 2), Mode: "cycles"},
+				service.Request{Problem: problems.Coloring(3, 2), Mode: "paths-inputs"},
+				service.Request{Problem: problems.Trivial(2), Mode: "synthesize"},
+			)
+		}
+		before := e.Stats()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, item := range e.ClassifyBatch(reqs) {
+				if item.Err != nil {
+					b.Fatal(item.Err)
+				}
+			}
+		}
+		st := e.Stats()
+		b.ReportMetric(float64(st.Cache.Hits-before.Cache.Hits)/float64(b.N), "hits/op")
+		b.ReportMetric(float64(st.Coalesced-before.Coalesced)/float64(b.N), "coalesced/op")
+	})
+
+	// Duplicate-heavy vs unique-heavy: the same warm engine and batch
+	// size, differing only in how many distinct problems the batch
+	// contains. Duplicates are pointer-shared (the HTTP handler decodes
+	// byte-identical payloads once), so dedup rides the identity
+	// prefilter and skips canonicalization too.
+	benchBatchShape := func(b *testing.B, distinct, copies int) {
+		e := service.New(service.Config{Workers: 8})
+		defer e.Close()
+		pool := benchMaskProblems(distinct)
+		var reqs []service.Request
+		for c := 0; c < copies; c++ {
+			for _, p := range pool {
+				reqs = append(reqs, service.Request{Problem: p, Mode: "cycles"})
+			}
+		}
+		bt := e.NewBatch()
+		defer bt.Release()
+		ctx := context.Background()
+		bt.Classify(ctx, reqs) // warm: fill cache and arena
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, item := range bt.Classify(ctx, reqs) {
+				if item.Err != nil {
+					b.Fatal(item.Err)
+				}
+			}
+		}
+		b.ReportMetric(float64(len(reqs)*b.N)/b.Elapsed().Seconds(), "items/sec")
 	}
-	before := e.Stats()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		for _, item := range e.ClassifyBatch(reqs) {
+	b.Run("dup-heavy", func(b *testing.B) { benchBatchShape(b, 64, 4) })
+	b.Run("unique-heavy", func(b *testing.B) { benchBatchShape(b, 256, 1) })
+
+	// Sealed-hit steady state: every item resolves in the sealed table
+	// and the engine's memoized verdict wrappers — 0 allocs per item,
+	// gated in CI on the allocs/item metric.
+	b.Run("sealed-hit", func(b *testing.B) {
+		tbl := benchSealedTable(b)
+		e := service.New(service.Config{Sealed: tbl, DisableObs: true})
+		defer e.Close()
+		var reqs []service.Request
+		for n2 := uint(0); n2 < 8; n2++ {
+			for edge := uint(0); edge < 8; edge++ {
+				reqs = append(reqs, service.Request{Problem: enumerate.FromMasks(2, n2, edge), Mode: "cycles"})
+			}
+		}
+		bt := e.NewBatch()
+		defer bt.Release()
+		ctx := context.Background()
+		for _, item := range bt.Classify(ctx, reqs) { // warm arena + verdict memos
 			if item.Err != nil {
 				b.Fatal(item.Err)
 			}
+			if !item.Response.Sealed {
+				b.Fatal("batch item missed the sealed table")
+			}
+		}
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if items := bt.Classify(ctx, reqs); items[0].Err != nil {
+				b.Fatal(items[0].Err)
+			}
+		}
+		b.StopTimer()
+		runtime.ReadMemStats(&after)
+		b.ReportMetric(float64(after.Mallocs-before.Mallocs)/float64(b.N*len(reqs)), "allocs/item")
+		b.ReportMetric(float64(len(reqs)*b.N)/b.Elapsed().Seconds(), "items/sec")
+	})
+}
+
+// benchMaskProblems enumerates n distinct valid k=2 cycle problems from
+// the mask space, deterministically.
+func benchMaskProblems(n int) []*lcl.Problem {
+	space := uint(1) << uint(enumerate.PairCount(2))
+	out := make([]*lcl.Problem, 0, n)
+	for n2 := uint(1); n2 < space && len(out) < n; n2++ {
+		for edge := uint(1); edge < space && len(out) < n; edge++ {
+			out = append(out, enumerate.FromMasks(2, n2, edge))
 		}
 	}
-	st := e.Stats()
-	b.ReportMetric(float64(st.Cache.Hits-before.Cache.Hits)/float64(b.N), "hits/op")
-	b.ReportMetric(float64(st.Coalesced-before.Coalesced)/float64(b.N), "coalesced/op")
+	return out
+}
+
+// benchSealedTable builds, saves, and reloads a k=2 sealed table — the
+// same artifact path lclserver -sealed uses.
+func benchSealedTable(b *testing.B) *store.SealedTable {
+	b.Helper()
+	sealed, err := service.BuildSealed(service.SealConfig{CycleKs: []int{2}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(b.TempDir(), "landscape.lclseal")
+	if _, err := store.SaveSealed(path, sealed); err != nil {
+		b.Fatal(err)
+	}
+	tbl, err := store.LoadSealed(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tbl
 }
 
 // E1 addendum: the deterministic/randomized contrast on the MIS row —

@@ -35,6 +35,8 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -60,6 +62,11 @@ import (
 
 // SchemaV1 tags the report format. Bump on breaking schema changes.
 const SchemaV1 = "lclbench/v1"
+
+// TrajectorySchemaV1 tags the per-PR trajectory row format: one compact
+// JSON line per labeled run, appended to a committed .jsonl file so the
+// repo's performance history travels with its code history.
+const TrajectorySchemaV1 = "lclbench/trajectory/v1"
 
 // Experiment kinds.
 const (
@@ -101,6 +108,19 @@ const (
 	// checksum pass included), LoadReadFileMS the portable heap load the
 	// mmap path falls back to.
 	KindSealedLoad = "sealedload"
+	// KindBatch times the vectorized batch pipeline on a duplicate-heavy
+	// request set (75% of items repeat an earlier item, pointer-shared
+	// as the HTTP handler arranges for byte-identical payloads) against
+	// a per-item Classify loop over the same requests and engine state.
+	// SpeedupVsMemo records the items/sec multiple — the acceptance bar
+	// is >= 3x — and ItemsPerSec the batch throughput.
+	KindBatch = "batch"
+	// KindBatchSealed times batch serving entirely out of the sealed
+	// table: a unique-heavy batch over the whole k-letter mask space
+	// resolved by the sorted multi-probe SealedTable.GetBatch and the
+	// engine's memoized verdict wrappers. AllocsPerOp counts allocations
+	// per served item; the tier's contract is 0.
+	KindBatchSealed = "batchsealed"
 )
 
 // Cache states for census experiments.
@@ -156,6 +176,36 @@ type Experiment struct {
 	// LoadReadFileMS is the portable heap-load latency of the same
 	// artifact LatencyMS maps (KindSealedLoad only).
 	LoadReadFileMS *Dist `json:"load_readfile_ms,omitempty"`
+	// ItemsPerSec is the batch-pipeline serving throughput in items per
+	// second (KindBatch and KindBatchSealed only).
+	ItemsPerSec *Dist `json:"items_per_sec,omitempty"`
+}
+
+// TrajectoryRow is one line of BENCH_trajectory.jsonl: the
+// machine-independent (or at least trend-worthy) metrics of one grid
+// run, keyed by experiment name. Rows carry no timestamps — the label
+// (the PR that appended the row) and git history order them — so
+// re-running the same tree appends a byte-identical row.
+type TrajectoryRow struct {
+	Schema    string                    `json:"schema"`
+	Label     string                    `json:"label"`
+	Grid      string                    `json:"grid"`
+	Repeats   int                       `json:"repeats"`
+	GoVersion string                    `json:"go_version"`
+	Metrics   map[string]TrajectoryCell `json:"metrics"`
+}
+
+// TrajectoryCell compresses one experiment into the numbers worth
+// trending across PRs: the min latency over repeats (the stable
+// wall-clock reading), the hit rate, and whichever of the specialty
+// gauges the experiment kind records.
+type TrajectoryCell struct {
+	LatencyMSMin float64  `json:"latency_ms_min"`
+	HitRate      float64  `json:"hit_rate"`
+	Rounds       int      `json:"rounds"`
+	SpeedupMean  *float64 `json:"speedup,omitempty"`
+	ItemsPerSec  *float64 `json:"items_per_sec,omitempty"`
+	AllocsPerOp  *float64 `json:"allocs_per_op,omitempty"`
 }
 
 // Report is the BENCH_<grid>.json payload.
@@ -205,6 +255,8 @@ var grids = map[string][]gridPoint{
 		{kind: KindSealedBuild, k: 3, workers: 1},
 		{kind: KindSealedBuild, k: 3, workers: 8},
 		{kind: KindSealedLoad, k: 3},
+		{kind: KindBatch, k: 3},
+		{kind: KindBatchSealed, k: 2},
 	},
 	"full": {
 		{kind: KindCensus, k: 2, workers: 1, cache: CacheCold},
@@ -242,6 +294,9 @@ var grids = map[string][]gridPoint{
 		{kind: KindSealedBuild, k: 3, workers: 2},
 		{kind: KindSealedBuild, k: 3, workers: 8},
 		{kind: KindSealedLoad, k: 3},
+		{kind: KindBatch, k: 3},
+		{kind: KindBatchSealed, k: 2},
+		{kind: KindBatchSealed, k: 3},
 	},
 }
 
@@ -263,6 +318,10 @@ func (p gridPoint) name() string {
 		return fmt.Sprintf("sealed/build/k=%d/w=%d", p.k, p.workers)
 	case KindSealedLoad:
 		return fmt.Sprintf("sealed/load/k=%d", p.k)
+	case KindBatch:
+		return fmt.Sprintf("batch/dedup/k=%d", p.k)
+	case KindBatchSealed:
+		return fmt.Sprintf("batch/sealed-multiprobe/k=%d", p.k)
 	default:
 		return fmt.Sprintf("census/k=%d/w=%d/%s", p.k, p.workers, p.cache)
 	}
@@ -283,11 +342,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 	check := fs.String("check", "", "candidate report to gate against -baseline")
 	baseline := fs.String("baseline", "", "baseline report for -check")
 	tolerance := fs.Float64("tolerance", 0.25, "allowed relative warm-path regression for -check")
+	trajectory := fs.String("trajectory", "", "append a compact per-run row for this grid run to the given .jsonl file")
+	label := fs.String("label", "", "row label for -trajectory (e.g. the PR identifier)")
+	validateTraj := fs.String("validate-trajectory", "", "validate a trajectory .jsonl file and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
 	switch {
+	case *validateTraj != "":
+		n, err := validateTrajectory(*validateTraj)
+		if err != nil {
+			fmt.Fprintf(stderr, "lclbench: %s: %v\n", *validateTraj, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "lclbench: %s: schema-valid (%d rows)\n", *validateTraj, n)
+		return 0
+
 	case *validate != "":
 		r, err := readReport(*validate)
 		if err == nil {
@@ -353,8 +424,138 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		fmt.Fprintf(stdout, "lclbench: wrote %s (%d experiments x %d repeats)\n", path, len(report.Experiments), *repeats)
+		if *trajectory != "" {
+			if *label == "" {
+				fmt.Fprintln(stderr, "lclbench: -trajectory requires -label")
+				return 2
+			}
+			if err := appendTrajectory(*trajectory, *label, report); err != nil {
+				fmt.Fprintf(stderr, "lclbench: %v\n", err)
+				return 1
+			}
+			fmt.Fprintf(stdout, "lclbench: appended row %q to %s\n", *label, *trajectory)
+		}
 		return 0
 	}
+}
+
+// trajectoryRow compresses a finished report into one trajectory row.
+func trajectoryRow(label string, r *Report) *TrajectoryRow {
+	row := &TrajectoryRow{
+		Schema:    TrajectorySchemaV1,
+		Label:     label,
+		Grid:      r.Grid,
+		Repeats:   r.Repeats,
+		GoVersion: r.GoVersion,
+		Metrics:   map[string]TrajectoryCell{},
+	}
+	for _, e := range r.Experiments {
+		cell := TrajectoryCell{LatencyMSMin: e.LatencyMS.Min, HitRate: e.HitRate.Mean, Rounds: e.Rounds}
+		if e.SpeedupVsMemo != nil {
+			v := e.SpeedupVsMemo.Mean
+			cell.SpeedupMean = &v
+		}
+		if e.ItemsPerSec != nil {
+			v := e.ItemsPerSec.Mean
+			cell.ItemsPerSec = &v
+		}
+		if e.AllocsPerOp != nil {
+			v := e.AllocsPerOp.Mean
+			cell.AllocsPerOp = &v
+		}
+		row.Metrics[e.Name] = cell
+	}
+	return row
+}
+
+// appendTrajectory appends one compact JSON line for the report to the
+// trajectory file, creating it if absent. Appending the same label
+// twice is refused — each PR contributes exactly one row per grid.
+func appendTrajectory(path, label string, r *Report) error {
+	if rows, err := readTrajectory(path); err == nil {
+		for _, row := range rows {
+			if row.Label == label && row.Grid == r.Grid {
+				return fmt.Errorf("trajectory %s already has a %q row for grid %s", path, label, r.Grid)
+			}
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	buf, err := json.Marshal(trajectoryRow(label, r))
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.Write(append(buf, '\n')); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// readTrajectory parses every row of a trajectory .jsonl file.
+func readTrajectory(path string) ([]TrajectoryRow, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rows []TrajectoryRow
+	for i, line := range bytes.Split(raw, []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var row TrajectoryRow
+		if err := json.Unmarshal(line, &row); err != nil {
+			return nil, fmt.Errorf("line %d: %w", i+1, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// validateTrajectory checks every row's schema and the one-row-per-
+// label-per-grid invariant, returning the row count.
+func validateTrajectory(path string) (int, error) {
+	rows, err := readTrajectory(path)
+	if err != nil {
+		return 0, err
+	}
+	if len(rows) == 0 {
+		return 0, fmt.Errorf("no rows")
+	}
+	seen := map[[2]string]bool{}
+	for i, row := range rows {
+		where := fmt.Sprintf("row %d (%s)", i+1, row.Label)
+		if row.Schema != TrajectorySchemaV1 {
+			return 0, fmt.Errorf("%s: schema %q, want %q", where, row.Schema, TrajectorySchemaV1)
+		}
+		if row.Label == "" {
+			return 0, fmt.Errorf("row %d has no label", i+1)
+		}
+		if row.Grid == "" || row.Repeats < 1 || row.GoVersion == "" {
+			return 0, fmt.Errorf("%s: incomplete provenance (grid %q, repeats %d, go %q)", where, row.Grid, row.Repeats, row.GoVersion)
+		}
+		if len(row.Metrics) == 0 {
+			return 0, fmt.Errorf("%s: no metrics", where)
+		}
+		key := [2]string{row.Label, row.Grid}
+		if seen[key] {
+			return 0, fmt.Errorf("%s: duplicate label for grid %s", where, row.Grid)
+		}
+		seen[key] = true
+		for name, cell := range row.Metrics {
+			if cell.LatencyMSMin <= 0 {
+				return 0, fmt.Errorf("%s: %s: non-positive latency", where, name)
+			}
+			if cell.HitRate < 0 || cell.HitRate > 1 {
+				return 0, fmt.Errorf("%s: %s: hit rate %v outside [0, 1]", where, name, cell.HitRate)
+			}
+		}
+	}
+	return len(rows), nil
 }
 
 // runGrid executes every grid point in order.
@@ -386,9 +587,9 @@ func runGrid(gridName string, points []gridPoint, repeats int, seed int64, progr
 // runExperiment measures one grid point over the configured repeats.
 func runExperiment(p gridPoint, repeats int, seed int64, tmpDir string) (*Experiment, error) {
 	exp := &Experiment{Name: p.name(), Kind: p.kind, K: p.k, Workers: p.workers, Cache: p.cache, Delta: p.delta, Dims: p.dims}
-	var latencies, hitRates, allocs, speedups, lookups, buildRates, readLoads []float64
+	var latencies, hitRates, allocs, speedups, lookups, buildRates, readLoads, itemRates []float64
 	for rep := 0; rep < repeats; rep++ {
-		var latency, hitRate, allocRate, speedup, qps, buildRate, readLoad float64
+		var latency, hitRate, allocRate, speedup, qps, buildRate, readLoad, itemsPS float64
 		var err error
 		switch p.kind {
 		case KindCensus:
@@ -413,6 +614,10 @@ func runExperiment(p gridPoint, repeats int, seed int64, tmpDir string) (*Experi
 			latency, buildRate, err = runSealedBuildOnce(p, tmpDir)
 		case KindSealedLoad:
 			latency, readLoad, err = runSealedLoadOnce(p, tmpDir)
+		case KindBatch:
+			latency, hitRate, speedup, itemsPS, err = runBatchOnce(p)
+		case KindBatchSealed:
+			latency, hitRate, allocRate, itemsPS, err = runBatchSealedOnce(p, tmpDir)
 		}
 		if err != nil {
 			return nil, err
@@ -424,11 +629,12 @@ func runExperiment(p gridPoint, repeats int, seed int64, tmpDir string) (*Experi
 		lookups = append(lookups, qps)
 		buildRates = append(buildRates, buildRate)
 		readLoads = append(readLoads, readLoad)
+		itemRates = append(itemRates, itemsPS)
 	}
 	exp.LatencyMS = summarize(latencies)
 	exp.HitRate = summarize(hitRates)
 	exp.Rounds = roundsMetric(p.k, seed)
-	if p.kind == KindAlloc || p.kind == KindSealed {
+	if p.kind == KindAlloc || p.kind == KindSealed || p.kind == KindBatchSealed {
 		d := summarize(allocs)
 		exp.AllocsPerOp = &d
 	}
@@ -437,6 +643,14 @@ func runExperiment(p gridPoint, repeats int, seed int64, tmpDir string) (*Experi
 		exp.SpeedupVsMemo = &s
 		q := summarize(lookups)
 		exp.LookupsPerSec = &q
+	}
+	if p.kind == KindBatch {
+		s := summarize(speedups)
+		exp.SpeedupVsMemo = &s
+	}
+	if p.kind == KindBatch || p.kind == KindBatchSealed {
+		d := summarize(itemRates)
+		exp.ItemsPerSec = &d
 	}
 	if p.kind == KindSealedBuild {
 		exp.Cores = runtime.NumCPU()
@@ -618,6 +832,153 @@ func runSealedOnce(p gridPoint, tmpDir string) (float64, float64, float64, float
 	speedup := warmNsPerOp / sealedNsPerOp
 	qps := 1e9 / sealedNsPerOp
 	return float64(sealedElapsed) / float64(time.Millisecond), 1.0, allocsPerOp, speedup, qps, nil
+}
+
+// batchBenchRequests builds a batch workload over the k-letter cycle
+// mask space: distinct problems in deterministic mask order, each
+// repeated copies times with the *lcl.Problem pointer shared — the
+// shape the HTTP handler produces for byte-identical payloads, so the
+// pipeline's identity prefilter can skip repeat canonicalization the
+// way it does in production.
+func batchBenchRequests(k, distinct, copies int) []service.Request {
+	space := uint(1) << uint(enumerate.PairCount(k))
+	reqs := make([]service.Request, 0, distinct*copies)
+	made := 0
+	for n2 := uint(0); n2 < space && made < distinct; n2++ {
+		for e := uint(0); e < space && made < distinct; e++ {
+			p := enumerate.FromMasks(k, n2, e)
+			for c := 0; c < copies; c++ {
+				reqs = append(reqs, service.Request{Mode: service.ModeCycles, Problem: p})
+			}
+			made++
+		}
+	}
+	return reqs
+}
+
+// runBatchOnce races the vectorized batch pipeline against a per-item
+// Classify loop over the same warm engine and the same duplicate-heavy
+// request set (256 distinct problems x 8 copies = 87.5% of items repeat
+// an earlier one, clearing the >= 50%-shared acceptance shape). Both
+// paths serve every unique problem from the memo; the batch path
+// additionally dedups repeats and amortizes the cache probes, which is
+// the >= 3x it is gated on. Returns (batch sweep latency ms, memo hit
+// rate of the batch sweep, per-item/batch speedup, batch items/sec).
+func runBatchOnce(p gridPoint) (float64, float64, float64, float64, error) {
+	const (
+		distinct = 256
+		copies   = 8
+	)
+	reqs := batchBenchRequests(p.k, distinct, copies)
+	engine := service.New(service.Config{DisableObs: true})
+	defer engine.Close()
+	bt := engine.NewBatch()
+	defer bt.Release()
+	ctx := context.Background()
+	// Warming pass: fills the memo so both timed paths serve hits.
+	for _, item := range bt.Classify(ctx, reqs) {
+		if item.Err != nil {
+			return 0, 0, 0, 0, item.Err
+		}
+	}
+	iters := (1 << 18) / len(reqs)
+	if iters < 1 {
+		iters = 1
+	}
+	ops := iters * len(reqs)
+
+	start := time.Now()
+	for it := 0; it < iters; it++ {
+		for i := range reqs {
+			if _, err := engine.Classify(reqs[i]); err != nil {
+				return 0, 0, 0, 0, err
+			}
+		}
+	}
+	perItem := time.Since(start)
+
+	before := engine.Stats().Cache
+	start = time.Now()
+	for it := 0; it < iters; it++ {
+		for _, item := range bt.Classify(ctx, reqs) {
+			if item.Err != nil {
+				return 0, 0, 0, 0, item.Err
+			}
+		}
+	}
+	batch := time.Since(start)
+	after := engine.Stats().Cache
+	secs := batch.Seconds()
+	if secs <= 0 {
+		return 0, 0, 0, 0, fmt.Errorf("batch sweep too fast to time (%d items in %v)", ops, batch)
+	}
+	speedup := float64(perItem) / float64(batch)
+	return float64(batch) / float64(time.Millisecond), hitRateDelta(before, after), speedup, float64(ops) / secs, nil
+}
+
+// runBatchSealedOnce times batch serving entirely out of the sealed
+// tier: the full k-letter mask space is sealed via the real artifact
+// path, then a unique-heavy batch covering that whole space is served
+// repeatedly from one reused Batch. The warming pass doubles as the
+// coverage check (every item must come back Sealed); the timed loop is
+// bracketed by ReadMemStats so AllocsPerOp counts real heap allocations
+// per served item — the tier's contract is 0. Returns (batch sweep
+// latency ms, sealed hit rate, allocs per item, items/sec).
+func runBatchSealedOnce(p gridPoint, tmpDir string) (float64, float64, float64, float64, error) {
+	path := filepath.Join(tmpDir, fmt.Sprintf("batch-k%d.lclseal", p.k))
+	if _, err := os.Stat(path); os.IsNotExist(err) {
+		sealed, err := service.BuildSealed(service.SealConfig{CycleKs: []int{p.k}})
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		sealed.CreatedUnix = 1
+		if _, err := store.SaveSealed(path, sealed); err != nil {
+			return 0, 0, 0, 0, err
+		}
+	}
+	tbl, err := store.LoadSealed(path)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	engine := service.New(service.Config{DisableObs: true, Sealed: tbl})
+	defer engine.Close()
+	space := 1 << uint(enumerate.PairCount(p.k))
+	reqs := batchBenchRequests(p.k, space*space, 1)
+	bt := engine.NewBatch()
+	defer bt.Release()
+	ctx := context.Background()
+	for i, item := range bt.Classify(ctx, reqs) {
+		if item.Err != nil {
+			return 0, 0, 0, 0, item.Err
+		}
+		if !item.Response.Sealed {
+			return 0, 0, 0, 0, fmt.Errorf("item %d not served from the sealed tier", i)
+		}
+	}
+	iters := (1 << 18) / len(reqs)
+	if iters < 1 {
+		iters = 1
+	}
+	ops := iters * len(reqs)
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for it := 0; it < iters; it++ {
+		for _, item := range bt.Classify(ctx, reqs) {
+			if item.Err != nil {
+				return 0, 0, 0, 0, item.Err
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	secs := elapsed.Seconds()
+	if secs <= 0 {
+		return 0, 0, 0, 0, fmt.Errorf("sealed batch sweep too fast to time (%d items in %v)", ops, elapsed)
+	}
+	allocsPerItem := float64(after.Mallocs-before.Mallocs) / float64(ops)
+	return float64(elapsed) / float64(time.Millisecond), 1.0, allocsPerItem, float64(ops) / secs, nil
 }
 
 // runAllocOnce sweeps the whole (node, edge) mask space through the
@@ -891,7 +1252,7 @@ func validateReport(r *Report) error {
 		}
 		seen[e.Name] = true
 		switch e.Kind {
-		case KindCensus, KindPaths, KindRooted, KindGrid, KindAlloc, KindOrbit, KindSealed, KindSealedBuild, KindSealedLoad:
+		case KindCensus, KindPaths, KindRooted, KindGrid, KindAlloc, KindOrbit, KindSealed, KindSealedBuild, KindSealedLoad, KindBatch, KindBatchSealed:
 		default:
 			return fmt.Errorf("%s: unknown kind %q", where, e.Kind)
 		}
@@ -1018,6 +1379,50 @@ func validateReport(r *Report) error {
 			}
 			if e.LoadReadFileMS.Min <= 0 {
 				return fmt.Errorf("%s: non-positive ReadFile load latency", where)
+			}
+		case KindBatch:
+			if e.Cache != "" {
+				return fmt.Errorf("%s: batch experiments take no cache state, got %q", where, e.Cache)
+			}
+			if e.SpeedupVsMemo == nil {
+				return fmt.Errorf("%s: batch experiment missing speedup_vs_memo", where)
+			}
+			if len(e.SpeedupVsMemo.Samples) != r.Repeats {
+				return fmt.Errorf("%s: speedup_vs_memo has %d samples, want %d", where, len(e.SpeedupVsMemo.Samples), r.Repeats)
+			}
+			// The pipeline's acceptance bar: the duplicate-heavy batch must
+			// clear 3x the per-item loop on the same warm engine.
+			if e.SpeedupVsMemo.Mean < 3 {
+				return fmt.Errorf("%s: batch pipeline only %.1fx faster than the per-item loop, want >= 3x", where, e.SpeedupVsMemo.Mean)
+			}
+			if e.ItemsPerSec == nil || e.ItemsPerSec.Mean <= 0 {
+				return fmt.Errorf("%s: batch experiment missing items_per_sec", where)
+			}
+			// Warm sweep: every unique item is a memo hit.
+			if e.HitRate.Mean != 1 {
+				return fmt.Errorf("%s: warm batch hit rate %v, want exactly 1", where, e.HitRate.Mean)
+			}
+		case KindBatchSealed:
+			if e.Cache != "" {
+				return fmt.Errorf("%s: sealed-batch experiments take no cache state, got %q", where, e.Cache)
+			}
+			if e.AllocsPerOp == nil {
+				return fmt.Errorf("%s: sealed-batch experiment missing allocs_per_op", where)
+			}
+			if len(e.AllocsPerOp.Samples) != r.Repeats {
+				return fmt.Errorf("%s: allocs_per_op has %d samples, want %d", where, len(e.AllocsPerOp.Samples), r.Repeats)
+			}
+			// The tier's contract: a batched sealed hit allocates nothing
+			// per item (sub-1 readings tolerate stray runtime mallocs
+			// inside the measuring window).
+			if e.AllocsPerOp.Mean >= 1 {
+				return fmt.Errorf("%s: %.3f allocs/item on the batched sealed serving path", where, e.AllocsPerOp.Mean)
+			}
+			if e.ItemsPerSec == nil || e.ItemsPerSec.Mean <= 0 {
+				return fmt.Errorf("%s: sealed-batch experiment missing items_per_sec", where)
+			}
+			if e.HitRate.Mean != 1 {
+				return fmt.Errorf("%s: sealed batch sweep hit rate %v, want exactly 1", where, e.HitRate.Mean)
 			}
 		}
 		for _, d := range []struct {

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"math"
+	"os"
 	"path/filepath"
 	"reflect"
 	"strings"
@@ -219,16 +220,72 @@ func TestCheckRegression(t *testing.T) {
 	}
 }
 
-// TestCLI drives the three entry modes through run() end to end.
+// TestTrajectory covers the per-PR trajectory row: append, re-read,
+// validation, and the one-row-per-label-per-grid invariant.
+func TestTrajectory(t *testing.T) {
+	r := smallReport(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_trajectory.jsonl")
+	if err := appendTrajectory(path, "pr-1", r); err != nil {
+		t.Fatal(err)
+	}
+	if err := appendTrajectory(path, "pr-2", r); err != nil {
+		t.Fatal(err)
+	}
+	n, err := validateTrajectory(path)
+	if err != nil || n != 2 {
+		t.Fatalf("validate: %d rows, %v", n, err)
+	}
+	if err := appendTrajectory(path, "pr-1", r); err == nil {
+		t.Fatal("duplicate label for the same grid accepted")
+	}
+
+	rows, err := readTrajectory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].Label != "pr-1" || rows[0].Grid != "small" || rows[0].GoVersion == "" {
+		t.Fatalf("row provenance: %+v", rows[0])
+	}
+	if len(rows[0].Metrics) != len(r.Experiments) {
+		t.Fatalf("row has %d metrics, want %d", len(rows[0].Metrics), len(r.Experiments))
+	}
+	// The specialty gauges of the batch experiments survive compression.
+	dedup, ok := rows[0].Metrics["batch/dedup/k=3"]
+	if !ok || dedup.SpeedupMean == nil || dedup.ItemsPerSec == nil {
+		t.Fatalf("batch/dedup cell incomplete: %+v", dedup)
+	}
+	sealed, ok := rows[0].Metrics["batch/sealed-multiprobe/k=2"]
+	if !ok || sealed.AllocsPerOp == nil || sealed.ItemsPerSec == nil {
+		t.Fatalf("batch/sealed-multiprobe cell incomplete: %+v", sealed)
+	}
+
+	bad := filepath.Join(dir, "bad.jsonl")
+	if err := os.WriteFile(bad, []byte(`{"schema":"nope","label":"x"}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := validateTrajectory(bad); err == nil {
+		t.Fatal("wrong-schema trajectory validated")
+	}
+	if _, err := validateTrajectory(filepath.Join(dir, "missing.jsonl")); err == nil {
+		t.Fatal("missing trajectory file validated")
+	}
+}
+
+// TestCLI drives the entry modes through run() end to end.
 func TestCLI(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "BENCH_small.json")
+	traj := filepath.Join(dir, "BENCH_trajectory.jsonl")
 	var stdout, stderr bytes.Buffer
-	if code := run([]string{"-grid", "small", "-repeats", "1", "-out", out}, &stdout, &stderr); code != 0 {
+	if code := run([]string{"-grid", "small", "-repeats", "1", "-out", out, "-trajectory", traj, "-label", "pr-test"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("run exit %d: %s", code, stderr.String())
 	}
 	if code := run([]string{"-validate", out}, &stdout, &stderr); code != 0 {
 		t.Fatalf("validate exit %d: %s", code, stderr.String())
+	}
+	if code := run([]string{"-validate-trajectory", traj}, &stdout, &stderr); code != 0 {
+		t.Fatalf("validate-trajectory exit %d: %s", code, stderr.String())
 	}
 	if code := run([]string{"-check", out, "-baseline", out}, &stdout, &stderr); code != 0 {
 		t.Fatalf("check exit %d: %s", code, stderr.String())
@@ -238,5 +295,8 @@ func TestCLI(t *testing.T) {
 	}
 	if code := run([]string{"-grid", "nope"}, &stdout, &stderr); code != 2 {
 		t.Fatalf("unknown grid exit %d", code)
+	}
+	if code := run([]string{"-grid", "small", "-repeats", "1", "-out", out, "-trajectory", traj}, &stdout, &stderr); code != 2 {
+		t.Fatalf("trajectory without label exit %d", code)
 	}
 }

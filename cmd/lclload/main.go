@@ -83,6 +83,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	rate := fs.Float64("rate", 0, "open-loop offered rate in requests/second (0 = closed loop)")
 	mix := fs.String("mix", "classify=4,sealed=2,batch=1,census=1", "traffic mix as name=weight pairs")
 	batchSize := fs.Int("batch-size", 16, "problems per batch request")
+	batchDup := fs.Float64("batch-dup", 0, "fraction of each batch repeating its first item (0..1; exercises server-side dedup)")
 	seed := fs.Int64("seed", 1, "payload-pool RNG seed (same seed = same request stream)")
 	timeout := fs.Duration("timeout", 10*time.Second, "per-request timeout")
 	outDir := fs.String("out", "loadruns", "parent directory for the run folder (empty = no artifacts)")
@@ -99,7 +100,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	ops := buildOps(*batchSize, *seed)
+	ops := buildOps(*batchSize, *batchDup, *seed)
 	schedule, err := parseMix(*mix, ops)
 	if err != nil {
 		fmt.Fprintf(stderr, "lclload: %v\n", err)

@@ -230,7 +230,7 @@ func TestBadServerExitsNonzero(t *testing.T) {
 }
 
 func TestParseMix(t *testing.T) {
-	ops := buildOps(4, 1)
+	ops := buildOps(4, 0, 1)
 	sched, err := parseMix("classify=2,census=1", ops)
 	if err != nil {
 		t.Fatal(err)

@@ -89,7 +89,11 @@ func maskProblems(k, n int, rng *rand.Rand) []*lcl.Problem {
 //	                                   covered by any `lcltool seal` table
 //	batch     POST /v1/classify/batch  batches of classify payloads
 //	census    GET  /v1/census/{k} and /v1/census/paths/{k}
-func buildOps(batchSize int, seed int64) map[string]*op {
+//
+// batchDup is the approximate fraction of items in each batch body that
+// repeat the batch's first item (0 = all-distinct draws): duplicate-heavy
+// batches exercise the server's intra-batch dedup and coalescing tiers.
+func buildOps(batchSize int, batchDup float64, seed int64) map[string]*op {
 	rng := rand.New(rand.NewSource(seed))
 
 	var classifyPool [][]byte
@@ -115,6 +119,12 @@ func buildOps(batchSize int, seed int64) map[string]*op {
 	for b := 0; b < 32; b++ {
 		reqs := make([]json.RawMessage, 0, batchSize)
 		for j := 0; j < batchSize; j++ {
+			if j > 0 && batchDup > 0 && rng.Float64() < batchDup {
+				// Byte-identical repeat of the batch's first item: the
+				// server decodes it to one shared problem and dedups.
+				reqs = append(reqs, reqs[0])
+				continue
+			}
 			reqs = append(reqs, classifyPool[(b*batchSize+j*7)%len(classifyPool)])
 		}
 		body, err := json.Marshal(map[string][]json.RawMessage{"requests": reqs})

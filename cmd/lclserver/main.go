@@ -121,6 +121,7 @@ func main() {
 	workers := flag.Int("workers", service.DefaultWorkers, "batch worker pool size")
 	cacheShards := flag.Int("cache-shards", 0, "memo cache shard count (0 = default)")
 	cacheCap := flag.Int("cache-capacity", 0, "memo cache total entries (0 = default)")
+	maxBatch := flag.Int("max-batch", 0, "max items per /v1/classify/batch request; larger batches get 413 (0 = default)")
 	prewarm := flag.Int("prewarm", 0, "run the k-census on startup to warm the cache (0 = off)")
 	snapshotPath := flag.String("snapshot", "", "snapshot file: load on startup if present, save on shutdown, at checkpoints, and via POST /v1/admin/snapshot (empty = off)")
 	sealedPath := flag.String("sealed", "", "sealed landscape table from `lcltool seal`: precomputed verdicts served before the memo cache (empty = off)")
@@ -231,6 +232,7 @@ func main() {
 		Workers:        *workers,
 		CacheShards:    *cacheShards,
 		CacheCapacity:  *cacheCap,
+		MaxBatch:       *maxBatch,
 		Snapshot:       snapshot,
 		SnapshotPath:   *snapshotPath,
 		Sealed:         sealedTbl,

@@ -1,0 +1,153 @@
+// The `lcltool batch` subcommand: a client for POST /v1/classify/batch.
+// It assembles a batch from named battery problems and/or a JSON file
+// and prints one verdict line per item, positionally, plus the server's
+// dedup summary — literal duplicates in the request list are legal and
+// exercise the server's intra-batch dedup.
+//
+//	lcltool batch -problems 3-coloring,mis,3-coloring
+//	lcltool batch -mode paths-inputs -problems forbid-list-3-coloring
+//	lcltool batch -file batch.json            # {"requests":[...]} or a bare array
+//	lcltool batch -problems trivial -json     # raw wire response
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+)
+
+// runBatch dispatches `lcltool batch ...`; args excludes the
+// subcommand name.
+func runBatch(args []string) {
+	fs := flag.NewFlagSet("batch", flag.ExitOnError)
+	server := fs.String("server", "http://localhost:8080", "lclserver base URL")
+	names := fs.String("problems", "", "comma-separated named problems from the battery, posted under -mode (duplicates allowed)")
+	mode := fs.String("mode", "cycles", "decider mode for -problems items")
+	delta := fs.Int("delta", 3, "max degree for named problems")
+	file := fs.String("file", "", "JSON file with extra batch items: {\"requests\":[...]} or a bare array of wire requests")
+	raw := fs.Bool("json", false, "print the raw wire response instead of the rendered table")
+	fs.Parse(args)
+
+	var items []json.RawMessage
+	for _, name := range strings.Split(*names, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		p, err := loadProblem(name, "", *delta)
+		if err != nil {
+			fatal(err)
+		}
+		praw, err := p.MarshalJSON()
+		if err != nil {
+			fatal(err)
+		}
+		item, err := json.Marshal(map[string]any{"mode": *mode, "problem": json.RawMessage(praw)})
+		if err != nil {
+			fatal(err)
+		}
+		items = append(items, item)
+	}
+	if *file != "" {
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			fatal(err)
+		}
+		extra, err := parseBatchFile(data)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", *file, err))
+		}
+		items = append(items, extra...)
+	}
+	if len(items) == 0 {
+		fatal(fmt.Errorf("empty batch: give -problems and/or -file"))
+	}
+
+	body, err := json.Marshal(map[string]any{"requests": items})
+	if err != nil {
+		fatal(err)
+	}
+	url := strings.TrimRight(*server, "/") + "/v1/classify/batch"
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fatal(apiError(resp))
+	}
+
+	var out struct {
+		Results []struct {
+			Problem     string          `json:"problem"`
+			Mode        string          `json:"mode"`
+			Fingerprint string          `json:"fingerprint"`
+			CacheHit    bool            `json:"cache_hit"`
+			Coalesced   bool            `json:"coalesced"`
+			Sealed      bool            `json:"sealed"`
+			Class       string          `json:"class"`
+			Detail      json.RawMessage `json:"detail"`
+			Error       string          `json:"error"`
+		} `json:"results"`
+		Deduped int `json:"deduped"`
+	}
+	dec := json.NewDecoder(resp.Body)
+	if *raw {
+		var echo json.RawMessage
+		if err := dec.Decode(&echo); err != nil {
+			fatal(err)
+		}
+		var pretty bytes.Buffer
+		if err := json.Indent(&pretty, echo, "", "  "); err != nil {
+			fatal(err)
+		}
+		fmt.Println(pretty.String())
+		return
+	}
+	if err := dec.Decode(&out); err != nil {
+		fatal(err)
+	}
+	errs := 0
+	for i, r := range out.Results {
+		if r.Error != "" {
+			errs++
+			fmt.Printf("%3d  %-24s  error: %s\n", i, r.Mode, r.Error)
+			continue
+		}
+		var flags []string
+		if r.Sealed {
+			flags = append(flags, "sealed")
+		} else if r.CacheHit {
+			flags = append(flags, "hit")
+		}
+		if r.Coalesced {
+			flags = append(flags, "coalesced")
+		}
+		label := r.Problem
+		if label == "" {
+			label = r.Mode
+		}
+		fmt.Printf("%3d  %-24s  %-12s  %s\n", i, label, r.Class, strings.Join(flags, ","))
+	}
+	fmt.Printf("\n%d items, %d deduped, %d errors\n", len(out.Results), out.Deduped, errs)
+}
+
+// parseBatchFile accepts either a full batch body ({"requests": [...]})
+// or a bare JSON array of wire requests.
+func parseBatchFile(data []byte) ([]json.RawMessage, error) {
+	var wrapped struct {
+		Requests []json.RawMessage `json:"requests"`
+	}
+	if err := json.Unmarshal(data, &wrapped); err == nil && wrapped.Requests != nil {
+		return wrapped.Requests, nil
+	}
+	var bare []json.RawMessage
+	if err := json.Unmarshal(data, &bare); err != nil {
+		return nil, fmt.Errorf("want {\"requests\":[...]} or a JSON array: %w", err)
+	}
+	return bare, nil
+}

@@ -26,6 +26,11 @@
 //	lcltool statsz -server http://localhost:8080
 //	lcltool metrics -filter lcl_engine -watch 2s
 //
+// The batch subcommand posts one /v1/classify/batch request built from
+// named problems and/or a JSON file (see batch.go):
+//
+//	lcltool batch -problems 3-coloring,mis,3-coloring
+//
 // The seal subcommand precomputes the landscape over whole mask spaces
 // and writes a read-only sealed table for lclserver -sealed (see
 // seal.go):
@@ -60,6 +65,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "seal" {
 		runSeal(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "batch" {
+		runBatch(os.Args[2:])
 		return
 	}
 	problem := flag.String("problem", "", "named problem from the battery (see -list)")

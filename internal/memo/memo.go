@@ -45,6 +45,14 @@ type Cache struct {
 	imported  atomic.Uint64
 	exported  atomic.Uint64
 
+	// Batched-lookup traffic (GetBatch): calls, keys probed, and keys
+	// hit. Hits/misses above already fold batch lookups in; these expose
+	// how much of the traffic arrives batched (and the per-shard copies
+	// below, how evenly batches spread across shards).
+	batchCalls atomic.Uint64
+	batchKeys  atomic.Uint64
+	batchHits  atomic.Uint64
+
 	// batchObs, when set, observes every GetBatch call (batch size and
 	// hit count) — the seam the observability layer (internal/obs, via
 	// internal/service) uses for its batch-size histogram without memo
@@ -62,6 +70,9 @@ type shard struct {
 	// above stay the cheap cross-shard totals). They expose shard
 	// balance and contention hot spots through ShardStats.
 	hits, misses, evictions uint64
+	// Per-shard batched-lookup counters: keys probed on this shard via
+	// GetBatch and how many of them hit (also folded into hits/misses).
+	batchGets, batchHits uint64
 }
 
 type entry struct {
@@ -159,10 +170,12 @@ func (c *Cache) GetBatch(keys []uint64, values []any) int {
 				s.mu.Lock()
 				locked = true
 			}
+			s.batchGets++
 			if e, ok := s.m[key]; ok {
 				s.moveToFront(e)
 				values[i] = e.value
 				s.hits++
+				s.batchHits++
 				hits++
 			} else {
 				values[i] = nil
@@ -175,6 +188,9 @@ func (c *Cache) GetBatch(keys []uint64, values []any) int {
 	}
 	c.hits.Add(uint64(hits))
 	c.misses.Add(uint64(len(keys) - hits))
+	c.batchCalls.Add(1)
+	c.batchKeys.Add(uint64(len(keys)))
+	c.batchHits.Add(uint64(hits))
 	if obs := c.batchObs.Load(); obs != nil {
 		(*obs)(len(keys), hits)
 	}
@@ -263,9 +279,15 @@ type Stats struct {
 	// properties of this process, so Import does not fold them in.
 	Imported uint64 `json:"imported,omitempty"`
 	Exported uint64 `json:"exported,omitempty"`
-	Size     int    `json:"size"`
-	Shards   int    `json:"shards"`
-	Capacity int    `json:"capacity"`
+	// BatchCalls / BatchKeys / BatchHits count GetBatch traffic: calls,
+	// keys probed across them, and keys hit (the latter two are already
+	// folded into Hits/Misses).
+	BatchCalls uint64 `json:"batch_calls,omitempty"`
+	BatchKeys  uint64 `json:"batch_keys,omitempty"`
+	BatchHits  uint64 `json:"batch_hits,omitempty"`
+	Size       int    `json:"size"`
+	Shards     int    `json:"shards"`
+	Capacity   int    `json:"capacity"`
 }
 
 // Stats snapshots the counters (counters are individually atomic; the
@@ -276,15 +298,18 @@ func (c *Cache) Stats() Stats {
 		return Stats{}
 	}
 	return Stats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Evictions: c.evictions.Load(),
-		Puts:      c.puts.Load(),
-		Imported:  c.imported.Load(),
-		Exported:  c.exported.Load(),
-		Size:      c.Len(),
-		Shards:    len(c.shards),
-		Capacity:  len(c.shards) * c.shards[0].cap,
+		Hits:       c.hits.Load(),
+		Misses:     c.misses.Load(),
+		Evictions:  c.evictions.Load(),
+		Puts:       c.puts.Load(),
+		Imported:   c.imported.Load(),
+		Exported:   c.exported.Load(),
+		BatchCalls: c.batchCalls.Load(),
+		BatchKeys:  c.batchKeys.Load(),
+		BatchHits:  c.batchHits.Load(),
+		Size:       c.Len(),
+		Shards:     len(c.shards),
+		Capacity:   len(c.shards) * c.shards[0].cap,
 	}
 }
 
@@ -293,6 +318,10 @@ type ShardStat struct {
 	Hits      uint64 `json:"hits"`
 	Misses    uint64 `json:"misses"`
 	Evictions uint64 `json:"evictions"`
+	// BatchGets / BatchHits count this shard's share of GetBatch traffic
+	// (keys probed and keys hit; also folded into Hits/Misses).
+	BatchGets uint64 `json:"batch_gets,omitempty"`
+	BatchHits uint64 `json:"batch_hits,omitempty"`
 	Size      int    `json:"size"`
 }
 
@@ -309,7 +338,14 @@ func (c *Cache) ShardStats() []ShardStat {
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()
-		out[i] = ShardStat{Hits: s.hits, Misses: s.misses, Evictions: s.evictions, Size: len(s.m)}
+		out[i] = ShardStat{
+			Hits:      s.hits,
+			Misses:    s.misses,
+			Evictions: s.evictions,
+			BatchGets: s.batchGets,
+			BatchHits: s.batchHits,
+			Size:      len(s.m),
+		}
 		s.mu.Unlock()
 	}
 	return out

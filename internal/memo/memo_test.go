@@ -329,3 +329,34 @@ func TestGetBatchNil(t *testing.T) {
 		}
 	}
 }
+
+// TestGetBatchCounters: batched lookups feed the cache-level and
+// per-shard batch counters surfaced by /statsz.
+func TestGetBatchCounters(t *testing.T) {
+	c := New(4, 1024)
+	for i := uint64(0); i < 8; i += 2 {
+		c.Put(i, i)
+	}
+	keys := []uint64{0, 1, 2, 3, 4, 5, 6, 7}
+	values := make([]any, len(keys))
+	c.GetBatch(keys, values)
+	c.GetBatch(keys[:4], values[:4])
+	st := c.Stats()
+	if st.BatchCalls != 2 || st.BatchKeys != 12 || st.BatchHits != 6 {
+		t.Fatalf("batch counters: calls %d keys %d hits %d, want 2/12/6",
+			st.BatchCalls, st.BatchKeys, st.BatchHits)
+	}
+	var gets, hits uint64
+	for _, ss := range c.ShardStats() {
+		gets += ss.BatchGets
+		hits += ss.BatchHits
+	}
+	if gets != 12 || hits != 6 {
+		t.Fatalf("shard batch counters: gets %d hits %d, want 12/6", gets, hits)
+	}
+	// Per-key Gets leave the batch counters untouched.
+	c.Get(0)
+	if st = c.Stats(); st.BatchCalls != 2 || st.BatchKeys != 12 {
+		t.Fatalf("Get bled into batch counters: %+v", st)
+	}
+}

@@ -1,0 +1,789 @@
+// The vectorized batch serving pipeline. A batch walks the same tiers
+// as a single request (exact fingerprint → sealed table → memo cache →
+// singleflight → compute) but amortizes every per-item cost across the
+// batch: all items are canonicalized into one pooled scratch arena,
+// deduplicated by memo key so each orbit is resolved once (the census
+// insight from the orbit-representative enumeration, applied to live
+// traffic), looked up through store.SealedTable.GetBatch and
+// memo.Cache.GetBatch in fingerprint-sorted order, coalesced through
+// the engine's singleflight map so concurrent batches share computes,
+// and fanned back out positionally. Counter and response-flag semantics
+// match the per-item path item for item (see the fan-out loop), so
+// /statsz and /metricsz stay comparable whichever path served the
+// traffic.
+package service
+
+import (
+	"context"
+	"fmt"
+	"slices"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/decide"
+	"repro/internal/lcl"
+	"repro/internal/memo"
+	"repro/internal/obs"
+)
+
+// DefaultMaxBatch is the /v1/classify/batch item limit when Config
+// leaves MaxBatch zero. It bounds the pooled scratch arenas and the
+// per-request work one HTTP call can demand.
+const DefaultMaxBatch = 4096
+
+// Per-item pipeline states (batchScratch.state).
+const (
+	// itemErrPre: rejected before fingerprinting (unknown mode or
+	// Normalize failure) — counted as an error only, never as a served
+	// request, exactly like the per-item path.
+	itemErrPre uint8 = iota + 1
+	// itemErrFp: fingerprinting failed — counted as a served request
+	// that errored.
+	itemErrFp
+	// itemInexact: inexact fingerprint; computed individually and never
+	// cached (one-directional invariance, see ClassifyCtx).
+	itemInexact
+	// itemExact: exact fingerprint; participates in dedup and the
+	// sealed/memo/singleflight tiers.
+	itemExact
+)
+
+// Per-unique-key resolution tiers (batchScratch.tier).
+const (
+	tierNone uint8 = iota
+	// tierSealed: served by the read-only sealed landscape table.
+	tierSealed
+	// tierMemo: served by the memo cache.
+	tierMemo
+	// tierOwned: this batch registered the in-flight call and computed.
+	tierOwned
+	// tierJoined: coalesced onto another caller's in-flight computation.
+	tierJoined
+)
+
+// batchIdent is the identity-prefilter key: two items that agree on it
+// are literal duplicates (same problem pointers, same raw parameters),
+// so the second replays the first's entire stage-1 outcome — mode
+// resolution, normalization, and fingerprint are all pure functions of
+// the request — without re-running any of it. The HTTP handler decodes
+// duplicate raw problem payloads to one shared *lcl.Problem precisely
+// to light this up.
+type batchIdent struct {
+	mode      string
+	problem   *lcl.Problem
+	rooted    *decide.RootedProblem
+	maxLevels int
+	maxRadius int
+	dims      int
+}
+
+// batchScratch is the pooled per-batch arena: every per-item and
+// per-unique-key slice the pipeline needs, reused across batches so a
+// steady-state batch allocates nothing beyond what its misses compute.
+type batchScratch struct {
+	// Per-item (parallel to the request slice).
+	reqs  []Request
+	ds    []decide.Decider
+	fps   []uint64
+	keys  []uint64
+	state []uint8
+	errs  []error
+	group []int32 // index into the unique arrays; -1 = not grouped
+	dupOf []int32 // identity-prefilter representative; -1 = first occurrence
+	vals1 []any   // inexact items' computed payloads
+	ident map[batchIdent]int32
+
+	// Per-unique-key (built by the dedup stage, fingerprint-sorted).
+	order    []batchKey
+	uniqKeys []uint64
+	uniqRep  []int32
+	uniqVals []any
+	uniqIdx  []int32 // sealed entry index, -1 = miss
+	uniqTier []uint8
+	uniqErr  []error
+	uniqVerd []*decide.Verdict
+	calls    []*call
+	missKeys []uint64
+	missVals []any
+	missPos  []int32
+
+	// Positional results handed to the caller.
+	resps []Response
+	items []BatchItem
+
+	// wg synchronizes the compute stage. It lives in the arena because
+	// the compute closures capture it: a local would escape and cost an
+	// allocation even on batches that compute nothing.
+	wg sync.WaitGroup
+}
+
+var batchScratchPool = sync.Pool{
+	New: func() any { return &batchScratch{ident: map[batchIdent]int32{}} },
+}
+
+// reset sizes every per-item slice to n, clears retained references
+// from the previous batch, and empties the per-unique slices.
+func (sc *batchScratch) reset(n int) {
+	if cap(sc.reqs) < n {
+		sc.reqs = make([]Request, n)
+		sc.ds = make([]decide.Decider, n)
+		sc.fps = make([]uint64, n)
+		sc.keys = make([]uint64, n)
+		sc.state = make([]uint8, n)
+		sc.errs = make([]error, n)
+		sc.group = make([]int32, n)
+		sc.dupOf = make([]int32, n)
+		sc.vals1 = make([]any, n)
+	}
+	sc.reqs = sc.reqs[:n]
+	sc.ds = sc.ds[:n]
+	sc.fps = sc.fps[:n]
+	sc.keys = sc.keys[:n]
+	sc.state = sc.state[:n]
+	sc.errs = sc.errs[:n]
+	sc.group = sc.group[:n]
+	sc.dupOf = sc.dupOf[:n]
+	sc.vals1 = sc.vals1[:n]
+	clear(sc.reqs)
+	clear(sc.ds)
+	clear(sc.state)
+	clear(sc.errs)
+	clear(sc.vals1)
+	clear(sc.ident)
+	// Drop references retained by the previous batch's unique set, then
+	// reuse the backing arrays.
+	clear(sc.uniqVals[:cap(sc.uniqVals)])
+	clear(sc.uniqErr[:cap(sc.uniqErr)])
+	clear(sc.uniqVerd[:cap(sc.uniqVerd)])
+	clear(sc.calls[:cap(sc.calls)])
+	clear(sc.missVals[:cap(sc.missVals)])
+	sc.order = sc.order[:0]
+	sc.uniqKeys = sc.uniqKeys[:0]
+	sc.uniqRep = sc.uniqRep[:0]
+	sc.uniqVals = sc.uniqVals[:0]
+	sc.uniqIdx = sc.uniqIdx[:0]
+	sc.uniqTier = sc.uniqTier[:0]
+	sc.uniqErr = sc.uniqErr[:0]
+	sc.uniqVerd = sc.uniqVerd[:0]
+	sc.calls = sc.calls[:0]
+	sc.missKeys = sc.missKeys[:0]
+	sc.missVals = sc.missVals[:0]
+	sc.missPos = sc.missPos[:0]
+	if cap(sc.resps) < n {
+		sc.resps = make([]Response, n)
+		sc.items = make([]BatchItem, n)
+	}
+	sc.resps = sc.resps[:n]
+	sc.items = sc.items[:n]
+	clear(sc.resps)
+	clear(sc.items)
+}
+
+// BatchStats summarizes one Batch.Classify run.
+type BatchStats struct {
+	// Items is the batch size; Unique is the number of distinct memo
+	// keys among exact-fingerprint items; Deduped counts items served by
+	// fanning out another item's result (Items with exact fingerprints
+	// minus Unique).
+	Items   int `json:"items"`
+	Unique  int `json:"unique"`
+	Deduped int `json:"deduped"`
+	// Per-item tier tallies: where each successful item's result came
+	// from. Coalesced counts items that shared a computation (intra-batch
+	// duplicates of a computed key plus joins onto other callers'
+	// in-flight computes); Computed counts the computations this batch
+	// ran itself (owned keys plus inexact items).
+	SealedHits int `json:"sealed_hits"`
+	MemoHits   int `json:"memo_hits"`
+	Computed   int `json:"computed"`
+	Coalesced  int `json:"coalesced"`
+	Inexact    int `json:"inexact"`
+	Errors     int `json:"errors"`
+}
+
+// Batch is a reusable batch-classification context wrapping the pooled
+// scratch arena. It is NOT safe for concurrent use; acquire one per
+// goroutine with Engine.NewBatch. Results returned by Classify point
+// into the arena and are valid only until the next Classify or Release
+// — callers that retain results must copy them (or use
+// Engine.ClassifyBatchCtx, which does).
+type Batch struct {
+	e     *Engine
+	sc    *batchScratch
+	stats BatchStats
+}
+
+// NewBatch acquires a batch context backed by a pooled scratch arena.
+// Callers must Release it when done.
+func (e *Engine) NewBatch() *Batch {
+	return &Batch{e: e, sc: batchScratchPool.Get().(*batchScratch)}
+}
+
+// Release returns the arena to the pool. The Batch and any results from
+// its Classify calls are invalid afterwards. Release is idempotent.
+func (b *Batch) Release() {
+	if b.sc == nil {
+		return
+	}
+	batchScratchPool.Put(b.sc)
+	b.sc = nil
+}
+
+// Stats returns the summary of the most recent Classify call.
+func (b *Batch) Stats() BatchStats { return b.stats }
+
+// Classify serves one batch through the vectorized pipeline. Results
+// are positional and valid until the next Classify or Release. See
+// Engine.ClassifyBatchCtx for the pipeline contract.
+func (b *Batch) Classify(ctx context.Context, reqs []Request) []BatchItem {
+	e, sc := b.e, b.sc
+	n := len(reqs)
+	if e.obs != nil {
+		e.obs.batch.Observe(float64(n))
+	}
+	b.stats = BatchStats{Items: n}
+	sc.reset(n)
+	if n == 0 {
+		return sc.items
+	}
+	tr := obs.TraceFrom(ctx)
+	var batchStart time.Time
+	if e.obs != nil {
+		batchStart = time.Now()
+	}
+
+	// Stage 1: resolve, normalize, fingerprint. The identity prefilter
+	// spots literal duplicates (same problem pointers, same normalized
+	// parameters) and replays the first occurrence's fingerprint, so a
+	// duplicate-heavy batch canonicalizes each distinct request once.
+	var spanStart time.Time
+	if tr != nil {
+		spanStart = time.Now()
+	}
+	exactItems := 0
+	for i := range reqs {
+		sc.reqs[i] = reqs[i]
+		sc.group[i] = -1
+		sc.dupOf[i] = -1
+		// Identity prefilter first, on the raw request: a literal
+		// duplicate replays its first occurrence's entire stage-1 outcome
+		// (resolution, normalization, fingerprinting — all pure functions
+		// of the request) and skips the registry lookup and the
+		// canonicalization, the dominant per-item costs of a
+		// duplicate-heavy batch. Counters replay per item, matching the
+		// per-item path.
+		id := batchIdent{
+			mode:      reqs[i].Mode,
+			problem:   reqs[i].Problem,
+			rooted:    reqs[i].Rooted,
+			maxLevels: reqs[i].MaxLevels,
+			maxRadius: reqs[i].MaxRadius,
+			dims:      reqs[i].Dims,
+		}
+		if j, ok := sc.ident[id]; ok {
+			sc.ds[i] = sc.ds[j]
+			sc.state[i] = sc.state[j]
+			sc.fps[i] = sc.fps[j]
+			sc.keys[i] = sc.keys[j]
+			switch sc.state[j] {
+			case itemErrPre:
+				// Unknown mode or Normalize rejection: error only, never a
+				// served request (ds is nil exactly when the mode was
+				// unknown).
+				if sc.ds[j] == nil {
+					e.unknownMode.Add(1)
+				}
+				e.errors.Add(1)
+				sc.errs[i] = sc.errs[j]
+			case itemErrFp:
+				e.requests.Add(1)
+				if counter, ok := e.byDecider[sc.ds[j].Name()]; ok {
+					counter.Add(1)
+				}
+				e.errors.Add(1)
+				sc.errs[i] = sc.errs[j]
+			case itemInexact:
+				e.requests.Add(1)
+				if counter, ok := e.byDecider[sc.ds[j].Name()]; ok {
+					counter.Add(1)
+				}
+				// Inexact items compute individually (never cached); reuse
+				// the representative's normalized request.
+				sc.reqs[i] = sc.reqs[j]
+			case itemExact:
+				e.requests.Add(1)
+				if counter, ok := e.byDecider[sc.ds[j].Name()]; ok {
+					counter.Add(1)
+				}
+				sc.dupOf[i] = j
+				exactItems++
+			}
+			continue
+		}
+		sc.ident[id] = int32(i)
+		d, ok := e.registry.Get(sc.reqs[i].Mode)
+		if !ok {
+			e.unknownMode.Add(1)
+			e.errors.Add(1)
+			sc.errs[i] = fmt.Errorf("service: unknown mode %q (registered: %s)",
+				sc.reqs[i].Mode, strings.Join(e.registry.Names(), ", "))
+			sc.state[i] = itemErrPre
+			continue
+		}
+		sc.ds[i] = d
+		if err := d.Normalize(&sc.reqs[i]); err != nil {
+			e.errors.Add(1)
+			sc.errs[i] = err
+			sc.state[i] = itemErrPre
+			continue
+		}
+		e.requests.Add(1)
+		if counter, ok := e.byDecider[d.Name()]; ok {
+			counter.Add(1)
+		}
+		fp, exact, err := d.Fingerprint(&sc.reqs[i])
+		if err != nil {
+			e.errors.Add(1)
+			sc.errs[i] = err
+			sc.state[i] = itemErrFp
+			continue
+		}
+		sc.fps[i] = fp
+		if !exact {
+			sc.state[i] = itemInexact
+			continue
+		}
+		sc.state[i] = itemExact
+		sc.keys[i] = memo.Key(d.MemoDomain(&sc.reqs[i]), fp)
+		exactItems++
+	}
+	tr.Record("batch-fingerprint", spanStart)
+
+	// Stage 2: dedup by memo key, fingerprint-sorted. Sorting gives the
+	// unique set a deterministic probe order for the batched lookups
+	// below and makes duplicate detection a linear adjacency scan.
+	if tr != nil {
+		spanStart = time.Now()
+	}
+	// Identity duplicates stay out of the sort: they inherit their
+	// representative's group below, so the sort scales with the distinct
+	// requests, not the batch size. (The earliest item holding a key is
+	// always an identity representative — a duplicate's first occurrence
+	// precedes it with the same key — so the rep-is-earliest invariant
+	// survives the exclusion.)
+	for i := 0; i < n; i++ {
+		if sc.state[i] == itemExact && sc.dupOf[i] < 0 {
+			sc.order = append(sc.order, batchKey{key: sc.keys[i], item: int32(i)})
+		}
+	}
+	// cmpBatchKey is a package-level function so the sort allocates
+	// nothing (a capturing closure would escape into the generic sort).
+	slices.SortFunc(sc.order, cmpBatchKey)
+	for _, ki := range sc.order {
+		i := ki.item
+		if len(sc.uniqKeys) == 0 || sc.uniqKeys[len(sc.uniqKeys)-1] != ki.key {
+			sc.uniqKeys = append(sc.uniqKeys, ki.key)
+			sc.uniqRep = append(sc.uniqRep, i)
+			sc.uniqVals = append(sc.uniqVals, nil)
+			sc.uniqIdx = append(sc.uniqIdx, -1)
+			sc.uniqTier = append(sc.uniqTier, tierNone)
+			sc.uniqErr = append(sc.uniqErr, nil)
+			sc.uniqVerd = append(sc.uniqVerd, nil)
+			sc.calls = append(sc.calls, nil)
+		}
+		sc.group[i] = int32(len(sc.uniqKeys) - 1)
+	}
+	for i := 0; i < n; i++ {
+		if j := sc.dupOf[i]; j >= 0 {
+			sc.group[i] = sc.group[j]
+		}
+	}
+	uniq := len(sc.uniqKeys)
+	b.stats.Unique = uniq
+	b.stats.Deduped = exactItems - uniq
+	tr.Record("batch-dedup", spanStart)
+	if e.obs != nil && exactItems > 0 {
+		e.obs.batchDedup.Observe(float64(exactItems-uniq) / float64(exactItems))
+	}
+
+	// Stage 3: sealed tier, one lock-free multi-probe sweep over the
+	// sorted unique keys. Entry indices feed the engine's memoized
+	// verdict wrappers, so a sealed-hit item allocates nothing.
+	sealedUnique := 0
+	if e.sealed != nil && uniq > 0 {
+		if tr != nil {
+			spanStart = time.Now()
+		}
+		sealedUnique = e.sealed.GetBatch(sc.uniqKeys, sc.uniqVals, sc.uniqIdx)
+		tr.Record("batch-sealed-get", spanStart)
+		for u := 0; u < uniq; u++ {
+			if sc.uniqIdx[u] >= 0 {
+				sc.uniqTier[u] = tierSealed
+			}
+		}
+	}
+
+	// Stage 4: memo tier + singleflight for the residual misses, under
+	// one e.mu acquisition for the whole batch. The memo lookup happens
+	// under the lock — the same discipline as the per-item path — so an
+	// owned key's computation is registered before anyone else can race
+	// it, each unique key counts at most one memo miss, and joiners
+	// either see the in-flight call or hit the cache it filled.
+	memoUnique, ownedUnique, joinedUnique := 0, 0, 0
+	for u := 0; u < uniq; u++ {
+		if sc.uniqTier[u] == tierNone {
+			sc.missKeys = append(sc.missKeys, sc.uniqKeys[u])
+			sc.missVals = append(sc.missVals, nil)
+			sc.missPos = append(sc.missPos, int32(u))
+		}
+	}
+	if len(sc.missKeys) > 0 {
+		if tr != nil {
+			spanStart = time.Now()
+		}
+		e.mu.Lock()
+		e.cache.GetBatch(sc.missKeys, sc.missVals)
+		for j, u := range sc.missPos {
+			if sc.missVals[j] != nil {
+				sc.uniqVals[u] = sc.missVals[j]
+				sc.uniqTier[u] = tierMemo
+				memoUnique++
+				continue
+			}
+			key := sc.uniqKeys[u]
+			if c, ok := e.inflight[key]; ok {
+				sc.calls[u] = c
+				sc.uniqTier[u] = tierJoined
+				joinedUnique++
+				continue
+			}
+			c := &call{done: make(chan struct{})}
+			e.inflight[key] = c
+			sc.calls[u] = c
+			sc.uniqTier[u] = tierOwned
+			ownedUnique++
+		}
+		e.mu.Unlock()
+		tr.Record("batch-memo-get", spanStart)
+	}
+	if e.obs != nil && uniq > 0 {
+		if e.sealed != nil {
+			e.obs.batchSealedRate.Observe(float64(sealedUnique) / float64(uniq))
+		}
+		e.obs.batchMemoRate.Observe(float64(memoUnique) / float64(uniq))
+	}
+
+	// Stage 5: compute. Owned keys and inexact items fan out across the
+	// worker pool; joined keys wait on their foreign computations.
+	// Owned computes run under the background context (coalescing
+	// callers must not be failed by this caller hanging up) and fill the
+	// cache before unregistering — the singleflight invariant.
+	if tr != nil {
+		spanStart = time.Now()
+	}
+	wg := &sc.wg
+	if ownedUnique > 0 {
+		for u := 0; u < uniq; u++ {
+			if sc.uniqTier[u] != tierOwned {
+				continue
+			}
+			wg.Add(1)
+			u := u
+			e.jobs <- func() {
+				defer wg.Done()
+				rep := sc.uniqRep[u]
+				c := sc.calls[u]
+				c.payload, c.err = sc.ds[rep].Compute(context.Background(), &sc.reqs[rep])
+				if c.err == nil {
+					e.cache.Put(sc.uniqKeys[u], c.payload)
+				} else {
+					e.errors.Add(1)
+				}
+				e.mu.Lock()
+				delete(e.inflight, sc.uniqKeys[u])
+				e.mu.Unlock()
+				close(c.done)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if sc.state[i] != itemInexact {
+			continue
+		}
+		wg.Add(1)
+		i := i
+		e.jobs <- func() {
+			defer wg.Done()
+			// Inexact fingerprints are never cached or coalesced; each
+			// item computes under the caller's context, like the per-item
+			// path.
+			payload, err := sc.ds[i].Compute(ctx, &sc.reqs[i])
+			if err != nil {
+				e.errors.Add(1)
+				sc.errs[i] = err
+				return
+			}
+			sc.vals1[i] = payload
+		}
+	}
+	wg.Wait()
+	for u := 0; u < uniq; u++ {
+		switch sc.uniqTier[u] {
+		case tierOwned:
+			c := sc.calls[u]
+			if c.err != nil {
+				sc.uniqErr[u] = c.err
+			} else {
+				sc.uniqVals[u] = c.payload
+			}
+		case tierJoined:
+			c := sc.calls[u]
+			<-c.done
+			if c.err != nil {
+				sc.uniqErr[u] = c.err
+			} else {
+				sc.uniqVals[u] = c.payload
+			}
+		}
+	}
+	tr.Record("batch-compute", spanStart)
+
+	// Stage 6: wrap each unique payload once. Verdicts (and their
+	// details) are immutable wire views, so duplicates share them;
+	// sealed entries memoize theirs on the engine for the table's
+	// lifetime. Wrap failures surface per item below with the per-item
+	// path's error wrapping and counting.
+	if tr != nil {
+		spanStart = time.Now()
+	}
+	for u := 0; u < uniq; u++ {
+		if sc.uniqErr[u] != nil {
+			continue
+		}
+		d := sc.ds[sc.uniqRep[u]]
+		var v *decide.Verdict
+		var err error
+		if sc.uniqTier[u] == tierSealed {
+			v, err = e.sealedVerdict(d, sc.uniqIdx[u], sc.uniqVals[u])
+		} else {
+			v, err = d.WrapPayload(sc.uniqVals[u])
+		}
+		if err != nil {
+			sc.uniqErr[u] = fmt.Errorf("service: %s: %w", d.Name(), err)
+			// Distinguish from compute errors: those were already counted
+			// once by the computing goroutine (the rep's share); wrap
+			// errors are counted per item in the fan-out.
+			sc.uniqVerd[u] = nil
+			sc.uniqTier[u] |= tierWrapErr
+			continue
+		}
+		sc.uniqVerd[u] = v
+	}
+	tr.Record("batch-wrap", spanStart)
+
+	// Stage 7: fan out positionally, replaying the per-item path's
+	// counter and flag semantics for every item.
+	for i := 0; i < n; i++ {
+		switch sc.state[i] {
+		case itemErrPre:
+			sc.items[i].Err = sc.errs[i]
+			b.stats.Errors++
+		case itemErrFp:
+			sc.items[i].Err = sc.errs[i]
+			b.stats.Errors++
+			e.observeRequestAt(sc.reqs[i].Mode, batchStart, false, sc.errs[i])
+		case itemInexact:
+			if sc.errs[i] != nil {
+				sc.items[i].Err = sc.errs[i]
+				b.stats.Errors++
+				e.observeRequestAt(sc.reqs[i].Mode, batchStart, false, sc.errs[i])
+				continue
+			}
+			v, err := sc.ds[i].WrapPayload(sc.vals1[i])
+			if err != nil {
+				err = fmt.Errorf("service: %s: %w", sc.ds[i].Name(), err)
+				e.errors.Add(1)
+				sc.items[i].Err = err
+				b.stats.Errors++
+				e.observeRequestAt(sc.reqs[i].Mode, batchStart, false, err)
+				continue
+			}
+			b.stats.Computed++
+			sc.resps[i] = Response{
+				Mode:        sc.reqs[i].Mode,
+				Fingerprint: sc.fps[i],
+				Class:       v.Class,
+				Detail:      v.Detail,
+				Payload:     sc.vals1[i],
+			}
+			sc.items[i].Response = &sc.resps[i]
+			e.observeRequestAt(sc.reqs[i].Mode, batchStart, false, nil)
+		case itemExact:
+			u := sc.group[i]
+			tier := sc.uniqTier[u] &^ tierWrapErr
+			name := sc.ds[i].Name()
+			// Every exact item probed the sealed tier (as one sweep), so
+			// each counts a sealed outcome, like the per-item path.
+			if e.sealed != nil {
+				if tier == tierSealed {
+					e.sealedHits.Add(1)
+					e.observeSealed(name, true)
+				} else {
+					e.sealedMisses.Add(1)
+					e.observeSealed(name, false)
+				}
+			}
+			if err := sc.uniqErr[u]; err != nil {
+				// The computing goroutine counted the rep's error for
+				// owned compute failures; every other item (duplicates,
+				// joins, wrap failures) counts its own.
+				owned := tier == tierOwned && sc.uniqTier[u]&tierWrapErr == 0
+				if !(owned && sc.uniqRep[u] == int32(i)) {
+					e.errors.Add(1)
+				}
+				sc.items[i].Err = err
+				b.stats.Errors++
+				e.observeRequestAt(name, batchStart, false, err)
+				continue
+			}
+			v := sc.uniqVerd[u]
+			hit, coalesced, sealedFlag := false, false, false
+			switch tier {
+			case tierSealed:
+				hit, sealedFlag = true, true
+				b.stats.SealedHits++
+			case tierMemo:
+				hit = true
+				b.stats.MemoHits++
+			case tierOwned:
+				if sc.uniqRep[u] == int32(i) {
+					b.stats.Computed++
+				} else {
+					coalesced = true
+					e.coalesced.Add(1)
+					b.stats.Coalesced++
+				}
+			case tierJoined:
+				coalesced = true
+				e.coalesced.Add(1)
+				b.stats.Coalesced++
+			}
+			sc.resps[i] = Response{
+				Mode:        sc.reqs[i].Mode,
+				Fingerprint: sc.fps[i],
+				CacheHit:    hit,
+				Coalesced:   coalesced,
+				Sealed:      sealedFlag,
+				Class:       v.Class,
+				Detail:      v.Detail,
+				Payload:     sc.uniqVals[u],
+			}
+			sc.items[i].Response = &sc.resps[i]
+			e.observeRequestAt(name, batchStart, hit, nil)
+		}
+	}
+	b.stats.Inexact = 0
+	for i := 0; i < n; i++ {
+		if sc.state[i] == itemInexact {
+			b.stats.Inexact++
+		}
+	}
+	if e.obs != nil {
+		e.obs.observeBatchItems(&b.stats)
+	}
+	return sc.items
+}
+
+// batchKey pairs an item's memo key with its batch position for the
+// dedup sort: items order by key (the deterministic probe order for the
+// batched lookups) and by position within a key, so the dedup
+// representative is always the earliest occurrence.
+type batchKey struct {
+	key  uint64
+	item int32
+}
+
+func cmpBatchKey(a, b batchKey) int {
+	switch {
+	case a.key < b.key:
+		return -1
+	case a.key > b.key:
+		return 1
+	default:
+		return int(a.item - b.item)
+	}
+}
+
+// tierWrapErr marks a unique key whose payload failed WrapPayload (OR'd
+// onto the tier so the fan-out can tell wrap failures — counted per
+// item — from compute failures, whose rep share was already counted).
+const tierWrapErr uint8 = 0x80
+
+// observeRequestAt is observeRequest guarded for uninstrumented
+// engines (batchStart is only taken when obs is on).
+func (e *Engine) observeRequestAt(decider string, start time.Time, hit bool, err error) {
+	if e.obs == nil {
+		return
+	}
+	e.observeRequest(decider, start, hit, err)
+}
+
+// sealedVerdict returns the wrapped verdict for sealed entry idx,
+// memoizing it on the engine: sealed entries are a fixed immutable set
+// and WrapPayload is a pure function of the payload, so each entry is
+// wrapped at most a handful of times (racing fills store the same
+// value) and sealed-hit batch items allocate nothing at steady state.
+func (e *Engine) sealedVerdict(d decide.Decider, idx int32, payload any) (*decide.Verdict, error) {
+	if idx < 0 || int(idx) >= len(e.sealedVerdicts) {
+		return d.WrapPayload(payload)
+	}
+	slot := &e.sealedVerdicts[idx]
+	if v := slot.Load(); v != nil {
+		return v, nil
+	}
+	v, err := d.WrapPayload(payload)
+	if err != nil {
+		return nil, err
+	}
+	slot.Store(v)
+	return v, nil
+}
+
+// ClassifyBatchCtx serves one batch through the vectorized pipeline:
+// one pooled scratch arena canonicalizes every item, items are
+// deduplicated by memo key so each orbit classifies once, the
+// deduplicated set resolves through SealedTable.GetBatch and
+// memo.Cache.GetBatch in fingerprint-sorted order, residual misses
+// coalesce through the engine singleflight (shared with concurrent
+// batches and single requests), and results fan back out positionally.
+// Results are freshly allocated and safe to retain; latency-sensitive
+// callers that control result lifetime use Engine.NewBatch to skip the
+// copy. Not usable after Close.
+func (e *Engine) ClassifyBatchCtx(ctx context.Context, reqs []Request) []BatchItem {
+	b := e.NewBatch()
+	defer b.Release()
+	items := b.Classify(ctx, reqs)
+	out := make([]BatchItem, len(items))
+	resps := make([]Response, len(items))
+	for i := range items {
+		if items[i].Response != nil {
+			resps[i] = *items[i].Response
+			out[i].Response = &resps[i]
+		}
+		out[i].Err = items[i].Err
+	}
+	return out
+}
+
+// ClassifyBatch is ClassifyBatchCtx under the background context.
+// Results are positional; identical problems inside one batch resolve
+// to a single computation.
+func (e *Engine) ClassifyBatch(reqs []Request) []BatchItem {
+	return e.ClassifyBatchCtx(context.Background(), reqs)
+}
+
+// MaxBatch returns the configured batch item limit (DefaultMaxBatch
+// unless Config.MaxBatch overrode it). The HTTP layer rejects larger
+// /v1/classify/batch requests with 413.
+func (e *Engine) MaxBatch() int { return e.maxBatch }

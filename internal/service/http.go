@@ -5,10 +5,12 @@
 package service
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/decide"
@@ -189,8 +191,48 @@ type wireBatchRequest struct {
 	Requests []wireRequest `json:"requests"`
 }
 
+// wireBatchResponse documents the batch response shape. The handler
+// streams it through a pooled buffer (see batchEncoder) rather than
+// marshaling this struct; tests decode into it.
 type wireBatchResponse struct {
 	Results []*wireResponse `json:"results"`
+	// Deduped counts items served by fanning out another item's result
+	// (intra-batch duplicates by canonical fingerprint).
+	Deduped int `json:"deduped,omitempty"`
+}
+
+// wireBatchLimitError is the structured 413 body for oversized batches.
+type wireBatchLimitError struct {
+	Error    string `json:"error"`
+	MaxBatch int    `json:"max_batch"`
+	Items    int    `json:"items"`
+}
+
+// batchEncoder is the pooled batch response writer: one buffer for the
+// whole body and a detail-marshal cache keyed by detail pointer, so a
+// dedup group's shared detail is marshaled once instead of per item.
+type batchEncoder struct {
+	buf     bytes.Buffer
+	details map[any]json.RawMessage
+}
+
+var batchEncPool = sync.Pool{
+	New: func() any { return &batchEncoder{details: map[any]json.RawMessage{}} },
+}
+
+// marshalDetail returns the wire bytes of a verdict detail, cached by
+// pointer identity (all registered deciders return pointer-typed
+// details, which intra-batch duplicates share).
+func (be *batchEncoder) marshalDetail(mode string, detail any) (json.RawMessage, error) {
+	if raw, ok := be.details[detail]; ok {
+		return raw, nil
+	}
+	raw, err := json.Marshal(detail)
+	if err != nil {
+		return nil, fmt.Errorf("encode %s detail: %v", mode, err)
+	}
+	be.details[detail] = raw
+	return raw, nil
 }
 
 func (e *Engine) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -203,11 +245,41 @@ func (e *Engine) handleBatch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "empty batch")
 		return
 	}
-	// Decode errors keep their slot so results stay positional.
+	if max := e.maxBatch; len(wb.Requests) > max {
+		writeJSON(w, http.StatusRequestEntityTooLarge, wireBatchLimitError{
+			Error:    fmt.Sprintf("batch of %d items exceeds the limit of %d", len(wb.Requests), max),
+			MaxBatch: max,
+			Items:    len(wb.Requests),
+		})
+		return
+	}
+	// Decode errors (including explicitly empty items — no problem
+	// payload at all) keep their slot so results stay positional.
+	// Duplicate raw problem payloads decode once and share one
+	// *lcl.Problem, which lights up the engine's identity prefilter —
+	// a literal duplicate item is never re-canonicalized.
 	reqs := make([]Request, len(wb.Requests))
 	decodeErrs := make([]error, len(wb.Requests))
+	problems := map[string]*lcl.Problem{}
 	for i := range wb.Requests {
-		reqs[i], decodeErrs[i] = decodeRequest(&wb.Requests[i])
+		wr := &wb.Requests[i]
+		if len(wr.Problem) > 0 {
+			if p, ok := problems[string(wr.Problem)]; ok {
+				reqs[i] = Request{
+					Mode:      wr.Mode,
+					Problem:   p,
+					Rooted:    wr.Rooted,
+					MaxLevels: wr.MaxLevels,
+					MaxRadius: wr.MaxRadius,
+					Dims:      wr.Dims,
+				}
+				continue
+			}
+		}
+		reqs[i], decodeErrs[i] = decodeRequest(wr)
+		if decodeErrs[i] == nil && reqs[i].Problem != nil {
+			problems[string(wr.Problem)] = reqs[i].Problem
+		}
 	}
 	valid := make([]Request, 0, len(reqs))
 	pos := make([]int, 0, len(reqs))
@@ -217,36 +289,74 @@ func (e *Engine) handleBatch(w http.ResponseWriter, r *http.Request) {
 			pos = append(pos, i)
 		}
 	}
-	items := e.ClassifyBatch(valid)
-	out := wireBatchResponse{Results: make([]*wireResponse, len(reqs))}
-	for i, err := range decodeErrs {
-		if err != nil {
-			out.Results[i] = &wireResponse{Mode: wb.Requests[i].Mode, Error: err.Error()}
+	b := e.NewBatch()
+	defer b.Release()
+	items := b.Classify(r.Context(), valid)
+
+	// Stream the response through the pooled encoder: one buffer write
+	// per request instead of a per-item json.Marshal, with dedup groups
+	// sharing one detail marshal.
+	be := batchEncPool.Get().(*batchEncoder)
+	defer func() {
+		be.buf.Reset()
+		clear(be.details)
+		batchEncPool.Put(be)
+	}()
+	enc := json.NewEncoder(&be.buf)
+	be.buf.WriteString(`{"results":[`)
+	var wr wireResponse
+	next := 0
+	for i := range reqs {
+		if i > 0 {
+			be.buf.WriteByte(',')
+		}
+		wr = wireResponse{}
+		if decodeErrs[i] != nil {
+			wr.Mode = wb.Requests[i].Mode
+			wr.Error = decodeErrs[i].Error()
+		} else {
+			j := next
+			next++
+			item := items[j]
+			wr.Problem = requestName(&valid[j])
+			wr.Mode = valid[j].Mode
+			switch {
+			case item.Err != nil:
+				wr.Error = item.Err.Error()
+			default:
+				resp := item.Response
+				wr.Fingerprint = fmt.Sprintf("%016x", resp.Fingerprint)
+				wr.CacheHit = resp.CacheHit
+				wr.Coalesced = resp.Coalesced
+				wr.Sealed = resp.Sealed
+				wr.Class = resp.Class.String()
+				if resp.Detail != nil {
+					raw, err := be.marshalDetail(resp.Mode, resp.Detail)
+					if err != nil {
+						// Positional: an encode failure stays in its slot
+						// as an explicit item error.
+						wr = wireResponse{Problem: wr.Problem, Mode: wr.Mode, Error: err.Error()}
+					} else {
+						wr.Detail = raw
+					}
+				}
+			}
+		}
+		// Encode appends a newline after the value — legal JSON
+		// whitespace inside the array.
+		if err := enc.Encode(&wr); err != nil {
+			httpError(w, http.StatusInternalServerError, "encode batch: %v", err)
+			return
 		}
 	}
-	for j, item := range items {
-		i := pos[j]
-		if item.Err != nil {
-			out.Results[i] = &wireResponse{
-				Problem: requestName(&valid[j]),
-				Mode:    valid[j].Mode,
-				Error:   item.Err.Error(),
-			}
-			continue
-		}
-		wr, err := encodeResponse(requestName(&valid[j]), item.Response)
-		if err != nil {
-			// Batch results are positional: an encode failure stays in
-			// its slot as an explicit item error.
-			wr = &wireResponse{
-				Problem: requestName(&valid[j]),
-				Mode:    valid[j].Mode,
-				Error:   err.Error(),
-			}
-		}
-		out.Results[i] = wr
+	be.buf.WriteByte(']')
+	if d := b.Stats().Deduped; d > 0 {
+		fmt.Fprintf(&be.buf, `,"deduped":%d`, d)
 	}
-	writeJSON(w, http.StatusOK, out)
+	be.buf.WriteString("}\n")
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(be.buf.Bytes())
 }
 
 // wireCensus summarizes a census for the wire: per-class counts rather

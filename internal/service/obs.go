@@ -42,7 +42,38 @@ type engineObs struct {
 	checkpoint *obs.Histogram
 	// batch observes ClassifyBatch request sizes.
 	batch *obs.Histogram
+	// batchDedup observes, per batch, the fraction of exact-fingerprint
+	// items resolved by intra-batch dedup (0 = all unique, →1 = all
+	// duplicates of one key).
+	batchDedup *obs.Histogram
+	// batchSealedRate / batchMemoRate observe, per batch, the fraction
+	// of the deduplicated key set each read tier served.
+	batchSealedRate *obs.Histogram
+	batchMemoRate   *obs.Histogram
+	// batchItems counts batch items by resolution tier (fixed label
+	// set; pre-resolved so fan-out pays only atomic increments).
+	batchItemsSealed    *obs.Counter
+	batchItemsMemo      *obs.Counter
+	batchItemsComputed  *obs.Counter
+	batchItemsCoalesced *obs.Counter
+	batchItemsInexact   *obs.Counter
+	batchItemsError     *obs.Counter
 }
+
+// observeBatchItems folds one batch's fan-out tallies into the
+// per-tier item counters.
+func (eo *engineObs) observeBatchItems(st *BatchStats) {
+	eo.batchItemsSealed.Add(uint64(st.SealedHits))
+	eo.batchItemsMemo.Add(uint64(st.MemoHits))
+	eo.batchItemsComputed.Add(uint64(st.Computed))
+	eo.batchItemsCoalesced.Add(uint64(st.Coalesced))
+	eo.batchItemsInexact.Add(uint64(st.Inexact))
+	eo.batchItemsError.Add(uint64(st.Errors))
+}
+
+// ratioBuckets is the bucket layout for per-batch fraction histograms
+// (dedup ratio, per-tier hit rates): fixed [0, 1] resolution.
+var ratioBuckets = []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1}
 
 // newEngineObs registers the construction-time instruments (everything
 // that does not sample live engine state). Engine-state collect
@@ -64,7 +95,23 @@ func newEngineObs(set *obs.Set, deciders []string) *engineObs {
 			"Snapshot checkpoint duration in seconds.", nil),
 		batch: r.Histogram("lcl_engine_batch_size",
 			"ClassifyBatch request sizes.", obs.SizeBuckets),
+		batchDedup: r.Histogram("lcl_engine_batch_dedup_ratio",
+			"Per-batch fraction of exact-fingerprint items resolved by intra-batch dedup.",
+			ratioBuckets),
 	}
+	tierRate := r.HistogramVec("lcl_engine_batch_tier_hit_rate",
+		"Per-batch fraction of the deduplicated key set served by each read tier.",
+		ratioBuckets, "tier")
+	eo.batchSealedRate = tierRate.With("sealed")
+	eo.batchMemoRate = tierRate.With("memo")
+	batchItems := r.CounterVec("lcl_engine_batch_items_total",
+		"Batch items by resolution tier.", "tier")
+	eo.batchItemsSealed = batchItems.With("sealed")
+	eo.batchItemsMemo = batchItems.With("memo")
+	eo.batchItemsComputed = batchItems.With("computed")
+	eo.batchItemsCoalesced = batchItems.With("coalesced")
+	eo.batchItemsInexact = batchItems.With("inexact")
+	eo.batchItemsError = batchItems.With("error")
 	latency := r.HistogramVec("lcl_engine_request_seconds",
 		"Classification latency in seconds, by decider.", nil, "decider")
 	hits := r.CounterVec("lcl_engine_cache_hits_total",
@@ -152,8 +199,20 @@ func (e *Engine) finishObs() {
 		func(s memo.ShardStat) float64 { return float64(s.Evictions) })
 	shardFamily("lcl_memo_shard_size", "Memo cache entries, by shard.",
 		func(s memo.ShardStat) float64 { return float64(s.Size) })
+	// Batched-lookup traffic: global GetBatch counters plus per-shard
+	// balance (how evenly batch probes spread across shards).
+	r.CounterFunc("lcl_memo_batch_calls_total", "Memo cache GetBatch calls.",
+		func() float64 { return float64(e.cache.Stats().BatchCalls) })
+	r.CounterFunc("lcl_memo_batch_keys_total", "Keys probed via memo cache GetBatch.",
+		func() float64 { return float64(e.cache.Stats().BatchKeys) })
+	r.CounterFunc("lcl_memo_batch_hits_total", "Keys hit via memo cache GetBatch.",
+		func() float64 { return float64(e.cache.Stats().BatchHits) })
+	shardFamily("lcl_memo_shard_batch_gets", "Keys probed via GetBatch, by shard.",
+		func(s memo.ShardStat) float64 { return float64(s.BatchGets) })
+	shardFamily("lcl_memo_shard_batch_hits", "Keys hit via GetBatch, by shard.",
+		func(s memo.ShardStat) float64 { return float64(s.BatchHits) })
 	memoBatch := r.Histogram("lcl_memo_batch_size",
-		"GetBatch lookup sizes (census prefills).", obs.SizeBuckets)
+		"GetBatch lookup sizes (census prefills and batch serving).", obs.SizeBuckets)
 	e.cache.SetBatchObserver(func(keys, hits int) {
 		memoBatch.Observe(float64(keys))
 	})

@@ -146,6 +146,10 @@ type Config struct {
 	// table (or after refusing a corrupt one) is bit-identical, just
 	// slower.
 	Sealed *store.SealedTable
+	// MaxBatch bounds /v1/classify/batch item counts (<= 0 selects
+	// DefaultMaxBatch); the HTTP layer rejects larger batches with 413.
+	// It also bounds the pooled batch scratch arenas.
+	MaxBatch int
 	// JobWorkers bounds concurrently running background jobs (<= 0
 	// selects 1; each job is internally parallel across the engine's
 	// worker count already).
@@ -215,6 +219,15 @@ type Engine struct {
 	sealed       *store.SealedTable
 	sealedHits   atomic.Uint64
 	sealedMisses atomic.Uint64
+	// sealedVerdicts memoizes WrapPayload results per sealed entry index
+	// (sized to the table at construction): the table is a fixed
+	// immutable set and wrapping is pure, so batch serving of sealed
+	// hits allocates nothing at steady state (see batch.go).
+	sealedVerdicts []atomic.Pointer[decide.Verdict]
+
+	// maxBatch is the batch item limit the HTTP layer enforces
+	// (Config.MaxBatch, defaulted).
+	maxBatch int
 
 	snapshotPath string
 	snapLoaded   bool
@@ -288,6 +301,13 @@ func New(cfg Config) *Engine {
 		warmByK:      map[int]*enumerate.Census{},
 		sealed:       cfg.Sealed,
 		snapshotPath: cfg.SnapshotPath,
+		maxBatch:     cfg.MaxBatch,
+	}
+	if e.maxBatch <= 0 {
+		e.maxBatch = DefaultMaxBatch
+	}
+	if cfg.Sealed != nil {
+		e.sealedVerdicts = make([]atomic.Pointer[decide.Verdict], cfg.Sealed.Len())
 	}
 	if !cfg.DisableObs {
 		set := cfg.Obs
@@ -603,28 +623,6 @@ type BatchItem struct {
 	Err      error
 }
 
-// ClassifyBatch fans the requests out across the worker pool and waits
-// for all of them. Results are positional. Identical problems inside one
-// batch resolve to a single computation via the cache and singleflight.
-func (e *Engine) ClassifyBatch(reqs []Request) []BatchItem {
-	if e.obs != nil {
-		e.obs.batch.Observe(float64(len(reqs)))
-	}
-	out := make([]BatchItem, len(reqs))
-	var wg sync.WaitGroup
-	for i := range reqs {
-		wg.Add(1)
-		req := reqs[i]
-		slot := &out[i]
-		e.jobs <- func() {
-			defer wg.Done()
-			slot.Response, slot.Err = e.Classify(req)
-		}
-	}
-	wg.Wait()
-	return out
-}
-
 // Census returns the classified cycle census, computing it at most once
 // per (k, dedup): results are cached for the engine's lifetime (they are
 // immutable), restored censuses from a snapshot are served directly, and
@@ -801,9 +799,11 @@ type Stats struct {
 	// UnknownModeRejects counts requests naming no registered decider.
 	UnknownModeRejects uint64 `json:"unknown_mode_rejects"`
 	// Deciders lists the registered decider names in registration order.
-	Deciders []string   `json:"deciders"`
-	Workers  int        `json:"workers"`
-	Cache    memo.Stats `json:"cache"`
+	Deciders []string `json:"deciders"`
+	Workers  int      `json:"workers"`
+	// BatchLimit is the enforced /v1/classify/batch item limit.
+	BatchLimit int        `json:"batch_limit"`
+	Cache      memo.Stats `json:"cache"`
 	// CachedCensuses counts census results held for instant serving.
 	CachedCensuses int `json:"cached_censuses"`
 	// Jobs counts background jobs by state.
@@ -861,6 +861,7 @@ func (e *Engine) Stats() Stats {
 		UnknownModeRejects: e.unknownMode.Load(),
 		Deciders:           e.registry.Names(),
 		Workers:            e.workers,
+		BatchLimit:         e.maxBatch,
 		Cache:              e.cache.Stats(),
 	}
 	for name, n := range e.byDecider {

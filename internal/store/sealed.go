@@ -161,6 +161,57 @@ func (t *SealedTable) Get(key uint64) (any, bool) {
 	}
 }
 
+// GetBatch probes every key in one call, writing each hit's value into
+// values[i] (nil on a miss) and, when idxs is non-nil, the hit's stable
+// entry index in [0, Len()) into idxs[i] (-1 on a miss), returning the
+// hit count. Like Get it is lock-free and allocation-free; values and
+// idxs must be at least as long as keys. Callers that sort keys first
+// (the batch serving pipeline sorts its deduplicated fingerprint set)
+// probe in a deterministic fingerprint-sorted order. Entry indices are
+// stable for the table's lifetime, so layers above can cache per-entry
+// derived state (internal/service memoizes wrapped verdicts by them).
+func (t *SealedTable) GetBatch(keys []uint64, values []any, idxs []int32) int {
+	_ = values[:len(keys)]
+	if idxs != nil {
+		_ = idxs[:len(keys)]
+	}
+	if t == nil || len(t.slots) == 0 {
+		for i := range keys {
+			values[i] = nil
+			if idxs != nil {
+				idxs[i] = -1
+			}
+		}
+		return 0
+	}
+	hits := 0
+	for j, key := range keys {
+		values[j] = nil
+		if idxs != nil {
+			idxs[j] = -1
+		}
+		i := sealedMix(key) & t.mask
+		for {
+			s := t.slots[i]
+			if s < 0 {
+				break
+			}
+			// Full-key compare, exactly as Get: slot collisions probe on
+			// instead of serving the wrong verdict.
+			if t.keys[s] == key {
+				values[j] = t.values[s]
+				if idxs != nil {
+					idxs[j] = s
+				}
+				hits++
+				break
+			}
+			i = (i + 1) & t.mask
+		}
+	}
+	return hits
+}
+
 // Len returns the number of sealed entries.
 func (t *SealedTable) Len() int {
 	if t == nil {

@@ -333,3 +333,69 @@ func TestSaveSealedIsAtomic(t *testing.T) {
 		t.Errorf("mode = %v, want 0644", info.Mode().Perm())
 	}
 }
+
+// TestSealedGetBatch: the batched lookup agrees with per-key Get on
+// hits, misses, values, and entry indices; handles nil tables; and
+// allocates nothing.
+func TestSealedGetBatch(t *testing.T) {
+	s := testSealed()
+	buf, err := EncodeSealed(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := OpenSealed(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys []uint64
+	for _, sec := range s.Sections {
+		for _, e := range sec.Entries {
+			keys = append(keys, memo.Key(sec.Domain, e.Fingerprint))
+		}
+	}
+	// Interleave misses: absent keys and a cross-domain probe.
+	keys = append(keys, 42, memo.Key("classify/cycles", 0x2222))
+	values := make([]any, len(keys))
+	idxs := make([]int32, len(keys))
+	hits := tbl.GetBatch(keys, values, idxs)
+	if hits != 8 {
+		t.Fatalf("batch hit %d of %d keys, want 8", hits, len(keys))
+	}
+	for i, key := range keys {
+		want, ok := tbl.Get(key)
+		if ok != (values[i] != nil) || ok != (idxs[i] >= 0) {
+			t.Fatalf("key %#x: batch (val=%v idx=%d) disagrees with Get ok=%v", key, values[i], idxs[i], ok)
+		}
+		if ok && !reflect.DeepEqual(values[i], want) {
+			t.Errorf("key %#x: batch value %#v, Get value %#v", key, values[i], want)
+		}
+	}
+	// The entry index addresses a stable slot: probing again yields the
+	// same index (engines memoize wrapped verdicts by it).
+	idxs2 := make([]int32, len(keys))
+	tbl.GetBatch(keys, values, idxs2)
+	for i := range idxs {
+		if idxs[i] != idxs2[i] {
+			t.Fatalf("key %#x: index %d then %d across identical probes", keys[i], idxs[i], idxs2[i])
+		}
+	}
+	// The idxs slice is optional.
+	if got := tbl.GetBatch(keys, values, nil); got != 8 {
+		t.Fatalf("batch without idxs hit %d, want 8", got)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		tbl.GetBatch(keys, values, idxs)
+	}); allocs > 0 {
+		t.Errorf("GetBatch allocates %.2f per call, want 0", allocs)
+	}
+
+	// Nil table: all misses, values and idxs cleared, no panic.
+	var nilTable *SealedTable
+	values[0], idxs[0] = "stale", 7
+	if got := nilTable.GetBatch(keys, values, idxs); got != 0 {
+		t.Fatalf("nil table reported %d hits", got)
+	}
+	if values[0] != nil || idxs[0] != -1 {
+		t.Fatalf("nil table left stale outputs: %v, %d", values[0], idxs[0])
+	}
+}
